@@ -1,0 +1,112 @@
+// Ablation study: the contribution of each IMPACC design choice
+// (DESIGN.md section 6). Not a paper figure — the paper never isolates
+// its mechanisms — but each row quantifies one of its claims.
+#include <map>
+
+#include "apps/dgemm.h"
+#include "apps/jacobi.h"
+#include "apps/lulesh/driver.h"
+#include "apps/stencil2d.h"
+#include "bench_common.h"
+
+namespace impacc::bench {
+namespace {
+
+using Mutator = void (*)(core::LaunchOptions&);
+
+struct Variant {
+  const char* name;
+  Mutator mutate;
+};
+
+const Variant kVariants[] = {
+    {"full", [](core::LaunchOptions&) {}},
+    {"no-fusion",
+     [](core::LaunchOptions& o) { o.features.message_fusion = false; }},
+    {"no-peer-dtod",
+     [](core::LaunchOptions& o) { o.features.peer_dtod = false; }},
+    {"no-aliasing",
+     [](core::LaunchOptions& o) { o.features.heap_aliasing = false; }},
+    {"no-unified-queue",
+     [](core::LaunchOptions& o) { o.features.unified_queue = false; }},
+    {"no-pinning",
+     [](core::LaunchOptions& o) { o.features.numa_pinning = false; }},
+    {"no-rdma",
+     [](core::LaunchOptions& o) { o.features.gpudirect_rdma = false; }},
+    {"serialized-mpi",
+     [](core::LaunchOptions& o) { o.cluster.mpi_thread_multiple = false; }},
+    {"baseline",
+     [](core::LaunchOptions& o) {
+       o.framework = core::Framework::kMpiOpenacc;
+     }},
+};
+
+sim::Time dgemm_run(const Variant& v) {
+  auto o = model_options("psg", 1, core::Framework::kImpacc);
+  v.mutate(o);
+  apps::DgemmConfig cfg;
+  cfg.n = 1024;
+  return apps::run_dgemm(o, cfg).launch.makespan;
+}
+
+sim::Time jacobi_run(const Variant& v) {
+  auto o = model_options("psg", 1, core::Framework::kImpacc);
+  v.mutate(o);
+  apps::JacobiConfig cfg;
+  cfg.n = 4096;
+  cfg.iterations = 10;
+  return apps::run_jacobi(o, cfg).launch.makespan;
+}
+
+sim::Time lulesh_titan_run(const Variant& v) {
+  auto o = model_options("titan", 64, core::Framework::kImpacc);
+  v.mutate(o);
+  apps::LuleshConfig cfg;
+  cfg.s = 16;
+  cfg.iterations = 3;
+  return apps::run_lulesh(o, cfg).launch.makespan;
+}
+
+sim::Time stencil2d_run(const Variant& v) {
+  // 2-D decomposition with derived-datatype column halos (extension app):
+  // host-staged halos make pinning and fusion the levers.
+  auto o = model_options("psg", 1, core::Framework::kImpacc);
+  v.mutate(o);
+  apps::Stencil2dConfig cfg;
+  cfg.n = 4096;
+  cfg.iterations = 10;
+  return apps::run_stencil2d(o, cfg).launch.makespan;
+}
+
+template <typename Fn>
+void sweep(const char* app, Fn run) {
+  const sim::Time full = run(kVariants[0]);
+  for (const Variant& v : kVariants) {
+    const sim::Time t = run(v);
+    add_row(std::string("Ablation ") + app, v.name, t / full, 0,
+            "time relative to full IMPACC");
+    benchmark::RegisterBenchmark(
+        (std::string("Ablation/") + app + "/" + v.name).c_str(),
+        [t, full](benchmark::State& st) {
+          for (auto _ : st) {
+            st.SetIterationTime(t);
+            st.counters["vs_full"] = t / full;
+          }
+        })
+        ->UseManualTime()
+        ->Iterations(1);
+  }
+}
+
+void register_benchmarks() {
+  sweep("dgemm-psg-1K", dgemm_run);
+  sweep("jacobi-psg-4K", jacobi_run);
+  sweep("lulesh-titan-64", lulesh_titan_run);
+  sweep("stencil2d-psg-4K", stencil2d_run);
+}
+
+}  // namespace
+}  // namespace impacc::bench
+
+using impacc::bench::register_benchmarks;
+IMPACC_BENCH_MAIN("Ablations", "per-feature contribution of IMPACC mechanisms")

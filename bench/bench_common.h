@@ -1,0 +1,100 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Every binary reproduces one table or figure from the paper's evaluation
+// (section 4): it sweeps the same parameters, runs both frameworks where
+// the figure compares them, reports simulated time through
+// google-benchmark's manual-time mode, and prints a paper-style series
+// table at the end (captured into EXPERIMENTS.md).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "impacc.h"
+
+namespace impacc::bench {
+
+/// Launch options for a benchmark point: model-only (timing) runs with a
+/// generous virtual node heap for the big matrices.
+inline core::LaunchOptions model_options(const std::string& system, int nodes,
+                                         core::Framework fw) {
+  core::LaunchOptions o;
+  o.cluster = sim::make_system(system, nodes);
+  o.framework = fw;
+  o.mode = core::ExecMode::kModelOnly;
+  o.node_heap_bytes = 256ull << 30;  // virtual; never materialized
+  return o;
+}
+
+/// Restrict a single-node system to its first `devices` accelerators
+/// (the paper's PSG task sweeps use 1..8 of the node's GPUs).
+inline void limit_devices(core::LaunchOptions& o, int devices) {
+  for (auto& node : o.cluster.nodes) {
+    if (static_cast<int>(node.devices.size()) > devices) {
+      node.devices.resize(static_cast<std::size_t>(devices));
+    }
+  }
+}
+
+/// One row of the end-of-run summary table.
+struct Row {
+  std::string series;  // e.g. "Fig10(a) PSG 1Kx1K"
+  std::string x;       // sweep point, e.g. "4 tasks"
+  double impacc = 0;   // metric for IMPACC
+  double baseline = 0; // metric for MPI+OpenACC (0 when not applicable)
+  std::string unit;
+};
+
+/// Global summary accumulated while benchmarks run; printed by
+/// print_summary() after RunSpecifiedBenchmarks.
+std::vector<Row>& summary();
+
+inline std::vector<Row>& summary() {
+  static std::vector<Row> rows;
+  return rows;
+}
+
+inline void add_row(std::string series, std::string x, double impacc,
+                    double baseline, std::string unit) {
+  summary().push_back(
+      {std::move(series), std::move(x), impacc, baseline, std::move(unit)});
+}
+
+/// Print the accumulated series in a fixed-width table.
+inline void print_summary(const char* figure, const char* caption) {
+  std::printf("\n=== %s: %s ===\n", figure, caption);
+  std::printf("%-28s %-16s %14s %14s  %s\n", "series", "point", "IMPACC",
+              "MPI+OpenACC", "unit");
+  for (const Row& r : summary()) {
+    if (r.baseline != 0) {
+      std::printf("%-28s %-16s %14.4f %14.4f  %s\n", r.series.c_str(),
+                  r.x.c_str(), r.impacc, r.baseline, r.unit.c_str());
+    } else {
+      std::printf("%-28s %-16s %14.4f %14s  %s\n", r.series.c_str(),
+                  r.x.c_str(), r.impacc, "-", r.unit.c_str());
+    }
+  }
+  std::fflush(stdout);
+}
+
+/// Effective bandwidth in GB/s for `bytes` moved in simulated `seconds`.
+inline double bw_gbps(double bytes, double seconds) {
+  return seconds > 0 ? bytes / seconds / 1e9 : 0.0;
+}
+
+/// Standard main: run benchmarks, then print the summary table.
+#define IMPACC_BENCH_MAIN(figure, caption)                       \
+  int main(int argc, char** argv) {                              \
+    benchmark::Initialize(&argc, argv);                          \
+    register_benchmarks();                                       \
+    benchmark::RunSpecifiedBenchmarks();                         \
+    ::impacc::bench::print_summary(figure, caption);             \
+    benchmark::Shutdown();                                       \
+    return 0;                                                    \
+  }
+
+}  // namespace impacc::bench

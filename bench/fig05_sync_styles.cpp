@@ -1,0 +1,126 @@
+// Figure 5: synchronization timelines, quantified.
+//
+// The paper's Fig. 5 is an illustration; this bench measures it: the
+// producer/consumer pipeline of Fig. 4 in its three forms — (a) fully
+// synchronous, (b) asynchronous with host sync points, (c) the IMPACC
+// unified activity queue — across message sizes and pipeline depths.
+#include <map>
+
+#include "bench_common.h"
+
+namespace impacc::bench {
+namespace {
+
+enum class Style : int { kSync = 0, kAsyncWaits = 1, kUnified = 2 };
+
+const char* style_name(Style s) {
+  switch (s) {
+    case Style::kSync: return "sync";
+    case Style::kAsyncWaits: return "async+waits";
+    case Style::kUnified: return "unified-queue";
+  }
+  return "?";
+}
+
+sim::Time pipeline_time(Style style, long n, int rounds) {
+  static std::map<std::string, sim::Time> cache;
+  const std::string key = std::to_string(static_cast<int>(style)) + "/" +
+                          std::to_string(n) + "/" + std::to_string(rounds);
+  if (auto it = cache.find(key); it != cache.end()) return it->second;
+
+  auto o = model_options("psg", 1, core::Framework::kImpacc);
+  const auto result = launch(o, [style, n, rounds] {
+    auto comm = mpi::world();
+    const int rank = mpi::comm_rank(comm);
+    if (rank > 1) return;
+    const int peer = 1 - rank;
+    auto* buf0 = static_cast<double*>(node_malloc(n * 8));
+    auto* buf1 = static_cast<double*>(node_malloc(n * 8));
+    acc::copyin(buf0, static_cast<std::uint64_t>(n) * 8);
+    acc::copyin(buf1, static_cast<std::uint64_t>(n) * 8);
+    const sim::WorkEstimate est{10.0 * n, 16.0 * n};
+    const int count = static_cast<int>(n);
+
+    for (int round = 0; round < rounds; ++round) {
+      switch (style) {
+        case Style::kSync:
+          acc::parallel_loop("produce", n, {}, est);
+          acc::update_self(buf0, static_cast<std::uint64_t>(n) * 8);
+          if (rank == 0) {
+            mpi::send(buf0, count, mpi::Datatype::kDouble, peer, 1, comm);
+            mpi::recv(buf1, count, mpi::Datatype::kDouble, peer, 1, comm);
+          } else {
+            mpi::recv(buf1, count, mpi::Datatype::kDouble, peer, 1, comm);
+            mpi::send(buf0, count, mpi::Datatype::kDouble, peer, 1, comm);
+          }
+          acc::update_device(buf1, static_cast<std::uint64_t>(n) * 8);
+          acc::parallel_loop("consume", n, {}, est);
+          break;
+        case Style::kAsyncWaits: {
+          acc::parallel_loop("produce", n, {}, est, 1);
+          acc::update_self(buf0, static_cast<std::uint64_t>(n) * 8, 1);
+          acc::wait(1);
+          mpi::Request reqs[2];
+          reqs[0] = mpi::isend(buf0, count, mpi::Datatype::kDouble, peer, 1,
+                               comm);
+          reqs[1] = mpi::irecv(buf1, count, mpi::Datatype::kDouble, peer, 1,
+                               comm);
+          mpi::waitall(reqs, 2);
+          acc::update_device(buf1, static_cast<std::uint64_t>(n) * 8, 1);
+          acc::parallel_loop("consume", n, {}, est, 1);
+          acc::wait(1);
+          break;
+        }
+        case Style::kUnified:
+          acc::parallel_loop("produce", n, {}, est, 1);
+          acc::mpi({.send_device = true, .async = 1});
+          mpi::isend(buf0, count, mpi::Datatype::kDouble, peer, 1, comm);
+          acc::mpi({.recv_device = true, .async = 1});
+          mpi::irecv(buf1, count, mpi::Datatype::kDouble, peer, 1, comm);
+          acc::parallel_loop("consume", n, {}, est, 1);
+          break;
+      }
+    }
+    if (style == Style::kUnified) acc::wait(1);
+    acc::del(buf0);
+    acc::del(buf1);
+    node_free(buf0);
+    node_free(buf1);
+  });
+  cache[key] = result.makespan;
+  return result.makespan;
+}
+
+void register_benchmarks() {
+  constexpr int kRounds = 8;
+  for (long n : {1L << 12, 1L << 16, 1L << 20}) {
+    const sim::Time sync = pipeline_time(Style::kSync, n, kRounds);
+    for (Style style :
+         {Style::kSync, Style::kAsyncWaits, Style::kUnified}) {
+      const sim::Time t = pipeline_time(style, n, kRounds);
+      benchmark::RegisterBenchmark(
+          ("Fig05/" + std::to_string(n * 8 / 1024) + "KB/" +
+           style_name(style))
+              .c_str(),
+          [t, sync](benchmark::State& st) {
+            for (auto _ : st) {
+              st.SetIterationTime(t);
+              st.counters["speedup_vs_sync"] = sync / t;
+            }
+          })
+          ->UseManualTime()
+          ->Iterations(1);
+    }
+    add_row("Fig05 " + std::to_string(n * 8 / 1024) + "KB msgs",
+            std::to_string(kRounds) + " rounds",
+            sync / pipeline_time(Style::kUnified, n, kRounds),
+            sync / pipeline_time(Style::kAsyncWaits, n, kRounds),
+            "speedup vs (a) sync [IMPACC col = (c), MPI+X col = (b)]");
+  }
+}
+
+}  // namespace
+}  // namespace impacc::bench
+
+using impacc::bench::register_benchmarks;
+IMPACC_BENCH_MAIN("Figure 5", "synchronization style pipeline comparison")

@@ -1,0 +1,104 @@
+// Figure 8: NUMA-friendly task-CPU pinning.
+//
+// Bandwidth of HtoD and DtoH accelerator memory copies, block sizes from
+// 64 B to 256 MB, on the multi-socket systems (PSG and Beacon), with the
+// task pinned near vs far from its accelerator. The paper reports the
+// NUMA-friendly configuration winning by up to 3.5x.
+#include <map>
+
+#include "bench_common.h"
+
+namespace impacc::bench {
+namespace {
+
+struct Point {
+  std::string system;
+  bool to_device;  // HtoD vs DtoH
+  bool near;       // NUMA-friendly vs unfriendly pinning
+  std::uint64_t bytes;
+};
+
+/// Marginal time of one update (4 transfers vs 1 cancels setup costs).
+/// Rank 1 drives: under round-robin (unpinned) placement it lands on the
+/// socket far from its accelerator.
+sim::Time transfer_time(const Point& p) {
+  static std::map<std::string, sim::Time> cache;
+  const std::string key = p.system + std::to_string(p.to_device) +
+                          std::to_string(p.near) + std::to_string(p.bytes);
+  if (auto it = cache.find(key); it != cache.end()) return it->second;
+  auto run = [&p](int reps) {
+    auto o = model_options(p.system, 1, core::Framework::kImpacc);
+    o.features.numa_pinning = p.near;
+    const auto result = launch(o, [&p, reps] {
+      if (mpi::comm_rank(mpi::world()) != 1) return;
+      auto* buf = static_cast<char*>(node_malloc(p.bytes));
+      acc::copyin(buf, p.bytes);
+      for (int i = 0; i < reps; ++i) {
+        if (p.to_device) {
+          acc::update_device(buf, p.bytes);
+        } else {
+          acc::update_self(buf, p.bytes);
+        }
+      }
+      acc::del(buf);
+      node_free(buf);
+    });
+    return result.task_times[1];
+  };
+  const sim::Time t = (run(4) - run(1)) / 3.0;
+  cache[key] = t;
+  return t;
+}
+
+void bench_point(benchmark::State& state, Point p) {
+  double gbs = 0;
+  for (auto _ : state) {
+    const sim::Time near_t = transfer_time(p);
+    state.SetIterationTime(near_t);
+    gbs = bw_gbps(static_cast<double>(p.bytes), near_t);
+  }
+  state.counters["GB/s"] = gbs;
+  state.SetBytesProcessed(static_cast<std::int64_t>(p.bytes));
+}
+
+void register_benchmarks() {
+  const std::vector<std::uint64_t> sizes = {
+      64,        4096,       65536,       1 << 20,
+      16 << 20,  64 << 20,   256ull << 20};
+  for (const char* system : {"psg", "beacon"}) {
+    for (bool to_device : {true, false}) {
+      const char* dir = to_device ? "HtoD" : "DtoH";
+      for (std::uint64_t bytes : sizes) {
+        for (bool near : {true, false}) {
+          const std::string name = std::string("Fig08/") + system + "/" +
+                                   dir + "/" + (near ? "near" : "far") + "/" +
+                                   std::to_string(bytes);
+          benchmark::RegisterBenchmark(name.c_str(),
+                                       [=](benchmark::State& st) {
+                                         bench_point(
+                                             st, Point{system, to_device,
+                                                       near, bytes});
+                                       })
+              ->UseManualTime()
+              ->Iterations(1);
+        }
+        // Summary row: bandwidth near vs far at this size.
+        const Point pn{system, to_device, true, bytes};
+        const Point pf{system, to_device, false, bytes};
+        const double near_bw =
+            bw_gbps(static_cast<double>(bytes), transfer_time(pn));
+        const double far_bw =
+            bw_gbps(static_cast<double>(bytes), transfer_time(pf));
+        add_row(std::string("Fig08 ") + system + " " + dir,
+                std::to_string(bytes) + "B", near_bw, far_bw,
+                "GB/s (IMPACC col = near, MPI+X col = far)");
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace impacc::bench
+
+using impacc::bench::register_benchmarks;
+IMPACC_BENCH_MAIN("Figure 8", "NUMA-friendly task-CPU pinning bandwidth")

@@ -1,0 +1,168 @@
+// Figure 9: point-to-point communication bandwidth, IMPACC vs
+// MPI+OpenACC.
+//
+// (a)-(c) intra-node HtoH / HtoD / DtoD on PSG; (d)-(f) the same on
+// Beacon; (g)-(i) internode HtoH / HtoD / DtoD on Titan. IMPACC fuses
+// intra-node pairs into single copies (direct PCIe peer transfers for
+// DtoD, ~8x on PSG) and rides GPUDirect RDMA internode on Titan; the
+// baseline stages everything through host memory with explicit updates.
+#include <map>
+
+#include "bench_common.h"
+
+namespace impacc::bench {
+namespace {
+
+enum class Pattern { kHtoH, kHtoD, kDtoD };
+
+const char* pattern_name(Pattern p) {
+  switch (p) {
+    case Pattern::kHtoH: return "HtoH";
+    case Pattern::kHtoD: return "HtoD";
+    case Pattern::kDtoD: return "DtoD";
+  }
+  return "?";
+}
+
+struct Point {
+  std::string system;
+  int nodes;       // 1 = intra-node pair, 2 = internode pair
+  Pattern pattern;
+  core::Framework fw;
+  std::uint64_t bytes;
+};
+
+/// Marginal one-way message time between ranks 0 and 1, measured with a
+/// ping-pong (the standard p2p bandwidth methodology: each message must
+/// complete before the next starts, so staging costs are not hidden by
+/// pipelining). IMPACC uses the unified routines (device hints); the
+/// baseline performs explicit update self/device staging.
+sim::Time message_time(const Point& p) {
+  static std::map<std::string, sim::Time> cache;
+  const std::string key = p.system + std::to_string(p.nodes) +
+                          std::to_string(static_cast<int>(p.pattern)) +
+                          std::to_string(static_cast<int>(p.fw)) +
+                          std::to_string(p.bytes);
+  if (auto it = cache.find(key); it != cache.end()) return it->second;
+  auto run = [&p](int msgs) {
+    auto o = model_options(p.system, p.nodes, p.fw);
+    if (p.nodes > 1) {
+      // Internode pair: rank 1 must live on the second node.
+      limit_devices(o, 1);
+    }
+    const auto result = launch(o, [&p, msgs] {
+      auto w = mpi::world();
+      const int r = mpi::comm_rank(w);
+      if (r > 1) return;
+      // Buffer placement per pattern: HtoH = both host; HtoD = host
+      // sender, device receiver; DtoD = both device. Ping-pong swaps the
+      // roles each half-round.
+      const bool send_dev = p.pattern == Pattern::kDtoD;
+      const bool recv_dev = p.pattern != Pattern::kHtoH;
+      const bool impacc = p.fw == core::Framework::kImpacc;
+      // In the reverse direction of the ping-pong, rank 1 sends from the
+      // buffer it received into and rank 0 receives into its send buffer.
+      const bool my_send_dev = r == 0 ? send_dev : recv_dev;
+      const bool my_recv_dev = r == 0 ? send_dev : recv_dev;
+      const bool my_dev = my_send_dev || my_recv_dev;
+      auto* buf = static_cast<char*>(node_malloc(p.bytes));
+      if (my_dev) acc::copyin(buf, p.bytes);
+      const int count = static_cast<int>(p.bytes);
+      for (int m = 0; m < msgs; ++m) {
+        if (r == 0) {
+          if (my_dev && impacc) {
+            acc::mpi({.send_device = true});
+          } else if (my_dev) {
+            acc::update_self(buf, p.bytes);
+          }
+          mpi::send(buf, count, mpi::Datatype::kByte, 1, 1, w);
+          if (my_dev && impacc) acc::mpi({.recv_device = true});
+          mpi::recv(buf, count, mpi::Datatype::kByte, 1, 2, w);
+          if (my_dev && !impacc) acc::update_device(buf, p.bytes);
+        } else {
+          if (my_dev && impacc) acc::mpi({.recv_device = true});
+          mpi::recv(buf, count, mpi::Datatype::kByte, 0, 1, w);
+          if (my_dev && !impacc) acc::update_device(buf, p.bytes);
+          if (my_dev && impacc) {
+            acc::mpi({.send_device = true});
+          } else if (my_dev) {
+            acc::update_self(buf, p.bytes);
+          }
+          mpi::send(buf, count, mpi::Datatype::kByte, 0, 2, w);
+        }
+      }
+      if (my_dev) acc::del(buf);
+      node_free(buf);
+    });
+    return std::max(result.task_times[0], result.task_times[1]);
+  };
+  // Marginal round-trip over 3 extra rounds; two messages per round.
+  const sim::Time t = (run(4) - run(1)) / 3.0 / 2.0;
+  cache[key] = t;
+  return t;
+}
+
+void bench_point(benchmark::State& state, Point p) {
+  double gbs = 0;
+  for (auto _ : state) {
+    const sim::Time t = message_time(p);
+    state.SetIterationTime(t);
+    gbs = bw_gbps(static_cast<double>(p.bytes), t);
+  }
+  state.counters["GB/s"] = gbs;
+  state.SetBytesProcessed(static_cast<std::int64_t>(p.bytes));
+}
+
+void register_benchmarks() {
+  struct Panel {
+    const char* label;
+    const char* system;
+    int nodes;
+    Pattern pattern;
+  };
+  // The nine panels of Fig. 9.
+  const std::vector<Panel> panels = {
+      {"Fig09(a) PSG intra", "psg", 1, Pattern::kHtoH},
+      {"Fig09(b) PSG intra", "psg", 1, Pattern::kHtoD},
+      {"Fig09(c) PSG intra", "psg", 1, Pattern::kDtoD},
+      {"Fig09(d) Beacon intra", "beacon", 1, Pattern::kHtoH},
+      {"Fig09(e) Beacon intra", "beacon", 1, Pattern::kHtoD},
+      {"Fig09(f) Beacon intra", "beacon", 1, Pattern::kDtoD},
+      {"Fig09(g) Titan inter", "titan", 2, Pattern::kHtoH},
+      {"Fig09(h) Titan inter", "titan", 2, Pattern::kHtoD},
+      {"Fig09(i) Titan inter", "titan", 2, Pattern::kDtoD},
+  };
+  const std::vector<std::uint64_t> sizes = {4096, 1 << 20, 16 << 20,
+                                            64 << 20};
+  for (const Panel& panel : panels) {
+    for (std::uint64_t bytes : sizes) {
+      for (core::Framework fw :
+           {core::Framework::kImpacc, core::Framework::kMpiOpenacc}) {
+        const std::string name =
+            std::string("Fig09/") + panel.system + "/" +
+            (panel.nodes > 1 ? "inter/" : "intra/") +
+            pattern_name(panel.pattern) + "/" +
+            core::framework_name(fw) + "/" + std::to_string(bytes);
+        const Point p{panel.system, panel.nodes, panel.pattern, fw, bytes};
+        benchmark::RegisterBenchmark(
+            name.c_str(), [p](benchmark::State& st) { bench_point(st, p); })
+            ->UseManualTime()
+            ->Iterations(1);
+      }
+      const Point pi{panel.system, panel.nodes, panel.pattern,
+                     core::Framework::kImpacc, bytes};
+      const Point pb{panel.system, panel.nodes, panel.pattern,
+                     core::Framework::kMpiOpenacc, bytes};
+      add_row(std::string(panel.label) + " " + pattern_name(panel.pattern),
+              std::to_string(bytes >> 10) + "KB",
+              bw_gbps(static_cast<double>(bytes), message_time(pi)),
+              bw_gbps(static_cast<double>(bytes), message_time(pb)), "GB/s");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace impacc::bench
+
+using impacc::bench::register_benchmarks;
+IMPACC_BENCH_MAIN("Figure 9", "point-to-point communication bandwidth")

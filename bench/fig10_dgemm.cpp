@@ -1,0 +1,138 @@
+// Figure 10: strong scalability of DGEMM.
+//
+// (a)-(d): PSG, matrices 1K..8K, 1..8 tasks, speedup normalized to the
+// MPI+OpenACC single-task run. (e): Beacon, 1..128 tasks. (f): Titan,
+// 24K matrices, 128..8192 nodes, normalized to MPI+OpenACC at 128 tasks.
+// IMPACC keeps scaling on communication-bound points (node heap aliasing
+// of the broadcast inputs + unified activity queues) where the baseline
+// degrades.
+#include <map>
+
+#include "apps/dgemm.h"
+#include "bench_common.h"
+
+namespace impacc::bench {
+namespace {
+
+sim::Time dgemm_time(const std::string& system, int nodes, int devices,
+                     core::Framework fw, long n) {
+  // Memoized: each point is evaluated once even though it feeds both the
+  // google-benchmark entry and the summary table.
+  static std::map<std::string, sim::Time> cache;
+  const std::string key = system + "/" + std::to_string(nodes) + "/" +
+                          std::to_string(devices) + "/" +
+                          std::to_string(static_cast<int>(fw)) + "/" +
+                          std::to_string(n);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  auto o = model_options(system, nodes, fw);
+  if (devices > 0) limit_devices(o, devices);
+  apps::DgemmConfig cfg;
+  cfg.n = n;
+  const sim::Time t = apps::run_dgemm(o, cfg).launch.makespan;
+  cache[key] = t;
+  return t;
+}
+
+/// Baseline normalization: MPI+OpenACC with a single task (paper's 1-task
+/// runs use one device of the node).
+double reference_time(const std::string& system, long n, int ref_tasks) {
+  static std::map<std::string, double> cache;
+  const std::string key = system + "/" + std::to_string(n) + "/" +
+                          std::to_string(ref_tasks);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  double t = 0;
+  if (system == "psg") {
+    t = dgemm_time("psg", 1, ref_tasks, core::Framework::kMpiOpenacc, n);
+  } else if (system == "beacon") {
+    t = dgemm_time("beacon", (ref_tasks + 3) / 4, ref_tasks,
+                   core::Framework::kMpiOpenacc, n);
+  } else {
+    t = dgemm_time("titan", ref_tasks, 0, core::Framework::kMpiOpenacc, n);
+  }
+  cache[key] = t;
+  return t;
+}
+
+void register_benchmarks() {
+  // (a)-(d): PSG.
+  for (long n : {1024L, 2048L, 4096L, 8192L}) {
+    for (int tasks : {1, 2, 4, 8}) {
+      for (core::Framework fw :
+           {core::Framework::kImpacc, core::Framework::kMpiOpenacc}) {
+        const std::string name = "Fig10/psg/n" + std::to_string(n) + "/" +
+                                 std::to_string(tasks) + "tasks/" +
+                                 core::framework_name(fw);
+        benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
+          for (auto _ : st) {
+            const sim::Time t = dgemm_time("psg", 1, tasks, fw, n);
+            st.SetIterationTime(t);
+            st.counters["speedup"] = reference_time("psg", n, 1) / t;
+          }
+        })->UseManualTime()->Iterations(1);
+      }
+      const double ref = reference_time("psg", n, 1);
+      add_row("Fig10 PSG " + std::to_string(n / 1024) + "Kx" +
+                  std::to_string(n / 1024) + "K",
+              std::to_string(tasks) + " tasks",
+              ref / dgemm_time("psg", 1, tasks, core::Framework::kImpacc, n),
+              ref / dgemm_time("psg", 1, tasks, core::Framework::kMpiOpenacc,
+                               n),
+              "speedup vs MPI+X 1-task");
+    }
+  }
+  // (e): Beacon, 4 MICs per node, up to 128 tasks over 32 nodes.
+  for (int tasks : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    const int nodes = (tasks + 3) / 4;
+    const long n = 8192;
+    const double ref = reference_time("beacon", n, 1);
+    for (core::Framework fw :
+         {core::Framework::kImpacc, core::Framework::kMpiOpenacc}) {
+      const std::string name = "Fig10/beacon/" + std::to_string(tasks) +
+                               "tasks/" + core::framework_name(fw);
+      benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
+        for (auto _ : st) {
+          const sim::Time t = dgemm_time("beacon", nodes, tasks, fw, n);
+          st.SetIterationTime(t);
+          st.counters["speedup"] = ref / t;
+        }
+      })->UseManualTime()->Iterations(1);
+    }
+    add_row("Fig10 Beacon 8Kx8K", std::to_string(tasks) + " tasks",
+            ref / dgemm_time("beacon", nodes, tasks, core::Framework::kImpacc,
+                             n),
+            ref / dgemm_time("beacon", nodes, tasks,
+                             core::Framework::kMpiOpenacc, n),
+            "speedup vs MPI+X 1-task");
+  }
+  // (f): Titan, 24K matrices, 128..8192 nodes (1 GPU per node),
+  // normalized to the MPI+OpenACC 128-task run.
+  for (int nodes : {128, 256, 512, 1024, 2048, 4096, 8192}) {
+    const long n = 24576;
+    const double ref = reference_time("titan", n, 128);
+    for (core::Framework fw :
+         {core::Framework::kImpacc, core::Framework::kMpiOpenacc}) {
+      const std::string name = "Fig10/titan/" + std::to_string(nodes) +
+                               "nodes/" + core::framework_name(fw);
+      benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
+        for (auto _ : st) {
+          const sim::Time t = dgemm_time("titan", nodes, 0, fw, n);
+          st.SetIterationTime(t);
+          st.counters["speedup"] = ref / t;
+        }
+      })->UseManualTime()->Iterations(1);
+    }
+    add_row("Fig10 Titan 24Kx24K", std::to_string(nodes) + " nodes",
+            ref / dgemm_time("titan", nodes, 0, core::Framework::kImpacc, n),
+            ref / dgemm_time("titan", nodes, 0, core::Framework::kMpiOpenacc,
+                             n),
+            "speedup vs MPI+X 128-task");
+  }
+}
+
+}  // namespace
+}  // namespace impacc::bench
+
+using impacc::bench::register_benchmarks;
+IMPACC_BENCH_MAIN("Figure 10", "DGEMM strong scalability")

@@ -1,0 +1,77 @@
+// Figure 11: execution time breakdown for DGEMM in PSG.
+//
+// For each (matrix size, task count), total execution time normalized to
+// the MPI+OpenACC 1-task run for that size, split into kernel time and
+// communication time. On small matrices IMPACC dramatically cuts the
+// communication share; on large ones kernel time dominates and the two
+// frameworks converge.
+#include <map>
+
+#include "apps/dgemm.h"
+#include "bench_common.h"
+
+namespace impacc::bench {
+namespace {
+
+struct Breakdown {
+  sim::Time total = 0;
+  sim::Time kernel = 0;  // critical-path kernel time (max over tasks)
+  sim::Time comm = 0;    // everything else
+};
+
+Breakdown dgemm_breakdown(core::Framework fw, long n, int tasks) {
+  static std::map<std::string, Breakdown> cache;
+  const std::string key = std::to_string(static_cast<int>(fw)) + "/" +
+                          std::to_string(n) + "/" + std::to_string(tasks);
+  if (auto it = cache.find(key); it != cache.end()) return it->second;
+  auto o = model_options("psg", 1, fw);
+  limit_devices(o, tasks);
+  apps::DgemmConfig cfg;
+  cfg.n = n;
+  const auto r = apps::run_dgemm(o, cfg);
+  Breakdown b;
+  b.total = r.launch.makespan;
+  for (const auto& s : r.launch.task_stats) {
+    b.kernel = std::max(b.kernel, s.kernel_busy);
+  }
+  b.comm = b.total - b.kernel;
+  if (b.comm < 0) b.comm = 0;
+  cache[key] = b;
+  return b;
+}
+
+void register_benchmarks() {
+  for (long n : {1024L, 2048L, 4096L, 8192L}) {
+    const Breakdown ref =
+        dgemm_breakdown(core::Framework::kMpiOpenacc, n, 1);
+    for (int tasks : {1, 2, 4, 8}) {
+      for (core::Framework fw :
+           {core::Framework::kImpacc, core::Framework::kMpiOpenacc}) {
+        const std::string name = "Fig11/psg/n" + std::to_string(n) + "/" +
+                                 std::to_string(tasks) + "tasks/" +
+                                 core::framework_name(fw);
+        benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
+          for (auto _ : st) {
+            const Breakdown b = dgemm_breakdown(fw, n, tasks);
+            st.SetIterationTime(b.total);
+            st.counters["kernel_frac_of_ref"] = b.kernel / ref.total;
+            st.counters["comm_frac_of_ref"] = b.comm / ref.total;
+            st.counters["total_norm"] = b.total / ref.total;
+          }
+        })->UseManualTime()->Iterations(1);
+      }
+      const Breakdown bi = dgemm_breakdown(core::Framework::kImpacc, n, tasks);
+      const Breakdown bb =
+          dgemm_breakdown(core::Framework::kMpiOpenacc, n, tasks);
+      add_row("Fig11 PSG " + std::to_string(n / 1024) + "K comm-share",
+              std::to_string(tasks) + " tasks", bi.comm / bi.total,
+              bb.comm / bb.total, "fraction of own total");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace impacc::bench
+
+using impacc::bench::register_benchmarks;
+IMPACC_BENCH_MAIN("Figure 11", "DGEMM execution time breakdown (PSG)")

@@ -1,0 +1,92 @@
+// Figure 12: speedup of NAS EP.
+//
+// (a)-(e): classes A..E on PSG, 1..8 tasks. (f): class E on Beacon,
+// 1..128 tasks. (g): a 64x-class-E problem on Titan, 128..8192 nodes.
+// EP has essentially no communication: IMPACC and MPI+OpenACC tie, and
+// large classes scale nearly linearly — exactly the paper's point.
+#include <map>
+
+#include "apps/ep.h"
+#include "bench_common.h"
+
+namespace impacc::bench {
+namespace {
+
+sim::Time ep_time(const std::string& system, int nodes, int devices,
+                  core::Framework fw, int m) {
+  static std::map<std::string, sim::Time> cache;
+  const std::string key = system + "/" + std::to_string(nodes) + "/" +
+                          std::to_string(devices) + "/" +
+                          std::to_string(static_cast<int>(fw)) + "/" +
+                          std::to_string(m);
+  if (auto it = cache.find(key); it != cache.end()) return it->second;
+  auto o = model_options(system, nodes, fw);
+  if (devices > 0) limit_devices(o, devices);
+  apps::EpConfig cfg;
+  cfg.m = m;
+  const sim::Time t = apps::run_ep(o, cfg).launch.makespan;
+  cache[key] = t;
+  return t;
+}
+
+void add_point(const std::string& series, const std::string& system,
+               int nodes, int devices, int m, double ref) {
+  const sim::Time ti =
+      ep_time(system, nodes, devices, core::Framework::kImpacc, m);
+  const sim::Time tb =
+      ep_time(system, nodes, devices, core::Framework::kMpiOpenacc, m);
+  const std::string point = devices > 0
+                                ? std::to_string(devices) + " tasks"
+                                : std::to_string(nodes) + " nodes";
+  add_row(series, point, ref / ti, ref / tb, "speedup");
+  for (core::Framework fw :
+       {core::Framework::kImpacc, core::Framework::kMpiOpenacc}) {
+    const std::string name = "Fig12/" + system + "/m" + std::to_string(m) +
+                             "/" + point + "/" + core::framework_name(fw);
+    benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
+      for (auto _ : st) {
+        const sim::Time t = ep_time(system, nodes, devices, fw, m);
+        st.SetIterationTime(t);
+        st.counters["speedup"] = ref / t;
+      }
+    })->UseManualTime()->Iterations(1);
+  }
+}
+
+void register_benchmarks() {
+  // (a)-(e): PSG, classes A..E.
+  for (char cls : {'A', 'B', 'C', 'D', 'E'}) {
+    const int m = apps::ep_class_m(cls);
+    const double ref =
+        ep_time("psg", 1, 1, core::Framework::kMpiOpenacc, m);
+    for (int tasks : {1, 2, 4, 8}) {
+      add_point(std::string("Fig12 PSG class ") + cls, "psg", 1, tasks, m,
+                ref);
+    }
+  }
+  // (f): Beacon, class E, up to 128 tasks (4 per node).
+  {
+    const int m = apps::ep_class_m('E');
+    const double ref =
+        ep_time("beacon", 1, 1, core::Framework::kMpiOpenacc, m);
+    for (int tasks : {1, 4, 16, 64, 128}) {
+      add_point("Fig12 Beacon class E", "beacon", (tasks + 3) / 4, tasks, m,
+                ref);
+    }
+  }
+  // (g): Titan, 64x class E (m = 46), normalized to 128 tasks.
+  {
+    const int m = apps::ep_class_m('E') + 6;
+    const double ref =
+        ep_time("titan", 128, 0, core::Framework::kMpiOpenacc, m);
+    for (int nodes : {128, 512, 2048, 8192}) {
+      add_point("Fig12 Titan 64xE", "titan", nodes, 0, m, ref);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace impacc::bench
+
+using impacc::bench::register_benchmarks;
+IMPACC_BENCH_MAIN("Figure 12", "EP speedup")

@@ -1,0 +1,96 @@
+// Figure 13: speedup of 2-D Jacobi.
+//
+// (a)-(d): PSG, meshes 1K..8K, 1..8 tasks, normalized to the MPI+OpenACC
+// single-task run. (e): Beacon, 1..128 tasks. (f): Titan, 128..8192 nodes
+// (strong scaling over 128 tasks). IMPACC's direct device-to-device halo
+// exchange wins wherever communication matters; at very large task counts
+// communication dominates for both and scaling saturates.
+#include <map>
+
+#include "apps/jacobi.h"
+#include "bench_common.h"
+
+namespace impacc::bench {
+namespace {
+
+constexpr int kIterations = 10;
+
+sim::Time jacobi_time(const std::string& system, int nodes, int devices,
+                      core::Framework fw, long n) {
+  static std::map<std::string, sim::Time> cache;
+  const std::string key = system + "/" + std::to_string(nodes) + "/" +
+                          std::to_string(devices) + "/" +
+                          std::to_string(static_cast<int>(fw)) + "/" +
+                          std::to_string(n);
+  if (auto it = cache.find(key); it != cache.end()) return it->second;
+  auto o = model_options(system, nodes, fw);
+  if (devices > 0) limit_devices(o, devices);
+  apps::JacobiConfig cfg;
+  cfg.n = n;
+  cfg.iterations = kIterations;
+  const sim::Time t = apps::run_jacobi(o, cfg).launch.makespan;
+  cache[key] = t;
+  return t;
+}
+
+void add_point(const std::string& series, const std::string& system,
+               int nodes, int devices, long n, double ref) {
+  const sim::Time ti =
+      jacobi_time(system, nodes, devices, core::Framework::kImpacc, n);
+  const sim::Time tb =
+      jacobi_time(system, nodes, devices, core::Framework::kMpiOpenacc, n);
+  const std::string point = devices > 0
+                                ? std::to_string(devices) + " tasks"
+                                : std::to_string(nodes) + " nodes";
+  add_row(series, point, ref / ti, ref / tb, "speedup");
+  for (core::Framework fw :
+       {core::Framework::kImpacc, core::Framework::kMpiOpenacc}) {
+    const std::string name = "Fig13/" + system + "/n" + std::to_string(n) +
+                             "/" + point + "/" + core::framework_name(fw);
+    benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& st) {
+      for (auto _ : st) {
+        const sim::Time t = jacobi_time(system, nodes, devices, fw, n);
+        st.SetIterationTime(t);
+        st.counters["speedup"] = ref / t;
+      }
+    })->UseManualTime()->Iterations(1);
+  }
+}
+
+void register_benchmarks() {
+  // (a)-(d): PSG.
+  for (long n : {1024L, 2048L, 4096L, 8192L}) {
+    const double ref =
+        jacobi_time("psg", 1, 1, core::Framework::kMpiOpenacc, n);
+    for (int tasks : {1, 2, 4, 8}) {
+      add_point("Fig13 PSG " + std::to_string(n / 1024) + "Kx" +
+                    std::to_string(n / 1024) + "K",
+                "psg", 1, tasks, n, ref);
+    }
+  }
+  // (e): Beacon, 8K mesh.
+  {
+    const long n = 8192;
+    const double ref =
+        jacobi_time("beacon", 1, 1, core::Framework::kMpiOpenacc, n);
+    for (int tasks : {1, 4, 16, 64, 128}) {
+      add_point("Fig13 Beacon 8Kx8K", "beacon", (tasks + 3) / 4, tasks, n,
+                ref);
+    }
+  }
+  // (f): Titan, strong scaling over 128 tasks, 32K mesh.
+  {
+    const long n = 32768;
+    const double ref =
+        jacobi_time("titan", 128, 0, core::Framework::kMpiOpenacc, n);
+    for (int nodes : {128, 512, 2048, 8192}) {
+      add_point("Fig13 Titan 32Kx32K", "titan", nodes, 0, n, ref);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace impacc::bench
+
+using impacc::bench::register_benchmarks;
+IMPACC_BENCH_MAIN("Figure 13", "Jacobi speedup")

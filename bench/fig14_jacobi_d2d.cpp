@@ -1,0 +1,96 @@
+// Figure 14: device-to-device communication time breakdown for Jacobi in
+// PSG.
+//
+// IMPACC moves each halo with a single direct DtoD PCIe transfer; the
+// baseline pays DtoH + HtoH (IPC) + HtoD. The per-path copy-time stats
+// the runtime keeps reproduce the stacked bars directly.
+#include <map>
+
+#include "apps/jacobi.h"
+#include "bench_common.h"
+#include "dev/copyengine.h"
+
+namespace impacc::bench {
+namespace {
+
+constexpr int kIterations = 10;
+
+core::TaskStats jacobi_stats(core::Framework fw, long n, int tasks) {
+  static std::map<std::string, core::TaskStats> cache;
+  const std::string key = std::to_string(static_cast<int>(fw)) + "/" +
+                          std::to_string(n) + "/" + std::to_string(tasks);
+  if (auto it = cache.find(key); it != cache.end()) return it->second;
+  auto run = [&](int iterations) {
+    auto o = model_options("psg", 1, fw);
+    limit_devices(o, tasks);
+    apps::JacobiConfig cfg;
+    cfg.n = n;
+    cfg.iterations = iterations;
+    return apps::run_jacobi(o, cfg).launch.total;
+  };
+  // Subtract a zero-iteration run so the setup copyins and the final
+  // update_self drop out: what remains is pure halo traffic (the paper's
+  // "communication between the tasks").
+  const core::TaskStats with = run(kIterations);
+  const core::TaskStats setup = run(0);
+  core::TaskStats delta = with;
+  for (std::size_t i = 0; i < delta.copy_time.size(); ++i) {
+    delta.copy_time[i] -= setup.copy_time[i];
+    delta.copy_count[i] -= setup.copy_count[i];
+  }
+  cache[key] = delta;
+  return delta;
+}
+
+double path_time(const core::TaskStats& s, dev::CopyPathKind k) {
+  return s.copy_time[static_cast<std::size_t>(k)];
+}
+
+void register_benchmarks() {
+  for (long n : {2048L, 4096L, 8192L}) {
+    for (int tasks : {2, 4, 8}) {
+      const core::TaskStats im =
+          jacobi_stats(core::Framework::kImpacc, n, tasks);
+      const core::TaskStats base =
+          jacobi_stats(core::Framework::kMpiOpenacc, n, tasks);
+      // IMPACC: one fused DtoD per halo (peer or staged).
+      const double im_d2d = path_time(im, dev::CopyPathKind::kDevToDevPeer) +
+                            path_time(im, dev::CopyPathKind::kDevToDevStaged);
+      // MPI+X: the explicit staging pipeline.
+      const double base_d2h = path_time(base, dev::CopyPathKind::kDevToHost);
+      const double base_h2h = path_time(base, dev::CopyPathKind::kBaselineIpc);
+      const double base_h2d = path_time(base, dev::CopyPathKind::kHostToDev);
+      const double base_total = base_d2h + base_h2h + base_h2d;
+
+      const std::string point =
+          std::to_string(tasks) + "t/" + std::to_string(n / 1024) + "K";
+      add_row("Fig14 PSG DtoD time", point, sim::to_ms(im_d2d),
+              sim::to_ms(base_total), "ms total (IMPACC vs MPI+X pipeline)");
+      add_row("Fig14 MPI+X pipeline", point, sim::to_ms(base_d2h),
+              sim::to_ms(base_h2h + base_h2d),
+              "ms (DtoH | HtoH+HtoD shares)");
+
+      benchmark::RegisterBenchmark(
+          ("Fig14/psg/n" + std::to_string(n) + "/" + std::to_string(tasks) +
+              "tasks").c_str(),
+          [=](benchmark::State& st) {
+            for (auto _ : st) {
+              st.SetIterationTime(im_d2d > 0 ? im_d2d : 1e-9);
+              st.counters["impacc_d2d_ms"] = sim::to_ms(im_d2d);
+              st.counters["mpix_d2h_ms"] = sim::to_ms(base_d2h);
+              st.counters["mpix_h2h_ms"] = sim::to_ms(base_h2h);
+              st.counters["mpix_h2d_ms"] = sim::to_ms(base_h2d);
+              st.counters["ratio"] = im_d2d > 0 ? base_total / im_d2d : 0;
+            }
+          })
+          ->UseManualTime()
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace impacc::bench
+
+using impacc::bench::register_benchmarks;
+IMPACC_BENCH_MAIN("Figure 14", "Jacobi device-to-device communication breakdown")

@@ -1,0 +1,124 @@
+// Figure 15: performance scaling of LULESH (weak scaling).
+//
+// Perfect-cube task counts; each task keeps an s^3 block as the task
+// count grows. PSG: 1 and 8 tasks. Beacon: up to 64 tasks. Titan: up to
+// 1000 nodes by default (the paper reaches 8000; pass --lulesh-big to add
+// 3375, at the cost of several wall-clock minutes on one core). All
+// communication is host-to-host (unmodified LULESH); IMPACC gains come
+// from message fusion and pinning, with a small handler overhead on
+// Beacon (the paper's ~5% regression).
+#include <cstring>
+#include <map>
+
+#include "apps/lulesh/driver.h"
+#include "bench_common.h"
+
+namespace impacc::bench {
+namespace {
+
+constexpr int kIterations = 5;
+bool g_big = false;
+
+sim::Time lulesh_time(const std::string& system, int tasks,
+                      core::Framework fw, long s) {
+  static std::map<std::string, sim::Time> cache;
+  const std::string key = system + "/" + std::to_string(tasks) + "/" +
+                          std::to_string(static_cast<int>(fw)) + "/" +
+                          std::to_string(s);
+  if (auto it = cache.find(key); it != cache.end()) return it->second;
+  // Node count: PSG fits 8 tasks in one node; Beacon packs 4 per node;
+  // Titan runs one per node.
+  int nodes = tasks;
+  if (system == "psg") nodes = 1;
+  if (system == "beacon") nodes = (tasks + 3) / 4;
+  auto o = model_options(system, nodes, fw);
+  if (system == "psg" || system == "beacon") {
+    // Limit devices so exactly `tasks` tasks exist.
+    int remaining = tasks;
+    for (auto& node : o.cluster.nodes) {
+      const int here = std::min<int>(
+          remaining, static_cast<int>(node.devices.size()));
+      node.devices.resize(static_cast<std::size_t>(here));
+      remaining -= here;
+    }
+  }
+  apps::LuleshConfig cfg;
+  cfg.s = s;
+  cfg.iterations = kIterations;
+  const sim::Time t = apps::run_lulesh(o, cfg).launch.makespan;
+  cache[key] = t;
+  return t;
+}
+
+void add_point(const std::string& series, const std::string& system,
+               int tasks, long s, double ref) {
+  const sim::Time ti = lulesh_time(system, tasks, core::Framework::kImpacc, s);
+  const sim::Time tb =
+      lulesh_time(system, tasks, core::Framework::kMpiOpenacc, s);
+  // Weak scaling: report time normalized to the reference (1.0 = perfect).
+  add_row(series, std::to_string(tasks) + " tasks", ti / ref, tb / ref,
+          "normalized time (lower=better)");
+  for (core::Framework fw :
+       {core::Framework::kImpacc, core::Framework::kMpiOpenacc}) {
+    benchmark::RegisterBenchmark(
+        ("Fig15/" + system + "/" + std::to_string(tasks) + "tasks/" +
+            core::framework_name(fw)).c_str(),
+        [=](benchmark::State& st) {
+          for (auto _ : st) {
+            const sim::Time t = lulesh_time(system, tasks, fw, s);
+            st.SetIterationTime(t);
+            st.counters["norm_time"] = t / ref;
+          }
+        })
+        ->UseManualTime()
+        ->Iterations(1);
+  }
+}
+
+void register_benchmarks() {
+  // PSG: problem size 48^3 per task (paper runs large per-task meshes).
+  {
+    const long s = 48;
+    const double ref =
+        lulesh_time("psg", 1, core::Framework::kMpiOpenacc, s);
+    for (int tasks : {1, 8}) add_point("Fig15 PSG s=48", "psg", tasks, s, ref);
+  }
+  // Beacon: 32^3 per task, cubes up to 64.
+  {
+    const long s = 32;
+    const double ref =
+        lulesh_time("beacon", 1, core::Framework::kMpiOpenacc, s);
+    for (int tasks : {1, 8, 27, 64}) {
+      add_point("Fig15 Beacon s=32", "beacon", tasks, s, ref);
+    }
+  }
+  // Titan: 24^3 per task, cubes 125..1000 (paper: 125..8000), normalized
+  // to MPI+OpenACC at 125 tasks.
+  {
+    const long s = 24;
+    const double ref =
+        lulesh_time("titan", 125, core::Framework::kMpiOpenacc, s);
+    std::vector<int> counts = {125, 216, 512, 1000};
+    if (g_big) counts.push_back(3375);
+    for (int tasks : counts) {
+      add_point("Fig15 Titan s=24", "titan", tasks, s, ref);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace impacc::bench
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--lulesh-big") == 0) {
+      impacc::bench::g_big = true;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  impacc::bench::register_benchmarks();
+  benchmark::RunSpecifiedBenchmarks();
+  impacc::bench::print_summary("Figure 15", "LULESH weak scaling");
+  benchmark::Shutdown();
+  return 0;
+}

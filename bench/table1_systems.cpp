@@ -1,0 +1,83 @@
+// Table 1: the target heterogeneous accelerator systems.
+//
+// Prints our encoded system presets in the paper's table layout so the
+// configuration driving every other benchmark is auditable.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "impacc.h"
+
+namespace {
+
+using impacc::sim::ClusterDesc;
+
+std::string device_summary(const ClusterDesc& c) {
+  const auto& devs = c.nodes[0].devices;
+  return std::to_string(devs.size()) + " x " + devs[0].model;
+}
+
+void print_row(const char* label, const std::string& psg,
+               const std::string& beacon, const std::string& titan) {
+  std::printf("%-30s %-28s %-30s %-28s\n", label, psg.c_str(), beacon.c_str(),
+              titan.c_str());
+}
+
+std::string gb(std::uint64_t bytes) {
+  return std::to_string(bytes >> 30) + "GB";
+}
+
+std::string gbps(double bps) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fGB/s eff.", bps / 1e9);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  const ClusterDesc psg = impacc::sim::make_psg();
+  const ClusterDesc beacon = impacc::sim::make_beacon();
+  const ClusterDesc titan = impacc::sim::make_titan();
+
+  std::printf("=== Table 1: The Target Heterogeneous Accelerator Systems "
+              "(simulated presets) ===\n");
+  print_row("System", psg.name, beacon.name, titan.name);
+  print_row("Number of nodes (preset)", std::to_string(psg.num_nodes()),
+            std::to_string(beacon.num_nodes()),
+            std::to_string(titan.num_nodes()));
+  print_row("CPU sockets x cores",
+            std::to_string(psg.nodes[0].sockets) + " x " +
+                std::to_string(psg.nodes[0].cores_per_socket),
+            std::to_string(beacon.nodes[0].sockets) + " x " +
+                std::to_string(beacon.nodes[0].cores_per_socket),
+            std::to_string(titan.nodes[0].sockets) + " x " +
+                std::to_string(titan.nodes[0].cores_per_socket));
+  print_row("Main memory size", gb(psg.nodes[0].host_mem_bytes),
+            gb(beacon.nodes[0].host_mem_bytes),
+            gb(titan.nodes[0].host_mem_bytes));
+  print_row("Accelerators", device_summary(psg), device_summary(beacon),
+            device_summary(titan));
+  print_row("Memory per accelerator", gb(psg.nodes[0].devices[0].mem_bytes),
+            gb(beacon.nodes[0].devices[0].mem_bytes),
+            gb(titan.nodes[0].devices[0].mem_bytes));
+  print_row("PCI Express", gbps(psg.nodes[0].devices[0].pcie.bandwidth),
+            gbps(beacon.nodes[0].devices[0].pcie.bandwidth),
+            gbps(titan.nodes[0].devices[0].pcie.bandwidth));
+  print_row("Interconnection", psg.fabric.name, beacon.fabric.name,
+            titan.fabric.name);
+  print_row("GPUDirect RDMA", psg.fabric.gpudirect_rdma ? "yes" : "no",
+            beacon.fabric.gpudirect_rdma ? "yes" : "no",
+            titan.fabric.gpudirect_rdma ? "yes" : "no");
+  print_row("Accelerator API / backend", "CUDA-like (UVA)",
+            "OpenCL-like (cl_mem)", "CUDA-like (UVA)");
+  print_row("MPI multithreading",
+            psg.mpi_thread_multiple ? "MPI_THREAD_MULTIPLE" : "serialized",
+            beacon.mpi_thread_multiple ? "MPI_THREAD_MULTIPLE" : "serialized",
+            titan.mpi_thread_multiple ? "MPI_THREAD_MULTIPLE" : "serialized");
+  print_row("Device peak DP",
+            std::to_string(psg.nodes[0].devices[0].flops_dp / 1e12) + " TF",
+            std::to_string(beacon.nodes[0].devices[0].flops_dp / 1e12) + " TF",
+            std::to_string(titan.nodes[0].devices[0].flops_dp / 1e12) + " TF");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// The LULESH proxy on a simulated Titan slice: weak-scaled shock
+// hydrodynamics over a 3-D Cartesian topology with 26-neighbour surface
+// exchange, verified against the serial reference.
+#include <cstdio>
+
+#include "apps/lulesh/driver.h"
+#include "impacc.h"
+
+int main() {
+  using namespace impacc;
+
+  apps::LuleshConfig config;
+  config.s = 6;        // 6^3 elements per task
+  config.iterations = 6;
+  config.verify = true;
+
+  for (int nodes : {1, 8, 27}) {
+    core::LaunchOptions options;
+    options.cluster = sim::make_titan(nodes);  // one task per node
+    const apps::LuleshResult r = apps::run_lulesh(options, config);
+    std::printf(
+        "%2d tasks (%dx%dx%d): energy=%.9f dt=%.6f verified=%s "
+        "makespan=%.3f ms\n",
+        r.launch.num_tasks, nodes == 1 ? 1 : (nodes == 8 ? 2 : 3),
+        nodes == 1 ? 1 : (nodes == 8 ? 2 : 3),
+        nodes == 1 ? 1 : (nodes == 8 ? 2 : 3), r.total_energy, r.final_dt,
+        r.verified ? "yes" : "NO", sim::to_ms(r.launch.makespan));
+  }
+  std::printf("\n'verified=yes' means the decomposed run matches the serial "
+              "reference of the same global mesh:\nthe 26-neighbour "
+              "exchange is exact.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: the smallest complete IMPACC program.
+//
+// Launches one MPI task per accelerator of a simulated PSG node, computes
+// on each task's device, exchanges results over a ring with the unified
+// MPI routines (device buffers, no explicit staging), and reduces a
+// checksum. Prints the simulated makespan.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "impacc.h"
+
+int main() {
+  using namespace impacc;
+
+  core::LaunchOptions options;
+  options.cluster = sim::make_psg();  // 1 node, 8 GPUs -> 8 tasks
+
+  const LaunchResult result = launch(options, [] {
+    auto comm = mpi::world();
+    const int rank = mpi::comm_rank(comm);
+    const int size = mpi::comm_size(comm);
+
+    // Host data, mapped and copied to this task's accelerator.
+    constexpr long kN = 1 << 16;
+    std::vector<double> data(kN);
+    acc::copyin(data.data(), kN * sizeof(double));
+    auto* dev = static_cast<double*>(acc::deviceptr(data.data()));
+
+    // A compute region on the device (gang/worker/vector parallelism is
+    // modeled by the roofline estimate).
+    acc::parallel_loop(
+        "init", kN, [dev, rank](long i) { dev[i] = rank + i * 1e-6; },
+        {2.0 * kN, 16.0 * kN});
+
+    // Ring exchange straight from device memory: the runtime detects the
+    // buffer location, fuses the intra-node pair into one DtoD copy.
+    std::vector<double> incoming(kN);
+    acc::copyin(incoming.data(), kN * sizeof(double));
+    const int next = (rank + 1) % size;
+    const int prev = (rank + size - 1) % size;
+    acc::mpi({.recv_device = true});
+    mpi::Request r =
+        mpi::irecv(incoming.data(), kN, mpi::Datatype::kDouble, prev, 0, comm);
+    acc::mpi({.send_device = true});
+    mpi::send(data.data(), kN, mpi::Datatype::kDouble, next, 0, comm);
+    mpi::wait(r);
+
+    // Verify on the host.
+    acc::update_self(incoming.data(), kN * sizeof(double));
+    double local = incoming[100] - prev - 100 * 1e-6;  // ~0
+    double max_err = 0;
+    mpi::allreduce(&local, &max_err, 1, mpi::Datatype::kDouble, mpi::Op::kMax,
+                   comm);
+    if (rank == 0) {
+      std::printf("ring exchange max error: %.3g\n", max_err);
+    }
+    acc::del(data.data());
+    acc::del(incoming.data());
+  });
+
+  std::printf("tasks: %d\n", result.num_tasks);
+  std::printf("simulated makespan: %.3f ms\n",
+              impacc::sim::to_ms(result.makespan));
+  return 0;
+}

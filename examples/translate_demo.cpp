@@ -1,0 +1,36 @@
+// The IMPACC "compiler" surface: translate an MPI+OpenACC source snippet
+// (the paper's Fig. 4 (c) with the #pragma acc mpi extension) into
+// runtime API calls and print the result.
+#include <cstdio>
+
+#include "trans/translator.h"
+
+int main() {
+  const char* source = R"(/* Fig. 4 (c): IMPACC unified activity queue */
+#pragma acc kernels loop copyout(buf0[0:n]) async(1)
+for (i = 0; i < n; i++) { buf0[i] = produce(i); }
+
+#pragma acc mpi sendbuf(device) async(1)
+MPI_Isend(buf0, n, MPI_DOUBLE, another_task, 5, MPI_COMM_WORLD, &req[0]);
+
+#pragma acc mpi recvbuf(device) async(1)
+MPI_Irecv(buf1, n, MPI_DOUBLE, another_task, 5, MPI_COMM_WORLD, &req[1]);
+
+#pragma acc kernels loop copyin(buf1[0:n]) async(1)
+for (i = 0; i < n; i++) { consume(buf1[i]); }
+)";
+
+  std::printf("---- input (MPI+OpenACC with IMPACC directives) ----\n%s\n",
+              source);
+  const auto result = impacc::trans::translate_source(source);
+  if (!result.ok) {
+    for (const auto& e : result.errors) {
+      std::fprintf(stderr, "error: %s\n", e.c_str());
+    }
+    return 1;
+  }
+  std::printf("---- output (%d directives, %d MPI calls translated) ----\n%s\n",
+              result.directives_translated, result.mpi_calls_translated,
+              result.output.c_str());
+  return 0;
+}

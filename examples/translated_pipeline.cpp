@@ -1,0 +1,55 @@
+// End-to-end compiler pipeline demo: `ring_acc_source.c` (MPI+OpenACC
+// with IMPACC directives) is translated by impacc-translate AT BUILD TIME
+// and the generated C++ is compiled straight into this executable — the
+// full source-to-source + runtime path the paper's Figure 1 sketches.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "impacc.h"
+
+namespace {
+
+using namespace impacc;
+
+constexpr long kN = 1 << 12;
+
+bool run_task() {
+  // Declarations the translated body expects (a real compiler would carry
+  // them over from the surrounding C function).
+  const long n = kN;
+  long i = 0;
+  (void)i;
+  mpi::Request req[2];
+  double total = 0.0;
+  auto* data = static_cast<double*>(node_malloc(n * sizeof(double)));
+  auto* incoming = static_cast<double*>(node_malloc(n * sizeof(double)));
+
+#include "ring_translated.inc"
+
+  node_free(data);
+  node_free(incoming);
+
+  // Every task received prev*2+1.5 in each slot; the allreduce saw all of
+  // them.
+  double expect = 0;
+  const int sz = mpi::comm_size(mpi::world());
+  for (int r = 0; r < sz; ++r) expect += n * (r * 2.0 + 1.5);
+  return std::abs(total - expect) < 1e-6;
+}
+
+}  // namespace
+
+int main() {
+  core::LaunchOptions options;
+  options.cluster = sim::make_psg();
+  int failures = 0;
+  const LaunchResult result = launch(options, [&failures] {
+    if (!run_task()) ++failures;  // single worker: no data race
+  });
+  std::printf("translated MPI+OpenACC ring on %d tasks: %s "
+              "(makespan %.3f ms)\n",
+              result.num_tasks, failures == 0 ? "VERIFIED" : "FAILED",
+              sim::to_ms(result.makespan));
+  return failures == 0 ? 0 : 1;
+}

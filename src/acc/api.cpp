@@ -1,0 +1,229 @@
+#include "acc/api.h"
+
+#include "acc/dataenv.h"
+#include "common/log.h"
+#include "core/handler.h"
+#include "dev/copyengine.h"
+#include "sim/costmodel.h"
+#include "core/runtime.h"
+#include "core/task.h"
+
+namespace impacc::acc {
+
+void* copyin(const void* host, std::uint64_t bytes, int async) {
+  core::Task& t = core::require_task("acc::copyin outside a task");
+  return data_copyin(t, host, bytes, async);
+}
+
+void* create(void* host, std::uint64_t bytes) {
+  core::Task& t = core::require_task("acc::create outside a task");
+  return data_create(t, host, bytes);
+}
+
+void copyout(void* host, int async) {
+  core::Task& t = core::require_task("acc::copyout outside a task");
+  data_copyout(t, host, async);
+}
+
+void del(void* host) {
+  core::Task& t = core::require_task("acc::del outside a task");
+  data_delete(t, host);
+}
+
+void update_device(const void* host, std::uint64_t bytes, int async) {
+  core::Task& t = core::require_task("acc::update_device outside a task");
+  data_update(t, host, bytes, /*to_device=*/true, async);
+}
+
+void update_self(void* host, std::uint64_t bytes, int async) {
+  core::Task& t = core::require_task("acc::update_self outside a task");
+  data_update(t, host, bytes, /*to_device=*/false, async);
+}
+
+void* deviceptr(const void* host) {
+  core::Task& t = core::require_task("acc::deviceptr outside a task");
+  return t.present.deviceptr(host);
+}
+
+void* hostptr(const void* dev) {
+  core::Task& t = core::require_task("acc::hostptr outside a task");
+  return t.present.hostptr(dev);
+}
+
+bool is_present(const void* host) {
+  core::Task& t = core::require_task("acc::is_present outside a task");
+  return t.present.find_host(host) != nullptr;
+}
+
+void wait(int async) {
+  core::Task& t = core::require_task("acc::wait outside a task");
+  core::wait_stream(t, async);
+}
+
+void wait_all() {
+  core::Task& t = core::require_task("acc::wait_all outside a task");
+  for (dev::Stream* s : t.device->streams()) {
+    core::wait_stream(t, s->id());
+  }
+}
+
+void* device_malloc(std::uint64_t bytes) {
+  core::Task& t = core::require_task("acc::device_malloc outside a task");
+  return t.device->alloc(bytes).dptr;
+}
+
+void device_free(void* dev) {
+  core::Task& t = core::require_task("acc::device_free outside a task");
+  dev::DeviceBuffer buf;
+  buf.dptr = dev;
+  t.device->free(buf);
+}
+
+namespace {
+
+void raw_device_copy(core::Task& t, void* dst, const void* src,
+                     std::uint64_t bytes, bool to_device, int async,
+                     const char* label) {
+  const sim::Time cost =
+      sim::pcie_copy_time(t.node_desc(), t.device->desc(), bytes, t.near);
+  const auto path = to_device ? dev::CopyPathKind::kHostToDev
+                              : dev::CopyPathKind::kDevToHost;
+  t.stats.copy_time[static_cast<std::size_t>(path)] += cost;
+  t.stats.copy_count[static_cast<std::size_t>(path)] += 1;
+  dev::StreamOp op;
+  op.kind = dev::StreamOp::Kind::kMemcpy;
+  op.label = label;
+  op.dst = dst;
+  op.src = src;
+  op.bytes = bytes;
+  op.functional = t.functional();
+  op.model_cost = cost;
+  if (async == kSync) {
+    core::sync_stream_op(t, kSync, std::move(op));
+  } else {
+    core::submit_stream_op(t, async, std::move(op));
+  }
+}
+
+}  // namespace
+
+void memcpy_to_device(void* dev, const void* host, std::uint64_t bytes,
+                      int async) {
+  core::Task& t = core::require_task("acc::memcpy_to_device outside a task");
+  IMPACC_CHECK_MSG(t.device->owns(dev), "destination is not device memory");
+  raw_device_copy(t, dev, host, bytes, true, async, "memcpy_to_device");
+}
+
+void memcpy_from_device(void* host, const void* dev, std::uint64_t bytes,
+                        int async) {
+  core::Task& t =
+      core::require_task("acc::memcpy_from_device outside a task");
+  IMPACC_CHECK_MSG(t.device->owns(dev), "source is not device memory");
+  raw_device_copy(t, host, dev, bytes, false, async, "memcpy_from_device");
+}
+
+void map_data(void* host, void* dev, std::uint64_t bytes) {
+  core::Task& t = core::require_task("acc::map_data outside a task");
+  IMPACC_CHECK_MSG(t.device->owns(dev), "acc_map_data needs device memory");
+  acc::PresentEntry* e = t.present.insert(host, dev, bytes, 0);
+  e->dynamic_ref = 1;
+}
+
+void unmap_data(void* host) {
+  core::Task& t = core::require_task("acc::unmap_data outside a task");
+  acc::PresentEntry* e = t.present.find_host(host);
+  IMPACC_CHECK_MSG(e != nullptr, "acc_unmap_data: data not mapped");
+  // The application owns the device memory: just drop the mapping.
+  t.present.erase(e);
+}
+
+DataRegion::~DataRegion() {
+  for (auto it = exits_.rbegin(); it != exits_.rend(); ++it) {
+    if (it->copyback) {
+      impacc::acc::copyout(it->host, kSync);  // not the member overload
+    } else {
+      impacc::acc::del(it->host);
+    }
+  }
+}
+
+DataRegion& DataRegion::copy(void* host, std::uint64_t bytes) {
+  acc::copyin(host, bytes);
+  exits_.push_back({host, true});
+  return *this;
+}
+
+DataRegion& DataRegion::copyin(void* host, std::uint64_t bytes) {
+  acc::copyin(host, bytes);
+  exits_.push_back({host, false});
+  return *this;
+}
+
+DataRegion& DataRegion::copyout(void* host, std::uint64_t bytes) {
+  acc::create(host, bytes);
+  exits_.push_back({host, true});
+  return *this;
+}
+
+DataRegion& DataRegion::create(void* host, std::uint64_t bytes) {
+  acc::create(host, bytes);
+  exits_.push_back({host, false});
+  return *this;
+}
+
+void kernel(const char* name, std::function<void()> body,
+            sim::WorkEstimate est, int async) {
+  core::Task& t = core::require_task("acc::kernel outside a task");
+  dev::StreamOp op;
+  op.kind = dev::StreamOp::Kind::kKernel;
+  op.label = name;
+  op.model_cost = t.device->kernel_cost(est);
+  t.stats.kernel_busy += op.model_cost;
+  if (t.functional()) op.body = std::move(body);
+  if (async == kSync) {
+    core::sync_stream_op(t, kSync, std::move(op));
+  } else {
+    core::submit_stream_op(t, async, std::move(op));
+  }
+}
+
+void parallel_loop(const char* name, long n, std::function<void(long)> body,
+                   sim::WorkEstimate est, int async) {
+  kernel(
+      name,
+      [n, body = std::move(body)] {
+        for (long i = 0; i < n; ++i) body(i);
+      },
+      est, async);
+}
+
+void host_callback(std::function<void()> fn, int async) {
+  core::Task& t = core::require_task("acc::host_callback outside a task");
+  dev::StreamOp op;
+  op.kind = dev::StreamOp::Kind::kCallback;
+  op.label = "host callback";
+  op.body = std::move(fn);
+  op.model_cost = 0;
+  core::submit_stream_op(t, async == kSync ? kAsyncNoval : async,
+                         std::move(op));
+}
+
+sim::DeviceKind get_device_type() {
+  core::Task& t = core::require_task("acc::get_device_type outside a task");
+  return t.device->kind();
+}
+
+int get_device_num() {
+  core::Task& t = core::require_task("acc::get_device_num outside a task");
+  return t.device->local_index();
+}
+
+void set_device_num(int num) {
+  core::Task& t = core::require_task("acc::set_device_num outside a task");
+  // The task-device mapping is fixed for the application's lifetime; the
+  // runtime ignores attempts to change it (section 3.2).
+  IMPACC_LOG_DEBUG("task %d: acc_set_device_num(%d) ignored by IMPACC", t.id,
+                   num);
+}
+
+}  // namespace impacc::acc

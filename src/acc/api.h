@@ -1,0 +1,138 @@
+// OpenACC-style runtime API plus the IMPACC directive entry point.
+//
+// Data clauses follow OpenACC reference-counting semantics
+// (present_or_copyin etc.); kernels are expressed as parallel loops with a
+// work estimate that feeds the device roofline model. The async argument
+// names an activity queue on the task's device; kSync blocks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/directives.h"
+#include "sim/costmodel.h"
+#include "sim/topology.h"
+
+namespace impacc::acc {
+
+/// Synchronous execution (no async clause).
+constexpr int kSync = -2;
+/// acc_async_noval: the default async queue.
+constexpr int kAsyncNoval = -1;
+
+// --- Data management (OpenACC data clauses) ---------------------------------
+
+/// enter data copyin: map `host` and copy to device (or bump the refcount
+/// when already present). Returns the device pointer.
+void* copyin(const void* host, std::uint64_t bytes, int async = kSync);
+
+/// enter data create: map without copying.
+void* create(void* host, std::uint64_t bytes);
+
+/// exit data copyout: drop a reference; on the last one, copy back and
+/// unmap.
+void copyout(void* host, int async = kSync);
+
+/// exit data delete: drop a reference without copyback.
+void del(void* host);
+
+/// update device(host[0:bytes]) — bytes 0 means the whole mapping.
+void update_device(const void* host, std::uint64_t bytes = 0,
+                   int async = kSync);
+
+/// update self(host[0:bytes]).
+void update_self(void* host, std::uint64_t bytes = 0, int async = kSync);
+
+void* deviceptr(const void* host);
+void* hostptr(const void* dev);
+bool is_present(const void* host);
+
+/// acc_malloc / acc_free: raw device memory without a host mapping.
+void* device_malloc(std::uint64_t bytes);
+void device_free(void* dev);
+
+/// acc_memcpy_to_device / acc_memcpy_from_device on raw device pointers.
+void memcpy_to_device(void* dev, const void* host, std::uint64_t bytes,
+                      int async = kSync);
+void memcpy_from_device(void* host, const void* dev, std::uint64_t bytes,
+                        int async = kSync);
+
+/// acc_map_data / acc_unmap_data: associate host data with device memory
+/// the application allocated itself (no copies, no refcount).
+void map_data(void* host, void* dev, std::uint64_t bytes);
+void unmap_data(void* host);
+
+/// RAII structured data region (#pragma acc data { ... }): entry actions
+/// run as the clauses are chained, exit actions run in reverse order at
+/// scope end.
+///
+///   acc::DataRegion region;
+///   region.copy(a, na).copyin(b, nb).copyout(c, nc);
+///   ... kernels ...
+///   // leaving scope: copyout(c), del(b), copyout(a)
+class DataRegion {
+ public:
+  DataRegion() = default;
+  ~DataRegion();
+  DataRegion(const DataRegion&) = delete;
+  DataRegion& operator=(const DataRegion&) = delete;
+
+  /// copy(...): copyin on entry, copyout on exit.
+  DataRegion& copy(void* host, std::uint64_t bytes);
+  /// copyin(...): copyin on entry, delete on exit.
+  DataRegion& copyin(void* host, std::uint64_t bytes);
+  /// copyout(...): create on entry, copyout on exit.
+  DataRegion& copyout(void* host, std::uint64_t bytes);
+  /// create(...): create on entry, delete on exit.
+  DataRegion& create(void* host, std::uint64_t bytes);
+
+ private:
+  struct Exit {
+    void* host;
+    bool copyback;
+  };
+  std::vector<Exit> exits_;
+};
+
+// --- Synchronization ---------------------------------------------------------
+
+/// acc wait(queue): block until the activity queue drains.
+void wait(int async);
+/// acc wait: all queues of the task's device.
+void wait_all();
+
+// --- Compute -----------------------------------------------------------------
+
+/// A parallel/kernels loop: body(i) for i in [0, n). `est` is the kernel's
+/// total work (flops + bytes moved) for the roofline cost model. The body
+/// must only dereference device pointers (functional mode executes it on
+/// the simulated device).
+void parallel_loop(const char* name, long n, std::function<void(long)> body,
+                   sim::WorkEstimate est, int async = kSync);
+
+/// A whole compute region with an arbitrary body.
+void kernel(const char* name, std::function<void()> body,
+            sim::WorkEstimate est, int async = kSync);
+
+/// Host-function enqueue (cuStreamAddCallback / clSetEventCallback analog).
+void host_callback(std::function<void()> fn, int async);
+
+// --- Device queries -----------------------------------------------------------
+
+/// acc_get_device_type(): the kind of the task's accelerator. The paper's
+/// recipe for manual load balancing across heterogeneous tasks.
+sim::DeviceKind get_device_type();
+/// acc_get_device_num(): node-local device index.
+int get_device_num();
+/// acc_set_device_num(): the IMPACC runtime fixes the mapping at launch
+/// and ignores this call (section 3.2); it logs a warning.
+void set_device_num(int num);
+
+// --- IMPACC directive ----------------------------------------------------------
+
+/// #pragma acc mpi ... : attach a hint to the next MPI call.
+///   acc::mpi({.send_device = true, .async = 1});
+inline void mpi(const core::MpiHint& hint) { core::set_mpi_hint(hint); }
+
+}  // namespace impacc::acc

@@ -1,0 +1,149 @@
+#include "acc/dataenv.h"
+
+#include "acc/api.h"
+#include "core/handler.h"
+#include "dev/copyengine.h"
+#include "core/runtime.h"
+#include "sim/costmodel.h"
+
+namespace impacc::acc {
+
+namespace {
+
+/// Issue a host<->device transfer on an activity queue (sync or async)
+/// and account it.
+void submit_copy(core::Task& t, void* dst, const void* src,
+                 std::uint64_t bytes, bool to_device, int async,
+                 const char* label) {
+  if (t.device->backend() == sim::BackendKind::kHostShared) return;  // elided
+  const sim::Time cost =
+      sim::pcie_copy_time(t.node_desc(), t.device->desc(), bytes, t.near);
+  const auto path = to_device ? dev::CopyPathKind::kHostToDev
+                              : dev::CopyPathKind::kDevToHost;
+  t.stats.copy_time[static_cast<std::size_t>(path)] += cost;
+  t.stats.copy_count[static_cast<std::size_t>(path)] += 1;
+
+  dev::StreamOp op;
+  op.kind = dev::StreamOp::Kind::kMemcpy;
+  op.label = label;
+  op.dst = dst;
+  op.src = src;
+  op.bytes = bytes;
+  op.functional = t.functional();
+  op.model_cost = cost;
+  if (async == kSync) {
+    core::sync_stream_op(t, kSync, std::move(op));
+  } else {
+    core::submit_stream_op(t, async, std::move(op));
+  }
+}
+
+}  // namespace
+
+void* data_copyin(core::Task& t, const void* host, std::uint64_t bytes,
+                  int async) {
+  IMPACC_CHECK(host != nullptr && bytes > 0);
+  if (PresentEntry* e = t.present.find_host(host)) {
+    // present_or_copyin: already mapped, just add a reference.
+    IMPACC_CHECK_MSG(
+        reinterpret_cast<std::uintptr_t>(host) + bytes <= e->host + e->bytes,
+        "copyin range exceeds existing mapping");
+    ++e->dynamic_ref;
+    return reinterpret_cast<void*>(
+        e->dev + (reinterpret_cast<std::uintptr_t>(host) - e->host));
+  }
+  if (t.device->backend() == sim::BackendKind::kHostShared) {
+    // Integrated accelerator: device memory *is* host memory; the mapping
+    // is the identity and the copy is elided (section 2.4).
+    PresentEntry* e = t.present.insert(host, const_cast<void*>(host), bytes, 0);
+    e->dynamic_ref = 1;
+    return const_cast<void*>(host);
+  }
+  const dev::DeviceBuffer buf = t.device->alloc(bytes);
+  PresentEntry* e = t.present.insert(host, buf.dptr, bytes, buf.handle);
+  e->dynamic_ref = 1;
+  submit_copy(t, buf.dptr, host, bytes, /*to_device=*/true, async, "copyin");
+  return buf.dptr;
+}
+
+void* data_create(core::Task& t, void* host, std::uint64_t bytes) {
+  IMPACC_CHECK(host != nullptr && bytes > 0);
+  if (PresentEntry* e = t.present.find_host(host)) {
+    ++e->dynamic_ref;
+    return reinterpret_cast<void*>(
+        e->dev + (reinterpret_cast<std::uintptr_t>(host) - e->host));
+  }
+  if (t.device->backend() == sim::BackendKind::kHostShared) {
+    PresentEntry* e = t.present.insert(host, host, bytes, 0);
+    e->dynamic_ref = 1;
+    return host;
+  }
+  const dev::DeviceBuffer buf = t.device->alloc(bytes);
+  PresentEntry* e = t.present.insert(host, buf.dptr, bytes, buf.handle);
+  e->dynamic_ref = 1;
+  return buf.dptr;
+}
+
+namespace {
+
+void release_mapping(core::Task& t, PresentEntry* e, bool copyback,
+                     int async) {
+  if (--e->dynamic_ref > 0 || e->structured_ref > 0) return;
+  dev::DeviceBuffer buf;
+  buf.dptr = reinterpret_cast<void*>(e->dev);
+  buf.handle = e->handle;
+  const bool device_backed =
+      t.device->backend() != sim::BackendKind::kHostShared;
+  if (copyback) {
+    submit_copy(t, reinterpret_cast<void*>(e->host),
+                reinterpret_cast<void*>(e->dev), e->bytes,
+                /*to_device=*/false, async, "copyout");
+  }
+  if (device_backed) {
+    if (copyback && async != kSync) {
+      // The device block must outlive the queued copy: free it from the
+      // same activity queue, right after the copy drains.
+      dev::Device* d = t.device;
+      dev::StreamOp op;
+      op.kind = dev::StreamOp::Kind::kCallback;
+      op.label = "free after copyout";
+      op.body = [d, buf] { d->free(buf); };
+      core::submit_stream_op(t, async, std::move(op));
+    } else {
+      t.device->free(buf);
+    }
+  }
+  t.present.erase(e);
+}
+
+}  // namespace
+
+void data_copyout(core::Task& t, void* host, int async) {
+  PresentEntry* e = t.present.find_host(host);
+  IMPACC_CHECK_MSG(e != nullptr, "copyout of non-present data");
+  release_mapping(t, e, /*copyback=*/true, async);
+}
+
+void data_delete(core::Task& t, void* host) {
+  PresentEntry* e = t.present.find_host(host);
+  IMPACC_CHECK_MSG(e != nullptr, "delete of non-present data");
+  release_mapping(t, e, /*copyback=*/false, kSync);
+}
+
+void data_update(core::Task& t, const void* host, std::uint64_t bytes,
+                 bool to_device, int async) {
+  PresentEntry* e = t.present.find_host(host);
+  IMPACC_CHECK_MSG(e != nullptr, "update of non-present data");
+  const std::uintptr_t off = reinterpret_cast<std::uintptr_t>(host) - e->host;
+  if (bytes == 0) bytes = e->bytes - off;
+  IMPACC_CHECK_MSG(off + bytes <= e->bytes, "update range exceeds mapping");
+  void* dev = reinterpret_cast<void*>(e->dev + off);
+  void* h = const_cast<void*>(host);
+  if (to_device) {
+    submit_copy(t, dev, h, bytes, true, async, "update device");
+  } else {
+    submit_copy(t, h, dev, bytes, false, async, "update self");
+  }
+}
+
+}  // namespace impacc::acc

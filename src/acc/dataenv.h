@@ -1,0 +1,31 @@
+// Data-environment operations with OpenACC reference counting.
+//
+// Split from the public API so the logic is testable against a Task
+// directly. All functions must run on the owning task's fiber.
+#pragma once
+
+#include <cstdint>
+
+#include "core/task.h"
+
+namespace impacc::acc {
+
+/// present_or_copyin. Returns the device pointer.
+void* data_copyin(core::Task& t, const void* host, std::uint64_t bytes,
+                  int async);
+
+/// present_or_create.
+void* data_create(core::Task& t, void* host, std::uint64_t bytes);
+
+/// exit-data copyout (copy back + unmap at refcount zero).
+void data_copyout(core::Task& t, void* host, int async);
+
+/// exit-data delete.
+void data_delete(core::Task& t, void* host);
+
+/// update device / update self over [host, host+bytes) (bytes 0 = whole
+/// mapping; host may point inside a mapping).
+void data_update(core::Task& t, const void* host, std::uint64_t bytes,
+                 bool to_device, int async);
+
+}  // namespace impacc::acc

@@ -1,0 +1,279 @@
+#include "acc/present_table.h"
+
+#include <algorithm>
+
+namespace impacc::acc {
+namespace detail {
+
+void AddrAvlTree::update(Node* n) {
+  n->height = 1 + std::max(node_height(n->left), node_height(n->right));
+}
+
+AddrAvlTree::Node* AddrAvlTree::rotate_left(Node* n) {
+  Node* r = n->right;
+  n->right = r->left;
+  r->left = n;
+  update(n);
+  update(r);
+  return r;
+}
+
+AddrAvlTree::Node* AddrAvlTree::rotate_right(Node* n) {
+  Node* l = n->left;
+  n->left = l->right;
+  l->right = n;
+  update(n);
+  update(l);
+  return l;
+}
+
+AddrAvlTree::Node* AddrAvlTree::rebalance(Node* n) {
+  update(n);
+  const int balance = node_height(n->left) - node_height(n->right);
+  if (balance > 1) {
+    if (node_height(n->left->left) < node_height(n->left->right)) {
+      n->left = rotate_left(n->left);
+    }
+    return rotate_right(n);
+  }
+  if (balance < -1) {
+    if (node_height(n->right->right) < node_height(n->right->left)) {
+      n->right = rotate_right(n->right);
+    }
+    return rotate_left(n);
+  }
+  return n;
+}
+
+AddrAvlTree::Node* AddrAvlTree::insert_rec(Node* n, PresentEntry* e) {
+  if (n == nullptr) {
+    ++size_;
+    return new Node{e};
+  }
+  const std::uintptr_t key = key_of_(e);
+  const std::uintptr_t nkey = key_of_(n->entry);
+  IMPACC_CHECK_MSG(key != nkey, "duplicate present-table key");
+  if (key < nkey) {
+    n->left = insert_rec(n->left, e);
+  } else {
+    n->right = insert_rec(n->right, e);
+  }
+  return rebalance(n);
+}
+
+void AddrAvlTree::insert(PresentEntry* e) { root_ = insert_rec(root_, e); }
+
+AddrAvlTree::Node* AddrAvlTree::take_min(Node* n, Node** min_out) {
+  if (n->left == nullptr) {
+    *min_out = n;
+    return n->right;
+  }
+  n->left = take_min(n->left, min_out);
+  return rebalance(n);
+}
+
+AddrAvlTree::Node* AddrAvlTree::erase_rec(Node* n, std::uintptr_t key) {
+  IMPACC_CHECK_MSG(n != nullptr, "erase of absent present-table key");
+  const std::uintptr_t nkey = key_of_(n->entry);
+  if (key < nkey) {
+    n->left = erase_rec(n->left, key);
+  } else if (key > nkey) {
+    n->right = erase_rec(n->right, key);
+  } else {
+    --size_;
+    if (n->left == nullptr || n->right == nullptr) {
+      Node* child = n->left != nullptr ? n->left : n->right;
+      delete n;
+      return child;  // may be nullptr
+    }
+    Node* successor = nullptr;
+    n->right = take_min(n->right, &successor);
+    successor->left = n->left;
+    successor->right = n->right;
+    delete n;
+    n = successor;
+  }
+  return rebalance(n);
+}
+
+void AddrAvlTree::erase(const PresentEntry* e) {
+  root_ = erase_rec(root_, key_of_(e));
+}
+
+PresentEntry* AddrAvlTree::find_containing(std::uintptr_t addr) const {
+  const Node* n = root_;
+  const Node* candidate = nullptr;  // greatest key <= addr
+  while (n != nullptr) {
+    if (key_of_(n->entry) <= addr) {
+      candidate = n;
+      n = n->right;
+    } else {
+      n = n->left;
+    }
+  }
+  if (candidate == nullptr) return nullptr;
+  PresentEntry* e = candidate->entry;
+  const std::uintptr_t start = key_of_(e);
+  return addr < start + e->bytes ? e : nullptr;
+}
+
+PresentEntry* AddrAvlTree::find_first_in(std::uintptr_t lo,
+                                         std::uintptr_t hi) const {
+  const Node* n = root_;
+  const Node* candidate = nullptr;  // smallest key >= lo
+  while (n != nullptr) {
+    if (key_of_(n->entry) >= lo) {
+      candidate = n;
+      n = n->left;
+    } else {
+      n = n->right;
+    }
+  }
+  if (candidate == nullptr) return nullptr;
+  return key_of_(candidate->entry) < hi ? candidate->entry : nullptr;
+}
+
+PresentEntry* AddrAvlTree::find_exact(std::uintptr_t key) const {
+  const Node* n = root_;
+  while (n != nullptr) {
+    const std::uintptr_t nkey = key_of_(n->entry);
+    if (key == nkey) return n->entry;
+    n = key < nkey ? n->left : n->right;
+  }
+  return nullptr;
+}
+
+int AddrAvlTree::height() const { return node_height(root_); }
+
+void AddrAvlTree::clear_rec(Node* n) {
+  if (n == nullptr) return;
+  clear_rec(n->left);
+  clear_rec(n->right);
+  delete n;
+}
+
+void AddrAvlTree::clear() {
+  clear_rec(root_);
+  root_ = nullptr;
+  size_ = 0;
+}
+
+std::vector<std::uintptr_t> AddrAvlTree::keys() const {
+  std::vector<std::uintptr_t> out;
+  out.reserve(size_);
+  // Iterative in-order traversal.
+  std::vector<const Node*> stack;
+  const Node* n = root_;
+  while (n != nullptr || !stack.empty()) {
+    while (n != nullptr) {
+      stack.push_back(n);
+      n = n->left;
+    }
+    n = stack.back();
+    stack.pop_back();
+    out.push_back(key_of_(n->entry));
+    n = n->right;
+  }
+  return out;
+}
+
+bool AddrAvlTree::check_rec(const Node* n, std::uintptr_t* prev,
+                            bool* ok) const {
+  if (n == nullptr || !*ok) return *ok;
+  check_rec(n->left, prev, ok);
+  if (!*ok) return false;
+  const std::uintptr_t key = key_of_(n->entry);
+  if (*prev != 0 && key <= *prev) *ok = false;
+  *prev = key;
+  const int balance = node_height(n->left) - node_height(n->right);
+  if (balance < -1 || balance > 1) *ok = false;
+  if (n->height != 1 + std::max(node_height(n->left), node_height(n->right))) {
+    *ok = false;
+  }
+  check_rec(n->right, prev, ok);
+  return *ok;
+}
+
+bool AddrAvlTree::check_invariants() const {
+  bool ok = true;
+  std::uintptr_t prev = 0;
+  check_rec(root_, &prev, &ok);
+  return ok;
+}
+
+}  // namespace detail
+
+// --- PresentTable ------------------------------------------------------------
+
+namespace {
+std::uintptr_t host_key(const PresentEntry* e) { return e->host; }
+std::uintptr_t dev_key(const PresentEntry* e) { return e->dev; }
+}  // namespace
+
+PresentTable::PresentTable() : by_host_(&host_key), by_dev_(&dev_key) {}
+
+PresentTable::~PresentTable() {
+  for (PresentEntry* e : entries()) delete e;
+}
+
+PresentEntry* PresentTable::insert(const void* host, void* dev,
+                                   std::uint64_t bytes, std::uint64_t handle) {
+  IMPACC_CHECK(bytes > 0);
+  const auto h = reinterpret_cast<std::uintptr_t>(host);
+  const auto d = reinterpret_cast<std::uintptr_t>(dev);
+  // Overlap guard: an existing entry overlaps [x, x+bytes) iff it contains
+  // x or starts inside (x, x+bytes).
+  IMPACC_CHECK_MSG(by_host_.find_containing(h) == nullptr &&
+                       by_host_.find_first_in(h, h + bytes) == nullptr,
+                   "overlapping host mapping in present table");
+  IMPACC_CHECK_MSG(by_dev_.find_containing(d) == nullptr &&
+                       by_dev_.find_first_in(d, d + bytes) == nullptr,
+                   "overlapping device mapping in present table");
+  auto* e = new PresentEntry;
+  e->host = h;
+  e->dev = d;
+  e->bytes = bytes;
+  e->handle = handle;
+  by_host_.insert(e);
+  by_dev_.insert(e);
+  return e;
+}
+
+void PresentTable::erase(PresentEntry* e) {
+  by_host_.erase(e);
+  by_dev_.erase(e);
+  delete e;
+}
+
+PresentEntry* PresentTable::find_host(const void* p) const {
+  return by_host_.find_containing(reinterpret_cast<std::uintptr_t>(p));
+}
+
+PresentEntry* PresentTable::find_dev(const void* p) const {
+  return by_dev_.find_containing(reinterpret_cast<std::uintptr_t>(p));
+}
+
+void* PresentTable::deviceptr(const void* p) const {
+  const PresentEntry* e = find_host(p);
+  if (e == nullptr) return nullptr;
+  const std::uintptr_t off = reinterpret_cast<std::uintptr_t>(p) - e->host;
+  return reinterpret_cast<void*>(e->dev + off);
+}
+
+void* PresentTable::hostptr(const void* p) const {
+  const PresentEntry* e = find_dev(p);
+  if (e == nullptr) return nullptr;
+  const std::uintptr_t off = reinterpret_cast<std::uintptr_t>(p) - e->dev;
+  return reinterpret_cast<void*>(e->host + off);
+}
+
+std::vector<PresentEntry*> PresentTable::entries() const {
+  std::vector<PresentEntry*> out;
+  out.reserve(by_host_.size());
+  for (std::uintptr_t key : by_host_.keys()) {
+    out.push_back(by_host_.find_exact(key));
+  }
+  return out;
+}
+
+}  // namespace impacc::acc

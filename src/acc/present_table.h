@@ -1,0 +1,145 @@
+// OpenACC present table (section 3.4, Fig. 3).
+//
+// Maps host address ranges to device address ranges. Per the paper, each
+// task keeps its own table, and the table is TWO balanced binary trees —
+// one indexed by host address, one by device address — so both
+// acc_deviceptr() (host -> device) and acc_hostptr() (device -> host) are
+// O(log n) worst case. We implement the trees as AVL trees from scratch;
+// entries are non-overlapping address intervals.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+
+namespace impacc::acc {
+
+/// One mapping: [host, host+bytes) <-> [dev, dev+bytes).
+/// For OpenCL-like backends `handle` is the cl_mem-style object id and
+/// `dev` is the reserved mapped range (Fig. 3, Task 1); for CUDA-like
+/// backends `handle` is 0 and `dev` is the UVA pointer (Task 0).
+struct PresentEntry {
+  std::uintptr_t host = 0;
+  std::uintptr_t dev = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t handle = 0;
+  // OpenACC structured/dynamic reference counting: the entry is removed and
+  // device memory freed when both counts drop to zero.
+  int structured_ref = 0;
+  int dynamic_ref = 0;
+
+  int total_ref() const { return structured_ref + dynamic_ref; }
+};
+
+namespace detail {
+
+/// AVL tree over PresentEntry*, keyed by a start address extracted with
+/// KeyOf. Intervals are assumed non-overlapping (enforced by PresentTable).
+class AddrAvlTree {
+ public:
+  using KeyOf = std::uintptr_t (*)(const PresentEntry*);
+
+  explicit AddrAvlTree(KeyOf key_of) : key_of_(key_of) {}
+  ~AddrAvlTree() { clear(); }
+
+  AddrAvlTree(const AddrAvlTree&) = delete;
+  AddrAvlTree& operator=(const AddrAvlTree&) = delete;
+
+  void insert(PresentEntry* e);
+  void erase(const PresentEntry* e);
+
+  /// Entry whose interval [key, key+bytes) contains `addr`, or nullptr.
+  PresentEntry* find_containing(std::uintptr_t addr) const;
+
+  /// Entry with the exact start key.
+  PresentEntry* find_exact(std::uintptr_t key) const;
+
+  /// Entry with the smallest key in [lo, hi), or nullptr. Together with
+  /// find_containing(lo) this gives complete interval-overlap detection.
+  PresentEntry* find_first_in(std::uintptr_t lo, std::uintptr_t hi) const;
+
+  std::size_t size() const { return size_; }
+  int height() const;
+  void clear();
+
+  /// In-order keys (for tests/invariant checks).
+  std::vector<std::uintptr_t> keys() const;
+
+  /// AVL invariant check (tests): every node's balance factor in [-1, 1]
+  /// and keys strictly increasing in-order.
+  bool check_invariants() const;
+
+ private:
+  struct Node {
+    PresentEntry* entry;
+    Node* left = nullptr;
+    Node* right = nullptr;
+    int height = 1;
+  };
+
+  static int node_height(const Node* n) { return n ? n->height : 0; }
+  static void update(Node* n);
+  static Node* rotate_left(Node* n);
+  static Node* rotate_right(Node* n);
+  static Node* rebalance(Node* n);
+  Node* insert_rec(Node* n, PresentEntry* e);
+  Node* erase_rec(Node* n, std::uintptr_t key);
+  static Node* take_min(Node* n, Node** min_out);
+  void clear_rec(Node* n);
+  bool check_rec(const Node* n, std::uintptr_t* prev, bool* ok) const;
+
+  KeyOf key_of_;
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace detail
+
+/// Per-task present table: owns its entries and keeps both index trees in
+/// sync. Not thread-safe by design: a present table belongs to one task
+/// (the paper keeps "a distinct present table for each task to avoid the
+/// access conflict between them").
+class PresentTable {
+ public:
+  PresentTable();
+  ~PresentTable();
+
+  PresentTable(const PresentTable&) = delete;
+  PresentTable& operator=(const PresentTable&) = delete;
+
+  /// Create a mapping. The host and device ranges must not overlap any
+  /// existing entry (checked). Returns the new entry.
+  PresentEntry* insert(const void* host, void* dev, std::uint64_t bytes,
+                       std::uint64_t handle);
+
+  /// Remove and destroy an entry.
+  void erase(PresentEntry* e);
+
+  /// Entry containing host address `p`, or nullptr.
+  PresentEntry* find_host(const void* p) const;
+
+  /// Entry containing device address `p`, or nullptr.
+  PresentEntry* find_dev(const void* p) const;
+
+  /// acc_deviceptr(): device address corresponding to host address `p`
+  /// (honoring the offset within the mapping); nullptr if not present.
+  void* deviceptr(const void* p) const;
+
+  /// acc_hostptr(): inverse of deviceptr().
+  void* hostptr(const void* p) const;
+
+  std::size_t size() const { return by_host_.size(); }
+  const detail::AddrAvlTree& host_tree() const { return by_host_; }
+  const detail::AddrAvlTree& dev_tree() const { return by_dev_; }
+
+  /// All entries (unordered); used at task teardown to release leaks.
+  std::vector<PresentEntry*> entries() const;
+
+ private:
+  detail::AddrAvlTree by_host_;
+  detail::AddrAvlTree by_dev_;
+};
+
+}  // namespace impacc::acc

@@ -1,0 +1,36 @@
+// DGEMM benchmark application (section 4.2, Figs. 10-11).
+//
+// Square double-precision matrix multiply C = A * B. The root task owns
+// the full matrices; it distributes a block of A's rows to each task and
+// broadcasts B, each task multiplies its block on its accelerator, and the
+// root gathers the C blocks. Computation is O(N^3), communication O(N^2).
+//
+// The IMPACC variant exploits:
+//  - node heap aliasing for the read-only inputs (tasks on the root's node
+//    share A and B with zero copies),
+//  - unified MPI routines with device buffers for the result,
+//  - the unified activity queue (no host-side sync points).
+// The baseline variant stages everything through host memory with
+// explicit waits, as the current MPI+OpenACC model requires.
+#pragma once
+
+#include "core/config.h"
+#include "core/launch.h"
+
+namespace impacc::apps {
+
+struct DgemmConfig {
+  long n = 1024;        // matrix dimension (N x N)
+  bool verify = false;  // functional runs: check C against a serial GEMM
+};
+
+struct DgemmResult {
+  LaunchResult launch;
+  bool verified = false;  // true when verify requested and passed
+  double checksum = 0;    // Kahan sum over C (functional runs)
+};
+
+DgemmResult run_dgemm(const core::LaunchOptions& options,
+                      const DgemmConfig& config);
+
+}  // namespace impacc::apps

@@ -1,0 +1,127 @@
+#include "apps/ep.h"
+
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "common/nas_rng.h"
+#include "core/runtime.h"
+#include "core/task.h"
+#include "impacc.h"
+#include "ult/sync.h"
+
+namespace impacc::apps {
+
+namespace {
+
+struct Tallies {
+  double sx = 0;
+  double sy = 0;
+  std::array<std::int64_t, 10> q{};
+};
+
+/// Process `pairs` random pairs starting at pair index `first` of the NAS
+/// stream. This is the kernel body (executes on the simulated device).
+void ep_chunk(std::int64_t first, std::int64_t pairs, Tallies* out) {
+  nas::RandLc rng;
+  rng.skip(static_cast<std::uint64_t>(first) * 2);
+  for (std::int64_t i = 0; i < pairs; ++i) {
+    const double x = 2.0 * rng.next() - 1.0;
+    const double y = 2.0 * rng.next() - 1.0;
+    const double t = x * x + y * y;
+    if (t > 1.0) continue;
+    const double f = std::sqrt(-2.0 * std::log(t) / t);
+    const double gx = x * f;
+    const double gy = y * f;
+    const int bin = static_cast<int>(std::fmax(std::fabs(gx), std::fabs(gy)));
+    if (bin < 10) {
+      out->q[static_cast<std::size_t>(bin)] += 1;
+      out->sx += gx;
+      out->sy += gy;
+    }
+  }
+}
+
+struct Shared {
+  ult::SpinLock lock;
+  EpResult result;
+};
+
+void task_main(const EpConfig& cfg, Shared* shared) {
+  core::Task& t = core::require_task("ep");
+  const bool fn = t.functional();
+  const bool im = t.rt->is_impacc();
+  auto w = mpi::world();
+  const int rank = mpi::comm_rank(w);
+  const int size = mpi::comm_size(w);
+
+  const std::int64_t total = 1ll << cfg.m;
+  const std::int64_t first = chunk_begin(total, size, rank);
+  const std::int64_t pairs = chunk_begin(total, size, rank + 1) - first;
+
+  // ~60 flops per pair (2 LCG steps, acceptance test, log/sqrt for the
+  // accepted ~78.5%); effectively compute-bound.
+  const sim::WorkEstimate est{static_cast<double>(pairs) * 60.0,
+                              static_cast<double>(pairs) * 16.0};
+  Tallies local;
+  const int q = im ? 1 : acc::kSync;
+  acc::kernel(
+      "ep", [first, pairs, &local] { ep_chunk(first, pairs, &local); }, est, q);
+  if (im) acc::wait(1);
+
+  // Final reduction (the only communication EP performs).
+  double sums[2] = {local.sx, local.sy};
+  double gsums[2] = {0, 0};
+  std::int64_t counts[10];
+  std::int64_t gcounts[10] = {0};
+  for (int i = 0; i < 10; ++i) counts[i] = local.q[static_cast<std::size_t>(i)];
+  mpi::allreduce(sums, gsums, 2, mpi::Datatype::kDouble, mpi::Op::kSum, w);
+  mpi::allreduce(counts, gcounts, 10, mpi::Datatype::kLong, mpi::Op::kSum, w);
+
+  if (rank == 0 && fn) {
+    shared->lock.lock();
+    shared->result.sx = gsums[0];
+    shared->result.sy = gsums[1];
+    for (int i = 0; i < 10; ++i) {
+      shared->result.q[static_cast<std::size_t>(i)] = gcounts[i];
+      shared->result.accepted += gcounts[i];
+    }
+    shared->lock.unlock();
+  }
+}
+
+}  // namespace
+
+EpResult run_ep(const core::LaunchOptions& options, const EpConfig& config) {
+  Shared shared;
+  shared.result.launch =
+      launch(options, [&config, &shared] { task_main(config, &shared); });
+  return shared.result;
+}
+
+EpResult ep_reference(int m) {
+  EpResult r;
+  Tallies tall;
+  ep_chunk(0, 1ll << m, &tall);
+  r.sx = tall.sx;
+  r.sy = tall.sy;
+  for (int i = 0; i < 10; ++i) {
+    r.q[static_cast<std::size_t>(i)] = tall.q[static_cast<std::size_t>(i)];
+    r.accepted += tall.q[static_cast<std::size_t>(i)];
+  }
+  return r;
+}
+
+int ep_class_m(char cls) {
+  switch (cls) {
+    case 'S': return 24;
+    case 'W': return 25;
+    case 'A': return 28;
+    case 'B': return 30;
+    case 'C': return 32;
+    case 'D': return 36;
+    case 'E': return 40;
+    default: return 24;
+  }
+}
+
+}  // namespace impacc::apps

@@ -1,0 +1,41 @@
+// NAS EP (Embarrassingly Parallel) benchmark (section 4.2, Fig. 12).
+//
+// Generates pairs of uniform randoms with the NAS linear congruential
+// generator, applies the Marsaglia polar acceptance test, accumulates the
+// Gaussian-deviate sums and the per-annulus counts, and reduces them at
+// the end. No communication except the final reduction; kernel time
+// dominates — the paper uses it to show IMPACC matches MPI+OpenACC when
+// there is nothing to optimize.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/config.h"
+#include "core/launch.h"
+
+namespace impacc::apps {
+
+struct EpConfig {
+  // Problem size: 2^m pairs. NAS classes: S=24, W=25, A=28, B=30, C=32,
+  // D=36, E=40; the paper's Titan run adds a 64x-E class (m=46).
+  int m = 24;
+};
+
+struct EpResult {
+  LaunchResult launch;
+  double sx = 0;                       // sum of X deviates
+  double sy = 0;                       // sum of Y deviates
+  std::array<std::int64_t, 10> q{};    // annulus counts
+  std::int64_t accepted = 0;           // total accepted pairs
+};
+
+EpResult run_ep(const core::LaunchOptions& options, const EpConfig& config);
+
+/// Serial reference (host-only; for verification of small sizes).
+EpResult ep_reference(int m);
+
+/// NAS class letter -> m exponent ('S','W','A'..'E').
+int ep_class_m(char cls);
+
+}  // namespace impacc::apps

@@ -1,0 +1,219 @@
+#include "apps/jacobi.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/checksum.h"
+#include "common/math_utils.h"
+#include "core/runtime.h"
+#include "core/task.h"
+#include "impacc.h"
+#include "ult/sync.h"
+
+namespace impacc::apps {
+
+namespace {
+
+constexpr int kTagUp = 21;    // message travelling toward lower ranks
+constexpr int kTagDown = 22;  // message travelling toward higher ranks
+
+double grid_init(long i, long j) {
+  return static_cast<double>((i * 7 + j * 13) % 11) / 11.0;
+}
+
+/// One serial Jacobi sweep over the full grid (reference).
+void serial_sweep(std::vector<double>& u, std::vector<double>& unew, long n) {
+  for (long i = 1; i < n - 1; ++i) {
+    for (long j = 1; j < n - 1; ++j) {
+      unew[i * n + j] = 0.25 * (u[(i - 1) * n + j] + u[(i + 1) * n + j] +
+                                u[i * n + j - 1] + u[i * n + j + 1]);
+    }
+  }
+  std::swap(u, unew);
+}
+
+struct Shared {
+  ult::SpinLock lock;
+  double checksum = 0;
+  bool verified = false;
+};
+
+void task_main(const JacobiConfig& cfg, Shared* shared) {
+  core::Task& t = core::require_task("jacobi");
+  const bool fn = t.functional();
+  const bool im = t.rt->is_impacc();
+  auto w = mpi::world();
+  const int rank = mpi::comm_rank(w);
+  const int size = mpi::comm_size(w);
+  const long n = cfg.n;
+  const long row0 = chunk_begin(n, size, rank);
+  const long rows = chunk_begin(n, size, rank + 1) - row0;
+  const int up = rank > 0 ? rank - 1 : -1;
+  const int down = rank < size - 1 ? rank + 1 : -1;
+
+  // Local block with one halo row on each side: (rows + 2) x n.
+  const std::uint64_t block_bytes =
+      static_cast<std::uint64_t>(rows + 2) * n * 8;
+  auto* u = static_cast<double*>(node_malloc(block_bytes));
+  auto* unew = static_cast<double*>(node_malloc(block_bytes));
+  if (fn) {
+    for (long li = 0; li < rows + 2; ++li) {
+      const long gi = row0 + li - 1;
+      for (long j = 0; j < n; ++j) {
+        const double v =
+            (gi >= 0 && gi < n) ? grid_init(gi, j) : 0.0;
+        u[li * n + j] = v;
+        unew[li * n + j] = v;
+      }
+    }
+  }
+  acc::copyin(u, block_bytes);
+  acc::copyin(unew, block_bytes);
+
+  const int q = 1;  // unified activity queue
+  const sim::WorkEstimate est{5.0 * static_cast<double>(rows) * n,
+                              static_cast<double>(rows + 2) * n * 8 * 2};
+
+  for (int iter = 0; iter < cfg.iterations; ++iter) {
+    if (im) {
+      // Unified routines straight from device memory; the in-order queue
+      // sequences transfers and the sweep without host synchronization.
+      if (up >= 0) {
+        acc::mpi({.recv_device = true, .async = q});
+        mpi::irecv(u, static_cast<int>(n), mpi::Datatype::kDouble, up,
+                   kTagDown, w);
+        acc::mpi({.send_device = true, .async = q});
+        mpi::isend(u + n, static_cast<int>(n), mpi::Datatype::kDouble, up,
+                   kTagUp, w);
+      }
+      if (down >= 0) {
+        acc::mpi({.recv_device = true, .async = q});
+        mpi::irecv(u + (rows + 1) * n, static_cast<int>(n),
+                   mpi::Datatype::kDouble, down, kTagUp, w);
+        acc::mpi({.send_device = true, .async = q});
+        mpi::isend(u + rows * n, static_cast<int>(n), mpi::Datatype::kDouble,
+                   down, kTagDown, w);
+      }
+    } else {
+      // Baseline: stage halos through host memory with blocking calls.
+      if (up >= 0) acc::update_self(u + n, static_cast<std::uint64_t>(n) * 8);
+      if (down >= 0) {
+        acc::update_self(u + rows * n, static_cast<std::uint64_t>(n) * 8);
+      }
+      if (up >= 0 && down >= 0) {
+        mpi::sendrecv(u + n, static_cast<int>(n), mpi::Datatype::kDouble, up,
+                      kTagUp, u + (rows + 1) * n, static_cast<int>(n),
+                      mpi::Datatype::kDouble, down, kTagUp, w);
+        mpi::sendrecv(u + rows * n, static_cast<int>(n),
+                      mpi::Datatype::kDouble, down, kTagDown, u,
+                      static_cast<int>(n), mpi::Datatype::kDouble, up,
+                      kTagDown, w);
+      } else if (down >= 0) {
+        mpi::sendrecv(u + rows * n, static_cast<int>(n),
+                      mpi::Datatype::kDouble, down, kTagDown,
+                      u + (rows + 1) * n, static_cast<int>(n),
+                      mpi::Datatype::kDouble, down, kTagUp, w);
+      } else if (up >= 0) {
+        mpi::sendrecv(u + n, static_cast<int>(n), mpi::Datatype::kDouble, up,
+                      kTagUp, u, static_cast<int>(n), mpi::Datatype::kDouble,
+                      up, kTagDown, w);
+      }
+      if (up >= 0) acc::update_device(u, static_cast<std::uint64_t>(n) * 8);
+      if (down >= 0) {
+        acc::update_device(u + (rows + 1) * n,
+                           static_cast<std::uint64_t>(n) * 8);
+      }
+    }
+
+    auto* du = static_cast<const double*>(acc::deviceptr(u));
+    auto* dn = static_cast<double*>(acc::deviceptr(unew));
+    acc::kernel(
+        "jacobi-sweep",
+        [du, dn, rows, n, row0] {
+          for (long li = 1; li <= rows; ++li) {
+            const long gi = row0 + li - 1;
+            if (gi == 0 || gi == n - 1) continue;  // fixed boundary
+            for (long j = 1; j < n - 1; ++j) {
+              dn[li * n + j] =
+                  0.25 * (du[(li - 1) * n + j] + du[(li + 1) * n + j] +
+                          du[li * n + j - 1] + du[li * n + j + 1]);
+            }
+          }
+        },
+        est, im ? q : acc::kSync);
+    std::swap(u, unew);
+  }
+  if (im) acc::wait(q);
+
+  // Bring the final block back and drop the mappings.
+  acc::update_self(u + n, static_cast<std::uint64_t>(rows) * n * 8);
+  acc::del(u);
+  acc::del(unew);
+
+  if (fn) {
+    const double local = kahan_sum(u + n, static_cast<std::size_t>(rows) * n);
+    double total = 0;
+    mpi::reduce(&local, &total, 1, mpi::Datatype::kDouble, mpi::Op::kSum, 0,
+                w);
+    if (rank == 0) {
+      shared->lock.lock();
+      shared->checksum = total;
+      shared->lock.unlock();
+    }
+    if (cfg.verify) {
+      // Gather the full grid at the root and compare pointwise.
+      std::vector<double> full(rank == 0 ? static_cast<std::size_t>(n) * n : 0);
+      std::vector<int> counts(static_cast<std::size_t>(size));
+      std::vector<int> displs(static_cast<std::size_t>(size));
+      for (int r = 0; r < size; ++r) {
+        const long r0 = chunk_begin(n, size, r);
+        counts[static_cast<std::size_t>(r)] =
+            static_cast<int>((chunk_begin(n, size, r + 1) - r0) * n);
+        displs[static_cast<std::size_t>(r)] = static_cast<int>(r0 * n);
+      }
+      mpi::gatherv(u + n, static_cast<int>(rows * n), mpi::Datatype::kDouble,
+                   full.data(), counts.data(), displs.data(),
+                   mpi::Datatype::kDouble, 0, w);
+      if (rank == 0) {
+        std::vector<double> ref(static_cast<std::size_t>(n) * n);
+        std::vector<double> scratch(static_cast<std::size_t>(n) * n);
+        for (long i = 0; i < n; ++i) {
+          for (long j = 0; j < n; ++j) {
+            ref[static_cast<std::size_t>(i * n + j)] = grid_init(i, j);
+            scratch[static_cast<std::size_t>(i * n + j)] = grid_init(i, j);
+          }
+        }
+        for (int it = 0; it < cfg.iterations; ++it) {
+          serial_sweep(ref, scratch, n);
+        }
+        bool ok = true;
+        for (std::size_t i = 0; i < ref.size() && ok; ++i) {
+          if (std::abs(ref[i] - full[i]) > 1e-12) ok = false;
+        }
+        shared->lock.lock();
+        shared->verified = ok;
+        shared->lock.unlock();
+      }
+    }
+  }
+
+  mpi::barrier(w);
+  node_free(u);
+  node_free(unew);
+}
+
+}  // namespace
+
+JacobiResult run_jacobi(const core::LaunchOptions& options,
+                        const JacobiConfig& config) {
+  Shared shared;
+  JacobiResult result;
+  result.launch =
+      launch(options, [&config, &shared] { task_main(config, &shared); });
+  result.checksum = shared.checksum;
+  result.verified = shared.verified;
+  return result;
+}
+
+}  // namespace impacc::apps

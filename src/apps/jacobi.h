@@ -1,0 +1,34 @@
+// 2-D Jacobi iteration benchmark (section 4.2, Figs. 13-14).
+//
+// Five-point stencil on an N x N grid, partitioned in one dimension (row
+// blocks). Each iteration every task updates its block on its accelerator
+// and exchanges boundary rows with its two neighbours.
+//
+// The IMPACC variant sends/receives the halo rows directly from device
+// memory (#pragma acc mpi sendbuf(device)/recvbuf(device)); matched
+// intra-node pairs become single direct device-to-device PCIe copies
+// (Fig. 6/14). The baseline stages each halo through host memory:
+// update self -> MPI -> update device.
+#pragma once
+
+#include "core/config.h"
+#include "core/launch.h"
+
+namespace impacc::apps {
+
+struct JacobiConfig {
+  long n = 1024;        // grid dimension (N x N)
+  int iterations = 10;  // Jacobi sweeps
+  bool verify = false;  // functional runs: compare against a serial sweep
+};
+
+struct JacobiResult {
+  LaunchResult launch;
+  bool verified = false;
+  double checksum = 0;  // Kahan sum of the final grid (functional runs)
+};
+
+JacobiResult run_jacobi(const core::LaunchOptions& options,
+                        const JacobiConfig& config);
+
+}  // namespace impacc::apps

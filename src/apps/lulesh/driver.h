@@ -1,0 +1,39 @@
+// LULESH proxy driver (section 4.2, Fig. 15).
+//
+// Weak scaling over perfect-cube task counts: every task owns an s^3
+// element block of a (p*s)^3 mesh in a 3-D Cartesian topology. Each
+// iteration: EOS pass -> pack surface data on the device -> stage to the
+// host -> 26-neighbour exchange (host-to-host, like the unmodified
+// LULESH 2.0.2 the paper runs) -> stage back -> unpack -> 27-point update
+// -> Courant allreduce. The source is identical for IMPACC and the
+// baseline; the performance difference comes entirely from the runtime
+// (message fusion vs IPC staging, NUMA pinning).
+#pragma once
+
+#include "core/config.h"
+#include "core/launch.h"
+
+namespace impacc::apps {
+
+struct LuleshConfig {
+  long s = 16;          // elements per task edge (problem size per task)
+  int iterations = 10;  // hydro cycles
+  bool verify = false;  // functional: compare against the serial reference
+};
+
+struct LuleshResult {
+  LaunchResult launch;
+  double total_energy = 0;  // sum of e over the global mesh (functional)
+  double final_dt = 0;
+  bool verified = false;
+};
+
+LuleshResult run_lulesh(const core::LaunchOptions& options,
+                        const LuleshConfig& config);
+
+/// Serial reference: the same physics on the undecomposed global mesh.
+/// Returns the total energy after `iterations` cycles.
+double lulesh_reference(int tasks_per_side, long s, int iterations,
+                        double* final_dt = nullptr);
+
+}  // namespace impacc::apps

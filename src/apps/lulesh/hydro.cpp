@@ -1,0 +1,60 @@
+#include "apps/lulesh/hydro.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace impacc::apps::lulesh {
+
+namespace {
+long hidx(long x, long y, long z, long hs) { return (x * hs + y) * hs + z; }
+}  // namespace
+
+void eos_kernel(const double* e, const double* v, double* p_halo, long s,
+                double gamma) {
+  const long hs = s + 2;
+  for (long x = 0; x < s; ++x) {
+    for (long y = 0; y < s; ++y) {
+      for (long z = 0; z < s; ++z) {
+        const long i = (x * s + y) * s + z;
+        p_halo[hidx(x + 1, y + 1, z + 1, hs)] = (gamma - 1.0) * e[i] / v[i];
+      }
+    }
+  }
+}
+
+double update_kernel(double* e, double* v, const double* p_halo, long s,
+                     double dt, double gamma) {
+  const long hs = s + 2;
+  double cmax = 0.0;
+  for (long x = 0; x < s; ++x) {
+    for (long y = 0; y < s; ++y) {
+      for (long z = 0; z < s; ++z) {
+        const long i = (x * s + y) * s + z;
+        // 27-point neighbourhood sum in a fixed order: the corner terms
+        // are what make the full 26-neighbour exchange semantically
+        // necessary (LULESH gathers nodal quantities the same way).
+        double sum = 0.0;
+        for (int dx = -1; dx <= 1; ++dx) {
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dz = -1; dz <= 1; ++dz) {
+              sum += p_halo[hidx(x + 1 + dx, y + 1 + dy, z + 1 + dz, hs)];
+            }
+          }
+        }
+        const double p = p_halo[hidx(x + 1, y + 1, z + 1, hs)];
+        const double flux = sum / 27.0 - p;  // relax toward the local mean
+        e[i] += dt * flux;
+        v[i] = std::max(0.1, v[i] + 0.1 * dt * flux);
+        const double pnew = std::max(1e-12, (gamma - 1.0) * e[i] / v[i]);
+        cmax = std::max(cmax, std::sqrt(gamma * pnew / v[i]));
+      }
+    }
+  }
+  return cmax;
+}
+
+double eos_flops(long s) { return 3.0 * static_cast<double>(s) * s * s; }
+
+double update_flops(long s) { return 40.0 * static_cast<double>(s) * s * s; }
+
+}  // namespace impacc::apps::lulesh

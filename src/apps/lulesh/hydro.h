@@ -1,0 +1,37 @@
+// Physics kernels for the LULESH proxy.
+//
+// A reduced staggered-mesh shock-hydro update that preserves LULESH's
+// computational structure: an equation-of-state pass over the elements, a
+// 27-point (corner-coupled) force/gradient pass that requires halo data
+// from all 26 neighbours, a state update, and a Courant timestep
+// reduction. Pure array code — unit-testable without the runtime, and the
+// serial reference for decomposition-independence tests.
+#pragma once
+
+#include <cstdint>
+
+namespace impacc::apps::lulesh {
+
+struct HydroParams {
+  double gamma = 1.4;       // ideal-gas EOS exponent
+  double courant = 0.2;     // Courant factor for the timestep
+  double initial_e = 0.01;  // background internal energy
+  double blast_e = 10.0;    // energy deposited in the origin element
+};
+
+/// EOS: p = (gamma-1) * e / v, written into the interior of the haloed
+/// pressure array (side s+2). e and v are s^3 interior arrays.
+void eos_kernel(const double* e, const double* v, double* p_halo, long s,
+                double gamma);
+
+/// 27-point update: diffuse energy toward the neighbourhood average and
+/// adjust relative volume; returns the local maximum sound speed for the
+/// Courant reduction. Reads the full haloed pressure array.
+double update_kernel(double* e, double* v, const double* p_halo, long s,
+                     double dt, double gamma);
+
+/// Flops/bytes estimates for the roofline model.
+double eos_flops(long s);
+double update_flops(long s);
+
+}  // namespace impacc::apps::lulesh

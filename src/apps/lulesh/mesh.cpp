@@ -1,0 +1,92 @@
+#include "apps/lulesh/mesh.h"
+
+#include "common/types.h"
+
+namespace impacc::apps::lulesh {
+
+const std::array<Direction, 26>& all_directions() {
+  static const std::array<Direction, 26> dirs = [] {
+    std::array<Direction, 26> out{};
+    int k = 0;
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dz = -1; dz <= 1; ++dz) {
+          if (dx == 0 && dy == 0 && dz == 0) continue;
+          out[static_cast<std::size_t>(k++)] = Direction{dx, dy, dz};
+        }
+      }
+    }
+    return out;
+  }();
+  return dirs;
+}
+
+std::array<int, 3> Decomp3D::coords(int rank) const {
+  const int cz = rank % p_;
+  const int cy = (rank / p_) % p_;
+  const int cx = rank / (p_ * p_);
+  return {cx, cy, cz};
+}
+
+int Decomp3D::rank_at(int cx, int cy, int cz) const {
+  if (cx < 0 || cx >= p_ || cy < 0 || cy >= p_ || cz < 0 || cz >= p_) {
+    return -1;
+  }
+  return (cx * p_ + cy) * p_ + cz;
+}
+
+int Decomp3D::neighbor(int rank, const Direction& d) const {
+  const auto c = coords(rank);
+  return rank_at(c[0] + d.dx, c[1] + d.dy, c[2] + d.dz);
+}
+
+namespace {
+
+/// The interior coordinate range along one axis for sends toward `d`:
+/// the single boundary layer when d != 0, the whole interior otherwise.
+std::pair<long, long> send_range(int d, long s) {
+  if (d < 0) return {1, 2};          // low boundary layer
+  if (d > 0) return {s, s + 1};      // high boundary layer
+  return {1, s + 1};                 // full interior
+}
+
+/// The halo coordinate range that receives data arriving FROM direction d.
+std::pair<long, long> recv_range(int d, long s) {
+  if (d < 0) return {0, 1};          // low halo shell
+  if (d > 0) return {s + 1, s + 2};  // high halo shell
+  return {1, s + 1};
+}
+
+}  // namespace
+
+std::vector<long> Decomp3D::pack_indices(const Direction& d) const {
+  std::vector<long> out;
+  out.reserve(static_cast<std::size_t>(d.cells(s_)));
+  const auto [x0, x1] = send_range(d.dx, s_);
+  const auto [y0, y1] = send_range(d.dy, s_);
+  const auto [z0, z1] = send_range(d.dz, s_);
+  for (long x = x0; x < x1; ++x) {
+    for (long y = y0; y < y1; ++y) {
+      for (long z = z0; z < z1; ++z) out.push_back(hindex(x, y, z));
+    }
+  }
+  IMPACC_CHECK(static_cast<long>(out.size()) == d.cells(s_));
+  return out;
+}
+
+std::vector<long> Decomp3D::unpack_indices(const Direction& d) const {
+  std::vector<long> out;
+  out.reserve(static_cast<std::size_t>(d.cells(s_)));
+  const auto [x0, x1] = recv_range(d.dx, s_);
+  const auto [y0, y1] = recv_range(d.dy, s_);
+  const auto [z0, z1] = recv_range(d.dz, s_);
+  for (long x = x0; x < x1; ++x) {
+    for (long y = y0; y < y1; ++y) {
+      for (long z = z0; z < z1; ++z) out.push_back(hindex(x, y, z));
+    }
+  }
+  IMPACC_CHECK(static_cast<long>(out.size()) == d.cells(s_));
+  return out;
+}
+
+}  // namespace impacc::apps::lulesh

@@ -1,0 +1,90 @@
+// 3-D domain decomposition and halo packing for the LULESH proxy
+// (section 4.2, Fig. 15).
+//
+// LULESH decomposes a cubic mesh over a perfect-cube number of tasks in a
+// 3-D Cartesian topology and exchanges surface data with up to 26 nearest
+// neighbours (6 faces, 12 edges, 8 corners). This header holds the
+// decomposition arithmetic and the halo pack/unpack index logic, kept free
+// of any runtime dependency so it is unit-testable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace impacc::apps::lulesh {
+
+/// One of the 26 neighbour directions: each component in {-1, 0, +1},
+/// not all zero.
+struct Direction {
+  int dx = 0;
+  int dy = 0;
+  int dz = 0;
+
+  /// Cells exchanged in this direction for a local edge length `s`:
+  /// s^2 for faces, s for edges, 1 for corners.
+  long cells(long s) const {
+    long c = 1;
+    c *= dx == 0 ? s : 1;
+    c *= dy == 0 ? s : 1;
+    c *= dz == 0 ? s : 1;
+    return c;
+  }
+
+  Direction opposite() const { return {-dx, -dy, -dz}; }
+
+  /// Stable index in [0, 26) used as the message tag. The center (0,0,0)
+  /// is not a direction and is skipped in the numbering.
+  int index() const {
+    const int code = (dx + 1) * 9 + (dy + 1) * 3 + (dz + 1);
+    return code > 13 ? code - 1 : code;
+  }
+};
+
+/// All 26 directions in a fixed, index()-consistent order.
+const std::array<Direction, 26>& all_directions();
+
+/// Decomposition of a (p*s)^3 element mesh over p^3 tasks.
+class Decomp3D {
+ public:
+  Decomp3D(int p, long s) : p_(p), s_(s) {}
+
+  int tasks_per_side() const { return p_; }
+  long local_side() const { return s_; }
+  long global_side() const { return p_ * s_; }
+
+  /// Task coordinates of rank r (row-major, matching CartComm).
+  std::array<int, 3> coords(int rank) const;
+
+  /// Rank at coordinates, or -1 outside the task grid.
+  int rank_at(int cx, int cy, int cz) const;
+
+  /// Neighbour rank of `rank` in direction d, or -1 at the domain edge.
+  int neighbor(int rank, const Direction& d) const;
+
+  // --- halo array indexing ---------------------------------------------------
+  // The haloed local array has side s+2; interior cells are 1..s.
+
+  long halo_side() const { return s_ + 2; }
+  long halo_volume() const { return halo_side() * halo_side() * halo_side(); }
+  long interior_volume() const { return s_ * s_ * s_; }
+
+  long hindex(long x, long y, long z) const {
+    const long hs = halo_side();
+    return (x * hs + y) * hs + z;
+  }
+
+  /// Flat indices (into the haloed array) of the interior cells that must
+  /// be SENT toward direction d, in a fixed deterministic order.
+  std::vector<long> pack_indices(const Direction& d) const;
+
+  /// Flat indices of the halo cells that RECEIVE data arriving from
+  /// direction d (i.e. sent by the neighbour at d toward us).
+  std::vector<long> unpack_indices(const Direction& d) const;
+
+ private:
+  int p_;
+  long s_;
+};
+
+}  // namespace impacc::apps::lulesh

@@ -1,0 +1,36 @@
+// 2-D heat stencil with a two-dimensional task decomposition (extension).
+//
+// The paper's Jacobi partitions in one dimension, so every halo is a
+// contiguous row. A 2-D decomposition also exchanges COLUMNS, the classic
+// use case for MPI derived datatypes: the column halo is sent and
+// received as one type_vector (count = local rows, stride = the row
+// pitch) instead of hand-packed buffers. Host-staged halos
+// (update self -> MPI -> update device) like LULESH.
+#pragma once
+
+#include "core/config.h"
+#include "core/launch.h"
+
+namespace impacc::apps {
+
+struct Stencil2dConfig {
+  long n = 256;         // global grid dimension (N x N)
+  int iterations = 8;
+  bool verify = false;  // compare against serial sweeps
+};
+
+struct Stencil2dResult {
+  LaunchResult launch;
+  bool verified = false;
+  double checksum = 0;
+  int px = 0;  // task grid actually used
+  int py = 0;
+};
+
+Stencil2dResult run_stencil2d(const core::LaunchOptions& options,
+                              const Stencil2dConfig& config);
+
+/// Near-square factorization of `tasks` into {px, py}, px >= py.
+std::pair<int, int> stencil2d_grid(int tasks);
+
+}  // namespace impacc::apps

@@ -1,0 +1,36 @@
+// Checksums used by tests and the benchmark harness to validate that the
+// IMPACC and baseline code paths produce identical numerical results.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace impacc {
+
+/// FNV-1a over raw bytes. Order-sensitive; used for exact-equality checks.
+inline std::uint64_t fnv1a(const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Checksum of a double array that is stable across reordering of
+/// independent contributions within a tolerance: a simple Kahan sum.
+inline double kahan_sum(const double* v, std::size_t n) {
+  double sum = 0.0;
+  double c = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double y = v[i] - c;
+    const double t = sum + y;
+    c = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+}  // namespace impacc

@@ -1,0 +1,66 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace impacc::log {
+namespace {
+
+std::atomic<int> g_level{-1};
+std::mutex g_mutex;
+
+Level level_from_env() {
+  const char* env = std::getenv("IMPACC_LOG_LEVEL");
+  if (env == nullptr) return Level::kWarn;
+  if (std::strcmp(env, "error") == 0) return Level::kError;
+  if (std::strcmp(env, "warn") == 0) return Level::kWarn;
+  if (std::strcmp(env, "info") == 0) return Level::kInfo;
+  if (std::strcmp(env, "debug") == 0) return Level::kDebug;
+  return Level::kWarn;
+}
+
+const char* level_tag(Level lv) {
+  switch (lv) {
+    case Level::kError: return "E";
+    case Level::kWarn: return "W";
+    case Level::kInfo: return "I";
+    case Level::kDebug: return "D";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Level level() {
+  int lv = g_level.load(std::memory_order_relaxed);
+  if (lv < 0) {
+    lv = static_cast<int>(level_from_env());
+    g_level.store(lv, std::memory_order_relaxed);
+  }
+  return static_cast<Level>(lv);
+}
+
+void set_level(Level lv) {
+  g_level.store(static_cast<int>(lv), std::memory_order_relaxed);
+}
+
+void vlogf(Level lv, const char* fmt, std::va_list ap) {
+  if (static_cast<int>(lv) > static_cast<int>(level())) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[impacc %s] ", level_tag(lv));
+  std::vfprintf(stderr, fmt, ap);
+  std::fputc('\n', stderr);
+}
+
+void logf(Level lv, const char* fmt, ...) {
+  if (static_cast<int>(lv) > static_cast<int>(level())) return;
+  std::va_list ap;
+  va_start(ap, fmt);
+  vlogf(lv, fmt, ap);
+  va_end(ap);
+}
+
+}  // namespace impacc::log

@@ -1,0 +1,23 @@
+// Minimal leveled logger. Controlled by IMPACC_LOG_LEVEL (error|warn|info|debug).
+#pragma once
+
+#include <cstdarg>
+
+namespace impacc::log {
+
+enum class Level : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Current level; messages above it are suppressed. Read once from the
+/// environment at first use.
+Level level();
+void set_level(Level lv);
+
+void vlogf(Level lv, const char* fmt, std::va_list ap);
+void logf(Level lv, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+#define IMPACC_LOG_ERROR(...) ::impacc::log::logf(::impacc::log::Level::kError, __VA_ARGS__)
+#define IMPACC_LOG_WARN(...) ::impacc::log::logf(::impacc::log::Level::kWarn, __VA_ARGS__)
+#define IMPACC_LOG_INFO(...) ::impacc::log::logf(::impacc::log::Level::kInfo, __VA_ARGS__)
+#define IMPACC_LOG_DEBUG(...) ::impacc::log::logf(::impacc::log::Level::kDebug, __VA_ARGS__)
+
+}  // namespace impacc::log

@@ -1,0 +1,51 @@
+// Small integer/math helpers shared across modules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace impacc {
+
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+constexpr std::uint64_t round_up(std::uint64_t v, std::uint64_t align) {
+  return (v + align - 1) / align * align;
+}
+
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+constexpr std::uint64_t next_pow2(std::uint64_t v) {
+  if (v <= 1) return 1;
+  --v;
+  v |= v >> 1;
+  v |= v >> 2;
+  v |= v >> 4;
+  v |= v >> 8;
+  v |= v >> 16;
+  v |= v >> 32;
+  return v + 1;
+}
+
+/// Integer cube root for perfect cubes (LULESH task counts are x^3).
+constexpr int icbrt(std::int64_t n) {
+  int r = 0;
+  while (static_cast<std::int64_t>(r + 1) * (r + 1) * (r + 1) <= n) ++r;
+  return r;
+}
+
+constexpr bool is_perfect_cube(std::int64_t n) {
+  const int r = icbrt(n);
+  return static_cast<std::int64_t>(r) * r * r == n;
+}
+
+/// Splits [0, total) into `parts` nearly equal chunks; returns the begin
+/// index of chunk `idx`. Chunk `idx` is [begin(idx), begin(idx+1)).
+constexpr std::int64_t chunk_begin(std::int64_t total, int parts, int idx) {
+  const std::int64_t base = total / parts;
+  const std::int64_t rem = total % parts;
+  return base * idx + (idx < rem ? idx : rem);
+}
+
+}  // namespace impacc

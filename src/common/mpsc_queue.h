@@ -1,0 +1,88 @@
+// In-order, lock-free multi-producer single-consumer queue.
+//
+// The paper (section 3.7) requires "two in-order and lock-free
+// multi-producer (task threads) single-consumer (message handler thread)
+// queues". This is the classic Vyukov intrusive MPSC queue: producers link
+// nodes with one atomic exchange; the consumer walks the list. Per-producer
+// FIFO ordering is preserved, which is what MPI message-ordering semantics
+// need.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace impacc {
+
+/// Base class for nodes that can be put on an MpscQueue.
+struct MpscNode {
+  std::atomic<MpscNode*> next{nullptr};
+};
+
+/// Intrusive MPSC queue. The queue never owns nodes.
+///
+/// push() is wait-free for producers. pop() is lock-free for the single
+/// consumer; it may momentarily observe an in-flight push (next pointer not
+/// yet linked) and return nullptr, in which case the element will be
+/// visible on a later pop — consumers must treat nullptr as "possibly more
+/// later", and use empty() only as a hint.
+class MpscQueue {
+ public:
+  MpscQueue() : head_(&stub_), tail_(&stub_) {
+    stub_.next.store(nullptr, std::memory_order_relaxed);
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Enqueue a node. Callable from any thread/fiber.
+  void push(MpscNode* node) {
+    node->next.store(nullptr, std::memory_order_relaxed);
+    MpscNode* prev = head_.exchange(node, std::memory_order_acq_rel);
+    // A preempted producer here leaves the queue momentarily disconnected;
+    // pop() handles that window by returning nullptr.
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  /// Dequeue one node, or nullptr if (apparently) empty. Single consumer.
+  MpscNode* pop() {
+    MpscNode* tail = tail_;
+    MpscNode* next = tail->next.load(std::memory_order_acquire);
+    if (tail == &stub_) {
+      if (next == nullptr) return nullptr;  // empty (or in-flight push)
+      tail_ = next;
+      tail = next;
+      next = next->next.load(std::memory_order_acquire);
+    }
+    if (next != nullptr) {
+      tail_ = next;
+      return tail;
+    }
+    MpscNode* head = head_.load(std::memory_order_acquire);
+    if (tail != head) return nullptr;  // producer mid-push; retry later
+    // Re-insert the stub so the consumer can take the last element.
+    stub_.next.store(nullptr, std::memory_order_relaxed);
+    MpscNode* prev = head_.exchange(&stub_, std::memory_order_acq_rel);
+    prev->next.store(&stub_, std::memory_order_release);
+    next = tail->next.load(std::memory_order_acquire);
+    if (next != nullptr) {
+      tail_ = next;
+      return tail;
+    }
+    return nullptr;
+  }
+
+  /// Hint: true when nothing is observably queued.
+  bool empty_hint() const {
+    return head_.load(std::memory_order_acquire) == tail_ &&
+           tail_ == const_cast<MpscNode*>(&stub_);
+  }
+
+ private:
+  std::atomic<MpscNode*> head_;  // producers push here
+  MpscNode* tail_;               // consumer pops here
+  MpscNode stub_;
+};
+
+}  // namespace impacc

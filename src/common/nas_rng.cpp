@@ -1,0 +1,22 @@
+#include "common/nas_rng.h"
+
+namespace impacc::nas {
+
+std::uint64_t RandLc::mulmod(std::uint64_t a, std::uint64_t b) {
+  const unsigned __int128 p =
+      static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
+  return static_cast<std::uint64_t>(p & (kMod - 1));
+}
+
+std::uint64_t RandLc::powmod(std::uint64_t a, std::uint64_t k) {
+  std::uint64_t result = 1;
+  std::uint64_t base = a & (kMod - 1);
+  while (k != 0) {
+    if (k & 1) result = mulmod(result, base);
+    base = mulmod(base, base);
+    k >>= 1;
+  }
+  return result;
+}
+
+}  // namespace impacc::nas

@@ -1,0 +1,56 @@
+// NAS parallel benchmarks pseudo-random number generator.
+//
+// EP (section 4.2 of the paper, Fig. 12) is the NAS EP kernel, which is
+// defined in terms of this exact linear congruential generator:
+//   x_{k+1} = a * x_k  (mod 2^46),  a = 5^13, seed = 271828183.
+// Reproducing EP's per-class Gaussian-pair counts requires the real
+// generator, including the O(log k) "skip ahead" used to give each task an
+// independent stream slice.
+#pragma once
+
+#include <cstdint>
+
+namespace impacc::nas {
+
+inline constexpr double kR23 = 1.0 / (1 << 23) / (1 << 0) / 8388608.0 * 8388608.0;
+
+/// NAS LCG state and operations on 46-bit integers carried in doubles,
+/// matching the reference randlc()/vranlc() implementation semantics but
+/// using 64-bit integer arithmetic for exactness.
+class RandLc {
+ public:
+  static constexpr std::uint64_t kMod = 1ull << 46;
+  static constexpr std::uint64_t kA = 1220703125ull;  // 5^13
+  static constexpr std::uint64_t kDefaultSeed = 271828183ull;
+
+  explicit RandLc(std::uint64_t seed = kDefaultSeed) : x_(seed % kMod) {}
+
+  /// Advance one step and return a uniform double in (0, 1).
+  double next() {
+    x_ = mulmod(kA, x_);
+    return static_cast<double>(x_) * inv_mod();
+  }
+
+  /// Skip the stream ahead by `k` steps (O(log k)).
+  void skip(std::uint64_t k) {
+    const std::uint64_t ak = powmod(kA, k);
+    x_ = mulmod(ak, x_);
+  }
+
+  std::uint64_t state() const { return x_; }
+
+  /// a^k mod 2^46.
+  static std::uint64_t powmod(std::uint64_t a, std::uint64_t k);
+
+  /// a*b mod 2^46 (exact; uses 128-bit product).
+  static std::uint64_t mulmod(std::uint64_t a, std::uint64_t b);
+
+ private:
+  static constexpr double inv_mod() {
+    return 1.0 / static_cast<double>(kMod);
+  }
+
+  std::uint64_t x_;
+};
+
+}  // namespace impacc::nas

@@ -1,0 +1,103 @@
+// Basic shared types and error handling for the IMPACC runtime.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace impacc {
+
+/// Error codes used across the runtime. Mirrors the small set of failures
+/// the paper's runtime can surface (invalid arguments, resource exhaustion,
+/// protocol misuse of the directive extension).
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfMemory,
+  kUnsupported,
+  kFailedPrecondition,
+  kInternal,
+};
+
+const char* status_code_name(StatusCode code);
+
+/// Lightweight status object. Success is cheap (no allocation).
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+  static Status invalid_argument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status not_found(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status already_exists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status out_of_memory(std::string m) {
+    return Status(StatusCode::kOutOfMemory, std::move(m));
+  }
+  static Status unsupported(std::string m) {
+    return Status(StatusCode::kUnsupported, std::move(m));
+  }
+  static Status failed_precondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kOutOfMemory: return "OUT_OF_MEMORY";
+    case StatusCode::kUnsupported: return "UNSUPPORTED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+inline std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  return std::string(status_code_name(code_)) + ": " + message_;
+}
+
+/// Aborts with a message. Used for programming errors that must never
+/// happen in a correct runtime (the HPC equivalent of Expects/Ensures).
+[[noreturn]] inline void fatal(const char* file, int line, const char* what) {
+  std::fprintf(stderr, "impacc fatal: %s:%d: %s\n", file, line, what);
+  std::abort();
+}
+
+#define IMPACC_CHECK(cond)                                          \
+  do {                                                              \
+    if (!(cond)) ::impacc::fatal(__FILE__, __LINE__, #cond);        \
+  } while (0)
+
+#define IMPACC_CHECK_MSG(cond, msg)                                 \
+  do {                                                              \
+    if (!(cond)) ::impacc::fatal(__FILE__, __LINE__, msg);          \
+  } while (0)
+
+}  // namespace impacc

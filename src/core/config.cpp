@@ -1,0 +1,49 @@
+#include "core/config.h"
+
+namespace impacc::core {
+
+const char* framework_name(Framework f) {
+  switch (f) {
+    case Framework::kImpacc: return "IMPACC";
+    case Framework::kMpiOpenacc: return "MPI+OpenACC";
+  }
+  return "?";
+}
+
+unsigned parse_device_type_mask(const std::string& spec) {
+  unsigned mask = 0;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t bar = spec.find('|', pos);
+    if (bar == std::string::npos) bar = spec.size();
+    const std::string tok = spec.substr(pos, bar - pos);
+    if (tok == "nvidia" || tok == "acc_device_nvidia") {
+      mask |= kAccDeviceNvidia;
+    } else if (tok == "xeonphi" || tok == "acc_device_xeonphi") {
+      mask |= kAccDeviceXeonPhi;
+    } else if (tok == "cpu" || tok == "acc_device_cpu") {
+      mask |= kAccDeviceCpu;
+    } else if (tok == "default" || tok == "acc_device_default" ||
+               tok.empty()) {
+      // default contributes no bits; an all-zero mask means default
+    }
+    pos = bar + 1;
+  }
+  return mask;
+}
+
+TaskStats& TaskStats::operator+=(const TaskStats& o) {
+  kernel_busy += o.kernel_busy;
+  for (std::size_t i = 0; i < copy_time.size(); ++i) {
+    copy_time[i] += o.copy_time[i];
+    copy_count[i] += o.copy_count[i];
+  }
+  mpi_wait += o.mpi_wait;
+  msgs_sent += o.msgs_sent;
+  msgs_recv += o.msgs_recv;
+  bytes_sent += o.bytes_sent;
+  heap_aliases += o.heap_aliases;
+  return *this;
+}
+
+}  // namespace impacc::core

@@ -1,0 +1,82 @@
+// Launch configuration, feature toggles, and per-task statistics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+#include "sim/topology.h"
+
+namespace impacc::core {
+
+/// Which runtime model executes the application.
+enum class Framework : int {
+  kImpacc = 0,      // this paper: threaded tasks, fusion, aliasing, ...
+  kMpiOpenacc = 1,  // baseline: process-per-task MPI + plain OpenACC
+};
+
+const char* framework_name(Framework f);
+
+/// Whether kernels/copies actually move data (tests, examples) or only
+/// advance virtual time (large benchmark points).
+enum class ExecMode : int { kFunctional = 0, kModelOnly = 1 };
+
+/// Ablation toggles for IMPACC's design choices (DESIGN.md section 6).
+/// All default to the full IMPACC configuration.
+struct Features {
+  bool message_fusion = true;    // fuse matched intra-node pairs (Fig. 6)
+  bool peer_dtod = true;         // GPUDirect-style direct DtoD copies
+  bool heap_aliasing = true;     // node heap aliasing (section 3.8)
+  bool unified_queue = true;     // MPI ops on activity queues (section 3.6)
+  bool numa_pinning = true;      // near-socket task pinning (section 3.3)
+  bool gpudirect_rdma = true;    // use fabric RDMA when available
+};
+
+/// OpenACC device-type selection bits (IMPACC_ACC_DEVICE_TYPE, Fig. 2).
+enum DeviceTypeMask : unsigned {
+  kAccDeviceNvidia = 1u << 0,
+  kAccDeviceXeonPhi = 1u << 1,
+  kAccDeviceCpu = 1u << 2,
+  // acc_device_default: every discrete accelerator; nodes without any get
+  // one CPU-cores accelerator so they still host a task (Fig. 2 (a)).
+  kAccDeviceDefault = 0u,
+};
+
+/// Parse "nvidia|xeonphi|cpu|default" (| separated) into a mask.
+unsigned parse_device_type_mask(const std::string& spec);
+
+/// Everything launch() needs to stand up a run.
+struct LaunchOptions {
+  sim::ClusterDesc cluster;
+  Framework framework = Framework::kImpacc;
+  ExecMode mode = ExecMode::kFunctional;
+  Features features;
+  // Device-type selection; kAccDeviceDefault defers to the
+  // IMPACC_ACC_DEVICE_TYPE environment variable, then to the default rule.
+  unsigned device_type_mask = kAccDeviceDefault;
+  int scheduler_workers = 0;  // 0 = auto
+  // Node heap capacity (functional mode caps the backing mapping).
+  std::uint64_t node_heap_bytes = 512ull << 20;
+  // Write a Chrome-trace JSON of the virtual-time execution here (also
+  // enabled by the IMPACC_TRACE environment variable). Empty = disabled
+  // unless the env var is set.
+  std::string trace_path;
+};
+
+/// Per-task time accounting, used by the breakdown figures (11, 14).
+struct TaskStats {
+  sim::Time kernel_busy = 0;  // sum of kernel costs on the task's device
+  // Copy time by path; indexed by dev::CopyPathKind's integer value.
+  std::array<sim::Time, 6> copy_time{};
+  std::array<std::uint64_t, 6> copy_count{};
+  sim::Time mpi_wait = 0;       // host time blocked in MPI completion
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_recv = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t heap_aliases = 0;  // successful node-heap-alias matches
+
+  TaskStats& operator+=(const TaskStats& o);
+};
+
+}  // namespace impacc::core

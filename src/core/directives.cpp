@@ -1,0 +1,26 @@
+#include "core/directives.h"
+
+#include "common/types.h"
+#include "core/task.h"
+
+namespace impacc::core {
+
+// Directive validation lives here so both the acc API and the translator
+// share one rule set.
+namespace {
+[[maybe_unused]] bool hint_well_formed(const MpiHint& h) {
+  // recvbuf(device) and recvbuf(readonly)-with-aliasing are mutually
+  // exclusive: aliasing requires host-heap buffers (section 3.8, req. 2).
+  if (h.recv_device && h.recv_ptr_addr != nullptr) return false;
+  return true;
+}
+}  // namespace
+
+void set_mpi_hint(const MpiHint& hint) {
+  Task& t = require_task("#pragma acc mpi outside a task");
+  IMPACC_CHECK_MSG(hint_well_formed(hint),
+                   "invalid #pragma acc mpi clause combination");
+  t.hint = hint;
+}
+
+}  // namespace impacc::core

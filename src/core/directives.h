@@ -1,0 +1,43 @@
+// The IMPACC directive extension: #pragma acc mpi (section 3.5).
+//
+// Syntax in the paper:
+//   #pragma acc mpi clause-list
+//     clause := sendbuf([device][,readonly])
+//             | recvbuf([device][,readonly])
+//             | async [(int-expr)]
+//
+// The IMPACC compiler lowers the pragma to a runtime hint attached to the
+// current task and consumed by the immediately following MPI call. This
+// header is that lowered form; src/trans generates calls to acc::mpi()
+// from the pragma text, and applications may also call it directly.
+#pragma once
+
+namespace impacc::core {
+
+constexpr int kNoAsync = -2;  // hint has no async clause
+
+/// Lowered #pragma acc mpi. Designated initializers give call sites
+/// pragma-like readability:
+///   acc::mpi({.send_device = true, .async = 1});
+///   MPI_Isend(...);
+struct MpiHint {
+  bool send_device = false;    // sendbuf(device)
+  bool send_readonly = false;  // sendbuf(readonly)
+  bool recv_device = false;    // recvbuf(device)
+  bool recv_readonly = false;  // recvbuf(readonly)
+  // recvbuf(readonly) aliasing needs the *address of the pointer variable*
+  // holding the receive buffer (the compiler knows it; library users pass
+  // it explicitly). Requirement 4 of section 3.8.
+  void** recv_ptr_addr = nullptr;
+  int async = kNoAsync;  // async(n): enqueue the MPI op on activity queue n
+
+  bool any() const {
+    return send_device || send_readonly || recv_device || recv_readonly ||
+           recv_ptr_addr != nullptr || async != kNoAsync;
+  }
+};
+
+/// Attach a hint to the current task; the next MPI call consumes it.
+void set_mpi_hint(const MpiHint& hint);
+
+}  // namespace impacc::core

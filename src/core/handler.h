@@ -1,0 +1,44 @@
+// Message handler (section 3.7) and command routing.
+//
+// One handler fiber runs per node. It is the single consumer of the
+// node's command queue: it matches send/recv pairs, fuses matched
+// intra-node pairs into single copies (Fig. 6), applies node heap
+// aliasing when eligible (section 3.8), completes pending internode
+// messages, and drives the activity queues (section 3.6).
+#pragma once
+
+#include "core/message.h"
+#include "core/runtime.h"
+#include "core/task.h"
+
+namespace impacc::core {
+
+/// Handler fiber entry; exits when the node is shut down and drained.
+void handler_main(NodeRt* node);
+
+/// Route a fully built send command whose `ready` time is set. Decides
+/// intra-node vs internode, eager vs rendezvous, and may complete the
+/// sender's request immediately (eager). `from_task_fiber` is false when
+/// called from a stream's posted head (handler context) — the task clock
+/// must not be touched then.
+void route_send(Task& t, MsgCommand* cmd, bool from_task_fiber);
+
+/// Route a posted receive to the receiving task's node handler.
+void route_recv(Task& t, MsgCommand* cmd);
+
+/// Enqueue an operation on one of the task's activity queues and make the
+/// node handler aware of it. Advances the task clock by the queue-op
+/// overhead.
+void submit_stream_op(Task& t, int async_id, dev::StreamOp op);
+
+/// Enqueue and synchronously wait for an operation; returns the op's
+/// completion time (already merged into the task clock).
+sim::Time sync_stream_op(Task& t, int async_id, dev::StreamOp op);
+
+/// Block until activity queue `async_id` has drained (acc wait).
+void wait_stream(Task& t, int async_id);
+
+/// Eager-protocol threshold used for both intra- and internode sends.
+constexpr std::uint64_t kEagerBytes = 8192;
+
+}  // namespace impacc::core

@@ -1,0 +1,119 @@
+#include "core/heap.h"
+
+#include <cstdlib>
+
+#include "common/log.h"
+#include "core/runtime.h"
+#include "core/task.h"
+
+namespace impacc::core {
+
+NodeHeap::NodeHeap(std::uint64_t capacity, bool functional)
+    : arena_(capacity,
+             functional ? dev::ArenaMode::kReal : dev::ArenaMode::kVirtual) {}
+
+void* NodeHeap::alloc(std::uint64_t size) {
+  void* p = arena_.alloc(size);
+  IMPACC_CHECK_MSG(p != nullptr, "node heap exhausted");
+  lock_.lock();
+  table_.emplace(reinterpret_cast<std::uintptr_t>(p),
+                 Block{reinterpret_cast<std::uintptr_t>(p), size, 1});
+  lock_.unlock();
+  return p;
+}
+
+std::map<std::uintptr_t, NodeHeap::Block>::iterator NodeHeap::find_iter(
+    const void* p) {
+  const auto a = reinterpret_cast<std::uintptr_t>(p);
+  auto it = table_.upper_bound(a);
+  if (it == table_.begin()) return table_.end();
+  --it;
+  if (a < it->second.addr + it->second.size) return it;
+  return table_.end();
+}
+
+void NodeHeap::release_locked(std::map<std::uintptr_t, Block>::iterator it) {
+  if (--it->second.refcount > 0) return;
+  arena_.free(reinterpret_cast<void*>(it->second.addr));
+  table_.erase(it);
+}
+
+void NodeHeap::free(void* p) {
+  if (p == nullptr) return;
+  lock_.lock();
+  auto it = find_iter(p);
+  IMPACC_CHECK_MSG(it != table_.end(), "node_free of unknown pointer");
+  release_locked(it);
+  lock_.unlock();
+}
+
+const NodeHeap::Block* NodeHeap::find_block(const void* p) const {
+  auto* self = const_cast<NodeHeap*>(this);
+  self->lock_.lock();
+  auto it = self->find_iter(p);
+  const Block* b = it == self->table_.end() ? nullptr : &it->second;
+  self->lock_.unlock();
+  return b;
+}
+
+bool NodeHeap::alias(void** recv_ptr_addr, void* recv_buf, std::uint64_t bytes,
+                     const void* send_buf) {
+  if (recv_ptr_addr == nullptr) return false;
+  lock_.lock();
+  auto recv_it = find_iter(recv_buf);
+  auto send_it = find_iter(send_buf);
+  // Requirement 2: both buffers in the host heap. Requirement 5: the recv
+  // buffer is fully overwritten — it must be a whole block of exactly the
+  // message size.
+  if (recv_it == table_.end() || send_it == table_.end() ||
+      recv_it == send_it ||
+      recv_it->second.addr != reinterpret_cast<std::uintptr_t>(recv_buf) ||
+      recv_it->second.size != bytes) {
+    lock_.unlock();
+    return false;
+  }
+  // Alias the receiver's pointer into the sender's block (src + off in
+  // Fig. 7), release the original receive block, add a reference to the
+  // sender's block.
+  *recv_ptr_addr = const_cast<void*>(send_buf);
+  ++send_it->second.refcount;
+  release_locked(recv_it);
+  lock_.unlock();
+  return true;
+}
+
+std::size_t NodeHeap::block_count() const {
+  auto* self = const_cast<NodeHeap*>(this);
+  self->lock_.lock();
+  const std::size_t n = self->table_.size();
+  self->lock_.unlock();
+  return n;
+}
+
+std::uint64_t NodeHeap::bytes_in_use() const { return arena_.bytes_in_use(); }
+
+int NodeHeap::refcount_of(const void* p) const {
+  const Block* b = find_block(p);
+  return b == nullptr ? 0 : b->refcount;
+}
+
+}  // namespace impacc::core
+
+namespace impacc {
+
+void* node_malloc(std::uint64_t size) {
+  core::Task* t = core::current_task();
+  if (t == nullptr) return std::malloc(size);
+  return t->node->heap.alloc(size);
+}
+
+void node_free(void* p) {
+  core::Task* t = core::current_task();
+  if (t == nullptr) {
+    std::free(p);
+    return;
+  }
+  t->node->heap.free(p);
+}
+
+}  // namespace impacc

@@ -1,0 +1,80 @@
+// Node heap and the heap table behind node heap aliasing (section 3.8).
+//
+// IMPACC hooks the heap routines of every task on a node into one node
+// heap, recording each allocation in a reference-counted heap table
+// (Fig. 7). When a matched intra-node send/recv pair meets the five
+// aliasing requirements, the receiver's pointer variable is re-aimed into
+// the sender's block, the original receive block is released, and the
+// sender's block gains a reference — a zero-copy transfer that keeps MPI
+// semantics because both sides declared the data read-only.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "dev/memarena.h"
+#include "ult/sync.h"
+
+namespace impacc::core {
+
+class NodeHeap {
+ public:
+  struct Block {
+    std::uintptr_t addr = 0;
+    std::uint64_t size = 0;
+    int refcount = 0;
+  };
+
+  NodeHeap(std::uint64_t capacity, bool functional);
+
+  /// Hooked malloc: allocate and record a block with refcount 1.
+  void* alloc(std::uint64_t size);
+
+  /// Hooked free: find the block *containing* `p` (after aliasing, the
+  /// app's pointer points into another task's block), drop a reference,
+  /// release the block at zero.
+  void free(void* p);
+
+  /// Block containing `p`, or nullptr.
+  const Block* find_block(const void* p) const;
+
+  /// Attempt node heap aliasing for a matched pair (handler-side; the
+  /// same-node / readonly / pointer-variable conditions were already
+  /// checked by the caller). Verifies the remaining requirements:
+  ///   - both buffers live in this heap,
+  ///   - the receive buffer is a whole block of exactly `bytes`
+  ///     (the receive "fully overwrites" it).
+  /// On success: re-aims *recv_ptr_addr at the send data, releases the
+  /// receive block, and bumps the send block's reference.
+  bool alias(void** recv_ptr_addr, void* recv_buf, std::uint64_t bytes,
+             const void* send_buf);
+
+  std::size_t block_count() const;
+  std::uint64_t bytes_in_use() const;
+  bool contains(const void* p) const { return arena_.contains(p); }
+
+  /// Reference count of the block containing `p` (0 if none) — for tests.
+  int refcount_of(const void* p) const;
+
+ private:
+  // Callers hold lock_.
+  std::map<std::uintptr_t, Block>::iterator find_iter(const void* p);
+  void release_locked(std::map<std::uintptr_t, Block>::iterator it);
+
+  dev::MemArena arena_;
+  mutable ult::SpinLock lock_;
+  std::map<std::uintptr_t, Block> table_;  // by block start address
+};
+
+}  // namespace impacc::core
+
+namespace impacc {
+
+/// Hooked heap routines for applications: allocate from the calling
+/// task's node heap so the allocation is visible to the heap table (and
+/// thus eligible for node heap aliasing). Outside a task they fall back
+/// to the global heap.
+void* node_malloc(std::uint64_t size);
+void node_free(void* p);
+
+}  // namespace impacc

@@ -1,0 +1,37 @@
+#include "core/launch.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "core/runtime.h"
+
+namespace impacc {
+
+LaunchResult launch(const core::LaunchOptions& options,
+                    const std::function<void()>& task_main) {
+  core::Runtime rt(options);
+  rt.run(task_main);
+
+  LaunchResult result;
+  result.trace = rt.shared_trace();
+  if (result.trace != nullptr && !rt.options().trace_path.empty() &&
+      rt.options().trace_path != "-") {
+    if (!result.trace->write_file(rt.options().trace_path)) {
+      IMPACC_LOG_WARN("could not write trace to %s",
+                      rt.options().trace_path.c_str());
+    }
+  }
+  result.num_tasks = rt.num_tasks();
+  result.task_times.reserve(static_cast<std::size_t>(rt.num_tasks()));
+  result.task_stats.reserve(static_cast<std::size_t>(rt.num_tasks()));
+  for (int i = 0; i < rt.num_tasks(); ++i) {
+    core::Task& t = rt.task(i);
+    result.task_times.push_back(t.clock.now());
+    result.task_stats.push_back(t.stats);
+    result.total += t.stats;
+    result.makespan = std::max(result.makespan, t.clock.now());
+  }
+  return result;
+}
+
+}  // namespace impacc

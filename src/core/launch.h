@@ -1,0 +1,36 @@
+// Application entry point: impacc::launch().
+//
+// In the paper, users launch an MPI+OpenACC binary by giving IMPACC the
+// node list; the runtime creates one task per selected accelerator and
+// runs the same program in every task (SPMD). Here the "binary" is a
+// callable executed by every task fiber.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "sim/time.h"
+#include "sim/trace.h"
+
+namespace impacc {
+
+struct LaunchResult {
+  sim::Time makespan = 0;  // max task virtual time (the run's duration)
+  int num_tasks = 0;
+  std::vector<sim::Time> task_times;           // per-task final clocks
+  std::vector<core::TaskStats> task_stats;     // per-task accounting
+  core::TaskStats total;                       // sum over tasks
+  // Virtual-time execution trace (when tracing was enabled). Written to
+  // LaunchOptions::trace_path as Chrome-trace JSON ("-" = keep in memory).
+  std::shared_ptr<sim::TraceSink> trace;
+};
+
+/// Run `task_main` under the given options and return timing/statistics.
+/// Every task executes the same callable (SPMD); tasks query their rank
+/// through mpi::comm_rank(mpi::world()).
+LaunchResult launch(const core::LaunchOptions& options,
+                    const std::function<void()>& task_main);
+
+}  // namespace impacc

@@ -1,0 +1,68 @@
+#include "core/mapping.h"
+
+#include "sim/systems.h"
+
+namespace impacc::core {
+
+namespace {
+
+bool kind_selected(sim::DeviceKind kind, unsigned mask) {
+  switch (kind) {
+    case sim::DeviceKind::kNvidiaGpu: return (mask & kAccDeviceNvidia) != 0;
+    case sim::DeviceKind::kXeonPhi: return (mask & kAccDeviceXeonPhi) != 0;
+    case sim::DeviceKind::kCpu: return (mask & kAccDeviceCpu) != 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Placement> map_tasks(const sim::ClusterDesc& cluster,
+                                 unsigned mask) {
+  std::vector<Placement> out;
+  const bool use_default = mask == kAccDeviceDefault;
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    const sim::NodeDesc& node = cluster.nodes[static_cast<std::size_t>(n)];
+    int local = 0;
+    bool any_discrete = false;
+    bool any_explicit_cpu = false;
+    for (const auto& dev : node.devices) {
+      const bool discrete = dev.kind != sim::DeviceKind::kCpu;
+      const bool take = use_default ? discrete : kind_selected(dev.kind, mask);
+      if (!discrete) any_explicit_cpu = true;
+      if (!take) continue;
+      any_discrete = any_discrete || discrete;
+      out.push_back(Placement{n, dev, local++, false});
+    }
+    // CPU-cores accelerators: explicitly requested, or the default-mask
+    // fallback for accelerator-less nodes (Fig. 2 (a), Node 2). Nodes that
+    // declare explicit CPU devices keep those; otherwise one accelerator
+    // per socket is synthesized.
+    const bool want_cpu =
+        (mask & kAccDeviceCpu) != 0 || (use_default && !any_discrete);
+    if (want_cpu) {
+      if (any_explicit_cpu) {
+        if (use_default) {
+          // Explicit CPU devices were skipped by the discrete-only default
+          // rule above; adopt them now as the fallback.
+          for (const auto& dev : node.devices) {
+            if (dev.kind != sim::DeviceKind::kCpu) continue;
+            out.push_back(Placement{n, dev, local++, false});
+          }
+        }
+      } else {
+        for (int s = 0; s < node.sockets; ++s) {
+          Placement p;
+          p.node = n;
+          p.device = sim::make_cpu_device(s, node.cores_per_socket, 2.4);
+          p.local_index = local++;
+          p.synthesized_cpu = true;
+          out.push_back(p);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace impacc::core

@@ -1,0 +1,39 @@
+// Automatic task-device mapping (section 3.2, Fig. 2).
+//
+// Users give IMPACC the node list, not the task count; the runtime creates
+// one MPI task per selected accelerator, cluster-wide, and fixes the
+// mapping for the application's lifetime. The device-type mask
+// (IMPACC_ACC_DEVICE_TYPE) selects which accelerators participate.
+#pragma once
+
+#include <vector>
+
+#include "core/config.h"
+#include "sim/topology.h"
+
+namespace impacc::core {
+
+struct Placement {
+  int node = 0;             // node index in the cluster
+  sim::DeviceDesc device;   // the accelerator this task drives
+  int local_index = 0;      // task index within the node
+  bool synthesized_cpu = false;  // device is a CPU-cores accelerator the
+                                 // mapper created (not in NodeDesc.devices)
+};
+
+/// Compute the cluster-wide task list for a device-type mask. Task ids
+/// (ranks) are assigned in node order, then device order, exactly like
+/// Fig. 2's numbering.
+///
+/// Mask semantics (Fig. 2 (a)-(e)):
+///  - kAccDeviceDefault (0): every discrete accelerator; a node without
+///    any gets one CPU-cores accelerator per socket so it still hosts
+///    tasks.
+///  - kAccDeviceNvidia / kAccDeviceXeonPhi (or both): accelerators of the
+///    selected kinds only; nodes without a match get no tasks.
+///  - kAccDeviceCpu: one CPU-cores accelerator per socket on every node;
+///    may be combined with the discrete-device bits.
+std::vector<Placement> map_tasks(const sim::ClusterDesc& cluster,
+                                 unsigned mask);
+
+}  // namespace impacc::core

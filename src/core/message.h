@@ -1,0 +1,93 @@
+// Message commands (section 3.7).
+//
+// Every MPI operation becomes a message command. Task threads enqueue
+// commands onto their node's in-order lock-free MPSC queue; the node's
+// message handler fiber matches send/recv pairs, fuses matched intra-node
+// pairs into single copies, and completes requests with virtual times.
+// Internode sends arrive at the destination node as kIncoming commands —
+// the "pending internode message" of the paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/mpsc_queue.h"
+#include "dev/device.h"
+#include "dev/stream.h"
+#include "mpi/types.h"
+#include "sim/time.h"
+
+namespace impacc::core {
+
+struct NodeRt;
+
+struct MsgCommand : MpscNode {
+  enum class Kind : int {
+    kSend = 0,  // intra-node send (sender and receiver share the node)
+    kRecv,      // posted receive
+    kIncoming,  // internode send arriving at the receiver's node
+    kProbe,     // MPI_Probe/Iprobe: inspect pending sends without receiving
+  };
+
+  Kind kind = Kind::kRecv;
+
+  // Matching key.
+  int context_id = 0;             // communicator context
+  int tag = 0;                    // message tag (sends: >= 0)
+  int src_task = mpi::kAnySource; // global task id (recvs may wildcard)
+  int dst_task = 0;               // global task id
+  int src_match_tag = 0;          // for recvs: requested tag or kAnyTag
+  int src_comm_rank = 0;          // sends: sender's rank in the communicator
+
+  // Buffer.
+  void* buf = nullptr;
+  std::uint64_t bytes = 0;           // sends: message size; recvs: capacity
+  dev::Device* buf_dev = nullptr;    // nullptr => host memory
+  bool near = true;                  // owner pinned near buf_dev?
+
+  // Timeline.
+  sim::Time ready = 0;    // sends: data available; recvs: posted
+  sim::Time arrival = 0;  // kIncoming: virtual time data reaches the node
+
+  // Completion plumbing.
+  std::shared_ptr<mpi::RequestState> req;  // signaled at completion
+  bool sender_completed = false;  // eager send: sender already signaled
+  // Rendezvous internode send: receiver-side handler also completes the
+  // sender's request (and stream) through these.
+  std::shared_ptr<mpi::RequestState> remote_sender_req;
+  dev::Stream* remote_sender_stream = nullptr;
+  NodeRt* remote_sender_node = nullptr;
+
+  // Unified activity queue: command was issued from this stream; its
+  // completion resumes the stream (section 3.6).
+  dev::Stream* stream = nullptr;
+  NodeRt* stream_node = nullptr;
+
+  // Node heap aliasing hints (section 3.8).
+  bool readonly_hint = false;
+  void** recv_ptr_addr = nullptr;
+
+  // Eager protocol: sends below the threshold snapshot their payload so
+  // the sender can reuse its buffer immediately. MPI_Ssend forces the
+  // rendezvous path regardless of size.
+  std::vector<unsigned char> eager_payload;
+  bool force_rendezvous = false;
+  // kProbe: blocking probes park until a matching send arrives;
+  // non-blocking ones answer from the current matcher state.
+  bool probe_blocking = false;
+
+  // Derived-datatype receives: the handler unpacks the (packed) wire
+  // bytes into the strided receive layout.
+  mpi::Datatype recv_dtype = mpi::Datatype::kByte;
+  int recv_count = 0;
+
+  // Stats attribution.
+  int owner_task = -1;  // task that issued this command
+
+  // kIncoming: pointer to the sender's (in-process) buffer for the
+  // functional copy, valid until completion for rendezvous sends.
+  const void* wire_src = nullptr;
+};
+
+}  // namespace impacc::core

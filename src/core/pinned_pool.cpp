@@ -1,0 +1,55 @@
+#include "core/pinned_pool.h"
+
+#include <cstdlib>
+
+#include "common/types.h"
+
+namespace impacc::core {
+
+PinnedPool::~PinnedPool() {
+  if (!functional_) return;
+  for (auto& [bytes, ptr] : free_) std::free(ptr);
+  // Buffers still acquired at teardown belong to in-flight transfers of a
+  // runtime that is being destroyed anyway; the OS reclaims them.
+}
+
+PinnedPool::Buffer PinnedPool::acquire(std::uint64_t bytes) {
+  lock_.lock();
+  ++stats_.acquires;
+  auto it = free_.lower_bound(bytes);
+  if (it != free_.end()) {
+    ++stats_.hits;
+    Buffer b{it->second, it->first};
+    free_.erase(it);
+    lock_.unlock();
+    return b;
+  }
+  ++stats_.buffers_created;
+  stats_.bytes_allocated += bytes;
+  Buffer b;
+  b.bytes = bytes;
+  if (functional_) {
+    b.ptr = std::malloc(bytes);
+    IMPACC_CHECK_MSG(b.ptr != nullptr, "pinned pool allocation failed");
+  } else {
+    b.ptr = reinterpret_cast<void*>(next_fake_++);
+  }
+  lock_.unlock();
+  return b;
+}
+
+void PinnedPool::release(Buffer buffer) {
+  if (buffer.ptr == nullptr) return;
+  lock_.lock();
+  free_.emplace(buffer.bytes, buffer.ptr);
+  lock_.unlock();
+}
+
+PinnedPool::Stats PinnedPool::stats() const {
+  lock_.lock();
+  const Stats s = stats_;
+  lock_.unlock();
+  return s;
+}
+
+}  // namespace impacc::core

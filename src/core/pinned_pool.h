@@ -1,0 +1,56 @@
+// Pre-pinned host staging buffers (section 3.7).
+//
+// Internode transfers of device-resident data stage through pinned host
+// memory ("for better performance, the runtime internally uses the
+// pre-pinned host memory"). Pinning is expensive, so the runtime keeps a
+// per-node pool: buffers are recycled best-fit and only grown on miss.
+// In this reproduction the pool's correctness (reuse, growth, accounting)
+// is real; the pinning itself is what the cost model's staging paths
+// already charge.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "ult/sync.h"
+
+namespace impacc::core {
+
+class PinnedPool {
+ public:
+  struct Buffer {
+    void* ptr = nullptr;
+    std::uint64_t bytes = 0;
+  };
+
+  struct Stats {
+    std::uint64_t acquires = 0;
+    std::uint64_t hits = 0;          // served from the free list
+    std::uint64_t buffers_created = 0;
+    std::uint64_t bytes_allocated = 0;  // total pinned footprint
+  };
+
+  /// `functional` allocates real memory; model-only runs track sizes only.
+  explicit PinnedPool(bool functional) : functional_(functional) {}
+  ~PinnedPool();
+
+  PinnedPool(const PinnedPool&) = delete;
+  PinnedPool& operator=(const PinnedPool&) = delete;
+
+  /// Smallest free buffer of at least `bytes`, or a newly pinned one.
+  Buffer acquire(std::uint64_t bytes);
+
+  /// Return a buffer to the pool for reuse.
+  void release(Buffer buffer);
+
+  Stats stats() const;
+
+ private:
+  bool functional_;
+  mutable ult::SpinLock lock_;
+  std::multimap<std::uint64_t, void*> free_;  // size -> buffer
+  Stats stats_;
+  std::uintptr_t next_fake_ = 1;  // model-only: distinct non-null tokens
+};
+
+}  // namespace impacc::core

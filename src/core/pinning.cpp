@@ -1,0 +1,52 @@
+#include "core/pinning.h"
+
+#include <cstdio>
+
+#include "common/types.h"
+
+namespace impacc::core {
+
+std::vector<std::string> sysfs_pci_affinity(const sim::NodeDesc& node) {
+  std::vector<std::string> lines;
+  lines.reserve(node.devices.size());
+  for (std::size_t i = 0; i < node.devices.size(); ++i) {
+    const auto& d = node.devices[i];
+    char buf[96];
+    // Synthetic bus numbers: devices of socket s live on bus 0x03 + s*0x40,
+    // mirroring how multi-socket machines segment their PCIe hierarchy.
+    std::snprintf(buf, sizeof(buf), "0000:%02x:%02zx cpulistaffinity %d",
+                  3 + d.socket * 0x40, i, d.socket);
+    lines.emplace_back(buf);
+  }
+  return lines;
+}
+
+int choose_socket(const sim::NodeDesc& node, const sim::DeviceDesc& dev,
+                  bool numa_friendly, int task_local_index) {
+  if (node.sockets <= 1) return 0;
+  if (numa_friendly) {
+    // Parse the device's socket back out of the sysfs table, as the real
+    // runtime would.
+    const auto lines = sysfs_pci_affinity(node);
+    for (const auto& line : lines) {
+      const std::size_t pos = line.rfind(' ');
+      IMPACC_CHECK(pos != std::string::npos);
+      // The line order matches node.devices order; match by socket field.
+      // (All devices of a socket report the same affinity, so matching the
+      // desired device's socket is sufficient.)
+      const int socket = std::atoi(line.c_str() + pos + 1);
+      if (socket == dev.socket) return socket;
+    }
+    return dev.socket;
+  }
+  return task_local_index % node.sockets;
+}
+
+bool socket_is_near(const sim::NodeDesc& node, const sim::DeviceDesc& dev,
+                    int socket) {
+  if (node.sockets <= 1) return true;
+  if (dev.backend == sim::BackendKind::kHostShared) return true;
+  return socket == dev.socket;
+}
+
+}  // namespace impacc::core

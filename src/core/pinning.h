@@ -1,0 +1,31 @@
+// NUMA-friendly task-CPU pinning (section 3.3).
+//
+// The real runtime reads each accelerator's CPU affinity from Linux sysfs
+// (/sys/class/pci_bus) and pins the task thread to the near socket. Here
+// the "sysfs" is generated from the topology description, and the pinning
+// decision feeds the transfer cost models (near vs far PCIe paths).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/topology.h"
+
+namespace impacc::core {
+
+/// Simulated /sys/class/pci_bus content: one line per device,
+/// "<pci-bus> cpulistaffinity <socket>". Tests parse it back.
+std::vector<std::string> sysfs_pci_affinity(const sim::NodeDesc& node);
+
+/// Socket the runtime pins a task to.
+///  - numa_friendly: the device's own socket (parsed from the sysfs table).
+///  - otherwise: unpinned; the OS lands tasks round-robin across sockets,
+///    which strands half of them far from their device on a 2-socket node.
+int choose_socket(const sim::NodeDesc& node, const sim::DeviceDesc& dev,
+                  bool numa_friendly, int task_local_index);
+
+/// Whether a task pinned on `socket` is near `dev`.
+bool socket_is_near(const sim::NodeDesc& node, const sim::DeviceDesc& dev,
+                    int socket);
+
+}  // namespace impacc::core

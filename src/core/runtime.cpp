@@ -1,0 +1,165 @@
+#include "core/runtime.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/log.h"
+#include "core/handler.h"
+#include "core/mapping.h"
+#include "core/pinning.h"
+
+namespace impacc::core {
+
+NodeRt::NodeRt(Runtime* rt_in, int index_in, const sim::NodeDesc* desc_in,
+               std::uint64_t heap_bytes, bool functional)
+    : rt(rt_in),
+      index(index_in),
+      desc(desc_in),
+      heap(heap_bytes, functional),
+      pinned(functional) {
+  uvas.set_heap(&heap);
+}
+
+void NodeRt::schedule_stream(dev::Stream* s) {
+  astream_lock.lock();
+  active_streams.push_back(s);
+  astream_lock.unlock();
+  wake.set();
+}
+
+sim::Time NodeRt::nic_transmit(sim::Time ready, sim::Time wire) {
+  nic_lock.lock();
+  const sim::Time start = std::max(ready, nic_free);
+  const sim::Time done = start + wire;
+  nic_free = done;
+  nic_lock.unlock();
+  return done;
+}
+
+sim::Time NodeRt::serialize_mpi(sim::Time ready, sim::Time hold) {
+  nic_lock.lock();
+  const sim::Time start = std::max(ready, mpi_lock_free);
+  const sim::Time release = start + hold;
+  mpi_lock_free = release;
+  nic_lock.unlock();
+  return release;
+}
+
+Runtime::Runtime(LaunchOptions opts)
+    : opts_(std::move(opts)), sched_(opts_.scheduler_workers) {
+  // Resolve the device-type mask: explicit option, else environment
+  // variable IMPACC_ACC_DEVICE_TYPE, else default (section 3.2).
+  if (opts_.device_type_mask == kAccDeviceDefault) {
+    if (const char* env = std::getenv("IMPACC_ACC_DEVICE_TYPE")) {
+      opts_.device_type_mask = parse_device_type_mask(env);
+    }
+  }
+  if (opts_.trace_path.empty()) {
+    if (const char* env = std::getenv("IMPACC_TRACE")) {
+      opts_.trace_path = env;
+    }
+  }
+  if (!opts_.trace_path.empty()) {
+    trace_ = std::make_shared<sim::TraceSink>();
+  }
+  build_topology();
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::build_topology() {
+  const sim::ClusterDesc& cluster = opts_.cluster;
+  const bool functional = opts_.mode == ExecMode::kFunctional;
+
+  nodes_.reserve(static_cast<std::size_t>(cluster.num_nodes()));
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    nodes_.push_back(std::make_unique<NodeRt>(
+        this, n, &cluster.nodes[static_cast<std::size_t>(n)],
+        opts_.node_heap_bytes, functional));
+  }
+
+  const std::vector<Placement> placements =
+      map_tasks(cluster, opts_.device_type_mask);
+  IMPACC_CHECK_MSG(!placements.empty(),
+                   "device-type mask selects no accelerators");
+
+  const bool numa = opts_.features.numa_pinning &&
+                    opts_.framework == Framework::kImpacc;
+
+  std::vector<int> world_members;
+  world_members.reserve(placements.size());
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    const Placement& p = placements[i];
+    NodeRt& node = *nodes_[static_cast<std::size_t>(p.node)];
+    auto device = std::make_unique<dev::Device>(
+        p.device, p.node, p.local_index, static_cast<int>(i), functional);
+
+    auto task = std::make_unique<Task>();
+    task->rt = this;
+    task->node = &node;
+    task->id = static_cast<int>(i);
+    task->local_index = p.local_index;
+    task->device = device.get();
+    task->pinned_socket =
+        choose_socket(*node.desc, p.device, numa, p.local_index);
+    task->near = socket_is_near(*node.desc, p.device, task->pinned_socket);
+
+    node.uvas.register_device(device.get());
+    node.devices.push_back(std::move(device));
+    node.tasks.push_back(task.get());
+    tasks_.push_back(std::move(task));
+    world_members.push_back(static_cast<int>(i));
+  }
+
+  world_ = adopt_comm(std::make_unique<mpi::Communicator>(
+      next_context_id(), std::move(world_members)));
+}
+
+mpi::Comm Runtime::adopt_comm(std::unique_ptr<mpi::Communicator> c) {
+  std::lock_guard<std::mutex> lock(comms_mutex_);
+  comms_.push_back(std::move(c));
+  return comms_.back().get();
+}
+
+int Runtime::agree_context(int parent_context, int creation_seq) {
+  std::lock_guard<std::mutex> lock(comms_mutex_);
+  auto [it, inserted] = agreed_contexts_.try_emplace(
+      std::make_pair(parent_context, creation_seq), 0);
+  if (inserted) it->second = next_context_.fetch_add(1);
+  return it->second;
+}
+
+bool Runtime::rdma_enabled() const {
+  return opts_.cluster.fabric.gpudirect_rdma && opts_.features.gpudirect_rdma &&
+         opts_.framework == Framework::kImpacc;
+}
+
+void Runtime::run(const std::function<void()>& task_main) {
+  tasks_remaining_.store(num_tasks(), std::memory_order_relaxed);
+
+  for (auto& node : nodes_) {
+    NodeRt* n = node.get();
+    n->handler = sched_.spawn([n] { handler_main(n); },
+                              "handler-" + std::to_string(n->index));
+  }
+
+  for (auto& task : tasks_) {
+    Task* t = task.get();
+    t->fiber = sched_.spawn(
+        [this, t, &task_main] {
+          ult::Scheduler::current()->set_user_data(t);
+          task_main();
+          if (tasks_remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            for (auto& node : nodes_) {
+              node->shutdown.store(true, std::memory_order_release);
+              node->wake.set();
+            }
+          }
+        },
+        "task-" + std::to_string(t->id));
+  }
+
+  sched_.wait_all();
+}
+
+}  // namespace impacc::core

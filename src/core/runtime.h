@@ -1,0 +1,148 @@
+// The IMPACC runtime: nodes, devices, tasks, handler fibers.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/mpsc_queue.h"
+#include "core/config.h"
+#include "core/heap.h"
+#include "core/message.h"
+#include "core/pinned_pool.h"
+#include "core/task.h"
+#include "core/uvas.h"
+#include "mpi/comm.h"
+#include "mpi/matcher.h"
+#include "sim/trace.h"
+#include "ult/scheduler.h"
+#include "ult/sync.h"
+
+namespace impacc::core {
+
+/// Per-node runtime state. The handler fiber is the paper's "message
+/// handler thread": sole consumer of the node's in-order lock-free command
+/// queue, matcher of message pairs, executor of activity queues.
+struct NodeRt {
+  NodeRt(Runtime* rt, int index, const sim::NodeDesc* desc,
+         std::uint64_t heap_bytes, bool functional);
+
+  Runtime* rt;
+  int index;
+  const sim::NodeDesc* desc;
+
+  std::vector<std::unique_ptr<dev::Device>> devices;
+  std::vector<Task*> tasks;
+  NodeHeap heap;
+  Uvas uvas;
+  PinnedPool pinned;  // staging buffers for internode device transfers
+
+  // Command queue (multi-producer: task fibers + remote handlers;
+  // single consumer: this node's handler fiber).
+  MpscQueue queue;
+  ult::FiberEvent wake;
+  mpi::Matcher matcher;
+
+  // Streams with runnable work, scheduled by enqueue/complete.
+  ult::SpinLock astream_lock;
+  std::deque<dev::Stream*> active_streams;
+
+  // NIC timeline: internode messages serialize on the adapter. When the
+  // underlying MPI lacks MPI_THREAD_MULTIPLE, host-side calls additionally
+  // serialize on a per-node lock held for the whole transfer, preventing
+  // any overlap between a node's outgoing messages (section 3.7).
+  ult::SpinLock nic_lock;
+  sim::Time nic_free = 0;
+  sim::Time mpi_lock_free = 0;
+
+  std::atomic<bool> shutdown{false};
+  ult::Fiber* handler = nullptr;
+
+  /// Post a command to this node's handler.
+  void post(MsgCommand* cmd) {
+    queue.push(cmd);
+    wake.set();
+  }
+
+  /// Make a stream's pending work visible to the handler.
+  void schedule_stream(dev::Stream* s);
+
+  /// Reserve the NIC for a message of wire-time `wire` that is ready at
+  /// `ready`; returns the time the message is fully on the wire.
+  sim::Time nic_transmit(sim::Time ready, sim::Time wire);
+
+  /// Serialized-MPI mode: acquire the node's MPI lock at `ready`, hold it
+  /// for `hold`; returns the release time (the message's effective ready).
+  sim::Time serialize_mpi(sim::Time ready, sim::Time hold);
+};
+
+class Runtime {
+ public:
+  explicit Runtime(LaunchOptions opts);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Run `task_main` on every task; returns when all tasks and handlers
+  /// have finished. Called exactly once.
+  void run(const std::function<void()>& task_main);
+
+  const LaunchOptions& options() const { return opts_; }
+  Framework framework() const { return opts_.framework; }
+  const Features& features() const { return opts_.features; }
+  bool functional() const { return opts_.mode == ExecMode::kFunctional; }
+  bool is_impacc() const { return opts_.framework == Framework::kImpacc; }
+
+  int num_tasks() const { return static_cast<int>(tasks_.size()); }
+  Task& task(int id) { return *tasks_[static_cast<std::size_t>(id)]; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  NodeRt& node(int i) { return *nodes_[static_cast<std::size_t>(i)]; }
+
+  mpi::Comm world() { return world_; }
+
+  /// Register a communicator; the runtime owns it.
+  mpi::Comm adopt_comm(std::unique_ptr<mpi::Communicator> c);
+  int next_context_id() { return next_context_.fetch_add(1); }
+
+  /// Deterministic context agreement for collective communicator
+  /// creation: every member calling with the same (parent context,
+  /// creation sequence) receives the same fresh id. Works in model-only
+  /// mode, where message payloads (and thus a broadcast id) don't flow.
+  int agree_context(int parent_context, int creation_seq);
+
+  ult::Scheduler& scheduler() { return sched_; }
+
+  /// Effective GPUDirect RDMA availability (fabric support AND feature
+  /// toggle AND IMPACC framework — the baseline stages via host).
+  bool rdma_enabled() const;
+
+  /// Trace sink when tracing is enabled, else nullptr.
+  sim::TraceSink* trace() { return trace_.get(); }
+  std::shared_ptr<sim::TraceSink> shared_trace() { return trace_; }
+
+ private:
+  friend struct NodeRt;
+
+  void build_topology();
+
+  LaunchOptions opts_;
+  std::shared_ptr<sim::TraceSink> trace_;
+  ult::Scheduler sched_;
+  std::vector<std::unique_ptr<NodeRt>> nodes_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  mpi::Comm world_ = nullptr;
+
+  std::mutex comms_mutex_;
+  std::vector<std::unique_ptr<mpi::Communicator>> comms_;
+  std::map<std::pair<int, int>, int> agreed_contexts_;
+  std::atomic<int> next_context_{1};
+  std::atomic<int> tasks_remaining_{0};
+};
+
+}  // namespace impacc::core

@@ -1,0 +1,28 @@
+#include "core/task.h"
+
+#include "core/runtime.h"
+#include "ult/scheduler.h"
+
+namespace impacc::core {
+
+bool Task::functional() const { return rt->functional(); }
+
+const sim::NodeDesc& Task::node_desc() const { return *node->desc; }
+
+const sim::RuntimeCosts& Task::costs() const {
+  return rt->options().cluster.costs;
+}
+
+Task* current_task() {
+  ult::Fiber* f = ult::Scheduler::current();
+  if (f == nullptr) return nullptr;
+  return static_cast<Task*>(f->user_data());
+}
+
+Task& require_task(const char* api_name) {
+  Task* t = current_task();
+  IMPACC_CHECK_MSG(t != nullptr, api_name);
+  return *t;
+}
+
+}  // namespace impacc::core

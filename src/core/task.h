@@ -1,0 +1,61 @@
+// Per-task runtime context.
+//
+// One Task per selected accelerator (section 3.2); each runs as a fiber
+// and carries its own virtual clock, present table, pending IMPACC
+// directive, and statistics. The task's pinning relative to its device
+// drives the near/far transfer costs.
+#pragma once
+
+#include "acc/present_table.h"
+#include "core/config.h"
+#include "core/directives.h"
+#include "dev/device.h"
+#include "sim/vclock.h"
+#include "ult/fiber.h"
+
+namespace impacc::core {
+
+class Runtime;
+struct NodeRt;
+
+struct Task {
+  Runtime* rt = nullptr;
+  NodeRt* node = nullptr;
+  int id = 0;           // global rank (MPI_COMM_WORLD rank)
+  int local_index = 0;  // index within the node
+  dev::Device* device = nullptr;
+  int pinned_socket = 0;
+  bool near = true;  // pinned near its device?
+
+  sim::VirtualClock clock;
+  acc::PresentTable present;
+  MpiHint hint;  // pending #pragma acc mpi for the next MPI call
+  TaskStats stats;
+  ult::Fiber* fiber = nullptr;
+
+  // Per-communicator collective sequence numbers (internal tag space).
+  std::unordered_map<int, int> collective_seq;
+  // Per-communicator count of communicator-creation calls (context
+  // agreement; see Runtime::agree_context).
+  std::unordered_map<int, int> comm_create_seq;
+
+  /// Consume (and clear) the pending directive hint.
+  MpiHint take_hint() {
+    MpiHint h = hint;
+    hint = MpiHint{};
+    return h;
+  }
+
+  bool functional() const;
+  const sim::NodeDesc& node_desc() const;
+  const sim::RuntimeCosts& costs() const;
+};
+
+/// Task bound to the calling fiber (nullptr outside task fibers).
+Task* current_task();
+
+/// As above, but aborts with a clear message when absent. All public API
+/// entry points use this.
+Task& require_task(const char* api_name);
+
+}  // namespace impacc::core

@@ -1,0 +1,15 @@
+#include "core/uvas.h"
+
+#include "core/heap.h"
+
+namespace impacc::core {
+
+Uvas::Location Uvas::locate(const void* p) const {
+  for (dev::Device* d : devices_) {
+    if (d->owns(p)) return {Kind::kDevice, d};
+  }
+  if (heap_ != nullptr && heap_->contains(p)) return {Kind::kHeap, nullptr};
+  return {Kind::kHost, nullptr};
+}
+
+}  // namespace impacc::core

@@ -1,0 +1,42 @@
+// Unified node virtual address space registry (section 3.4).
+//
+// Device arenas and the node heap are all mapped into one per-node address
+// space; given any pointer, the runtime can tell where the data lives.
+// This is what lets the unified MPI routines (section 3.5) accept device
+// pointers directly.
+#pragma once
+
+#include <vector>
+
+#include "dev/device.h"
+
+namespace impacc::core {
+
+class NodeHeap;
+
+class Uvas {
+ public:
+  enum class Kind : int {
+    kHost = 0,  // ordinary host memory (stack, globals, malloc)
+    kHeap,      // node heap (heap table tracked; aliasing-eligible)
+    kDevice,    // some device's memory
+  };
+
+  struct Location {
+    Kind kind = Kind::kHost;
+    dev::Device* device = nullptr;  // set when kind == kDevice
+  };
+
+  void register_device(dev::Device* d) { devices_.push_back(d); }
+  void set_heap(const NodeHeap* heap) { heap_ = heap; }
+
+  /// Classify a pointer. Nodes have at most a handful of devices, so a
+  /// linear scan beats any index.
+  Location locate(const void* p) const;
+
+ private:
+  std::vector<dev::Device*> devices_;
+  const NodeHeap* heap_ = nullptr;
+};
+
+}  // namespace impacc::core

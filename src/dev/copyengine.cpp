@@ -1,0 +1,102 @@
+#include "dev/copyengine.h"
+
+#include <cstring>
+
+#include "sim/costmodel.h"
+
+namespace impacc::dev {
+
+const char* copy_path_name(CopyPathKind k) {
+  switch (k) {
+    case CopyPathKind::kHostToHost: return "HtoH";
+    case CopyPathKind::kHostToDev: return "HtoD";
+    case CopyPathKind::kDevToHost: return "DtoH";
+    case CopyPathKind::kDevToDevPeer: return "DtoD-peer";
+    case CopyPathKind::kDevToDevStaged: return "DtoD-staged";
+    case CopyPathKind::kBaselineIpc: return "IPC-staged";
+  }
+  return "?";
+}
+
+IntraCopyPlan plan_fused_copy(const sim::NodeDesc& node,
+                              const sim::RuntimeCosts& costs,
+                              const Device* src_dev, const Device* dst_dev,
+                              std::uint64_t bytes, bool src_near,
+                              bool dst_near, bool allow_peer) {
+  IntraCopyPlan plan;
+  // Two message commands were created and matched by the handler.
+  const sim::Time overhead = 2 * costs.handler_command_overhead;
+
+  const bool src_on_dev =
+      src_dev != nullptr && src_dev->backend() != sim::BackendKind::kHostShared;
+  const bool dst_on_dev =
+      dst_dev != nullptr && dst_dev->backend() != sim::BackendKind::kHostShared;
+
+  if (!src_on_dev && !dst_on_dev) {
+    plan.kind = CopyPathKind::kHostToHost;
+    plan.cost = overhead + sim::host_copy_time(node, bytes);
+  } else if (!src_on_dev) {
+    plan.kind = CopyPathKind::kHostToDev;
+    plan.cost =
+        overhead + sim::pcie_copy_time(node, dst_dev->desc(), bytes, dst_near);
+  } else if (!dst_on_dev) {
+    plan.kind = CopyPathKind::kDevToHost;
+    plan.cost =
+        overhead + sim::pcie_copy_time(node, src_dev->desc(), bytes, src_near);
+  } else if (allow_peer &&
+             sim::peer_copy_possible(src_dev->desc(), dst_dev->desc())) {
+    plan.kind = CopyPathKind::kDevToDevPeer;
+    plan.cost =
+        overhead + sim::peer_copy_time(src_dev->desc(), dst_dev->desc(), bytes);
+  } else {
+    // Fused staging: DtoH + HtoD, but no HtoH hop — both tasks share the
+    // unified node VAS, so one pinned bounce buffer serves both copies.
+    plan.kind = CopyPathKind::kDevToDevStaged;
+    plan.cost = overhead + sim::staged_dtod_time(node, src_dev->desc(),
+                                                 dst_dev->desc(), bytes,
+                                                 /*include_host_copy=*/false,
+                                                 src_near && dst_near);
+  }
+  return plan;
+}
+
+IntraCopyPlan plan_baseline_copy(const sim::NodeDesc& node,
+                                 const sim::RuntimeCosts& costs,
+                                 std::uint64_t bytes) {
+  IntraCopyPlan plan;
+  plan.kind = CopyPathKind::kBaselineIpc;
+  // Process model: the sender copies into a shared-memory segment and the
+  // receiver copies out, plus per-message IPC rendezvous (Fig. 6 left).
+  // The two pipelined copies contend for the same memory controller, so
+  // each runs well below the single-copy memcpy rate.
+  constexpr double kShmContentionFactor = 0.55;
+  sim::LinkModel staged;
+  staged.latency = node.host_copy.latency;
+  staged.bandwidth = node.host_copy.bandwidth * kShmContentionFactor;
+  plan.cost = costs.ipc_message_overhead + 2 * staged.time(bytes);
+  return plan;
+}
+
+IntraCopyPlan plan_unfused_copy(const sim::NodeDesc& node,
+                                const sim::RuntimeCosts& costs,
+                                const Device* src_dev, const Device* dst_dev,
+                                std::uint64_t bytes, bool src_near,
+                                bool dst_near) {
+  IntraCopyPlan plan = plan_baseline_copy(node, costs, bytes);
+  if (src_dev != nullptr &&
+      src_dev->backend() != sim::BackendKind::kHostShared) {
+    plan.cost += sim::pcie_copy_time(node, src_dev->desc(), bytes, src_near);
+  }
+  if (dst_dev != nullptr &&
+      dst_dev->backend() != sim::BackendKind::kHostShared) {
+    plan.cost += sim::pcie_copy_time(node, dst_dev->desc(), bytes, dst_near);
+  }
+  return plan;
+}
+
+void copy_bytes(void* dst, const void* src, std::uint64_t bytes,
+                bool functional) {
+  if (functional && bytes > 0 && dst != src) std::memmove(dst, src, bytes);
+}
+
+}  // namespace impacc::dev

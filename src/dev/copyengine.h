@@ -1,0 +1,62 @@
+// Intra-node copy planning (Fig. 6 of the paper).
+//
+// Given the locations of a matched send/recv pair's buffers, pick the
+// memory-copy path and its modeled cost. IMPACC's message fusion turns the
+// pair into ONE copy (possibly a direct device-to-device PCIe transfer);
+// the baseline process model stages everything through host shared memory
+// with IPC overhead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dev/device.h"
+#include "sim/topology.h"
+
+namespace impacc::dev {
+
+enum class CopyPathKind : int {
+  kHostToHost = 0,
+  kHostToDev,
+  kDevToHost,
+  kDevToDevPeer,    // direct PCIe peer copy (GPUDirect/DirectGMA)
+  kDevToDevStaged,  // DtoH + HtoD through host memory (fused, no HtoH)
+  kBaselineIpc,     // process model: copy to shm + copy out + IPC overhead
+};
+
+const char* copy_path_name(CopyPathKind k);
+
+struct IntraCopyPlan {
+  CopyPathKind kind = CopyPathKind::kHostToHost;
+  sim::Time cost = 0;
+};
+
+/// Plan a fused (IMPACC) intra-node copy. `src_dev`/`dst_dev` are nullptr
+/// for host buffers. `near` flags say whether the owning task is pinned on
+/// the device's socket. `allow_peer` gates the GPUDirect path (ablation).
+IntraCopyPlan plan_fused_copy(const sim::NodeDesc& node,
+                              const sim::RuntimeCosts& costs,
+                              const Device* src_dev, const Device* dst_dev,
+                              std::uint64_t bytes, bool src_near,
+                              bool dst_near, bool allow_peer);
+
+/// Plan a baseline (MPI+OpenACC process model) intra-node host-to-host
+/// message: stage into shared memory, IPC, stage out.
+IntraCopyPlan plan_baseline_copy(const sim::NodeDesc& node,
+                                 const sim::RuntimeCosts& costs,
+                                 std::uint64_t bytes);
+
+/// Plan an *unfused* copy for device-resident buffers (the message-fusion
+/// ablation): each side stages its device data over PCIe around the
+/// baseline IPC host path.
+IntraCopyPlan plan_unfused_copy(const sim::NodeDesc& node,
+                                const sim::RuntimeCosts& costs,
+                                const Device* src_dev, const Device* dst_dev,
+                                std::uint64_t bytes, bool src_near,
+                                bool dst_near);
+
+/// Perform the actual bytes movement when running functionally.
+void copy_bytes(void* dst, const void* src, std::uint64_t bytes,
+                bool functional);
+
+}  // namespace impacc::dev

@@ -1,0 +1,78 @@
+#include "dev/device.h"
+
+#include "common/types.h"
+
+namespace impacc::dev {
+
+namespace {
+
+// Virtual arenas are sized to the device's real capacity; functional
+// arenas are capped so small-scale tests don't reserve tens of GB each.
+std::uint64_t functional_arena_cap(std::uint64_t device_bytes) {
+  constexpr std::uint64_t kCap = 2ull << 30;  // 2 GiB is ample for tests
+  return device_bytes < kCap ? device_bytes : kCap;
+}
+
+}  // namespace
+
+namespace {
+// Integrated (host-shared) accelerators have no device memory of their
+// own (mem_bytes == 0); their arena is never used but must exist.
+std::uint64_t arena_capacity(const sim::DeviceDesc& d, bool functional) {
+  const std::uint64_t min_cap = 1 << 20;
+  const std::uint64_t cap =
+      functional ? functional_arena_cap(d.mem_bytes) : d.mem_bytes;
+  return cap < min_cap ? min_cap : cap;
+}
+}  // namespace
+
+Device::Device(sim::DeviceDesc desc, int node, int local_index,
+               int global_index, bool functional)
+    : desc_(std::move(desc)),
+      node_(node),
+      local_index_(local_index),
+      global_index_(global_index),
+      arena_(arena_capacity(desc_, functional),
+             functional ? ArenaMode::kReal : ArenaMode::kVirtual) {}
+
+DeviceBuffer Device::alloc(std::uint64_t bytes) {
+  void* p = arena_.alloc(bytes);
+  IMPACC_CHECK_MSG(p != nullptr, "device memory exhausted");
+  DeviceBuffer buf;
+  buf.dptr = p;
+  buf.bytes = bytes;
+  if (desc_.backend == sim::BackendKind::kOpenClLike) {
+    // The cl_mem-style handle; the mapped range (dptr) is what the present
+    // table indexes, the handle+offset is what the backend would be called
+    // with (Fig. 3, Task 1).
+    buf.handle = next_handle_++;
+  }
+  return buf;
+}
+
+void Device::free(const DeviceBuffer& buf) {
+  if (buf.dptr != nullptr) arena_.free(buf.dptr);
+}
+
+Stream* Device::stream(int async_id) {
+  streams_lock_.lock();
+  auto it = streams_.find(async_id);
+  if (it == streams_.end()) {
+    auto owned = std::make_unique<Stream>(global_index_, async_id);
+    it = streams_.emplace(async_id, std::move(owned)).first;
+  }
+  Stream* s = it->second.get();
+  streams_lock_.unlock();
+  return s;
+}
+
+std::vector<Stream*> Device::streams() {
+  std::vector<Stream*> out;
+  streams_lock_.lock();
+  out.reserve(streams_.size());
+  for (auto& [id, s] : streams_) out.push_back(s.get());
+  streams_lock_.unlock();
+  return out;
+}
+
+}  // namespace impacc::dev

@@ -1,0 +1,80 @@
+// Simulated accelerator device.
+//
+// A Device bundles the pieces the IMPACC runtime needs from CUDA/OpenCL:
+// device memory (an arena inside the unified node VAS), buffer handles
+// (cl_mem-style for OpenCL-like backends, raw UVA pointers for CUDA-like
+// ones — Fig. 3), and activity queues. Kernel *execution* is functional:
+// bodies run on the host; duration comes from the roofline cost model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dev/memarena.h"
+#include "dev/stream.h"
+#include "sim/costmodel.h"
+#include "sim/topology.h"
+
+namespace impacc::dev {
+
+/// Result of a device memory allocation. For CUDA-like backends `dptr` is
+/// the UVA address and `handle` is 0. For OpenCL-like backends `handle`
+/// identifies the cl_mem-style object and `dptr` is the reserved mapped
+/// range the present table indexes (section 3.4).
+struct DeviceBuffer {
+  void* dptr = nullptr;
+  std::uint64_t handle = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Device {
+ public:
+  /// `global_index` is unique across the cluster; `local_index` within the
+  /// node. `functional` selects a dereferenceable arena.
+  Device(sim::DeviceDesc desc, int node, int local_index, int global_index,
+         bool functional);
+
+  const sim::DeviceDesc& desc() const { return desc_; }
+  int node() const { return node_; }
+  int local_index() const { return local_index_; }
+  int global_index() const { return global_index_; }
+  sim::DeviceKind kind() const { return desc_.kind; }
+  sim::BackendKind backend() const { return desc_.backend; }
+
+  /// Allocate device memory. Aborts on exhaustion (device memory sizing is
+  /// an application contract in the paper's model).
+  DeviceBuffer alloc(std::uint64_t bytes);
+  void free(const DeviceBuffer& buf);
+
+  /// True if `p` lies in this device's memory range.
+  bool owns(const void* p) const { return arena_.contains(p); }
+
+  MemArena& arena() { return arena_; }
+  const MemArena& arena() const { return arena_; }
+
+  /// Activity queue for OpenACC async id `async_id` (created lazily).
+  Stream* stream(int async_id);
+
+  /// All streams created so far (handler iterates for drain/quiesce).
+  std::vector<Stream*> streams();
+
+  /// Kernel roofline time for a work estimate on this device.
+  sim::Time kernel_cost(const sim::WorkEstimate& w) const {
+    return sim::kernel_time(desc_, w.flops, w.bytes);
+  }
+
+ private:
+  sim::DeviceDesc desc_;
+  int node_;
+  int local_index_;
+  int global_index_;
+  MemArena arena_;
+  std::uint64_t next_handle_ = 1;
+
+  ult::SpinLock streams_lock_;
+  std::unordered_map<int, std::unique_ptr<Stream>> streams_;
+};
+
+}  // namespace impacc::dev

@@ -1,0 +1,109 @@
+#include "dev/memarena.h"
+
+#include <sys/mman.h>
+
+#include <atomic>
+
+#include "common/math_utils.h"
+
+namespace impacc::dev {
+
+namespace {
+
+// Synthetic range start: well below typical glibc heap (0x55xx...) and
+// mmap (0x7fxx...) areas on x86-64 Linux, well above null-page traps.
+std::atomic<std::uintptr_t> g_virtual_next{0x2000'0000'0000ull};
+
+}  // namespace
+
+std::uintptr_t reserve_virtual_range(std::uint64_t bytes) {
+  const std::uint64_t padded = round_up(bytes + 4096, 4096);
+  return g_virtual_next.fetch_add(padded, std::memory_order_relaxed);
+}
+
+MemArena::MemArena(std::uint64_t capacity, ArenaMode mode)
+    : capacity_(round_up(capacity, 4096)), mode_(mode) {
+  if (mode_ == ArenaMode::kReal) {
+    mapping_ = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    IMPACC_CHECK_MSG(mapping_ != MAP_FAILED, "device arena mmap failed");
+    base_ = reinterpret_cast<std::uintptr_t>(mapping_);
+  } else {
+    base_ = reserve_virtual_range(capacity_);
+  }
+  free_blocks_.emplace(0, capacity_);
+}
+
+MemArena::~MemArena() {
+  if (mapping_ != nullptr) ::munmap(mapping_, capacity_);
+}
+
+void* MemArena::alloc(std::uint64_t size, std::uint64_t align) {
+  IMPACC_CHECK(size > 0 && is_pow2(align));
+  lock_.lock();
+  for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
+    const std::uint64_t block_off = it->first;
+    const std::uint64_t block_size = it->second;
+    const std::uint64_t aligned_off = round_up(block_off, align);
+    const std::uint64_t pad = aligned_off - block_off;
+    if (block_size < pad + size) continue;
+
+    free_blocks_.erase(it);
+    if (pad > 0) free_blocks_.emplace(block_off, pad);
+    const std::uint64_t tail = block_size - pad - size;
+    if (tail > 0) free_blocks_.emplace(aligned_off + size, tail);
+    live_.emplace(aligned_off, size);
+    in_use_ += size;
+    lock_.unlock();
+    return reinterpret_cast<void*>(base_ + aligned_off);
+  }
+  lock_.unlock();
+  return nullptr;
+}
+
+void MemArena::free(void* p) {
+  if (p == nullptr) return;
+  const std::uint64_t off = reinterpret_cast<std::uintptr_t>(p) - base_;
+  lock_.lock();
+  auto it = live_.find(off);
+  IMPACC_CHECK_MSG(it != live_.end(), "free of unknown device pointer");
+  std::uint64_t size = it->second;
+  live_.erase(it);
+  in_use_ -= size;
+
+  // Insert into the free map and coalesce with neighbors.
+  auto [fit, inserted] = free_blocks_.emplace(off, size);
+  IMPACC_CHECK(inserted);
+  if (fit != free_blocks_.begin()) {
+    auto prev = std::prev(fit);
+    if (prev->first + prev->second == fit->first) {
+      prev->second += fit->second;
+      free_blocks_.erase(fit);
+      fit = prev;
+    }
+  }
+  auto next = std::next(fit);
+  if (next != free_blocks_.end() && fit->first + fit->second == next->first) {
+    fit->second += next->second;
+    free_blocks_.erase(next);
+  }
+  lock_.unlock();
+}
+
+std::uint64_t MemArena::alloc_size(void* p) const {
+  const std::uint64_t off = reinterpret_cast<std::uintptr_t>(p) - base_;
+  lock_.lock();
+  auto it = live_.find(off);
+  const std::uint64_t size = (it != live_.end()) ? it->second : 0;
+  lock_.unlock();
+  return size;
+}
+
+std::uint64_t MemArena::bytes_in_use() const {
+  lock_.lock();
+  const std::uint64_t v = in_use_;
+  lock_.unlock();
+  return v;
+}
+
+}  // namespace impacc::dev

@@ -1,0 +1,76 @@
+// Device memory arenas and the allocator behind acc data clauses.
+//
+// Each simulated accelerator owns one arena representing its device
+// memory. In *real* mode the arena is an mmap'd MAP_NORESERVE region, so
+// device pointers are genuine addresses inside the unified node virtual
+// address space (the paper's UVA technique, section 3.4) and kernels can
+// dereference them. In *virtual* mode (used by model-only benchmark points
+// whose device memories would exceed this machine) the arena hands out
+// unique, never-dereferenced addresses from a reserved range.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/types.h"
+#include "ult/sync.h"
+
+namespace impacc::dev {
+
+enum class ArenaMode : int {
+  kReal,     // mmap-backed; pointers are dereferenceable
+  kVirtual,  // synthetic address range; pointers are opaque tokens
+};
+
+/// First-fit free-list allocator with coalescing over one contiguous
+/// region. Thread-safe (short spinlock; no fiber switches inside).
+class MemArena {
+ public:
+  MemArena(std::uint64_t capacity, ArenaMode mode);
+  ~MemArena();
+
+  MemArena(const MemArena&) = delete;
+  MemArena& operator=(const MemArena&) = delete;
+
+  /// Allocate `size` bytes aligned to `align` (power of two). Returns
+  /// nullptr when the arena is exhausted.
+  void* alloc(std::uint64_t size, std::uint64_t align = 256);
+
+  /// Free a pointer previously returned by alloc().
+  void free(void* p);
+
+  /// Size of the allocation at `p` (0 if unknown).
+  std::uint64_t alloc_size(void* p) const;
+
+  bool contains(const void* p) const {
+    const auto a = reinterpret_cast<std::uintptr_t>(p);
+    return a >= base_ && a < base_ + capacity_;
+  }
+
+  std::uintptr_t base() const { return base_; }
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t bytes_in_use() const;
+  ArenaMode mode() const { return mode_; }
+  bool dereferenceable() const { return mode_ == ArenaMode::kReal; }
+
+ private:
+  std::uint64_t capacity_;
+  ArenaMode mode_;
+  std::uintptr_t base_ = 0;
+  void* mapping_ = nullptr;
+
+  mutable ult::SpinLock lock_;
+  // offset -> size; disjoint, coalesced.
+  std::map<std::uint64_t, std::uint64_t> free_blocks_;
+  // offset -> size of live allocations (for free()/alloc_size()).
+  std::map<std::uint64_t, std::uint64_t> live_;
+  std::uint64_t in_use_ = 0;
+};
+
+/// Global allocator of synthetic address ranges for kVirtual arenas and the
+/// model-only node heap. Ranges never overlap each other; they live far
+/// from the glibc heap/stack/library areas so range lookups in the unified
+/// VAS cannot confuse them with real host memory.
+std::uintptr_t reserve_virtual_range(std::uint64_t bytes);
+
+}  // namespace impacc::dev

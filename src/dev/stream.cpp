@@ -1,0 +1,144 @@
+#include "dev/stream.h"
+
+#include <cstring>
+
+#include "common/types.h"
+#include "ult/scheduler.h"
+
+namespace impacc::dev {
+
+// --- CompletionRecord -------------------------------------------------------
+
+void CompletionRecord::complete(sim::Time t) {
+  spin_.lock();
+  IMPACC_CHECK_MSG(!done_, "double completion");
+  done_ = true;
+  time_ = t;
+  std::vector<ult::Fiber*> waiters;
+  waiters.swap(waiters_);
+  spin_.unlock();
+  for (ult::Fiber* f : waiters) f->scheduler()->unblock(f);
+}
+
+sim::Time CompletionRecord::wait() {
+  ult::Fiber* self = ult::Scheduler::current();
+  IMPACC_CHECK_MSG(self != nullptr, "CompletionRecord::wait outside fiber");
+  spin_.lock();
+  if (done_) {
+    const sim::Time t = time_;
+    spin_.unlock();
+    return t;
+  }
+  waiters_.push_back(self);
+  self->scheduler()->block([this] { spin_.unlock(); });
+  // done_ is monotonic; no lock needed for the re-read.
+  return time_;
+}
+
+bool CompletionRecord::poll(sim::Time* t) {
+  spin_.lock();
+  const bool done = done_;
+  if (done && t != nullptr) *t = time_;
+  spin_.unlock();
+  return done;
+}
+
+// --- Stream ------------------------------------------------------------------
+
+bool Stream::enqueue(StreamOp op) {
+  spin_.lock();
+  ops_.push_back(std::move(op));
+  const bool was_unscheduled = !scheduled_;
+  scheduled_ = true;
+  spin_.unlock();
+  return was_unscheduled;
+}
+
+bool Stream::advance(bool functional) {
+  for (;;) {
+    spin_.lock();
+    if (ops_.empty()) {
+      scheduled_ = false;
+      spin_.unlock();
+      return false;
+    }
+    StreamOp& head = ops_.front();
+    // Start no earlier than both the stream timeline and the host-side
+    // enqueue point.
+    clock_.merge(head.enqueue_time);
+
+    if (head.kind == StreamOp::Kind::kAsyncExternal) {
+      // Initiate and keep going; completion arrives out-of-band.
+      auto begin = std::move(head.begin_async);
+      const sim::Time ready = clock_.now();
+      ops_.pop_front();
+      ++in_flight_;
+      spin_.unlock();
+      begin(ready);
+      continue;
+    }
+
+    if (in_flight_ > 0) {
+      // In-order completion: this op cannot run until every initiated MPI
+      // op has completed.
+      stalled_ = true;
+      scheduled_ = false;
+      spin_.unlock();
+      return true;
+    }
+
+    // Take a copy of the execution payload so the functional work runs
+    // without holding the spinlock.
+    StreamOp op = std::move(head);
+    ops_.pop_front();
+    const sim::Time start = clock_.now();
+    spin_.unlock();
+
+    if (functional) {
+      if (op.kind == StreamOp::Kind::kMemcpy && op.functional &&
+          op.bytes > 0) {
+        std::memmove(op.dst, op.src, op.bytes);
+      }
+      if (op.body) op.body();
+    } else if (op.kind == StreamOp::Kind::kCallback && op.body) {
+      // Callbacks carry control flow (e.g. chained sends), not data; they
+      // run even in model-only mode.
+      op.body();
+    }
+
+    const sim::Time end = clock_.advance(op.model_cost);
+    if (trace_ != nullptr && op.kind != StreamOp::Kind::kMarker) {
+      trace_->record(trace_pid_,
+                     "dev" + std::to_string(device_index_) + " q" +
+                         std::to_string(id_),
+                     op.label,
+                     op.kind == StreamOp::Kind::kKernel ? "kernel" : "copy",
+                     start, end);
+    }
+    if (op.completion != nullptr) op.completion->complete(end);
+  }
+}
+
+bool Stream::complete_inflight(sim::Time t) {
+  spin_.lock();
+  IMPACC_CHECK_MSG(in_flight_ > 0, "completion without initiation");
+  clock_.merge(t);
+  --in_flight_;
+  bool reschedule = false;
+  if (in_flight_ == 0 && stalled_) {
+    stalled_ = false;
+    reschedule = !ops_.empty();
+    if (reschedule) scheduled_ = true;
+  }
+  spin_.unlock();
+  return reschedule;
+}
+
+bool Stream::idle() {
+  spin_.lock();
+  const bool idle = ops_.empty() && in_flight_ == 0;
+  spin_.unlock();
+  return idle;
+}
+
+}  // namespace impacc::dev

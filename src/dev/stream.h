@@ -1,0 +1,138 @@
+// Activity queues (streams) and completion records.
+//
+// OpenACC async clauses name *activity queues* on a device; IMPACC extends
+// them with MPI operations (the unified activity queue, section 3.6).
+// A Stream executes its operations strictly in order; different streams
+// proceed independently. Streams are driven by the per-node message
+// handler fiber; task fibers only enqueue and wait.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+#include "sim/vclock.h"
+#include "ult/sync.h"
+
+namespace impacc::dev {
+
+/// One-shot completion flag carrying the virtual time at which the
+/// operation finished. Task fibers block on it; the handler signals it.
+class CompletionRecord {
+ public:
+  /// Signal completion at virtual time `t`. Wakes all waiters.
+  void complete(sim::Time t);
+
+  /// Block the calling fiber until complete; returns the completion time.
+  sim::Time wait();
+
+  /// Non-blocking check; fills `t` when done.
+  bool poll(sim::Time* t = nullptr);
+
+ private:
+  ult::SpinLock spin_;
+  bool done_ = false;
+  sim::Time time_ = 0;
+  std::vector<ult::Fiber*> waiters_;
+};
+
+/// A single in-order operation on a stream.
+struct StreamOp {
+  enum class Kind {
+    kKernel,    // compute region (parallel/kernels construct)
+    kMemcpy,    // data clause / update traffic
+    kCallback,  // host callback (cuStreamAddCallback analog)
+    kAsyncExternal,  // MPI operation: posted at head, completed externally
+    kMarker,    // wait marker: completes instantly, signals completion
+  };
+
+  Kind kind = Kind::kMarker;
+  std::string label;
+
+  // Functional work. For kKernel this runs the kernel body; for kMemcpy it
+  // is empty and dst/src/bytes below are used; for kCallback it is the
+  // callback.
+  std::function<void()> body;
+
+  // Modeled duration of the op (kernel roofline / copy path cost).
+  sim::Time model_cost = 0;
+
+  // kMemcpy payload; executed only when `functional` is set.
+  void* dst = nullptr;
+  const void* src = nullptr;
+  std::uint64_t bytes = 0;
+  bool functional = false;
+
+  // kAsyncExternal (MPI operations): invoked when the op reaches the
+  // stream head, with the virtual time at which the stream's preceding
+  // work finished. Initiation is instant and the stream keeps advancing —
+  // consecutive MPI ops are all initiated in order (otherwise the paper's
+  // Fig. 4(c) pattern, isend;irecv on one queue in both tasks, would
+  // deadlock under rendezvous). Non-MPI ops wait for every outstanding
+  // initiation to complete (in-order completion, section 3.6). The
+  // external agent calls Stream::complete_inflight() when done.
+  std::function<void(sim::Time ready)> begin_async;
+
+  // Optional completion to signal with the op's end time.
+  CompletionRecord* completion = nullptr;
+
+  // Virtual time of the enqueuing task when it enqueued this op; the op
+  // cannot start earlier.
+  sim::Time enqueue_time = 0;
+};
+
+/// In-order activity queue. All mutation happens on the owning node's
+/// handler fiber except enqueue(), which any task fiber may call; a
+/// spinlock protects the deque.
+class Stream {
+ public:
+  Stream(int device_index, int id) : device_index_(device_index), id_(id) {}
+
+  int id() const { return id_; }
+  int device_index() const { return device_index_; }
+
+  /// Attach a trace sink; executed ops are recorded as
+  /// "dev<device> q<id>" rows under process `pid` (the node index).
+  void set_trace(sim::TraceSink* sink, int pid) {
+    trace_ = sink;
+    trace_pid_ = pid;
+  }
+
+  /// Append an op. Returns true if the stream was previously idle (the
+  /// caller should then schedule it with the handler).
+  bool enqueue(StreamOp op);
+
+  /// Handler-side: run ops from the head. MPI ops initiate and keep the
+  /// queue moving; a non-MPI op behind outstanding MPI completions stalls
+  /// the stream. `functional` enables real data movement/compute.
+  /// Returns true if the stream stalled (waiting on completions).
+  bool advance(bool functional);
+
+  /// Complete one outstanding MPI initiation at time `t` (any fiber).
+  /// Returns true when the stream has runnable work again and should be
+  /// rescheduled with its node handler.
+  bool complete_inflight(sim::Time t);
+
+  /// Virtual time at which all currently-finished work on this stream was
+  /// done.
+  sim::Time now() const { return clock_.now(); }
+
+  bool idle();
+
+ private:
+  int device_index_;
+  int id_;
+  ult::SpinLock spin_;
+  std::deque<StreamOp> ops_;
+  int in_flight_ = 0;       // initiated MPI ops not yet completed
+  bool stalled_ = false;    // non-MPI head waiting for in-flight drain
+  bool scheduled_ = false;  // known to the handler's active set
+  sim::VirtualClock clock_;
+  sim::TraceSink* trace_ = nullptr;
+  int trace_pid_ = 0;
+};
+
+}  // namespace impacc::dev

@@ -1,0 +1,27 @@
+// IMPACC public umbrella header.
+//
+// A reproduction of "IMPACC: A Tightly Integrated MPI+OpenACC Framework
+// Exploiting Shared Memory Parallelism" (Kim, Lee, Vetter — HPDC 2016) on
+// a simulated heterogeneous accelerator cluster. See DESIGN.md for the
+// mapping from paper sections to modules.
+//
+// Typical use:
+//
+//   impacc::core::LaunchOptions opts;
+//   opts.cluster = impacc::sim::make_psg();
+//   auto result = impacc::launch(opts, [] {
+//     auto comm = impacc::mpi::world();
+//     int rank = impacc::mpi::comm_rank(comm);
+//     ...
+//   });
+//   // result.makespan is the simulated run time.
+#pragma once
+
+#include "acc/api.h"          // OpenACC-style runtime + #pragma acc mpi
+#include "core/config.h"      // LaunchOptions, Framework, Features
+#include "core/heap.h"        // node_malloc / node_free (hooked heap)
+#include "core/launch.h"      // impacc::launch()
+#include "mpi/api.h"          // threaded-MPI API
+#include "mpi/datatype.h"     // derived datatypes (type_vector, ...)
+#include "sim/systems.h"      // PSG / Beacon / Titan presets (Table 1)
+#include "sim/trace.h"        // Chrome-trace sink (Fig. 5 timelines)

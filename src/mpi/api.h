@@ -1,0 +1,103 @@
+// The threaded-MPI public API.
+//
+// Function names follow MPI (lower-cased) so MPI_* calls translate 1:1.
+// All functions must be called from a task fiber (inside impacc::launch).
+// The IMPACC directive (#pragma acc mpi -> impacc::acc::mpi()) attaches a
+// hint consumed by the immediately following call, enabling device-buffer
+// communication and unified-activity-queue enqueueing (sections 3.5, 3.6).
+#pragma once
+
+#include <vector>
+
+#include "mpi/comm.h"
+#include "mpi/types.h"
+
+namespace impacc::mpi {
+
+/// MPI_COMM_WORLD of the current run.
+Comm world();
+
+int comm_rank(Comm comm);
+int comm_size(Comm comm);
+Comm comm_dup(Comm comm);
+/// Split by color (tasks with equal color share the new communicator),
+/// ordered by (key, parent rank). color < 0 yields no communicator
+/// (MPI_UNDEFINED analog) and returns nullptr.
+Comm comm_split(Comm comm, int color, int key);
+
+/// Cartesian topology without reordering (MPI_Cart_create).
+CartComm* cart_create(Comm comm, const std::vector<int>& dims,
+                      const std::vector<int>& periods);
+
+// --- Point-to-point ---------------------------------------------------------
+
+void send(const void* buf, int count, Datatype dt, int dst, int tag,
+          Comm comm);
+void recv(void* buf, int count, Datatype dt, int src, int tag, Comm comm,
+          MpiStatus* status = nullptr);
+Request isend(const void* buf, int count, Datatype dt, int dst, int tag,
+              Comm comm);
+Request irecv(void* buf, int count, Datatype dt, int src, int tag, Comm comm);
+/// MPI_Ssend: synchronous send — always rendezvous, completes only when
+/// the receive is matched (never buffered eagerly).
+void ssend(const void* buf, int count, Datatype dt, int dst, int tag,
+           Comm comm);
+void wait(Request& req, MpiStatus* status = nullptr);
+void waitall(Request* reqs, int n);
+void waitall(std::vector<Request>& reqs);
+/// MPI_Waitany: block until one request completes; returns its index and
+/// consumes it (-1 if all requests are null).
+int waitany(Request* reqs, int n, MpiStatus* status = nullptr);
+/// Non-blocking completion check; consumes the request when true.
+bool test(Request& req, MpiStatus* status = nullptr);
+/// MPI_Testall: true (and consumes) only when every request is complete.
+bool testall(Request* reqs, int n);
+/// MPI_Probe: block until a matching message is pending, fill status
+/// without receiving it.
+void probe(int src, int tag, Comm comm, MpiStatus* status);
+/// MPI_Iprobe: check once whether a matching message is pending.
+bool iprobe(int src, int tag, Comm comm, MpiStatus* status = nullptr);
+/// MPI_Get_count analog: elements of `dt` in a received message.
+int get_count(const MpiStatus& status, Datatype dt);
+void sendrecv(const void* sbuf, int scount, Datatype sdt, int dst, int stag,
+              void* rbuf, int rcount, Datatype rdt, int src, int rtag,
+              Comm comm, MpiStatus* status = nullptr);
+
+// --- Collectives -------------------------------------------------------------
+
+void barrier(Comm comm);
+/// Node-aware broadcast: binomial across node leaders, then intra-node
+/// forwarding that can use node heap aliasing when the callers attached
+/// readonly hints (section 3.8).
+void bcast(void* buf, int count, Datatype dt, int root, Comm comm);
+void reduce(const void* sendbuf, void* recvbuf, int count, Datatype dt, Op op,
+            int root, Comm comm);
+void allreduce(const void* sendbuf, void* recvbuf, int count, Datatype dt,
+               Op op, Comm comm);
+void gather(const void* sbuf, int scount, Datatype sdt, void* rbuf, int rcount,
+            Datatype rdt, int root, Comm comm);
+void gatherv(const void* sbuf, int scount, Datatype sdt, void* rbuf,
+             const int* rcounts, const int* displs, Datatype rdt, int root,
+             Comm comm);
+void scatter(const void* sbuf, int scount, Datatype sdt, void* rbuf,
+             int rcount, Datatype rdt, int root, Comm comm);
+void scatterv(const void* sbuf, const int* scounts, const int* displs,
+              Datatype sdt, void* rbuf, int rcount, Datatype rdt, int root,
+              Comm comm);
+void allgather(const void* sbuf, int scount, Datatype sdt, void* rbuf,
+               int rcount, Datatype rdt, Comm comm);
+void alltoall(const void* sbuf, int scount, Datatype sdt, void* rbuf,
+              int rcount, Datatype rdt, Comm comm);
+/// MPI_Scan: inclusive prefix reduction over ranks 0..r.
+void scan(const void* sendbuf, void* recvbuf, int count, Datatype dt, Op op,
+          Comm comm);
+/// MPI_Reduce_scatter_block: reduce count*size elements, scatter `count`
+/// to each rank.
+void reduce_scatter_block(const void* sendbuf, void* recvbuf, int count,
+                          Datatype dt, Op op, Comm comm);
+
+/// Apply a reduction operator elementwise: inout[i] = op(inout[i], in[i]).
+/// Exposed for tests.
+void apply_op(void* inout, const void* in, int count, Datatype dt, Op op);
+
+}  // namespace impacc::mpi

@@ -1,0 +1,42 @@
+#include "mpi/comm.h"
+
+namespace impacc::mpi {
+
+std::vector<int> CartComm::coords(int r) const {
+  IMPACC_CHECK(r >= 0 && r < size());
+  std::vector<int> c(static_cast<std::size_t>(ndims()));
+  for (int d = ndims() - 1; d >= 0; --d) {
+    c[static_cast<std::size_t>(d)] = r % dims_[static_cast<std::size_t>(d)];
+    r /= dims_[static_cast<std::size_t>(d)];
+  }
+  return c;
+}
+
+int CartComm::rank_at(const std::vector<int>& coords) const {
+  IMPACC_CHECK(static_cast<int>(coords.size()) == ndims());
+  int r = 0;
+  for (int d = 0; d < ndims(); ++d) {
+    int c = coords[static_cast<std::size_t>(d)];
+    const int n = dims_[static_cast<std::size_t>(d)];
+    if (periods_[static_cast<std::size_t>(d)] != 0) {
+      c = ((c % n) + n) % n;
+    } else if (c < 0 || c >= n) {
+      return -1;
+    }
+    r = r * n + c;
+  }
+  return r;
+}
+
+void CartComm::shift(int r, int dim, int disp, int* rank_source,
+                     int* rank_dest) const {
+  std::vector<int> c = coords(r);
+  std::vector<int> src = c;
+  std::vector<int> dst = c;
+  src[static_cast<std::size_t>(dim)] -= disp;
+  dst[static_cast<std::size_t>(dim)] += disp;
+  if (rank_source != nullptr) *rank_source = rank_at(src);
+  if (rank_dest != nullptr) *rank_dest = rank_at(dst);
+}
+
+}  // namespace impacc::mpi

@@ -1,0 +1,457 @@
+#include <cstring>
+#include <vector>
+
+#include "common/types.h"
+#include "core/runtime.h"
+#include "core/task.h"
+#include "mpi/api.h"
+
+namespace impacc::mpi {
+
+namespace {
+
+using core::Task;
+
+// Collective operations use a reserved tag space; the per-communicator
+// sequence number keeps concurrent collectives on the same communicator
+// apart (MPI requires identical call order on all members).
+constexpr int kCollTagBase = 1 << 24;
+
+int next_coll_tag(Task& t, Comm comm) {
+  int& seq = t.collective_seq[comm->context_id()];
+  const int tag = kCollTagBase + (seq & 0x7fffff);
+  ++seq;
+  return tag;
+}
+
+bool functional() {
+  return core::require_task("collective").rt->functional();
+}
+
+/// Group communicator ranks by node, preserving rank order. Used by the
+/// node-aware broadcast.
+std::vector<std::vector<int>> ranks_by_node(Task& t, Comm comm) {
+  std::vector<std::vector<int>> groups(
+      static_cast<std::size_t>(t.rt->num_nodes()));
+  for (int r = 0; r < comm->size(); ++r) {
+    const int node = t.rt->task(comm->global_of(r)).node->index;
+    groups[static_cast<std::size_t>(node)].push_back(r);
+  }
+  std::vector<std::vector<int>> out;
+  for (auto& g : groups) {
+    if (!g.empty()) out.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace
+
+void apply_op(void* inout, const void* in, int count, Datatype dt, Op op) {
+  auto combine = [op](auto& a, auto b) {
+    using T = std::decay_t<decltype(a)>;
+    switch (op) {
+      case Op::kSum: a = static_cast<T>(a + b); break;
+      case Op::kProd: a = static_cast<T>(a * b); break;
+      case Op::kMax: a = a < b ? b : a; break;
+      case Op::kMin: a = b < a ? b : a; break;
+      case Op::kLand: a = static_cast<T>(a != T{} && b != T{}); break;
+      case Op::kLor: a = static_cast<T>(a != T{} || b != T{}); break;
+      case Op::kBand:
+      case Op::kBor:
+        if constexpr (std::is_integral_v<T>) {
+          a = op == Op::kBand ? static_cast<T>(a & b) : static_cast<T>(a | b);
+        } else {
+          IMPACC_CHECK_MSG(false, "bitwise op on floating datatype");
+        }
+        break;
+    }
+  };
+  auto loop = [&](auto* dst, const auto* src) {
+    for (int i = 0; i < count; ++i) combine(dst[i], src[i]);
+  };
+  switch (dt) {
+    case Datatype::kByte:
+    case Datatype::kChar:
+      loop(static_cast<unsigned char*>(inout),
+           static_cast<const unsigned char*>(in));
+      break;
+    case Datatype::kInt:
+      loop(static_cast<int*>(inout), static_cast<const int*>(in));
+      break;
+    case Datatype::kLong:
+      loop(static_cast<long*>(inout), static_cast<const long*>(in));
+      break;
+    case Datatype::kUint64:
+      loop(static_cast<std::uint64_t*>(inout),
+           static_cast<const std::uint64_t*>(in));
+      break;
+    case Datatype::kFloat:
+      loop(static_cast<float*>(inout), static_cast<const float*>(in));
+      break;
+    case Datatype::kDouble:
+      loop(static_cast<double*>(inout), static_cast<const double*>(in));
+      break;
+  }
+}
+
+void barrier(Comm comm) {
+  Task& t = core::require_task("mpi::barrier outside a task");
+  const int rank = comm->rank_of_global(t.id);
+  const int size = comm->size();
+  const int tag = next_coll_tag(t, comm);
+  // Dissemination barrier: ceil(log2(P)) rounds of zero-byte messages.
+  for (int dist = 1; dist < size; dist <<= 1) {
+    const int to = (rank + dist) % size;
+    const int from = (rank - dist % size + size) % size;
+    Request rr = irecv(nullptr, 0, Datatype::kByte, from, tag, comm);
+    Request sr = isend(nullptr, 0, Datatype::kByte, to, tag, comm);
+    wait(sr);
+    wait(rr);
+  }
+}
+
+void bcast(void* buf, int count, Datatype dt, int root, Comm comm) {
+  Task& t = core::require_task("mpi::bcast outside a task");
+  const core::MpiHint hint = t.take_hint();  // readonly aliasing hints
+  const int rank = comm->rank_of_global(t.id);
+  const int size = comm->size();
+  if (size == 1) return;
+  const int tag = next_coll_tag(t, comm);
+
+  // Node-aware two-level broadcast (section 3.8): stage 1 is a binomial
+  // tree over node leaders; stage 2 forwards within each node, where the
+  // heap-aliasing requirements can be met.
+  const auto groups = ranks_by_node(t, comm);
+  std::vector<int> leaders;
+  leaders.reserve(groups.size());
+  int my_group = -1;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (int r : groups[g]) {
+      if (r == rank) my_group = static_cast<int>(g);
+    }
+    leaders.push_back(groups[g].front());
+  }
+  IMPACC_CHECK(my_group >= 0);
+  // The root acts as its node's leader.
+  int root_group = -1;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (int r : groups[g]) {
+      if (r == root) root_group = static_cast<int>(g);
+    }
+  }
+  std::vector<int> stage1 = leaders;
+  stage1[static_cast<std::size_t>(root_group)] = root;
+  const int my_leader = stage1[static_cast<std::size_t>(my_group)];
+
+  // Stage 1: binomial tree over stage1 ranks, rooted at root's position.
+  if (rank == my_leader) {
+    const int n = static_cast<int>(stage1.size());
+    int me = 0;
+    for (int i = 0; i < n; ++i) {
+      if (stage1[static_cast<std::size_t>(i)] == rank) me = i;
+    }
+    // Virtual ranks relative to the root's group.
+    const int vme = (me - root_group + n) % n;
+    int mask = 1;
+    while (mask < n) {
+      if (vme < mask) {
+        const int vpeer = vme + mask;
+        if (vpeer < n) {
+          const int peer = stage1[static_cast<std::size_t>(
+              (vpeer + root_group) % n)];
+          send(buf, count, dt, peer, tag, comm);
+        }
+      } else if (vme < 2 * mask) {
+        const int vpeer = vme - mask;
+        const int peer =
+            stage1[static_cast<std::size_t>((vpeer + root_group) % n)];
+        recv(buf, count, dt, peer, tag, comm);
+      }
+      mask <<= 1;
+    }
+  }
+
+  // Stage 2: the leader forwards to the other tasks on its node. Readonly
+  // hints flow through so the intra-node legs can alias instead of copy.
+  const auto& local = groups[static_cast<std::size_t>(my_group)];
+  if (rank == my_leader) {
+    // A leader's copy is read-only by the application's contract whenever
+    // it attached a readonly clause to either side of its own call. The
+    // forwarding legs are issued as non-blocking sends so the receivers'
+    // copies progress concurrently (real shared-memory broadcasts
+    // pipeline; serializing the legs would charge the leader N full
+    // copies).
+    const bool fwd_readonly = hint.send_readonly || hint.recv_readonly;
+    std::vector<Request> reqs;
+    for (int r : local) {
+      if (r == my_leader || r == root) continue;
+      if (fwd_readonly) {
+        core::MpiHint h;
+        h.send_readonly = true;
+        core::set_mpi_hint(h);
+      }
+      reqs.push_back(isend(buf, count, dt, r, tag, comm));
+    }
+    waitall(reqs);
+  } else if (rank != root) {
+    if (hint.recv_readonly && hint.recv_ptr_addr != nullptr) {
+      core::MpiHint h;
+      h.recv_readonly = true;
+      h.recv_ptr_addr = hint.recv_ptr_addr;
+      core::set_mpi_hint(h);
+    }
+    recv(buf, count, dt, my_leader, tag, comm);
+  }
+}
+
+void reduce(const void* sendbuf, void* recvbuf, int count, Datatype dt, Op op,
+            int root, Comm comm) {
+  Task& t = core::require_task("mpi::reduce outside a task");
+  const int rank = comm->rank_of_global(t.id);
+  const int size = comm->size();
+  const int tag = next_coll_tag(t, comm);
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(count) * datatype_size(dt);
+  const bool fn = functional();
+
+  // Local accumulator (rank-rotated binomial reduction tree).
+  std::vector<unsigned char> acc_buf;
+  void* acc = nullptr;
+  if (fn) {
+    if (rank == root) {
+      acc = recvbuf;
+      std::memcpy(acc, sendbuf, bytes);
+    } else {
+      acc_buf.resize(bytes);
+      acc = acc_buf.data();
+      std::memcpy(acc, sendbuf, bytes);
+    }
+  }
+  std::vector<unsigned char> incoming(fn ? bytes : 0);
+
+  const int vrank = (rank - root + size) % size;
+  int mask = 1;
+  while (mask < size) {
+    if ((vrank & mask) == 0) {
+      const int vpeer = vrank | mask;
+      if (vpeer < size) {
+        const int peer = (vpeer + root) % size;
+        recv(fn ? incoming.data() : nullptr, fn ? count : 0, dt, peer, tag,
+             comm);
+        if (fn) apply_op(acc, incoming.data(), count, dt, op);
+      }
+    } else {
+      const int peer = ((vrank & ~mask) + root) % size;
+      send(fn ? acc : nullptr, fn ? count : 0, dt, peer, tag, comm);
+      break;
+    }
+    mask <<= 1;
+  }
+}
+
+void allreduce(const void* sendbuf, void* recvbuf, int count, Datatype dt,
+               Op op, Comm comm) {
+  reduce(sendbuf, recvbuf, count, dt, op, 0, comm);
+  bcast(recvbuf, count, dt, 0, comm);
+}
+
+void gather(const void* sbuf, int scount, Datatype sdt, void* rbuf, int rcount,
+            Datatype rdt, int root, Comm comm) {
+  Task& t = core::require_task("mpi::gather outside a task");
+  const int rank = comm->rank_of_global(t.id);
+  const int size = comm->size();
+  const int tag = next_coll_tag(t, comm);
+  const std::uint64_t rbytes =
+      static_cast<std::uint64_t>(rcount) * datatype_size(rdt);
+  if (rank == root) {
+    auto* out = static_cast<unsigned char*>(rbuf);
+    std::vector<Request> reqs;
+    reqs.reserve(static_cast<std::size_t>(size));
+    for (int r = 0; r < size; ++r) {
+      if (r == rank) {
+        if (functional() && rbytes > 0) {
+          std::memcpy(out + static_cast<std::uint64_t>(r) * rbytes, sbuf,
+                      rbytes);
+        }
+        continue;
+      }
+      reqs.push_back(irecv(out + static_cast<std::uint64_t>(r) * rbytes,
+                           rcount, rdt, r, tag, comm));
+    }
+    waitall(reqs);
+  } else {
+    send(sbuf, scount, sdt, root, tag, comm);
+  }
+}
+
+void gatherv(const void* sbuf, int scount, Datatype sdt, void* rbuf,
+             const int* rcounts, const int* displs, Datatype rdt, int root,
+             Comm comm) {
+  Task& t = core::require_task("mpi::gatherv outside a task");
+  const int rank = comm->rank_of_global(t.id);
+  const int size = comm->size();
+  const int tag = next_coll_tag(t, comm);
+  const std::uint64_t esz = datatype_size(rdt);
+  if (rank == root) {
+    auto* out = static_cast<unsigned char*>(rbuf);
+    std::vector<Request> reqs;
+    for (int r = 0; r < size; ++r) {
+      unsigned char* dst = out + static_cast<std::uint64_t>(displs[r]) * esz;
+      if (r == rank) {
+        if (functional() && rcounts[r] > 0) {
+          std::memcpy(dst, sbuf,
+                      static_cast<std::uint64_t>(rcounts[r]) * esz);
+        }
+        continue;
+      }
+      reqs.push_back(irecv(dst, rcounts[r], rdt, r, tag, comm));
+    }
+    waitall(reqs);
+  } else {
+    send(sbuf, scount, sdt, root, tag, comm);
+  }
+}
+
+void scatter(const void* sbuf, int scount, Datatype sdt, void* rbuf,
+             int rcount, Datatype rdt, int root, Comm comm) {
+  Task& t = core::require_task("mpi::scatter outside a task");
+  const int rank = comm->rank_of_global(t.id);
+  const int size = comm->size();
+  const int tag = next_coll_tag(t, comm);
+  const std::uint64_t sbytes =
+      static_cast<std::uint64_t>(scount) * datatype_size(sdt);
+  if (rank == root) {
+    const auto* in = static_cast<const unsigned char*>(sbuf);
+    std::vector<Request> reqs;
+    for (int r = 0; r < size; ++r) {
+      const unsigned char* src = in + static_cast<std::uint64_t>(r) * sbytes;
+      if (r == rank) {
+        if (functional() && sbytes > 0) std::memcpy(rbuf, src, sbytes);
+        continue;
+      }
+      reqs.push_back(isend(src, scount, sdt, r, tag, comm));
+    }
+    waitall(reqs);
+  } else {
+    recv(rbuf, rcount, rdt, root, tag, comm);
+  }
+}
+
+void scatterv(const void* sbuf, const int* scounts, const int* displs,
+              Datatype sdt, void* rbuf, int rcount, Datatype rdt, int root,
+              Comm comm) {
+  Task& t = core::require_task("mpi::scatterv outside a task");
+  const int rank = comm->rank_of_global(t.id);
+  const int size = comm->size();
+  const int tag = next_coll_tag(t, comm);
+  const std::uint64_t esz = datatype_size(sdt);
+  if (rank == root) {
+    const auto* in = static_cast<const unsigned char*>(sbuf);
+    std::vector<Request> reqs;
+    for (int r = 0; r < size; ++r) {
+      const unsigned char* src =
+          in + static_cast<std::uint64_t>(displs[r]) * esz;
+      if (r == rank) {
+        if (functional() && scounts[r] > 0) {
+          std::memcpy(rbuf, src, static_cast<std::uint64_t>(scounts[r]) * esz);
+        }
+        continue;
+      }
+      reqs.push_back(isend(src, scounts[r], sdt, r, tag, comm));
+    }
+    waitall(reqs);
+  } else {
+    recv(rbuf, rcount, rdt, root, tag, comm);
+  }
+}
+
+void scan(const void* sendbuf, void* recvbuf, int count, Datatype dt, Op op,
+          Comm comm) {
+  Task& t = core::require_task("mpi::scan outside a task");
+  const int rank = comm->rank_of_global(t.id);
+  const int size = comm->size();
+  const int tag = next_coll_tag(t, comm);
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(count) * datatype_size(dt);
+  const bool fn = functional();
+
+  // Classic recursive-doubling inclusive scan: `recvbuf` carries the
+  // running prefix, `subtotal` the reduction of the contiguous block this
+  // rank has folded in so far (what it forwards upward).
+  std::vector<unsigned char> subtotal(fn ? bytes : 0);
+  std::vector<unsigned char> incoming(fn ? bytes : 0);
+  if (fn) {
+    std::memcpy(recvbuf, sendbuf, bytes);
+    std::memcpy(subtotal.data(), sendbuf, bytes);
+  }
+  for (int dist = 1; dist < size; dist <<= 1) {
+    Request sr;
+    if (rank + dist < size) {
+      sr = isend(fn ? subtotal.data() : nullptr, fn ? count : 0, dt,
+                 rank + dist, tag + 1000 + dist, comm);
+    }
+    if (rank - dist >= 0) {
+      recv(fn ? incoming.data() : nullptr, fn ? count : 0, dt, rank - dist,
+           tag + 1000 + dist, comm);
+      if (fn) {
+        apply_op(recvbuf, incoming.data(), count, dt, op);
+        apply_op(subtotal.data(), incoming.data(), count, dt, op);
+      }
+    }
+    wait(sr);
+  }
+}
+
+void reduce_scatter_block(const void* sendbuf, void* recvbuf, int count,
+                          Datatype dt, Op op, Comm comm) {
+  Task& t = core::require_task("mpi::reduce_scatter_block outside a task");
+  const int rank = comm->rank_of_global(t.id);
+  const int size = comm->size();
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(count) * datatype_size(dt);
+  const bool fn = functional();
+  // Reduce the full count*size vector at rank 0, then scatter the blocks.
+  std::vector<unsigned char> full(
+      fn && rank == 0 ? bytes * static_cast<std::uint64_t>(size) : 0);
+  reduce(sendbuf, full.data(), count * size, dt, op, 0, comm);
+  scatter(full.data(), count, dt, recvbuf, count, dt, 0, comm);
+}
+
+void allgather(const void* sbuf, int scount, Datatype sdt, void* rbuf,
+               int rcount, Datatype rdt, Comm comm) {
+  // gather-to-0 + node-aware bcast: 2 log-ish phases, good enough at the
+  // scales the paper's applications use allgather.
+  gather(sbuf, scount, sdt, rbuf, rcount, rdt, 0, comm);
+  bcast(rbuf, rcount * comm->size(), rdt, 0, comm);
+}
+
+void alltoall(const void* sbuf, int scount, Datatype sdt, void* rbuf,
+              int rcount, Datatype rdt, Comm comm) {
+  Task& t = core::require_task("mpi::alltoall outside a task");
+  const int rank = comm->rank_of_global(t.id);
+  const int size = comm->size();
+  const int tag = next_coll_tag(t, comm);
+  const std::uint64_t sbytes =
+      static_cast<std::uint64_t>(scount) * datatype_size(sdt);
+  const std::uint64_t rbytes =
+      static_cast<std::uint64_t>(rcount) * datatype_size(rdt);
+  const auto* in = static_cast<const unsigned char*>(sbuf);
+  auto* out = static_cast<unsigned char*>(rbuf);
+  if (functional()) {
+    std::memcpy(out + static_cast<std::uint64_t>(rank) * rbytes,
+                in + static_cast<std::uint64_t>(rank) * sbytes, sbytes);
+  }
+  std::vector<Request> reqs;
+  reqs.reserve(2 * static_cast<std::size_t>(size));
+  for (int step = 1; step < size; ++step) {
+    const int to = (rank + step) % size;
+    const int from = (rank - step + size) % size;
+    reqs.push_back(irecv(out + static_cast<std::uint64_t>(from) * rbytes,
+                         rcount, rdt, from, tag, comm));
+    reqs.push_back(isend(in + static_cast<std::uint64_t>(to) * sbytes, scount,
+                         sdt, to, tag, comm));
+  }
+  waitall(reqs);
+}
+
+}  // namespace impacc::mpi

@@ -1,0 +1,90 @@
+#include "mpi/comm.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/runtime.h"
+#include "core/task.h"
+#include "mpi/api.h"
+
+namespace impacc::mpi {
+
+namespace {
+
+/// Agree on a fresh context id. Communicator creation is collective and
+/// identically ordered on every member, so a per-parent creation counter
+/// plus the runtime's agreement table yields the same id everywhere — even
+/// in model-only mode, where message payloads don't flow. A barrier keeps
+/// the collective synchronization semantics (and its simulated cost).
+/// Every member then materializes its own Communicator object; matching
+/// only uses the context id, so object identity across tasks is not
+/// required.
+int agree_context_id(Comm parent) {
+  core::Task& t = core::require_task("comm creation outside a task");
+  const int seq = t.comm_create_seq[parent->context_id()]++;
+  barrier(parent);
+  return t.rt->agree_context(parent->context_id(), seq);
+}
+
+}  // namespace
+
+Comm comm_dup(Comm comm) {
+  core::Task& t = core::require_task("mpi::comm_dup outside a task");
+  const int ctx = agree_context_id(comm);
+  return t.rt->adopt_comm(
+      std::make_unique<Communicator>(ctx, comm->members()));
+}
+
+Comm comm_split(Comm comm, int color, int key) {
+  core::Task& t = core::require_task("mpi::comm_split outside a task");
+  // Group membership travels in message payloads; model-only runs do not
+  // move payload bytes, so splitting is a functional-mode operation.
+  IMPACC_CHECK_MSG(t.rt->functional(),
+                   "mpi::comm_split requires functional execution mode");
+  const int size = comm->size();
+  const int rank = comm_rank(comm);
+
+  // Exchange (color, key) among all members.
+  std::vector<int> mine = {color, key};
+  std::vector<int> all(static_cast<std::size_t>(2 * size));
+  allgather(mine.data(), 2, Datatype::kInt, all.data(), 2, Datatype::kInt,
+            comm);
+
+  const int ctx = agree_context_id(comm);
+  if (color < 0) return nullptr;  // MPI_UNDEFINED
+
+  // Members with my color, ordered by (key, parent rank).
+  std::vector<std::pair<int, int>> group;  // (key, parent rank)
+  for (int r = 0; r < size; ++r) {
+    if (all[static_cast<std::size_t>(2 * r)] == color) {
+      group.emplace_back(all[static_cast<std::size_t>(2 * r + 1)], r);
+    }
+  }
+  std::sort(group.begin(), group.end());
+  std::vector<int> members;
+  members.reserve(group.size());
+  for (const auto& [k, r] : group) members.push_back(comm->global_of(r));
+
+  // Distinct colors need distinct contexts; derive deterministically from
+  // the agreed base so no further agreement round is needed.
+  (void)rank;
+  return t.rt->adopt_comm(std::make_unique<Communicator>(
+      ctx * 4096 + (color & 0xfff), std::move(members)));
+}
+
+CartComm* cart_create(Comm comm, const std::vector<int>& dims,
+                      const std::vector<int>& periods) {
+  core::Task& t = core::require_task("mpi::cart_create outside a task");
+  IMPACC_CHECK(dims.size() == periods.size());
+  long total = 1;
+  for (int d : dims) total *= d;
+  IMPACC_CHECK_MSG(total == comm->size(),
+                   "cart_create: dims do not cover the communicator");
+  const int ctx = agree_context_id(comm);
+  auto cart = std::make_unique<CartComm>(ctx, comm->members(), dims, periods);
+  auto* raw = cart.get();
+  t.rt->adopt_comm(std::move(cart));
+  return raw;
+}
+
+}  // namespace impacc::mpi

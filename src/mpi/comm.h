@@ -1,0 +1,76 @@
+// Communicators and groups.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+
+namespace impacc::mpi {
+
+/// A communicator: an ordered group of global task ids plus an isolated
+/// matching context (messages never match across communicators).
+class Communicator {
+ public:
+  Communicator(int context_id, std::vector<int> members)
+      : context_id_(context_id), members_(std::move(members)) {}
+  virtual ~Communicator() = default;
+
+  int context_id() const { return context_id_; }
+  int size() const { return static_cast<int>(members_.size()); }
+
+  /// Global task id of communicator rank `r`.
+  int global_of(int r) const {
+    IMPACC_CHECK(r >= 0 && r < size());
+    return members_[static_cast<std::size_t>(r)];
+  }
+
+  /// Communicator rank of global task id `g`, or -1 if not a member.
+  int rank_of_global(int g) const {
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      if (members_[i] == g) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  const std::vector<int>& members() const { return members_; }
+
+ private:
+  int context_id_;
+  std::vector<int> members_;
+};
+
+/// Handle type used by the API (MPI_Comm analog).
+using Comm = Communicator*;
+
+/// Cartesian-topology communicator (MPI_Cart_create analog); LULESH uses a
+/// 3-D decomposition with 26-neighbour exchange.
+class CartComm : public Communicator {
+ public:
+  CartComm(int context_id, std::vector<int> members, std::vector<int> dims,
+           std::vector<int> periods)
+      : Communicator(context_id, std::move(members)),
+        dims_(std::move(dims)),
+        periods_(std::move(periods)) {}
+
+  int ndims() const { return static_cast<int>(dims_.size()); }
+  const std::vector<int>& dims() const { return dims_; }
+  const std::vector<int>& periods() const { return periods_; }
+
+  /// Coordinates of communicator rank `r` (row-major like MPI).
+  std::vector<int> coords(int r) const;
+
+  /// Rank at `coords`; -1 when out of range on a non-periodic dimension.
+  int rank_at(const std::vector<int>& coords) const;
+
+  /// MPI_Cart_shift: source and destination ranks for a displacement along
+  /// `dim` (-1 for "no neighbour", MPI_PROC_NULL analog).
+  void shift(int r, int dim, int disp, int* rank_source,
+             int* rank_dest) const;
+
+ private:
+  std::vector<int> dims_;
+  std::vector<int> periods_;
+};
+
+}  // namespace impacc::mpi

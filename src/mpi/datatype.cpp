@@ -1,0 +1,109 @@
+#include "mpi/datatype.h"
+
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+#include "common/types.h"
+
+namespace impacc::mpi {
+
+namespace {
+
+// Derived handles start well above the basic enumerators.
+constexpr int kDerivedBase = 1 << 16;
+
+std::mutex g_mutex;
+std::deque<TypeDesc> g_types;
+
+Datatype register_type(const TypeDesc& desc) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_types.push_back(desc);
+  return static_cast<Datatype>(kDerivedBase +
+                               static_cast<int>(g_types.size()) - 1);
+}
+
+}  // namespace
+
+Datatype type_vector(int count, int blocklength, int stride, Datatype base) {
+  IMPACC_CHECK(count > 0 && blocklength > 0 && stride >= blocklength);
+  IMPACC_CHECK_MSG(!is_derived(base), "nested derived types not supported");
+  return register_type(TypeDesc{base, count, blocklength, stride});
+}
+
+Datatype type_contiguous(int count, Datatype base) {
+  return type_vector(/*count=*/1, /*blocklength=*/count, /*stride=*/count,
+                     base);
+}
+
+bool is_derived(Datatype dt) {
+  return static_cast<int>(dt) >= kDerivedBase;
+}
+
+const TypeDesc& type_desc(Datatype dt) {
+  IMPACC_CHECK(is_derived(dt));
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const auto idx = static_cast<std::size_t>(static_cast<int>(dt) -
+                                            kDerivedBase);
+  IMPACC_CHECK_MSG(idx < g_types.size(), "unknown derived datatype");
+  return g_types[idx];
+}
+
+std::uint64_t type_size(Datatype dt) {
+  if (!is_derived(dt)) return datatype_size(dt);
+  const TypeDesc& d = type_desc(dt);
+  return static_cast<std::uint64_t>(d.count) * d.blocklength *
+         datatype_size(d.base);
+}
+
+std::uint64_t type_extent(Datatype dt) {
+  if (!is_derived(dt)) return datatype_size(dt);
+  const TypeDesc& d = type_desc(dt);
+  const std::uint64_t elems =
+      static_cast<std::uint64_t>(d.count - 1) * d.stride + d.blocklength;
+  return elems * datatype_size(d.base);
+}
+
+void type_pack(void* dst, const void* src, int count, Datatype dt) {
+  if (!is_derived(dt)) {
+    std::memcpy(dst, src, static_cast<std::size_t>(count) * datatype_size(dt));
+    return;
+  }
+  const TypeDesc& d = type_desc(dt);
+  const std::uint64_t esz = datatype_size(d.base);
+  const std::uint64_t block = d.blocklength * esz;
+  auto* out = static_cast<unsigned char*>(dst);
+  const auto* in = static_cast<const unsigned char*>(src);
+  for (int inst = 0; inst < count; ++inst) {
+    // Successive instances follow MPI semantics: instance i starts at
+    // i * extent.
+    const unsigned char* base = in + inst * type_extent(dt);
+    for (int b = 0; b < d.count; ++b) {
+      std::memcpy(out, base + static_cast<std::uint64_t>(b) * d.stride * esz,
+                  block);
+      out += block;
+    }
+  }
+}
+
+void type_unpack(void* dst, const void* src, int count, Datatype dt) {
+  if (!is_derived(dt)) {
+    std::memcpy(dst, src, static_cast<std::size_t>(count) * datatype_size(dt));
+    return;
+  }
+  const TypeDesc& d = type_desc(dt);
+  const std::uint64_t esz = datatype_size(d.base);
+  const std::uint64_t block = d.blocklength * esz;
+  const auto* in = static_cast<const unsigned char*>(src);
+  auto* out = static_cast<unsigned char*>(dst);
+  for (int inst = 0; inst < count; ++inst) {
+    unsigned char* base = out + inst * type_extent(dt);
+    for (int b = 0; b < d.count; ++b) {
+      std::memcpy(base + static_cast<std::uint64_t>(b) * d.stride * esz, in,
+                  block);
+      in += block;
+    }
+  }
+}
+
+}  // namespace impacc::mpi

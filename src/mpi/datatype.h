@@ -1,0 +1,50 @@
+// Derived datatypes (MPI_Type_vector / MPI_Type_contiguous subset).
+//
+// A derived type describes a strided layout over a basic type. Messages
+// travel packed: the sender packs blocks into a contiguous wire buffer,
+// the receiver's handler unpacks into its (possibly strided) layout —
+// what real MPI implementations do for non-contiguous types without
+// hardware scatter/gather.
+#pragma once
+
+#include <cstdint>
+
+#include "mpi/types.h"
+
+namespace impacc::mpi {
+
+/// Layout of one derived-type instance.
+struct TypeDesc {
+  Datatype base = Datatype::kByte;
+  int count = 1;        // number of blocks
+  int blocklength = 1;  // consecutive base elements per block
+  int stride = 1;       // base elements between block starts
+};
+
+/// MPI_Type_vector: `count` blocks of `blocklength` elements, block starts
+/// `stride` elements apart. The returned Datatype handle is process-global
+/// and usable by any task.
+Datatype type_vector(int count, int blocklength, int stride, Datatype base);
+
+/// MPI_Type_contiguous.
+Datatype type_contiguous(int count, Datatype base);
+
+/// True for handles created by type_vector/type_contiguous.
+bool is_derived(Datatype dt);
+
+/// Layout of a derived handle (aborts on basic types).
+const TypeDesc& type_desc(Datatype dt);
+
+/// Packed size in bytes of ONE instance (basic types: their size).
+std::uint64_t type_size(Datatype dt);
+
+/// Memory span in bytes of one instance in its strided layout.
+std::uint64_t type_extent(Datatype dt);
+
+/// Pack `count` instances from `src` (strided) into `dst` (contiguous).
+void type_pack(void* dst, const void* src, int count, Datatype dt);
+
+/// Unpack `count` instances from contiguous `src` into strided `dst`.
+void type_unpack(void* dst, const void* src, int count, Datatype dt);
+
+}  // namespace impacc::mpi

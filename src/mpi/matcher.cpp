@@ -1,0 +1,94 @@
+#include "mpi/matcher.h"
+
+#include "common/types.h"
+
+namespace impacc::mpi {
+
+bool Matcher::pair_matches(const core::MsgCommand& send,
+                           const core::MsgCommand& recv) {
+  if (send.context_id != recv.context_id) return false;
+  if (recv.src_task != kAnySource && recv.src_task != send.src_task) {
+    return false;
+  }
+  if (recv.src_match_tag != kAnyTag && recv.src_match_tag != send.tag) {
+    return false;
+  }
+  return true;
+}
+
+core::MsgCommand* Matcher::submit(core::MsgCommand* cmd) {
+  PerTask& pt = per_task_[cmd->dst_task];
+  if (cmd->kind == core::MsgCommand::Kind::kRecv) {
+    for (auto it = pt.sends.begin(); it != pt.sends.end(); ++it) {
+      if (pair_matches(**it, *cmd)) {
+        core::MsgCommand* send = *it;
+        pt.sends.erase(it);
+        return send;
+      }
+    }
+    pt.recvs.push_back(cmd);
+    return nullptr;
+  }
+  // kSend / kIncoming.
+  for (auto it = pt.recvs.begin(); it != pt.recvs.end(); ++it) {
+    if (pair_matches(*cmd, **it)) {
+      core::MsgCommand* recv = *it;
+      pt.recvs.erase(it);
+      return recv;
+    }
+  }
+  pt.sends.push_back(cmd);
+  return nullptr;
+}
+
+core::MsgCommand* Matcher::find_pending_send(
+    const core::MsgCommand& probe) const {
+  auto it = per_task_.find(probe.dst_task);
+  if (it == per_task_.end()) return nullptr;
+  for (core::MsgCommand* send : it->second.sends) {
+    if (pair_matches(*send, probe)) return send;
+  }
+  return nullptr;
+}
+
+void Matcher::store_probe(core::MsgCommand* probe) {
+  per_task_[probe->dst_task].probes.push_back(probe);
+}
+
+std::vector<core::MsgCommand*> Matcher::take_matching_probes(
+    const core::MsgCommand& send) {
+  std::vector<core::MsgCommand*> out;
+  auto it = per_task_.find(send.dst_task);
+  if (it == per_task_.end()) return out;
+  auto& probes = it->second.probes;
+  for (auto p = probes.begin(); p != probes.end();) {
+    if (pair_matches(send, **p)) {
+      out.push_back(*p);
+      p = probes.erase(p);
+    } else {
+      ++p;
+    }
+  }
+  return out;
+}
+
+std::size_t Matcher::pending_sends(int dst_task) const {
+  auto it = per_task_.find(dst_task);
+  return it == per_task_.end() ? 0 : it->second.sends.size();
+}
+
+std::size_t Matcher::posted_recvs(int dst_task) const {
+  auto it = per_task_.find(dst_task);
+  return it == per_task_.end() ? 0 : it->second.recvs.size();
+}
+
+bool Matcher::drained() const {
+  for (const auto& [task, pt] : per_task_) {
+    if (!pt.sends.empty() || !pt.recvs.empty() || !pt.probes.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace impacc::mpi

@@ -1,0 +1,54 @@
+// Tag matching (receiver side).
+//
+// Each node's message handler owns one Matcher. Posted receives and
+// pending (unexpected) sends are kept per destination task in FIFO order,
+// which — together with the in-order MPSC command queue — preserves MPI's
+// non-overtaking guarantee between any (sender, receiver, tag) triple.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "core/message.h"
+
+namespace impacc::mpi {
+
+class Matcher {
+ public:
+  /// Try to match a newly arrived command. For a kRecv, scans pending
+  /// sends; for kSend/kIncoming, scans posted receives. On a match the
+  /// partner is removed from its list and returned; otherwise `cmd` is
+  /// stored and nullptr returned.
+  core::MsgCommand* submit(core::MsgCommand* cmd);
+
+  /// MPI_Probe support: first pending send matching the probe's
+  /// (source, tag, context) selector, without removing it.
+  core::MsgCommand* find_pending_send(const core::MsgCommand& probe) const;
+
+  /// Park a blocking probe until a matching send arrives.
+  void store_probe(core::MsgCommand* probe);
+
+  /// Remove and return every parked probe matched by this newly pending
+  /// send.
+  std::vector<core::MsgCommand*> take_matching_probes(
+      const core::MsgCommand& send);
+
+  /// Counts for tests/diagnostics.
+  std::size_t pending_sends(int dst_task) const;
+  std::size_t posted_recvs(int dst_task) const;
+  bool drained() const;
+
+ private:
+  struct PerTask {
+    std::deque<core::MsgCommand*> sends;   // unexpected sends/incomings
+    std::deque<core::MsgCommand*> recvs;   // posted receives
+    std::deque<core::MsgCommand*> probes;  // parked blocking probes
+  };
+
+  static bool pair_matches(const core::MsgCommand& send,
+                           const core::MsgCommand& recv);
+
+  std::unordered_map<int, PerTask> per_task_;
+};
+
+}  // namespace impacc::mpi

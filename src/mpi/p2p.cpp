@@ -1,0 +1,347 @@
+#include <cstring>
+
+#include "common/types.h"
+#include "core/handler.h"
+#include "core/pinning.h"
+#include "mpi/datatype.h"
+#include "sim/costmodel.h"
+#include "core/runtime.h"
+#include "core/task.h"
+#include "mpi/api.h"
+
+namespace impacc::mpi {
+
+namespace {
+
+using core::MsgCommand;
+using core::Task;
+
+/// Resolve the effective buffer and its location for an MPI call,
+/// honoring the sendbuf(device)/recvbuf(device) directive clauses and the
+/// unified node VAS (a raw device pointer is detected by address).
+struct ResolvedBuffer {
+  void* ptr = nullptr;
+  dev::Device* device = nullptr;
+  bool near = true;
+};
+
+ResolvedBuffer resolve_buffer(Task& t, const void* buf, bool device_clause,
+                              const char* what) {
+  ResolvedBuffer r;
+  r.ptr = const_cast<void*>(buf);
+  if (device_clause) {
+    // #pragma acc mpi ...buf(device): use the device copy of the host data
+    // — exactly acc_deviceptr(host_data) (section 3.5).
+    IMPACC_CHECK_MSG(t.rt->is_impacc(),
+                     "device-buffer MPI requires the IMPACC framework");
+    r.ptr = t.present.deviceptr(buf);
+    IMPACC_CHECK_MSG(r.ptr != nullptr, "buf(device): host data not present");
+  }
+  if (r.ptr == nullptr) return r;  // zero-byte message
+  const core::Uvas::Location loc = t.node->uvas.locate(r.ptr);
+  if (loc.kind == core::Uvas::Kind::kDevice) {
+    if (loc.device->backend() == sim::BackendKind::kHostShared) {
+      // Integrated accelerator: device memory is host memory.
+      return r;
+    }
+    IMPACC_CHECK_MSG(t.rt->is_impacc(), what);
+    r.device = loc.device;
+    r.near = core::socket_is_near(t.node_desc(), loc.device->desc(),
+                                  t.pinned_socket);
+  }
+  return r;
+}
+
+MsgCommand* new_send_command(Task& t, const ResolvedBuffer& rb,
+                             std::uint64_t bytes, int dst, int tag, Comm comm,
+                             bool readonly) {
+  auto* cmd = new MsgCommand;
+  cmd->kind = MsgCommand::Kind::kSend;
+  cmd->context_id = comm->context_id();
+  cmd->tag = tag;
+  cmd->src_task = t.id;
+  cmd->src_comm_rank = comm->rank_of_global(t.id);
+  cmd->dst_task = comm->global_of(dst);
+  cmd->buf = rb.ptr;
+  cmd->bytes = bytes;
+  cmd->buf_dev = rb.device;
+  cmd->near = rb.near;
+  cmd->readonly_hint = readonly;
+  cmd->owner_task = t.id;
+  cmd->req = std::make_shared<RequestState>();
+  return cmd;
+}
+
+/// Issue a prepared command either directly (host path) or through the
+/// unified activity queue (async clause on the directive, section 3.6).
+Request issue(Task& t, MsgCommand* cmd, int async, bool is_send) {
+  Request r{cmd->req};
+  const bool unified = t.rt->is_impacc() && t.rt->features().unified_queue &&
+                       async != core::kNoAsync;
+  if (unified) {
+    cmd->stream = t.device->stream(async);
+    cmd->stream_node = t.node;
+    dev::StreamOp op;
+    op.kind = dev::StreamOp::Kind::kAsyncExternal;
+    op.label = is_send ? "mpi-isend" : "mpi-irecv";
+    Task* tp = &t;
+    op.begin_async = [tp, cmd, is_send](sim::Time ready) {
+      cmd->ready = ready;
+      if (is_send) {
+        core::route_send(*tp, cmd, /*from_task_fiber=*/false);
+      } else {
+        core::route_recv(*tp, cmd);
+      }
+    };
+    core::submit_stream_op(t, async, std::move(op));
+    return r;
+  }
+  cmd->ready = t.clock.now();
+  if (is_send) {
+    core::route_send(t, cmd, /*from_task_fiber=*/true);
+  } else {
+    core::route_recv(t, cmd);
+  }
+  return r;
+}
+
+}  // namespace
+
+Comm world() {
+  Task& t = core::require_task("mpi::world outside a task");
+  return t.rt->world();
+}
+
+int comm_rank(Comm comm) {
+  Task& t = core::require_task("mpi::comm_rank outside a task");
+  return comm->rank_of_global(t.id);
+}
+
+int comm_size(Comm comm) { return comm->size(); }
+
+namespace {
+
+Request isend_impl(const void* buf, int count, Datatype dt, int dst, int tag,
+                   Comm comm, bool synchronous) {
+  Task& t = core::require_task("mpi::isend outside a task");
+  IMPACC_CHECK(count >= 0 && dst >= 0 && dst < comm->size() && tag >= 0);
+  const core::MpiHint hint = t.take_hint();
+  t.clock.advance(t.costs().mpi_call_overhead);
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(count) * type_size(dt);
+  const ResolvedBuffer rb =
+      resolve_buffer(t, buf, hint.send_device,
+                     "MPI send from device memory requires IMPACC");
+  MsgCommand* cmd =
+      new_send_command(t, rb, bytes, dst, tag, comm, hint.send_readonly);
+  cmd->force_rendezvous = synchronous;
+  if (is_derived(dt)) {
+    // Non-contiguous sends travel packed: pack here (the caller must not
+    // touch the buffer until completion, so packing at post time is
+    // safe), and charge the gather as a host copy.
+    IMPACC_CHECK_MSG(rb.device == nullptr,
+                     "derived datatypes require host buffers");
+    if (t.functional() && bytes > 0) {
+      cmd->eager_payload.resize(bytes);
+      type_pack(cmd->eager_payload.data(), rb.ptr, count, dt);
+    }
+    t.clock.advance(sim::host_copy_time(t.node_desc(), bytes));
+  }
+  t.stats.msgs_sent += 1;
+  t.stats.bytes_sent += bytes;
+  return issue(t, cmd, hint.async, /*is_send=*/true);
+}
+
+}  // namespace
+
+Request isend(const void* buf, int count, Datatype dt, int dst, int tag,
+              Comm comm) {
+  return isend_impl(buf, count, dt, dst, tag, comm, /*synchronous=*/false);
+}
+
+void ssend(const void* buf, int count, Datatype dt, int dst, int tag,
+           Comm comm) {
+  Request r = isend_impl(buf, count, dt, dst, tag, comm, /*synchronous=*/true);
+  wait(r);
+}
+
+Request irecv(void* buf, int count, Datatype dt, int src, int tag, Comm comm) {
+  Task& t = core::require_task("mpi::irecv outside a task");
+  IMPACC_CHECK(count >= 0 && tag >= kAnyTag);
+  IMPACC_CHECK(src == kAnySource || (src >= 0 && src < comm->size()));
+  const core::MpiHint hint = t.take_hint();
+  t.clock.advance(t.costs().mpi_call_overhead);
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(count) * type_size(dt);
+  const ResolvedBuffer rb =
+      resolve_buffer(t, buf, hint.recv_device,
+                     "MPI recv into device memory requires IMPACC");
+  if (is_derived(dt)) {
+    IMPACC_CHECK_MSG(rb.device == nullptr,
+                     "derived datatypes require host buffers");
+  }
+
+  auto* cmd = new MsgCommand;
+  cmd->kind = MsgCommand::Kind::kRecv;
+  cmd->recv_dtype = dt;
+  cmd->recv_count = count;
+  cmd->context_id = comm->context_id();
+  cmd->src_task = src == kAnySource ? kAnySource : comm->global_of(src);
+  cmd->src_match_tag = tag;
+  cmd->dst_task = t.id;
+  cmd->buf = rb.ptr;
+  cmd->bytes = bytes;
+  cmd->buf_dev = rb.device;
+  cmd->near = rb.near;
+  cmd->readonly_hint = hint.recv_readonly;
+  cmd->recv_ptr_addr =
+      (t.rt->is_impacc() && t.rt->features().heap_aliasing) ? hint.recv_ptr_addr
+                                                            : nullptr;
+  cmd->owner_task = t.id;
+  cmd->req = std::make_shared<RequestState>();
+  return issue(t, cmd, hint.async, /*is_send=*/false);
+}
+
+void wait(Request& req, MpiStatus* status) {
+  if (req.null()) return;
+  Task& t = core::require_task("mpi::wait outside a task");
+  t.clock.advance(t.costs().sync_point_overhead);
+  const sim::Time done = req.state->rec.wait();
+  const sim::Time before = t.clock.now();
+  t.clock.merge(done);
+  t.stats.mpi_wait += t.clock.now() - before;
+  if (status != nullptr) *status = req.state->status;
+  req.state.reset();
+}
+
+void waitall(Request* reqs, int n) {
+  for (int i = 0; i < n; ++i) wait(reqs[i]);
+}
+
+void waitall(std::vector<Request>& reqs) {
+  waitall(reqs.data(), static_cast<int>(reqs.size()));
+}
+
+int waitany(Request* reqs, int n, MpiStatus* status) {
+  Task& t = core::require_task("mpi::waitany outside a task");
+  t.clock.advance(t.costs().sync_point_overhead);
+  for (;;) {
+    bool any_active = false;
+    for (int i = 0; i < n; ++i) {
+      if (reqs[i].null()) continue;
+      any_active = true;
+      sim::Time done = 0;
+      if (reqs[i].state->rec.poll(&done)) {
+        t.clock.merge(done);
+        if (status != nullptr) *status = reqs[i].state->status;
+        reqs[i].state.reset();
+        return i;
+      }
+    }
+    if (!any_active) return -1;  // all null: MPI_UNDEFINED
+    // Let the handler make progress, then re-poll.
+    t.rt->scheduler().yield();
+  }
+}
+
+bool testall(Request* reqs, int n) {
+  Task& t = core::require_task("mpi::testall outside a task");
+  t.clock.advance(t.costs().mpi_call_overhead);
+  sim::Time latest = 0;
+  for (int i = 0; i < n; ++i) {
+    if (reqs[i].null()) continue;
+    sim::Time done = 0;
+    if (!reqs[i].state->rec.poll(&done)) {
+      t.rt->scheduler().yield();  // drive progress (see test())
+      return false;
+    }
+    latest = std::max(latest, done);
+  }
+  t.clock.merge(latest);
+  for (int i = 0; i < n; ++i) reqs[i].state.reset();
+  return true;
+}
+
+namespace {
+
+Request post_probe(Task& t, int src, int tag, Comm comm, bool blocking) {
+  auto* cmd = new MsgCommand;
+  cmd->kind = MsgCommand::Kind::kProbe;
+  cmd->context_id = comm->context_id();
+  cmd->src_task = src == kAnySource ? kAnySource : comm->global_of(src);
+  cmd->src_match_tag = tag;
+  cmd->dst_task = t.id;
+  cmd->probe_blocking = blocking;
+  cmd->ready = t.clock.now();
+  cmd->owner_task = t.id;
+  cmd->req = std::make_shared<RequestState>();
+  Request r{cmd->req};
+  t.node->post(cmd);
+  return r;
+}
+
+}  // namespace
+
+void probe(int src, int tag, Comm comm, MpiStatus* status) {
+  Task& t = core::require_task("mpi::probe outside a task");
+  t.clock.advance(t.costs().mpi_call_overhead);
+  Request r = post_probe(t, src, tag, comm, /*blocking=*/true);
+  const sim::Time done = r.state->rec.wait();
+  t.clock.merge(done);
+  if (status != nullptr) *status = r.state->status;
+}
+
+bool iprobe(int src, int tag, Comm comm, MpiStatus* status) {
+  Task& t = core::require_task("mpi::iprobe outside a task");
+  t.clock.advance(t.costs().mpi_call_overhead);
+  Request r = post_probe(t, src, tag, comm, /*blocking=*/false);
+  const sim::Time done = r.state->rec.wait();
+  t.clock.merge(done);
+  if (r.state->probe_found && status != nullptr) *status = r.state->status;
+  return r.state->probe_found;
+}
+
+int get_count(const MpiStatus& status, Datatype dt) {
+  return static_cast<int>(status.bytes / datatype_size(dt));
+}
+
+bool test(Request& req, MpiStatus* status) {
+  if (req.null()) return true;
+  Task& t = core::require_task("mpi::test outside a task");
+  t.clock.advance(t.costs().mpi_call_overhead);
+  sim::Time done = 0;
+  if (!req.state->rec.poll(&done)) {
+    // Give the node's handler a turn, like the MPI progress engine a real
+    // MPI_Test call drives — otherwise a test() polling loop on a single
+    // worker would never let completions happen.
+    t.rt->scheduler().yield();
+    return false;
+  }
+  t.clock.merge(done);
+  if (status != nullptr) *status = req.state->status;
+  req.state.reset();
+  return true;
+}
+
+void send(const void* buf, int count, Datatype dt, int dst, int tag,
+          Comm comm) {
+  Request r = isend(buf, count, dt, dst, tag, comm);
+  wait(r);
+}
+
+void recv(void* buf, int count, Datatype dt, int src, int tag, Comm comm,
+          MpiStatus* status) {
+  Request r = irecv(buf, count, dt, src, tag, comm);
+  wait(r, status);
+}
+
+void sendrecv(const void* sbuf, int scount, Datatype sdt, int dst, int stag,
+              void* rbuf, int rcount, Datatype rdt, int src, int rtag,
+              Comm comm, MpiStatus* status) {
+  Request rr = irecv(rbuf, rcount, rdt, src, rtag, comm);
+  Request sr = isend(sbuf, scount, sdt, dst, stag, comm);
+  wait(sr);
+  wait(rr, status);
+}
+
+}  // namespace impacc::mpi

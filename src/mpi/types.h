@@ -1,0 +1,73 @@
+// MPI-like basic types for the threaded-MPI library.
+//
+// IMPACC keeps the MPI programming model; tasks only see ranks, tags,
+// datatypes, requests and communicators. The names mirror MPI's so the
+// source-to-source translator can map MPI_* calls directly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "dev/stream.h"
+#include "sim/time.h"
+
+namespace impacc::mpi {
+
+constexpr int kAnySource = -1;
+constexpr int kAnyTag = -1;
+
+/// Subset of MPI predefined datatypes used by the paper's applications.
+enum class Datatype : int {
+  kByte = 0,
+  kChar,
+  kInt,
+  kLong,
+  kUint64,
+  kFloat,
+  kDouble,
+};
+
+constexpr std::uint64_t datatype_size(Datatype t) {
+  switch (t) {
+    case Datatype::kByte:
+    case Datatype::kChar:
+      return 1;
+    case Datatype::kInt:
+    case Datatype::kFloat:
+      return 4;
+    case Datatype::kLong:
+    case Datatype::kUint64:
+    case Datatype::kDouble:
+      return 8;
+  }
+  return 1;
+}
+
+/// Reduction operators.
+enum class Op : int { kSum = 0, kProd, kMax, kMin, kLand, kLor, kBand, kBor };
+
+/// Completion status of a receive.
+struct MpiStatus {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  std::uint64_t bytes = 0;
+};
+
+/// Shared state behind a Request. The handler completes it with the
+/// operation's virtual end time.
+struct RequestState {
+  dev::CompletionRecord rec;
+  MpiStatus status;
+  bool probe_found = false;  // MPI_Iprobe answer
+};
+
+/// Non-blocking operation handle (MPI_Request). Copyable; test/wait
+/// through the p2p API. A default-constructed Request is "null" and
+/// trivially complete (like MPI_REQUEST_NULL).
+struct Request {
+  std::shared_ptr<RequestState> state;
+
+  bool null() const { return state == nullptr; }
+};
+
+}  // namespace impacc::mpi

@@ -1,0 +1,64 @@
+#include "sim/costmodel.h"
+
+#include <algorithm>
+
+namespace impacc::sim {
+
+Time host_copy_time(const NodeDesc& node, std::uint64_t bytes) {
+  return node.host_copy.time(bytes);
+}
+
+Time pcie_copy_time(const NodeDesc& node, const DeviceDesc& dev,
+                    std::uint64_t bytes, bool near_socket) {
+  if (dev.backend == BackendKind::kHostShared) {
+    // Integrated accelerator: "copies" are host memcpys (section 2.4 notes
+    // they can even be elided; the data API still performs them).
+    return host_copy_time(node, bytes);
+  }
+  if (near_socket || node.sockets <= 1) {
+    return dev.pcie.time(bytes);
+  }
+  LinkModel far;
+  far.latency = dev.pcie.latency + node.numa_far_extra_latency;
+  far.bandwidth = dev.pcie.bandwidth * node.numa_far_bw_factor;
+  return far.time(bytes);
+}
+
+bool peer_copy_possible(const DeviceDesc& a, const DeviceDesc& b) {
+  if (&a == &b) return true;
+  if (a.backend != BackendKind::kCudaLike ||
+      b.backend != BackendKind::kCudaLike) {
+    return false;  // GPUDirect/DirectGMA are GPU features
+  }
+  return a.root_complex == b.root_complex;
+}
+
+Time peer_copy_time(const DeviceDesc& a, const DeviceDesc& b,
+                    std::uint64_t bytes) {
+  // Single PCIe transfer at the slower endpoint's link rate, no host hop.
+  LinkModel link;
+  link.latency = std::max(a.pcie.latency, b.pcie.latency);
+  link.bandwidth = std::min(a.pcie.bandwidth, b.pcie.bandwidth);
+  return link.time(bytes);
+}
+
+Time staged_dtod_time(const NodeDesc& node, const DeviceDesc& src,
+                      const DeviceDesc& dst, std::uint64_t bytes,
+                      bool include_host_copy, bool near_socket) {
+  Time t = pcie_copy_time(node, src, bytes, near_socket);  // DtoH
+  if (include_host_copy) t += host_copy_time(node, bytes);  // HtoH (IPC stage)
+  t += pcie_copy_time(node, dst, bytes, near_socket);       // HtoD
+  return t;
+}
+
+Time fabric_time(const FabricDesc& fabric, std::uint64_t bytes) {
+  return fabric.per_message_overhead + fabric.link.time(bytes);
+}
+
+Time kernel_time(const DeviceDesc& dev, double flops, double bytes_moved) {
+  const double compute = flops / dev.flops_dp;
+  const double memory = bytes_moved / dev.mem_bandwidth;
+  return dev.kernel_launch_overhead + std::max(compute, memory);
+}
+
+}  // namespace impacc::sim

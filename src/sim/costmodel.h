@@ -1,0 +1,59 @@
+// Transfer and kernel cost models over the topology descriptions.
+//
+// Every data-movement path the runtime can choose (Fig. 6 of the paper) has
+// a cost function here, so path-selection logic and the numbers it produces
+// stay in one place and can be unit-tested for the paper's qualitative
+// properties (near > far, fused < staged, peer DtoD ~8x staged DtoD, ...).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/topology.h"
+
+namespace impacc::sim {
+
+/// Host-to-host memcpy within a node.
+Time host_copy_time(const NodeDesc& node, std::uint64_t bytes);
+
+/// Host<->device PCIe copy. `near_socket` reflects the NUMA pinning of the
+/// calling task relative to the device (section 3.3 / Fig. 8).
+Time pcie_copy_time(const NodeDesc& node, const DeviceDesc& dev,
+                    std::uint64_t bytes, bool near_socket);
+
+/// Whether two devices of a node can copy peer-to-peer over PCIe without
+/// host involvement (GPUDirect/DirectGMA: same root complex, CUDA-like
+/// backends; section 3.7).
+bool peer_copy_possible(const DeviceDesc& a, const DeviceDesc& b);
+
+/// Direct device-to-device copy over PCIe (requires peer_copy_possible).
+Time peer_copy_time(const DeviceDesc& a, const DeviceDesc& b,
+                    std::uint64_t bytes);
+
+/// Device-to-device staged through host memory:
+/// DtoH + HtoH (when src/dst tasks have private address spaces) + HtoD.
+/// `include_host_copy` distinguishes IMPACC-fused staging (no HtoH) from
+/// the baseline process model (with HtoH + IPC).
+Time staged_dtod_time(const NodeDesc& node, const DeviceDesc& src,
+                      const DeviceDesc& dst, std::uint64_t bytes,
+                      bool include_host_copy, bool near_socket = true);
+
+/// Internode wire time for one message of `bytes`.
+Time fabric_time(const FabricDesc& fabric, std::uint64_t bytes);
+
+/// Kernel execution: roofline of compute and memory traffic plus launch
+/// overhead. `flops` and `bytes_moved` are the kernel's work estimate.
+Time kernel_time(const DeviceDesc& dev, double flops, double bytes_moved);
+
+/// Work estimate attached to kernel launches.
+struct WorkEstimate {
+  double flops = 0;
+  double bytes = 0;
+
+  WorkEstimate& operator+=(const WorkEstimate& o) {
+    flops += o.flops;
+    bytes += o.bytes;
+    return *this;
+  }
+};
+
+}  // namespace impacc::sim

@@ -1,0 +1,25 @@
+#include "sim/netmodel.h"
+
+namespace impacc::sim {
+
+Time internode_transfer_time(const FabricDesc& fabric, const BufferPlace& src,
+                             const BufferPlace& dst, std::uint64_t bytes) {
+  Time t = 0;
+  // Sender side: device buffers stage to pinned host memory unless the
+  // fabric can read device memory directly (GPUDirect RDMA).
+  if (src.device != nullptr && !fabric.gpudirect_rdma) {
+    t += pcie_copy_time(*src.node, *src.device, bytes, src.near_socket);
+  }
+  t += fabric_time(fabric, bytes);
+  // Receiver side symmetric.
+  if (dst.device != nullptr && !fabric.gpudirect_rdma) {
+    t += pcie_copy_time(*dst.node, *dst.device, bytes, dst.near_socket);
+  }
+  return t;
+}
+
+bool is_eager(const FabricDesc& /*fabric*/, std::uint64_t bytes) {
+  return bytes <= kEagerThreshold;
+}
+
+}  // namespace impacc::sim

@@ -1,0 +1,36 @@
+// Internode communication path model (section 3.7 of the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/costmodel.h"
+#include "sim/topology.h"
+
+namespace impacc::sim {
+
+/// Where a message buffer lives on its node.
+struct BufferPlace {
+  const NodeDesc* node = nullptr;
+  const DeviceDesc* device = nullptr;  // nullptr => host memory
+  bool near_socket = true;             // task pinned near the device?
+};
+
+/// End-to-end internode transfer time for one message.
+///
+/// Device-resident buffers either ride GPUDirect RDMA (wire only) when the
+/// fabric supports it, or stage through pre-pinned host memory: an
+/// asynchronous DtoH before the wire on the sender, an HtoD issued by the
+/// message handler after the wire on the receiver.
+Time internode_transfer_time(const FabricDesc& fabric, const BufferPlace& src,
+                             const BufferPlace& dst, std::uint64_t bytes);
+
+/// Host-side time a sender spends in an *eager* internode send before the
+/// call returns (small messages are buffered and sent in the background;
+/// large ones rendezvous and overlap differently). Used by the MPI layer to
+/// decide how much of the transfer blocks the caller.
+bool is_eager(const FabricDesc& fabric, std::uint64_t bytes);
+
+/// Eager protocol threshold (bytes).
+constexpr std::uint64_t kEagerThreshold = 8192;
+
+}  // namespace impacc::sim

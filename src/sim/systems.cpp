@@ -1,0 +1,193 @@
+#include "sim/systems.h"
+
+#include "common/types.h"
+
+namespace impacc::sim {
+
+namespace {
+
+// PCIe link models. Effective (not theoretical) rates, matching the
+// plateaus of Fig. 8: gen3 x16 ~12 GB/s, gen2 x16 ~6 GB/s.
+LinkModel pcie_gen3_x16() { return {from_us(9.0), 12.0e9}; }
+LinkModel pcie_gen2_x16() { return {from_us(11.0), 6.0e9}; }
+
+LinkModel ib_fdr() { return {from_us(1.3), 6.0e9}; }
+LinkModel gemini() { return {from_us(1.6), 5.2e9}; }
+
+DeviceDesc make_gk210(int socket, int root_complex) {
+  DeviceDesc d;
+  d.kind = DeviceKind::kNvidiaGpu;
+  d.backend = BackendKind::kCudaLike;
+  d.model = "NVIDIA Kepler GK210";
+  d.socket = socket;
+  d.root_complex = root_complex;
+  d.mem_bytes = 12ull << 30;
+  d.flops_dp = 1.45e12;      // 2496 cores @875MHz, 1/3 DP rate
+  d.mem_bandwidth = 1.9e11;  // ~240 GB/s peak, ~80% achievable
+  d.pcie = pcie_gen3_x16();
+  d.exec_units = 13;  // SMX count
+  return d;
+}
+
+DeviceDesc make_k20x(int socket, int root_complex) {
+  DeviceDesc d;
+  d.kind = DeviceKind::kNvidiaGpu;
+  d.backend = BackendKind::kCudaLike;
+  d.model = "NVIDIA Tesla K20x";
+  d.socket = socket;
+  d.root_complex = root_complex;
+  d.mem_bytes = 6ull << 30;
+  d.flops_dp = 1.31e12;  // 2688 cores @732MHz
+  d.mem_bandwidth = 1.8e11;
+  d.pcie = pcie_gen2_x16();
+  d.exec_units = 14;
+  return d;
+}
+
+DeviceDesc make_phi_5110p(int socket, int root_complex) {
+  DeviceDesc d;
+  d.kind = DeviceKind::kXeonPhi;
+  d.backend = BackendKind::kOpenClLike;
+  d.model = "Intel Xeon Phi 5110P";
+  d.socket = socket;
+  d.root_complex = root_complex;
+  d.mem_bytes = 8ull << 30;
+  d.flops_dp = 1.01e12;  // 60 cores @1.053GHz, 8-wide DP FMA
+  d.mem_bandwidth = 1.6e11;
+  d.pcie = pcie_gen2_x16();
+  d.kernel_launch_overhead = from_us(15);  // OpenCL enqueue is heavier
+  d.exec_units = 60;
+  return d;
+}
+
+RuntimeCosts default_costs() { return RuntimeCosts{}; }
+
+}  // namespace
+
+DeviceDesc make_cpu_device(int socket, int cores, double ghz) {
+  DeviceDesc d;
+  d.kind = DeviceKind::kCpu;
+  d.backend = BackendKind::kHostShared;
+  d.model = "host CPU cores";
+  d.socket = socket;
+  d.root_complex = -1;  // not on PCIe
+  d.mem_bytes = 0;      // shares host memory
+  d.flops_dp = cores * ghz * 1e9 * 8;  // 4-wide FMA (AVX2-class)
+  d.mem_bandwidth = 5.0e10;
+  d.pcie = LinkModel{0, 1e12};  // unused for kHostShared
+  d.kernel_launch_overhead = from_us(2);
+  d.exec_units = cores;
+  return d;
+}
+
+ClusterDesc make_psg(int nodes) {
+  if (nodes <= 0) nodes = 1;
+  NodeDesc node;
+  node.sockets = 2;
+  node.cores_per_socket = 16;  // E5-2698 v3
+  node.host_mem_bytes = 256ull << 30;
+  node.host_copy = {from_us(0.3), 11.0e9};
+  // Fig. 8(a)(b): near/far ratio ~2.5-3x on the GPU node.
+  node.numa_far_bw_factor = 0.36;
+  node.numa_far_extra_latency = from_us(1.5);
+  // 8 GK210s: 4 per socket, each socket's devices behind one root complex
+  // (K80 boards hang off PLX switches under the socket's root port).
+  for (int i = 0; i < 8; ++i) {
+    const int socket = i / 4;
+    node.devices.push_back(make_gk210(socket, socket));
+  }
+
+  ClusterDesc c;
+  c.name = "PSG";
+  c.nodes.assign(static_cast<std::size_t>(nodes), node);
+  c.fabric = {"Mellanox InfiniBand FDR", ib_fdr(), from_us(0.8), false};
+  c.costs = default_costs();
+  c.mpi_thread_multiple = true;
+  return c;
+}
+
+ClusterDesc make_beacon(int nodes) {
+  if (nodes <= 0) nodes = 32;
+  NodeDesc node;
+  node.sockets = 2;
+  node.cores_per_socket = 8;  // E5-2670
+  node.host_mem_bytes = 256ull << 30;
+  node.host_copy = {from_us(0.35), 9.0e9};
+  // Fig. 8(c)(d): up to 3.5x near/far on the MIC node.
+  node.numa_far_bw_factor = 0.29;
+  node.numa_far_extra_latency = from_us(2.0);
+  for (int i = 0; i < 4; ++i) {
+    const int socket = i / 2;
+    node.devices.push_back(make_phi_5110p(socket, socket));
+  }
+
+  ClusterDesc c;
+  c.name = "Beacon";
+  c.nodes.assign(static_cast<std::size_t>(nodes), node);
+  c.fabric = {"Mellanox InfiniBand FDR", ib_fdr(), from_us(0.8), false};
+  c.costs = default_costs();
+  c.mpi_thread_multiple = true;
+  return c;
+}
+
+ClusterDesc make_titan(int nodes) {
+  if (nodes <= 0) nodes = 8192;
+  NodeDesc node;
+  node.sockets = 1;  // one Opteron 6274 per Gemini endpoint
+  node.cores_per_socket = 16;
+  node.host_mem_bytes = 32ull << 30;
+  node.host_copy = {from_us(0.4), 8.0e9};
+  node.numa_far_bw_factor = 1.0;  // single socket: pinning is moot
+  node.numa_far_extra_latency = 0;
+  node.devices.push_back(make_k20x(0, 0));
+
+  ClusterDesc c;
+  c.name = "Titan";
+  c.nodes.assign(static_cast<std::size_t>(nodes), node);
+  // Cray MPICH2 exploits Mellanox-OFED-GPUDirect-style direct device
+  // access on Gemini (section 4.2, Fig. 9 (g)-(i)).
+  c.fabric = {"Cray Gemini", gemini(), from_us(1.0), true};
+  c.costs = default_costs();
+  c.mpi_thread_multiple = true;
+  return c;
+}
+
+ClusterDesc make_heterogeneous_demo() {
+  // Mirrors Fig. 2: Node 0 has 2 GPUs, Node 1 has 1 GPU + 2 MICs,
+  // Node 2 has CPUs only (its CPU cores form one accelerator).
+  ClusterDesc c;
+  c.name = "HeteroDemo";
+  c.fabric = {"Mellanox InfiniBand FDR", ib_fdr(), from_us(0.8), false};
+  c.costs = default_costs();
+  c.mpi_thread_multiple = true;
+
+  NodeDesc n0;
+  n0.sockets = 2;
+  n0.cores_per_socket = 8;
+  n0.host_copy = {from_us(0.3), 10.0e9};
+  n0.devices.push_back(make_gk210(0, 0));
+  n0.devices.push_back(make_gk210(1, 1));
+
+  NodeDesc n1 = n0;
+  n1.devices.clear();
+  n1.devices.push_back(make_k20x(0, 0));
+  n1.devices.push_back(make_phi_5110p(0, 0));
+  n1.devices.push_back(make_phi_5110p(1, 1));
+
+  NodeDesc n2 = n0;
+  n2.devices.clear();
+  n2.devices.push_back(make_cpu_device(0, 16, 2.3));
+
+  c.nodes = {n0, n1, n2};
+  return c;
+}
+
+ClusterDesc make_system(const std::string& name, int nodes) {
+  if (name == "psg" || name == "PSG") return make_psg(nodes);
+  if (name == "beacon" || name == "Beacon") return make_beacon(nodes);
+  if (name == "titan" || name == "Titan") return make_titan(nodes);
+  if (name == "hetero" || name == "HeteroDemo") return make_heterogeneous_demo();
+  IMPACC_CHECK_MSG(false, "unknown system preset");
+}
+
+}  // namespace impacc::sim

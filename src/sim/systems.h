@@ -1,0 +1,34 @@
+// System presets encoding Table 1 of the paper.
+#pragma once
+
+#include <string>
+
+#include "sim/topology.h"
+
+namespace impacc::sim {
+
+/// PSG: one node, 2x Intel Xeon E5-2698 v3, 8x NVIDIA Kepler GK210,
+/// PCIe gen3 x16, Mellanox InfiniBand FDR, CUDA backend, MVAPICH2.
+ClusterDesc make_psg(int nodes = 1);
+
+/// Beacon: 2x Intel Xeon E5-2670, 4x Intel Xeon Phi 5110P per node,
+/// PCIe gen2 x16, Mellanox InfiniBand FDR, OpenCL backend, Intel MPI.
+ClusterDesc make_beacon(int nodes = 32);
+
+/// Titan: AMD Opteron 6274, 1x NVIDIA Tesla K20x per node, PCIe gen2 x16,
+/// Cray Gemini with GPUDirect RDMA, CUDA backend, Cray MPICH2.
+ClusterDesc make_titan(int nodes = 8192);
+
+/// A small generic heterogeneous cluster used by tests and the Fig. 2
+/// mapping demo: nodes differ in accelerator count and kind.
+ClusterDesc make_heterogeneous_demo();
+
+/// Lookup by name: "psg", "beacon", "titan" (case-sensitive). `nodes <= 0`
+/// selects each preset's default node count.
+ClusterDesc make_system(const std::string& name, int nodes = 0);
+
+/// A DeviceDesc for "a set of CPU cores as an accelerator" (section 2.1)
+/// on the given node parameters.
+DeviceDesc make_cpu_device(int socket, int cores, double ghz);
+
+}  // namespace impacc::sim

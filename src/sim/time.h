@@ -1,0 +1,20 @@
+// Virtual time. All simulated costs are expressed in seconds (double).
+#pragma once
+
+namespace impacc::sim {
+
+/// Virtual time in seconds.
+using Time = double;
+
+constexpr Time from_us(double us) { return us * 1e-6; }
+constexpr Time from_ms(double ms) { return ms * 1e-3; }
+constexpr double to_us(Time t) { return t * 1e6; }
+constexpr double to_ms(Time t) { return t * 1e3; }
+
+/// Bandwidth helper: bytes / seconds -> GB/s (decimal GB, as in the paper's
+/// bandwidth plots).
+constexpr double gbps(double bytes, Time seconds) {
+  return seconds > 0 ? bytes / seconds / 1e9 : 0.0;
+}
+
+}  // namespace impacc::sim

@@ -1,0 +1,20 @@
+#include "sim/topology.h"
+
+namespace impacc::sim {
+
+const char* device_kind_name(DeviceKind k) {
+  switch (k) {
+    case DeviceKind::kNvidiaGpu: return "nvidia";
+    case DeviceKind::kXeonPhi: return "xeonphi";
+    case DeviceKind::kCpu: return "cpu";
+  }
+  return "unknown";
+}
+
+int ClusterDesc::total_devices() const {
+  int n = 0;
+  for (const auto& node : nodes) n += static_cast<int>(node.devices.size());
+  return n;
+}
+
+}  // namespace impacc::sim

@@ -1,0 +1,113 @@
+// Node and cluster topology descriptions.
+//
+// These encode everything the IMPACC runtime needs to make the decisions
+// the paper describes: which socket is near which accelerator (NUMA
+// pinning, section 3.3), which devices share a PCIe root complex (peer
+// DtoD, section 3.7), what kind of backend a device uses (CUDA-like UVA vs
+// OpenCL-like handle+mapped range, section 3.4), and the cost parameters
+// that stand in for the real hardware of Table 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace impacc::sim {
+
+/// Simple latency/bandwidth link: time(s) = latency + size/bandwidth.
+/// This produces the classic bandwidth-vs-size saturation curves of
+/// Figures 8 and 9.
+struct LinkModel {
+  Time latency = 0;        // seconds
+  double bandwidth = 1e9;  // bytes/second (peak)
+
+  Time time(std::uint64_t bytes) const {
+    return latency + static_cast<double>(bytes) / bandwidth;
+  }
+};
+
+/// Accelerator families the paper evaluates (plus the "set of CPU cores as
+/// an accelerator" case from section 2.1).
+enum class DeviceKind : int { kNvidiaGpu = 0, kXeonPhi = 1, kCpu = 2 };
+
+/// How the device exposes memory to the unified node VAS (section 3.4).
+enum class BackendKind : int {
+  kCudaLike = 0,    // UVA: device pointers are node-VAS addresses
+  kOpenClLike = 1,  // cl_mem-style handles + reserved mapped host range
+  kHostShared = 2,  // integrated (CPU-as-accelerator): shares host memory
+};
+
+const char* device_kind_name(DeviceKind k);
+
+struct DeviceDesc {
+  DeviceKind kind = DeviceKind::kNvidiaGpu;
+  BackendKind backend = BackendKind::kCudaLike;
+  std::string model;            // e.g. "NVIDIA Kepler GK210"
+  int socket = 0;               // near CPU socket
+  int root_complex = 0;         // PCIe root complex id within the node
+  std::uint64_t mem_bytes = 0;  // device memory capacity
+  double flops_dp = 1e12;       // peak double-precision FLOP/s
+  double mem_bandwidth = 2e11;  // effective device memory bandwidth (B/s)
+  LinkModel pcie;               // host<->device link from the *near* socket
+  Time kernel_launch_overhead = from_us(8);
+  int exec_units = 16;          // gang-level parallelism available
+};
+
+struct NodeDesc {
+  int sockets = 2;
+  int cores_per_socket = 8;
+  std::uint64_t host_mem_bytes = 64ull << 30;
+  LinkModel host_copy;  // intra-node host memcpy
+  // NUMA penalty applied when the task's pinned socket differs from the
+  // device's socket: bandwidth multiplier < 1 and extra latency. Fig. 8
+  // reports up to 3.5x between near and far configurations.
+  double numa_far_bw_factor = 0.5;
+  Time numa_far_extra_latency = from_us(1.5);
+  std::vector<DeviceDesc> devices;
+};
+
+/// Interconnect between nodes.
+struct FabricDesc {
+  std::string name;  // "Mellanox InfiniBand FDR", "Cray Gemini"
+  LinkModel link;
+  Time per_message_overhead = from_us(0.8);
+  // GPUDirect-RDMA-style direct device-memory access by the NIC
+  // (section 3.7): device buffers skip host staging when true.
+  bool gpudirect_rdma = false;
+};
+
+/// Software-path costs. These stand in for the overheads the paper
+/// attributes to each runtime structure.
+struct RuntimeCosts {
+  // Baseline (process-per-task) intra-node message: IPC setup per message.
+  Time ipc_message_overhead = from_us(4.0);
+  // IMPACC: creating a message command + handler queue scheduling
+  // (the ~5% LULESH regression on Beacon comes from this, section 4.2).
+  Time handler_command_overhead = from_us(0.7);
+  // Enqueue of any operation onto an activity queue.
+  Time queue_op_overhead = from_us(1.0);
+  // Host-side cost of an MPI library call.
+  Time mpi_call_overhead = from_us(0.4);
+  // Host-side cost of a synchronization point (acc wait / MPI_Wait*);
+  // grows with the number of outstanding requests checked.
+  Time sync_point_overhead = from_us(1.5);
+};
+
+struct ClusterDesc {
+  std::string name;
+  std::vector<NodeDesc> nodes;
+  FabricDesc fabric;
+  RuntimeCosts costs;
+  // MPI_THREAD_MULTIPLE support in the underlying MPI (Table 1: all three
+  // systems provide it; turning it off serializes internode calls per node,
+  // the ablation of section 3.7).
+  bool mpi_thread_multiple = true;
+
+  int num_nodes() const { return static_cast<int>(nodes.size()); }
+  /// Total devices across the cluster.
+  int total_devices() const;
+};
+
+}  // namespace impacc::sim

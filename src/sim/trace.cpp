@@ -1,0 +1,84 @@
+#include "sim/trace.h"
+
+#include <cstdio>
+
+namespace impacc::sim {
+
+void TraceSink::record(int pid, std::string tid, std::string name,
+                       std::string category, sim::Time start, sim::Time end) {
+  Event e;
+  e.pid = pid;
+  e.tid = std::move(tid);
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.start = start;
+  e.end = end;
+  lock_.lock();
+  events_.push_back(std::move(e));
+  lock_.unlock();
+}
+
+std::size_t TraceSink::size() const {
+  lock_.lock();
+  const std::size_t n = events_.size();
+  lock_.unlock();
+  return n;
+}
+
+std::vector<TraceSink::Event> TraceSink::snapshot() const {
+  lock_.lock();
+  std::vector<Event> copy = events_;
+  lock_.unlock();
+  return copy;
+}
+
+namespace {
+
+/// Escape the few JSON-significant characters that can appear in labels.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TraceSink::to_chrome_json() const {
+  const std::vector<Event> events = snapshot();
+  std::string out = "[\n";
+  char buf[160];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    // Chrome "complete" events: ts/dur in microseconds.
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,",
+                  sim::to_us(e.start), sim::to_us(e.end - e.start), e.pid);
+    out += buf;
+    out += "\"tid\":\"" + json_escape(e.tid) + "\",";
+    out += "\"cat\":\"" + json_escape(e.category) + "\",";
+    out += "\"name\":\"" + json_escape(e.name) + "\"}";
+    if (i + 1 < events.size()) out += ",";
+    out += "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+bool TraceSink::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_chrome_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace impacc::sim

@@ -1,0 +1,49 @@
+// Virtual-time execution tracing.
+//
+// When enabled (LaunchOptions::trace_path or IMPACC_TRACE), the runtime
+// records every activity-queue operation and every completed message with
+// its virtual start/end times and writes a Chrome-trace JSON file
+// (chrome://tracing, Perfetto). The result is exactly the paper's Fig. 5
+// timeline view: host rows, device activity-queue rows, and message rows
+// per node.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "ult/sync.h"
+
+namespace impacc::sim {
+
+class TraceSink {
+ public:
+  struct Event {
+    int pid = 0;  // node index
+    std::string tid;
+    std::string name;
+    std::string category;
+    sim::Time start = 0;
+    sim::Time end = 0;
+  };
+
+  /// Record one complete event (thread-safe).
+  void record(int pid, std::string tid, std::string name,
+              std::string category, sim::Time start, sim::Time end);
+
+  std::size_t size() const;
+  std::vector<Event> snapshot() const;
+
+  /// Serialize as a Chrome-trace JSON array (timestamps in microseconds).
+  std::string to_chrome_json() const;
+
+  /// Write to a file; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  mutable ult::SpinLock lock_;
+  std::vector<Event> events_;
+};
+
+}  // namespace impacc::sim

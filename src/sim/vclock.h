@@ -1,0 +1,37 @@
+// Per-entity virtual clocks.
+//
+// Each task fiber and each device activity queue owns a VirtualClock.
+// Operations advance the owner's clock by their modeled cost; communication
+// merges clocks (a receive cannot complete before the matching send's data
+// would have arrived). The run's makespan is the maximum clock at finalize.
+#pragma once
+
+#include <algorithm>
+
+#include "sim/time.h"
+
+namespace impacc::sim {
+
+class VirtualClock {
+ public:
+  Time now() const { return now_; }
+
+  /// Advance by a non-negative duration; returns the new time.
+  Time advance(Time dt) {
+    if (dt > 0) now_ += dt;
+    return now_;
+  }
+
+  /// Merge with another timeline: this clock cannot be earlier than `t`.
+  Time merge(Time t) {
+    now_ = std::max(now_, t);
+    return now_;
+  }
+
+  void reset(Time t = 0) { now_ = t; }
+
+ private:
+  Time now_ = 0;
+};
+
+}  // namespace impacc::sim

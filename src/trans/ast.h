@@ -1,0 +1,50 @@
+// Directive AST for the translator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace impacc::trans {
+
+enum class DirectiveKind : int {
+  kParallelLoop = 0,  // parallel loop / kernels loop / parallel / kernels
+  kData,              // structured data region
+  kEnterData,
+  kExitData,
+  kUpdate,
+  kWait,
+  kHostData,  // host_data use_device(...): device addresses in host code
+  kMpi,  // the IMPACC extension: #pragma acc mpi (section 3.5)
+  kUnknown,
+};
+
+/// A subarray reference from a data clause: var[first:count].
+/// A bare `var` has first/count empty (whole object via sizeof).
+struct SubArray {
+  std::string var;
+  std::string first;  // expression text, may be empty
+  std::string count;  // expression text, may be empty
+};
+
+/// One clause: name plus raw argument expressions (and parsed subarrays
+/// for data-style clauses).
+struct Clause {
+  std::string name;
+  std::vector<std::string> args;       // raw top-level args
+  std::vector<SubArray> subarrays;     // for copyin/copyout/create/...
+};
+
+struct Directive {
+  DirectiveKind kind = DirectiveKind::kUnknown;
+  std::vector<Clause> clauses;
+  int line = 0;  // 1-based source line of the pragma
+
+  const Clause* find(const std::string& name) const {
+    for (const auto& c : clauses) {
+      if (c.name == name) return &c;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace impacc::trans

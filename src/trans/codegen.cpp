@@ -1,0 +1,383 @@
+#include "trans/codegen.h"
+
+#include <cctype>
+#include <map>
+
+#include "trans/lexer.h"
+
+namespace impacc::trans {
+
+namespace {
+
+/// Pointer expression and byte count for a subarray reference.
+std::string sa_ptr(const SubArray& sa) {
+  if (sa.first.empty() || sa.first == "0") return sa.var;
+  return "(" + sa.var + ") + (" + sa.first + ")";
+}
+
+std::string sa_bytes(const SubArray& sa) {
+  if (sa.count.empty()) return "sizeof(" + sa.var + ")";
+  return "(" + sa.count + ") * sizeof(*(" + sa.var + "))";
+}
+
+bool word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Whole-word identifier replacement.
+std::string replace_ident(const std::string& s, const std::string& from,
+                          const std::string& to) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    if (s.compare(i, from.size(), from) == 0 &&
+        (i == 0 || !word_char(s[i - 1])) &&
+        (i + from.size() >= s.size() || !word_char(s[i + from.size()]))) {
+      out += to;
+      i += from.size();
+    } else {
+      out += s[i++];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string map_mpi_constants(const std::string& expr,
+                              const TranslateOptions& opt) {
+  static const std::map<std::string, std::string> kMap = {
+      {"MPI_COMM_WORLD", "@mpi::world()"},
+      {"MPI_BYTE", "@mpi::Datatype::kByte"},
+      {"MPI_CHAR", "@mpi::Datatype::kChar"},
+      {"MPI_INT", "@mpi::Datatype::kInt"},
+      {"MPI_LONG", "@mpi::Datatype::kLong"},
+      {"MPI_UINT64_T", "@mpi::Datatype::kUint64"},
+      {"MPI_FLOAT", "@mpi::Datatype::kFloat"},
+      {"MPI_DOUBLE", "@mpi::Datatype::kDouble"},
+      {"MPI_SUM", "@mpi::Op::kSum"},
+      {"MPI_PROD", "@mpi::Op::kProd"},
+      {"MPI_MAX", "@mpi::Op::kMax"},
+      {"MPI_MIN", "@mpi::Op::kMin"},
+      {"MPI_LAND", "@mpi::Op::kLand"},
+      {"MPI_LOR", "@mpi::Op::kLor"},
+      {"MPI_BAND", "@mpi::Op::kBand"},
+      {"MPI_BOR", "@mpi::Op::kBor"},
+      {"MPI_ANY_SOURCE", "@mpi::kAnySource"},
+      {"MPI_ANY_TAG", "@mpi::kAnyTag"},
+      {"MPI_STATUS_IGNORE", "nullptr"},
+      {"MPI_STATUSES_IGNORE", "nullptr"},
+  };
+  std::string out = expr;
+  for (const auto& [from, to] : kMap) {
+    std::string t = to;
+    const std::size_t at = t.find('@');
+    if (at != std::string::npos) t.replace(at, 1, opt.api_ns + "::");
+    out = replace_ident(out, from, t);
+  }
+  return out;
+}
+
+std::string async_arg(const Directive& d, const TranslateOptions& opt) {
+  const Clause* c = d.find("async");
+  if (c == nullptr) return opt.api_ns + "::acc::kSync";
+  if (c->args.empty()) return opt.api_ns + "::acc::kAsyncNoval";
+  return c->args[0];
+}
+
+std::string gen_data_enter(const Directive& d, const TranslateOptions& opt) {
+  std::string out;
+  const std::string a = async_arg(d, opt);
+  for (const auto& c : d.clauses) {
+    for (const auto& sa : c.subarrays) {
+      if (c.name == "copyin" || c.name == "copy") {
+        out += opt.api_ns + "::acc::copyin(" + sa_ptr(sa) + ", " +
+               sa_bytes(sa) + ", " + a + "); ";
+      } else if (c.name == "create" || c.name == "copyout") {
+        // copyout allocates on entry, copies back on exit.
+        out += opt.api_ns + "::acc::create(" + sa_ptr(sa) + ", " +
+               sa_bytes(sa) + "); ";
+      }
+    }
+  }
+  return out;
+}
+
+std::string gen_data_exit(const Directive& d, const TranslateOptions& opt) {
+  std::string out;
+  const std::string a = async_arg(d, opt);
+  for (const auto& c : d.clauses) {
+    for (const auto& sa : c.subarrays) {
+      if (c.name == "copyout" || c.name == "copy") {
+        out += opt.api_ns + "::acc::copyout(" + sa_ptr(sa) + ", " + a + "); ";
+      } else if (c.name == "copyin" || c.name == "create" ||
+                 c.name == "delete") {
+        out += opt.api_ns + "::acc::del(" + sa_ptr(sa) + "); ";
+      }
+    }
+  }
+  return out;
+}
+
+std::string gen_update(const Directive& d, const TranslateOptions& opt) {
+  std::string out;
+  const std::string a = async_arg(d, opt);
+  for (const auto& c : d.clauses) {
+    for (const auto& sa : c.subarrays) {
+      if (c.name == "device") {
+        out += opt.api_ns + "::acc::update_device(" + sa_ptr(sa) + ", " +
+               sa_bytes(sa) + ", " + a + "); ";
+      } else if (c.name == "self" || c.name == "host") {
+        out += opt.api_ns + "::acc::update_self(" + sa_ptr(sa) + ", " +
+               sa_bytes(sa) + ", " + a + "); ";
+      }
+    }
+  }
+  return out;
+}
+
+std::string gen_wait(const Directive& d, const TranslateOptions& opt) {
+  const Clause* c = d.find("wait");
+  if (c != nullptr && !c->args.empty()) {
+    return opt.api_ns + "::acc::wait(" + c->args[0] + "); ";
+  }
+  return opt.api_ns + "::acc::wait_all(); ";
+}
+
+std::string gen_mpi_hint(const Directive& d, const std::string& recv_buf_expr,
+                         const TranslateOptions& opt) {
+  // Lower to designated initializers on core::MpiHint (section 3.5).
+  std::string fields;
+  auto has_flag = [](const Clause* c, const char* flag) {
+    if (c == nullptr) return false;
+    for (const auto& a : c->args) {
+      if (a == flag) return true;
+    }
+    return false;
+  };
+  const Clause* sb = d.find("sendbuf");
+  const Clause* rb = d.find("recvbuf");
+  if (has_flag(sb, "device")) fields += ".send_device = true, ";
+  if (has_flag(sb, "readonly")) fields += ".send_readonly = true, ";
+  if (has_flag(rb, "device")) fields += ".recv_device = true, ";
+  if (has_flag(rb, "readonly")) {
+    fields += ".recv_readonly = true, ";
+    if (!has_flag(rb, "device") && !recv_buf_expr.empty()) {
+      fields += ".recv_ptr_addr = reinterpret_cast<void**>(&(" +
+                recv_buf_expr + ")), ";
+    }
+  }
+  const Clause* as = d.find("async");
+  if (as != nullptr) {
+    fields += ".async = " +
+              (as->args.empty() ? opt.api_ns + "::acc::kAsyncNoval"
+                                : as->args[0]) +
+              ", ";
+  }
+  if (!fields.empty()) fields.erase(fields.size() - 2);  // trailing ", "
+  return opt.api_ns + "::acc::mpi({" + fields + "}); ";
+}
+
+std::string gen_parallel_loop(const Directive& d, const ForLoop& loop,
+                              const TranslateOptions& opt) {
+  const std::string n =
+      "(" + loop.bound + ") - (" + (loop.first.empty() ? "0" : loop.first) +
+      ")";
+  std::string out = "{ ";
+  out += gen_data_enter(d, opt);
+
+  // Init-capture every data-clause variable as its device pointer so the
+  // loop body (copied verbatim) dereferences device memory — the
+  // translation a real OpenACC compiler performs on kernel parameters.
+  // reduction(op:var) variables are captured by reference instead: the
+  // body accumulates into them directly (the simulated device executes
+  // the loop sequentially, so no partial-result combination is needed).
+  std::string captures = "=";
+  for (const auto& c : d.clauses) {
+    if (c.name == "reduction") {
+      for (const auto& arg : c.args) {
+        const std::size_t colon = arg.find(':');
+        if (colon == std::string::npos) continue;
+        captures += ", &" + trim(arg.substr(colon + 1));
+      }
+      continue;
+    }
+    if (c.name != "copyin" && c.name != "copyout" && c.name != "copy" &&
+        c.name != "create" && c.name != "present") {
+      continue;
+    }
+    for (const auto& sa : c.subarrays) {
+      captures += ", " + sa.var + " = static_cast<decltype(" + sa.var +
+                  ")>(" + opt.api_ns + "::acc::deviceptr(" + sa.var + "))";
+    }
+  }
+
+  char est[160];
+  std::snprintf(est, sizeof(est),
+                "%s::sim::WorkEstimate{(double)(%s) * %g, (double)(%s) * %g}",
+                opt.api_ns.c_str(), n.c_str(), opt.flops_per_iter, n.c_str(),
+                opt.bytes_per_iter);
+
+  out += opt.api_ns + "::acc::parallel_loop(\"acc_kernel_L" +
+         std::to_string(d.line) + "\", " + n + ", [" + captures + "](long " +
+         loop.var + "__it) { long " + loop.var + " = (" +
+         (loop.first.empty() ? "0" : loop.first) + ") + " + loop.var +
+         "__it; (void)" + loop.var + "; " + loop.body + " }, " + est + ", " +
+         async_arg(d, opt) + "); ";
+  out += gen_data_exit(d, opt);
+  out += "}";
+  return out;
+}
+
+std::string rewrite_mpi_call(const std::string& name, const std::string& args,
+                             const TranslateOptions& opt, std::string* error) {
+  const std::vector<std::string> raw = split_args(args);
+  std::vector<std::string> a;
+  a.reserve(raw.size());
+  for (const auto& r : raw) a.push_back(map_mpi_constants(r, opt));
+  const std::string ns = opt.api_ns + "::mpi::";
+
+  auto need = [&](std::size_t n) {
+    if (a.size() != n) {
+      *error = name + ": expected " + std::to_string(n) + " arguments";
+      return false;
+    }
+    return true;
+  };
+  auto strip_addr = [](const std::string& s) {
+    const std::string t = trim(s);
+    return t.size() > 1 && t[0] == '&' ? trim(t.substr(1)) : t;
+  };
+  auto join = [](const std::vector<std::string>& v) {
+    std::string out;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += v[i];
+    }
+    return out;
+  };
+
+  if (name == "MPI_Init" || name == "MPI_Finalize") {
+    return "/* " + name + " handled by impacc::launch */";
+  }
+  if (name == "MPI_Comm_rank" || name == "MPI_Comm_size") {
+    if (!need(2)) return "";
+    const std::string fn =
+        name == "MPI_Comm_rank" ? "comm_rank" : "comm_size";
+    return strip_addr(a[1]) + " = " + ns + fn + "(" + a[0] + ")";
+  }
+  if (name == "MPI_Send") {
+    if (!need(6)) return "";
+    return ns + "send(" + join(a) + ")";
+  }
+  if (name == "MPI_Bcast") {
+    if (!need(5)) return "";
+    return ns + "bcast(" + join(a) + ")";
+  }
+  if (name == "MPI_Recv") {
+    if (a.size() != 7 && a.size() != 6) {
+      *error = "MPI_Recv: expected 6 or 7 arguments";
+      return "";
+    }
+    return ns + "recv(" + join(a) + ")";
+  }
+  if (name == "MPI_Isend" || name == "MPI_Irecv") {
+    if (!need(7)) return "";
+    const std::string req = strip_addr(a.back());
+    a.pop_back();
+    const std::string fn = name == "MPI_Isend" ? "isend" : "irecv";
+    return req + " = " + ns + fn + "(" + join(a) + ")";
+  }
+  if (name == "MPI_Wait") {
+    if (a.size() != 2 && a.size() != 1) {
+      *error = "MPI_Wait: expected 1 or 2 arguments";
+      return "";
+    }
+    std::string out = ns + "wait(" + strip_addr(a[0]);
+    if (a.size() == 2 && a[1] != "nullptr") out += ", " + a[1];
+    return out + ")";
+  }
+  if (name == "MPI_Waitall") {
+    if (a.size() != 3 && a.size() != 2) {
+      *error = "MPI_Waitall: expected 2 or 3 arguments";
+      return "";
+    }
+    return ns + "waitall(" + a[1] + ", " + a[0] + ")";
+  }
+  if (name == "MPI_Barrier") {
+    if (!need(1)) return "";
+    return ns + "barrier(" + a[0] + ")";
+  }
+  if (name == "MPI_Reduce") {
+    if (!need(7)) return "";
+    return ns + "reduce(" + join(a) + ")";
+  }
+  if (name == "MPI_Allreduce") {
+    if (!need(6)) return "";
+    return ns + "allreduce(" + join(a) + ")";
+  }
+  if (name == "MPI_Gather" || name == "MPI_Scatter") {
+    if (!need(8)) return "";
+    const std::string fn = name == "MPI_Gather" ? "gather" : "scatter";
+    return ns + fn + "(" + join(a) + ")";
+  }
+  if (name == "MPI_Allgather" || name == "MPI_Alltoall") {
+    if (!need(7)) return "";
+    const std::string fn = name == "MPI_Allgather" ? "allgather" : "alltoall";
+    return ns + fn + "(" + join(a) + ")";
+  }
+  if (name == "MPI_Ssend") {
+    if (!need(6)) return "";
+    return ns + "ssend(" + join(a) + ")";
+  }
+  if (name == "MPI_Scan") {
+    if (!need(6)) return "";
+    return ns + "scan(" + join(a) + ")";
+  }
+  if (name == "MPI_Reduce_scatter_block") {
+    if (!need(6)) return "";
+    return ns + "reduce_scatter_block(" + join(a) + ")";
+  }
+  if (name == "MPI_Probe") {
+    // MPI_Probe(src, tag, comm, &status)
+    if (!need(4)) return "";
+    return ns + "probe(" + a[0] + ", " + a[1] + ", " + a[2] + ", " + a[3] +
+           ")";
+  }
+  if (name == "MPI_Iprobe") {
+    // MPI_Iprobe(src, tag, comm, &flag, &status)
+    if (!need(5)) return "";
+    return strip_addr(a[3]) + " = " + ns + "iprobe(" + a[0] + ", " + a[1] +
+           ", " + a[2] + ", " + a[4] + ")";
+  }
+  if (name == "MPI_Get_count") {
+    // MPI_Get_count(&status, datatype, &count)
+    if (!need(3)) return "";
+    return strip_addr(a[2]) + " = " + ns + "get_count(" + strip_addr(a[0]) +
+           ", " + a[1] + ")";
+  }
+  if (name == "MPI_Waitany") {
+    // MPI_Waitany(count, reqs, &index, &status)
+    if (!need(4)) return "";
+    return strip_addr(a[2]) + " = " + ns + "waitany(" + a[1] + ", " + a[0] +
+           ", " + (a[3] == "nullptr" ? "nullptr" : a[3]) + ")";
+  }
+  if (name == "MPI_Type_vector") {
+    // MPI_Type_vector(count, blocklength, stride, base, &newtype)
+    if (!need(5)) return "";
+    return strip_addr(a[4]) + " = " + ns + "type_vector(" + a[0] + ", " +
+           a[1] + ", " + a[2] + ", " + a[3] + ")";
+  }
+  if (name == "MPI_Type_contiguous") {
+    if (!need(3)) return "";
+    return strip_addr(a[2]) + " = " + ns + "type_contiguous(" + a[0] + ", " +
+           a[1] + ")";
+  }
+  if (name == "MPI_Type_commit" || name == "MPI_Type_free") {
+    return "/* " + name + ": types are immediately usable in impacc */";
+  }
+  *error = "unsupported MPI routine '" + name + "'";
+  return "";
+}
+
+}  // namespace impacc::trans

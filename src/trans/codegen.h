@@ -1,0 +1,60 @@
+// Code generation: directives + captured constructs -> runtime API calls.
+#pragma once
+
+#include <string>
+
+#include "trans/ast.h"
+
+namespace impacc::trans {
+
+struct TranslateOptions {
+  // Work-estimate defaults for translated loops (the source carries no
+  // cost model; a real compiler would derive one from the loop body).
+  double flops_per_iter = 10.0;
+  double bytes_per_iter = 16.0;
+  std::string api_ns = "impacc";  // namespace prefix for generated calls
+};
+
+/// A captured canonical for loop:
+///   for (<decl> <var> = <first>; <var> < <bound>; <var>++) <body>
+struct ForLoop {
+  std::string var;
+  std::string first;
+  std::string bound;
+  std::string body;  // statement or compound statement text
+};
+
+/// Data-clause lowering: calls made on entry (copyin/create) and on exit
+/// (copyout/delete) of a region or around a compute construct.
+std::string gen_data_enter(const Directive& d, const TranslateOptions& opt);
+std::string gen_data_exit(const Directive& d, const TranslateOptions& opt);
+
+/// update device(...) / self(...).
+std::string gen_update(const Directive& d, const TranslateOptions& opt);
+
+/// wait [(n)].
+std::string gen_wait(const Directive& d, const TranslateOptions& opt);
+
+/// #pragma acc mpi ... ; `recv_buf_expr` is the receive-buffer argument of
+/// the following MPI call (needed for recvbuf(readonly) aliasing).
+std::string gen_mpi_hint(const Directive& d, const std::string& recv_buf_expr,
+                         const TranslateOptions& opt);
+
+/// parallel/kernels loop + captured for loop.
+std::string gen_parallel_loop(const Directive& d, const ForLoop& loop,
+                              const TranslateOptions& opt);
+
+/// Rewrite one `MPI_Xxx(args)` call expression into the impacc::mpi API.
+/// Returns empty and sets `error` when the routine is unsupported.
+std::string rewrite_mpi_call(const std::string& name, const std::string& args,
+                             const TranslateOptions& opt, std::string* error);
+
+/// Replace MPI constant identifiers (datatypes, ops, MPI_COMM_WORLD, ...)
+/// inside an argument expression.
+std::string map_mpi_constants(const std::string& expr,
+                              const TranslateOptions& opt);
+
+/// async clause value as generated code (kSync when absent).
+std::string async_arg(const Directive& d, const TranslateOptions& opt);
+
+}  // namespace impacc::trans

@@ -1,0 +1,123 @@
+#include "trans/lexer.h"
+
+#include <cctype>
+
+namespace impacc::trans {
+
+std::vector<Token> tokenize(const std::string& text) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i + 1;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(text[j])) ||
+                       text[j] == '_')) {
+        ++j;
+      }
+      out.push_back({TokKind::kIdent, text.substr(i, j - i)});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i + 1;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(text[j])) ||
+                       text[j] == '.')) {
+        ++j;
+      }
+      out.push_back({TokKind::kNumber, text.substr(i, j - i)});
+      i = j;
+      continue;
+    }
+    out.push_back({TokKind::kPunct, std::string(1, c)});
+    ++i;
+  }
+  out.push_back({TokKind::kEnd, ""});
+  return out;
+}
+
+std::size_t match_delim(const std::string& s, std::size_t open_pos) {
+  if (open_pos >= s.size()) return std::string::npos;
+  const char open = s[open_pos];
+  char close = 0;
+  switch (open) {
+    case '(': close = ')'; break;
+    case '[': close = ']'; break;
+    case '{': close = '}'; break;
+    default: return std::string::npos;
+  }
+  int depth = 0;
+  bool in_str = false;
+  bool in_chr = false;
+  for (std::size_t i = open_pos; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_str) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_str = false;
+      }
+      continue;
+    }
+    if (in_chr) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '\'') {
+        in_chr = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_str = true;
+    } else if (c == '\'') {
+      in_chr = true;
+    } else if (c == open) {
+      ++depth;
+    } else if (c == close) {
+      if (--depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+std::vector<std::string> split_args(const std::string& s) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '"' || c == '\'') {
+      const char q = c;
+      ++i;
+      while (i < s.size() && s[i] != q) {
+        if (s[i] == '\\') ++i;
+        ++i;
+      }
+    } else if (c == '(' || c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ')' || c == ']' || c == '}') {
+      --depth;
+    } else if (c == ',' && depth == 0) {
+      out.push_back(trim(s.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  const std::string last = trim(s.substr(start));
+  if (!last.empty() || !out.empty()) out.push_back(last);
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t a = 0;
+  std::size_t b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+}  // namespace impacc::trans

@@ -1,0 +1,44 @@
+// Tokenizer for OpenACC/IMPACC pragma lines and lightweight C scanning.
+//
+// The IMPACC compiler is a source-to-source translator built on OpenARC;
+// this module reimplements the directive surface: it tokenizes pragma
+// text (identifiers, integers, punctuation) and provides the helpers the
+// translator needs to slice C code (matching parentheses/braces, splitting
+// top-level commas in argument lists).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace impacc::trans {
+
+enum class TokKind : int {
+  kIdent = 0,
+  kNumber,
+  kPunct,  // single punctuation char: ( ) [ ] , : | etc.
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+
+  bool is(const char* s) const { return text == s; }
+};
+
+/// Tokenize a pragma line (after "#pragma").
+std::vector<Token> tokenize(const std::string& text);
+
+/// Position of the matching closing delimiter for the opener at `open_pos`
+/// in `s` (handles nesting, C strings and char literals). Returns
+/// std::string::npos if unbalanced.
+std::size_t match_delim(const std::string& s, std::size_t open_pos);
+
+/// Split a delimiter-balanced argument string on top-level commas,
+/// trimming whitespace.
+std::vector<std::string> split_args(const std::string& s);
+
+/// Trim leading/trailing whitespace.
+std::string trim(const std::string& s);
+
+}  // namespace impacc::trans

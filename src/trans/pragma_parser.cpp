@@ -1,0 +1,161 @@
+#include "trans/pragma_parser.h"
+
+#include "trans/lexer.h"
+
+namespace impacc::trans {
+
+namespace {
+
+/// Parse "var" or "var[first:count]" into a SubArray.
+SubArray parse_subarray(const std::string& text) {
+  SubArray sa;
+  const std::size_t br = text.find('[');
+  if (br == std::string::npos) {
+    sa.var = trim(text);
+    return sa;
+  }
+  sa.var = trim(text.substr(0, br));
+  const std::size_t close = match_delim(text, br);
+  if (close == std::string::npos) {
+    sa.var = trim(text);  // malformed; treat as bare name
+    return sa;
+  }
+  const std::string inner = text.substr(br + 1, close - br - 1);
+  // Split on the top-level ':'.
+  int depth = 0;
+  std::size_t colon = std::string::npos;
+  for (std::size_t i = 0; i < inner.size(); ++i) {
+    const char c = inner[i];
+    if (c == '(' || c == '[') ++depth;
+    if (c == ')' || c == ']') --depth;
+    if (c == ':' && depth == 0) {
+      colon = i;
+      break;
+    }
+  }
+  if (colon == std::string::npos) {
+    sa.first = "0";
+    sa.count = trim(inner);
+  } else {
+    sa.first = trim(inner.substr(0, colon));
+    sa.count = trim(inner.substr(colon + 1));
+  }
+  return sa;
+}
+
+bool is_data_clause(const std::string& name) {
+  return name == "copyin" || name == "copyout" || name == "copy" ||
+         name == "create" || name == "present" || name == "delete" ||
+         name == "device" || name == "self" || name == "host" ||
+         name == "use_device";
+}
+
+}  // namespace
+
+std::optional<Directive> parse_pragma(const std::string& after_pragma,
+                                      int line, std::string* error) {
+  const std::string text = trim(after_pragma);
+  if (text.rfind("acc", 0) != 0) return std::nullopt;  // not ours
+
+  Directive d;
+  d.line = line;
+  std::string rest = trim(text.substr(3));
+
+  // Directive name (possibly two words: "parallel loop", "enter data").
+  auto take_word = [&rest]() {
+    std::size_t i = 0;
+    while (i < rest.size() && (std::isalnum(static_cast<unsigned char>(
+                                   rest[i])) ||
+                               rest[i] == '_')) {
+      ++i;
+    }
+    const std::string w = rest.substr(0, i);
+    rest = trim(rest.substr(i));
+    return w;
+  };
+
+  const std::string first = take_word();
+  if (first == "parallel" || first == "kernels") {
+    d.kind = DirectiveKind::kParallelLoop;
+    if (rest.rfind("loop", 0) == 0) take_word();  // optional "loop"
+  } else if (first == "loop") {
+    d.kind = DirectiveKind::kParallelLoop;
+  } else if (first == "data") {
+    d.kind = DirectiveKind::kData;
+  } else if (first == "enter") {
+    if (take_word() != "data") {
+      *error = "expected 'data' after 'enter'";
+      return std::nullopt;
+    }
+    d.kind = DirectiveKind::kEnterData;
+  } else if (first == "exit") {
+    if (take_word() != "data") {
+      *error = "expected 'data' after 'exit'";
+      return std::nullopt;
+    }
+    d.kind = DirectiveKind::kExitData;
+  } else if (first == "update") {
+    d.kind = DirectiveKind::kUpdate;
+  } else if (first == "host_data") {
+    d.kind = DirectiveKind::kHostData;
+  } else if (first == "wait") {
+    d.kind = DirectiveKind::kWait;
+    // Optional (queue) argument directly after "wait".
+    if (!rest.empty() && rest[0] == '(') {
+      const std::size_t close = match_delim(rest, 0);
+      if (close == std::string::npos) {
+        *error = "unbalanced wait argument";
+        return std::nullopt;
+      }
+      Clause c;
+      c.name = "wait";
+      c.args.push_back(trim(rest.substr(1, close - 1)));
+      d.clauses.push_back(c);
+      rest = trim(rest.substr(close + 1));
+    }
+  } else if (first == "mpi") {
+    d.kind = DirectiveKind::kMpi;
+  } else {
+    *error = "unsupported acc directive '" + first + "'";
+    return std::nullopt;
+  }
+
+  // Clause list: name [(args)]
+  while (!rest.empty()) {
+    if (rest[0] == ',') {
+      rest = trim(rest.substr(1));
+      continue;
+    }
+    Clause c;
+    std::size_t i = 0;
+    while (i < rest.size() &&
+           (std::isalnum(static_cast<unsigned char>(rest[i])) ||
+            rest[i] == '_')) {
+      ++i;
+    }
+    if (i == 0) {
+      *error = "unexpected character in clause list: '" +
+               rest.substr(0, 1) + "'";
+      return std::nullopt;
+    }
+    c.name = rest.substr(0, i);
+    rest = trim(rest.substr(i));
+    if (!rest.empty() && rest[0] == '(') {
+      const std::size_t close = match_delim(rest, 0);
+      if (close == std::string::npos) {
+        *error = "unbalanced clause arguments for '" + c.name + "'";
+        return std::nullopt;
+      }
+      const std::string inner = rest.substr(1, close - 1);
+      c.args = split_args(inner);
+      rest = trim(rest.substr(close + 1));
+    }
+    if (is_data_clause(c.name)) {
+      for (const auto& a : c.args) c.subarrays.push_back(parse_subarray(a));
+    }
+    d.clauses.push_back(std::move(c));
+  }
+  return d;
+}
+
+}  // namespace impacc::trans

@@ -1,0 +1,17 @@
+// Parser for `#pragma acc ...` directive lines.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "trans/ast.h"
+
+namespace impacc::trans {
+
+/// Parse the text of one pragma line (the part after `#pragma`). Returns
+/// nullopt for non-acc pragmas. Aborts translation (returns kUnknown) on
+/// malformed acc directives, with `error` describing the problem.
+std::optional<Directive> parse_pragma(const std::string& after_pragma,
+                                      int line, std::string* error);
+
+}  // namespace impacc::trans

@@ -1,0 +1,445 @@
+#include "trans/translator.h"
+
+#include <cctype>
+
+#include "trans/lexer.h"
+#include "trans/pragma_parser.h"
+
+namespace impacc::trans {
+
+namespace {
+
+bool word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Cursor over the source with line tracking.
+struct Scanner {
+  const std::string& s;
+  std::size_t pos = 0;
+  int line = 1;
+
+  bool eof() const { return pos >= s.size(); }
+  char peek() const { return pos < s.size() ? s[pos] : '\0'; }
+
+  char take() {
+    const char c = s[pos++];
+    if (c == '\n') ++line;
+    return c;
+  }
+
+  void advance_to(std::size_t p) {
+    while (pos < p && !eof()) take();
+  }
+
+  /// Skip whitespace and comments; returns skipped text (preserved in the
+  /// output by the caller).
+  std::string skip_trivia() {
+    std::string out;
+    while (!eof()) {
+      const char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        out += take();
+      } else if (c == '/' && pos + 1 < s.size() && s[pos + 1] == '/') {
+        while (!eof() && peek() != '\n') out += take();
+      } else if (c == '/' && pos + 1 < s.size() && s[pos + 1] == '*') {
+        out += take();
+        out += take();
+        while (!eof() && !(peek() == '*' && pos + 1 < s.size() &&
+                           s[pos + 1] == '/')) {
+          out += take();
+        }
+        if (!eof()) {
+          out += take();
+          out += take();
+        }
+      } else {
+        break;
+      }
+    }
+    return out;
+  }
+};
+
+struct DataRegion {
+  int depth = 0;          // brace depth the region's '{' opened
+  std::string exit_code;  // emitted before the matching '}'
+};
+
+struct Translator {
+  Scanner sc;
+  const TranslateOptions& opt;
+  TranslateResult result;
+  std::string out;
+  int depth = 0;
+  std::vector<DataRegion> regions;
+
+  Translator(const std::string& src, const TranslateOptions& o)
+      : sc{src}, opt(o) {}
+
+  void error(int line, const std::string& msg) {
+    result.errors.push_back("line " + std::to_string(line) + ": " + msg);
+  }
+
+  /// Read a full pragma line including backslash continuations.
+  std::string read_line_cont() {
+    std::string text;
+    while (!sc.eof()) {
+      const char c = sc.take();
+      if (c == '\n') {
+        if (!text.empty() && text.back() == '\\') {
+          text.pop_back();
+          text += ' ';
+          continue;
+        }
+        break;
+      }
+      text += c;
+    }
+    return text;
+  }
+
+  /// Capture a balanced (...) group; cursor must be at '('. Returns inner
+  /// text without the parens.
+  bool capture_parens(std::string* inner, int line) {
+    const std::size_t close = match_delim(sc.s, sc.pos);
+    if (close == std::string::npos) {
+      error(line, "unbalanced parentheses");
+      return false;
+    }
+    *inner = sc.s.substr(sc.pos + 1, close - sc.pos - 1);
+    sc.advance_to(close + 1);
+    return true;
+  }
+
+  /// Capture the next statement (up to and including the top-level ';')
+  /// or a balanced compound statement.
+  bool capture_statement(std::string* stmt, int line) {
+    out += sc.skip_trivia();
+    if (sc.peek() == '{') {
+      const std::size_t close = match_delim(sc.s, sc.pos);
+      if (close == std::string::npos) {
+        error(line, "unbalanced braces");
+        return false;
+      }
+      *stmt = sc.s.substr(sc.pos, close - sc.pos + 1);
+      sc.advance_to(close + 1);
+      return true;
+    }
+    std::string text;
+    int pdepth = 0;
+    while (!sc.eof()) {
+      const char c = sc.take();
+      text += c;
+      if (c == '(' || c == '[') ++pdepth;
+      if (c == ')' || c == ']') --pdepth;
+      if (c == ';' && pdepth == 0) break;
+    }
+    *stmt = text;
+    return true;
+  }
+
+  /// Parse a canonical for loop at the cursor.
+  bool capture_for_loop(ForLoop* loop, int line) {
+    out += sc.skip_trivia();
+    if (sc.s.compare(sc.pos, 3, "for") != 0) {
+      error(line, "expected a for loop after the compute construct");
+      return false;
+    }
+    sc.advance_to(sc.pos + 3);
+    sc.skip_trivia();  // spacing between `for` and '(' is not preserved
+    if (sc.peek() != '(') {
+      error(line, "expected '(' after for");
+      return false;
+    }
+    std::string header;
+    if (!capture_parens(&header, line)) return false;
+
+    // init; cond; inc
+    const std::vector<std::string> parts = [&header] {
+      std::vector<std::string> p;
+      int d = 0;
+      std::size_t start = 0;
+      for (std::size_t i = 0; i < header.size(); ++i) {
+        const char c = header[i];
+        if (c == '(' || c == '[') ++d;
+        if (c == ')' || c == ']') --d;
+        if (c == ';' && d == 0) {
+          p.push_back(header.substr(start, i - start));
+          start = i + 1;
+        }
+      }
+      p.push_back(header.substr(start));
+      return p;
+    }();
+    if (parts.size() != 3) {
+      error(line, "for loop header is not canonical (init; cond; inc)");
+      return false;
+    }
+    // init: [type] var = first
+    const std::size_t eq = parts[0].find('=');
+    if (eq == std::string::npos) {
+      error(line, "for loop init must assign the induction variable");
+      return false;
+    }
+    std::string lhs = trim(parts[0].substr(0, eq));
+    const std::size_t last_space = lhs.find_last_of(" \t*");
+    loop->var = last_space == std::string::npos ? lhs
+                                                : trim(lhs.substr(last_space + 1));
+    loop->first = trim(parts[0].substr(eq + 1));
+    // cond: var < bound  (or <=)
+    const std::string cond = trim(parts[1]);
+    const std::size_t lt = cond.find('<');
+    if (lt == std::string::npos ||
+        trim(cond.substr(0, lt)) != loop->var) {
+      error(line, "for loop condition must be '<var> < bound'");
+      return false;
+    }
+    const bool le = lt + 1 < cond.size() && cond[lt + 1] == '=';
+    std::string bound = trim(cond.substr(lt + (le ? 2 : 1)));
+    loop->bound = le ? "(" + bound + ") + 1" : bound;
+
+    // body
+    std::string body;
+    if (!capture_statement(&body, line)) return false;
+    loop->body = body;
+    return true;
+  }
+
+  /// Handle one parsed acc directive.
+  void dispatch(const Directive& d) {
+    ++result.directives_translated;
+    switch (d.kind) {
+      case DirectiveKind::kEnterData:
+        out += gen_data_enter(d, opt);
+        break;
+      case DirectiveKind::kExitData:
+        out += gen_data_exit(d, opt);
+        break;
+      case DirectiveKind::kUpdate:
+        out += gen_update(d, opt);
+        break;
+      case DirectiveKind::kWait:
+        out += gen_wait(d, opt);
+        break;
+      case DirectiveKind::kData: {
+        out += sc.skip_trivia();
+        if (sc.peek() != '{') {
+          error(d.line, "expected '{' after #pragma acc data");
+          return;
+        }
+        sc.take();
+        ++depth;
+        out += "{ " + gen_data_enter(d, opt);
+        regions.push_back({depth, gen_data_exit(d, opt)});
+        break;
+      }
+      case DirectiveKind::kHostData: {
+        // host_data use_device(x, y): inside the region, x and y name the
+        // DEVICE copies. Lowered by shadowing: temporaries pick up the
+        // device pointers in the outer scope, inner declarations shadow
+        // the host variables. The region closes with an extra brace.
+        out += sc.skip_trivia();
+        if (sc.peek() != '{') {
+          error(d.line, "expected '{' after #pragma acc host_data");
+          return;
+        }
+        sc.take();
+        const Clause* ud = d.find("use_device");
+        std::string pre = "{ ";
+        std::string shadow;
+        if (ud != nullptr) {
+          for (const auto& sa : ud->subarrays) {
+            pre += "auto __impacc_hd_" + sa.var + " = static_cast<decltype(" +
+                   sa.var + ")>(" + opt.api_ns + "::acc::deviceptr(" +
+                   sa.var + ")); ";
+            shadow += "auto " + sa.var + " = __impacc_hd_" + sa.var + "; ";
+          }
+        }
+        out += pre + "{ " + shadow;
+        ++depth;  // the user's brace (now the inner one)
+        regions.push_back({depth, "} "});  // close the extra outer brace
+        break;
+      }
+      case DirectiveKind::kParallelLoop: {
+        ForLoop loop;
+        if (!capture_for_loop(&loop, d.line)) return;
+        out += gen_parallel_loop(d, loop, opt);
+        break;
+      }
+      case DirectiveKind::kMpi: {
+        std::string stmt;
+        if (!capture_statement(&stmt, d.line)) return;
+        // Locate the MPI call inside the statement.
+        const std::size_t mpi = stmt.find("MPI_");
+        if (mpi == std::string::npos) {
+          error(d.line, "#pragma acc mpi must precede an MPI call");
+          return;
+        }
+        std::size_t ne = mpi;
+        while (ne < stmt.size() && word_char(stmt[ne])) ++ne;
+        const std::string name = stmt.substr(mpi, ne - mpi);
+        const std::size_t open = stmt.find('(', ne);
+        if (open == std::string::npos) {
+          error(d.line, "malformed MPI call after #pragma acc mpi");
+          return;
+        }
+        const std::size_t close = match_delim(stmt, open);
+        const std::string args = stmt.substr(open + 1, close - open - 1);
+        std::string recv_buf;
+        const Clause* rb = d.find("recvbuf");
+        if (rb != nullptr) {
+          const auto parts = split_args(args);
+          if (!parts.empty()) recv_buf = parts[0];
+        }
+        out += gen_mpi_hint(d, recv_buf, opt);
+        std::string err;
+        const std::string call = rewrite_mpi_call(name, args, opt, &err);
+        if (!err.empty()) {
+          error(d.line, err);
+          return;
+        }
+        ++result.mpi_calls_translated;
+        out += stmt.substr(0, mpi) + call + stmt.substr(close + 1);
+        break;
+      }
+      case DirectiveKind::kUnknown:
+        break;
+    }
+  }
+
+  /// Rewrite an MPI_* call found in ordinary code; cursor sits at 'M'.
+  void plain_mpi_call() {
+    const int line = sc.line;
+    std::size_t ne = sc.pos;
+    while (ne < sc.s.size() && word_char(sc.s[ne])) ++ne;
+    const std::string name = sc.s.substr(sc.pos, ne - sc.pos);
+    // Constants (MPI_COMM_WORLD etc.) are handled by map_mpi_constants.
+    std::size_t after = ne;
+    while (after < sc.s.size() &&
+           std::isspace(static_cast<unsigned char>(sc.s[after]))) {
+      ++after;
+    }
+    if (after >= sc.s.size() || sc.s[after] != '(') {
+      out += map_mpi_constants(name, opt);
+      sc.advance_to(ne);
+      return;
+    }
+    const std::size_t close = match_delim(sc.s, after);
+    if (close == std::string::npos) {
+      error(line, "unbalanced MPI call");
+      out += name;
+      sc.advance_to(ne);
+      return;
+    }
+    const std::string args = sc.s.substr(after + 1, close - after - 1);
+    std::string err;
+    const std::string call = rewrite_mpi_call(name, args, opt, &err);
+    if (!err.empty()) {
+      error(line, err);
+      sc.advance_to(close + 1);
+      return;
+    }
+    ++result.mpi_calls_translated;
+    out += call;
+    sc.advance_to(close + 1);
+  }
+
+  TranslateResult run() {
+    bool at_line_start = true;
+    while (!sc.eof()) {
+      const char c = sc.peek();
+      // Pragma lines.
+      if (at_line_start) {
+        std::size_t p = sc.pos;
+        while (p < sc.s.size() &&
+               (sc.s[p] == ' ' || sc.s[p] == '\t')) {
+          ++p;
+        }
+        if (p < sc.s.size() && sc.s[p] == '#') {
+          const int line = sc.line;
+          std::string ws = sc.s.substr(sc.pos, p - sc.pos);
+          sc.advance_to(p);
+          const std::string full = read_line_cont();
+          const std::string after_hash = trim(full.substr(1));
+          if (after_hash.rfind("pragma", 0) == 0) {
+            std::string err;
+            auto d = parse_pragma(trim(after_hash.substr(6)), line, &err);
+            if (d.has_value()) {
+              out += ws;
+              dispatch(*d);
+              out += "\n";
+              at_line_start = true;
+              continue;
+            }
+            if (!err.empty()) {
+              error(line, err);
+              at_line_start = true;
+              continue;
+            }
+          }
+          out += ws + full + "\n";  // non-acc preprocessor line
+          at_line_start = true;
+          continue;
+        }
+      }
+      // Comments and literals: copy verbatim.
+      if (c == '/' && sc.pos + 1 < sc.s.size() &&
+          (sc.s[sc.pos + 1] == '/' || sc.s[sc.pos + 1] == '*')) {
+        out += sc.skip_trivia();
+        at_line_start = !out.empty() && out.back() == '\n';
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char q = sc.take();
+        out += q;
+        while (!sc.eof()) {
+          const char ch = sc.take();
+          out += ch;
+          if (ch == '\\' && !sc.eof()) {
+            out += sc.take();
+            continue;
+          }
+          if (ch == q) break;
+        }
+        at_line_start = false;
+        continue;
+      }
+      // MPI identifiers.
+      if (c == 'M' && sc.s.compare(sc.pos, 4, "MPI_") == 0 &&
+          (sc.pos == 0 || !word_char(sc.s[sc.pos - 1]))) {
+        plain_mpi_call();
+        at_line_start = false;
+        continue;
+      }
+      // Brace tracking for data regions.
+      if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        if (!regions.empty() && regions.back().depth == depth) {
+          out += regions.back().exit_code;
+          regions.pop_back();
+        }
+        --depth;
+      }
+      out += sc.take();
+      at_line_start = (c == '\n');
+    }
+    if (!regions.empty()) {
+      error(sc.line, "unclosed #pragma acc data region");
+    }
+    result.ok = result.errors.empty();
+    result.output = std::move(out);
+    return std::move(result);
+  }
+};
+
+}  // namespace
+
+TranslateResult translate_source(const std::string& source,
+                                 const TranslateOptions& options) {
+  Translator t(source, options);
+  return t.run();
+}
+
+}  // namespace impacc::trans

@@ -1,0 +1,31 @@
+// Whole-source directive translator.
+//
+// Reimplements the IMPACC compiler's directive surface as a
+// source-to-source pass: `#pragma acc` directives (including the new
+// `acc mpi` extension) are lowered to impacc runtime calls, canonical
+// parallel loops become acc::parallel_loop lambdas over device pointers,
+// and MPI_* calls/constants are rewritten to the threaded-MPI API. The
+// kernel-code generation to CUDA/OpenCL that OpenARC performs is out of
+// scope here, exactly as it is in the paper (section 3.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trans/codegen.h"
+
+namespace impacc::trans {
+
+struct TranslateResult {
+  bool ok = false;
+  std::string output;
+  std::vector<std::string> errors;  // "line N: message"
+  int directives_translated = 0;
+  int mpi_calls_translated = 0;
+};
+
+/// Translate a C-like MPI+OpenACC source into impacc runtime calls.
+TranslateResult translate_source(const std::string& source,
+                                 const TranslateOptions& options = {});
+
+}  // namespace impacc::trans

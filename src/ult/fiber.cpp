@@ -1,0 +1,66 @@
+#include "ult/fiber.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+
+#include "common/log.h"
+#include "ult/scheduler.h"
+
+namespace impacc::ult {
+
+namespace {
+
+std::size_t page_size() {
+  static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+}  // namespace
+
+Fiber::Fiber(Scheduler* sched, std::uint64_t id, std::function<void()> entry,
+             std::size_t stack_size, std::string name)
+    : sched_(sched), id_(id), name_(std::move(name)), entry_(std::move(entry)) {
+  const std::size_t ps = page_size();
+  stack_size = (stack_size + ps - 1) / ps * ps;
+  stack_total_ = stack_size + ps;  // one guard page at the low end
+  // MAP_NORESERVE keeps thousands of fibers cheap: pages materialize only
+  // when touched, so 8192 tasks cost real memory proportional to use.
+  void* base = ::mmap(nullptr, stack_total_, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  IMPACC_CHECK_MSG(base != MAP_FAILED, "fiber stack mmap failed");
+  IMPACC_CHECK(::mprotect(base, ps, PROT_NONE) == 0);
+  stack_base_ = base;
+
+  IMPACC_CHECK(::getcontext(&context_) == 0);
+  context_.uc_stack.ss_sp = static_cast<char*>(base) + ps;
+  context_.uc_stack.ss_size = stack_size;
+  context_.uc_link = nullptr;  // fibers switch back explicitly, never fall off
+
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  ::makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+                static_cast<unsigned>(self >> 32),
+                static_cast<unsigned>(self & 0xffffffffu));
+}
+
+Fiber::~Fiber() {
+  if (stack_base_ != nullptr) ::munmap(stack_base_, stack_total_);
+}
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  const std::uintptr_t p =
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
+  reinterpret_cast<Fiber*>(p)->run_entry();
+  // Unreachable: run_entry never returns.
+}
+
+void Fiber::run_entry() {
+  entry_();
+  entry_ = nullptr;  // release captured resources while still alive
+  istate_.store(detail::kSDone, std::memory_order_release);
+  sched_->switch_to_scheduler();
+  IMPACC_CHECK_MSG(false, "resumed a finished fiber");
+}
+
+}  // namespace impacc::ult

@@ -1,0 +1,91 @@
+// User-level threads (fibers) built on ucontext.
+//
+// The paper implements each MPI task as a "lightweight user-level thread"
+// so that all tasks of a node share one virtual address space (section 2.3).
+// This module provides those threads: cooperatively scheduled fibers with
+// guarded, lazily-allocated stacks, cheap context switches, and a blocking
+// protocol the synchronization primitives in ult/sync.h build on.
+#pragma once
+
+#include <ucontext.h>
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "common/types.h"
+
+namespace impacc::ult {
+
+class Scheduler;
+
+enum class FiberState : int {
+  kReady,    // runnable, waiting for a worker
+  kRunning,  // currently on a worker
+  kBlocked,  // parked; needs unblock()
+  kDone,     // entry function returned
+};
+
+namespace detail {
+// Internal fine-grained states for the park/unpark protocol. kSBlocking
+// covers the window between a fiber deciding to block and its context being
+// fully saved; a wakeup arriving in that window is latched as kSWakePending
+// instead of being lost.
+enum : int {
+  kSReady = 0,
+  kSRunning = 1,
+  kSBlocking = 2,
+  kSBlocked = 3,
+  kSDone = 4,
+  kSWakePending = 5,
+};
+}  // namespace detail
+
+/// A single user-level thread. Created and owned by a Scheduler.
+class Fiber {
+ public:
+  static constexpr std::size_t kDefaultStackSize = 128 * 1024;
+
+  Fiber(Scheduler* sched, std::uint64_t id, std::function<void()> entry,
+        std::size_t stack_size, std::string name);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  std::uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  FiberState state() const;
+  Scheduler* scheduler() const { return sched_; }
+
+  /// Pointer the runtime can hang per-task context off. The scheduler does
+  /// not interpret it.
+  void set_user_data(void* p) { user_data_ = p; }
+  void* user_data() const { return user_data_; }
+
+ private:
+  friend class Scheduler;
+
+  static void trampoline(unsigned hi, unsigned lo);
+  void run_entry();
+
+  Scheduler* sched_;
+  std::uint64_t id_;
+  std::string name_;
+  std::function<void()> entry_;
+
+  void* stack_base_ = nullptr;  // mmap'd region including guard page
+  std::size_t stack_total_ = 0;
+  ucontext_t context_{};
+
+  // Fine-grained state for the park/unpark protocol; see scheduler.cpp for
+  // the internal encoding (it extends FiberState with transient values).
+  std::atomic<int> istate_{0};
+  // Action to run on the worker after this fiber has been switched out;
+  // used to atomically "park then release lock" without lost wakeups.
+  std::function<void()> post_switch_;
+  void* user_data_ = nullptr;
+};
+
+}  // namespace impacc::ult

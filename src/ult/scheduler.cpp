@@ -1,0 +1,192 @@
+#include "ult/scheduler.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace impacc::ult {
+
+using namespace detail;
+
+FiberState Fiber::state() const {
+  switch (istate_.load(std::memory_order_acquire)) {
+    case kSReady:
+    case kSWakePending:
+      return FiberState::kReady;
+    case kSRunning:
+      return FiberState::kRunning;
+    case kSBlocking:
+    case kSBlocked:
+      return FiberState::kBlocked;
+    default:
+      return FiberState::kDone;
+  }
+}
+
+namespace {
+thread_local Fiber* tls_current = nullptr;
+thread_local ucontext_t tls_worker_context;
+}  // namespace
+
+// --- Scheduler ------------------------------------------------------------
+
+Scheduler::Scheduler(int num_workers) {
+  if (num_workers <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_workers = static_cast<int>(std::clamp(hw, 1u, 4u));
+  }
+  workers_.reserve(static_cast<std::size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  wait_all();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+Fiber* Scheduler::spawn(std::function<void()> entry, std::string name,
+                        std::size_t stack_size) {
+  std::unique_ptr<Fiber> fiber;
+  Fiber* raw = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fiber = std::make_unique<Fiber>(this, next_id_++, std::move(entry),
+                                    stack_size, std::move(name));
+    raw = fiber.get();
+    fibers_.push_back(std::move(fiber));
+    ++live_fibers_;
+    run_queue_.push_back(raw);
+  }
+  work_cv_.notify_one();
+  return raw;
+}
+
+Fiber* Scheduler::current() { return tls_current; }
+
+void Scheduler::yield() {
+  Fiber* f = tls_current;
+  IMPACC_CHECK_MSG(f != nullptr, "yield() outside a fiber");
+  // Requeue only after the context is saved, so no worker resumes a
+  // half-switched fiber.
+  f->post_switch_ = [this, f] {
+    f->istate_.store(kSReady, std::memory_order_release);
+    push_runnable(f);
+  };
+  switch_to_scheduler();
+}
+
+void Scheduler::block(std::function<void()> after_switch) {
+  Fiber* f = tls_current;
+  IMPACC_CHECK_MSG(f != nullptr, "block() outside a fiber");
+  f->istate_.store(kSBlocking, std::memory_order_release);
+  f->post_switch_ = [this, f, action = std::move(after_switch)] {
+    if (action) action();
+    int expected = kSBlocking;
+    if (!f->istate_.compare_exchange_strong(expected, kSBlocked,
+                                            std::memory_order_acq_rel)) {
+      // A wakeup raced the park; it was latched as kSWakePending.
+      IMPACC_CHECK(expected == kSWakePending);
+      f->istate_.store(kSReady, std::memory_order_release);
+      push_runnable(f);
+    }
+  };
+  switch_to_scheduler();
+}
+
+void Scheduler::unblock(Fiber* f) {
+  for (;;) {
+    int s = f->istate_.load(std::memory_order_acquire);
+    if (s == kSBlocked) {
+      if (f->istate_.compare_exchange_weak(s, kSReady,
+                                           std::memory_order_acq_rel)) {
+        push_runnable(f);
+        return;
+      }
+    } else if (s == kSBlocking) {
+      if (f->istate_.compare_exchange_weak(s, kSWakePending,
+                                           std::memory_order_acq_rel)) {
+        return;  // the parking worker will requeue
+      }
+    } else {
+      // Already runnable/running/done: wakeup is a no-op. Our sync
+      // primitives only unblock fibers they found on a wait list, so this
+      // indicates a (tolerated) duplicate wakeup.
+      return;
+    }
+  }
+}
+
+void Scheduler::wait_all() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return live_fibers_ == 0; });
+}
+
+std::uint64_t Scheduler::fibers_finished() const {
+  auto* self = const_cast<Scheduler*>(this);
+  std::lock_guard<std::mutex> lock(self->mutex_);
+  return next_id_ - live_fibers_;
+}
+
+void Scheduler::push_runnable(Fiber* f) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    run_queue_.push_back(f);
+  }
+  work_cv_.notify_one();
+}
+
+Fiber* Scheduler::pop_runnable() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_cv_.wait(lock, [this] { return shutdown_ || !run_queue_.empty(); });
+  if (shutdown_ && run_queue_.empty()) return nullptr;
+  Fiber* f = run_queue_.front();
+  run_queue_.pop_front();
+  return f;
+}
+
+void Scheduler::switch_to_scheduler() {
+  Fiber* f = tls_current;
+  ::swapcontext(&f->context_, &tls_worker_context);
+}
+
+void Scheduler::worker_main(int /*index*/) {
+  for (;;) {
+    Fiber* f = pop_runnable();
+    if (f == nullptr) return;  // shutdown
+    f->istate_.store(kSRunning, std::memory_order_release);
+    tls_current = f;
+    ::swapcontext(&tls_worker_context, &f->context_);
+    tls_current = nullptr;
+    // Decide "finished" BEFORE running the post-switch action: a finished
+    // fiber never has one, and once the action runs (requeue/unpark) the
+    // fiber may be resumed — and even finish — on another worker, whose
+    // loop then owns the done accounting. Reading state() afterwards
+    // would double-count such fibers.
+    const bool finished =
+        !f->post_switch_ && f->state() == FiberState::kDone;
+    if (f->post_switch_) {
+      auto action = std::move(f->post_switch_);
+      f->post_switch_ = nullptr;
+      action();
+    }
+    if (finished) {
+      bool all_done = false;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --live_fibers_;
+        all_done = (live_fibers_ == 0);
+      }
+      if (all_done) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace impacc::ult

@@ -1,0 +1,76 @@
+// Cooperative fiber scheduler over a pool of OS worker threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ult/fiber.h"
+
+namespace impacc::ult {
+
+/// Schedules fibers over `num_workers` OS threads. Fibers are cooperative:
+/// they run until they yield, block, or finish. Any thread (worker or
+/// external) may spawn and unblock fibers.
+class Scheduler {
+ public:
+  /// num_workers <= 0 selects a default based on hardware concurrency.
+  explicit Scheduler(int num_workers = 0);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Create a fiber; it becomes runnable immediately.
+  Fiber* spawn(std::function<void()> entry, std::string name = {},
+               std::size_t stack_size = Fiber::kDefaultStackSize);
+
+  /// Fiber currently running on this OS thread (nullptr on non-workers).
+  static Fiber* current();
+
+  /// Cooperative yield: requeue current fiber and switch to the scheduler.
+  void yield();
+
+  /// Park the current fiber. `after_switch` (optional) runs on the worker
+  /// after the fiber's context has been fully saved — release a lock there
+  /// to avoid a wakeup racing the switch. Returns once unblocked.
+  void block(std::function<void()> after_switch = {});
+
+  /// Make a parked fiber runnable again. Safe from any thread. Calling it
+  /// for a fiber that is about to block is safe: the wakeup is latched.
+  void unblock(Fiber* f);
+
+  /// Block the calling OS thread (not a fiber!) until every spawned fiber
+  /// has finished.
+  void wait_all();
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  std::uint64_t fibers_spawned() const { return next_id_; }
+  std::uint64_t fibers_finished() const;
+
+ private:
+  friend class Fiber;
+
+  void worker_main(int index);
+  Fiber* pop_runnable();
+  void push_runnable(Fiber* f);
+  void switch_to_scheduler();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::deque<Fiber*> run_queue_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::vector<std::thread> workers_;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t live_fibers_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace impacc::ult

@@ -1,0 +1,140 @@
+#include "ult/sync.h"
+
+#include "common/types.h"
+
+namespace impacc::ult {
+
+// --- FiberMutex ------------------------------------------------------------
+
+void FiberMutex::lock() {
+  Fiber* self = Scheduler::current();
+  IMPACC_CHECK_MSG(self != nullptr, "FiberMutex used outside a fiber");
+  spin_.lock();
+  if (!locked_) {
+    locked_ = true;
+    spin_.unlock();
+    return;
+  }
+  waiters_.push_back(self);
+  // The spinlock is released only after this fiber's context is saved, so
+  // an unlock() on another worker cannot resume us mid-switch.
+  self->scheduler()->block([this] { spin_.unlock(); });
+  // Ownership was handed to us by unlock(); locked_ stays true.
+}
+
+bool FiberMutex::try_lock() {
+  spin_.lock();
+  const bool acquired = !locked_;
+  if (acquired) locked_ = true;
+  spin_.unlock();
+  return acquired;
+}
+
+void FiberMutex::unlock() {
+  spin_.lock();
+  IMPACC_CHECK_MSG(locked_, "unlock of unlocked FiberMutex");
+  if (waiters_.empty()) {
+    locked_ = false;
+    spin_.unlock();
+    return;
+  }
+  Fiber* next = waiters_.front();
+  waiters_.pop_front();
+  spin_.unlock();
+  // Direct handoff: the mutex stays locked on behalf of `next`.
+  next->scheduler()->unblock(next);
+}
+
+// --- FiberCondVar ----------------------------------------------------------
+
+void FiberCondVar::wait(FiberMutex& m) {
+  Fiber* self = Scheduler::current();
+  IMPACC_CHECK_MSG(self != nullptr, "FiberCondVar used outside a fiber");
+  spin_.lock();
+  waiters_.push_back(self);
+  self->scheduler()->block([this, &m] {
+    spin_.unlock();
+    m.unlock();
+  });
+  m.lock();
+}
+
+void FiberCondVar::notify_one() {
+  spin_.lock();
+  if (waiters_.empty()) {
+    spin_.unlock();
+    return;
+  }
+  Fiber* f = waiters_.front();
+  waiters_.pop_front();
+  spin_.unlock();
+  f->scheduler()->unblock(f);
+}
+
+void FiberCondVar::notify_all() {
+  spin_.lock();
+  std::deque<Fiber*> woken;
+  woken.swap(waiters_);
+  spin_.unlock();
+  for (Fiber* f : woken) f->scheduler()->unblock(f);
+}
+
+// --- FiberBarrier ----------------------------------------------------------
+
+bool FiberBarrier::arrive_and_wait() {
+  FiberLock lock(mutex_);
+  const std::uint64_t gen = generation_;
+  if (++waiting_ == parties_) {
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return true;
+  }
+  cv_.wait(mutex_, [this, gen] { return generation_ != gen; });
+  return false;
+}
+
+// --- FiberLatch ------------------------------------------------------------
+
+void FiberLatch::count_down(int n) {
+  FiberLock lock(mutex_);
+  IMPACC_CHECK(count_ >= n);
+  count_ -= n;
+  if (count_ == 0) cv_.notify_all();
+}
+
+void FiberLatch::wait() {
+  FiberLock lock(mutex_);
+  cv_.wait(mutex_, [this] { return count_ == 0; });
+}
+
+// --- FiberEvent ------------------------------------------------------------
+
+void FiberEvent::wait_and_reset() {
+  Fiber* self = Scheduler::current();
+  IMPACC_CHECK_MSG(self != nullptr, "FiberEvent used outside a fiber");
+  spin_.lock();
+  if (set_) {
+    set_ = false;
+    spin_.unlock();
+    return;
+  }
+  waiters_.push_back(self);
+  self->scheduler()->block([this] { spin_.unlock(); });
+  // set() consumed the flag on our behalf before waking us.
+}
+
+void FiberEvent::set() {
+  spin_.lock();
+  if (waiters_.empty()) {
+    set_ = true;
+    spin_.unlock();
+    return;
+  }
+  Fiber* f = waiters_.front();
+  waiters_.pop_front();
+  spin_.unlock();
+  f->scheduler()->unblock(f);
+}
+
+}  // namespace impacc::ult

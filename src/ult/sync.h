@@ -1,0 +1,125 @@
+// Synchronization primitives for fibers.
+//
+// These mirror the std:: primitives but park *fibers* instead of OS
+// threads, so a blocked MPI task costs one queue entry, not a kernel wait.
+// All primitives are usable from fibers on any worker; a short internal
+// spinlock protects the wait lists (never held across a fiber switch —
+// block() releases it in the post-switch action).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+
+#include "ult/scheduler.h"
+
+namespace impacc::ult {
+
+/// Tiny test-and-set spinlock for wait-list protection.
+class SpinLock {
+ public:
+  void lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      // Contention is cross-worker only and the critical sections are a
+      // handful of instructions; spinning is appropriate.
+    }
+  }
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+/// Mutual exclusion between fibers. Ownership is passed directly to the
+/// first waiter on unlock (no thundering herd, FIFO fair).
+class FiberMutex {
+ public:
+  void lock();
+  bool try_lock();
+  void unlock();
+
+ private:
+  SpinLock spin_;
+  bool locked_ = false;
+  std::deque<Fiber*> waiters_;
+};
+
+/// RAII lock guard for FiberMutex.
+class FiberLock {
+ public:
+  explicit FiberLock(FiberMutex& m) : m_(m) { m_.lock(); }
+  ~FiberLock() { m_.unlock(); }
+  FiberLock(const FiberLock&) = delete;
+  FiberLock& operator=(const FiberLock&) = delete;
+
+ private:
+  FiberMutex& m_;
+};
+
+/// Condition variable for fibers; used with FiberMutex.
+class FiberCondVar {
+ public:
+  void wait(FiberMutex& m);
+
+  template <typename Pred>
+  void wait(FiberMutex& m, Pred pred) {
+    while (!pred()) wait(m);
+  }
+
+  void notify_one();
+  void notify_all();
+
+ private:
+  SpinLock spin_;
+  std::deque<Fiber*> waiters_;
+};
+
+/// Cyclic barrier for a fixed set of fibers (MPI_Barrier within a node and,
+/// with the network model, across nodes builds on this).
+class FiberBarrier {
+ public:
+  explicit FiberBarrier(int parties) : parties_(parties) {}
+
+  /// Returns true for exactly one fiber per generation (the last arriver).
+  bool arrive_and_wait();
+
+ private:
+  FiberMutex mutex_;
+  FiberCondVar cv_;
+  int parties_;
+  int waiting_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+/// One-shot countdown latch.
+class FiberLatch {
+ public:
+  explicit FiberLatch(int count) : count_(count) {}
+
+  void count_down(int n = 1);
+  void wait();
+
+ private:
+  FiberMutex mutex_;
+  FiberCondVar cv_;
+  int count_;
+};
+
+/// Binary event: wait() parks until set() is called. Used to idle the
+/// per-node message handler fiber when its queues are empty.
+class FiberEvent {
+ public:
+  /// Park until the event is set, then atomically consume it.
+  void wait_and_reset();
+
+  /// Set the event, waking one waiter if present. Safe from any fiber or
+  /// OS thread.
+  void set();
+
+ private:
+  SpinLock spin_;
+  bool set_ = false;
+  std::deque<Fiber*> waiters_;
+};
+
+}  // namespace impacc::ult

@@ -1,0 +1,466 @@
+// Unit tests for the OpenACC runtime layer: present-table AVL trees,
+// data environment reference counting, acc API semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "acc/present_table.h"
+#include "impacc.h"
+
+namespace impacc::acc {
+namespace {
+
+// --- AVL tree property tests -------------------------------------------------------
+
+PresentEntry make_entry(std::uintptr_t host, std::uintptr_t dev,
+                        std::uint64_t bytes) {
+  PresentEntry e;
+  e.host = host;
+  e.dev = dev;
+  e.bytes = bytes;
+  return e;
+}
+
+TEST(AddrAvlTree, InsertFindErase) {
+  detail::AddrAvlTree tree([](const PresentEntry* e) { return e->host; });
+  std::vector<PresentEntry> entries;
+  entries.reserve(10);
+  for (int i = 0; i < 10; ++i) {
+    entries.push_back(make_entry(1000u * static_cast<unsigned>(i + 1), 0, 100));
+  }
+  for (auto& e : entries) tree.insert(&e);
+  EXPECT_EQ(tree.size(), 10u);
+  EXPECT_TRUE(tree.check_invariants());
+  // Containment lookups: inside, at start, at end-1, outside.
+  EXPECT_EQ(tree.find_containing(1000), &entries[0]);
+  EXPECT_EQ(tree.find_containing(1099), &entries[0]);
+  EXPECT_EQ(tree.find_containing(1100), nullptr);
+  EXPECT_EQ(tree.find_containing(999), nullptr);
+  EXPECT_EQ(tree.find_containing(5050), &entries[4]);
+  tree.erase(&entries[4]);
+  EXPECT_EQ(tree.find_containing(5050), nullptr);
+  EXPECT_EQ(tree.size(), 9u);
+  EXPECT_TRUE(tree.check_invariants());
+}
+
+TEST(AddrAvlTree, HeightStaysLogarithmic) {
+  // The paper chose balanced trees "to reduce the worst-case search time";
+  // insertion in sorted order is the classic worst case for a plain BST.
+  detail::AddrAvlTree tree([](const PresentEntry* e) { return e->host; });
+  std::vector<PresentEntry> entries;
+  constexpr int kN = 1024;
+  entries.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    entries.push_back(make_entry(64u * static_cast<unsigned>(i + 1), 0, 64));
+  }
+  for (auto& e : entries) tree.insert(&e);
+  EXPECT_TRUE(tree.check_invariants());
+  // AVL height bound: 1.44 * log2(n + 2).
+  EXPECT_LE(tree.height(), 15);
+}
+
+class AvlRandomOps : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AvlRandomOps, MatchesReferenceMap) {
+  std::mt19937 rng(GetParam());
+  detail::AddrAvlTree tree([](const PresentEntry* e) { return e->host; });
+  std::map<std::uintptr_t, PresentEntry*> ref;
+  std::vector<std::unique_ptr<PresentEntry>> owned;
+
+  for (int step = 0; step < 3000; ++step) {
+    const bool insert = ref.empty() || rng() % 3 != 0;
+    if (insert) {
+      // Non-overlapping slots of width 16 on a 16-aligned grid.
+      const std::uintptr_t key = 16u * (1 + rng() % 4096);
+      if (ref.count(key) != 0) continue;
+      owned.push_back(std::make_unique<PresentEntry>(make_entry(key, 0, 16)));
+      tree.insert(owned.back().get());
+      ref[key] = owned.back().get();
+    } else {
+      auto it = ref.begin();
+      std::advance(it, static_cast<long>(rng() % ref.size()));
+      tree.erase(it->second);
+      ref.erase(it);
+    }
+    ASSERT_EQ(tree.size(), ref.size());
+    if (step % 256 == 0) {
+      ASSERT_TRUE(tree.check_invariants());
+      // Spot-check lookups against the reference.
+      for (int probe = 0; probe < 32; ++probe) {
+        const std::uintptr_t addr = rng() % (16 * 4100);
+        auto it = ref.upper_bound(addr);
+        PresentEntry* expected = nullptr;
+        if (it != ref.begin()) {
+          --it;
+          if (addr < it->first + 16) expected = it->second;
+        }
+        ASSERT_EQ(tree.find_containing(addr), expected) << "addr=" << addr;
+      }
+    }
+  }
+  // Keys must come out sorted.
+  const auto keys = tree.keys();
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AvlRandomOps,
+                         ::testing::Values(1u, 42u, 777u, 31337u));
+
+TEST(AddrAvlTree, FindFirstInRange) {
+  detail::AddrAvlTree tree([](const PresentEntry* e) { return e->host; });
+  PresentEntry a = make_entry(100, 0, 10);
+  PresentEntry b = make_entry(300, 0, 10);
+  tree.insert(&a);
+  tree.insert(&b);
+  EXPECT_EQ(tree.find_first_in(0, 100), nullptr);
+  EXPECT_EQ(tree.find_first_in(0, 101), &a);
+  EXPECT_EQ(tree.find_first_in(150, 400), &b);
+  EXPECT_EQ(tree.find_first_in(301, 400), nullptr);
+}
+
+// --- PresentTable --------------------------------------------------------------------
+
+TEST(PresentTable, DeviceptrHostptrWithOffsets) {
+  PresentTable pt;
+  char host[256];
+  char dev[256];
+  pt.insert(host, dev, 256, 7);
+  EXPECT_EQ(pt.deviceptr(host), dev);
+  EXPECT_EQ(pt.deviceptr(host + 100), dev + 100);
+  EXPECT_EQ(pt.hostptr(dev + 255), host + 255);
+  EXPECT_EQ(pt.deviceptr(host + 256), nullptr);  // one past the end
+  EXPECT_EQ(pt.hostptr(host), nullptr);          // host addr in dev tree
+  const PresentEntry* e = pt.find_host(host + 10);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->handle, 7u);  // cl_mem-style handle preserved (Fig. 3)
+}
+
+TEST(PresentTable, BothTreesStayConsistent) {
+  PresentTable pt;
+  std::vector<std::vector<char>> hosts;
+  std::vector<std::vector<char>> devs;
+  std::vector<PresentEntry*> entries;
+  for (int i = 0; i < 64; ++i) {
+    hosts.emplace_back(128);
+    devs.emplace_back(128);
+    entries.push_back(pt.insert(hosts.back().data(), devs.back().data(), 128,
+                                static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_EQ(pt.size(), 64u);
+  EXPECT_TRUE(pt.host_tree().check_invariants());
+  EXPECT_TRUE(pt.dev_tree().check_invariants());
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(pt.deviceptr(hosts[static_cast<std::size_t>(i)].data() + 5),
+              devs[static_cast<std::size_t>(i)].data() + 5);
+  }
+  for (int i = 0; i < 64; i += 2) pt.erase(entries[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(pt.size(), 32u);
+  for (int i = 0; i < 64; ++i) {
+    void* expect = i % 2 == 0 ? nullptr
+                              : static_cast<void*>(
+                                    devs[static_cast<std::size_t>(i)].data());
+    EXPECT_EQ(pt.deviceptr(hosts[static_cast<std::size_t>(i)].data()), expect);
+  }
+}
+
+// --- Data environment inside a run -----------------------------------------------------
+
+core::LaunchOptions psg_options() {
+  core::LaunchOptions o;
+  o.cluster = sim::make_psg();
+  return o;
+}
+
+TEST(DataEnv, CopyinRoundTrip) {
+  launch(psg_options(), [] {
+    std::vector<double> host(100, 3.5);
+    void* dev = acc::copyin(host.data(), 800);
+    ASSERT_NE(dev, nullptr);
+    EXPECT_TRUE(acc::is_present(host.data()));
+    EXPECT_EQ(acc::deviceptr(host.data()), dev);
+    EXPECT_EQ(acc::hostptr(dev), host.data());
+    // Device memory holds the data (the simulated arena is real memory).
+    EXPECT_DOUBLE_EQ(static_cast<double*>(dev)[50], 3.5);
+    acc::del(host.data());
+    EXPECT_FALSE(acc::is_present(host.data()));
+  });
+}
+
+TEST(DataEnv, PresentOrCopyinRefCounts) {
+  launch(psg_options(), [] {
+    std::vector<double> host(64, 1.0);
+    void* d1 = acc::copyin(host.data(), 512);
+    void* d2 = acc::copyin(host.data(), 512);  // present: no new mapping
+    EXPECT_EQ(d1, d2);
+    acc::del(host.data());
+    EXPECT_TRUE(acc::is_present(host.data()));  // one reference remains
+    acc::del(host.data());
+    EXPECT_FALSE(acc::is_present(host.data()));
+  });
+}
+
+TEST(DataEnv, UpdateDeviceAndSelfMovePartialRanges) {
+  launch(psg_options(), [] {
+    std::vector<int> host(100, 1);
+    acc::copyin(host.data(), 400);
+    auto* dev = static_cast<int*>(acc::deviceptr(host.data()));
+    // Mutate host; push a partial range to the device.
+    for (int i = 10; i < 20; ++i) host[static_cast<std::size_t>(i)] = 7;
+    acc::update_device(host.data() + 10, 40);
+    EXPECT_EQ(dev[10], 7);
+    EXPECT_EQ(dev[9], 1);
+    // Mutate device; pull a partial range back.
+    dev[15] = 42;
+    acc::update_self(host.data() + 15, 4);
+    EXPECT_EQ(host[15], 42);
+    acc::del(host.data());
+  });
+}
+
+TEST(DataEnv, CopyoutWritesBackOnLastReference) {
+  launch(psg_options(), [] {
+    std::vector<float> host(32, 0.0f);
+    acc::copyin(host.data(), 128);
+    auto* dev = static_cast<float*>(acc::deviceptr(host.data()));
+    for (int i = 0; i < 32; ++i) dev[i] = 2.0f;
+    acc::copyout(host.data());
+    EXPECT_FALSE(acc::is_present(host.data()));
+    EXPECT_FLOAT_EQ(host[0], 2.0f);
+    EXPECT_FLOAT_EQ(host[31], 2.0f);
+  });
+}
+
+TEST(DataEnv, CreateDoesNotCopy) {
+  launch(psg_options(), [] {
+    std::vector<int> host(16, 9);
+    acc::create(host.data(), 64);
+    auto* dev = static_cast<int*>(acc::deviceptr(host.data()));
+    ASSERT_NE(dev, nullptr);
+    dev[0] = 5;  // fresh device memory, host unaffected
+    EXPECT_EQ(host[0], 9);
+    acc::del(host.data());
+  });
+}
+
+TEST(DataEnv, AsyncOpsCompleteAtWait) {
+  launch(psg_options(), [] {
+    std::vector<double> host(1000, 1.0);
+    acc::copyin(host.data(), 8000, 3);
+    auto* dev = static_cast<double*>(acc::deviceptr(host.data()));
+    acc::parallel_loop(
+        "double", 1000, [dev](long i) { dev[i] *= 2.0; }, {2000, 16000}, 3);
+    acc::update_self(host.data(), 8000, 3);
+    acc::wait(3);
+    EXPECT_DOUBLE_EQ(host[999], 2.0);
+    acc::del(host.data());
+  });
+}
+
+TEST(DataEnv, HostSharedDeviceElidesMapping) {
+  // CPU-as-accelerator (integrated): device pointer IS the host pointer.
+  core::LaunchOptions o = psg_options();
+  o.device_type_mask = core::kAccDeviceCpu;
+  launch(o, [] {
+    EXPECT_EQ(acc::get_device_type(), sim::DeviceKind::kCpu);
+    std::vector<double> host(10, 1.0);
+    void* dev = acc::copyin(host.data(), 80);
+    EXPECT_EQ(dev, host.data());
+    acc::del(host.data());
+  });
+}
+
+TEST(AccApi, DeviceQueries) {
+  launch(psg_options(), [] {
+    EXPECT_EQ(acc::get_device_type(), sim::DeviceKind::kNvidiaGpu);
+    const int num = acc::get_device_num();
+    EXPECT_GE(num, 0);
+    EXPECT_LT(num, 8);
+    acc::set_device_num((num + 1) % 8);          // ignored (section 3.2)
+    EXPECT_EQ(acc::get_device_num(), num);        // mapping is fixed
+  });
+}
+
+TEST(AccApi, WaitAllDrainsEveryQueue) {
+  launch(psg_options(), [] {
+    std::vector<int> a(256, 0);
+    std::vector<int> b(256, 0);
+    acc::copyin(a.data(), 1024, 1);
+    acc::copyin(b.data(), 1024, 2);
+    auto* da = static_cast<int*>(acc::deviceptr(a.data()));
+    auto* db = static_cast<int*>(acc::deviceptr(b.data()));
+    acc::parallel_loop("fa", 256, [da](long i) { da[i] = 1; }, {256, 2048}, 1);
+    acc::parallel_loop("fb", 256, [db](long i) { db[i] = 2; }, {256, 2048}, 2);
+    acc::update_self(a.data(), 1024, 1);
+    acc::update_self(b.data(), 1024, 2);
+    acc::wait_all();
+    EXPECT_EQ(a[100], 1);
+    EXPECT_EQ(b[100], 2);
+    acc::del(a.data());
+    acc::del(b.data());
+  });
+}
+
+}  // namespace
+}  // namespace impacc::acc
+
+namespace impacc::acc {
+namespace {
+
+TEST(DataRegionRaii, EntryAndExitActionsInOrder) {
+  core::LaunchOptions o;
+  o.cluster = sim::make_psg();
+  o.scheduler_workers = 1;
+  launch(o, [] {
+    std::vector<double> a(16, 1.0);  // copy: in + out
+    std::vector<double> b(16, 2.0);  // copyin: in only
+    std::vector<double> c(16, 0.0);  // copyout: created, written back
+    {
+      DataRegion region;
+      region.copy(a.data(), 128).copyin(b.data(), 128).copyout(c.data(), 128);
+      EXPECT_TRUE(is_present(a.data()));
+      EXPECT_TRUE(is_present(b.data()));
+      EXPECT_TRUE(is_present(c.data()));
+      auto* da = static_cast<double*>(deviceptr(a.data()));
+      auto* db = static_cast<double*>(deviceptr(b.data()));
+      auto* dc = static_cast<double*>(deviceptr(c.data()));
+      parallel_loop(
+          "combine", 16, [da, db, dc](long i) { dc[i] = da[i] + db[i]; },
+          {32, 384});
+      da[0] = 42.0;  // device-side change: must flow back via copy()
+    }
+    EXPECT_FALSE(is_present(a.data()));
+    EXPECT_FALSE(is_present(b.data()));
+    EXPECT_FALSE(is_present(c.data()));
+    EXPECT_DOUBLE_EQ(a[0], 42.0);  // copy(): written back
+    EXPECT_DOUBLE_EQ(b[0], 2.0);   // copyin(): not written back
+    EXPECT_DOUBLE_EQ(c[5], 3.0);   // copyout(): kernel result visible
+  });
+}
+
+TEST(Trace, RecordsKernelsCopiesAndMessages) {
+  core::LaunchOptions o;
+  o.cluster = sim::make_psg();
+  o.scheduler_workers = 1;
+  o.trace_path = "-";  // keep in memory, don't write a file
+  const auto result = launch(o, [] {
+    auto w = mpi::world();
+    const int r = mpi::comm_rank(w);
+    std::vector<double> buf(1024, 1.0);
+    copyin(buf.data(), 8192, 1);
+    auto* d = static_cast<double*>(deviceptr(buf.data()));
+    parallel_loop("trace-kernel", 1024, [d](long i) { d[i] *= 2; },
+                  {2048, 16384}, 1);
+    wait(1);
+    if (r == 0) {
+      mpi::send(buf.data(), 1024, mpi::Datatype::kDouble, 1, 1, w);
+    } else if (r == 1) {
+      mpi::recv(buf.data(), 1024, mpi::Datatype::kDouble, 0, 1, w);
+    }
+    del(buf.data());
+  });
+  ASSERT_NE(result.trace, nullptr);
+  bool saw_kernel = false;
+  bool saw_copy = false;
+  bool saw_msg = false;
+  for (const auto& e : result.trace->snapshot()) {
+    EXPECT_GE(e.end, e.start);
+    if (e.category == "kernel" && e.name == "trace-kernel") saw_kernel = true;
+    if (e.category == "copy") saw_copy = true;
+    if (e.category == "intranode") saw_msg = true;
+  }
+  EXPECT_TRUE(saw_kernel);
+  EXPECT_TRUE(saw_copy);
+  EXPECT_TRUE(saw_msg);
+  // The JSON serialization is well formed enough for chrome://tracing:
+  // one object per event, balanced brackets.
+  const std::string json = result.trace->to_chrome_json();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":\"dev"), std::string::npos);
+}
+
+TEST(Trace, DisabledByDefault) {
+  core::LaunchOptions o;
+  o.cluster = sim::make_titan(1);
+  o.scheduler_workers = 1;
+  const auto result = launch(o, [] {});
+  EXPECT_EQ(result.trace, nullptr);
+}
+
+}  // namespace
+}  // namespace impacc::acc
+
+namespace impacc::acc {
+namespace {
+
+TEST(RawDeviceApi, MallocMemcpyRoundTrip) {
+  core::LaunchOptions o;
+  o.cluster = sim::make_psg();
+  o.scheduler_workers = 1;
+  launch(o, [] {
+    std::vector<int> host(64);
+    for (int i = 0; i < 64; ++i) host[static_cast<std::size_t>(i)] = i * 3;
+    void* dev = device_malloc(256);
+    ASSERT_NE(dev, nullptr);
+    memcpy_to_device(dev, host.data(), 256);
+    std::vector<int> back(64, 0);
+    memcpy_from_device(back.data(), dev, 256);
+    EXPECT_EQ(back[63], 189);
+    device_free(dev);
+  });
+}
+
+TEST(RawDeviceApi, MapDataExposesExistingDeviceMemory) {
+  core::LaunchOptions o;
+  o.cluster = sim::make_psg();
+  o.scheduler_workers = 1;
+  launch(o, [] {
+    std::vector<double> host(32, 1.5);
+    auto* dev = static_cast<double*>(device_malloc(256));
+    map_data(host.data(), dev, 256);
+    EXPECT_TRUE(is_present(host.data()));
+    EXPECT_EQ(deviceptr(host.data() + 4), dev + 4);
+    // update clauses work on mapped data like on copyin'd data.
+    update_device(host.data(), 256);
+    EXPECT_DOUBLE_EQ(dev[10], 1.5);
+    dev[10] = 9.5;
+    update_self(host.data() + 10, 8);
+    EXPECT_DOUBLE_EQ(host[10], 9.5);
+    unmap_data(host.data());
+    EXPECT_FALSE(is_present(host.data()));
+    device_free(dev);  // still the application's to free
+  });
+}
+
+TEST(RawDeviceApi, MappedDataParticipatesInUnifiedComm) {
+  // A device buffer the app allocated itself can be the target of the
+  // unified MPI routines via its mapping.
+  core::LaunchOptions o;
+  o.cluster = sim::make_psg();
+  o.scheduler_workers = 1;
+  launch(o, [] {
+    auto w = mpi::world();
+    const int r = mpi::comm_rank(w);
+    std::vector<int> host(16, r);
+    auto* dev = static_cast<int*>(device_malloc(64));
+    map_data(host.data(), dev, 64);
+    update_device(host.data(), 64);
+    if (r == 0) {
+      acc::mpi({.send_device = true});
+      mpi::send(host.data(), 16, mpi::Datatype::kInt, 1, 4, w);
+    } else if (r == 1) {
+      acc::mpi({.recv_device = true});
+      mpi::recv(host.data(), 16, mpi::Datatype::kInt, 0, 4, w);
+      update_self(host.data(), 64);
+      EXPECT_EQ(host[7], 0);
+    }
+    unmap_data(host.data());
+    device_free(dev);
+  });
+}
+
+}  // namespace
+}  // namespace impacc::acc

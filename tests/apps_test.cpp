@@ -1,0 +1,358 @@
+// Application-level tests: the four paper benchmarks compute correct,
+// decomposition-independent, framework-independent results.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/dgemm.h"
+#include "apps/ep.h"
+#include "apps/jacobi.h"
+#include "apps/lulesh/driver.h"
+#include "apps/lulesh/mesh.h"
+#include "dev/copyengine.h"
+#include "sim/systems.h"
+
+namespace impacc::apps {
+namespace {
+
+core::LaunchOptions opts(const char* system, int nodes,
+                         core::Framework fw = core::Framework::kImpacc) {
+  core::LaunchOptions o;
+  o.cluster = sim::make_system(system, nodes);
+  o.framework = fw;
+  o.scheduler_workers = 1;
+  return o;
+}
+
+// --- DGEMM ----------------------------------------------------------------------
+
+class DgemmBothFrameworks : public ::testing::TestWithParam<core::Framework> {};
+
+TEST_P(DgemmBothFrameworks, VerifiesAgainstSerialReference) {
+  DgemmConfig cfg;
+  cfg.n = 64;
+  cfg.verify = true;
+  const auto r = run_dgemm(opts("psg", 1, GetParam()), cfg);
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(r.launch.makespan, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Frameworks, DgemmBothFrameworks,
+                         ::testing::Values(core::Framework::kImpacc,
+                                           core::Framework::kMpiOpenacc));
+
+TEST(Dgemm, ChecksumIdenticalAcrossFrameworksAndSystems) {
+  DgemmConfig cfg;
+  cfg.n = 48;
+  const auto a = run_dgemm(opts("psg", 1), cfg);
+  const auto b = run_dgemm(opts("psg", 1, core::Framework::kMpiOpenacc), cfg);
+  const auto c = run_dgemm(opts("titan", 4), cfg);
+  EXPECT_EQ(a.checksum, b.checksum);  // same decomposition: bitwise equal
+  EXPECT_GT(std::abs(a.checksum), 0);
+  // Different decomposition: same within floating reassociation noise.
+  EXPECT_NEAR(a.checksum, c.checksum, 1e-6 * std::abs(a.checksum));
+}
+
+TEST(Dgemm, ImpaccAliasesReadOnlyInputsOnTheRootNode) {
+  DgemmConfig cfg;
+  cfg.n = 32;
+  const auto r = run_dgemm(opts("psg", 1), cfg);
+  // 7 non-root tasks alias A's row block and B: 14 aliases.
+  EXPECT_EQ(r.launch.total.heap_aliases, 14u);
+  const auto base = run_dgemm(opts("psg", 1, core::Framework::kMpiOpenacc), cfg);
+  EXPECT_EQ(base.launch.total.heap_aliases, 0u);
+}
+
+TEST(Dgemm, ImpaccIsFasterOnCommunicationBoundSizes) {
+  // Fig. 10 (a): at small N the baseline's communication dominates.
+  DgemmConfig cfg;
+  cfg.n = 256;
+  const auto im = run_dgemm(opts("psg", 1), cfg);
+  const auto base = run_dgemm(opts("psg", 1, core::Framework::kMpiOpenacc), cfg);
+  EXPECT_LT(im.launch.makespan, base.launch.makespan);
+}
+
+// --- EP -------------------------------------------------------------------------
+
+TEST(Ep, MatchesSerialReferenceAcrossTaskCounts) {
+  EpConfig cfg;
+  cfg.m = 16;
+  const auto ref = ep_reference(cfg.m);
+  for (const char* sys : {"psg", "beacon"}) {
+    const auto r = run_ep(opts(sys, 1), cfg);
+    EXPECT_EQ(r.accepted, ref.accepted) << sys;
+    EXPECT_NEAR(r.sx, ref.sx, 1e-9) << sys;
+    EXPECT_NEAR(r.sy, ref.sy, 1e-9) << sys;
+    EXPECT_EQ(r.q, ref.q) << sys;
+  }
+}
+
+TEST(Ep, GaussianTailCountsDecayMonotonically) {
+  const auto ref = ep_reference(18);
+  // The annulus counts q[k] fall off sharply (property of the Gaussian).
+  for (int k = 0; k + 1 < 6; ++k) {
+    EXPECT_GT(ref.q[static_cast<std::size_t>(k)],
+              ref.q[static_cast<std::size_t>(k + 1)]);
+  }
+  // Acceptance rate of the polar method is pi/4.
+  const double rate =
+      static_cast<double>(ref.accepted) / static_cast<double>(1ll << 18);
+  EXPECT_NEAR(rate, 0.785, 0.01);
+}
+
+TEST(Ep, FrameworksAgreeBitwise) {
+  EpConfig cfg;
+  cfg.m = 14;
+  const auto a = run_ep(opts("psg", 1), cfg);
+  const auto b = run_ep(opts("psg", 1, core::Framework::kMpiOpenacc), cfg);
+  EXPECT_EQ(a.sx, b.sx);
+  EXPECT_EQ(a.q, b.q);
+}
+
+// --- Jacobi ----------------------------------------------------------------------
+
+class JacobiBothFrameworks : public ::testing::TestWithParam<core::Framework> {
+};
+
+TEST_P(JacobiBothFrameworks, VerifiesAgainstSerialSweeps) {
+  JacobiConfig cfg;
+  cfg.n = 40;
+  cfg.iterations = 6;
+  cfg.verify = true;
+  const auto r = run_jacobi(opts("psg", 1, GetParam()), cfg);
+  EXPECT_TRUE(r.verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(Frameworks, JacobiBothFrameworks,
+                         ::testing::Values(core::Framework::kImpacc,
+                                           core::Framework::kMpiOpenacc));
+
+TEST(Jacobi, VerifiesOnMultiNodeBeacon) {
+  JacobiConfig cfg;
+  cfg.n = 36;
+  cfg.iterations = 4;
+  cfg.verify = true;
+  const auto r = run_jacobi(opts("beacon", 2), cfg);  // 8 tasks, 2 nodes
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(Jacobi, DeviceToDeviceHalosUseDirectCopiesUnderImpacc) {
+  JacobiConfig cfg;
+  cfg.n = 64;
+  cfg.iterations = 3;
+  const auto r = run_jacobi(opts("psg", 1), cfg);
+  const auto peer =
+      r.launch.total.copy_count[static_cast<int>(dev::CopyPathKind::kDevToDevPeer)];
+  const auto staged = r.launch.total.copy_count[static_cast<int>(
+      dev::CopyPathKind::kDevToDevStaged)];
+  EXPECT_GT(peer + staged, 0u);  // halos moved device-to-device (Fig. 14)
+  const auto base = run_jacobi(opts("psg", 1, core::Framework::kMpiOpenacc), cfg);
+  EXPECT_EQ(base.launch.total.copy_count[static_cast<int>(
+                dev::CopyPathKind::kDevToDevPeer)],
+            0u);
+  EXPECT_LT(r.launch.makespan, base.launch.makespan);  // Fig. 13
+}
+
+// --- LULESH ----------------------------------------------------------------------
+
+TEST(LuleshMesh, DirectionsCoverAll26WithStableIndices) {
+  const auto& dirs = lulesh::all_directions();
+  bool seen[26] = {};
+  for (const auto& d : dirs) {
+    ASSERT_GE(d.index(), 0);
+    ASSERT_LT(d.index(), 26);
+    EXPECT_FALSE(seen[d.index()]);
+    seen[d.index()] = true;
+    // index(opposite) is the partner tag.
+    EXPECT_EQ(d.opposite().dx, -d.dx);
+    EXPECT_NE(d.opposite().index(), d.index());
+  }
+  // Cell counts: 6 faces of s^2, 12 edges of s, 8 corners of 1.
+  long faces = 0;
+  long edges = 0;
+  long corners = 0;
+  for (const auto& d : dirs) {
+    const long c = d.cells(4);
+    if (c == 16) ++faces;
+    if (c == 4) ++edges;
+    if (c == 1) ++corners;
+  }
+  EXPECT_EQ(faces, 6);
+  EXPECT_EQ(edges, 12);
+  EXPECT_EQ(corners, 8);
+}
+
+TEST(LuleshMesh, NeighborsAndCoords) {
+  const lulesh::Decomp3D dec(3, 4);
+  EXPECT_EQ(dec.rank_at(0, 0, 0), 0);
+  EXPECT_EQ(dec.rank_at(2, 2, 2), 26);
+  const auto c = dec.coords(14);
+  EXPECT_EQ(dec.rank_at(c[0], c[1], c[2]), 14);
+  EXPECT_EQ(dec.neighbor(0, {-1, 0, 0}), -1);  // domain edge
+  EXPECT_EQ(dec.neighbor(0, {1, 0, 0}), 9);
+  EXPECT_EQ(dec.neighbor(13, {1, 1, 1}), 26);
+}
+
+TEST(LuleshMesh, PackUnpackGeometryIsConsistent) {
+  const lulesh::Decomp3D dec(2, 3);
+  for (const auto& d : lulesh::all_directions()) {
+    const auto pack = dec.pack_indices(d);
+    const auto unpack = dec.unpack_indices(d);
+    ASSERT_EQ(pack.size(), unpack.size());
+    ASSERT_EQ(static_cast<long>(pack.size()), d.cells(3));
+    // Pack reads interior cells; unpack writes halo cells.
+    const long hs = dec.halo_side();
+    for (long idx : pack) {
+      const long z = idx % hs;
+      const long y = (idx / hs) % hs;
+      const long x = idx / (hs * hs);
+      EXPECT_TRUE(x >= 1 && x <= 3 && y >= 1 && y <= 3 && z >= 1 && z <= 3);
+    }
+    for (long idx : unpack) {
+      const long z = idx % hs;
+      const long y = (idx / hs) % hs;
+      const long x = idx / (hs * hs);
+      EXPECT_TRUE(x == 0 || x == hs - 1 || y == 0 || y == hs - 1 || z == 0 ||
+                  z == hs - 1);
+    }
+  }
+}
+
+TEST(LuleshMesh, SendLayerFacesTheNeighbor) {
+  // A task's pack layer toward +x must be its x == s interior plane, and
+  // the receiving neighbour unpacks it into its x == 0 halo plane.
+  const lulesh::Decomp3D dec(2, 2);
+  const lulesh::Direction d{1, 0, 0};
+  const long hs = dec.halo_side();
+  for (long idx : dec.pack_indices(d)) {
+    EXPECT_EQ(idx / (hs * hs), 2);  // x == s
+  }
+  for (long idx : dec.unpack_indices(d.opposite())) {
+    EXPECT_EQ(idx / (hs * hs), 0);  // neighbour's x == 0 halo
+  }
+}
+
+TEST(Lulesh, SingleTaskMatchesSerialReference) {
+  LuleshConfig cfg;
+  cfg.s = 6;
+  cfg.iterations = 4;
+  cfg.verify = true;
+  const auto r = run_lulesh(opts("titan", 1), cfg);
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(r.total_energy, 0);
+}
+
+TEST(Lulesh, DecompositionIndependentResults) {
+  // The true test of the 26-neighbour exchange: 8 tasks must reproduce the
+  // single-mesh evolution.
+  LuleshConfig cfg;
+  cfg.s = 4;
+  cfg.iterations = 5;
+  cfg.verify = true;
+  const auto r8 = run_lulesh(opts("titan", 8), cfg);  // 2x2x2 tasks
+  EXPECT_TRUE(r8.verified);
+  const auto r27 = run_lulesh(opts("titan", 27), cfg);  // 3x3x3 tasks
+  EXPECT_TRUE(r27.verified);
+}
+
+TEST(Lulesh, FrameworksAgreeBitwiseOnSameDecomposition) {
+  LuleshConfig cfg;
+  cfg.s = 4;
+  cfg.iterations = 3;
+  const auto a = run_lulesh(opts("psg", 1), cfg);  // 8 tasks on one node
+  const auto b = run_lulesh(opts("psg", 1, core::Framework::kMpiOpenacc), cfg);
+  EXPECT_EQ(a.total_energy, b.total_energy);
+  EXPECT_EQ(a.final_dt, b.final_dt);
+}
+
+TEST(Lulesh, TimestepAdaptsViaCourantReduction) {
+  LuleshConfig cfg;
+  cfg.s = 4;
+  cfg.iterations = 3;
+  const auto r = run_lulesh(opts("titan", 8), cfg);
+  EXPECT_GT(r.final_dt, 0);
+  EXPECT_NE(r.final_dt, 0.01);  // moved off the initial guess
+}
+
+}  // namespace
+}  // namespace impacc::apps
+
+#include "apps/stencil2d.h"
+
+namespace impacc::apps {
+namespace {
+
+// --- 2-D stencil with derived-datatype column halos (extension) -------------------
+
+TEST(Stencil2d, GridFactorization) {
+  EXPECT_EQ(stencil2d_grid(1), (std::pair<int, int>{1, 1}));
+  EXPECT_EQ(stencil2d_grid(8), (std::pair<int, int>{4, 2}));
+  EXPECT_EQ(stencil2d_grid(12), (std::pair<int, int>{4, 3}));
+  EXPECT_EQ(stencil2d_grid(7), (std::pair<int, int>{7, 1}));
+  EXPECT_EQ(stencil2d_grid(16), (std::pair<int, int>{4, 4}));
+}
+
+class Stencil2dLayouts
+    : public ::testing::TestWithParam<std::pair<const char*, int>> {};
+
+TEST_P(Stencil2dLayouts, VerifiesAgainstSerialSweeps) {
+  Stencil2dConfig cfg;
+  cfg.n = 36;
+  cfg.iterations = 5;
+  cfg.verify = true;
+  const auto [system, nodes] = GetParam();
+  const auto r = run_stencil2d(opts(system, nodes), cfg);
+  EXPECT_TRUE(r.verified) << system << " grid " << r.px << "x" << r.py;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, Stencil2dLayouts,
+    ::testing::Values(std::pair<const char*, int>{"titan", 1},   // 1x1
+                      std::pair<const char*, int>{"titan", 4},   // 2x2
+                      std::pair<const char*, int>{"psg", 1},     // 4x2
+                      std::pair<const char*, int>{"beacon", 3})); // 4x3
+
+TEST(Stencil2d, FrameworksAgreeBitwise) {
+  Stencil2dConfig cfg;
+  cfg.n = 24;
+  cfg.iterations = 4;
+  const auto a = run_stencil2d(opts("psg", 1), cfg);
+  const auto b = run_stencil2d(opts("psg", 1, core::Framework::kMpiOpenacc), cfg);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_NE(a.checksum, 0.0);
+}
+
+}  // namespace
+}  // namespace impacc::apps
+
+namespace impacc::apps {
+namespace {
+
+TEST(Ep, ClassExponentsMatchNas) {
+  EXPECT_EQ(ep_class_m('S'), 24);
+  EXPECT_EQ(ep_class_m('A'), 28);
+  EXPECT_EQ(ep_class_m('B'), 30);
+  EXPECT_EQ(ep_class_m('C'), 32);
+  EXPECT_EQ(ep_class_m('D'), 36);
+  EXPECT_EQ(ep_class_m('E'), 40);
+}
+
+TEST(Jacobi, DecompositionIndependentWithinTolerance) {
+  JacobiConfig cfg;
+  cfg.n = 40;
+  cfg.iterations = 6;
+  const auto a = run_jacobi(opts("titan", 2), cfg);   // 2-way split
+  const auto b = run_jacobi(opts("titan", 5), cfg);   // 5-way split
+  EXPECT_NEAR(a.checksum, b.checksum, 1e-9 * std::abs(a.checksum));
+}
+
+TEST(Lulesh, ReferenceEnergyGrowsWithMeshAndStaysFinite) {
+  const double e1 = lulesh_reference(1, 4, 3);
+  const double e2 = lulesh_reference(2, 4, 3);
+  EXPECT_GT(e1, 0);
+  EXPECT_GT(e2, e1);  // 8x the volume of background energy
+  EXPECT_TRUE(std::isfinite(e1));
+}
+
+}  // namespace
+}  // namespace impacc::apps

@@ -1,0 +1,194 @@
+// Unit tests for src/common: MPSC queue, math helpers, NAS RNG, checksums.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "common/checksum.h"
+#include "common/math_utils.h"
+#include "common/mpsc_queue.h"
+#include "common/nas_rng.h"
+
+namespace impacc {
+namespace {
+
+// --- math_utils --------------------------------------------------------------
+
+TEST(MathUtils, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+}
+
+TEST(MathUtils, RoundUp) {
+  EXPECT_EQ(round_up(0, 8), 0u);
+  EXPECT_EQ(round_up(1, 8), 8u);
+  EXPECT_EQ(round_up(8, 8), 8u);
+  EXPECT_EQ(round_up(9, 8), 16u);
+}
+
+TEST(MathUtils, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(24));
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(64), 64u);
+  EXPECT_EQ(next_pow2(65), 128u);
+}
+
+TEST(MathUtils, CubeRoot) {
+  EXPECT_EQ(icbrt(1), 1);
+  EXPECT_EQ(icbrt(8), 2);
+  EXPECT_EQ(icbrt(27), 3);
+  EXPECT_EQ(icbrt(8000), 20);
+  EXPECT_TRUE(is_perfect_cube(3375));
+  EXPECT_FALSE(is_perfect_cube(3374));
+}
+
+TEST(MathUtils, ChunkBeginPartitionsExactly) {
+  // Chunks cover [0, total) without gaps and differ in size by at most 1.
+  for (int total : {1, 7, 64, 100}) {
+    for (int parts : {1, 3, 7, 8}) {
+      EXPECT_EQ(chunk_begin(total, parts, 0), 0);
+      EXPECT_EQ(chunk_begin(total, parts, parts), total);
+      long min_size = total;
+      long max_size = 0;
+      for (int i = 0; i < parts; ++i) {
+        const long size =
+            chunk_begin(total, parts, i + 1) - chunk_begin(total, parts, i);
+        min_size = std::min(min_size, size);
+        max_size = std::max(max_size, size);
+      }
+      EXPECT_LE(max_size - min_size, 1);
+    }
+  }
+}
+
+// --- MPSC queue ---------------------------------------------------------------
+
+struct TestNode : MpscNode {
+  int producer = 0;
+  int seq = 0;
+};
+
+TEST(MpscQueue, SingleThreadFifo) {
+  MpscQueue q;
+  std::deque<TestNode> nodes(100);
+  for (int i = 0; i < 100; ++i) {
+    nodes[static_cast<std::size_t>(i)].seq = i;
+    q.push(&nodes[static_cast<std::size_t>(i)]);
+  }
+  for (int i = 0; i < 100; ++i) {
+    auto* n = static_cast<TestNode*>(q.pop());
+    ASSERT_NE(n, nullptr);
+    EXPECT_EQ(n->seq, i);
+  }
+  EXPECT_EQ(q.pop(), nullptr);
+}
+
+TEST(MpscQueue, EmptyHint) {
+  MpscQueue q;
+  EXPECT_TRUE(q.empty_hint());
+  TestNode n;
+  q.push(&n);
+  EXPECT_FALSE(q.empty_hint());
+  EXPECT_EQ(q.pop(), &n);
+  EXPECT_TRUE(q.empty_hint());
+}
+
+TEST(MpscQueue, MultiProducerPreservesPerProducerOrder) {
+  // The paper requires in-order multi-producer queues (section 3.7):
+  // elements from one producer must be consumed in push order.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  MpscQueue q;
+  std::vector<std::deque<TestNode>> nodes(kProducers);
+  for (auto& v : nodes) v.resize(kPerProducer);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, &nodes, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        auto& n = nodes[static_cast<std::size_t>(p)][static_cast<std::size_t>(i)];
+        n.producer = p;
+        n.seq = i;
+        q.push(&n);
+      }
+    });
+  }
+
+  int consumed = 0;
+  std::vector<int> last_seq(kProducers, -1);
+  while (consumed < kProducers * kPerProducer) {
+    auto* n = static_cast<TestNode*>(q.pop());
+    if (n == nullptr) continue;  // in-flight push; retry
+    EXPECT_EQ(n->seq, last_seq[static_cast<std::size_t>(n->producer)] + 1);
+    last_seq[static_cast<std::size_t>(n->producer)] = n->seq;
+    ++consumed;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(q.pop(), nullptr);
+}
+
+// --- NAS RNG ------------------------------------------------------------------
+
+TEST(NasRng, MatchesIterativePower) {
+  // a^k mod 2^46 computed by powmod equals repeated multiplication.
+  std::uint64_t iter = 1;
+  for (int k = 0; k <= 20; ++k) {
+    EXPECT_EQ(nas::RandLc::powmod(nas::RandLc::kA, static_cast<std::uint64_t>(k)),
+              iter);
+    iter = nas::RandLc::mulmod(iter, nas::RandLc::kA);
+  }
+}
+
+TEST(NasRng, SkipAheadEqualsSequentialAdvance) {
+  // The EP decomposition relies on skip(k) == k sequential next() calls.
+  for (std::uint64_t k : {1ull, 7ull, 100ull, 12345ull}) {
+    nas::RandLc a;
+    nas::RandLc b;
+    for (std::uint64_t i = 0; i < k; ++i) a.next();
+    b.skip(k);
+    EXPECT_EQ(a.state(), b.state()) << "k=" << k;
+  }
+}
+
+TEST(NasRng, UniformRange) {
+  nas::RandLc rng;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next();
+    ASSERT_GT(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(NasRng, DeterministicAcrossInstances) {
+  nas::RandLc a;
+  nas::RandLc b;
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+// --- checksums ----------------------------------------------------------------
+
+TEST(Checksum, Fnv1aDiffersOnContent) {
+  const char a[] = "hello world";
+  const char b[] = "hello worle";
+  EXPECT_NE(fnv1a(a, sizeof(a)), fnv1a(b, sizeof(b)));
+  EXPECT_EQ(fnv1a(a, sizeof(a)), fnv1a(a, sizeof(a)));
+}
+
+TEST(Checksum, KahanSumIsAccurate) {
+  // 1 + 1e-16 * 10^7 loses everything with naive summation.
+  std::vector<double> v(10000001, 1e-16);
+  v[0] = 1.0;
+  const double s = kahan_sum(v.data(), v.size());
+  EXPECT_NEAR(s, 1.0 + 1e-9, 1e-15);
+}
+
+}  // namespace
+}  // namespace impacc

@@ -1,0 +1,563 @@
+// Tests for the IMPACC core runtime: automatic task-device mapping
+// (Fig. 2), NUMA pinning, the unified node VAS, node heap aliasing
+// (section 3.8), unified MPI routines and activity queues, ablations.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "core/mapping.h"
+#include "core/pinning.h"
+#include "core/runtime.h"
+#include "dev/copyengine.h"
+#include "impacc.h"
+#include "ult/sync.h"
+
+namespace impacc::core {
+namespace {
+
+// --- Automatic task-device mapping (Fig. 2) ---------------------------------------
+
+sim::ClusterDesc hetero() { return sim::make_heterogeneous_demo(); }
+
+TEST(Mapping, DefaultSelectsAllDiscreteAcceleratorsPlusCpuFallback) {
+  // Fig. 2 (a): default -> 2 GPU tasks on node 0, 3 tasks on node 1
+  // (GPU + 2 MICs), and the CPU-only node 2 still hosts tasks.
+  const auto p = map_tasks(hetero(), kAccDeviceDefault);
+  ASSERT_EQ(p.size(), 6u);  // 2 GPUs + (GPU + 2 MICs) + node 2's CPU device
+  EXPECT_EQ(p[0].node, 0);
+  EXPECT_EQ(p[1].node, 0);
+  EXPECT_EQ(p[2].node, 1);
+  EXPECT_EQ(p[5].node, 2);
+  EXPECT_EQ(p[5].device.kind, sim::DeviceKind::kCpu);
+  // Ranks are dense per node (Fig. 2 numbering).
+  EXPECT_EQ(p[2].local_index, 0);
+  EXPECT_EQ(p[4].local_index, 2);
+}
+
+TEST(Mapping, NvidiaOnly) {
+  // Fig. 2 (b): only the GPUs; node 2 hosts no task.
+  const auto p = map_tasks(hetero(), kAccDeviceNvidia);
+  ASSERT_EQ(p.size(), 3u);
+  for (const auto& pl : p) {
+    EXPECT_EQ(pl.device.kind, sim::DeviceKind::kNvidiaGpu);
+  }
+  EXPECT_EQ(p[2].node, 1);
+}
+
+TEST(Mapping, CpuOnly) {
+  // Fig. 2 (c): CPU-cores accelerators on every node — one per socket on
+  // nodes without an explicit CPU device, the declared one on node 2.
+  const auto p = map_tasks(hetero(), kAccDeviceCpu);
+  ASSERT_EQ(p.size(), 5u);  // 2 + 2 synthesized + 1 explicit
+  for (const auto& pl : p) {
+    EXPECT_EQ(pl.device.kind, sim::DeviceKind::kCpu);
+    EXPECT_EQ(pl.device.backend, sim::BackendKind::kHostShared);
+  }
+  EXPECT_TRUE(p[0].synthesized_cpu);
+  EXPECT_FALSE(p[4].synthesized_cpu);  // node 2's declared device
+}
+
+TEST(Mapping, XeonPhiOnly) {
+  // Fig. 2 (d).
+  const auto p = map_tasks(hetero(), kAccDeviceXeonPhi);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0].node, 1);
+  EXPECT_EQ(p[1].node, 1);
+}
+
+TEST(Mapping, NvidiaOrXeonPhi) {
+  // Fig. 2 (e): nvidia | xeonphi.
+  const auto p = map_tasks(hetero(), kAccDeviceNvidia | kAccDeviceXeonPhi);
+  ASSERT_EQ(p.size(), 5u);
+}
+
+TEST(Mapping, MaskParsing) {
+  EXPECT_EQ(parse_device_type_mask("nvidia"), kAccDeviceNvidia);
+  EXPECT_EQ(parse_device_type_mask("acc_device_xeonphi"), kAccDeviceXeonPhi);
+  EXPECT_EQ(parse_device_type_mask("nvidia|xeonphi"),
+            kAccDeviceNvidia | kAccDeviceXeonPhi);
+  EXPECT_EQ(parse_device_type_mask("default"), kAccDeviceDefault);
+  EXPECT_EQ(parse_device_type_mask("cpu|nvidia"),
+            kAccDeviceCpu | kAccDeviceNvidia);
+}
+
+TEST(Mapping, EnvironmentVariableSelectsDevices) {
+  // IMPACC_ACC_DEVICE_TYPE drives the mapping (section 3.2).
+  ::setenv("IMPACC_ACC_DEVICE_TYPE", "xeonphi", 1);
+  LaunchOptions o;
+  o.cluster = hetero();
+  o.scheduler_workers = 1;
+  const auto result = launch(o, [] {
+    EXPECT_EQ(acc::get_device_type(), sim::DeviceKind::kXeonPhi);
+  });
+  ::unsetenv("IMPACC_ACC_DEVICE_TYPE");
+  EXPECT_EQ(result.num_tasks, 2);
+}
+
+// --- NUMA pinning (section 3.3) ------------------------------------------------------
+
+TEST(Pinning, SysfsTableListsEveryDeviceWithItsSocket) {
+  const auto node = sim::make_psg().nodes[0];
+  const auto lines = sysfs_pci_affinity(node);
+  ASSERT_EQ(lines.size(), 8u);
+  // Devices 0-3 on socket 0, 4-7 on socket 1.
+  EXPECT_NE(lines[0].find("cpulistaffinity 0"), std::string::npos);
+  EXPECT_NE(lines[7].find("cpulistaffinity 1"), std::string::npos);
+}
+
+TEST(Pinning, NumaFriendlyPicksTheDeviceSocket) {
+  const auto node = sim::make_psg().nodes[0];
+  for (std::size_t d = 0; d < node.devices.size(); ++d) {
+    const int s = choose_socket(node, node.devices[d], true,
+                                static_cast<int>(d));
+    EXPECT_EQ(s, node.devices[d].socket);
+    EXPECT_TRUE(socket_is_near(node, node.devices[d], s));
+  }
+}
+
+TEST(Pinning, UnpinnedRoundRobinStrandsHalfTheTasks) {
+  const auto node = sim::make_psg().nodes[0];
+  int far = 0;
+  for (std::size_t d = 0; d < node.devices.size(); ++d) {
+    const int s = choose_socket(node, node.devices[d], false,
+                                static_cast<int>(d));
+    if (!socket_is_near(node, node.devices[d], s)) ++far;
+  }
+  EXPECT_EQ(far, 4);  // half of 8 land on the wrong socket
+}
+
+TEST(Pinning, SingleSocketIsAlwaysNear) {
+  const auto node = sim::make_titan(1).nodes[0];
+  EXPECT_TRUE(socket_is_near(node, node.devices[0], 0));
+  EXPECT_EQ(choose_socket(node, node.devices[0], false, 3), 0);
+}
+
+// --- Unified node VAS + unified MPI routines -----------------------------------------
+
+LaunchOptions psg_opts(Framework fw = Framework::kImpacc) {
+  LaunchOptions o;
+  o.cluster = sim::make_psg();
+  o.framework = fw;
+  o.scheduler_workers = 1;
+  return o;
+}
+
+TEST(UnifiedComm, RawDevicePointersAreDetectedByAddress) {
+  // Section 3.5, first method: MPI_Send(acc_deviceptr(x), ...).
+  launch(psg_opts(), [] {
+    auto w = mpi::world();
+    const int r = mpi::comm_rank(w);
+    std::vector<double> host(64, r == 0 ? 1.25 : 0.0);
+    acc::copyin(host.data(), 512);
+    void* dev = acc::deviceptr(host.data());
+    if (r == 0) {
+      mpi::send(dev, 64, mpi::Datatype::kDouble, 1, 4, w);
+    } else if (r == 1) {
+      mpi::recv(dev, 64, mpi::Datatype::kDouble, 0, 4, w);
+      acc::update_self(host.data(), 512);
+      EXPECT_DOUBLE_EQ(host[10], 1.25);
+    }
+    acc::del(host.data());
+  });
+}
+
+TEST(UnifiedComm, DirectiveResolvesDevicePointerFromHostAddress) {
+  // Section 3.5, portable method: #pragma acc mpi sendbuf(device).
+  const auto result = launch(psg_opts(), [] {
+    auto w = mpi::world();
+    const int r = mpi::comm_rank(w);
+    std::vector<int> host(256, r);
+    acc::copyin(host.data(), 1024);
+    if (r == 0) {
+      acc::mpi({.send_device = true});
+      mpi::send(host.data(), 256, mpi::Datatype::kInt, 1, 6, w);
+    } else if (r == 1) {
+      acc::mpi({.recv_device = true});
+      mpi::recv(host.data(), 256, mpi::Datatype::kInt, 0, 6, w);
+      acc::update_self(host.data(), 1024);
+      EXPECT_EQ(host[100], 0);
+    }
+    acc::del(host.data());
+  });
+  // Devices 0 and 1 share a PCIe root complex: the fused pair must have
+  // used the direct DtoD path (Fig. 6 right).
+  const auto& stats = result.task_stats[1];
+  EXPECT_EQ(stats.copy_count[static_cast<int>(dev::CopyPathKind::kDevToDevPeer)],
+            1u);
+}
+
+TEST(UnifiedComm, CrossRootComplexDeviceToDeviceStages) {
+  const auto result = launch(psg_opts(), [] {
+    auto w = mpi::world();
+    const int r = mpi::comm_rank(w);
+    std::vector<int> host(256, r);
+    acc::copyin(host.data(), 1024);
+    if (r == 0) {  // device 0 (root complex 0) -> device 5 (root complex 1)
+      acc::mpi({.send_device = true});
+      mpi::send(host.data(), 256, mpi::Datatype::kInt, 5, 6, w);
+    } else if (r == 5) {
+      acc::mpi({.recv_device = true});
+      mpi::recv(host.data(), 256, mpi::Datatype::kInt, 0, 6, w);
+    }
+    acc::del(host.data());
+  });
+  const auto& stats = result.task_stats[5];
+  EXPECT_EQ(
+      stats.copy_count[static_cast<int>(dev::CopyPathKind::kDevToDevStaged)],
+      1u);
+}
+
+TEST(UnifiedComm, BaselineFrameworkStagesThroughIpc) {
+  const auto result = launch(psg_opts(Framework::kMpiOpenacc), [] {
+    auto w = mpi::world();
+    const int r = mpi::comm_rank(w);
+    std::vector<int> buf(8192, r);  // above eager threshold
+    if (r == 0) {
+      mpi::send(buf.data(), 8192, mpi::Datatype::kInt, 1, 2, w);
+    } else if (r == 1) {
+      mpi::recv(buf.data(), 8192, mpi::Datatype::kInt, 0, 2, w);
+      EXPECT_EQ(buf[17], 0);
+    }
+  });
+  const auto& stats = result.task_stats[1];
+  EXPECT_EQ(stats.copy_count[static_cast<int>(dev::CopyPathKind::kBaselineIpc)],
+            1u);
+}
+
+TEST(UnifiedComm, FusionAblationFallsBackToIpcPath) {
+  auto o = psg_opts();
+  o.features.message_fusion = false;
+  const auto result = launch(o, [] {
+    auto w = mpi::world();
+    const int r = mpi::comm_rank(w);
+    std::vector<int> buf(8192, r);
+    if (r == 0) {
+      mpi::send(buf.data(), 8192, mpi::Datatype::kInt, 1, 2, w);
+    } else if (r == 1) {
+      mpi::recv(buf.data(), 8192, mpi::Datatype::kInt, 0, 2, w);
+    }
+  });
+  const auto& stats = result.task_stats[1];
+  EXPECT_EQ(stats.copy_count[static_cast<int>(dev::CopyPathKind::kBaselineIpc)],
+            1u);
+}
+
+// --- Node heap aliasing (section 3.8) ---------------------------------------------
+
+NodeHeap make_heap() { return NodeHeap(1 << 20, /*functional=*/true); }
+
+TEST(NodeHeap, AllocFreeRefcounts) {
+  NodeHeap heap = make_heap();
+  void* p = heap.alloc(100);
+  EXPECT_EQ(heap.refcount_of(p), 1);
+  EXPECT_EQ(heap.block_count(), 1u);
+  // free() looks the block up by containment, not exact address.
+  heap.free(static_cast<char*>(p) + 50);
+  EXPECT_EQ(heap.block_count(), 0u);
+}
+
+TEST(NodeHeap, AliasRewritesPointerAndTransfersReference) {
+  // The Fig. 7 scenario: src of 100 doubles, dst of 10, recv at offset.
+  NodeHeap heap = make_heap();
+  auto* src = static_cast<double*>(heap.alloc(800));
+  for (int i = 0; i < 100; ++i) src[i] = i;
+  auto* dst = static_cast<double*>(heap.alloc(80));
+  void* recv_ptr = dst;
+  ASSERT_TRUE(heap.alias(&recv_ptr, dst, 80, src + 30));
+  EXPECT_EQ(recv_ptr, src + 30);
+  EXPECT_EQ(heap.block_count(), 1u);       // dst block released
+  EXPECT_EQ(heap.refcount_of(src), 2);     // src gained a reference
+  EXPECT_DOUBLE_EQ(static_cast<double*>(recv_ptr)[0], 30.0);
+  // Receiver frees its aliased pointer: src must survive.
+  heap.free(recv_ptr);
+  EXPECT_EQ(heap.refcount_of(src), 1);
+  heap.free(src);
+  EXPECT_EQ(heap.block_count(), 0u);
+}
+
+TEST(NodeHeap, AliasRejectsPartialOverwrite) {
+  // Requirement 5: the receive must fully overwrite the receive buffer.
+  NodeHeap heap = make_heap();
+  void* src = heap.alloc(800);
+  void* dst = heap.alloc(80);
+  void* recv_ptr = dst;
+  EXPECT_FALSE(heap.alias(&recv_ptr, dst, 40, src));  // only half of dst
+  EXPECT_EQ(recv_ptr, dst);
+  EXPECT_EQ(heap.block_count(), 2u);
+  heap.free(src);
+  heap.free(dst);
+}
+
+TEST(NodeHeap, AliasRejectsNonHeapBuffers) {
+  // Requirement 2: both buffers must live in the host heap.
+  NodeHeap heap = make_heap();
+  void* dst = heap.alloc(80);
+  double stack_buf[10];
+  void* recv_ptr = dst;
+  EXPECT_FALSE(heap.alias(&recv_ptr, dst, 80, stack_buf));
+  heap.free(dst);
+}
+
+TEST(NodeHeap, AliasRejectsInteriorReceivePointer) {
+  NodeHeap heap = make_heap();
+  void* src = heap.alloc(800);
+  auto* dst = static_cast<char*>(heap.alloc(160));
+  void* recv_ptr = dst + 16;  // not the block start: not a whole block
+  EXPECT_FALSE(heap.alias(&recv_ptr, dst + 16, 80, src));
+  heap.free(src);
+  heap.free(dst);
+}
+
+TEST(HeapAliasing, EndToEndRequiresBothReadonlyHints) {
+  // Without the recv-side readonly+pointer hint the runtime must copy.
+  const auto result = launch(psg_opts(), [] {
+    auto w = mpi::world();
+    const int r = mpi::comm_rank(w);
+    if (r == 0) {
+      auto* src = static_cast<double*>(node_malloc(800));
+      for (int i = 0; i < 100; ++i) src[i] = i;
+      acc::mpi({.send_readonly = true});
+      mpi::send(src, 100, mpi::Datatype::kDouble, 1, 1, w);
+      mpi::barrier(w);
+      node_free(src);
+    } else {
+      auto* dst = static_cast<double*>(node_malloc(800));
+      if (r == 1) {
+        mpi::recv(dst, 100, mpi::Datatype::kDouble, 0, 1, w);  // no hint
+        EXPECT_DOUBLE_EQ(dst[99], 99.0);
+      }
+      mpi::barrier(w);
+      node_free(dst);
+    }
+  });
+  EXPECT_EQ(result.total.heap_aliases, 0u);
+}
+
+TEST(HeapAliasing, EndToEndAliasesAndSharesData) {
+  const auto result = launch(psg_opts(), [] {
+    auto w = mpi::world();
+    const int r = mpi::comm_rank(w);
+    if (r == 0) {
+      auto* src = static_cast<double*>(node_malloc(800));
+      for (int i = 0; i < 100; ++i) src[i] = i * 2.0;
+      acc::mpi({.send_readonly = true});
+      mpi::send(src, 100, mpi::Datatype::kDouble, 1, 1, w);
+      mpi::barrier(w);
+      node_free(src);
+    } else {
+      auto* dst = static_cast<double*>(node_malloc(800));
+      if (r == 1) {
+        acc::mpi({.recv_readonly = true,
+                  .recv_ptr_addr = reinterpret_cast<void**>(&dst)});
+        mpi::recv(dst, 100, mpi::Datatype::kDouble, 0, 1, w);
+        EXPECT_DOUBLE_EQ(dst[50], 100.0);  // reading the sender's block
+      }
+      mpi::barrier(w);
+      node_free(dst);
+    }
+  });
+  EXPECT_EQ(result.total.heap_aliases, 1u);
+}
+
+TEST(HeapAliasing, AblationDisablesSharing) {
+  auto o = psg_opts();
+  o.features.heap_aliasing = false;
+  const auto result = launch(o, [] {
+    auto w = mpi::world();
+    const int r = mpi::comm_rank(w);
+    if (r == 0) {
+      auto* src = static_cast<double*>(node_malloc(80));
+      for (int i = 0; i < 10; ++i) src[i] = i;
+      acc::mpi({.send_readonly = true});
+      mpi::send(src, 10, mpi::Datatype::kDouble, 1, 1, w);
+      mpi::barrier(w);
+      node_free(src);
+    } else {
+      auto* dst = static_cast<double*>(node_malloc(80));
+      if (r == 1) {
+        acc::mpi({.recv_readonly = true,
+                  .recv_ptr_addr = reinterpret_cast<void**>(&dst)});
+        mpi::recv(dst, 10, mpi::Datatype::kDouble, 0, 1, w);
+        EXPECT_DOUBLE_EQ(dst[9], 9.0);  // copied, not aliased
+      }
+      mpi::barrier(w);
+      node_free(dst);
+    }
+  });
+  EXPECT_EQ(result.total.heap_aliases, 0u);
+}
+
+// --- Unified activity queue (section 3.6) -------------------------------------------
+
+TEST(UnifiedQueue, Fig4cPatternRunsWithoutHostSync) {
+  // kernel -> isend -> irecv -> kernel, all on queue 1, both tasks.
+  launch(psg_opts(), [] {
+    auto w = mpi::world();
+    const int r = mpi::comm_rank(w);
+    if (r > 1) return;
+    const int peer = 1 - r;
+    const long n = 4096;  // rendezvous-sized
+    std::vector<double> buf0(static_cast<std::size_t>(n));
+    std::vector<double> buf1(static_cast<std::size_t>(n));
+    acc::copyin(buf0.data(), static_cast<std::uint64_t>(n) * 8);
+    acc::copyin(buf1.data(), static_cast<std::uint64_t>(n) * 8);
+    auto* d0 = static_cast<double*>(acc::deviceptr(buf0.data()));
+    auto* d1 = static_cast<double*>(acc::deviceptr(buf1.data()));
+    acc::parallel_loop(
+        "produce", n, [d0, r](long i) { d0[i] = r * 1000.0 + i; },
+        {static_cast<double>(n), static_cast<double>(n) * 8}, 1);
+    acc::mpi({.send_device = true, .async = 1});
+    mpi::isend(buf0.data(), static_cast<int>(n), mpi::Datatype::kDouble, peer,
+               5, w);
+    acc::mpi({.recv_device = true, .async = 1});
+    mpi::irecv(buf1.data(), static_cast<int>(n), mpi::Datatype::kDouble, peer,
+               5, w);
+    acc::parallel_loop(
+        "consume", n, [d1](long i) { d1[i] += 0.5; },
+        {static_cast<double>(n), static_cast<double>(n) * 8}, 1);
+    acc::wait(1);
+    acc::update_self(buf1.data(), static_cast<std::uint64_t>(n) * 8);
+    EXPECT_DOUBLE_EQ(buf1[7], peer * 1000.0 + 7 + 0.5);
+    acc::del(buf0.data());
+    acc::del(buf1.data());
+  });
+}
+
+TEST(UnifiedQueue, AblationIgnoresAsyncClause) {
+  // With the unified queue disabled, the async clause on the directive is
+  // ignored and the call behaves like a plain host-path isend/irecv.
+  auto o = psg_opts();
+  o.features.unified_queue = false;
+  launch(o, [] {
+    auto w = mpi::world();
+    const int r = mpi::comm_rank(w);
+    if (r > 1) return;
+    const int peer = 1 - r;
+    int out = r;
+    int in = -1;
+    acc::mpi({.async = 1});
+    mpi::Request sr = mpi::isend(&out, 1, mpi::Datatype::kInt, peer, 3, w);
+    acc::mpi({.async = 1});
+    mpi::Request rr = mpi::irecv(&in, 1, mpi::Datatype::kInt, peer, 3, w);
+    mpi::wait(sr);
+    mpi::wait(rr);
+    EXPECT_EQ(in, peer);
+  });
+}
+
+// --- Makespan / stats sanity ---------------------------------------------------------
+
+TEST(Runtime, MakespanIsMaxTaskTime) {
+  const auto result = launch(psg_opts(), [] {
+    acc::parallel_loop("k", 10, [](long) {}, {1e9, 1e3});  // ~0.7 ms on GK210
+  });
+  EXPECT_EQ(result.num_tasks, 8);
+  double max_t = 0;
+  for (double t : result.task_times) max_t = std::max(max_t, t);
+  EXPECT_DOUBLE_EQ(result.makespan, max_t);
+  EXPECT_GT(result.makespan, 1e-9 / 1.45e12);
+  EXPECT_GT(result.total.kernel_busy, 0.0);
+}
+
+TEST(Runtime, ModelOnlyModeProducesSameTimingWithoutTouchingData) {
+  auto fo = psg_opts();
+  auto mo = psg_opts();
+  mo.mode = ExecMode::kModelOnly;
+  auto body = [] {
+    auto w = mpi::world();
+    const int r = mpi::comm_rank(w);
+    auto* buf = static_cast<double*>(node_malloc(1 << 20));
+    acc::copyin(buf, 1 << 20);
+    acc::parallel_loop("k", 1, [](long) {}, {1e8, 1e6});
+    if (r == 0) {
+      mpi::send(buf, 1 << 17, mpi::Datatype::kDouble, 1, 1, w);
+    } else if (r == 1) {
+      mpi::recv(buf, 1 << 17, mpi::Datatype::kDouble, 0, 1, w);
+    }
+    acc::del(buf);
+    mpi::barrier(w);
+    node_free(buf);
+  };
+  const auto rf = launch(fo, body);
+  const auto rm = launch(mo, body);
+  EXPECT_NEAR(rf.makespan, rm.makespan, 1e-12);
+}
+
+}  // namespace
+}  // namespace impacc::core
+
+namespace impacc::core {
+namespace {
+
+// --- Pre-pinned staging buffer pool (section 3.7) ----------------------------------
+
+TEST(PinnedPool, ReusesBuffersBestFit) {
+  PinnedPool pool(/*functional=*/true);
+  auto a = pool.acquire(1000);
+  auto b = pool.acquire(4000);
+  EXPECT_NE(a.ptr, nullptr);
+  EXPECT_NE(a.ptr, b.ptr);
+  pool.release(a);
+  pool.release(b);
+  // A 900-byte request reuses the 1000-byte buffer (smallest fit), not
+  // the 4000-byte one.
+  auto c = pool.acquire(900);
+  EXPECT_EQ(c.ptr, a.ptr);
+  EXPECT_EQ(c.bytes, 1000u);
+  // A 2000-byte request reuses the 4000-byte buffer.
+  auto d = pool.acquire(2000);
+  EXPECT_EQ(d.ptr, b.ptr);
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.acquires, 4u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.buffers_created, 2u);
+  EXPECT_EQ(stats.bytes_allocated, 5000u);
+  pool.release(c);
+  pool.release(d);
+}
+
+TEST(PinnedPool, GrowsOnlyOnMiss) {
+  PinnedPool pool(/*functional=*/false);  // model-only accounting
+  for (int round = 0; round < 10; ++round) {
+    auto b = pool.acquire(8192);
+    pool.release(b);
+  }
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.acquires, 10u);
+  EXPECT_EQ(stats.buffers_created, 1u);  // steady state: one pinned buffer
+  EXPECT_EQ(stats.hits, 9u);
+  EXPECT_EQ(stats.bytes_allocated, 8192u);
+}
+
+TEST(PinnedPool, InternodeDeviceStagingUsesThePool) {
+  // Without RDMA, every internode device send stages through the pool;
+  // repeated sends recycle one buffer.
+  LaunchOptions o;
+  o.cluster = sim::make_titan(2);
+  o.features.gpudirect_rdma = false;  // force staging
+  o.scheduler_workers = 1;
+  Runtime rt(o);
+  rt.run([] {
+    auto w = mpi::world();
+    const int r = mpi::comm_rank(w);
+    std::vector<double> buf(4096, 1.0);
+    acc::copyin(buf.data(), 32768);
+    for (int m = 0; m < 5; ++m) {
+      if (r == 0) {
+        acc::mpi({.send_device = true});
+        mpi::send(buf.data(), 4096, mpi::Datatype::kDouble, 1, m, w);
+      } else {
+        mpi::recv(buf.data(), 4096, mpi::Datatype::kDouble, 0, m, w);
+      }
+    }
+    acc::del(buf.data());
+  });
+  const auto stats = rt.node(0).pinned.stats();
+  EXPECT_EQ(stats.acquires, 5u);
+  EXPECT_EQ(stats.buffers_created, 1u);
+  EXPECT_EQ(stats.hits, 4u);
+}
+
+}  // namespace
+}  // namespace impacc::core

@@ -1,0 +1,351 @@
+// Unit tests for the simulated-device substrate: memory arenas, devices,
+// activity queues, copy planning.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "dev/copyengine.h"
+#include "dev/device.h"
+#include "dev/memarena.h"
+#include "dev/stream.h"
+#include "sim/systems.h"
+#include "ult/scheduler.h"
+
+namespace impacc::dev {
+namespace {
+
+// --- MemArena --------------------------------------------------------------------
+
+TEST(MemArena, AllocFreeBasics) {
+  MemArena arena(1 << 20, ArenaMode::kReal);
+  void* a = arena.alloc(1000);
+  void* b = arena.alloc(2000);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(arena.contains(a));
+  EXPECT_TRUE(arena.contains(b));
+  EXPECT_EQ(arena.alloc_size(a), 1000u);
+  EXPECT_EQ(arena.bytes_in_use(), 3000u);
+  arena.free(a);
+  arena.free(b);
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+}
+
+TEST(MemArena, RealModeIsDereferenceable) {
+  MemArena arena(1 << 20, ArenaMode::kReal);
+  auto* p = static_cast<int*>(arena.alloc(256 * sizeof(int)));
+  for (int i = 0; i < 256; ++i) p[i] = i * 3;
+  for (int i = 0; i < 256; ++i) ASSERT_EQ(p[i], i * 3);
+  arena.free(p);
+}
+
+TEST(MemArena, AlignmentHonored) {
+  MemArena arena(1 << 20, ArenaMode::kReal);
+  for (std::uint64_t align : {8ull, 64ull, 256ull, 4096ull}) {
+    void* p = arena.alloc(10, align);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u);
+    arena.free(p);
+  }
+}
+
+TEST(MemArena, ExhaustionReturnsNull) {
+  MemArena arena(8192, ArenaMode::kReal);
+  void* a = arena.alloc(4096);
+  void* b = arena.alloc(4096);
+  EXPECT_NE(a, nullptr);
+  // Alignment padding may consume part of the region; at least the
+  // oversized request must fail.
+  EXPECT_EQ(arena.alloc(8192), nullptr);
+  arena.free(a);
+  if (b != nullptr) arena.free(b);
+}
+
+TEST(MemArena, CoalescingAllowsFullReuse) {
+  MemArena arena(1 << 16, ArenaMode::kReal);
+  void* p[4];
+  for (auto& q : p) q = arena.alloc(8192);
+  for (auto& q : p) ASSERT_NE(q, nullptr);
+  // Free in an order that exercises both-neighbor coalescing.
+  arena.free(p[1]);
+  arena.free(p[2]);
+  arena.free(p[0]);
+  arena.free(p[3]);
+  // The whole region must be reusable as one block again.
+  void* big = arena.alloc((1 << 16) - 4096);
+  EXPECT_NE(big, nullptr);
+  arena.free(big);
+}
+
+TEST(MemArena, VirtualModeUniqueRanges) {
+  MemArena a(1 << 20, ArenaMode::kVirtual);
+  MemArena b(1 << 20, ArenaMode::kVirtual);
+  EXPECT_FALSE(a.dereferenceable());
+  // Ranges from distinct virtual arenas never overlap.
+  EXPECT_TRUE(a.base() + a.capacity() <= b.base() ||
+              b.base() + b.capacity() <= a.base());
+  void* p = a.alloc(100);
+  EXPECT_TRUE(a.contains(p));
+  EXPECT_FALSE(b.contains(p));
+  a.free(p);
+}
+
+TEST(MemArenaProperty, RandomAllocFreeMatchesReferenceAccounting) {
+  // Property test: after any interleaving of allocs/frees, bytes_in_use
+  // matches a reference model and no two live blocks overlap.
+  std::mt19937 rng(1234);
+  MemArena arena(1 << 20, ArenaMode::kReal);
+  std::map<std::uintptr_t, std::uint64_t> live;
+  std::uint64_t used = 0;
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng() % 2 == 0) {
+      const std::uint64_t size = 1 + rng() % 5000;
+      void* p = arena.alloc(size);
+      if (p == nullptr) continue;  // exhausted this round
+      const auto addr = reinterpret_cast<std::uintptr_t>(p);
+      // No overlap with any live block.
+      auto it = live.upper_bound(addr);
+      if (it != live.end()) {
+        ASSERT_LE(addr + size, it->first);
+      }
+      if (it != live.begin()) {
+        --it;
+        ASSERT_GE(addr, it->first + it->second);
+      }
+      live[addr] = size;
+      used += size;
+    } else {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng() % live.size()));
+      arena.free(reinterpret_cast<void*>(it->first));
+      used -= it->second;
+      live.erase(it);
+    }
+    ASSERT_EQ(arena.bytes_in_use(), used);
+  }
+}
+
+// --- Device ---------------------------------------------------------------------
+
+TEST(Device, CudaLikeBuffersHaveNoHandles) {
+  sim::DeviceDesc desc = sim::make_psg().nodes[0].devices[0];
+  Device dev(desc, 0, 0, 0, /*functional=*/true);
+  const DeviceBuffer buf = dev.alloc(4096);
+  EXPECT_NE(buf.dptr, nullptr);
+  EXPECT_EQ(buf.handle, 0u);  // UVA pointer, no cl_mem (Fig. 3 Task 0)
+  EXPECT_TRUE(dev.owns(buf.dptr));
+  dev.free(buf);
+}
+
+TEST(Device, OpenClLikeBuffersCarryHandles) {
+  sim::DeviceDesc desc = sim::make_beacon(1).nodes[0].devices[0];
+  Device dev(desc, 0, 0, 0, /*functional=*/true);
+  const DeviceBuffer a = dev.alloc(4096);
+  const DeviceBuffer b = dev.alloc(4096);
+  EXPECT_NE(a.handle, 0u);  // cl_mem-style object id (Fig. 3 Task 1)
+  EXPECT_NE(b.handle, a.handle);
+  dev.free(a);
+  dev.free(b);
+}
+
+TEST(Device, StreamsAreCreatedLazilyAndCached) {
+  sim::DeviceDesc desc = sim::make_titan(1).nodes[0].devices[0];
+  Device dev(desc, 0, 0, 0, true);
+  Stream* s1 = dev.stream(1);
+  Stream* s2 = dev.stream(2);
+  EXPECT_NE(s1, nullptr);
+  EXPECT_NE(s1, s2);
+  EXPECT_EQ(dev.stream(1), s1);  // cached
+  EXPECT_EQ(dev.streams().size(), 2u);
+}
+
+TEST(Device, KernelCostUsesRoofline) {
+  sim::DeviceDesc desc = sim::make_titan(1).nodes[0].devices[0];
+  Device dev(desc, 0, 0, 0, true);
+  const sim::Time small = dev.kernel_cost({1e6, 1e3});
+  const sim::Time big = dev.kernel_cost({1e12, 1e3});
+  EXPECT_LT(small, big);
+  EXPECT_NEAR(big, desc.kernel_launch_overhead + 1e12 / desc.flops_dp, 1e-9);
+}
+
+// --- Stream ---------------------------------------------------------------------
+
+TEST(Stream, ExecutesOpsInOrderAndAdvancesClock) {
+  Stream s(0, 1);
+  std::vector<int> order;
+  CompletionRecord done;
+  for (int i = 0; i < 3; ++i) {
+    StreamOp op;
+    op.kind = StreamOp::Kind::kKernel;
+    op.model_cost = 1.0;
+    op.body = [&order, i] { order.push_back(i); };
+    if (i == 2) op.completion = &done;
+    s.enqueue(std::move(op));
+  }
+  EXPECT_FALSE(s.advance(/*functional=*/true));  // drains fully
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  sim::Time t = 0;
+  EXPECT_TRUE(done.poll(&t));
+  EXPECT_DOUBLE_EQ(t, 3.0);
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Stream, FunctionalMemcpyMovesBytes) {
+  Stream s(0, 0);
+  const char src[] = "payload";
+  char dst[8] = {};
+  StreamOp op;
+  op.kind = StreamOp::Kind::kMemcpy;
+  op.dst = dst;
+  op.src = src;
+  op.bytes = sizeof(src);
+  op.functional = true;
+  op.model_cost = 0.5;
+  s.enqueue(std::move(op));
+  s.advance(true);
+  EXPECT_STREQ(dst, "payload");
+}
+
+TEST(Stream, ModelOnlySkipsDataButRunsCallbacks) {
+  Stream s(0, 0);
+  char dst[8] = {};
+  bool callback_ran = false;
+  StreamOp copy;
+  copy.kind = StreamOp::Kind::kMemcpy;
+  copy.dst = dst;
+  copy.src = nullptr;  // would crash if dereferenced
+  copy.bytes = 8;
+  copy.functional = false;
+  s.enqueue(std::move(copy));
+  StreamOp cb;
+  cb.kind = StreamOp::Kind::kCallback;
+  cb.body = [&callback_ran] { callback_ran = true; };
+  s.enqueue(std::move(cb));
+  s.advance(/*functional=*/false);
+  EXPECT_TRUE(callback_ran);  // control flow runs even in model mode
+}
+
+TEST(Stream, AsyncExternalInitiatesInOrderWithoutBlockingTheQueue) {
+  // The Fig. 4(c) shape: two MPI ops then a kernel. Both MPI ops must be
+  // initiated before the kernel runs, and the kernel must wait for both
+  // completions.
+  Stream s(0, 1);
+  std::vector<std::string> events;
+  for (int i = 0; i < 2; ++i) {
+    StreamOp op;
+    op.kind = StreamOp::Kind::kAsyncExternal;
+    op.begin_async = [&events, i](sim::Time) {
+      events.push_back("init" + std::to_string(i));
+    };
+    s.enqueue(std::move(op));
+  }
+  StreamOp k;
+  k.kind = StreamOp::Kind::kKernel;
+  k.model_cost = 1.0;
+  k.body = [&events] { events.push_back("kernel"); };
+  s.enqueue(std::move(k));
+
+  EXPECT_TRUE(s.advance(true));  // stalls on the kernel
+  EXPECT_EQ(events, (std::vector<std::string>{"init0", "init1"}));
+  EXPECT_FALSE(s.idle());
+
+  EXPECT_FALSE(s.complete_inflight(5.0));  // one still outstanding
+  EXPECT_TRUE(s.complete_inflight(7.0));   // now runnable again
+  EXPECT_FALSE(s.advance(true));           // kernel executes
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[2], "kernel");
+  // Kernel started after the latest completion (7.0) and took 1.0.
+  EXPECT_DOUBLE_EQ(s.now(), 8.0);
+}
+
+TEST(CompletionRecord, PollAndCompleteOnce) {
+  CompletionRecord rec;
+  EXPECT_FALSE(rec.poll());
+  rec.complete(2.5);
+  sim::Time t = 0;
+  EXPECT_TRUE(rec.poll(&t));
+  EXPECT_DOUBLE_EQ(t, 2.5);
+}
+
+// --- Copy planning (Fig. 6) --------------------------------------------------------
+
+class CopyPlanTest : public ::testing::Test {
+ protected:
+  CopyPlanTest()
+      : cluster_(sim::make_psg()),
+        node_(cluster_.nodes[0]),
+        d0_(node_.devices[0], 0, 0, 0, true),
+        d1_(node_.devices[1], 0, 1, 1, true),
+        d4_(node_.devices[4], 0, 4, 4, true) {}
+
+  sim::ClusterDesc cluster_;
+  const sim::NodeDesc& node_;
+  Device d0_;
+  Device d1_;
+  Device d4_;
+};
+
+TEST_F(CopyPlanTest, HostToHostFusedIsSingleCopy) {
+  const auto plan = plan_fused_copy(node_, cluster_.costs, nullptr, nullptr,
+                                    1 << 20, true, true, true);
+  EXPECT_EQ(plan.kind, CopyPathKind::kHostToHost);
+  const auto base = plan_baseline_copy(node_, cluster_.costs, 1 << 20);
+  EXPECT_EQ(base.kind, CopyPathKind::kBaselineIpc);
+  // One copy beats two copies + IPC (message fusion, Fig. 6).
+  EXPECT_LT(plan.cost, base.cost);
+}
+
+TEST_F(CopyPlanTest, SameRootComplexUsesPeerPath) {
+  const auto plan = plan_fused_copy(node_, cluster_.costs, &d0_, &d1_,
+                                    1 << 20, true, true, true);
+  EXPECT_EQ(plan.kind, CopyPathKind::kDevToDevPeer);
+}
+
+TEST_F(CopyPlanTest, CrossRootComplexStagesThroughHost) {
+  const auto plan = plan_fused_copy(node_, cluster_.costs, &d0_, &d4_,
+                                    1 << 20, true, true, true);
+  EXPECT_EQ(plan.kind, CopyPathKind::kDevToDevStaged);
+}
+
+TEST_F(CopyPlanTest, PeerDisabledFallsBackToStaging) {
+  const auto plan = plan_fused_copy(node_, cluster_.costs, &d0_, &d1_,
+                                    1 << 20, true, true, /*allow_peer=*/false);
+  EXPECT_EQ(plan.kind, CopyPathKind::kDevToDevStaged);
+  const auto peer = plan_fused_copy(node_, cluster_.costs, &d0_, &d1_,
+                                    1 << 20, true, true, true);
+  EXPECT_GT(plan.cost, peer.cost);
+}
+
+TEST_F(CopyPlanTest, MixedPathsPickPcieDirection) {
+  const auto h2d = plan_fused_copy(node_, cluster_.costs, nullptr, &d0_,
+                                   1 << 20, true, true, true);
+  const auto d2h = plan_fused_copy(node_, cluster_.costs, &d0_, nullptr,
+                                   1 << 20, true, true, true);
+  EXPECT_EQ(h2d.kind, CopyPathKind::kHostToDev);
+  EXPECT_EQ(d2h.kind, CopyPathKind::kDevToHost);
+}
+
+TEST_F(CopyPlanTest, FarPinningRaisesCost) {
+  const auto near = plan_fused_copy(node_, cluster_.costs, nullptr, &d0_,
+                                    1 << 20, true, true, true);
+  const auto far = plan_fused_copy(node_, cluster_.costs, nullptr, &d0_,
+                                   1 << 20, true, false, true);
+  EXPECT_GT(far.cost, near.cost);
+}
+
+TEST(CopyBytes, FunctionalGuard) {
+  char src[8] = "abc";
+  char dst[8] = {};
+  copy_bytes(dst, src, 4, /*functional=*/false);
+  EXPECT_EQ(dst[0], '\0');  // untouched
+  copy_bytes(dst, src, 4, /*functional=*/true);
+  EXPECT_STREQ(dst, "abc");
+}
+
+}  // namespace
+}  // namespace impacc::dev

@@ -1,0 +1,290 @@
+// Integration tests asserting the paper's qualitative results hold in the
+// reproduction: NUMA pinning gains (Fig. 8), point-to-point bandwidth
+// ordering (Fig. 9), scaling behaviour (Figs. 10-15 shapes), and the
+// ablations from DESIGN.md.
+#include <gtest/gtest.h>
+
+#include "apps/dgemm.h"
+#include "apps/ep.h"
+#include "apps/jacobi.h"
+#include "apps/lulesh/driver.h"
+#include "impacc.h"
+
+namespace impacc {
+namespace {
+
+core::LaunchOptions opts(const char* system, int nodes,
+                         core::Framework fw = core::Framework::kImpacc) {
+  core::LaunchOptions o;
+  o.cluster = sim::make_system(system, nodes);
+  o.framework = fw;
+  o.mode = core::ExecMode::kModelOnly;  // timing-focused tests
+  o.scheduler_workers = 1;
+  return o;
+}
+
+/// Measured time of an HtoD transfer of `bytes` under a pinning policy.
+sim::Time h2d_time(const char* system, bool pinning, std::uint64_t bytes) {
+  auto o = opts(system, 1);
+  o.features.numa_pinning = pinning;
+  const auto result = launch(o, [bytes] {
+    if (mpi::comm_rank(mpi::world()) != 1) return;  // device 1: far socket
+    auto* buf = static_cast<char*>(node_malloc(bytes));
+    acc::copyin(buf, bytes);
+    acc::del(buf);
+    node_free(buf);
+  });
+  return result.task_times[1];
+}
+
+TEST(Fig8Shape, NumaFriendlyPinningBeatsUnfriendlyUpTo3x) {
+  // Fig. 8: NUMA-friendly configurations deliver higher bandwidth, up to
+  // 3.5x. (Task 1 lands on the wrong socket under round-robin placement.)
+  for (const char* system : {"psg", "beacon"}) {
+    const sim::Time near = h2d_time(system, true, 64 << 20);
+    const sim::Time far = h2d_time(system, false, 64 << 20);
+    EXPECT_GT(far / near, 2.0) << system;
+    EXPECT_LT(far / near, 4.0) << system;
+  }
+}
+
+/// Marginal intra-node p2p transfer time between ranks 0 and 1 with
+/// buffers on device or host: run 1 and 4 messages and report the slope,
+/// which cancels the one-time setup (copyin, mapping) costs.
+sim::Time p2p_time(const char* system, core::Framework fw, bool device_bufs,
+                   std::uint64_t bytes) {
+  auto run = [&](int msgs) {
+    auto o = opts(system, 1);
+    o.framework = fw;
+    const auto result = launch(o, [device_bufs, bytes, msgs] {
+      auto w = mpi::world();
+      const int r = mpi::comm_rank(w);
+      if (r > 1) return;
+      auto* buf = static_cast<char*>(node_malloc(bytes));
+      if (device_bufs) acc::copyin(buf, bytes);
+      const int count = static_cast<int>(bytes);
+      for (int m = 0; m < msgs; ++m) {
+        if (r == 0) {
+          if (device_bufs) acc::mpi({.send_device = true});
+          mpi::send(buf, count, mpi::Datatype::kByte, 1, 1, w);
+        } else {
+          if (device_bufs) acc::mpi({.recv_device = true});
+          mpi::recv(buf, count, mpi::Datatype::kByte, 0, 1, w);
+        }
+      }
+      if (device_bufs) acc::del(buf);
+      node_free(buf);
+    });
+    return std::max(result.task_times[0], result.task_times[1]);
+  };
+  return (run(4) - run(1)) / 3.0;
+}
+
+TEST(Fig9Shape, IntraNodeHostToHostFusionWins) {
+  // Fig. 9 (a)(d): IMPACC's fused single copy beats the baseline's
+  // IPC-staged double copy.
+  for (const char* system : {"psg", "beacon"}) {
+    const sim::Time im = p2p_time(system, core::Framework::kImpacc, false,
+                                  16 << 20);
+    const sim::Time base = p2p_time(system, core::Framework::kMpiOpenacc,
+                                    false, 16 << 20);
+    EXPECT_LT(im, base) << system;
+    EXPECT_GT(base / im, 1.5) << system;
+  }
+}
+
+TEST(Fig9Shape, PsgDeviceToDeviceAboutEightTimesFaster) {
+  // Fig. 9 (c): ~8x on PSG thanks to the direct PCIe peer copy. The
+  // baseline must stage DtoH + HtoH (IPC) + HtoD with explicit updates.
+  const std::uint64_t bytes = 64 << 20;
+  const sim::Time im = p2p_time("psg", core::Framework::kImpacc, true, bytes);
+
+  // Baseline equivalent: explicit update self/device around a host
+  // message, measured marginally like p2p_time.
+  auto base_run = [bytes](int msgs) {
+    auto o = opts("psg", 1, core::Framework::kMpiOpenacc);
+    const auto result = launch(o, [bytes, msgs] {
+      auto w = mpi::world();
+      const int r = mpi::comm_rank(w);
+      if (r > 1) return;
+      auto* buf = static_cast<char*>(node_malloc(bytes));
+      acc::copyin(buf, bytes);
+      const int count = static_cast<int>(bytes);
+      for (int m = 0; m < msgs; ++m) {
+        if (r == 0) {
+          acc::update_self(buf, bytes);
+          mpi::send(buf, count, mpi::Datatype::kByte, 1, 1, w);
+        } else {
+          mpi::recv(buf, count, mpi::Datatype::kByte, 0, 1, w);
+          acc::update_device(buf, bytes);
+        }
+      }
+      acc::del(buf);
+      node_free(buf);
+    });
+    return std::max(result.task_times[0], result.task_times[1]);
+  };
+  const sim::Time base_t = (base_run(4) - base_run(1)) / 3.0;
+  EXPECT_GT(base_t / im, 5.0);
+  EXPECT_LT(base_t / im, 12.0);
+}
+
+TEST(Fig9Shape, TitanInternodeRdmaBeatsStaging) {
+  // Fig. 9 (g)-(i): GPUDirect RDMA removes the host staging copies.
+  const std::uint64_t bytes = 16 << 20;
+  auto run = [bytes](bool rdma) {
+    auto o = opts("titan", 2);
+    o.features.gpudirect_rdma = rdma;
+    const auto result = launch(o, [bytes] {
+      auto w = mpi::world();
+      const int r = mpi::comm_rank(w);
+      auto* buf = static_cast<char*>(node_malloc(bytes));
+      acc::copyin(buf, bytes);
+      const int count = static_cast<int>(bytes);
+      if (r == 0) {
+        acc::mpi({.send_device = true});
+        mpi::send(buf, count, mpi::Datatype::kByte, 1, 1, w);
+      } else {
+        acc::mpi({.recv_device = true});
+        mpi::recv(buf, count, mpi::Datatype::kByte, 0, 1, w);
+      }
+      acc::del(buf);
+      node_free(buf);
+    });
+    return result.makespan;
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+// --- Scaling shapes -----------------------------------------------------------------
+
+TEST(Fig10Shape, DgemmImpaccScalesWhereBaselineDegrades) {
+  // Fig. 10 (a): with 1K matrices the baseline loses its speedup at 8
+  // tasks; IMPACC keeps scaling fairly.
+  apps::DgemmConfig cfg;
+  cfg.n = 1024;
+  auto time_for = [&cfg](core::Framework fw, const char* sys, int nodes) {
+    return run_dgemm(opts(sys, nodes, fw), cfg).launch.makespan;
+  };
+  // Single-task baseline on PSG (the paper's normalization).
+  auto single = opts("psg", 1, core::Framework::kMpiOpenacc);
+  single.device_type_mask = core::kAccDeviceNvidia;
+  single.cluster.nodes[0].devices.resize(1);
+  const sim::Time t1 =
+      run_dgemm(single, cfg).launch.makespan;
+
+  const sim::Time im8 = time_for(core::Framework::kImpacc, "psg", 1);
+  const sim::Time base8 = time_for(core::Framework::kMpiOpenacc, "psg", 1);
+  const double speedup_im = t1 / im8;
+  const double speedup_base = t1 / base8;
+  EXPECT_GT(speedup_im, speedup_base);
+  EXPECT_GT(speedup_im, 1.0);  // IMPACC still gains at 8 tasks
+}
+
+TEST(Fig12Shape, EpScalesLinearlyAndFrameworksTie) {
+  // Fig. 12: EP has almost no communication; IMPACC == MPI+OpenACC and
+  // speedup is near-linear for large classes.
+  apps::EpConfig cfg;
+  cfg.m = 30;  // class B
+  auto one = opts("psg", 1);
+  one.cluster.nodes[0].devices.resize(1);
+  const sim::Time t1 = run_ep(one, cfg).launch.makespan;
+  const sim::Time t8_im = run_ep(opts("psg", 1), cfg).launch.makespan;
+  const sim::Time t8_base =
+      run_ep(opts("psg", 1, core::Framework::kMpiOpenacc), cfg).launch.makespan;
+  EXPECT_GT(t1 / t8_im, 6.0);  // near-linear on 8 devices
+  EXPECT_NEAR(t8_im / t8_base, 1.0, 0.05);  // "almost same performances"
+}
+
+TEST(Fig13Shape, JacobiCommunicationDominatesAtScaleAndImpaccWins) {
+  apps::JacobiConfig cfg;
+  cfg.n = 2048;
+  cfg.iterations = 5;
+  const sim::Time im =
+      run_jacobi(opts("psg", 1), cfg).launch.makespan;
+  const sim::Time base =
+      run_jacobi(opts("psg", 1, core::Framework::kMpiOpenacc), cfg)
+          .launch.makespan;
+  EXPECT_LT(im, base);
+}
+
+TEST(Fig15Shape, LuleshBeaconShowsSmallImpaccOverheadOrParity) {
+  // Fig. 15 (Beacon): IMPACC within ~±10% of the baseline for the
+  // host-to-host-only LULESH (paper reports ~5% regression).
+  apps::LuleshConfig cfg;
+  cfg.s = 8;
+  cfg.iterations = 2;
+  const sim::Time im = run_lulesh(opts("beacon", 2), cfg).launch.makespan;
+  const sim::Time base =
+      run_lulesh(opts("beacon", 2, core::Framework::kMpiOpenacc), cfg)
+          .launch.makespan;
+  EXPECT_NEAR(im / base, 1.0, 0.25);
+}
+
+// --- Ablations ------------------------------------------------------------------------
+
+TEST(Ablation, EachFeatureContributesToDgemm) {
+  apps::DgemmConfig cfg;
+  cfg.n = 512;
+  const sim::Time full = run_dgemm(opts("psg", 1), cfg).launch.makespan;
+
+  auto with = [&cfg](auto mutate) {
+    auto o = opts("psg", 1);
+    mutate(o.features);
+    return run_dgemm(o, cfg).launch.makespan;
+  };
+  const sim::Time no_alias =
+      with([](core::Features& f) { f.heap_aliasing = false; });
+  const sim::Time no_fusion =
+      with([](core::Features& f) { f.message_fusion = false; });
+  EXPECT_GT(no_alias, full);
+  EXPECT_GT(no_fusion, full);
+}
+
+TEST(Ablation, SerializedInternodeMpiHurtsScaling) {
+  // Section 3.7: without MPI_THREAD_MULTIPLE the runtime serializes
+  // internode communication per node.
+  apps::JacobiConfig cfg;
+  cfg.n = 1024;
+  cfg.iterations = 4;
+  auto o_multi = opts("beacon", 4);
+  auto o_serial = opts("beacon", 4);
+  o_serial.cluster.mpi_thread_multiple = false;
+  const sim::Time multi = run_jacobi(o_multi, cfg).launch.makespan;
+  const sim::Time serial = run_jacobi(o_serial, cfg).launch.makespan;
+  EXPECT_GE(serial, multi);
+}
+
+TEST(Ablation, PinningOffSlowsTransferHeavyRuns) {
+  apps::JacobiConfig cfg;
+  cfg.n = 2048;
+  cfg.iterations = 3;
+  auto o_off = opts("beacon", 1);
+  o_off.features.numa_pinning = false;
+  const sim::Time on = run_jacobi(opts("beacon", 1), cfg).launch.makespan;
+  const sim::Time off = run_jacobi(o_off, cfg).launch.makespan;
+  EXPECT_GT(off, on);
+}
+
+// --- Model-only scale ------------------------------------------------------------------
+
+TEST(Scale, TitanSizedModelOnlyRunCompletes) {
+  // 512 nodes = 512 tasks through the full runtime in model-only mode; a
+  // smoke check that Titan-scale benchmark points are feasible.
+  apps::EpConfig cfg;
+  cfg.m = 36;
+  const auto r = run_ep(opts("titan", 512), cfg);
+  EXPECT_EQ(r.launch.num_tasks, 512);
+  EXPECT_GT(r.launch.makespan, 0);
+}
+
+TEST(Scale, MakespanScalesDownWithMoreNodes) {
+  apps::EpConfig cfg;
+  cfg.m = 36;
+  const sim::Time t64 = run_ep(opts("titan", 64), cfg).launch.makespan;
+  const sim::Time t256 = run_ep(opts("titan", 256), cfg).launch.makespan;
+  EXPECT_GT(t64 / t256, 3.0);  // near-linear for EP
+}
+
+}  // namespace
+}  // namespace impacc

@@ -1,0 +1,955 @@
+// Tests for the threaded-MPI library: point-to-point semantics,
+// collectives, communicators, Cartesian topology.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "impacc.h"
+#include "ult/sync.h"
+
+namespace impacc::mpi {
+namespace {
+
+core::LaunchOptions options_psg() {
+  core::LaunchOptions o;
+  o.cluster = sim::make_psg();
+  o.scheduler_workers = 1;  // keep gtest assertions single-threaded
+  return o;
+}
+
+core::LaunchOptions options_titan(int nodes) {
+  core::LaunchOptions o;
+  o.cluster = sim::make_titan(nodes);
+  o.scheduler_workers = 1;
+  return o;
+}
+
+TEST(Mpi, WorldRankAndSize) {
+  std::vector<int> seen(8, 0);
+  launch(options_psg(), [&seen] {
+    auto w = world();
+    EXPECT_EQ(comm_size(w), 8);  // PSG: 8 GPUs -> 8 tasks
+    const int r = comm_rank(w);
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, 8);
+    seen[static_cast<std::size_t>(r)] += 1;
+  });
+  for (int c : seen) EXPECT_EQ(c, 1);  // every rank exactly once
+}
+
+TEST(Mpi, BlockingSendRecvCarriesDataAndStatus) {
+  launch(options_psg(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    if (r == 0) {
+      std::vector<int> data(50);
+      std::iota(data.begin(), data.end(), 100);
+      send(data.data(), 50, Datatype::kInt, 1, 42, w);
+    } else if (r == 1) {
+      std::vector<int> data(64, 0);  // larger recv buffer is legal
+      MpiStatus st;
+      recv(data.data(), 64, Datatype::kInt, 0, 42, w, &st);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 42);
+      EXPECT_EQ(st.bytes, 200u);
+      EXPECT_EQ(data[0], 100);
+      EXPECT_EQ(data[49], 149);
+    }
+  });
+}
+
+TEST(Mpi, NonOvertakingOrderSameTag) {
+  launch(options_psg(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    if (r == 0) {
+      for (int i = 0; i < 20; ++i) send(&i, 1, Datatype::kInt, 1, 5, w);
+    } else if (r == 1) {
+      for (int i = 0; i < 20; ++i) {
+        int v = -1;
+        recv(&v, 1, Datatype::kInt, 0, 5, w);
+        EXPECT_EQ(v, i);  // MPI FIFO per (src, dst, tag)
+      }
+    }
+  });
+}
+
+TEST(Mpi, TagSelectionAcrossReorderedSends) {
+  launch(options_psg(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    if (r == 0) {
+      const int a = 1;
+      const int b = 2;
+      send(&a, 1, Datatype::kInt, 1, 10, w);
+      send(&b, 1, Datatype::kInt, 1, 20, w);
+    } else if (r == 1) {
+      int v20 = 0;
+      int v10 = 0;
+      recv(&v20, 1, Datatype::kInt, 0, 20, w);  // picks the tag-20 message
+      recv(&v10, 1, Datatype::kInt, 0, 10, w);
+      EXPECT_EQ(v20, 2);
+      EXPECT_EQ(v10, 1);
+    }
+  });
+}
+
+TEST(Mpi, WildcardSourceAndTag) {
+  launch(options_psg(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    const int size = comm_size(w);
+    if (r == 0) {
+      int sum = 0;
+      for (int i = 1; i < size; ++i) {
+        int v = 0;
+        MpiStatus st;
+        recv(&v, 1, Datatype::kInt, kAnySource, kAnyTag, w, &st);
+        EXPECT_EQ(st.source, v);   // each task sends its own rank
+        EXPECT_EQ(st.tag, v + 7);  // with tag rank+7
+        sum += v;
+      }
+      EXPECT_EQ(sum, size * (size - 1) / 2);
+    } else {
+      send(&r, 1, Datatype::kInt, 0, r + 7, w);
+    }
+  });
+}
+
+TEST(Mpi, EagerSendBufferReusableImmediately) {
+  launch(options_psg(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    if (r == 0) {
+      int v = 111;
+      send(&v, 1, Datatype::kInt, 1, 1, w);  // eager: completes pre-match
+      v = 999;  // reuse must not corrupt the in-flight message
+      send(&v, 1, Datatype::kInt, 1, 2, w);
+    } else if (r == 1) {
+      int a = 0;
+      int b = 0;
+      recv(&a, 1, Datatype::kInt, 0, 1, w);
+      recv(&b, 1, Datatype::kInt, 0, 2, w);
+      EXPECT_EQ(a, 111);
+      EXPECT_EQ(b, 999);
+    }
+  });
+}
+
+TEST(Mpi, LargeRendezvousMessage) {
+  launch(options_psg(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    constexpr int kN = 1 << 16;  // 256 KB > eager threshold
+    if (r == 2) {
+      std::vector<int> data(kN);
+      std::iota(data.begin(), data.end(), 0);
+      send(data.data(), kN, Datatype::kInt, 3, 9, w);
+    } else if (r == 3) {
+      std::vector<int> data(kN, -1);
+      recv(data.data(), kN, Datatype::kInt, 2, 9, w);
+      EXPECT_EQ(data[0], 0);
+      EXPECT_EQ(data[kN - 1], kN - 1);
+    }
+  });
+}
+
+TEST(Mpi, IsendIrecvWaitallAndTest) {
+  launch(options_psg(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    const int size = comm_size(w);
+    const int peer = r ^ 1;
+    if (peer >= size) return;
+    std::vector<double> out(128, static_cast<double>(r));
+    std::vector<double> in(128, -1);
+    Request rr = irecv(in.data(), 128, Datatype::kDouble, peer, 3, w);
+    Request sr = isend(out.data(), 128, Datatype::kDouble, peer, 3, w);
+    std::vector<Request> reqs = {sr, rr};
+    waitall(reqs);
+    EXPECT_DOUBLE_EQ(in[64], static_cast<double>(peer));
+    // A consumed request behaves like MPI_REQUEST_NULL.
+    EXPECT_TRUE(reqs[0].null());
+    Request null_req;
+    EXPECT_TRUE(test(null_req));
+  });
+}
+
+TEST(Mpi, SendToSelf) {
+  launch(options_psg(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    int v = r * 3;
+    int got = -1;
+    Request rr = irecv(&got, 1, Datatype::kInt, r, 8, w);
+    send(&v, 1, Datatype::kInt, r, 8, w);
+    wait(rr);
+    EXPECT_EQ(got, r * 3);
+  });
+}
+
+TEST(Mpi, InternodeTransfersOnTitan) {
+  launch(options_titan(4), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    const int size = comm_size(w);
+    EXPECT_EQ(size, 4);  // 1 GPU per Titan node
+    // Ring of large (rendezvous) messages across nodes.
+    std::vector<long> out(10000, r);
+    std::vector<long> in(10000, -1);
+    sendrecv(out.data(), 10000, Datatype::kLong, (r + 1) % size, 1, in.data(),
+             10000, Datatype::kLong, (r + size - 1) % size, 1, w);
+    EXPECT_EQ(in[0], (r + size - 1) % size);
+    EXPECT_EQ(in[9999], (r + size - 1) % size);
+  });
+}
+
+// --- Collectives, parameterized over task layouts --------------------------------
+
+struct CollectiveCase {
+  const char* system;
+  int nodes;
+};
+
+class Collectives : public ::testing::TestWithParam<CollectiveCase> {
+ protected:
+  core::LaunchOptions opts() {
+    core::LaunchOptions o;
+    o.cluster = sim::make_system(GetParam().system, GetParam().nodes);
+    o.scheduler_workers = 1;
+    return o;
+  }
+};
+
+TEST_P(Collectives, Barrier) {
+  ult::SpinLock lock;
+  int arrived = 0;
+  bool violation = false;
+  launch(opts(), [&] {
+    auto w = world();
+    const int size = comm_size(w);
+    for (int round = 0; round < 3; ++round) {
+      lock.lock();
+      ++arrived;
+      lock.unlock();
+      barrier(w);
+      lock.lock();
+      if (arrived < size * (round + 1)) violation = true;
+      lock.unlock();
+      barrier(w);
+    }
+  });
+  EXPECT_FALSE(violation);
+}
+
+TEST_P(Collectives, BcastFromEveryRoot) {
+  launch(opts(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    const int size = comm_size(w);
+    for (int root = 0; root < std::min(size, 4); ++root) {
+      std::vector<int> buf(33, r == root ? root * 100 : -1);
+      bcast(buf.data(), 33, Datatype::kInt, root, w);
+      EXPECT_EQ(buf[0], root * 100);
+      EXPECT_EQ(buf[32], root * 100);
+    }
+  });
+}
+
+TEST_P(Collectives, ReduceAndAllreduce) {
+  launch(opts(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    const int size = comm_size(w);
+    double v[2] = {static_cast<double>(r), 1.0};
+    double sum[2] = {0, 0};
+    reduce(v, sum, 2, Datatype::kDouble, Op::kSum, 0, w);
+    if (r == 0) {
+      EXPECT_DOUBLE_EQ(sum[0], size * (size - 1) / 2.0);
+      EXPECT_DOUBLE_EQ(sum[1], size);
+    }
+    double mx = 0;
+    double vr = static_cast<double>(r);
+    allreduce(&vr, &mx, 1, Datatype::kDouble, Op::kMax, w);
+    EXPECT_DOUBLE_EQ(mx, size - 1.0);
+    long mn = 0;
+    long lr = 10 + r;
+    allreduce(&lr, &mn, 1, Datatype::kLong, Op::kMin, w);
+    EXPECT_EQ(mn, 10);
+  });
+}
+
+TEST_P(Collectives, GatherScatterRoundTrip) {
+  launch(opts(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    const int size = comm_size(w);
+    // Root scatters r*10+? chunks; everyone returns them via gather.
+    std::vector<int> sbuf;
+    if (r == 0) {
+      sbuf.resize(static_cast<std::size_t>(size) * 4);
+      for (int i = 0; i < size * 4; ++i) sbuf[static_cast<std::size_t>(i)] = i;
+    }
+    std::vector<int> chunk(4, -1);
+    scatter(sbuf.data(), 4, Datatype::kInt, chunk.data(), 4, Datatype::kInt, 0,
+            w);
+    EXPECT_EQ(chunk[0], r * 4);
+    for (auto& c : chunk) c += 1000;
+    std::vector<int> gbuf(r == 0 ? static_cast<std::size_t>(size) * 4 : 0);
+    gather(chunk.data(), 4, Datatype::kInt, gbuf.data(), 4, Datatype::kInt, 0,
+           w);
+    if (r == 0) {
+      for (int i = 0; i < size * 4; ++i) {
+        EXPECT_EQ(gbuf[static_cast<std::size_t>(i)], 1000 + i);
+      }
+    }
+  });
+}
+
+TEST_P(Collectives, AllgatherAndAlltoall) {
+  launch(opts(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    const int size = comm_size(w);
+    std::vector<int> mine(2, r);
+    std::vector<int> all(static_cast<std::size_t>(size) * 2, -1);
+    allgather(mine.data(), 2, Datatype::kInt, all.data(), 2, Datatype::kInt,
+              w);
+    for (int i = 0; i < size; ++i) {
+      EXPECT_EQ(all[static_cast<std::size_t>(2 * i)], i);
+    }
+    std::vector<int> out(static_cast<std::size_t>(size));
+    std::vector<int> in(static_cast<std::size_t>(size), -1);
+    for (int i = 0; i < size; ++i) {
+      out[static_cast<std::size_t>(i)] = r * 100 + i;
+    }
+    alltoall(out.data(), 1, Datatype::kInt, in.data(), 1, Datatype::kInt, w);
+    for (int i = 0; i < size; ++i) {
+      EXPECT_EQ(in[static_cast<std::size_t>(i)], i * 100 + r);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, Collectives,
+    ::testing::Values(CollectiveCase{"psg", 1},      // 8 tasks, one node
+                      CollectiveCase{"titan", 5},    // 5 tasks, 5 nodes
+                      CollectiveCase{"beacon", 3},   // 12 tasks, 3 nodes
+                      CollectiveCase{"hetero", 0})); // Fig. 2 layout
+
+TEST(Mpi, ApplyOpCoversOperators) {
+  int a[3] = {1, 4, 0};
+  const int b[3] = {3, 2, 0};
+  apply_op(a, b, 3, Datatype::kInt, Op::kSum);
+  EXPECT_EQ(a[0], 4);
+  apply_op(a, b, 3, Datatype::kInt, Op::kMax);
+  EXPECT_EQ(a[1], 6);
+  int c[2] = {0b1100, 0b1010};
+  const int d[2] = {0b1010, 0b0110};
+  apply_op(c, d, 2, Datatype::kInt, Op::kBand);
+  EXPECT_EQ(c[0], 0b1000);
+  apply_op(c, d, 2, Datatype::kInt, Op::kBor);
+  EXPECT_EQ(c[1], 0b0110);  // (0b1010 & 0b0110) | 0b0110
+  double e[1] = {2.0};
+  const double f[1] = {3.0};
+  apply_op(e, f, 1, Datatype::kDouble, Op::kProd);
+  EXPECT_DOUBLE_EQ(e[0], 6.0);
+}
+
+// --- Communicators ----------------------------------------------------------------
+
+TEST(Comm, DupIsolatesMatching) {
+  launch(options_psg(), [] {
+    auto w = world();
+    auto w2 = comm_dup(w);
+    const int r = comm_rank(w);
+    EXPECT_EQ(comm_rank(w2), r);
+    EXPECT_EQ(comm_size(w2), comm_size(w));
+    // A message on w2 must not match a recv on w.
+    if (r == 0) {
+      int v1 = 1;
+      int v2 = 2;
+      send(&v1, 1, Datatype::kInt, 1, 77, w2);
+      send(&v2, 1, Datatype::kInt, 1, 77, w);
+    } else if (r == 1) {
+      int got_w = 0;
+      int got_w2 = 0;
+      recv(&got_w, 1, Datatype::kInt, 0, 77, w);
+      recv(&got_w2, 1, Datatype::kInt, 0, 77, w2);
+      EXPECT_EQ(got_w, 2);
+      EXPECT_EQ(got_w2, 1);
+    }
+  });
+}
+
+TEST(Comm, SplitByParity) {
+  launch(options_psg(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    auto sub = comm_split(w, r % 2, r);
+    ASSERT_NE(sub, nullptr);
+    EXPECT_EQ(comm_size(sub), 4);
+    EXPECT_EQ(comm_rank(sub), r / 2);
+    // Reduction stays within the split group.
+    int v = 1;
+    int total = 0;
+    allreduce(&v, &total, 1, Datatype::kInt, Op::kSum, sub);
+    EXPECT_EQ(total, 4);
+  });
+}
+
+TEST(Comm, SplitUndefinedColor) {
+  launch(options_psg(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    auto sub = comm_split(w, r == 0 ? -1 : 0, r);
+    if (r == 0) {
+      EXPECT_EQ(sub, nullptr);
+    } else {
+      ASSERT_NE(sub, nullptr);
+      EXPECT_EQ(comm_size(sub), comm_size(w) - 1);
+    }
+  });
+}
+
+// --- Cartesian topology ------------------------------------------------------------
+
+TEST(Cart, CoordsRanksAndShifts) {
+  launch(options_psg(), [] {
+    auto w = world();
+    auto* cart = cart_create(w, {2, 2, 2}, {0, 0, 0});
+    const int r = comm_rank(w);
+    const auto c = cart->coords(r);
+    EXPECT_EQ(cart->rank_at(c), r);
+    int src = 0;
+    int dst = 0;
+    cart->shift(r, 0, 1, &src, &dst);
+    if (c[0] == 0) {
+      EXPECT_EQ(src, -1);  // MPI_PROC_NULL analog
+      EXPECT_EQ(dst, cart->rank_at({1, c[1], c[2]}));
+    }
+    if (c[0] == 1) {
+      EXPECT_EQ(dst, -1);
+    }
+  });
+}
+
+TEST(Cart, PeriodicWraps) {
+  launch(options_titan(4), [] {
+    auto w = world();
+    auto* cart = cart_create(w, {4}, {1});
+    const int r = comm_rank(w);
+    int src = 0;
+    int dst = 0;
+    cart->shift(r, 0, 1, &src, &dst);
+    EXPECT_EQ(dst, (r + 1) % 4);
+    EXPECT_EQ(src, (r + 3) % 4);
+    // Neighbour exchange over the periodic ring.
+    int got = -1;
+    sendrecv(&r, 1, Datatype::kInt, dst, 2, &got, 1, Datatype::kInt, src, 2,
+             cart);
+    EXPECT_EQ(got, (r + 3) % 4);
+  });
+}
+
+}  // namespace
+}  // namespace impacc::mpi
+
+namespace impacc::mpi {
+namespace {
+
+// --- Extended p2p surface ------------------------------------------------------------
+
+TEST(MpiExt, SsendForcesRendezvousCompletion) {
+  launch(options_psg(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    if (r == 0) {
+      // A small message that would normally be eager: ssend must not
+      // complete before the receive is posted, but must still carry data.
+      int v = 77;
+      ssend(&v, 1, Datatype::kInt, 1, 3, w);
+    } else if (r == 1) {
+      int got = 0;
+      recv(&got, 1, Datatype::kInt, 0, 3, w);
+      EXPECT_EQ(got, 77);
+    }
+  });
+}
+
+TEST(MpiExt, WaitanyReturnsACompletedRequest) {
+  launch(options_psg(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    if (r == 0) {
+      int v = 5;
+      send(&v, 1, Datatype::kInt, 1, 9, w);
+    } else if (r == 1) {
+      int a = 0;
+      int b = 0;
+      Request reqs[2];
+      reqs[0] = irecv(&a, 1, Datatype::kInt, 1, 8, w);  // never satisfied yet
+      reqs[1] = irecv(&b, 1, Datatype::kInt, 0, 9, w);
+      MpiStatus st;
+      const int idx = waitany(reqs, 2, &st);
+      EXPECT_EQ(idx, 1);
+      EXPECT_EQ(b, 5);
+      EXPECT_EQ(st.tag, 9);
+      EXPECT_TRUE(reqs[1].null());
+      EXPECT_FALSE(reqs[0].null());
+      // Satisfy the dangling receive (a self-send) so the run drains.
+      int v = 1;
+      Request sr = isend(&v, 1, Datatype::kInt, 1, 8, w);
+      wait(reqs[0]);
+      wait(sr);
+      EXPECT_EQ(a, 1);
+    }
+  });
+}
+
+TEST(MpiExt, WaitanyAllNullReturnsUndefined) {
+  launch(options_psg(), [] {
+    Request reqs[3];
+    EXPECT_EQ(waitany(reqs, 3), -1);
+  });
+}
+
+TEST(MpiExt, TestallConsumesOnlyWhenAllDone) {
+  launch(options_psg(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    if (r > 1) return;
+    const int peer = 1 - r;
+    int out = r;
+    int in = -1;
+    Request reqs[2];
+    reqs[0] = isend(&out, 1, Datatype::kInt, peer, 4, w);
+    reqs[1] = irecv(&in, 1, Datatype::kInt, peer, 4, w);
+    while (!testall(reqs, 2)) {
+      // progress happens on the handler; spin through the scheduler
+    }
+    EXPECT_TRUE(reqs[0].null());
+    EXPECT_TRUE(reqs[1].null());
+    EXPECT_EQ(in, peer);
+  });
+}
+
+TEST(MpiExt, ProbeReportsPendingMessageWithoutReceiving) {
+  launch(options_psg(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    if (r == 0) {
+      double vals[3] = {1, 2, 3};
+      send(vals, 3, Datatype::kDouble, 1, 21, w);
+    } else if (r == 1) {
+      MpiStatus st;
+      probe(0, 21, w, &st);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 21);
+      // MPI_Get_count idiom: size the receive from the probe.
+      const int count = get_count(st, Datatype::kDouble);
+      EXPECT_EQ(count, 3);
+      std::vector<double> buf(static_cast<std::size_t>(count));
+      recv(buf.data(), count, Datatype::kDouble, 0, 21, w);
+      EXPECT_DOUBLE_EQ(buf[2], 3.0);
+    }
+  });
+}
+
+TEST(MpiExt, ProbeBlocksUntilMessageArrives) {
+  launch(options_psg(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    if (r == 2) {
+      MpiStatus st;
+      probe(kAnySource, kAnyTag, w, &st);  // posted before the send exists
+      EXPECT_EQ(st.source, 3);
+      int v = 0;
+      recv(&v, 1, Datatype::kInt, st.source, st.tag, w);
+      EXPECT_EQ(v, 42);
+    } else if (r == 3) {
+      int v = 42;
+      send(&v, 1, Datatype::kInt, 2, 5, w);
+    }
+  });
+}
+
+TEST(MpiExt, IprobeAnswersWithoutBlocking) {
+  launch(options_psg(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    if (r == 0) {
+      // Nothing has been sent to us: iprobe must say no and return.
+      EXPECT_FALSE(iprobe(1, 7, w));
+      int v = 1;
+      send(&v, 1, Datatype::kInt, 1, 7, w);
+    } else if (r == 1) {
+      // Wait for the message to be pending, then iprobe must say yes.
+      MpiStatus st;
+      while (!iprobe(0, 7, w, &st)) {
+      }
+      EXPECT_EQ(st.bytes, 4u);
+      int v = 0;
+      recv(&v, 1, Datatype::kInt, 0, 7, w);
+    }
+  });
+}
+
+// --- Extended collectives --------------------------------------------------------------
+
+TEST_P(Collectives, ScanComputesInclusivePrefix) {
+  launch(opts(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    long v[2] = {static_cast<long>(r) + 1, 1};
+    long prefix[2] = {0, 0};
+    scan(v, prefix, 2, Datatype::kLong, Op::kSum, w);
+    EXPECT_EQ(prefix[0], static_cast<long>(r + 1) * (r + 2) / 2);
+    EXPECT_EQ(prefix[1], r + 1);
+    double m = static_cast<double>(r);
+    double mx = -1;
+    scan(&m, &mx, 1, Datatype::kDouble, Op::kMax, w);
+    EXPECT_DOUBLE_EQ(mx, static_cast<double>(r));
+  });
+}
+
+TEST_P(Collectives, ReduceScatterBlock) {
+  launch(opts(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    const int size = comm_size(w);
+    // Every rank contributes vector [0, 1, 2, ...*size*2) scaled by 1;
+    // block i reduces to size * (2i, 2i+1).
+    std::vector<int> contrib(static_cast<std::size_t>(2 * size));
+    for (int i = 0; i < 2 * size; ++i) {
+      contrib[static_cast<std::size_t>(i)] = i;
+    }
+    int mine[2] = {-1, -1};
+    reduce_scatter_block(contrib.data(), mine, 2, Datatype::kInt, Op::kSum, w);
+    EXPECT_EQ(mine[0], size * (2 * r));
+    EXPECT_EQ(mine[1], size * (2 * r + 1));
+  });
+}
+
+}  // namespace
+}  // namespace impacc::mpi
+
+#include "mpi/datatype.h"
+
+namespace impacc::mpi {
+namespace {
+
+// --- Derived datatypes -----------------------------------------------------------------
+
+TEST(DerivedTypes, SizeAndExtent) {
+  const Datatype col = type_vector(4, 1, 8, Datatype::kDouble);
+  EXPECT_TRUE(is_derived(col));
+  EXPECT_FALSE(is_derived(Datatype::kDouble));
+  EXPECT_EQ(type_size(col), 4u * 8);            // 4 packed doubles
+  EXPECT_EQ(type_extent(col), (3u * 8 + 1) * 8);  // spans 25 doubles
+  const Datatype cont = type_contiguous(6, Datatype::kInt);
+  EXPECT_EQ(type_size(cont), 24u);
+  EXPECT_EQ(type_extent(cont), 24u);
+  EXPECT_EQ(type_size(Datatype::kFloat), 4u);
+}
+
+TEST(DerivedTypes, PackUnpackRoundTrip) {
+  // A 4x4 matrix column: 4 blocks of 1, stride 4.
+  const Datatype col = type_vector(4, 1, 4, Datatype::kInt);
+  int m[16];
+  for (int i = 0; i < 16; ++i) m[i] = i;
+  int packed[4] = {};
+  type_pack(packed, m + 1, 1, col);  // column 1
+  EXPECT_EQ(packed[0], 1);
+  EXPECT_EQ(packed[1], 5);
+  EXPECT_EQ(packed[2], 9);
+  EXPECT_EQ(packed[3], 13);
+  int out[16] = {};
+  type_unpack(out + 2, packed, 1, col);  // into column 2
+  EXPECT_EQ(out[2], 1);
+  EXPECT_EQ(out[6], 5);
+  EXPECT_EQ(out[14], 13);
+  EXPECT_EQ(out[0], 0);  // untouched
+}
+
+TEST(DerivedTypes, ColumnExchangeBetweenTasks) {
+  // Send a matrix column; receive it into a different column — the
+  // classic 2-D-decomposition halo pattern derived types exist for.
+  launch(options_psg(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    constexpr int kN = 8;
+    const Datatype col = type_vector(kN, 1, kN, Datatype::kDouble);
+    if (r == 0) {
+      double m[kN * kN];
+      for (int i = 0; i < kN * kN; ++i) m[i] = i;
+      send(&m[3], 1, col, 1, 6, w);  // column 3
+    } else if (r == 1) {
+      double m[kN * kN] = {};
+      MpiStatus st;
+      recv(&m[0], 1, col, 0, 6, w, &st);  // into column 0
+      EXPECT_EQ(get_count(st, Datatype::kDouble), kN);
+      for (int row = 0; row < kN; ++row) {
+        EXPECT_DOUBLE_EQ(m[row * kN], row * kN + 3.0) << "row " << row;
+        if (row > 0) {
+          EXPECT_DOUBLE_EQ(m[row * kN + 1], 0.0);  // untouched
+        }
+      }
+    }
+  });
+}
+
+TEST(DerivedTypes, StridedToContiguousAndBack) {
+  launch(options_psg(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    const Datatype vec = type_vector(3, 2, 5, Datatype::kInt);  // 6 ints
+    if (r == 0) {
+      int src[15];
+      for (int i = 0; i < 15; ++i) src[i] = 100 + i;
+      send(src, 1, vec, 1, 1, w);  // strided -> wire
+    } else if (r == 1) {
+      int flat[6] = {};
+      recv(flat, 6, Datatype::kInt, 0, 1, w);  // wire -> contiguous
+      const int expect[6] = {100, 101, 105, 106, 110, 111};
+      for (int i = 0; i < 6; ++i) EXPECT_EQ(flat[i], expect[i]);
+      // And back out as strided on the next exchange.
+      send(flat, 6, Datatype::kInt, 2, 2, w);
+    } else if (r == 2) {
+      int dst[15] = {};
+      recv(dst, 1, vec, 1, 2, w);  // contiguous wire -> strided
+      EXPECT_EQ(dst[0], 100);
+      EXPECT_EQ(dst[1], 101);
+      EXPECT_EQ(dst[5], 105);
+      EXPECT_EQ(dst[10], 110);
+      EXPECT_EQ(dst[2], 0);  // gap untouched
+    }
+  });
+}
+
+TEST(DerivedTypes, MultipleInstances) {
+  launch(options_psg(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    // Two instances of (2 blocks of 1, stride 2): covers instance-extent
+    // addressing.
+    const Datatype t = type_vector(2, 1, 2, Datatype::kInt);
+    if (r == 0) {
+      int src[8] = {0, 1, 2, 3, 4, 5, 6, 7};
+      send(src, 2, t, 1, 9, w);  // packs {0,2} and {4,6}... wait: see below
+    } else if (r == 1) {
+      int flat[4] = {};
+      recv(flat, 4, Datatype::kInt, 0, 9, w);
+      // Instance 0 starts at 0: elements 0 and 2. Instance 1 starts at
+      // extent (3 ints... i.e. element 3): elements 3 and 5.
+      EXPECT_EQ(flat[0], 0);
+      EXPECT_EQ(flat[1], 2);
+      EXPECT_EQ(flat[2], 3);
+      EXPECT_EQ(flat[3], 5);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace impacc::mpi
+
+#include "core/message.h"
+#include "mpi/matcher.h"
+
+namespace impacc::mpi {
+namespace {
+
+// --- Matcher unit tests (direct, no runtime) ---------------------------------------
+
+core::MsgCommand* make_send(int src, int dst, int tag, int ctx = 1) {
+  auto* c = new core::MsgCommand;
+  c->kind = core::MsgCommand::Kind::kSend;
+  c->src_task = src;
+  c->dst_task = dst;
+  c->tag = tag;
+  c->context_id = ctx;
+  return c;
+}
+
+core::MsgCommand* make_recv(int src, int dst, int tag, int ctx = 1) {
+  auto* c = new core::MsgCommand;
+  c->kind = core::MsgCommand::Kind::kRecv;
+  c->src_task = src;
+  c->dst_task = dst;
+  c->src_match_tag = tag;
+  c->context_id = ctx;
+  return c;
+}
+
+TEST(Matcher, FifoPerSourceAndTag) {
+  Matcher m;
+  auto* s1 = make_send(0, 1, 5);
+  auto* s2 = make_send(0, 1, 5);
+  EXPECT_EQ(m.submit(s1), nullptr);
+  EXPECT_EQ(m.submit(s2), nullptr);
+  EXPECT_EQ(m.pending_sends(1), 2u);
+  auto* r1 = make_recv(0, 1, 5);
+  EXPECT_EQ(m.submit(r1), s1);  // the OLDER send matches first
+  auto* r2 = make_recv(0, 1, 5);
+  EXPECT_EQ(m.submit(r2), s2);
+  EXPECT_TRUE(m.drained());
+  delete s1; delete s2; delete r1; delete r2;
+}
+
+TEST(Matcher, WildcardsAndContextIsolation) {
+  Matcher m;
+  auto* other_ctx = make_send(0, 1, 5, /*ctx=*/2);
+  EXPECT_EQ(m.submit(other_ctx), nullptr);
+  auto* r_any = make_recv(kAnySource, 1, kAnyTag, /*ctx=*/1);
+  // The context-2 send must NOT match a context-1 wildcard receive.
+  EXPECT_EQ(m.submit(r_any), nullptr);
+  auto* s = make_send(3, 1, 9, /*ctx=*/1);
+  EXPECT_EQ(m.submit(s), r_any);  // wildcard matches src 3 / tag 9
+  EXPECT_EQ(m.pending_sends(1), 1u);  // the foreign-context send remains
+  delete other_ctx; delete r_any; delete s;
+}
+
+TEST(Matcher, ProbesSeePendingSendsWithoutConsuming) {
+  Matcher m;
+  auto* s = make_send(2, 4, 7);
+  m.submit(s);
+  core::MsgCommand probe;
+  probe.kind = core::MsgCommand::Kind::kProbe;
+  probe.src_task = 2;
+  probe.dst_task = 4;
+  probe.src_match_tag = 7;
+  probe.context_id = 1;
+  EXPECT_EQ(m.find_pending_send(probe), s);
+  EXPECT_EQ(m.pending_sends(4), 1u);  // still queued
+  probe.src_match_tag = 8;
+  EXPECT_EQ(m.find_pending_send(probe), nullptr);
+  delete s;
+}
+
+TEST(Matcher, ParkedProbesWakeOnMatchingSend) {
+  Matcher m;
+  auto* p = new core::MsgCommand;
+  p->kind = core::MsgCommand::Kind::kProbe;
+  p->src_task = kAnySource;
+  p->dst_task = 3;
+  p->src_match_tag = kAnyTag;
+  p->context_id = 1;
+  m.store_probe(p);
+  auto* s = make_send(1, 3, 2);
+  const auto woken = m.take_matching_probes(*s);
+  ASSERT_EQ(woken.size(), 1u);
+  EXPECT_EQ(woken[0], p);
+  EXPECT_TRUE(m.take_matching_probes(*s).empty());  // consumed
+  delete p; delete s;
+}
+
+// --- Misuse aborts (the runtime's contract checks) -----------------------------------
+
+using MpiDeathTest = ::testing::Test;
+
+TEST(MpiDeathTest, TruncationAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(
+      {
+        core::LaunchOptions o;
+        o.cluster = sim::make_psg();
+        o.scheduler_workers = 1;
+        launch(o, [] {
+          auto w = world();
+          const int r = comm_rank(w);
+          if (r == 0) {
+            int big[8] = {};
+            send(big, 8, Datatype::kInt, 1, 1, w);
+          } else if (r == 1) {
+            int tiny[2];
+            recv(tiny, 2, Datatype::kInt, 0, 1, w);  // too small: abort
+          }
+        });
+      },
+      "truncation");
+}
+
+TEST(MpiDeathTest, InvalidRankAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(
+      {
+        core::LaunchOptions o;
+        o.cluster = sim::make_titan(2);
+        o.scheduler_workers = 1;
+        launch(o, [] {
+          int v = 0;
+          send(&v, 1, Datatype::kInt, 99, 1, world());  // no rank 99
+        });
+      },
+      "");
+}
+
+}  // namespace
+}  // namespace impacc::mpi
+
+namespace impacc::mpi {
+namespace {
+
+TEST(Mpi, GathervScattervWithUnevenCounts) {
+  launch(options_psg(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    const int size = comm_size(w);
+    // Rank i contributes i+1 ints.
+    std::vector<int> counts(static_cast<std::size_t>(size));
+    std::vector<int> displs(static_cast<std::size_t>(size));
+    int total = 0;
+    for (int i = 0; i < size; ++i) {
+      counts[static_cast<std::size_t>(i)] = i + 1;
+      displs[static_cast<std::size_t>(i)] = total;
+      total += i + 1;
+    }
+    std::vector<int> mine(static_cast<std::size_t>(r + 1), r * 10);
+    std::vector<int> all(static_cast<std::size_t>(r == 0 ? total : 0));
+    gatherv(mine.data(), r + 1, Datatype::kInt, all.data(), counts.data(),
+            displs.data(), Datatype::kInt, 0, w);
+    if (r == 0) {
+      for (int i = 0; i < size; ++i) {
+        for (int k = 0; k < i + 1; ++k) {
+          EXPECT_EQ(all[static_cast<std::size_t>(
+                        displs[static_cast<std::size_t>(i)] + k)],
+                    i * 10);
+        }
+      }
+      // Mutate and scatter back.
+      for (int& v : all) v += 1;
+    }
+    std::vector<int> back(static_cast<std::size_t>(r + 1), -1);
+    scatterv(all.data(), counts.data(), displs.data(), Datatype::kInt,
+             back.data(), r + 1, Datatype::kInt, 0, w);
+    EXPECT_EQ(back[0], r * 10 + 1);
+    EXPECT_EQ(back[static_cast<std::size_t>(r)], r * 10 + 1);
+  });
+}
+
+TEST(Comm, SplitOrdersByKeyThenParentRank) {
+  launch(options_psg(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    // Everyone in one color, keys reversed: new rank order flips.
+    auto sub = comm_split(w, 0, comm_size(w) - r);
+    ASSERT_NE(sub, nullptr);
+    EXPECT_EQ(comm_rank(sub), comm_size(w) - 1 - r);
+  });
+}
+
+TEST(Mpi, SendrecvWithSelfAndDistinctTags) {
+  launch(options_psg(), [] {
+    auto w = world();
+    const int r = comm_rank(w);
+    double out = r * 1.5;
+    double in = -1;
+    sendrecv(&out, 1, Datatype::kDouble, r, 11, &in, 1, Datatype::kDouble, r,
+             11, w);
+    EXPECT_DOUBLE_EQ(in, r * 1.5);
+  });
+}
+
+}  // namespace
+}  // namespace impacc::mpi

@@ -1,0 +1,263 @@
+// Unit tests for the virtual-time substrate: cost models, topology
+// presets (Table 1), interconnect model.
+#include <gtest/gtest.h>
+
+#include "sim/costmodel.h"
+#include "sim/netmodel.h"
+#include "sim/systems.h"
+#include "sim/vclock.h"
+
+namespace impacc::sim {
+namespace {
+
+TEST(VClock, AdvanceAndMerge) {
+  VirtualClock c;
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+  c.advance(1.5);
+  EXPECT_DOUBLE_EQ(c.now(), 1.5);
+  c.advance(-1.0);  // negative durations are ignored
+  EXPECT_DOUBLE_EQ(c.now(), 1.5);
+  c.merge(1.0);  // merging an earlier time is a no-op
+  EXPECT_DOUBLE_EQ(c.now(), 1.5);
+  c.merge(3.0);
+  EXPECT_DOUBLE_EQ(c.now(), 3.0);
+}
+
+TEST(LinkModel, LatencyDominatesSmallBandwidthDominatesLarge) {
+  LinkModel link{from_us(10), 10e9};
+  // 64 B: essentially latency.
+  EXPECT_NEAR(link.time(64), from_us(10), from_us(0.1));
+  // 1 GB: essentially bandwidth.
+  EXPECT_NEAR(link.time(1000000000), 0.1, 0.001);
+  // Effective bandwidth grows monotonically with size (Fig. 8/9 curves).
+  double prev = 0;
+  for (std::uint64_t s = 64; s <= (1u << 30); s *= 4) {
+    const double bw = gbps(static_cast<double>(s), link.time(s));
+    EXPECT_GT(bw, prev);
+    prev = bw;
+  }
+}
+
+TEST(CostModel, NearBeatsFarOnMultiSocketNodes) {
+  const ClusterDesc psg = make_psg();
+  const NodeDesc& node = psg.nodes[0];
+  const DeviceDesc& dev = node.devices[0];
+  for (std::uint64_t bytes : {64ull, 1ull << 20, 1ull << 30}) {
+    EXPECT_LT(pcie_copy_time(node, dev, bytes, true),
+              pcie_copy_time(node, dev, bytes, false));
+  }
+  // Large-transfer ratio approaches 1/numa_far_bw_factor (paper: up to
+  // 3.5x on Beacon, Fig. 8).
+  const ClusterDesc beacon = make_beacon(1);
+  const NodeDesc& bnode = beacon.nodes[0];
+  const DeviceDesc& bdev = bnode.devices[0];
+  const double ratio = pcie_copy_time(bnode, bdev, 1ull << 30, false) /
+                       pcie_copy_time(bnode, bdev, 1ull << 30, true);
+  EXPECT_NEAR(ratio, 1.0 / bnode.numa_far_bw_factor, 0.2);
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST(CostModel, SingleSocketNodesHaveNoNumaPenalty) {
+  const ClusterDesc titan = make_titan(1);
+  const NodeDesc& node = titan.nodes[0];
+  const DeviceDesc& dev = node.devices[0];
+  EXPECT_DOUBLE_EQ(pcie_copy_time(node, dev, 1 << 20, true),
+                   pcie_copy_time(node, dev, 1 << 20, false));
+}
+
+TEST(CostModel, PeerCopyEligibility) {
+  const ClusterDesc psg = make_psg();
+  const auto& devs = psg.nodes[0].devices;
+  // Devices 0-3 share root complex 0; 4-7 share root complex 1.
+  EXPECT_TRUE(peer_copy_possible(devs[0], devs[1]));
+  EXPECT_TRUE(peer_copy_possible(devs[4], devs[7]));
+  EXPECT_FALSE(peer_copy_possible(devs[0], devs[4]));
+  // OpenCL-backed MICs never peer-copy (no GPUDirect analog).
+  const ClusterDesc beacon = make_beacon(1);
+  EXPECT_FALSE(
+      peer_copy_possible(beacon.nodes[0].devices[0], beacon.nodes[0].devices[1]));
+}
+
+TEST(CostModel, PeerDtoDSubstantiallyBeatsBaselineStagedDtoD) {
+  // Fig. 9 (c): IMPACC shows ~8x higher DtoD bandwidth on PSG because the
+  // baseline pays DtoH + 2x HtoH (IPC) + HtoD.
+  const ClusterDesc psg = make_psg();
+  const NodeDesc& node = psg.nodes[0];
+  const auto& d0 = node.devices[0];
+  const auto& d1 = node.devices[1];
+  const std::uint64_t bytes = 64ull << 20;
+  const Time peer = peer_copy_time(d0, d1, bytes);
+  const Time baseline = staged_dtod_time(node, d0, d1, bytes, true) +
+                        psg.costs.ipc_message_overhead +
+                        host_copy_time(node, bytes);
+  EXPECT_GT(baseline / peer, 4.0);
+}
+
+TEST(CostModel, KernelRoofline) {
+  DeviceDesc dev;
+  dev.flops_dp = 1e12;
+  dev.mem_bandwidth = 1e11;
+  dev.kernel_launch_overhead = from_us(8);
+  // Compute-bound kernel.
+  EXPECT_NEAR(kernel_time(dev, 1e9, 1e3), from_us(8) + 1e-3, 1e-6);
+  // Memory-bound kernel.
+  EXPECT_NEAR(kernel_time(dev, 1e3, 1e9), from_us(8) + 1e-2, 1e-6);
+  // Launch overhead floors tiny kernels.
+  EXPECT_GE(kernel_time(dev, 1, 1), from_us(8));
+}
+
+TEST(NetModel, RdmaSkipsHostStaging) {
+  const ClusterDesc titan = make_titan(2);
+  const NodeDesc& node = titan.nodes[0];
+  BufferPlace dev_src{&node, &node.devices[0], true};
+  BufferPlace dev_dst{&node, &node.devices[0], true};
+  BufferPlace host{&node, nullptr, true};
+  const std::uint64_t bytes = 4 << 20;
+
+  FabricDesc rdma = titan.fabric;
+  rdma.gpudirect_rdma = true;
+  FabricDesc staged = titan.fabric;
+  staged.gpudirect_rdma = false;
+
+  const Time t_rdma = internode_transfer_time(rdma, dev_src, dev_dst, bytes);
+  const Time t_staged =
+      internode_transfer_time(staged, dev_src, dev_dst, bytes);
+  const Time t_host = internode_transfer_time(rdma, host, host, bytes);
+  EXPECT_LT(t_rdma, t_staged);
+  // With RDMA, device buffers ride the wire like host buffers.
+  EXPECT_DOUBLE_EQ(t_rdma, t_host);
+  // Staging adds exactly two PCIe hops.
+  EXPECT_NEAR(t_staged - t_rdma,
+              2 * pcie_copy_time(node, node.devices[0], bytes, true), 1e-12);
+}
+
+TEST(NetModel, EagerThreshold) {
+  const ClusterDesc psg = make_psg();
+  EXPECT_TRUE(is_eager(psg.fabric, 1024));
+  EXPECT_TRUE(is_eager(psg.fabric, kEagerThreshold));
+  EXPECT_FALSE(is_eager(psg.fabric, kEagerThreshold + 1));
+}
+
+// --- Table 1 presets ------------------------------------------------------------
+
+TEST(Systems, PsgMatchesTable1) {
+  const ClusterDesc c = make_psg();
+  EXPECT_EQ(c.name, "PSG");
+  ASSERT_EQ(c.num_nodes(), 1);
+  const NodeDesc& n = c.nodes[0];
+  EXPECT_EQ(n.sockets, 2);                      // 2x E5-2698 v3
+  EXPECT_EQ(n.host_mem_bytes, 256ull << 30);    // 256 GB
+  ASSERT_EQ(n.devices.size(), 8u);              // 8x GK210
+  for (const auto& d : n.devices) {
+    EXPECT_EQ(d.kind, DeviceKind::kNvidiaGpu);
+    EXPECT_EQ(d.backend, BackendKind::kCudaLike);
+    EXPECT_EQ(d.mem_bytes, 12ull << 30);        // 12 GB GDDR5
+    EXPECT_NEAR(d.pcie.bandwidth, 12e9, 1e9);   // PCIe gen3 x16
+  }
+  EXPECT_EQ(c.fabric.name, "Mellanox InfiniBand FDR");
+  EXPECT_FALSE(c.fabric.gpudirect_rdma);
+  EXPECT_TRUE(c.mpi_thread_multiple);  // MVAPICH2 2.0
+}
+
+TEST(Systems, BeaconMatchesTable1) {
+  const ClusterDesc c = make_beacon();
+  EXPECT_EQ(c.name, "Beacon");
+  ASSERT_EQ(c.num_nodes(), 32);  // paper uses 32 of 48 nodes
+  const NodeDesc& n = c.nodes[0];
+  ASSERT_EQ(n.devices.size(), 4u);  // 4x Xeon Phi 5110P
+  for (const auto& d : n.devices) {
+    EXPECT_EQ(d.kind, DeviceKind::kXeonPhi);
+    EXPECT_EQ(d.backend, BackendKind::kOpenClLike);
+    EXPECT_EQ(d.mem_bytes, 8ull << 30);        // 8 GB
+    EXPECT_NEAR(d.pcie.bandwidth, 6e9, 1e9);   // PCIe gen2 x16
+    EXPECT_EQ(d.exec_units, 60);               // 60 x86 cores
+  }
+  EXPECT_TRUE(c.mpi_thread_multiple);  // Intel MPI 5.0
+}
+
+TEST(Systems, TitanMatchesTable1) {
+  const ClusterDesc c = make_titan();
+  EXPECT_EQ(c.name, "Titan");
+  ASSERT_EQ(c.num_nodes(), 8192);  // paper uses 8192 of 18688 nodes
+  const NodeDesc& n = c.nodes[0];
+  EXPECT_EQ(n.sockets, 1);                    // AMD Opteron 6274
+  EXPECT_EQ(n.host_mem_bytes, 32ull << 30);   // 32 GB
+  ASSERT_EQ(n.devices.size(), 1u);            // 1x K20x
+  EXPECT_EQ(n.devices[0].mem_bytes, 6ull << 30);
+  EXPECT_EQ(c.fabric.name, "Cray Gemini");
+  EXPECT_TRUE(c.fabric.gpudirect_rdma);  // exploited via Cray MPICH2
+}
+
+TEST(Systems, HeterogeneousDemoMatchesFig2) {
+  const ClusterDesc c = make_heterogeneous_demo();
+  ASSERT_EQ(c.num_nodes(), 3);
+  EXPECT_EQ(c.nodes[0].devices.size(), 2u);  // 2 GPUs
+  EXPECT_EQ(c.nodes[1].devices.size(), 3u);  // GPU + 2 MICs
+  EXPECT_EQ(c.nodes[2].devices.size(), 1u);  // CPU-only node
+  EXPECT_EQ(c.nodes[2].devices[0].kind, DeviceKind::kCpu);
+}
+
+TEST(Systems, LookupByName) {
+  EXPECT_EQ(make_system("psg").name, "PSG");
+  EXPECT_EQ(make_system("beacon", 4).num_nodes(), 4);
+  EXPECT_EQ(make_system("titan", 16).num_nodes(), 16);
+}
+
+TEST(Systems, CpuDeviceIsHostShared) {
+  const DeviceDesc d = make_cpu_device(0, 16, 2.3);
+  EXPECT_EQ(d.kind, DeviceKind::kCpu);
+  EXPECT_EQ(d.backend, BackendKind::kHostShared);
+  EXPECT_GT(d.flops_dp, 0);
+}
+
+}  // namespace
+}  // namespace impacc::sim
+
+#include "sim/trace.h"
+
+namespace impacc::sim {
+namespace {
+
+TEST(TraceSink, RecordsAndSerializes) {
+  TraceSink sink;
+  EXPECT_EQ(sink.size(), 0u);
+  sink.record(0, "dev0 q1", "kernel-a", "kernel", from_us(10), from_us(25));
+  sink.record(1, "mpi", "msg 0->1 (64B)", "intranode", from_us(5),
+              from_us(7));
+  ASSERT_EQ(sink.size(), 2u);
+  const auto events = sink.snapshot();
+  EXPECT_EQ(events[0].pid, 0);
+  EXPECT_EQ(events[0].tid, "dev0 q1");
+  EXPECT_DOUBLE_EQ(events[1].end - events[1].start, from_us(2));
+  const std::string json = sink.to_chrome_json();
+  EXPECT_NE(json.find("\"name\":\"kernel-a\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":10.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":15.000"), std::string::npos);
+}
+
+TEST(TraceSink, EscapesJsonSpecials) {
+  TraceSink sink;
+  sink.record(0, "t", "quote\"back\\slash\nnl", "c", 0, 1);
+  const std::string json = sink.to_chrome_json();
+  EXPECT_NE(json.find("quote\\\"back\\\\slash\\nnl"), std::string::npos);
+}
+
+TEST(TraceSink, WritesFile) {
+  TraceSink sink;
+  sink.record(2, "x", "op", "copy", 0, from_us(1));
+  const std::string path = "/tmp/impacc_trace_test.json";
+  ASSERT_TRUE(sink.write_file(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[512] = {};
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  ASSERT_GT(n, 2u);
+  EXPECT_EQ(buf[0], '[');
+  EXPECT_NE(std::string(buf).find("\"pid\":2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace impacc::sim

@@ -1,0 +1,256 @@
+// Stress and property tests: randomized message storms, multi-worker
+// scheduler pressure, eager/rendezvous boundary sweeps, collective
+// sequences — the failure modes unit tests are too polite to hit.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <vector>
+
+#include "apps/dgemm.h"
+#include "common/checksum.h"
+#include "impacc.h"
+#include "ult/sync.h"
+
+namespace impacc {
+namespace {
+
+core::LaunchOptions opts(const char* system, int nodes, int workers = 1) {
+  core::LaunchOptions o;
+  o.cluster = sim::make_system(system, nodes);
+  o.scheduler_workers = workers;
+  return o;
+}
+
+/// Deterministic payload for (src, sequence) so receivers can verify
+/// without any side channel.
+std::uint64_t payload(int src, int seq) {
+  return fnv1a(&src, sizeof(src)) ^ (static_cast<std::uint64_t>(seq) << 32 |
+                                     static_cast<unsigned>(seq));
+}
+
+TEST(Stress, RandomMessageStormDeliversExactlyOnce) {
+  // Every rank draws the SAME seeded schedule of (src, dst, size, tag)
+  // messages, so each receiver knows exactly what to post — the storm
+  // covers random sizes straddling the eager threshold, self-sends, and
+  // interleaved posting orders.
+  constexpr int kMessages = 300;
+  std::atomic<int> errors{0};
+  launch(opts("psg", 1), [&errors] {
+    auto w = mpi::world();
+    const int rank = mpi::comm_rank(w);
+    const int size = mpi::comm_size(w);
+
+    struct Msg {
+      int src;
+      int dst;
+      int words;
+      int tag;
+    };
+    std::mt19937 rng(20160531);  // HPDC'16 ;-)
+    std::vector<Msg> schedule;
+    schedule.reserve(kMessages);
+    for (int m = 0; m < kMessages; ++m) {
+      Msg msg;
+      msg.src = static_cast<int>(rng() % static_cast<unsigned>(size));
+      msg.dst = static_cast<int>(rng() % static_cast<unsigned>(size));
+      // 1 word .. ~4K words: straddles the 8 KiB eager threshold.
+      msg.words = 1 + static_cast<int>(rng() % 4096);
+      msg.tag = static_cast<int>(rng() % 64);
+      schedule.push_back(msg);
+    }
+
+    // Post every receive first (non-blocking), then every send.
+    std::vector<std::vector<std::uint64_t>> inboxes;
+    std::vector<mpi::Request> recvs;
+    std::vector<int> recv_ids;
+    for (int m = 0; m < kMessages; ++m) {
+      if (schedule[static_cast<std::size_t>(m)].dst != rank) continue;
+      const Msg& msg = schedule[static_cast<std::size_t>(m)];
+      inboxes.emplace_back(static_cast<std::size_t>(msg.words), 0);
+      recvs.push_back(mpi::irecv(inboxes.back().data(), msg.words,
+                                 mpi::Datatype::kUint64, msg.src,
+                                 msg.tag * 1000 + m, w));
+      recv_ids.push_back(m);
+    }
+    std::vector<std::vector<std::uint64_t>> outboxes;
+    std::vector<mpi::Request> sends;
+    for (int m = 0; m < kMessages; ++m) {
+      if (schedule[static_cast<std::size_t>(m)].src != rank) continue;
+      const Msg& msg = schedule[static_cast<std::size_t>(m)];
+      outboxes.emplace_back(static_cast<std::size_t>(msg.words),
+                            payload(msg.src, m));
+      sends.push_back(mpi::isend(outboxes.back().data(), msg.words,
+                                 mpi::Datatype::kUint64, msg.dst,
+                                 msg.tag * 1000 + m, w));
+    }
+    mpi::waitall(sends);
+    mpi::waitall(recvs);
+
+    for (std::size_t i = 0; i < inboxes.size(); ++i) {
+      const Msg& msg = schedule[static_cast<std::size_t>(recv_ids[i])];
+      const std::uint64_t expect = payload(msg.src, recv_ids[i]);
+      for (std::uint64_t v : inboxes[i]) {
+        if (v != expect) {
+          errors.fetch_add(1);
+          break;
+        }
+      }
+    }
+    mpi::barrier(w);
+  });
+  EXPECT_EQ(errors.load(), 0);
+}
+
+TEST(Stress, MultiWorkerSchedulerKeepsResultsExact) {
+  // Four OS workers under the fiber scheduler: the park/unpark and
+  // done-accounting protocols get real concurrency. Results must be
+  // bit-identical to the single-worker run.
+  auto run = [](int workers) {
+    apps::DgemmConfig cfg;
+    cfg.n = 48;
+    auto o = opts("psg", 1, workers);
+    return apps::run_dgemm(o, cfg).checksum;
+  };
+  const double single = run(1);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    EXPECT_EQ(run(4), single) << "repeat " << repeat;
+  }
+}
+
+TEST(Stress, ManyFibersMutexCondvarPingPong) {
+  ult::Scheduler sched(4);
+  constexpr int kPairs = 64;
+  constexpr int kRounds = 100;
+  std::atomic<long> total{0};
+  for (int p = 0; p < kPairs; ++p) {
+    auto* mutex = new ult::FiberMutex;
+    auto* cv = new ult::FiberCondVar;
+    auto* turn = new int(0);
+    for (int side = 0; side < 2; ++side) {
+      sched.spawn([mutex, cv, turn, side, &total] {
+        for (int r = 0; r < kRounds; ++r) {
+          ult::FiberLock lock(*mutex);
+          cv->wait(*mutex, [turn, side] { return *turn % 2 == side; });
+          ++*turn;
+          total.fetch_add(1);
+          cv->notify_all();
+        }
+      });
+    }
+  }
+  sched.wait_all();
+  EXPECT_EQ(total.load(), 2L * kPairs * kRounds);
+  // (The per-pair allocations are deliberately leaked: the scheduler may
+  // still be tearing down; a test, not a resource-managed subsystem.)
+}
+
+TEST(Stress, EagerRendezvousBoundarySweep) {
+  // Byte sizes straddling the 8 KiB eager threshold, intra- and
+  // internode; data must arrive intact on both protocol paths.
+  for (const char* system : {"psg", "titan"}) {
+    const int nodes = system[0] == 't' ? 2 : 1;
+    std::atomic<int> errors{0};
+    launch(opts(system, nodes), [&errors] {
+      auto w = mpi::world();
+      const int rank = mpi::comm_rank(w);
+      for (int bytes :
+           {1, 8, 8191, 8192, 8193, 65536, 1 << 20}) {
+        const int n = bytes;  // kByte elements
+        if (rank == 0) {
+          std::vector<unsigned char> buf(static_cast<std::size_t>(n));
+          for (int i = 0; i < n; ++i) {
+            buf[static_cast<std::size_t>(i)] =
+                static_cast<unsigned char>((i * 13 + bytes) & 0xff);
+          }
+          mpi::send(buf.data(), n, mpi::Datatype::kByte, 1, bytes & 0xffff, w);
+        } else if (rank == 1) {
+          std::vector<unsigned char> buf(static_cast<std::size_t>(n), 0);
+          mpi::recv(buf.data(), n, mpi::Datatype::kByte, 0, bytes & 0xffff, w);
+          for (int i = 0; i < n; ++i) {
+            if (buf[static_cast<std::size_t>(i)] !=
+                static_cast<unsigned char>((i * 13 + bytes) & 0xff)) {
+              errors.fetch_add(1);
+              break;
+            }
+          }
+        }
+      }
+    });
+    EXPECT_EQ(errors.load(), 0) << system;
+  }
+}
+
+TEST(Stress, RandomCollectiveSequence) {
+  // A seeded sequence of collectives with varying roots and sizes; every
+  // result is checkable from rank ids alone.
+  std::atomic<int> errors{0};
+  launch(opts("beacon", 2), [&errors] {
+    auto w = mpi::world();
+    const int rank = mpi::comm_rank(w);
+    const int size = mpi::comm_size(w);
+    std::mt19937 rng(7);  // same stream on every rank
+    for (int step = 0; step < 40; ++step) {
+      const int kind = static_cast<int>(rng() % 5);
+      const int root = static_cast<int>(rng() % static_cast<unsigned>(size));
+      const int count = 1 + static_cast<int>(rng() % 128);
+      switch (kind) {
+        case 0: {
+          std::vector<long> buf(static_cast<std::size_t>(count),
+                                rank == root ? step : -1);
+          mpi::bcast(buf.data(), count, mpi::Datatype::kLong, root, w);
+          if (buf[0] != step || buf.back() != step) errors.fetch_add(1);
+          break;
+        }
+        case 1: {
+          long v = rank + step;
+          long sum = 0;
+          mpi::allreduce(&v, &sum, 1, mpi::Datatype::kLong, mpi::Op::kSum, w);
+          const long expect =
+              static_cast<long>(size) * step + size * (size - 1) / 2;
+          if (sum != expect) errors.fetch_add(1);
+          break;
+        }
+        case 2: {
+          long v = rank * 2 + step;
+          long mx = 0;
+          mpi::reduce(&v, &mx, 1, mpi::Datatype::kLong, mpi::Op::kMax, root,
+                      w);
+          if (rank == root && mx != (size - 1) * 2 + step) errors.fetch_add(1);
+          break;
+        }
+        case 3: {
+          long v = rank + 1;
+          long prefix = 0;
+          mpi::scan(&v, &prefix, 1, mpi::Datatype::kLong, mpi::Op::kSum, w);
+          if (prefix != static_cast<long>(rank + 1) * (rank + 2) / 2) {
+            errors.fetch_add(1);
+          }
+          break;
+        }
+        default:
+          mpi::barrier(w);
+          break;
+      }
+    }
+  });
+  EXPECT_EQ(errors.load(), 0);
+}
+
+TEST(Stress, BackToBackLaunchesAreIndependent) {
+  // Runtimes must tear down completely: repeated launches on one process
+  // (the pattern every benchmark binary uses) cannot leak state.
+  for (int i = 0; i < 5; ++i) {
+    const auto r = launch(opts("titan", 3), [] {
+      auto w = mpi::world();
+      int v = mpi::comm_rank(w);
+      int sum = 0;
+      mpi::allreduce(&v, &sum, 1, mpi::Datatype::kInt, mpi::Op::kSum, w);
+    });
+    EXPECT_EQ(r.num_tasks, 3);
+    EXPECT_GT(r.makespan, 0);
+  }
+}
+
+}  // namespace
+}  // namespace impacc

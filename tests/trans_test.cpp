@@ -1,0 +1,438 @@
+// Tests for the directive translator: lexer, pragma parser, code
+// generation, MPI rewriting, and whole-source translation of the paper's
+// Fig. 4 (c) example.
+#include <gtest/gtest.h>
+
+#include "trans/lexer.h"
+#include "trans/pragma_parser.h"
+#include "trans/translator.h"
+
+namespace impacc::trans {
+namespace {
+
+// --- lexer -----------------------------------------------------------------------
+
+TEST(Lexer, TokenizesIdentifiersNumbersPunct) {
+  const auto toks = tokenize("acc mpi sendbuf(device) async(1)");
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_EQ(toks[0].text, "acc");
+  EXPECT_EQ(toks[0].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[3].text, "(");
+  EXPECT_EQ(toks[3].kind, TokKind::kPunct);
+  EXPECT_EQ(toks.back().kind, TokKind::kEnd);
+}
+
+TEST(Lexer, MatchDelimHandlesNestingAndStrings) {
+  const std::string s = R"(f(a, g(b, ")("), 'x'))";
+  const std::size_t close = match_delim(s, 1);
+  EXPECT_EQ(close, s.size() - 1);
+  EXPECT_EQ(match_delim("(unbalanced", 0), std::string::npos);
+}
+
+TEST(Lexer, SplitArgsRespectsNesting) {
+  const auto args = split_args("a, f(b, c), d[1, 2], \"e,f\"");
+  ASSERT_EQ(args.size(), 4u);
+  EXPECT_EQ(args[0], "a");
+  EXPECT_EQ(args[1], "f(b, c)");
+  EXPECT_EQ(args[2], "d[1, 2]");
+}
+
+// --- pragma parser -----------------------------------------------------------------
+
+TEST(PragmaParser, ParsesKernelsLoopWithClauses) {
+  std::string err;
+  auto d = parse_pragma("acc kernels loop copyout(buf0[0:n]) async(1)", 1,
+                        &err);
+  ASSERT_TRUE(d.has_value()) << err;
+  EXPECT_EQ(d->kind, DirectiveKind::kParallelLoop);
+  const Clause* co = d->find("copyout");
+  ASSERT_NE(co, nullptr);
+  ASSERT_EQ(co->subarrays.size(), 1u);
+  EXPECT_EQ(co->subarrays[0].var, "buf0");
+  EXPECT_EQ(co->subarrays[0].first, "0");
+  EXPECT_EQ(co->subarrays[0].count, "n");
+  const Clause* as = d->find("async");
+  ASSERT_NE(as, nullptr);
+  EXPECT_EQ(as->args[0], "1");
+}
+
+TEST(PragmaParser, ParsesTheImpaccMpiDirective) {
+  // The exact syntax of section 3.5.
+  std::string err;
+  auto d = parse_pragma("acc mpi sendbuf(device, readonly) async(2)", 3, &err);
+  ASSERT_TRUE(d.has_value()) << err;
+  EXPECT_EQ(d->kind, DirectiveKind::kMpi);
+  const Clause* sb = d->find("sendbuf");
+  ASSERT_NE(sb, nullptr);
+  ASSERT_EQ(sb->args.size(), 2u);
+  EXPECT_EQ(sb->args[0], "device");
+  EXPECT_EQ(sb->args[1], "readonly");
+}
+
+TEST(PragmaParser, ParsesDataAndUpdateAndWait) {
+  std::string err;
+  auto data = parse_pragma("acc data copyin(a[0:n]) copyout(b[0:m])", 1, &err);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->kind, DirectiveKind::kData);
+
+  auto update = parse_pragma("acc update self(x[0:k]) async(3)", 2, &err);
+  ASSERT_TRUE(update.has_value());
+  EXPECT_EQ(update->kind, DirectiveKind::kUpdate);
+
+  auto wait = parse_pragma("acc wait(1)", 3, &err);
+  ASSERT_TRUE(wait.has_value());
+  EXPECT_EQ(wait->kind, DirectiveKind::kWait);
+  ASSERT_NE(wait->find("wait"), nullptr);
+  EXPECT_EQ(wait->find("wait")->args[0], "1");
+
+  auto enter = parse_pragma("acc enter data copyin(y[0:2])", 4, &err);
+  ASSERT_TRUE(enter.has_value());
+  EXPECT_EQ(enter->kind, DirectiveKind::kEnterData);
+}
+
+TEST(PragmaParser, RejectsNonAccAndMalformed) {
+  std::string err;
+  EXPECT_FALSE(parse_pragma("omp parallel for", 1, &err).has_value());
+  EXPECT_TRUE(err.empty());  // not ours, no error
+  EXPECT_FALSE(parse_pragma("acc bogus_directive", 1, &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+// --- codegen / whole source ----------------------------------------------------------
+
+TEST(Translator, Fig4cUnifiedActivityQueueExample) {
+  // The paper's Fig. 4 (c) — the IMPACC unified activity queue version.
+  const char* src = R"(
+#pragma acc kernels loop copyout(buf0[0:n]) async(1)
+for (i = 0; i < n; i++) { buf0[i] = produce(i); }
+#pragma acc mpi sendbuf(device) async(1)
+MPI_Isend(buf0, n, MPI_DOUBLE, peer, 5, MPI_COMM_WORLD, &req[0]);
+#pragma acc mpi recvbuf(device) async(1)
+MPI_Irecv(buf1, n, MPI_DOUBLE, peer, 5, MPI_COMM_WORLD, &req[1]);
+#pragma acc kernels loop copyin(buf1[0:n]) async(1)
+for (i = 0; i < n; i++) { consume(buf1[i]); }
+)";
+  const auto r = translate_source(src);
+  ASSERT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors[0]);
+  EXPECT_EQ(r.directives_translated, 4);
+  EXPECT_EQ(r.mpi_calls_translated, 2);
+  EXPECT_NE(r.output.find("impacc::acc::parallel_loop"), std::string::npos);
+  EXPECT_NE(r.output.find(
+                "impacc::acc::mpi({.send_device = true, .async = 1})"),
+            std::string::npos);
+  EXPECT_NE(r.output.find(
+                "impacc::acc::mpi({.recv_device = true, .async = 1})"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("req[0] = impacc::mpi::isend(buf0, n, "
+                          "impacc::mpi::Datatype::kDouble, peer, 5, "
+                          "impacc::mpi::world())"),
+            std::string::npos);
+  // Device-pointer substitution in the kernel body.
+  EXPECT_NE(r.output.find("buf0 = static_cast<decltype(buf0)>("
+                          "impacc::acc::deviceptr(buf0))"),
+            std::string::npos);
+}
+
+TEST(Translator, ReadonlyRecvCapturesPointerAddress) {
+  const char* src = R"(
+#pragma acc mpi recvbuf(readonly)
+MPI_Recv(dst, 10, MPI_DOUBLE, 0, 9, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+)";
+  const auto r = translate_source(src);
+  ASSERT_TRUE(r.ok);
+  EXPECT_NE(r.output.find(".recv_readonly = true"), std::string::npos);
+  EXPECT_NE(r.output.find(".recv_ptr_addr = reinterpret_cast<void**>(&(dst))"),
+            std::string::npos);
+}
+
+TEST(Translator, DataRegionEmitsEnterAndExitAtBraces) {
+  const char* src = R"(
+#pragma acc data copyin(a[0:n]) copyout(c[0:n])
+{
+  use(a, c);
+}
+)";
+  const auto r = translate_source(src);
+  ASSERT_TRUE(r.ok);
+  const auto enter = r.output.find("impacc::acc::copyin(a");
+  const auto use = r.output.find("use(a, c);");
+  const auto exit = r.output.find("impacc::acc::copyout(c");
+  const auto del = r.output.find("impacc::acc::del(a)");
+  ASSERT_NE(enter, std::string::npos);
+  ASSERT_NE(use, std::string::npos);
+  ASSERT_NE(exit, std::string::npos);
+  ASSERT_NE(del, std::string::npos);
+  EXPECT_LT(enter, use);
+  EXPECT_LT(use, exit);
+}
+
+TEST(Translator, UpdateAndWaitAndEnterExitData) {
+  const char* src = R"(
+#pragma acc enter data copyin(x[0:n])
+#pragma acc update device(x[0:n]) async(2)
+#pragma acc update self(x[5:10])
+#pragma acc wait(2)
+#pragma acc exit data delete(x[0:n])
+)";
+  const auto r = translate_source(src);
+  ASSERT_TRUE(r.ok);
+  EXPECT_NE(r.output.find("impacc::acc::update_device(x, (n) * sizeof(*(x)), 2)"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("impacc::acc::update_self((x) + (5), (10) * "
+                          "sizeof(*(x))"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("impacc::acc::wait(2)"), std::string::npos);
+  EXPECT_NE(r.output.find("impacc::acc::del(x)"), std::string::npos);
+}
+
+TEST(Translator, PlainMpiCallsAndConstantsAreRewritten) {
+  const char* src = R"(
+int rank, size;
+MPI_Init(&argc, &argv);
+MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+MPI_Comm_size(MPI_COMM_WORLD, &size);
+MPI_Allreduce(in, out, 4, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+MPI_Barrier(MPI_COMM_WORLD);
+MPI_Finalize();
+)";
+  const auto r = translate_source(src);
+  ASSERT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors[0]);
+  EXPECT_EQ(r.mpi_calls_translated, 6);
+  EXPECT_NE(r.output.find("rank = impacc::mpi::comm_rank(impacc::mpi::world())"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("impacc::mpi::Op::kSum"), std::string::npos);
+  EXPECT_NE(r.output.find("/* MPI_Init handled by impacc::launch */"),
+            std::string::npos);
+}
+
+TEST(Translator, ForLoopWithDeclarationAndLessEqual) {
+  const char* src = R"(
+#pragma acc parallel loop present(v)
+for (int j = 2; j <= m; j++) v[j] = j;
+)";
+  const auto r = translate_source(src);
+  ASSERT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors[0]);
+  EXPECT_NE(r.output.find("((m) + 1) - (2)"), std::string::npos);
+  EXPECT_NE(r.output.find("long j = (2) + j__it"), std::string::npos);
+}
+
+TEST(Translator, ReportsErrors) {
+  const auto bad_loop = translate_source(
+      "#pragma acc parallel loop\nwhile (x) { }\n");
+  EXPECT_FALSE(bad_loop.ok);
+  ASSERT_FALSE(bad_loop.errors.empty());
+  EXPECT_NE(bad_loop.errors[0].find("for loop"), std::string::npos);
+
+  const auto bad_mpi = translate_source(
+      "#pragma acc mpi sendbuf(device)\nnot_mpi();\n");
+  EXPECT_FALSE(bad_mpi.ok);
+
+  const auto bad_routine =
+      translate_source("MPI_Put(a, b, c);\n");
+  EXPECT_FALSE(bad_routine.ok);
+  EXPECT_NE(bad_routine.errors[0].find("unsupported MPI routine"),
+            std::string::npos);
+}
+
+TEST(Translator, LeavesUnrelatedCodeIntact) {
+  const char* src =
+      "// MPI_Send in a comment stays\n"
+      "const char* s = \"MPI_Recv in a string stays\";\n"
+      "int x = compute(1, 2);\n";
+  const auto r = translate_source(src);
+  ASSERT_TRUE(r.ok);
+  EXPECT_NE(r.output.find("MPI_Send in a comment stays"), std::string::npos);
+  EXPECT_NE(r.output.find("MPI_Recv in a string stays"), std::string::npos);
+  EXPECT_NE(r.output.find("int x = compute(1, 2);"), std::string::npos);
+  EXPECT_EQ(r.mpi_calls_translated, 0);
+}
+
+TEST(Translator, CustomNamespacePrefix) {
+  TranslateOptions opt;
+  opt.api_ns = "myimpacc";
+  const auto r = translate_source("MPI_Barrier(MPI_COMM_WORLD);\n", opt);
+  ASSERT_TRUE(r.ok);
+  EXPECT_NE(r.output.find("myimpacc::mpi::barrier(myimpacc::mpi::world())"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace impacc::trans
+
+namespace impacc::trans {
+namespace {
+
+TEST(Translator, HostDataUseDeviceShadowsVariables) {
+  // The standard GPU-aware-MPI idiom: inside host_data use_device(x),
+  // host code (e.g. MPI calls) sees the device address of x.
+  const char* src = R"(
+#pragma acc host_data use_device(sendbuf, recvbuf)
+{
+  MPI_Send(sendbuf, n, MPI_DOUBLE, peer, 0, MPI_COMM_WORLD);
+  MPI_Recv(recvbuf, n, MPI_DOUBLE, peer, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+}
+after(sendbuf);
+)";
+  const auto r = translate_source(src);
+  ASSERT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors[0]);
+  // Device pointers picked up in the outer scope...
+  EXPECT_NE(r.output.find("auto __impacc_hd_sendbuf = "
+                          "static_cast<decltype(sendbuf)>("
+                          "impacc::acc::deviceptr(sendbuf))"),
+            std::string::npos);
+  // ...shadow declarations inside the region...
+  EXPECT_NE(r.output.find("auto sendbuf = __impacc_hd_sendbuf;"),
+            std::string::npos);
+  // ...and the MPI calls were rewritten too.
+  EXPECT_EQ(r.mpi_calls_translated, 2);
+  // Code after the region is untouched.
+  EXPECT_NE(r.output.find("after(sendbuf);"), std::string::npos);
+}
+
+TEST(Translator, HostDataBracesBalance) {
+  const char* src =
+      "#pragma acc host_data use_device(x)\n{ use(x); }\ntail();\n";
+  const auto r = translate_source(src);
+  ASSERT_TRUE(r.ok);
+  long depth = 0;
+  for (char c : r.output) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_NE(r.output.find("tail();"), std::string::npos);
+}
+
+TEST(Translator, NestedDataRegions) {
+  const char* src = R"(
+#pragma acc data copyin(a[0:n])
+{
+#pragma acc data copyout(b[0:m])
+  {
+    use(a, b);
+  }
+}
+)";
+  const auto r = translate_source(src);
+  ASSERT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors[0]);
+  // Inner region exits (copyout b) before the outer (del a).
+  const auto out_b = r.output.find("impacc::acc::copyout(b");
+  const auto del_a = r.output.find("impacc::acc::del(a)");
+  ASSERT_NE(out_b, std::string::npos);
+  ASSERT_NE(del_a, std::string::npos);
+  EXPECT_LT(out_b, del_a);
+}
+
+TEST(Translator, UnclosedDataRegionIsAnError) {
+  const auto r = translate_source("#pragma acc data copyin(a[0:n])\n{ x();\n");
+  EXPECT_FALSE(r.ok);
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_NE(r.errors[0].find("unclosed"), std::string::npos);
+}
+
+TEST(Translator, SsendAndAllgatherRewrites) {
+  const auto r = translate_source(
+      "MPI_Allgather(s, 1, MPI_INT, r, 1, MPI_INT, MPI_COMM_WORLD);\n"
+      "MPI_Scatter(s, 1, MPI_INT, r, 1, MPI_INT, 0, MPI_COMM_WORLD);\n");
+  ASSERT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors[0]);
+  EXPECT_NE(r.output.find("impacc::mpi::allgather("), std::string::npos);
+  EXPECT_NE(r.output.find("impacc::mpi::scatter("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace impacc::trans
+
+namespace impacc::trans {
+namespace {
+
+TEST(Translator, ExtendedMpiRoutineRewrites) {
+  const char* src = R"(
+MPI_Ssend(buf, 4, MPI_INT, 1, 0, MPI_COMM_WORLD);
+MPI_Scan(in, out, 2, MPI_LONG, MPI_SUM, MPI_COMM_WORLD);
+MPI_Probe(0, 5, MPI_COMM_WORLD, &st);
+MPI_Iprobe(0, 5, MPI_COMM_WORLD, &flag, &st);
+MPI_Get_count(&st, MPI_DOUBLE, &count);
+MPI_Waitany(4, reqs, &idx, MPI_STATUS_IGNORE);
+MPI_Type_vector(4, 1, 8, MPI_DOUBLE, &coltype);
+MPI_Type_commit(&coltype);
+MPI_Type_contiguous(3, MPI_INT, &trip);
+)";
+  const auto r = translate_source(src);
+  ASSERT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors[0]);
+  EXPECT_NE(r.output.find("impacc::mpi::ssend(buf"), std::string::npos);
+  EXPECT_NE(r.output.find("impacc::mpi::scan(in, out"), std::string::npos);
+  EXPECT_NE(r.output.find("impacc::mpi::probe(0, 5"), std::string::npos);
+  EXPECT_NE(r.output.find("flag = impacc::mpi::iprobe(0, 5"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("count = impacc::mpi::get_count(st, "
+                          "impacc::mpi::Datatype::kDouble)"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("idx = impacc::mpi::waitany(reqs, 4, nullptr)"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("coltype = impacc::mpi::type_vector(4, 1, 8, "
+                          "impacc::mpi::Datatype::kDouble)"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("trip = impacc::mpi::type_contiguous(3"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("MPI_Type_commit: types are immediately usable"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace impacc::trans
+
+namespace impacc::trans {
+namespace {
+
+TEST(Translator, BackslashContinuationLines) {
+  const char* src =
+      "#pragma acc parallel loop \\\n"
+      "    copyin(v[0:n]) \\\n"
+      "    async(2)\n"
+      "for (i = 0; i < n; i++) { f(v[i]); }\n";
+  const auto r = translate_source(src);
+  ASSERT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors[0]);
+  EXPECT_NE(r.output.find("impacc::acc::copyin(v"), std::string::npos);
+  EXPECT_NE(r.output.find(", 2);"), std::string::npos);
+}
+
+TEST(Translator, NonAccPragmasPassThrough) {
+  const char* src = "#pragma once\n#pragma omp parallel\nint x;\n";
+  const auto r = translate_source(src);
+  ASSERT_TRUE(r.ok);
+  EXPECT_NE(r.output.find("#pragma once"), std::string::npos);
+  EXPECT_NE(r.output.find("#pragma omp parallel"), std::string::npos);
+}
+
+TEST(Translator, SingleStatementLoopBody) {
+  const char* src =
+      "#pragma acc kernels loop present(a)\n"
+      "for (k = 1; k < m; k++) a[k] = a[k - 1];\n";
+  const auto r = translate_source(src);
+  ASSERT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors[0]);
+  EXPECT_NE(r.output.find("(m) - (1)"), std::string::npos);
+  EXPECT_NE(r.output.find("long k = (1) + k__it"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace impacc::trans
+
+namespace impacc::trans {
+namespace {
+
+TEST(Translator, ReductionClauseCapturesByReference) {
+  const char* src = R"(
+#pragma acc parallel loop present(v[0:n]) reduction(+:sum) reduction(max:peak)
+for (i = 0; i < n; i++) { sum += v[i]; if (v[i] > peak) peak = v[i]; }
+)";
+  const auto r = translate_source(src);
+  ASSERT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors[0]);
+  // Reduction variables captured by reference; data vars as device ptrs.
+  EXPECT_NE(r.output.find(", &sum"), std::string::npos);
+  EXPECT_NE(r.output.find(", &peak"), std::string::npos);
+  EXPECT_NE(r.output.find("v = static_cast<decltype(v)>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace impacc::trans

@@ -1,0 +1,300 @@
+// Unit tests for the user-level thread substrate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "ult/scheduler.h"
+#include "ult/sync.h"
+
+namespace impacc::ult {
+namespace {
+
+TEST(Ult, RunsAndFinishesFibers) {
+  Scheduler sched(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    sched.spawn([&count] { count.fetch_add(1); });
+  }
+  sched.wait_all();
+  EXPECT_EQ(count.load(), 10);
+  EXPECT_EQ(sched.fibers_finished(), 10u);
+}
+
+TEST(Ult, CurrentIsNullOutsideFibers) { EXPECT_EQ(Scheduler::current(), nullptr); }
+
+TEST(Ult, CurrentIsSetInsideFiber) {
+  Scheduler sched(1);
+  std::atomic<bool> ok{false};
+  Fiber* spawned = sched.spawn([&ok] {
+    ok.store(Scheduler::current() != nullptr);
+  });
+  sched.wait_all();
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(spawned->state(), FiberState::kDone);
+}
+
+TEST(Ult, YieldInterleavesOnOneWorker) {
+  // With a single worker, two yielding fibers must alternate. Both are
+  // spawned from a parent fiber so they enter the run queue back-to-back
+  // (spawning from the main thread races the worker picking up the first).
+  Scheduler sched(1);
+  std::vector<int> order;
+  sched.spawn([&sched, &order] {
+    for (int id = 0; id < 2; ++id) {
+      sched.spawn([&sched, &order, id] {
+        for (int i = 0; i < 3; ++i) {
+          order.push_back(id);
+          sched.yield();
+        }
+      });
+    }
+  });
+  sched.wait_all();
+  ASSERT_EQ(order.size(), 6u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 0, 1, 0, 1}));
+}
+
+TEST(Ult, BlockUnblockRoundTrip) {
+  Scheduler sched(2);
+  std::atomic<Fiber*> sleeper{nullptr};
+  std::atomic<bool> woke{false};
+  sched.spawn([&] {
+    sleeper.store(Scheduler::current());
+    Scheduler::current()->scheduler()->block();
+    woke.store(true);
+  });
+  sched.spawn([&] {
+    while (sleeper.load() == nullptr) {
+      Scheduler::current()->scheduler()->yield();
+    }
+    // Unblock may race the sleeper's park; the protocol latches it.
+    sched.unblock(sleeper.load());
+  });
+  sched.wait_all();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(Ult, ManyFibersCheapStacks) {
+  // Thousands of fibers must work (the runtime spawns one per MPI task;
+  // Titan-scale runs use 8192). MAP_NORESERVE keeps this cheap.
+  Scheduler sched(2);
+  std::atomic<int> count{0};
+  constexpr int kFibers = 3000;
+  for (int i = 0; i < kFibers; ++i) {
+    sched.spawn([&count] { count.fetch_add(1); });
+  }
+  sched.wait_all();
+  EXPECT_EQ(count.load(), kFibers);
+}
+
+TEST(Ult, UserDataRoundTrip) {
+  Scheduler sched(1);
+  int payload = 42;
+  std::atomic<int> got{0};
+  sched.spawn([&got, &payload] {
+    Scheduler::current()->set_user_data(&payload);
+    got.store(*static_cast<int*>(Scheduler::current()->user_data()));
+  });
+  sched.wait_all();
+  EXPECT_EQ(got.load(), 42);
+}
+
+// --- FiberMutex ----------------------------------------------------------------
+
+TEST(UltSync, MutexProvidesMutualExclusion) {
+  Scheduler sched(4);
+  FiberMutex mutex;
+  long counter = 0;  // unsynchronized on purpose; the mutex must protect it
+  constexpr int kFibers = 16;
+  constexpr int kIters = 500;
+  for (int i = 0; i < kFibers; ++i) {
+    sched.spawn([&] {
+      for (int k = 0; k < kIters; ++k) {
+        FiberLock lock(mutex);
+        const long v = counter;
+        if (k % 8 == 0) Scheduler::current()->scheduler()->yield();
+        counter = v + 1;
+      }
+    });
+  }
+  sched.wait_all();
+  EXPECT_EQ(counter, static_cast<long>(kFibers) * kIters);
+}
+
+TEST(UltSync, TryLock) {
+  Scheduler sched(1);
+  FiberMutex mutex;
+  std::atomic<int> phase{0};
+  sched.spawn([&] {
+    EXPECT_TRUE(mutex.try_lock());
+    EXPECT_FALSE(mutex.try_lock());
+    mutex.unlock();
+    EXPECT_TRUE(mutex.try_lock());
+    mutex.unlock();
+    phase.store(1);
+  });
+  sched.wait_all();
+  EXPECT_EQ(phase.load(), 1);
+}
+
+// --- FiberCondVar ---------------------------------------------------------------
+
+TEST(UltSync, CondVarPredicateWait) {
+  Scheduler sched(2);
+  FiberMutex mutex;
+  FiberCondVar cv;
+  int stage = 0;
+  std::vector<int> log;
+  sched.spawn([&] {
+    FiberLock lock(mutex);
+    cv.wait(mutex, [&stage] { return stage == 1; });
+    log.push_back(2);
+  });
+  sched.spawn([&] {
+    FiberLock lock(mutex);
+    stage = 1;
+    log.push_back(1);
+    cv.notify_all();
+  });
+  sched.wait_all();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], 1);
+  EXPECT_EQ(log[1], 2);
+}
+
+// --- FiberBarrier ---------------------------------------------------------------
+
+TEST(UltSync, BarrierSynchronizesGenerations) {
+  Scheduler sched(3);
+  constexpr int kParties = 8;
+  constexpr int kRounds = 20;
+  FiberBarrier barrier(kParties);
+  std::atomic<int> in_round[kRounds] = {};
+  std::atomic<bool> violation{false};
+  for (int f = 0; f < kParties; ++f) {
+    sched.spawn([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        in_round[r].fetch_add(1);
+        barrier.arrive_and_wait();
+        // After the barrier, every fiber must have entered round r.
+        if (in_round[r].load() != kParties) violation.store(true);
+      }
+    });
+  }
+  sched.wait_all();
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(UltSync, BarrierElectsOneLeaderPerGeneration) {
+  Scheduler sched(2);
+  constexpr int kParties = 5;
+  constexpr int kRounds = 10;
+  FiberBarrier barrier(kParties);
+  std::atomic<int> leaders{0};
+  for (int f = 0; f < kParties; ++f) {
+    sched.spawn([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        if (barrier.arrive_and_wait()) leaders.fetch_add(1);
+      }
+    });
+  }
+  sched.wait_all();
+  EXPECT_EQ(leaders.load(), kRounds);
+}
+
+// --- FiberLatch / FiberEvent ------------------------------------------------------
+
+TEST(UltSync, LatchReleasesAtZero) {
+  Scheduler sched(2);
+  FiberLatch latch(3);
+  std::atomic<int> released{0};
+  for (int i = 0; i < 2; ++i) {
+    sched.spawn([&] {
+      latch.wait();
+      released.fetch_add(1);
+    });
+  }
+  sched.spawn([&] {
+    EXPECT_EQ(released.load(), 0);
+    latch.count_down(2);
+    latch.count_down(1);
+  });
+  sched.wait_all();
+  EXPECT_EQ(released.load(), 2);
+}
+
+TEST(UltSync, EventSetBeforeWaitDoesNotBlock) {
+  Scheduler sched(1);
+  FiberEvent ev;
+  std::atomic<bool> done{false};
+  sched.spawn([&] {
+    ev.set();
+    ev.wait_and_reset();  // already set: returns immediately
+    done.store(true);
+  });
+  sched.wait_all();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(UltSync, EventWakesWaiter) {
+  Scheduler sched(2);
+  FiberEvent ev;
+  std::atomic<int> seq{0};
+  sched.spawn([&] {
+    ev.wait_and_reset();
+    EXPECT_EQ(seq.load(), 1);
+    seq.store(2);
+  });
+  sched.spawn([&] {
+    seq.store(1);
+    ev.set();
+  });
+  sched.wait_all();
+  EXPECT_EQ(seq.load(), 2);
+}
+
+}  // namespace
+}  // namespace impacc::ult
+
+namespace impacc::ult {
+namespace {
+
+TEST(Ult, SpawnFromWithinAFiber) {
+  Scheduler sched(2);
+  std::atomic<int> grandchildren{0};
+  sched.spawn([&sched, &grandchildren] {
+    for (int i = 0; i < 8; ++i) {
+      sched.spawn([&sched, &grandchildren] {
+        sched.spawn([&grandchildren] { grandchildren.fetch_add(1); });
+      });
+    }
+  });
+  sched.wait_all();
+  EXPECT_EQ(grandchildren.load(), 8);
+  EXPECT_EQ(sched.fibers_spawned(), 17u);  // 1 + 8 + 8
+}
+
+TEST(Ult, WaitAllReturnsOnlyWhenEveryFiberFinished) {
+  // Regression test for the done-accounting race: fibers that block and
+  // then finish on a different worker must be counted exactly once.
+  for (int round = 0; round < 20; ++round) {
+    Scheduler sched(4);
+    std::atomic<int> done{0};
+    FiberEvent gate;
+    constexpr int kWaiters = 12;
+    for (int i = 0; i < kWaiters; ++i) {
+      sched.spawn([&gate, &done] {
+        gate.wait_and_reset();
+        gate.set();  // chain-release the next waiter
+        done.fetch_add(1);
+      });
+    }
+    sched.spawn([&gate] { gate.set(); });
+    sched.wait_all();
+    ASSERT_EQ(done.load(), kWaiters) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace impacc::ult

@@ -1,0 +1,71 @@
+// impacc-info: inspect system presets and the automatic task-device
+// mapping (the runtime-side view of Fig. 2).
+//
+//   impacc-info <system> [nodes] [device-type-mask]
+//     system: psg | beacon | titan | hetero
+//     mask:   e.g. "nvidia|xeonphi" (default: acc_device_default)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/mapping.h"
+#include "core/pinning.h"
+#include "impacc.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <psg|beacon|titan|hetero> [nodes] [mask]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string system = argv[1];
+  const int nodes = argc > 2 ? std::atoi(argv[2]) : 0;
+  const unsigned mask =
+      argc > 3 ? impacc::core::parse_device_type_mask(argv[3]) : 0;
+
+  const impacc::sim::ClusterDesc cluster =
+      impacc::sim::make_system(system, nodes);
+  std::printf("system: %s (%d nodes), fabric %s%s\n", cluster.name.c_str(),
+              cluster.num_nodes(), cluster.fabric.name.c_str(),
+              cluster.fabric.gpudirect_rdma ? " [GPUDirect RDMA]" : "");
+
+  const int shown_nodes = std::min(cluster.num_nodes(), 4);
+  for (int n = 0; n < shown_nodes; ++n) {
+    const auto& node = cluster.nodes[static_cast<std::size_t>(n)];
+    std::printf("node %d: %d sockets x %d cores, %llu GB\n", n, node.sockets,
+                node.cores_per_socket,
+                static_cast<unsigned long long>(node.host_mem_bytes >> 30));
+    for (const auto& line : impacc::core::sysfs_pci_affinity(node)) {
+      std::printf("  sysfs: %s\n", line.c_str());
+    }
+    for (std::size_t d = 0; d < node.devices.size(); ++d) {
+      const auto& dev = node.devices[d];
+      std::printf("  dev %zu: %-28s socket %d, rc %d, %llu GB, "
+                  "%.2f TF DP, PCIe %.1f GB/s\n",
+                  d, dev.model.c_str(), dev.socket, dev.root_complex,
+                  static_cast<unsigned long long>(dev.mem_bytes >> 30),
+                  dev.flops_dp / 1e12, dev.pcie.bandwidth / 1e9);
+    }
+  }
+  if (cluster.num_nodes() > shown_nodes) {
+    std::printf("... (%d identical nodes omitted)\n",
+                cluster.num_nodes() - shown_nodes);
+  }
+
+  const auto placements = impacc::core::map_tasks(cluster, mask);
+  std::printf("\ntask-device mapping (mask=%s): %zu tasks\n",
+              argc > 3 ? argv[3] : "default", placements.size());
+  const std::size_t shown =
+      std::min<std::size_t>(placements.size(), 16);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const auto& p = placements[i];
+    std::printf("  rank %zu -> node %d, device %d (%s)%s\n", i, p.node,
+                p.local_index, impacc::sim::device_kind_name(p.device.kind),
+                p.synthesized_cpu ? " [synthesized CPU accelerator]" : "");
+  }
+  if (placements.size() > shown) {
+    std::printf("  ... (%zu more)\n", placements.size() - shown);
+  }
+  return 0;
+}
