@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_sync_styles.dir/fig05_sync_styles.cpp.o"
+  "CMakeFiles/fig05_sync_styles.dir/fig05_sync_styles.cpp.o.d"
+  "fig05_sync_styles"
+  "fig05_sync_styles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_sync_styles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_numa_pinning.dir/fig08_numa_pinning.cpp.o"
+  "CMakeFiles/fig08_numa_pinning.dir/fig08_numa_pinning.cpp.o.d"
+  "fig08_numa_pinning"
+  "fig08_numa_pinning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_numa_pinning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

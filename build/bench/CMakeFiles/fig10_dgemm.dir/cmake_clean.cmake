@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dgemm.dir/fig10_dgemm.cpp.o"
+  "CMakeFiles/fig10_dgemm.dir/fig10_dgemm.cpp.o.d"
+  "fig10_dgemm"
+  "fig10_dgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

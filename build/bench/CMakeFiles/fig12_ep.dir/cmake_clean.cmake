@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_ep.dir/fig12_ep.cpp.o"
+  "CMakeFiles/fig12_ep.dir/fig12_ep.cpp.o.d"
+  "fig12_ep"
+  "fig12_ep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_jacobi.dir/fig13_jacobi.cpp.o"
+  "CMakeFiles/fig13_jacobi.dir/fig13_jacobi.cpp.o.d"
+  "fig13_jacobi"
+  "fig13_jacobi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_jacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_jacobi_d2d.dir/fig14_jacobi_d2d.cpp.o"
+  "CMakeFiles/fig14_jacobi_d2d.dir/fig14_jacobi_d2d.cpp.o.d"
+  "fig14_jacobi_d2d"
+  "fig14_jacobi_d2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_jacobi_d2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

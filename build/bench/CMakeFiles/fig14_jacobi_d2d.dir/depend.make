@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_jacobi_d2d.
+# This may be replaced when dependencies are built.

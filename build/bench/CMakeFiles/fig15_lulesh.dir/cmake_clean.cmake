@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_lulesh.dir/fig15_lulesh.cpp.o"
+  "CMakeFiles/fig15_lulesh.dir/fig15_lulesh.cpp.o.d"
+  "fig15_lulesh"
+  "fig15_lulesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_lulesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgemm_cluster.dir/dgemm_cluster.cpp.o"
+  "CMakeFiles/dgemm_cluster.dir/dgemm_cluster.cpp.o.d"
+  "dgemm_cluster"
+  "dgemm_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgemm_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobi_cluster.dir/jacobi_cluster.cpp.o"
+  "CMakeFiles/jacobi_cluster.dir/jacobi_cluster.cpp.o.d"
+  "jacobi_cluster"
+  "jacobi_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobi_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

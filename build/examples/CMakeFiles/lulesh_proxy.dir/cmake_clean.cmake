@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lulesh_proxy.dir/lulesh_proxy.cpp.o"
+  "CMakeFiles/lulesh_proxy.dir/lulesh_proxy.cpp.o.d"
+  "lulesh_proxy"
+  "lulesh_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lulesh_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translate_demo.dir/translate_demo.cpp.o"
+  "CMakeFiles/translate_demo.dir/translate_demo.cpp.o.d"
+  "translate_demo"
+  "translate_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translate_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translated_pipeline.dir/translated_pipeline.cpp.o"
+  "CMakeFiles/translated_pipeline.dir/translated_pipeline.cpp.o.d"
+  "ring_translated.inc"
+  "translated_pipeline"
+  "translated_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translated_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

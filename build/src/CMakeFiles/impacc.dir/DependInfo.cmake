@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acc/api.cpp" "src/CMakeFiles/impacc.dir/acc/api.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/acc/api.cpp.o.d"
+  "/root/repo/src/acc/dataenv.cpp" "src/CMakeFiles/impacc.dir/acc/dataenv.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/acc/dataenv.cpp.o.d"
+  "/root/repo/src/acc/present_table.cpp" "src/CMakeFiles/impacc.dir/acc/present_table.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/acc/present_table.cpp.o.d"
+  "/root/repo/src/apps/dgemm.cpp" "src/CMakeFiles/impacc.dir/apps/dgemm.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/apps/dgemm.cpp.o.d"
+  "/root/repo/src/apps/ep.cpp" "src/CMakeFiles/impacc.dir/apps/ep.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/apps/ep.cpp.o.d"
+  "/root/repo/src/apps/jacobi.cpp" "src/CMakeFiles/impacc.dir/apps/jacobi.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/apps/jacobi.cpp.o.d"
+  "/root/repo/src/apps/lulesh/driver.cpp" "src/CMakeFiles/impacc.dir/apps/lulesh/driver.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/apps/lulesh/driver.cpp.o.d"
+  "/root/repo/src/apps/lulesh/hydro.cpp" "src/CMakeFiles/impacc.dir/apps/lulesh/hydro.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/apps/lulesh/hydro.cpp.o.d"
+  "/root/repo/src/apps/lulesh/mesh.cpp" "src/CMakeFiles/impacc.dir/apps/lulesh/mesh.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/apps/lulesh/mesh.cpp.o.d"
+  "/root/repo/src/apps/stencil2d.cpp" "src/CMakeFiles/impacc.dir/apps/stencil2d.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/apps/stencil2d.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/impacc.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/nas_rng.cpp" "src/CMakeFiles/impacc.dir/common/nas_rng.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/common/nas_rng.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/impacc.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/directives.cpp" "src/CMakeFiles/impacc.dir/core/directives.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/core/directives.cpp.o.d"
+  "/root/repo/src/core/handler.cpp" "src/CMakeFiles/impacc.dir/core/handler.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/core/handler.cpp.o.d"
+  "/root/repo/src/core/heap.cpp" "src/CMakeFiles/impacc.dir/core/heap.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/core/heap.cpp.o.d"
+  "/root/repo/src/core/launch.cpp" "src/CMakeFiles/impacc.dir/core/launch.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/core/launch.cpp.o.d"
+  "/root/repo/src/core/mapping.cpp" "src/CMakeFiles/impacc.dir/core/mapping.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/core/mapping.cpp.o.d"
+  "/root/repo/src/core/pinned_pool.cpp" "src/CMakeFiles/impacc.dir/core/pinned_pool.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/core/pinned_pool.cpp.o.d"
+  "/root/repo/src/core/pinning.cpp" "src/CMakeFiles/impacc.dir/core/pinning.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/core/pinning.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/CMakeFiles/impacc.dir/core/runtime.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/core/runtime.cpp.o.d"
+  "/root/repo/src/core/task.cpp" "src/CMakeFiles/impacc.dir/core/task.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/core/task.cpp.o.d"
+  "/root/repo/src/core/uvas.cpp" "src/CMakeFiles/impacc.dir/core/uvas.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/core/uvas.cpp.o.d"
+  "/root/repo/src/dev/copyengine.cpp" "src/CMakeFiles/impacc.dir/dev/copyengine.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/dev/copyengine.cpp.o.d"
+  "/root/repo/src/dev/device.cpp" "src/CMakeFiles/impacc.dir/dev/device.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/dev/device.cpp.o.d"
+  "/root/repo/src/dev/memarena.cpp" "src/CMakeFiles/impacc.dir/dev/memarena.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/dev/memarena.cpp.o.d"
+  "/root/repo/src/dev/stream.cpp" "src/CMakeFiles/impacc.dir/dev/stream.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/dev/stream.cpp.o.d"
+  "/root/repo/src/mpi/cart.cpp" "src/CMakeFiles/impacc.dir/mpi/cart.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/mpi/cart.cpp.o.d"
+  "/root/repo/src/mpi/collectives.cpp" "src/CMakeFiles/impacc.dir/mpi/collectives.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/mpi/collectives.cpp.o.d"
+  "/root/repo/src/mpi/comm.cpp" "src/CMakeFiles/impacc.dir/mpi/comm.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/mpi/comm.cpp.o.d"
+  "/root/repo/src/mpi/datatype.cpp" "src/CMakeFiles/impacc.dir/mpi/datatype.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/mpi/datatype.cpp.o.d"
+  "/root/repo/src/mpi/matcher.cpp" "src/CMakeFiles/impacc.dir/mpi/matcher.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/mpi/matcher.cpp.o.d"
+  "/root/repo/src/mpi/p2p.cpp" "src/CMakeFiles/impacc.dir/mpi/p2p.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/mpi/p2p.cpp.o.d"
+  "/root/repo/src/sim/costmodel.cpp" "src/CMakeFiles/impacc.dir/sim/costmodel.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/sim/costmodel.cpp.o.d"
+  "/root/repo/src/sim/netmodel.cpp" "src/CMakeFiles/impacc.dir/sim/netmodel.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/sim/netmodel.cpp.o.d"
+  "/root/repo/src/sim/systems.cpp" "src/CMakeFiles/impacc.dir/sim/systems.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/sim/systems.cpp.o.d"
+  "/root/repo/src/sim/topology.cpp" "src/CMakeFiles/impacc.dir/sim/topology.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/sim/topology.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/impacc.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/trans/codegen.cpp" "src/CMakeFiles/impacc.dir/trans/codegen.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/trans/codegen.cpp.o.d"
+  "/root/repo/src/trans/lexer.cpp" "src/CMakeFiles/impacc.dir/trans/lexer.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/trans/lexer.cpp.o.d"
+  "/root/repo/src/trans/pragma_parser.cpp" "src/CMakeFiles/impacc.dir/trans/pragma_parser.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/trans/pragma_parser.cpp.o.d"
+  "/root/repo/src/trans/translator.cpp" "src/CMakeFiles/impacc.dir/trans/translator.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/trans/translator.cpp.o.d"
+  "/root/repo/src/ult/fiber.cpp" "src/CMakeFiles/impacc.dir/ult/fiber.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/ult/fiber.cpp.o.d"
+  "/root/repo/src/ult/scheduler.cpp" "src/CMakeFiles/impacc.dir/ult/scheduler.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/ult/scheduler.cpp.o.d"
+  "/root/repo/src/ult/sync.cpp" "src/CMakeFiles/impacc.dir/ult/sync.cpp.o" "gcc" "src/CMakeFiles/impacc.dir/ult/sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for impacc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/acc_test.cpp" "tests/CMakeFiles/impacc_tests.dir/acc_test.cpp.o" "gcc" "tests/CMakeFiles/impacc_tests.dir/acc_test.cpp.o.d"
+  "/root/repo/tests/apps_test.cpp" "tests/CMakeFiles/impacc_tests.dir/apps_test.cpp.o" "gcc" "tests/CMakeFiles/impacc_tests.dir/apps_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/impacc_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/impacc_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/impacc_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/impacc_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/dev_test.cpp" "tests/CMakeFiles/impacc_tests.dir/dev_test.cpp.o" "gcc" "tests/CMakeFiles/impacc_tests.dir/dev_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/impacc_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/impacc_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/mpi_test.cpp" "tests/CMakeFiles/impacc_tests.dir/mpi_test.cpp.o" "gcc" "tests/CMakeFiles/impacc_tests.dir/mpi_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/impacc_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/impacc_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/stress_test.cpp" "tests/CMakeFiles/impacc_tests.dir/stress_test.cpp.o" "gcc" "tests/CMakeFiles/impacc_tests.dir/stress_test.cpp.o.d"
+  "/root/repo/tests/trans_test.cpp" "tests/CMakeFiles/impacc_tests.dir/trans_test.cpp.o" "gcc" "tests/CMakeFiles/impacc_tests.dir/trans_test.cpp.o.d"
+  "/root/repo/tests/ult_test.cpp" "tests/CMakeFiles/impacc_tests.dir/ult_test.cpp.o" "gcc" "tests/CMakeFiles/impacc_tests.dir/ult_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/impacc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

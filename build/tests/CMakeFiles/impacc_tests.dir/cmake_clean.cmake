@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impacc_tests.dir/acc_test.cpp.o"
+  "CMakeFiles/impacc_tests.dir/acc_test.cpp.o.d"
+  "CMakeFiles/impacc_tests.dir/apps_test.cpp.o"
+  "CMakeFiles/impacc_tests.dir/apps_test.cpp.o.d"
+  "CMakeFiles/impacc_tests.dir/common_test.cpp.o"
+  "CMakeFiles/impacc_tests.dir/common_test.cpp.o.d"
+  "CMakeFiles/impacc_tests.dir/core_test.cpp.o"
+  "CMakeFiles/impacc_tests.dir/core_test.cpp.o.d"
+  "CMakeFiles/impacc_tests.dir/dev_test.cpp.o"
+  "CMakeFiles/impacc_tests.dir/dev_test.cpp.o.d"
+  "CMakeFiles/impacc_tests.dir/integration_test.cpp.o"
+  "CMakeFiles/impacc_tests.dir/integration_test.cpp.o.d"
+  "CMakeFiles/impacc_tests.dir/mpi_test.cpp.o"
+  "CMakeFiles/impacc_tests.dir/mpi_test.cpp.o.d"
+  "CMakeFiles/impacc_tests.dir/sim_test.cpp.o"
+  "CMakeFiles/impacc_tests.dir/sim_test.cpp.o.d"
+  "CMakeFiles/impacc_tests.dir/stress_test.cpp.o"
+  "CMakeFiles/impacc_tests.dir/stress_test.cpp.o.d"
+  "CMakeFiles/impacc_tests.dir/trans_test.cpp.o"
+  "CMakeFiles/impacc_tests.dir/trans_test.cpp.o.d"
+  "CMakeFiles/impacc_tests.dir/ult_test.cpp.o"
+  "CMakeFiles/impacc_tests.dir/ult_test.cpp.o.d"
+  "impacc_tests"
+  "impacc_tests.pdb"
+  "impacc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impacc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impacc-info.dir/impacc_info.cpp.o"
+  "CMakeFiles/impacc-info.dir/impacc_info.cpp.o.d"
+  "impacc-info"
+  "impacc-info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impacc-info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

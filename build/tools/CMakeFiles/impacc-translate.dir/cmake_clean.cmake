@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impacc-translate.dir/impacc_translate.cpp.o"
+  "CMakeFiles/impacc-translate.dir/impacc_translate.cpp.o.d"
+  "impacc-translate"
+  "impacc-translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impacc-translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
