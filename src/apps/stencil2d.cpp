@@ -94,7 +94,6 @@ void task_main(const Stencil2dConfig& cfg, Shared* shared) {
 
   const sim::WorkEstimate est{6.0 * static_cast<double>(rows) * cols,
                               static_cast<double>(block_bytes) * 2};
-  const std::uint64_t row_bytes = static_cast<std::uint64_t>(cols) * 8;
 
   for (int iter = 0; iter < cfg.iterations; ++iter) {
     // Stage the four boundary strips to the host. Rows are contiguous;

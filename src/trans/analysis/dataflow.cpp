@@ -1,0 +1,457 @@
+#include "trans/analysis/dataflow.h"
+
+#include <cctype>
+
+#include "trans/lexer.h"
+#include "trans/pragma_parser.h"
+
+namespace impacc::trans::analysis {
+
+namespace {
+
+bool word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Cursor over the source with line/column tracking. Mirrors the
+/// translator's scanner so lint sees exactly the directives translation
+/// would see.
+struct Scanner {
+  const std::string& s;
+  std::size_t pos = 0;
+  int line = 1;
+  int col = 1;
+
+  bool eof() const { return pos >= s.size(); }
+  char peek() const { return pos < s.size() ? s[pos] : '\0'; }
+
+  char take() {
+    const char c = s[pos++];
+    if (c == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    return c;
+  }
+
+  void advance_to(std::size_t p) {
+    while (pos < p && !eof()) take();
+  }
+
+  void skip_trivia() {
+    while (!eof()) {
+      const char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        take();
+      } else if (c == '/' && pos + 1 < s.size() && s[pos + 1] == '/') {
+        while (!eof() && peek() != '\n') take();
+      } else if (c == '/' && pos + 1 < s.size() && s[pos + 1] == '*') {
+        take();
+        take();
+        while (!eof() &&
+               !(peek() == '*' && pos + 1 < s.size() && s[pos + 1] == '/')) {
+          take();
+        }
+        if (!eof()) {
+          take();
+          take();
+        }
+      } else {
+        break;
+      }
+    }
+  }
+};
+
+struct OpenRegion {
+  int depth = 0;
+  int region_id = -1;
+  int line = 0;  // line of the opening directive (for diagnostics)
+};
+
+struct StreamBuilder {
+  Scanner sc;
+  DirectiveStream out;
+  int depth = 0;
+  int next_region_id = 0;
+  std::vector<OpenRegion> regions;
+
+  explicit StreamBuilder(const std::string& src) : sc{src} {}
+
+  void scan_error(int line, int column, const std::string& msg,
+                  std::string fixit = "") {
+    out.scan_diagnostics.push_back(
+        make_diagnostic("IMP012", line, column, msg, std::move(fixit)));
+  }
+
+  std::string read_line_cont() {
+    std::string text;
+    while (!sc.eof()) {
+      const char c = sc.take();
+      if (c == '\n') {
+        if (!text.empty() && text.back() == '\\') {
+          text.pop_back();
+          text += ' ';
+          continue;
+        }
+        break;
+      }
+      text += c;
+    }
+    return text;
+  }
+
+  /// Capture the next statement (up to the top-level ';') or a balanced
+  /// compound statement. Returns the captured text.
+  bool capture_statement(std::string* stmt, int line) {
+    sc.skip_trivia();
+    if (sc.peek() == '{') {
+      const std::size_t close = match_delim(sc.s, sc.pos);
+      if (close == std::string::npos) {
+        scan_error(line, 1, "unbalanced braces after directive");
+        return false;
+      }
+      *stmt = sc.s.substr(sc.pos, close - sc.pos + 1);
+      sc.advance_to(close + 1);
+      return true;
+    }
+    std::string text;
+    int pdepth = 0;
+    while (!sc.eof()) {
+      const char c = sc.take();
+      text += c;
+      if (c == '(' || c == '[') ++pdepth;
+      if (c == ')' || c == ']') --pdepth;
+      if (c == ';' && pdepth == 0) break;
+    }
+    *stmt = text;
+    return true;
+  }
+
+  /// Locate and parse the MPI_* call inside a captured statement.
+  MpiCall parse_call_in(const std::string& stmt, int line) {
+    MpiCall call;
+    call.line = line;
+    const std::size_t mpi = stmt.find("MPI_");
+    if (mpi == std::string::npos) return call;
+    std::size_t ne = mpi;
+    while (ne < stmt.size() && word_char(stmt[ne])) ++ne;
+    call.name = stmt.substr(mpi, ne - mpi);
+    const std::size_t open = stmt.find('(', ne);
+    if (open == std::string::npos) return call;
+    const std::size_t close = match_delim(stmt, open);
+    if (close == std::string::npos) return call;
+    call.args = split_args(stmt.substr(open + 1, close - open - 1));
+    call.valid = true;
+    return call;
+  }
+
+  void dispatch(const Directive& d, int column) {
+    Event ev;
+    ev.directive = d;
+    ev.line = d.line;
+    ev.column = column;
+    switch (d.kind) {
+      case DirectiveKind::kData:
+      case DirectiveKind::kHostData: {
+        sc.skip_trivia();
+        if (sc.peek() != '{') {
+          scan_error(d.line, column,
+                     std::string("expected '{' after #pragma acc ") +
+                         (d.kind == DirectiveKind::kData ? "data"
+                                                         : "host_data"));
+          return;
+        }
+        sc.take();
+        ++depth;
+        ev.kind = EventKind::kRegionEnter;
+        ev.region_id = next_region_id++;
+        regions.push_back({depth, ev.region_id, d.line});
+        out.events.push_back(std::move(ev));
+        break;
+      }
+      case DirectiveKind::kMpi: {
+        std::string stmt;
+        if (!capture_statement(&stmt, d.line)) return;
+        ev.kind = EventKind::kDirective;
+        ev.call = parse_call_in(stmt, d.line);
+        if (!ev.call.valid) {
+          scan_error(d.line, column,
+                     "#pragma acc mpi must precede an MPI call");
+        }
+        out.events.push_back(std::move(ev));
+        break;
+      }
+      default:
+        ev.kind = EventKind::kDirective;
+        out.events.push_back(std::move(ev));
+        break;
+    }
+  }
+
+  /// An MPI_* identifier in plain host code; cursor sits at 'M'.
+  void plain_mpi(std::size_t ident_end) {
+    const int line = sc.line;
+    const int column = sc.col;
+    const std::string name = sc.s.substr(sc.pos, ident_end - sc.pos);
+    std::size_t after = ident_end;
+    while (after < sc.s.size() &&
+           std::isspace(static_cast<unsigned char>(sc.s[after]))) {
+      ++after;
+    }
+    if (after >= sc.s.size() || sc.s[after] != '(') {
+      sc.advance_to(ident_end);  // an MPI constant, not a call
+      return;
+    }
+    const std::size_t close = match_delim(sc.s, after);
+    if (close == std::string::npos) {
+      scan_error(line, column, "unbalanced MPI call");
+      sc.advance_to(ident_end);
+      return;
+    }
+    Event ev;
+    ev.kind = EventKind::kMpiCall;
+    ev.line = line;
+    ev.column = column;
+    ev.call.name = name;
+    ev.call.args = split_args(sc.s.substr(after + 1, close - after - 1));
+    ev.call.line = line;
+    ev.call.column = column;
+    ev.call.valid = true;
+    out.events.push_back(std::move(ev));
+    sc.advance_to(close + 1);
+  }
+
+  DirectiveStream run() {
+    bool at_line_start = true;
+    while (!sc.eof()) {
+      const char c = sc.peek();
+      if (at_line_start) {
+        std::size_t p = sc.pos;
+        while (p < sc.s.size() && (sc.s[p] == ' ' || sc.s[p] == '\t')) ++p;
+        if (p < sc.s.size() && sc.s[p] == '#') {
+          const int line = sc.line;
+          const int column = static_cast<int>(p - sc.pos) + sc.col;
+          sc.advance_to(p);
+          const std::string full = read_line_cont();
+          const std::string after_hash = trim(full.substr(1));
+          if (after_hash.rfind("pragma", 0) == 0) {
+            std::string err;
+            auto d = parse_pragma(trim(after_hash.substr(6)), line, &err);
+            if (d.has_value()) {
+              dispatch(*d, column);
+            } else if (!err.empty()) {
+              scan_error(line, column, err);
+            }
+          }
+          at_line_start = true;
+          continue;
+        }
+      }
+      if (c == '/' && sc.pos + 1 < sc.s.size() &&
+          (sc.s[sc.pos + 1] == '/' || sc.s[sc.pos + 1] == '*')) {
+        sc.skip_trivia();
+        at_line_start = true;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char q = sc.take();
+        while (!sc.eof()) {
+          const char ch = sc.take();
+          if (ch == '\\' && !sc.eof()) {
+            sc.take();
+            continue;
+          }
+          if (ch == q) break;
+        }
+        at_line_start = false;
+        continue;
+      }
+      if (c == 'M' && sc.s.compare(sc.pos, 4, "MPI_") == 0 &&
+          (sc.pos == 0 || !word_char(sc.s[sc.pos - 1]))) {
+        std::size_t ne = sc.pos;
+        while (ne < sc.s.size() && word_char(sc.s[ne])) ++ne;
+        plain_mpi(ne);
+        at_line_start = false;
+        continue;
+      }
+      if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        if (!regions.empty() && regions.back().depth == depth) {
+          Event ev;
+          ev.kind = EventKind::kRegionExit;
+          ev.region_id = regions.back().region_id;
+          ev.line = sc.line;
+          ev.column = sc.col;
+          out.events.push_back(std::move(ev));
+          regions.pop_back();
+        }
+        --depth;
+      }
+      sc.take();
+      at_line_start = (c == '\n');
+    }
+    for (const auto& r : regions) {
+      scan_error(r.line, 1, "unclosed #pragma acc data region");
+    }
+    return std::move(out);
+  }
+};
+
+}  // namespace
+
+DirectiveStream extract_stream(const std::string& source) {
+  StreamBuilder b(source);
+  return b.run();
+}
+
+std::string base_identifier(const std::string& expr) {
+  std::size_t i = 0;
+  // Strip leading address-of, dereference, casts-by-parenthesis, spaces.
+  while (i < expr.size()) {
+    const char c = expr[i];
+    if (c == '&' || c == '*' || c == '(' ||
+        std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else {
+      break;
+    }
+  }
+  std::size_t j = i;
+  while (j < expr.size() && word_char(expr[j])) ++j;
+  return expr.substr(i, j - i);
+}
+
+std::optional<BufferRoles> mpi_buffer_roles(const std::string& name) {
+  // Mirrors the routine surface rewrite_mpi_call() supports.
+  if (name == "MPI_Send" || name == "MPI_Ssend" || name == "MPI_Isend" ||
+      name == "MPI_Bcast") {
+    return BufferRoles{0, -1};
+  }
+  if (name == "MPI_Recv" || name == "MPI_Irecv") {
+    return BufferRoles{-1, 0};
+  }
+  if (name == "MPI_Reduce" || name == "MPI_Allreduce" || name == "MPI_Scan" ||
+      name == "MPI_Reduce_scatter_block") {
+    return BufferRoles{0, 1};
+  }
+  if (name == "MPI_Gather" || name == "MPI_Scatter" ||
+      name == "MPI_Allgather" || name == "MPI_Alltoall") {
+    return BufferRoles{0, 3};
+  }
+  return std::nullopt;
+}
+
+bool is_nonblocking_p2p(const std::string& name) {
+  return name == "MPI_Isend" || name == "MPI_Irecv";
+}
+
+// --- SymbolicPresentTable ---------------------------------------------------
+
+int SymbolicPresentTable::enter(const std::string& var, int line,
+                                bool structured) {
+  Entry& e = entries_[var];
+  const int prior_unstructured = e.unstructured_refs;
+  if (structured) {
+    ++e.structured_refs;
+  } else {
+    ++e.unstructured_refs;
+  }
+  if (e.first_enter_line == 0) e.first_enter_line = line;
+  return prior_unstructured;
+}
+
+bool SymbolicPresentTable::exit(const std::string& var, bool structured) {
+  auto it = entries_.find(var);
+  if (it == entries_.end()) return false;
+  Entry& e = it->second;
+  if (structured) {
+    if (e.structured_refs == 0) return false;
+    --e.structured_refs;
+  } else {
+    if (e.unstructured_refs == 0 && e.structured_refs == 0) return false;
+    // An exit data may legally release a structured reference's object in
+    // dynamic code; prefer draining unstructured references first.
+    if (e.unstructured_refs > 0) {
+      --e.unstructured_refs;
+    } else {
+      --e.structured_refs;
+    }
+  }
+  if (e.structured_refs == 0 && e.unstructured_refs == 0) {
+    entries_.erase(it);
+  }
+  return true;
+}
+
+bool SymbolicPresentTable::present(const std::string& var) const {
+  return entries_.count(var) != 0;
+}
+
+std::vector<std::pair<std::string, int>>
+SymbolicPresentTable::live_unstructured() const {
+  std::vector<std::pair<std::string, int>> out;
+  for (const auto& [var, e] : entries_) {
+    if (e.unstructured_refs > 0) out.emplace_back(var, e.first_enter_line);
+  }
+  return out;
+}
+
+// --- QueueTracker -----------------------------------------------------------
+
+void QueueTracker::use(const std::string& queue, int line) {
+  uses_[queue].push_back({line, false});
+}
+
+void QueueTracker::wait(const std::string& queue, int line) {
+  auto it = uses_.find(queue);
+  if (it == uses_.end()) return;
+  for (auto& u : it->second) {
+    if (u.line <= line) u.covered = true;
+  }
+}
+
+void QueueTracker::wait_all(int line) {
+  for (auto& [q, recs] : uses_) {
+    (void)q;
+    for (auto& u : recs) {
+      if (u.line <= line) u.covered = true;
+    }
+  }
+}
+
+bool QueueTracker::used_before(const std::string& queue, int line) const {
+  auto it = uses_.find(queue);
+  if (it == uses_.end()) return false;
+  for (const auto& u : it->second) {
+    if (u.line <= line) return true;
+  }
+  return false;
+}
+
+std::vector<QueueTracker::QueueUse> QueueTracker::unwaited() const {
+  std::vector<QueueUse> out;
+  for (const auto& [q, recs] : uses_) {
+    for (const auto& u : recs) {
+      if (!u.covered) {
+        out.push_back({q, u.line});
+        break;  // first uncovered use per queue is enough
+      }
+    }
+  }
+  return out;
+}
+
+bool QueueTracker::fully_waited(const std::string& queue) const {
+  auto it = uses_.find(queue);
+  if (it == uses_.end()) return true;
+  for (const auto& u : it->second) {
+    if (!u.covered) return false;
+  }
+  return true;
+}
+
+}  // namespace impacc::trans::analysis

@@ -1,0 +1,148 @@
+// Data-flow building blocks for impacc-lint.
+//
+// The linter works on a *directive stream*: the ordered sequence of
+// `#pragma acc` directives, structured-region boundaries, and host-side
+// MPI calls extracted from a source file. Over that stream it runs two
+// symbolic simulations that mirror what the runtime does at execution
+// time (sections 3.4-3.6 of the paper):
+//
+//   * SymbolicPresentTable — which host variables have a live device
+//     copy, tracked by name instead of address (the static analogue of
+//     acc/present_table.h).
+//   * QueueTracker — which async queues have outstanding work and which
+//     waits cover them (the static analogue of the unified activity
+//     queue ordering).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trans/analysis/diagnostics.h"
+#include "trans/ast.h"
+
+namespace impacc::trans::analysis {
+
+/// An MPI call observed on the host path (possibly the statement attached
+/// to an `#pragma acc mpi` directive).
+struct MpiCall {
+  std::string name;               // e.g. "MPI_Isend"
+  std::vector<std::string> args;  // raw top-level argument expressions
+  int line = 0;
+  int column = 1;
+  bool valid = false;  // false when no call was found / it was malformed
+};
+
+enum class EventKind : int {
+  kDirective,    // a parsed acc directive (enter/exit data, update, wait,
+                 // compute construct, acc mpi, ...)
+  kRegionEnter,  // a structured data/host_data region opened
+  kRegionExit,   // ... and its matching '}' was reached
+  kMpiCall,      // a plain MPI_* call in host code
+};
+
+struct Event {
+  EventKind kind = EventKind::kDirective;
+  Directive directive;  // kDirective / kRegionEnter
+  MpiCall call;         // kMpiCall; also the attached call for `acc mpi`
+  int line = 0;
+  int column = 1;
+  int region_id = -1;  // pairs kRegionEnter with its kRegionExit
+};
+
+struct DirectiveStream {
+  std::vector<Event> events;
+  /// Scan/parse problems (malformed pragmas, missing region braces,
+  /// `acc mpi` with no MPI call, ...), already rendered as IMP012.
+  std::vector<Diagnostic> scan_diagnostics;
+};
+
+/// Scan a C-like MPI+OpenACC source and extract its directive stream.
+/// Comments, string literals, and non-acc pragmas are skipped the same
+/// way the translator skips them, so lint and translation agree on what
+/// counts as a directive.
+DirectiveStream extract_stream(const std::string& source);
+
+/// Base identifier of a buffer expression: "&x" -> "x", "a[0]" -> "a",
+/// "(p)" -> "p", "buf + off" -> "buf". Empty when none can be found.
+std::string base_identifier(const std::string& expr);
+
+/// Which argument indices of a translated MPI routine carry the send and
+/// receive buffers (-1 when the routine has none in that role).
+struct BufferRoles {
+  int send_arg = -1;
+  int recv_arg = -1;
+};
+std::optional<BufferRoles> mpi_buffer_roles(const std::string& name);
+
+/// True for MPI_Isend / MPI_Irecv (request-producing nonblocking p2p).
+bool is_nonblocking_p2p(const std::string& name);
+
+/// Symbolic present-table simulation. Tracks reference counts per host
+/// variable name, distinguishing structured-region references (released
+/// automatically at the region's closing brace) from unstructured
+/// enter/exit data references (released only by an explicit exit).
+class SymbolicPresentTable {
+ public:
+  /// Record a device allocation. Returns the number of *unstructured*
+  /// references that already existed (> 0 on a double enter-data).
+  int enter(const std::string& var, int line, bool structured);
+
+  /// Record a release. Returns false when `var` was not present at all.
+  bool exit(const std::string& var, bool structured);
+
+  bool present(const std::string& var) const;
+
+  /// Variables still holding unstructured references at end of analysis,
+  /// with the line of their first enter data.
+  std::vector<std::pair<std::string, int>> live_unstructured() const;
+
+ private:
+  struct Entry {
+    int structured_refs = 0;
+    int unstructured_refs = 0;
+    int first_enter_line = 0;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// Async-queue data-flow: which queues had work enqueued, and which of
+/// those enqueues are covered by a later wait. Queue ids are compared
+/// symbolically (the textual async argument), which matches how the
+/// translator lowers them.
+class QueueTracker {
+ public:
+  /// `async(queue)` observed (empty string = the no-value async queue).
+  void use(const std::string& queue, int line);
+
+  /// `wait(queue)` observed: covers every enqueue on `queue` so far.
+  void wait(const std::string& queue, int line);
+
+  /// Bare `wait` / wait-all: covers every enqueue on every queue so far.
+  void wait_all(int line);
+
+  /// True when queue had at least one enqueue before `line`.
+  bool used_before(const std::string& queue, int line) const;
+
+  struct QueueUse {
+    std::string queue;
+    int line = 0;
+  };
+
+  /// First uncovered enqueue per queue (for IMP006).
+  std::vector<QueueUse> unwaited() const;
+
+  /// True when every enqueue on `queue` is covered by a later wait.
+  bool fully_waited(const std::string& queue) const;
+
+ private:
+  struct UseRec {
+    int line = 0;
+    bool covered = false;
+  };
+  std::map<std::string, std::vector<UseRec>> uses_;
+};
+
+}  // namespace impacc::trans::analysis

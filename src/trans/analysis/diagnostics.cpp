@@ -1,0 +1,205 @@
+#include "trans/analysis/diagnostics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+namespace impacc::trans::analysis {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "error";
+}
+
+const RuleInfo* rule_catalog() {
+  static const RuleInfo kRules[] = {
+      {"IMP001", Severity::kError,
+       "enter data allocates a buffer that is already present (double "
+       "copyin/create leaks a device reference)"},
+      {"IMP002", Severity::kError,
+       "exit data / delete / present() names a buffer that is not present "
+       "on the device"},
+      {"IMP003", Severity::kError,
+       "update device/self on a buffer that is not present on the device"},
+      {"IMP004", Severity::kError,
+       "host_data use_device on a buffer that is not present on the device"},
+      {"IMP005", Severity::kError,
+       "acc mpi sendbuf(device)/recvbuf(device) on a buffer that is not "
+       "present on the device"},
+      {"IMP006", Severity::kWarning,
+       "work enqueued on an async queue that is never waited on"},
+      {"IMP007", Severity::kWarning,
+       "wait names an async queue that nothing was enqueued to"},
+      {"IMP008", Severity::kError,
+       "buffer handed to the runtime as readonly is mutated by a later "
+       "receive"},
+      {"IMP009", Severity::kWarning,
+       "nonblocking MPI_Isend/MPI_Irecv whose request is never completed on "
+       "the host path"},
+      {"IMP010", Severity::kError,
+       "send and receive buffers of one acc mpi directive alias the same "
+       "object"},
+      {"IMP011", Severity::kWarning,
+       "enter data buffer is never released by a matching exit data"},
+      {"IMP012", Severity::kError,
+       "malformed or unsupported directive"},
+      {nullptr, Severity::kError, nullptr},
+  };
+  return kRules;
+}
+
+const RuleInfo* find_rule(const std::string& code) {
+  for (const RuleInfo* r = rule_catalog(); r->code != nullptr; ++r) {
+    if (code == r->code) return r;
+  }
+  return nullptr;
+}
+
+Diagnostic make_diagnostic(const std::string& code, int line, int column,
+                           std::string message, std::string fixit) {
+  Diagnostic d;
+  d.code = code;
+  const RuleInfo* r = find_rule(code);
+  d.severity = r != nullptr ? r->default_severity : Severity::kError;
+  d.line = line;
+  d.column = column;
+  d.message = std::move(message);
+  d.fixit = std::move(fixit);
+  return d;
+}
+
+std::string render_text(const Diagnostic& d, const std::string& file) {
+  std::string out = file + ":" + std::to_string(d.line) + ":" +
+                    std::to_string(d.column) + ": " +
+                    severity_name(d.severity) + ": " + d.message + " [" +
+                    d.code + "]";
+  if (!d.fixit.empty()) out += "\n  fix-it: " + d.fixit;
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string diag_json(const Diagnostic& d) {
+  std::string out = "{";
+  out += "\"code\": \"" + json_escape(d.code) + "\", ";
+  out += "\"severity\": \"" + std::string(severity_name(d.severity)) +
+         "\", ";
+  out += "\"line\": " + std::to_string(d.line) + ", ";
+  out += "\"column\": " + std::to_string(d.column) + ", ";
+  out += "\"message\": \"" + json_escape(d.message) + "\"";
+  if (!d.fixit.empty()) {
+    out += ", \"fixit\": \"" + json_escape(d.fixit) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const std::vector<FileDiagnostics>& files) {
+  std::string out = "{\n  \"tool\": \"impacc-lint\",\n  \"version\": 1,\n";
+  out += "  \"files\": [\n";
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    out += "    {\"file\": \"" + json_escape(files[fi].file) +
+           "\", \"diagnostics\": [";
+    const auto& ds = files[fi].diagnostics;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      out += "\n      " + diag_json(ds[i]);
+      if (i + 1 < ds.size()) out += ",";
+    }
+    if (!ds.empty()) out += "\n    ";
+    out += "]}";
+    if (fi + 1 < files.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string to_sarif(const std::vector<FileDiagnostics>& files) {
+  // Emit a rule entry for every code that actually fired.
+  std::set<std::string> codes;
+  for (const auto& f : files) {
+    for (const auto& d : f.diagnostics) codes.insert(d.code);
+  }
+
+  std::string out =
+      "{\n"
+      "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [{\n"
+      "    \"tool\": {\"driver\": {\"name\": \"impacc-lint\", "
+      "\"informationUri\": \"docs/LINT.md\", \"rules\": [";
+  std::size_t ci = 0;
+  for (const auto& code : codes) {
+    const RuleInfo* r = find_rule(code);
+    out += "\n      {\"id\": \"" + json_escape(code) +
+           "\", \"shortDescription\": {\"text\": \"" +
+           json_escape(r != nullptr ? r->summary : "unknown rule") + "\"}}";
+    if (++ci < codes.size()) out += ",";
+  }
+  if (!codes.empty()) out += "\n    ";
+  out += "]}},\n    \"results\": [";
+
+  bool first = true;
+  for (const auto& f : files) {
+    for (const auto& d : f.diagnostics) {
+      if (!first) out += ",";
+      first = false;
+      // SARIF levels: "error" | "warning" | "note".
+      out += "\n      {\"ruleId\": \"" + json_escape(d.code) +
+             "\", \"level\": \"" + severity_name(d.severity) +
+             "\", \"message\": {\"text\": \"" + json_escape(d.message) +
+             "\"}, \"locations\": [{\"physicalLocation\": "
+             "{\"artifactLocation\": {\"uri\": \"" +
+             json_escape(f.file) +
+             "\"}, \"region\": {\"startLine\": " + std::to_string(d.line) +
+             ", \"startColumn\": " + std::to_string(d.column) + "}}}]}";
+    }
+  }
+  if (!first) out += "\n    ";
+  out += "]\n  }]\n}\n";
+  return out;
+}
+
+}  // namespace impacc::trans::analysis

@@ -1,0 +1,68 @@
+// Diagnostic model for impacc-lint: stable rule codes, severities, and
+// rendering to human-readable text, JSON, and SARIF 2.1.0.
+//
+// Every rule has a stable `IMPnnn` code so that suppression lists, golden
+// tests, and editor integrations survive message-wording changes. The
+// catalog lives in diagnostics.cpp and is documented in docs/LINT.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace impacc::trans::analysis {
+
+enum class Severity : int { kNote = 0, kWarning = 1, kError = 2 };
+
+/// "note" / "warning" / "error".
+const char* severity_name(Severity s);
+
+/// One reported problem, anchored to a source position.
+struct Diagnostic {
+  std::string code;                       // stable rule id, e.g. "IMP001"
+  Severity severity = Severity::kWarning;
+  int line = 0;                           // 1-based; 0 when unknown
+  int column = 1;                         // 1-based
+  std::string message;
+  std::string fixit;  // optional suggested fix; empty when none applies
+};
+
+/// Static description of one lint rule.
+struct RuleInfo {
+  const char* code;
+  Severity default_severity;
+  const char* summary;  // one-line description (used for SARIF rules)
+};
+
+/// All known rules; the final entry has a null `code` as terminator.
+const RuleInfo* rule_catalog();
+
+/// Catalog entry for `code`, or nullptr for unknown codes.
+const RuleInfo* find_rule(const std::string& code);
+
+/// Build a diagnostic for `code` with the catalog's default severity.
+Diagnostic make_diagnostic(const std::string& code, int line, int column,
+                           std::string message, std::string fixit = "");
+
+/// Diagnostics for one linted file.
+struct FileDiagnostics {
+  std::string file;  // display name; "<stdin>" when piped
+  std::vector<Diagnostic> diagnostics;
+};
+
+/// "file:line:col: severity: message [IMPnnn]" plus an indented fix-it
+/// line when one is available.
+std::string render_text(const Diagnostic& d, const std::string& file);
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s);
+
+/// Machine-readable report:
+/// {"tool":"impacc-lint","version":1,"files":[{"file":..,
+///   "diagnostics":[{"code","severity","line","column","message","fixit"}]}]}
+std::string to_json(const std::vector<FileDiagnostics>& files);
+
+/// SARIF 2.1.0 document with one run; rules are emitted for every code
+/// that appears in `files`.
+std::string to_sarif(const std::vector<FileDiagnostics>& files);
+
+}  // namespace impacc::trans::analysis

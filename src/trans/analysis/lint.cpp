@@ -1,0 +1,439 @@
+#include "trans/analysis/lint.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "trans/analysis/dataflow.h"
+
+namespace impacc::trans::analysis {
+
+namespace {
+
+bool has_flag(const Clause* c, const char* flag) {
+  if (c == nullptr) return false;
+  for (const auto& a : c->args) {
+    if (a == flag) return true;
+  }
+  return false;
+}
+
+/// Clauses that allocate device memory on entry of a region/enter data.
+bool allocates_on_enter(const std::string& name) {
+  return name == "copyin" || name == "copy" || name == "create" ||
+         name == "copyout";
+}
+
+/// Clauses that release device memory in an exit data directive.
+bool releases_on_exit(const std::string& name) {
+  return name == "copyout" || name == "copy" || name == "delete" ||
+         name == "copyin" || name == "create";
+}
+
+std::string queue_key(const Clause* async_clause) {
+  return async_clause->args.empty() ? std::string() : async_clause->args[0];
+}
+
+std::string queue_display(const std::string& key) {
+  return key.empty() ? "<no-value>" : key;
+}
+
+/// A recorded host-path request completion (MPI_Wait family).
+struct RequestWait {
+  std::string base;  // base identifier of the request expression
+  int line = 0;
+};
+
+struct Linter {
+  const DirectiveStream& stream;
+  std::vector<Diagnostic> diags;
+
+  QueueTracker queues;
+  std::vector<RequestWait> request_waits;
+
+  SymbolicPresentTable table;
+  std::map<int, std::vector<std::string>> region_vars;  // region_id -> vars
+  std::map<std::string, int> unstructured_enter_line;
+  std::map<std::string, int> readonly_since;  // var -> line marked readonly
+
+  explicit Linter(const DirectiveStream& s) : stream(s) {}
+
+  void report(const std::string& code, int line, int column,
+              std::string message, std::string fixit = "") {
+    diags.push_back(make_diagnostic(code, line, column, std::move(message),
+                                    std::move(fixit)));
+  }
+
+  // --- pass A: whole-file queue and request-completion knowledge ------------
+
+  void collect_waits() {
+    for (const auto& ev : stream.events) {
+      if (ev.kind == EventKind::kDirective ||
+          ev.kind == EventKind::kRegionEnter) {
+        const Directive& d = ev.directive;
+        if (const Clause* as = d.find("async")) {
+          queues.use(queue_key(as), ev.line);
+        }
+        const Clause* w = d.find("wait");
+        if (d.kind == DirectiveKind::kWait && w == nullptr) {
+          queues.wait_all(ev.line);  // bare `#pragma acc wait`
+        } else if (w != nullptr) {
+          if (w->args.empty()) {
+            queues.wait_all(ev.line);
+          } else {
+            for (const auto& q : w->args) queues.wait(q, ev.line);
+          }
+        }
+      }
+      const MpiCall* call = nullptr;
+      if (ev.kind == EventKind::kMpiCall) call = &ev.call;
+      if (ev.kind == EventKind::kDirective &&
+          ev.directive.kind == DirectiveKind::kMpi && ev.call.valid) {
+        call = &ev.call;
+      }
+      if (call == nullptr || !call->valid) continue;
+      if (call->name == "MPI_Wait" && !call->args.empty()) {
+        request_waits.push_back({base_identifier(call->args[0]), ev.line});
+      } else if ((call->name == "MPI_Waitall" ||
+                  call->name == "MPI_Waitany") &&
+                 call->args.size() >= 2) {
+        request_waits.push_back({base_identifier(call->args[1]), ev.line});
+      }
+    }
+  }
+
+  bool request_waited_after(const std::string& base, int line) const {
+    for (const auto& w : request_waits) {
+      if (w.base == base && w.line >= line) return true;
+    }
+    return false;
+  }
+
+  // --- pass B: present-table simulation and per-event checks ----------------
+
+  void check_present_clause(const Directive& d, int column) {
+    const Clause* p = d.find("present");
+    if (p == nullptr) return;
+    for (const auto& sa : p->subarrays) {
+      if (!table.present(sa.var)) {
+        report("IMP002", d.line, column,
+               "'" + sa.var +
+                   "' is asserted present but no enclosing data region or "
+                   "enter data makes it present",
+               "wrap the construct in '#pragma acc data copyin(" + sa.var +
+                   "...)' or add a matching enter data");
+      }
+    }
+  }
+
+  void enter_region(const Event& ev) {
+    const Directive& d = ev.directive;
+    std::vector<std::string> vars;
+    if (d.kind == DirectiveKind::kHostData) {
+      if (const Clause* ud = d.find("use_device")) {
+        for (const auto& sa : ud->subarrays) {
+          if (!table.present(sa.var)) {
+            report("IMP004", ev.line, ev.column,
+                   "host_data use_device on '" + sa.var +
+                       "', which is not present on the device",
+                   "copy '" + sa.var +
+                       "' in with a data region or enter data before taking "
+                       "its device address");
+          }
+        }
+      }
+      region_vars[ev.region_id] = {};
+      return;
+    }
+    check_present_clause(d, ev.column);
+    for (const auto& c : d.clauses) {
+      if (!allocates_on_enter(c.name)) continue;
+      for (const auto& sa : c.subarrays) {
+        table.enter(sa.var, ev.line, /*structured=*/true);
+        vars.push_back(sa.var);
+      }
+    }
+    region_vars[ev.region_id] = std::move(vars);
+  }
+
+  void exit_region(const Event& ev) {
+    auto it = region_vars.find(ev.region_id);
+    if (it == region_vars.end()) return;
+    for (const auto& var : it->second) {
+      table.exit(var, /*structured=*/true);
+    }
+    region_vars.erase(it);
+  }
+
+  void enter_data(const Event& ev) {
+    const Directive& d = ev.directive;
+    for (const auto& c : d.clauses) {
+      if (!allocates_on_enter(c.name)) continue;
+      for (const auto& sa : c.subarrays) {
+        const int prior = table.enter(sa.var, ev.line, /*structured=*/false);
+        if (prior > 0) {
+          report("IMP001", ev.line, ev.column,
+                 "'" + sa.var + "' is already present on the device (enter "
+                               "data at line " +
+                     std::to_string(unstructured_enter_line[sa.var]) +
+                     "); this " + c.name + " would leak a device reference",
+                 "add '#pragma acc exit data delete(" + sa.var +
+                     ")' before re-entering, or drop the duplicate clause");
+        } else {
+          unstructured_enter_line[sa.var] = ev.line;
+        }
+      }
+    }
+  }
+
+  void exit_data(const Event& ev) {
+    const Directive& d = ev.directive;
+    for (const auto& c : d.clauses) {
+      if (!releases_on_exit(c.name)) continue;
+      for (const auto& sa : c.subarrays) {
+        if (!table.exit(sa.var, /*structured=*/false)) {
+          report("IMP002", ev.line, ev.column,
+                 "exit data " + c.name + "('" + sa.var + "') but '" +
+                     sa.var + "' is not present on the device",
+                 "pair every exit data with a matching enter data for '" +
+                     sa.var + "'");
+        }
+      }
+    }
+  }
+
+  void check_update(const Event& ev) {
+    const Directive& d = ev.directive;
+    for (const auto& c : d.clauses) {
+      if (c.name != "device" && c.name != "self" && c.name != "host") continue;
+      for (const auto& sa : c.subarrays) {
+        if (!table.present(sa.var)) {
+          report("IMP003", ev.line, ev.column,
+                 "update " + c.name + "('" + sa.var + "') but '" + sa.var +
+                     "' is not present on the device",
+                 "copy '" + sa.var +
+                     "' in with a data region or enter data before updating");
+        }
+      }
+    }
+  }
+
+  void check_wait(const Event& ev) {
+    const Directive& d = ev.directive;
+    const Clause* w = d.find("wait");
+    if (w == nullptr || w->args.empty()) return;  // bare wait covers all
+    for (const auto& q : w->args) {
+      if (!queues.used_before(q, ev.line)) {
+        report("IMP007", ev.line, ev.column,
+               "wait(" + q + ") but nothing was enqueued on queue " + q +
+                   " before this point",
+               "drop the wait or enqueue work with 'async(" + q + ")'");
+      }
+    }
+  }
+
+  /// A receive is about to write into `var` at `line`. `sanctioned` is
+  /// true when the directive itself re-marks the buffer readonly (the
+  /// runtime swaps the pointer instead of copying — the legal idiom).
+  void check_readonly_mutation(const std::string& var, int line, int column,
+                               bool sanctioned) {
+    if (var.empty() || sanctioned) return;
+    auto it = readonly_since.find(var);
+    if (it == readonly_since.end()) return;
+    report("IMP008", line, column,
+           "'" + var + "' was handed to the runtime as readonly (line " +
+               std::to_string(it->second) +
+               ") but this receive mutates it",
+           "drop the readonly hint or receive into a different buffer");
+  }
+
+  void check_acc_mpi(const Event& ev) {
+    const Directive& d = ev.directive;
+    if (!ev.call.valid) return;  // IMP012 already reported by the scanner
+    const MpiCall& call = ev.call;
+    const auto roles = mpi_buffer_roles(call.name);
+    const Clause* sb = d.find("sendbuf");
+    const Clause* rb = d.find("recvbuf");
+
+    std::string send_var;
+    std::string recv_var;
+    if (roles.has_value()) {
+      if (roles->send_arg >= 0 &&
+          roles->send_arg < static_cast<int>(call.args.size())) {
+        send_var = base_identifier(call.args[roles->send_arg]);
+      }
+      if (roles->recv_arg >= 0 &&
+          roles->recv_arg < static_cast<int>(call.args.size())) {
+        recv_var = base_identifier(call.args[roles->recv_arg]);
+      }
+    }
+
+    // IMP010: aliased send/recv buffers under one directive.
+    if (sb != nullptr && rb != nullptr && !send_var.empty() &&
+        send_var == recv_var && send_var != "MPI_IN_PLACE") {
+      report("IMP010", ev.line, ev.column,
+             "send and receive buffers both alias '" + send_var +
+                 "' within one acc mpi directive",
+             "use distinct buffers or MPI_IN_PLACE");
+    }
+
+    // IMP005: device-resident buffers must actually be present.
+    if (has_flag(sb, "device") && !send_var.empty() &&
+        !table.present(send_var)) {
+      report("IMP005", ev.line, ev.column,
+             "acc mpi sendbuf(device) but '" + send_var +
+                 "' is not present on the device",
+             "copy '" + send_var +
+                 "' in with a data region or enter data before sending");
+    }
+    if (has_flag(rb, "device") && !recv_var.empty() &&
+        !table.present(recv_var)) {
+      report("IMP005", ev.line, ev.column,
+             "acc mpi recvbuf(device) but '" + recv_var +
+                 "' is not present on the device",
+             "copy '" + recv_var +
+                 "' in with a data region or enter data before receiving");
+    }
+
+    // IMP008: mutation of previously-readonly buffers, then (re)marking.
+    const bool marks_recv_readonly = has_flag(rb, "readonly");
+    check_readonly_mutation(recv_var, ev.line, ev.column,
+                            marks_recv_readonly);
+    if (has_flag(sb, "readonly") && !send_var.empty()) {
+      readonly_since.emplace(send_var, ev.line);
+    }
+    if (marks_recv_readonly && !recv_var.empty()) {
+      readonly_since.emplace(recv_var, ev.line);
+    }
+
+    check_nonblocking(d.find("async") != nullptr, call, ev.line, ev.column);
+  }
+
+  /// IMP009: host-path Isend/Irecv whose request nothing ever completes.
+  /// Calls attached to an async queue complete through the unified
+  /// activity queue instead (IMP006 covers an unwaited queue).
+  void check_nonblocking(bool on_async_queue, const MpiCall& call, int line,
+                         int column) {
+    if (!is_nonblocking_p2p(call.name) || call.args.empty()) return;
+    if (on_async_queue) return;
+    const std::string req = base_identifier(call.args.back());
+    if (req.empty()) return;
+    if (request_waited_after(req, line)) return;
+    report("IMP009", line, column,
+           call.name + " request '" + req +
+               "' is never completed by MPI_Wait/Waitall on the host path",
+           "add 'MPI_Wait(&" + req +
+               ", ...)' after the call, or attach it to an async queue "
+               "with '#pragma acc mpi ... async(n)'");
+  }
+
+  void check_plain_call(const Event& ev) {
+    const MpiCall& call = ev.call;
+    const auto roles = mpi_buffer_roles(call.name);
+    if (roles.has_value() && roles->recv_arg >= 0 &&
+        roles->recv_arg < static_cast<int>(call.args.size())) {
+      check_readonly_mutation(base_identifier(call.args[roles->recv_arg]),
+                              ev.line, ev.column, /*sanctioned=*/false);
+    }
+    check_nonblocking(/*on_async_queue=*/false, call, ev.line, ev.column);
+  }
+
+  void run() {
+    collect_waits();
+    for (const auto& ev : stream.events) {
+      switch (ev.kind) {
+        case EventKind::kRegionEnter:
+          enter_region(ev);
+          break;
+        case EventKind::kRegionExit:
+          exit_region(ev);
+          break;
+        case EventKind::kMpiCall:
+          check_plain_call(ev);
+          break;
+        case EventKind::kDirective:
+          switch (ev.directive.kind) {
+            case DirectiveKind::kEnterData:
+              enter_data(ev);
+              break;
+            case DirectiveKind::kExitData:
+              exit_data(ev);
+              break;
+            case DirectiveKind::kUpdate:
+              check_update(ev);
+              break;
+            case DirectiveKind::kWait:
+              check_wait(ev);
+              break;
+            case DirectiveKind::kParallelLoop:
+              check_present_clause(ev.directive, ev.column);
+              check_wait(ev);  // `wait(q)` clause on a compute construct
+              break;
+            case DirectiveKind::kMpi:
+              check_acc_mpi(ev);
+              break;
+            default:
+              break;
+          }
+          break;
+      }
+    }
+
+    // Whole-file checks.
+    for (const auto& u : queues.unwaited()) {
+      report("IMP006", u.line, 1,
+             "work enqueued on async queue " + queue_display(u.queue) +
+                 " is never waited on",
+             u.queue.empty()
+                 ? "add a bare '#pragma acc wait' after the last use"
+                 : "add '#pragma acc wait(" + u.queue +
+                       ")' after the last use of the queue");
+    }
+    for (const auto& [var, line] : table.live_unstructured()) {
+      report("IMP011", line, 1,
+             "buffer '" + var + "' entered at line " + std::to_string(line) +
+                 " is never released by a matching exit data",
+             "add '#pragma acc exit data delete(" + var +
+                 ")' when the buffer's device lifetime ends");
+    }
+  }
+};
+
+}  // namespace
+
+LintResult lint_source(const std::string& source, const LintOptions& options) {
+  const DirectiveStream stream = extract_stream(source);
+
+  Linter linter(stream);
+  linter.run();
+
+  LintResult result;
+  result.diagnostics = stream.scan_diagnostics;
+  result.diagnostics.insert(result.diagnostics.end(),
+                            linter.diags.begin(), linter.diags.end());
+  std::stable_sort(result.diagnostics.begin(), result.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.line != b.line) return a.line < b.line;
+                     if (a.column != b.column) return a.column < b.column;
+                     return a.code < b.code;
+                   });
+  for (auto& d : result.diagnostics) {
+    if (options.warnings_as_errors && d.severity == Severity::kWarning) {
+      d.severity = Severity::kError;
+    }
+    switch (d.severity) {
+      case Severity::kError:
+        ++result.errors;
+        break;
+      case Severity::kWarning:
+        ++result.warnings;
+        break;
+      case Severity::kNote:
+        ++result.notes;
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace impacc::trans::analysis

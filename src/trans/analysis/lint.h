@@ -1,0 +1,51 @@
+// impacc-lint: a static directive data-flow verifier for MPI+OpenACC
+// sources using the paper's `#pragma acc mpi` extension.
+//
+// The translator (trans/translator.h) lowers directives with no semantic
+// checking, so mistakes the runtime would only surface as corruption —
+// sending a buffer that was never copied in, waiting on a queue nothing
+// was enqueued to, receiving into a buffer handed out readonly — are
+// cheapest to catch here, over the directive stream, before lowering.
+//
+// Checks (see docs/LINT.md for the full catalog with examples):
+//   IMP001  double enter-data copyin/create of the same buffer
+//   IMP002  exit data / delete / present() on a non-present buffer
+//   IMP003  update device/self on a non-present buffer
+//   IMP004  host_data use_device on a non-present buffer
+//   IMP005  acc mpi sendbuf/recvbuf(device) on a non-present buffer
+//   IMP006  async(n) queue that is never waited on
+//   IMP007  wait(n) on a queue nothing was enqueued to
+//   IMP008  readonly buffer mutated by a later receive
+//   IMP009  MPI_Isend/Irecv with no matching wait on the host path
+//   IMP010  aliased send/recv buffers within one acc mpi directive
+//   IMP011  enter data buffer never released by exit data
+//   IMP012  malformed or unsupported directive
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trans/analysis/diagnostics.h"
+
+namespace impacc::trans::analysis {
+
+struct LintOptions {
+  /// Promote warnings to errors (the CLI's --werror).
+  bool warnings_as_errors = false;
+};
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;  // sorted by (line, column, code)
+  int errors = 0;
+  int warnings = 0;
+  int notes = 0;
+
+  bool clean() const { return diagnostics.empty(); }
+  bool has_errors() const { return errors > 0; }
+};
+
+/// Run every check over one source file.
+LintResult lint_source(const std::string& source,
+                       const LintOptions& options = {});
+
+}  // namespace impacc::trans::analysis

@@ -18,12 +18,23 @@ enum class DirectiveKind : int {
   kUnknown,
 };
 
-/// A subarray reference from a data clause: var[first:count].
-/// A bare `var` has first/count empty (whole object via sizeof).
-struct SubArray {
-  std::string var;
+/// One dimension of a subarray reference: [first:count].
+struct SubArrayDim {
   std::string first;  // expression text, may be empty
   std::string count;  // expression text, may be empty
+};
+
+/// A subarray reference from a data clause: var[first:count] or a
+/// multi-dimensional bounded form var[f0:c0][f1:c1]... A bare `var` has
+/// first/count empty (whole object via sizeof) and no dims. For
+/// multi-dimensional references, first/count hold the outermost
+/// dimension (back-compat with 1-D consumers) and `dims` holds every
+/// dimension in source order.
+struct SubArray {
+  std::string var;
+  std::string first;  // outermost dimension, may be empty
+  std::string count;  // outermost dimension, may be empty
+  std::vector<SubArrayDim> dims;
 };
 
 /// One clause: name plus raw argument expressions (and parsed subarrays

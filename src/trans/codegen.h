@@ -13,6 +13,10 @@ struct TranslateOptions {
   double flops_per_iter = 10.0;
   double bytes_per_iter = 16.0;
   std::string api_ns = "impacc";  // namespace prefix for generated calls
+  // Run impacc-lint over the source first and refuse to lower sources
+  // with error-level diagnostics (lint warnings are passed through on
+  // TranslateResult::warnings).
+  bool lint = false;
 };
 
 /// A captured canonical for loop:

@@ -1,26 +1,16 @@
 #include "trans/pragma_parser.h"
 
+#include <cctype>
+
 #include "trans/lexer.h"
 
 namespace impacc::trans {
 
 namespace {
 
-/// Parse "var" or "var[first:count]" into a SubArray.
-SubArray parse_subarray(const std::string& text) {
-  SubArray sa;
-  const std::size_t br = text.find('[');
-  if (br == std::string::npos) {
-    sa.var = trim(text);
-    return sa;
-  }
-  sa.var = trim(text.substr(0, br));
-  const std::size_t close = match_delim(text, br);
-  if (close == std::string::npos) {
-    sa.var = trim(text);  // malformed; treat as bare name
-    return sa;
-  }
-  const std::string inner = text.substr(br + 1, close - br - 1);
+/// Parse one "[first:count]" group's inner text into a dimension.
+SubArrayDim parse_dim(const std::string& inner) {
+  SubArrayDim dim;
   // Split on the top-level ':'.
   int depth = 0;
   std::size_t colon = std::string::npos;
@@ -34,11 +24,44 @@ SubArray parse_subarray(const std::string& text) {
     }
   }
   if (colon == std::string::npos) {
-    sa.first = "0";
-    sa.count = trim(inner);
+    dim.first = "0";
+    dim.count = trim(inner);
   } else {
-    sa.first = trim(inner.substr(0, colon));
-    sa.count = trim(inner.substr(colon + 1));
+    dim.first = trim(inner.substr(0, colon));
+    dim.count = trim(inner.substr(colon + 1));
+  }
+  return dim;
+}
+
+/// Parse "var", "var[first:count]", or "var[f0:c0][f1:c1]..." into a
+/// SubArray.
+SubArray parse_subarray(const std::string& text) {
+  SubArray sa;
+  const std::size_t br = text.find('[');
+  if (br == std::string::npos) {
+    sa.var = trim(text);
+    return sa;
+  }
+  sa.var = trim(text.substr(0, br));
+  std::size_t open = br;
+  while (open < text.size() && text[open] == '[') {
+    const std::size_t close = match_delim(text, open);
+    if (close == std::string::npos) {
+      // Malformed (unbalanced bracket); treat as a bare name.
+      sa.var = trim(text);
+      sa.dims.clear();
+      return sa;
+    }
+    sa.dims.push_back(parse_dim(text.substr(open + 1, close - open - 1)));
+    open = close + 1;
+    while (open < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[open]))) {
+      ++open;
+    }
+  }
+  if (!sa.dims.empty()) {
+    sa.first = sa.dims[0].first;
+    sa.count = sa.dims[0].count;
   }
   return sa;
 }

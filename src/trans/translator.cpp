@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "trans/analysis/lint.h"
 #include "trans/lexer.h"
 #include "trans/pragma_parser.h"
 
@@ -438,8 +439,29 @@ struct Translator {
 
 TranslateResult translate_source(const std::string& source,
                                  const TranslateOptions& options) {
+  TranslateResult lint_carry;
+  if (options.lint) {
+    const auto lint = analysis::lint_source(source);
+    for (const auto& d : lint.diagnostics) {
+      const std::string text = "line " + std::to_string(d.line) + ": [" +
+                               d.code + "] " + d.message;
+      if (d.severity == analysis::Severity::kError) {
+        lint_carry.errors.push_back(text);
+      } else {
+        lint_carry.warnings.push_back(text);
+      }
+    }
+    if (lint.has_errors()) {
+      // Refuse to lower a source the verifier diagnosed as broken.
+      return lint_carry;
+    }
+  }
   Translator t(source, options);
-  return t.run();
+  TranslateResult result = t.run();
+  result.warnings.insert(result.warnings.begin(),
+                         lint_carry.warnings.begin(),
+                         lint_carry.warnings.end());
+  return result;
 }
 
 }  // namespace impacc::trans

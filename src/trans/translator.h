@@ -19,7 +19,8 @@ namespace impacc::trans {
 struct TranslateResult {
   bool ok = false;
   std::string output;
-  std::vector<std::string> errors;  // "line N: message"
+  std::vector<std::string> errors;    // "line N: message"
+  std::vector<std::string> warnings;  // lint warnings (with options.lint)
   int directives_translated = 0;
   int mpi_calls_translated = 0;
 };

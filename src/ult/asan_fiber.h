@@ -1,0 +1,65 @@
+// AddressSanitizer fiber-switch annotations.
+//
+// ASan shadow-tracks the current stack; swapcontext moves execution to a
+// different stack without telling it, which corrupts the fake-stack used
+// for use-after-return detection and makes stack-buffer checks fire on
+// perfectly valid fiber frames. The sanitizer API fixes this: announce
+// the target stack with __sanitizer_start_switch_fiber before every
+// swapcontext and confirm arrival with __sanitizer_finish_switch_fiber
+// right after (passing a null save slot when the departing fiber is dying
+// so its fake stack is reclaimed). These wrappers compile to nothing when
+// ASan is off, so the scheduler can call them unconditionally.
+#pragma once
+
+#include <cstddef>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define IMPACC_ASAN 1
+#endif
+#if !defined(IMPACC_ASAN) && defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define IMPACC_ASAN 1
+#endif
+#endif
+#ifndef IMPACC_ASAN
+#define IMPACC_ASAN 0
+#endif
+
+#if IMPACC_ASAN
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save,
+                                    const void* bottom, size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old,
+                                     size_t* size_old);
+}  // extern "C"
+#endif
+
+namespace impacc::ult::asan {
+
+/// Call immediately before swapcontext. `save` receives the departing
+/// context's fake stack (pass nullptr when that context will never run
+/// again); bottom/size describe the stack being switched to.
+inline void start_switch(void** save, const void* bottom, std::size_t size) {
+#if IMPACC_ASAN
+  __sanitizer_start_switch_fiber(save, bottom, size);
+#else
+  (void)save;
+  (void)bottom;
+  (void)size;
+#endif
+}
+
+/// Call immediately after control arrives on this context (after
+/// swapcontext returns, or at the top of a fiber trampoline). `save` is
+/// the value stored by the start_switch that left this context, or
+/// nullptr on first entry.
+inline void finish_switch(void* save) {
+#if IMPACC_ASAN
+  __sanitizer_finish_switch_fiber(save, nullptr, nullptr);
+#else
+  (void)save;
+#endif
+}
+
+}  // namespace impacc::ult::asan

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "common/log.h"
+#include "ult/asan_fiber.h"
 #include "ult/scheduler.h"
 
 namespace impacc::ult {
@@ -33,9 +34,12 @@ Fiber::Fiber(Scheduler* sched, std::uint64_t id, std::function<void()> entry,
   IMPACC_CHECK(::mprotect(base, ps, PROT_NONE) == 0);
   stack_base_ = base;
 
+  stack_lo_ = static_cast<char*>(base) + ps;
+  stack_usable_ = stack_size;
+
   IMPACC_CHECK(::getcontext(&context_) == 0);
-  context_.uc_stack.ss_sp = static_cast<char*>(base) + ps;
-  context_.uc_stack.ss_size = stack_size;
+  context_.uc_stack.ss_sp = stack_lo_;
+  context_.uc_stack.ss_size = stack_usable_;
   context_.uc_link = nullptr;  // fibers switch back explicitly, never fall off
 
   const auto self = reinterpret_cast<std::uintptr_t>(this);
@@ -49,6 +53,8 @@ Fiber::~Fiber() {
 }
 
 void Fiber::trampoline(unsigned hi, unsigned lo) {
+  // First time on this stack: complete the switch the worker started.
+  asan::finish_switch(nullptr);
   const std::uintptr_t p =
       (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
   reinterpret_cast<Fiber*>(p)->run_entry();

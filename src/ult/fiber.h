@@ -77,6 +77,9 @@ class Fiber {
 
   void* stack_base_ = nullptr;  // mmap'd region including guard page
   std::size_t stack_total_ = 0;
+  void* stack_lo_ = nullptr;        // usable stack bottom (above the guard)
+  std::size_t stack_usable_ = 0;    // usable stack size
+  void* asan_fake_stack_ = nullptr;  // ASan fake-stack save slot
   ucontext_t context_{};
 
   // Fine-grained state for the park/unpark protocol; see scheduler.cpp for

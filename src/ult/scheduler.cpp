@@ -4,6 +4,11 @@
 
 #include "common/log.h"
 #include "common/types.h"
+#include "ult/asan_fiber.h"
+
+#if IMPACC_ASAN
+#include <pthread.h>
+#endif
 
 namespace impacc::ult {
 
@@ -27,6 +32,26 @@ FiberState Fiber::state() const {
 namespace {
 thread_local Fiber* tls_current = nullptr;
 thread_local ucontext_t tls_worker_context;
+
+#if IMPACC_ASAN
+// ASan bookkeeping for the worker side of each switch: the worker's own
+// fake-stack save slot and its pthread stack bounds (fibers announce
+// these when they switch back to the scheduler).
+thread_local void* tls_worker_fake_stack = nullptr;
+thread_local const void* tls_worker_stack_lo = nullptr;
+thread_local std::size_t tls_worker_stack_size = 0;
+
+void init_worker_stack_bounds() {
+  pthread_attr_t attr;
+  IMPACC_CHECK(pthread_getattr_np(pthread_self(), &attr) == 0);
+  void* lo = nullptr;
+  std::size_t size = 0;
+  IMPACC_CHECK(pthread_attr_getstack(&attr, &lo, &size) == 0);
+  pthread_attr_destroy(&attr);
+  tls_worker_stack_lo = lo;
+  tls_worker_stack_size = size;
+}
+#endif
 }  // namespace
 
 // --- Scheduler ------------------------------------------------------------
@@ -154,16 +179,36 @@ Fiber* Scheduler::pop_runnable() {
 
 void Scheduler::switch_to_scheduler() {
   Fiber* f = tls_current;
+#if IMPACC_ASAN
+  // A finished fiber never runs again: hand ASan a null save slot so its
+  // fake stack is destroyed instead of leaked.
+  const bool dying =
+      f->istate_.load(std::memory_order_acquire) == detail::kSDone;
+  asan::start_switch(dying ? nullptr : &f->asan_fake_stack_,
+                     tls_worker_stack_lo, tls_worker_stack_size);
+#endif
   ::swapcontext(&f->context_, &tls_worker_context);
+  // Back on this fiber after a later resume.
+  asan::finish_switch(f->asan_fake_stack_);
 }
 
 void Scheduler::worker_main(int /*index*/) {
+#if IMPACC_ASAN
+  init_worker_stack_bounds();
+#endif
   for (;;) {
     Fiber* f = pop_runnable();
     if (f == nullptr) return;  // shutdown
     f->istate_.store(kSRunning, std::memory_order_release);
     tls_current = f;
+#if IMPACC_ASAN
+    asan::start_switch(&tls_worker_fake_stack, f->stack_lo_,
+                       f->stack_usable_);
+#endif
     ::swapcontext(&tls_worker_context, &f->context_);
+#if IMPACC_ASAN
+    asan::finish_switch(tls_worker_fake_stack);
+#endif
     tls_current = nullptr;
     // Decide "finished" BEFORE running the post-switch action: a finished
     // fiber never has one, and once the action runs (requeue/unpark) the

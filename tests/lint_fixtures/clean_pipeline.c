@@ -1,0 +1,36 @@
+/* A clean source exercising the directive surface: must lint with zero
+ * diagnostics. Mirrors the paper's Fig. 4 (c) unified-activity-queue
+ * pipeline plus unstructured data and host_data idioms. */
+int rank, size;
+MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+MPI_Comm_size(MPI_COMM_WORLD, &size);
+
+#pragma acc enter data copyin(halo[0:m])
+#pragma acc update device(halo[0:m])
+
+#pragma acc data copyin(data[0:n]) copy(incoming[0:n])
+{
+#pragma acc parallel loop present(data[0:n]) async(1)
+  for (i = 0; i < n; i++) { data[i] = data[i] * 2.0 + 1.0; }
+
+#pragma acc mpi sendbuf(device) async(1)
+  MPI_Isend(data, n, MPI_DOUBLE, next, 3, MPI_COMM_WORLD, &req[0]);
+
+#pragma acc mpi recvbuf(device) async(1)
+  MPI_Irecv(incoming, n, MPI_DOUBLE, prev, 3, MPI_COMM_WORLD, &req[1]);
+
+#pragma acc wait(1)
+
+#pragma acc host_data use_device(data)
+  {
+    MPI_Send(data, 1, MPI_DOUBLE, next, 4, MPI_COMM_WORLD);
+  }
+}
+
+MPI_Irecv(extra, 1, MPI_DOUBLE, prev, 4, MPI_COMM_WORLD, &req[2]);
+MPI_Wait(&req[2], MPI_STATUS_IGNORE);
+
+#pragma acc exit data delete(halo[0:m])
+
+MPI_Allreduce(&local_sum, &total, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+MPI_Barrier(MPI_COMM_WORLD);

@@ -1,0 +1,9 @@
+/* IMP001: double enter-data copyin leaks a device reference. */
+#pragma acc enter data copyin(a[0:n])
+
+#pragma acc parallel loop present(a[0:n])
+for (i = 0; i < n; i++) { a[i] = a[i] + 1.0; }
+
+#pragma acc enter data copyin(a[0:n])
+
+#pragma acc exit data delete(a[0:n])

@@ -1,0 +1,4 @@
+/* IMP002: exit data for a buffer that was never made present. */
+#pragma acc enter data copyin(a[0:n])
+#pragma acc exit data delete(a[0:n])
+#pragma acc exit data copyout(b[0:n])

@@ -1,0 +1,2 @@
+/* IMP003: update on a buffer that is not present on the device. */
+#pragma acc update device(x[0:n])

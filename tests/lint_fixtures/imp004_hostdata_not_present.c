@@ -1,0 +1,5 @@
+/* IMP004: host_data use_device on a buffer with no device copy. */
+#pragma acc host_data use_device(sendbuf)
+{
+  MPI_Send(sendbuf, n, MPI_DOUBLE, peer, 0, MPI_COMM_WORLD);
+}

@@ -1,0 +1,3 @@
+/* IMP005: acc mpi sendbuf(device) but the buffer was never copied in. */
+#pragma acc mpi sendbuf(device)
+MPI_Send(data, n, MPI_DOUBLE, peer, 1, MPI_COMM_WORLD);

@@ -1,0 +1,6 @@
+/* IMP006: queue 1 has work enqueued but is never waited on. */
+#pragma acc data copyin(v[0:n])
+{
+#pragma acc parallel loop present(v[0:n]) async(1)
+  for (i = 0; i < n; i++) { v[i] = v[i] * 2.0; }
+}

@@ -1,0 +1,8 @@
+/* IMP007: waiting on queue 3, but everything ran on queue 1. */
+#pragma acc data copyin(v[0:n])
+{
+#pragma acc parallel loop present(v[0:n]) async(1)
+  for (i = 0; i < n; i++) { v[i] = v[i] * 2.0; }
+#pragma acc wait(1)
+#pragma acc wait(3)
+}

@@ -1,0 +1,11 @@
+/* IMP008: dst was handed to the runtime readonly, then received into
+ * again without the readonly hint — the runtime-owned snapshot is
+ * silently overwritten. */
+#pragma acc data copyin(dst[0:n])
+{
+#pragma acc mpi recvbuf(readonly)
+  MPI_Recv(dst, n, MPI_DOUBLE, 0, 9, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+
+#pragma acc mpi recvbuf(device)
+  MPI_Recv(dst, n, MPI_DOUBLE, 0, 10, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+}

@@ -1,0 +1,3 @@
+/* IMP009: host-path nonblocking send whose request is never completed. */
+MPI_Isend(data, n, MPI_DOUBLE, next, 3, MPI_COMM_WORLD, &req);
+MPI_Barrier(MPI_COMM_WORLD);

@@ -1,0 +1,7 @@
+/* IMP010: send and receive buffers alias the same object within one
+ * acc mpi directive. */
+#pragma acc data copyin(x[0:n])
+{
+#pragma acc mpi sendbuf(device) recvbuf(device)
+  MPI_Allreduce(x, x, n, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+}

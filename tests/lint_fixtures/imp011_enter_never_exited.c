@@ -1,0 +1,6 @@
+/* IMP011: enter data with no matching exit data — the device copy leaks
+ * for the rest of the program. */
+#pragma acc enter data copyin(grid[0:n])
+
+#pragma acc parallel loop present(grid[0:n])
+for (i = 0; i < n; i++) { grid[i] = 0.0; }

@@ -1,0 +1,4 @@
+/* IMP012: malformed directives. */
+#pragma acc bogus_directive copyin(a)
+#pragma acc mpi sendbuf(device)
+not_an_mpi_call();

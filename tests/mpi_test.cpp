@@ -5,6 +5,13 @@
 #include <numeric>
 #include <vector>
 
+// GoogleTest < 1.12 has no GTEST_FLAG_SET; fall back to assigning the
+// legacy ::testing::FLAGS_gtest_* variable directly.
+#ifndef GTEST_FLAG_SET
+#define GTEST_FLAG_SET(name, value) \
+  (void)(::testing::GTEST_FLAG(name) = (value))
+#endif
+
 #include "impacc.h"
 #include "ult/sync.h"
 

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <random>
 #include <vector>
 
@@ -119,30 +120,37 @@ TEST(Stress, MultiWorkerSchedulerKeepsResultsExact) {
 }
 
 TEST(Stress, ManyFibersMutexCondvarPingPong) {
-  ult::Scheduler sched(4);
   constexpr int kPairs = 64;
   constexpr int kRounds = 100;
+  // Pair state outlives the scheduler (declared first, destroyed last);
+  // fibers only touch it while running, and wait_all() below guarantees
+  // every fiber has finished before anything is torn down.
+  struct Pair {
+    ult::FiberMutex mutex;
+    ult::FiberCondVar cv;
+    int turn = 0;
+  };
+  std::vector<std::unique_ptr<Pair>> pairs;
+  for (int p = 0; p < kPairs; ++p) pairs.push_back(std::make_unique<Pair>());
+
+  ult::Scheduler sched(4);
   std::atomic<long> total{0};
   for (int p = 0; p < kPairs; ++p) {
-    auto* mutex = new ult::FiberMutex;
-    auto* cv = new ult::FiberCondVar;
-    auto* turn = new int(0);
+    Pair* pr = pairs[static_cast<std::size_t>(p)].get();
     for (int side = 0; side < 2; ++side) {
-      sched.spawn([mutex, cv, turn, side, &total] {
+      sched.spawn([pr, side, &total] {
         for (int r = 0; r < kRounds; ++r) {
-          ult::FiberLock lock(*mutex);
-          cv->wait(*mutex, [turn, side] { return *turn % 2 == side; });
-          ++*turn;
+          ult::FiberLock lock(pr->mutex);
+          pr->cv.wait(pr->mutex, [pr, side] { return pr->turn % 2 == side; });
+          ++pr->turn;
           total.fetch_add(1);
-          cv->notify_all();
+          pr->cv.notify_all();
         }
       });
     }
   }
   sched.wait_all();
   EXPECT_EQ(total.load(), 2L * kPairs * kRounds);
-  // (The per-pair allocations are deliberately leaked: the scheduler may
-  // still be tearing down; a test, not a resource-managed subsystem.)
 }
 
 TEST(Stress, EagerRendezvousBoundarySweep) {

@@ -98,6 +98,111 @@ TEST(PragmaParser, RejectsNonAccAndMalformed) {
   EXPECT_FALSE(err.empty());
 }
 
+TEST(PragmaParser, ParsesMultiDimensionalSubarrays) {
+  std::string err;
+  auto d = parse_pragma("acc data copyin(a[0:n][0:m])", 1, &err);
+  ASSERT_TRUE(d.has_value()) << err;
+  const Clause* ci = d->find("copyin");
+  ASSERT_NE(ci, nullptr);
+  ASSERT_EQ(ci->subarrays.size(), 1u);
+  const SubArray& sa = ci->subarrays[0];
+  EXPECT_EQ(sa.var, "a");
+  ASSERT_EQ(sa.dims.size(), 2u);
+  EXPECT_EQ(sa.dims[0].first, "0");
+  EXPECT_EQ(sa.dims[0].count, "n");
+  EXPECT_EQ(sa.dims[1].first, "0");
+  EXPECT_EQ(sa.dims[1].count, "m");
+  // Back-compat: first/count mirror the outermost dimension.
+  EXPECT_EQ(sa.first, "0");
+  EXPECT_EQ(sa.count, "n");
+}
+
+TEST(PragmaParser, SubarrayBoundsMayBeExpressions) {
+  std::string err;
+  auto d = parse_pragma(
+      "acc update device(a[(i*2):(n-i)], b[idx[0]:cnt], c[n])", 1, &err);
+  ASSERT_TRUE(d.has_value()) << err;
+  const Clause* dev = d->find("device");
+  ASSERT_NE(dev, nullptr);
+  ASSERT_EQ(dev->subarrays.size(), 3u);
+  EXPECT_EQ(dev->subarrays[0].first, "(i*2)");
+  EXPECT_EQ(dev->subarrays[0].count, "(n-i)");
+  // The ':' inside idx[0] is not a top-level split point... there is
+  // none; the bound itself contains a bracketed expression.
+  EXPECT_EQ(dev->subarrays[1].var, "b");
+  EXPECT_EQ(dev->subarrays[1].first, "idx[0]");
+  EXPECT_EQ(dev->subarrays[1].count, "cnt");
+  // OpenACC's length-only shorthand a[n] means [0:n].
+  EXPECT_EQ(dev->subarrays[2].var, "c");
+  EXPECT_EQ(dev->subarrays[2].first, "0");
+  EXPECT_EQ(dev->subarrays[2].count, "n");
+}
+
+TEST(PragmaParser, UnbalancedSubarrayFallsBackToBareName) {
+  std::string err;
+  auto d = parse_pragma("acc enter data copyin(a[0:n)", 1, &err);
+  // The clause arguments themselves are balanced at the paren level or
+  // the parse fails outright; either way nothing crashes.
+  if (d.has_value()) {
+    const Clause* ci = d->find("copyin");
+    ASSERT_NE(ci, nullptr);
+    for (const auto& sa : ci->subarrays) EXPECT_TRUE(sa.dims.empty());
+  } else {
+    EXPECT_FALSE(err.empty());
+  }
+}
+
+TEST(PragmaParser, RejectsMalformedClauses) {
+  std::string err;
+  // Unbalanced clause argument list.
+  EXPECT_FALSE(parse_pragma("acc data copyin(a[0:n]", 1, &err).has_value());
+  EXPECT_FALSE(err.empty());
+  err.clear();
+  // Garbage where a clause name should be.
+  EXPECT_FALSE(parse_pragma("acc data ???", 1, &err).has_value());
+  EXPECT_FALSE(err.empty());
+  err.clear();
+  // Unbalanced wait argument.
+  EXPECT_FALSE(parse_pragma("acc wait(1", 1, &err).has_value());
+  EXPECT_FALSE(err.empty());
+  err.clear();
+  // 'enter'/'exit' must be followed by 'data'.
+  EXPECT_FALSE(parse_pragma("acc enter region", 1, &err).has_value());
+  EXPECT_FALSE(err.empty());
+  err.clear();
+  EXPECT_FALSE(parse_pragma("acc exit", 1, &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(PragmaParser, AccMpiClauseGrammar) {
+  std::string err;
+  auto d = parse_pragma(
+      "acc mpi sendbuf(device) recvbuf(device, readonly) async(q+1)", 1,
+      &err);
+  ASSERT_TRUE(d.has_value()) << err;
+  EXPECT_EQ(d->kind, DirectiveKind::kMpi);
+  ASSERT_NE(d->find("sendbuf"), nullptr);
+  ASSERT_NE(d->find("recvbuf"), nullptr);
+  ASSERT_EQ(d->find("recvbuf")->args.size(), 2u);
+  EXPECT_EQ(d->find("recvbuf")->args[1], "readonly");
+  // Symbolic queue expressions survive verbatim.
+  ASSERT_NE(d->find("async"), nullptr);
+  EXPECT_EQ(d->find("async")->args[0], "q+1");
+
+  // Bare acc mpi (no clauses) is legal; the runtime applies defaults.
+  auto bare = parse_pragma("acc mpi", 2, &err);
+  ASSERT_TRUE(bare.has_value()) << err;
+  EXPECT_TRUE(bare->clauses.empty());
+}
+
+TEST(PragmaParser, CommaSeparatedClauseListIsAccepted) {
+  std::string err;
+  auto d = parse_pragma("acc data copyin(a[0:n]), copyout(b[0:n])", 1, &err);
+  ASSERT_TRUE(d.has_value()) << err;
+  EXPECT_NE(d->find("copyin"), nullptr);
+  EXPECT_NE(d->find("copyout"), nullptr);
+}
+
 // --- codegen / whole source ----------------------------------------------------------
 
 TEST(Translator, Fig4cUnifiedActivityQueueExample) {

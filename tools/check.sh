@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Pre-merge gate: warnings-as-errors build, the full test suite, the
+# linter over every shipped MPI+OpenACC source, and the test suite again
+# under AddressSanitizer and UBSan. Run from anywhere inside the repo.
+#
+#   tools/check.sh            # everything
+#   tools/check.sh --fast     # skip the sanitizer builds
+#
+# Build trees go under build-check/ so a developer's normal build/ is
+# never touched.
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo"
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+# --- 1. strict build + tests -------------------------------------------------
+step "configure + build (IMPACC_WERROR=ON)"
+cmake -B build-check/werror -S . -DIMPACC_WERROR=ON >/dev/null
+cmake --build build-check/werror -j "$jobs"
+
+step "test suite"
+ctest --test-dir build-check/werror --output-on-failure --repeat until-pass:2 -j "$jobs"
+
+# --- 2. lint the shipped directive sources -----------------------------------
+step "impacc-lint over shipped sources"
+lint="build-check/werror/tools/impacc-lint"
+fail=0
+for f in examples/*.c tests/lint_fixtures/clean_*.c; do
+  [[ -e "$f" ]] || continue
+  if ! "$lint" -q "$f"; then
+    echo "lint FAILED: $f"
+    fail=1
+  fi
+done
+[[ "$fail" -eq 0 ]] || { echo "lint gate failed"; exit 1; }
+
+step "impacc-lint golden fixtures still fire"
+for f in tests/lint_fixtures/imp0*.c; do
+  # --werror so warning-severity fixtures (IMP006/7/9/11) also gate.
+  if "$lint" -q --werror "$f" 2>/dev/null; then
+    echo "fixture no longer rejected: $f"
+    exit 1
+  fi
+done
+
+# --- 3. sanitizers -----------------------------------------------------------
+if [[ "$fast" -eq 0 ]]; then
+  for san in address undefined; do
+    step "test suite under -fsanitize=$san"
+    cmake -B "build-check/$san" -S . -DIMPACC_SANITIZE="$san" >/dev/null
+    cmake --build "build-check/$san" -j "$jobs"
+    ctest --test-dir "build-check/$san" --output-on-failure --repeat until-pass:2 -j "$jobs"
+  done
+fi
+
+step "all checks passed"

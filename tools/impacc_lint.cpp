@@ -1,0 +1,121 @@
+// impacc-lint: static directive data-flow verifier for MPI+OpenACC
+// sources using the paper's `#pragma acc mpi` extension.
+//
+//   impacc-lint [options] [file...]          (stdin when no files)
+//     --format text|json|sarif   output format (default text)
+//     --json                     shorthand for --format json
+//     --sarif                    shorthand for --format sarif
+//     --werror                   treat warnings as errors
+//     -q, --quiet                suppress the summary line
+//
+// Exit status: 0 when no error-level diagnostics were produced, 1 when
+// at least one error was reported, 2 on usage or I/O problems.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trans/analysis/lint.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--format text|json|sarif] [--json] [--sarif] "
+               "[--werror] [-q] [file...]\n",
+               argv0);
+  return 2;
+}
+
+bool read_all(const std::string& path, std::string* out) {
+  if (path.empty()) {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    *out = ss.str();
+    return true;
+  }
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) return false;
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace impacc::trans::analysis;
+
+  std::string format = "text";
+  LintOptions options;
+  bool quiet = false;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--format") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      format = argv[++i];
+    } else if (arg == "--json") {
+      format = "json";
+    } else if (arg == "--sarif") {
+      format = "sarif";
+    } else if (arg == "--werror") {
+      options.warnings_as_errors = true;
+    } else if (arg == "-q" || arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "-h" || arg == "--help") {
+      return usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (format != "text" && format != "json" && format != "sarif") {
+    std::fprintf(stderr, "unknown format '%s'\n", format.c_str());
+    return usage(argv[0]);
+  }
+  if (inputs.empty()) inputs.push_back("");  // stdin
+
+  std::vector<FileDiagnostics> files;
+  int total_errors = 0;
+  int total_warnings = 0;
+  for (const auto& path : inputs) {
+    std::string source;
+    if (!read_all(path, &source)) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 2;
+    }
+    const LintResult result = lint_source(source, options);
+    total_errors += result.errors;
+    total_warnings += result.warnings;
+    files.push_back(
+        {path.empty() ? "<stdin>" : path, result.diagnostics});
+  }
+
+  if (format == "json") {
+    std::fputs(to_json(files).c_str(), stdout);
+  } else if (format == "sarif") {
+    std::fputs(to_sarif(files).c_str(), stdout);
+  } else {
+    for (const auto& f : files) {
+      for (const auto& d : f.diagnostics) {
+        std::printf("%s\n", render_text(d, f.file).c_str());
+      }
+    }
+    if (!quiet) {
+      std::fprintf(stderr, "%d error(s), %d warning(s) in %zu file(s)\n",
+                   total_errors, total_warnings, files.size());
+    }
+  }
+  return total_errors > 0 ? 1 : 0;
+}

@@ -8,6 +8,8 @@
 //     --flops-per-iter <f> work-estimate flops per loop iteration
 //     --bytes-per-iter <f> work-estimate bytes per loop iteration
 //     --namespace <ns>     API namespace prefix (default "impacc")
+//     --lint               run impacc-lint first; refuse to lower sources
+//                          with error-level diagnostics
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -22,7 +24,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [-o out.cpp] [--flops-per-iter F] "
-               "[--bytes-per-iter B] [--namespace NS] [input.c]\n",
+               "[--bytes-per-iter B] [--namespace NS] [--lint] [input.c]\n",
                argv0);
   return 2;
 }
@@ -55,6 +57,8 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       options.api_ns = v;
+    } else if (arg == "--lint") {
+      options.lint = true;
     } else if (arg == "-h" || arg == "--help") {
       return usage(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -82,6 +86,11 @@ int main(int argc, char** argv) {
   }
 
   const auto result = impacc::trans::translate_source(source, options);
+  for (const auto& w : result.warnings) {
+    std::fprintf(stderr, "%s: warning: %s\n",
+                 input_path.empty() ? "<stdin>" : input_path.c_str(),
+                 w.c_str());
+  }
   for (const auto& e : result.errors) {
     std::fprintf(stderr, "%s: error: %s\n",
                  input_path.empty() ? "<stdin>" : input_path.c_str(),
