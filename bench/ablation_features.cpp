@@ -8,6 +8,8 @@
 #include "apps/lulesh/driver.h"
 #include "apps/stencil2d.h"
 #include "bench_common.h"
+#include "core/runtime.h"
+#include "core/task.h"
 
 namespace impacc::bench {
 namespace {
@@ -33,6 +35,8 @@ const Variant kVariants[] = {
      [](core::LaunchOptions& o) { o.features.numa_pinning = false; }},
     {"no-rdma",
      [](core::LaunchOptions& o) { o.features.gpudirect_rdma = false; }},
+    {"no-chunking",
+     [](core::LaunchOptions& o) { o.features.chunk_pipeline = false; }},
     {"serialized-mpi",
      [](core::LaunchOptions& o) { o.cluster.mpi_thread_multiple = false; }},
     {"baseline",
@@ -65,6 +69,42 @@ sim::Time lulesh_titan_run(const Variant& v) {
   cfg.s = 16;
   cfg.iterations = 3;
   return apps::run_lulesh(o, cfg).launch.makespan;
+}
+
+sim::Time staged_p2p_titan_run(const Variant& v) {
+  // Repeated 64 MiB internode device-to-device messages with GPUDirect
+  // off (a pre-RDMA fabric): every byte stages DtoH -> wire -> HtoD, so
+  // the chunk pipeline is the lever here.
+  auto o = model_options("titan", 2, core::Framework::kImpacc);
+  o.features.gpudirect_rdma = false;
+  v.mutate(o);
+  const std::uint64_t bytes = 64 << 20;
+  const auto result = launch(o, [bytes] {
+    const bool im = core::require_task("staged-p2p").rt->is_impacc();
+    auto w = mpi::world();
+    const int r = mpi::comm_rank(w);
+    if (r > 1) return;
+    auto* buf = static_cast<char*>(node_malloc(bytes));
+    acc::copyin(buf, bytes);
+    const int count = static_cast<int>(bytes);
+    for (int m = 0; m < 8; ++m) {
+      if (r == 0) {
+        if (im) {
+          acc::mpi({.send_device = true});
+        } else {
+          acc::update_self(buf, bytes);
+        }
+        mpi::send(buf, count, mpi::Datatype::kByte, 1, 1, w);
+      } else {
+        if (im) acc::mpi({.recv_device = true});
+        mpi::recv(buf, count, mpi::Datatype::kByte, 0, 1, w);
+        if (!im) acc::update_device(buf, bytes);
+      }
+    }
+    acc::del(buf);
+    node_free(buf);
+  });
+  return result.makespan;
 }
 
 sim::Time stencil2d_run(const Variant& v) {
@@ -102,6 +142,7 @@ void register_benchmarks() {
   sweep("dgemm-psg-1K", dgemm_run);
   sweep("jacobi-psg-4K", jacobi_run);
   sweep("lulesh-titan-64", lulesh_titan_run);
+  sweep("staged-p2p-titan-2n", staged_p2p_titan_run);
   sweep("stencil2d-psg-4K", stencil2d_run);
 }
 

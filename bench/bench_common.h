@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
@@ -86,15 +87,38 @@ inline double bw_gbps(double bytes, double seconds) {
   return seconds > 0 ? bytes / seconds / 1e9 : 0.0;
 }
 
-/// Standard main: run benchmarks, then print the summary table.
-#define IMPACC_BENCH_MAIN(figure, caption)                       \
-  int main(int argc, char** argv) {                              \
-    benchmark::Initialize(&argc, argv);                          \
-    register_benchmarks();                                       \
-    benchmark::RunSpecifiedBenchmarks();                         \
-    ::impacc::bench::print_summary(figure, caption);             \
-    benchmark::Shutdown();                                       \
-    return 0;                                                    \
+/// IMPACC_BENCH_SMOKE=1 shrinks the sweeps to a CI-sized subset: every
+/// series still appears, but only at its cheapest points.
+inline bool bench_smoke() {
+  const char* e = std::getenv("IMPACC_BENCH_SMOKE");
+  return e != nullptr && *e != '\0' && *e != '0';
+}
+
+/// True when argv requests a machine-readable report. The human summary
+/// table must stay off stdout then, or it corrupts the JSON/CSV document.
+inline bool machine_format_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--benchmark_format=", 0) == 0 &&
+        arg != "--benchmark_format=console") {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Standard main: run benchmarks, then print the summary table (unless a
+/// machine-readable format owns stdout).
+#define IMPACC_BENCH_MAIN(figure, caption)                               \
+  int main(int argc, char** argv) {                                      \
+    const bool machine =                                                 \
+        ::impacc::bench::machine_format_requested(argc, argv);           \
+    benchmark::Initialize(&argc, argv);                                  \
+    register_benchmarks();                                               \
+    benchmark::RunSpecifiedBenchmarks();                                 \
+    if (!machine) ::impacc::bench::print_summary(figure, caption);       \
+    benchmark::Shutdown();                                               \
+    return 0;                                                            \
   }
 
 }  // namespace impacc::bench

@@ -113,6 +113,79 @@ void bench_point(benchmark::State& state, Point p) {
   state.SetBytesProcessed(static_cast<std::int64_t>(p.bytes));
 }
 
+/// One-way staged internode DtoD transfer time on Titan with GPUDirect
+/// off, under a chunk-pipeline setting. A zero-message run is subtracted
+/// so only the rendezvous transfer remains.
+sim::Time staged_d2d_time(std::uint64_t bytes, bool chunk,
+                          std::uint64_t chunk_bytes) {
+  auto run = [&](int msgs) {
+    auto o = model_options("titan", 2, core::Framework::kImpacc);
+    limit_devices(o, 1);
+    o.features.gpudirect_rdma = false;  // force host staging
+    o.features.chunk_pipeline = chunk;
+    o.chunk_bytes = chunk_bytes;
+    const auto result = launch(o, [bytes, msgs] {
+      auto w = mpi::world();
+      const int r = mpi::comm_rank(w);
+      auto* buf = static_cast<char*>(node_malloc(bytes));
+      acc::copyin(buf, bytes);
+      const int count = static_cast<int>(bytes);
+      for (int m = 0; m < msgs; ++m) {
+        if (r == 0) {
+          acc::mpi({.send_device = true});
+          mpi::send(buf, count, mpi::Datatype::kByte, 1, 1, w);
+        } else {
+          acc::mpi({.recv_device = true});
+          mpi::recv(buf, count, mpi::Datatype::kByte, 0, 1, w);
+        }
+      }
+      acc::del(buf);
+      node_free(buf);
+    });
+    return result.makespan;
+  };
+  return run(1) - run(0);
+}
+
+/// Chunk-pipeline sweep at the 64 MiB Titan internode DtoD point: how the
+/// transfer time converges to the slowest stage as the chunk shrinks.
+void register_chunk_sweep() {
+  const std::uint64_t bytes = 64 << 20;
+  struct ChunkVariant {
+    const char* label;
+    bool enabled;
+    std::uint64_t chunk_bytes;
+  };
+  const std::vector<ChunkVariant> variants = {
+      {"off", false, 0},
+      {"256K", true, 256 << 10},
+      {"1M", true, 1 << 20},
+      {"4M", true, 4 << 20},
+      {"16M", true, 16 << 20},
+  };
+  const sim::Time mono = staged_d2d_time(bytes, false, 0);
+  for (const ChunkVariant& v : variants) {
+    const sim::Time t = staged_d2d_time(bytes, v.enabled, v.chunk_bytes);
+    add_row("Fig09+ Titan staged DtoD", std::string("chunk ") + v.label,
+            bw_gbps(static_cast<double>(bytes), t), mono / t,
+            "GB/s (ratio vs monolithic)");
+    const std::string name =
+        std::string("Fig09/titan/inter/DtoD-staged/chunk-") + v.label + "/" +
+        std::to_string(bytes);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [t, mono, bytes](benchmark::State& st) {
+          for (auto _ : st) {
+            st.SetIterationTime(t);
+            st.counters["GB/s"] = bw_gbps(static_cast<double>(bytes), t);
+            st.counters["vs_monolithic"] = mono / t;
+          }
+        })
+        ->UseManualTime()
+        ->Iterations(1);
+  }
+}
+
 void register_benchmarks() {
   struct Panel {
     const char* label;
@@ -132,8 +205,10 @@ void register_benchmarks() {
       {"Fig09(h) Titan inter", "titan", 2, Pattern::kHtoD},
       {"Fig09(i) Titan inter", "titan", 2, Pattern::kDtoD},
   };
-  const std::vector<std::uint64_t> sizes = {4096, 1 << 20, 16 << 20,
-                                            64 << 20};
+  const std::vector<std::uint64_t> sizes =
+      bench_smoke() ? std::vector<std::uint64_t>{4096, 16 << 20}
+                    : std::vector<std::uint64_t>{4096, 1 << 20, 16 << 20,
+                                                 64 << 20};
   for (const Panel& panel : panels) {
     for (std::uint64_t bytes : sizes) {
       for (core::Framework fw :
@@ -159,6 +234,7 @@ void register_benchmarks() {
               bw_gbps(static_cast<double>(bytes), message_time(pb)), "GB/s");
     }
   }
+  register_chunk_sweep();
 }
 
 }  // namespace

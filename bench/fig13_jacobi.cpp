@@ -58,8 +58,10 @@ void add_point(const std::string& series, const std::string& system,
 }
 
 void register_benchmarks() {
+  const bool smoke = bench_smoke();
   // (a)-(d): PSG.
-  for (long n : {1024L, 2048L, 4096L, 8192L}) {
+  for (long n : smoke ? std::vector<long>{1024, 4096}
+                      : std::vector<long>{1024, 2048, 4096, 8192}) {
     const double ref =
         jacobi_time("psg", 1, 1, core::Framework::kMpiOpenacc, n);
     for (int tasks : {1, 2, 4, 8}) {
@@ -73,17 +75,20 @@ void register_benchmarks() {
     const long n = 8192;
     const double ref =
         jacobi_time("beacon", 1, 1, core::Framework::kMpiOpenacc, n);
-    for (int tasks : {1, 4, 16, 64, 128}) {
+    for (int tasks : smoke ? std::vector<int>{1, 4, 16}
+                           : std::vector<int>{1, 4, 16, 64, 128}) {
       add_point("Fig13 Beacon 8Kx8K", "beacon", (tasks + 3) / 4, tasks, n,
                 ref);
     }
   }
-  // (f): Titan, strong scaling over 128 tasks, 32K mesh.
+  // (f): Titan, strong scaling over 128 tasks, 32K mesh. Smoke drops the
+  // thousands-of-fibers points.
   {
     const long n = 32768;
     const double ref =
         jacobi_time("titan", 128, 0, core::Framework::kMpiOpenacc, n);
-    for (int nodes : {128, 512, 2048, 8192}) {
+    for (int nodes : smoke ? std::vector<int>{128, 512}
+                           : std::vector<int>{128, 512, 2048, 8192}) {
       add_point("Fig13 Titan 32Kx32K", "titan", nodes, 0, n, ref);
     }
   }

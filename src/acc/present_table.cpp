@@ -236,21 +236,47 @@ PresentEntry* PresentTable::insert(const void* host, void* dev,
   e->handle = handle;
   by_host_.insert(e);
   by_dev_.insert(e);
+  invalidate_memo();
   return e;
 }
 
 void PresentTable::erase(PresentEntry* e) {
   by_host_.erase(e);
   by_dev_.erase(e);
+  invalidate_memo();
   delete e;
 }
 
+void PresentTable::invalidate_memo() {
+  host_memo_ = nullptr;
+  dev_memo_ = nullptr;
+  ++cache_.invalidations;
+}
+
 PresentEntry* PresentTable::find_host(const void* p) const {
-  return by_host_.find_containing(reinterpret_cast<std::uintptr_t>(p));
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  if (host_memo_ != nullptr && addr >= host_memo_->host &&
+      addr < host_memo_->host + host_memo_->bytes) {
+    ++cache_.host_hits;
+    return host_memo_;
+  }
+  ++cache_.host_misses;
+  PresentEntry* e = by_host_.find_containing(addr);
+  if (e != nullptr) host_memo_ = e;
+  return e;
 }
 
 PresentEntry* PresentTable::find_dev(const void* p) const {
-  return by_dev_.find_containing(reinterpret_cast<std::uintptr_t>(p));
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  if (dev_memo_ != nullptr && addr >= dev_memo_->dev &&
+      addr < dev_memo_->dev + dev_memo_->bytes) {
+    ++cache_.dev_hits;
+    return dev_memo_;
+  }
+  ++cache_.dev_misses;
+  PresentEntry* e = by_dev_.find_containing(addr);
+  if (e != nullptr) dev_memo_ = e;
+  return e;
 }
 
 void* PresentTable::deviceptr(const void* p) const {

@@ -103,6 +103,21 @@ class AddrAvlTree {
 /// access conflict between them").
 class PresentTable {
  public:
+  /// Effectiveness counters of the one-entry memo caches that sit in front
+  /// of the two AVL trees. Directive-heavy code (and every `acc mpi`
+  /// buffer resolution) looks the same few buffers up over and over, so a
+  /// single remembered entry per tree answers most lookups in O(1).
+  struct CacheStats {
+    std::uint64_t host_hits = 0;
+    std::uint64_t host_misses = 0;  // tree walked (found or not)
+    std::uint64_t dev_hits = 0;
+    std::uint64_t dev_misses = 0;
+    std::uint64_t invalidations = 0;  // insert/erase cleared the memos
+
+    std::uint64_t hits() const { return host_hits + dev_hits; }
+    std::uint64_t misses() const { return host_misses + dev_misses; }
+  };
+
   PresentTable();
   ~PresentTable();
 
@@ -137,9 +152,19 @@ class PresentTable {
   /// All entries (unordered); used at task teardown to release leaks.
   std::vector<PresentEntry*> entries() const;
 
+  const CacheStats& cache_stats() const { return cache_; }
+
  private:
+  void invalidate_memo();
+
   detail::AddrAvlTree by_host_;
   detail::AddrAvlTree by_dev_;
+  // One-entry memo caches (mutable: lookups are logically const). Any
+  // insert or erase invalidates both — correctness over cleverness; the
+  // hot path is long runs of lookups between structural changes.
+  mutable PresentEntry* host_memo_ = nullptr;
+  mutable PresentEntry* dev_memo_ = nullptr;
+  mutable CacheStats cache_;
 };
 
 }  // namespace impacc::acc

@@ -32,6 +32,30 @@ unsigned parse_device_type_mask(const std::string& spec) {
   return mask;
 }
 
+std::uint64_t parse_size_bytes(const std::string& spec) {
+  std::size_t pos = 0;
+  std::uint64_t value = 0;
+  while (pos < spec.size() && spec[pos] >= '0' && spec[pos] <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(spec[pos] - '0');
+    ++pos;
+  }
+  if (pos == 0) return 0;  // no digits
+  std::uint64_t scale = 1;
+  if (pos < spec.size()) {
+    switch (spec[pos]) {
+      case 'k': case 'K': scale = 1ull << 10; ++pos; break;
+      case 'm': case 'M': scale = 1ull << 20; ++pos; break;
+      case 'g': case 'G': scale = 1ull << 30; ++pos; break;
+      default: return 0;
+    }
+    // Tolerate a trailing B/iB ("1MiB", "256KB").
+    if (pos < spec.size() && (spec[pos] == 'i' || spec[pos] == 'I')) ++pos;
+    if (pos < spec.size() && (spec[pos] == 'b' || spec[pos] == 'B')) ++pos;
+  }
+  if (pos != spec.size()) return 0;
+  return value * scale;
+}
+
 TaskStats& TaskStats::operator+=(const TaskStats& o) {
   kernel_busy += o.kernel_busy;
   for (std::size_t i = 0; i < copy_time.size(); ++i) {
@@ -43,6 +67,9 @@ TaskStats& TaskStats::operator+=(const TaskStats& o) {
   msgs_recv += o.msgs_recv;
   bytes_sent += o.bytes_sent;
   heap_aliases += o.heap_aliases;
+  chunked_msgs += o.chunked_msgs;
+  present_cache_hits += o.present_cache_hits;
+  present_cache_misses += o.present_cache_misses;
   return *this;
 }
 

@@ -31,6 +31,7 @@ struct Features {
   bool unified_queue = true;     // MPI ops on activity queues (section 3.6)
   bool numa_pinning = true;      // near-socket task pinning (section 3.3)
   bool gpudirect_rdma = true;    // use fabric RDMA when available
+  bool chunk_pipeline = true;    // chunked internode transfers (section 3.5)
 };
 
 /// OpenACC device-type selection bits (IMPACC_ACC_DEVICE_TYPE, Fig. 2).
@@ -46,6 +47,13 @@ enum DeviceTypeMask : unsigned {
 /// Parse "nvidia|xeonphi|cpu|default" (| separated) into a mask.
 unsigned parse_device_type_mask(const std::string& spec);
 
+/// Parse a byte-size spec with an optional K/M/G suffix ("256K", "1M",
+/// "4194304"); returns 0 on anything unparseable.
+std::uint64_t parse_size_bytes(const std::string& spec);
+
+/// Default chunk size of the internode transfer pipeline (1 MiB).
+constexpr std::uint64_t kDefaultChunkBytes = 1ull << 20;
+
 /// Everything launch() needs to stand up a run.
 struct LaunchOptions {
   sim::ClusterDesc cluster;
@@ -58,6 +66,10 @@ struct LaunchOptions {
   int scheduler_workers = 0;  // 0 = auto
   // Node heap capacity (functional mode caps the backing mapping).
   std::uint64_t node_heap_bytes = 512ull << 20;
+  // Chunk size of the internode transfer pipeline (section 3.5). 0 defers
+  // to the IMPACC_CHUNK_SIZE environment variable, then to
+  // kDefaultChunkBytes. Messages at most one chunk long go monolithic.
+  std::uint64_t chunk_bytes = 0;
   // Write a Chrome-trace JSON of the virtual-time execution here (also
   // enabled by the IMPACC_TRACE environment variable). Empty = disabled
   // unless the env var is set.
@@ -75,6 +87,10 @@ struct TaskStats {
   std::uint64_t msgs_recv = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t heap_aliases = 0;  // successful node-heap-alias matches
+  std::uint64_t chunked_msgs = 0;  // internode sends split by the pipeline
+  // Present-table memo cache effectiveness (host + device lookups).
+  std::uint64_t present_cache_hits = 0;
+  std::uint64_t present_cache_misses = 0;
 
   TaskStats& operator+=(const TaskStats& o);
 };

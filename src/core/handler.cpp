@@ -1,5 +1,6 @@
 #include "core/handler.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/log.h"
@@ -41,14 +42,36 @@ void complete_match(NodeRt& n, MsgCommand* snd, MsgCommand* rcv) {
     // the non-blocking transfer (section 3.7). The pending-queue handling
     // is IMPACC machinery — the baseline's processes receive directly —
     // and is the source of the paper's small LULESH regression on Beacon.
-    sim::Time cost = rt->is_impacc() ? costs.handler_command_overhead : 0;
+    const sim::Time cost = rt->is_impacc() ? costs.handler_command_overhead : 0;
     if (rcv->buf_dev != nullptr && !rt->rdma_enabled()) {
-      const sim::Time pcie = sim::pcie_copy_time(
-          *n.desc, rcv->buf_dev->desc(), bytes, rcv->near);
-      cost += pcie;
-      add_copy_stat(recv_task.stats, dev::CopyPathKind::kHostToDev, pcie);
+      if (snd->chunk_split > 0) {
+        // Chunked sender (section 3.5): issue the HtoD staging copy of each
+        // chunk as it comes off the wire, overlapping with the chunks still
+        // in flight; the last chunk's copy bounds the completion.
+        const sim::LinkModel htod =
+            sim::staging_link(*n.desc, rcv->buf_dev->desc(), rcv->near);
+        sim::Time finish = rcv->ready;
+        sim::Time busy = 0;
+        std::uint64_t off = 0;
+        for (std::size_t j = 0; j < snd->chunk_arrivals.size(); ++j) {
+          const std::uint64_t len = std::min(snd->chunk_split, bytes - off);
+          const sim::Time t = htod.time(len);
+          finish = std::max(finish, snd->chunk_arrivals[j]) + t;
+          busy += t;
+          off += len;
+        }
+        IMPACC_CHECK_MSG(off == bytes, "chunk pipeline lost bytes");
+        add_copy_stat(recv_task.stats, dev::CopyPathKind::kHostToDev, busy);
+        done = finish + cost;
+      } else {
+        const sim::Time pcie = sim::pcie_copy_time(
+            *n.desc, rcv->buf_dev->desc(), bytes, rcv->near);
+        add_copy_stat(recv_task.stats, dev::CopyPathKind::kHostToDev, pcie);
+        done = std::max(snd->arrival, rcv->ready) + (cost + pcie);
+      }
+    } else {
+      done = std::max(snd->arrival, rcv->ready) + cost;
     }
-    done = std::max(snd->arrival, rcv->ready) + cost;
     if (functional && bytes > 0) {
       const void* src = snd->eager_payload.empty() ? snd->wire_src
                                                    : snd->eager_payload.data();
@@ -263,28 +286,93 @@ void route_send(Task& t, MsgCommand* cmd, bool from_task_fiber) {
 
   // Internode. Sender-side staging (async DtoH into pinned memory +
   // callback chaining into the underlying MPI_Isend) happens before the
-  // wire unless the fabric reads device memory directly.
+  // wire unless the fabric reads device memory directly. Transfers longer
+  // than one chunk split so the DtoH stage, the wire, and the receiver's
+  // HtoD stage overlap (section 3.5); RDMA paths skip both staging legs
+  // and gain nothing from splitting.
   sim::Time ready = cmd->ready;
-  if (cmd->buf_dev != nullptr && !rt->rdma_enabled()) {
-    const sim::Time pcie = sim::pcie_copy_time(
-        *src_node.desc, cmd->buf_dev->desc(), cmd->bytes, cmd->near);
-    ready += pcie;
-    add_copy_stat(t.stats, dev::CopyPathKind::kDevToHost, pcie);
-    // The DtoH staging lands in a pre-pinned bounce buffer (section 3.7);
-    // the pool recycles them across messages.
-    src_node.pinned.release(src_node.pinned.acquire(cmd->bytes));
+  const bool staged_send = cmd->buf_dev != nullptr && !rt->rdma_enabled();
+  const dev::ChunkPipeline pipe = dev::plan_chunk_pipeline(
+      rt->is_impacc() && rt->features().chunk_pipeline && !rt->rdma_enabled(),
+      cmd->bytes, rt->chunk_bytes());
+  sim::Time on_wire_done = 0;
+  if (pipe.chunked() && staged_send) {
+    // Device sender: pipeline [DtoH, wire] per chunk. Each chunk stages
+    // through its own pinned bounce buffer, released as soon as the next
+    // chunk's buffer is in hand — peak staging memory is ~2 chunks, not
+    // the full message (double buffering).
+    const sim::LinkModel dtoh = sim::staging_link(
+        *src_node.desc, cmd->buf_dev->desc(), cmd->near);
+    add_copy_stat(
+        t.stats, dev::CopyPathKind::kDevToHost,
+        sim::chunked_stage_total(dtoh, cmd->bytes, pipe.chunk_bytes));
+    PinnedPool::Buffer staged_prev{};
+    for (int j = 0; j < pipe.chunks; ++j) {
+      const std::uint64_t len = pipe.chunk_len(j, cmd->bytes);
+      PinnedPool::Buffer b = src_node.pinned.acquire(len);
+      if (functional) {
+        const auto* src = static_cast<const unsigned char*>(cmd->buf) +
+                          static_cast<std::uint64_t>(j) * pipe.chunk_bytes;
+        std::memcpy(b.ptr, src, len);
+      }
+      src_node.pinned.release(staged_prev);
+      staged_prev = b;
+    }
+    src_node.pinned.release(staged_prev);
+    if (!cluster.mpi_thread_multiple) {
+      // The per-node MPI lock is held while the NIC is busy: the hold is
+      // the wire occupancy of all chunks, not the end-to-end pipeline.
+      ready = src_node.serialize_mpi(
+          ready, sim::chunked_stage_total(sim::wire_link(cluster.fabric),
+                                          cmd->bytes, pipe.chunk_bytes) +
+                     cluster.costs.sync_point_overhead);
+      if (from_task_fiber) t.clock.merge(ready);
+    }
+    cmd->chunk_split = pipe.chunk_bytes;
+    cmd->chunk_arrivals = src_node.nic_transmit_chunked(
+        ready, &dtoh, sim::wire_link(cluster.fabric), cmd->bytes,
+        pipe.chunk_bytes);
+    on_wire_done = cmd->chunk_arrivals.back();
+    t.stats.chunked_msgs += 1;
+  } else {
+    if (staged_send) {
+      const sim::Time pcie = sim::pcie_copy_time(
+          *src_node.desc, cmd->buf_dev->desc(), cmd->bytes, cmd->near);
+      ready += pcie;
+      add_copy_stat(t.stats, dev::CopyPathKind::kDevToHost, pcie);
+      // The DtoH staging lands in a pre-pinned bounce buffer (section 3.7);
+      // the pool recycles them across messages.
+      src_node.pinned.release(src_node.pinned.acquire(cmd->bytes));
+    }
+    const sim::Time wire = sim::fabric_time(cluster.fabric, cmd->bytes);
+    if (!cluster.mpi_thread_multiple) {
+      // Without MPI_THREAD_MULTIPLE the runtime serializes internode calls
+      // per node: the per-node MPI lock is held across the transfer, so a
+      // node's outgoing messages cannot overlap, and a calling task fiber
+      // is held until its turn completes (section 3.7).
+      ready = src_node.serialize_mpi(
+          ready, wire + cluster.costs.sync_point_overhead);
+      if (from_task_fiber) t.clock.merge(ready);
+    }
+    on_wire_done = src_node.nic_transmit(ready, wire);
+    if (pipe.chunked()) {
+      // Host sender, but the receiver may still stage to a device: the
+      // wire stays one message, yet chunk j's bytes are deliverable once
+      // they are off the wire — expose those stream positions so the
+      // receiver's HtoD staging can start before the full arrival.
+      cmd->chunk_split = pipe.chunk_bytes;
+      cmd->chunk_arrivals.reserve(static_cast<std::size_t>(pipe.chunks));
+      const double bw = cluster.fabric.link.bandwidth;
+      for (int j = 0; j < pipe.chunks; ++j) {
+        const std::uint64_t delivered =
+            static_cast<std::uint64_t>(j) * pipe.chunk_bytes +
+            pipe.chunk_len(j, cmd->bytes);
+        cmd->chunk_arrivals.push_back(
+            on_wire_done -
+            static_cast<double>(cmd->bytes - delivered) / bw);
+      }
+    }
   }
-  const sim::Time wire = sim::fabric_time(cluster.fabric, cmd->bytes);
-  if (!cluster.mpi_thread_multiple) {
-    // Without MPI_THREAD_MULTIPLE the runtime serializes internode calls
-    // per node: the per-node MPI lock is held across the transfer, so a
-    // node's outgoing messages cannot overlap, and a calling task fiber
-    // is held until its turn completes (section 3.7).
-    ready = src_node.serialize_mpi(
-        ready, wire + cluster.costs.sync_point_overhead);
-    if (from_task_fiber) t.clock.merge(ready);
-  }
-  const sim::Time on_wire_done = src_node.nic_transmit(ready, wire);
 
   const bool eager = cmd->bytes <= kEagerBytes && cmd->buf_dev == nullptr &&
                      !cmd->force_rendezvous;

@@ -26,6 +26,10 @@ LaunchResult launch(const core::LaunchOptions& options,
   result.task_stats.reserve(static_cast<std::size_t>(rt.num_tasks()));
   for (int i = 0; i < rt.num_tasks(); ++i) {
     core::Task& t = rt.task(i);
+    // Fold the present-table memo effectiveness into the task's stats.
+    const acc::PresentTable::CacheStats& cs = t.present.cache_stats();
+    t.stats.present_cache_hits = cs.hits();
+    t.stats.present_cache_misses = cs.misses();
     result.task_times.push_back(t.clock.now());
     result.task_stats.push_back(t.stats);
     result.total += t.stats;

@@ -88,6 +88,13 @@ struct MsgCommand : MpscNode {
   // kIncoming: pointer to the sender's (in-process) buffer for the
   // functional copy, valid until completion for rendezvous sends.
   const void* wire_src = nullptr;
+
+  // Chunked internode pipeline (section 3.5): nonzero when the sender
+  // split the transfer into chunks of this size; chunk_arrivals[j] is the
+  // virtual time chunk j is fully off the wire, so the receiver's handler
+  // can overlap its HtoD staging with the remaining chunks in flight.
+  std::uint64_t chunk_split = 0;
+  std::vector<sim::Time> chunk_arrivals;
 };
 
 }  // namespace impacc::core

@@ -1,6 +1,7 @@
 #include "core/pinned_pool.h"
 
 #include <cstdlib>
+#include <mutex>
 
 #include "common/types.h"
 
@@ -14,15 +15,20 @@ PinnedPool::~PinnedPool() {
 }
 
 PinnedPool::Buffer PinnedPool::acquire(std::uint64_t bytes) {
-  lock_.lock();
+  const std::lock_guard<ult::SpinLock> guard(lock_);
   ++stats_.acquires;
   auto it = free_.lower_bound(bytes);
   if (it != free_.end()) {
-    ++stats_.hits;
-    Buffer b{it->second, it->first};
-    free_.erase(it);
-    lock_.unlock();
-    return b;
+    if (it->first <= 2 * bytes) {
+      ++stats_.hits;
+      Buffer b{it->second, it->first};
+      stats_.bytes_retained -= it->first;
+      free_.erase(it);
+      return b;
+    }
+    // Best fit is still wildly oversized; handing it out would waste
+    // pinned memory for the whole transfer. Pin an exact one instead.
+    ++stats_.oversize_rejects;
   }
   ++stats_.buffers_created;
   stats_.bytes_allocated += bytes;
@@ -34,22 +40,39 @@ PinnedPool::Buffer PinnedPool::acquire(std::uint64_t bytes) {
   } else {
     b.ptr = reinterpret_cast<void*>(next_fake_++);
   }
-  lock_.unlock();
   return b;
 }
 
 void PinnedPool::release(Buffer buffer) {
   if (buffer.ptr == nullptr) return;
-  lock_.lock();
+  const std::lock_guard<ult::SpinLock> guard(lock_);
   free_.emplace(buffer.bytes, buffer.ptr);
-  lock_.unlock();
+  stats_.bytes_retained += buffer.bytes;
+  trim_locked();
+}
+
+void PinnedPool::set_retain_limit(std::uint64_t bytes) {
+  const std::lock_guard<ult::SpinLock> guard(lock_);
+  retain_limit_ = bytes;
+  trim_locked();
+}
+
+void PinnedPool::trim_locked() {
+  // Largest-first: one eviction frees the most retained bytes, and the
+  // biggest buffers are the least likely to be re-requested exactly.
+  while (stats_.bytes_retained > retain_limit_ && !free_.empty()) {
+    const auto largest = std::prev(free_.end());
+    stats_.bytes_retained -= largest->first;
+    stats_.bytes_trimmed += largest->first;
+    ++stats_.trims;
+    if (functional_) std::free(largest->second);
+    free_.erase(largest);
+  }
 }
 
 PinnedPool::Stats PinnedPool::stats() const {
-  lock_.lock();
-  const Stats s = stats_;
-  lock_.unlock();
-  return s;
+  const std::lock_guard<ult::SpinLock> guard(lock_);
+  return stats_;
 }
 
 }  // namespace impacc::core

@@ -27,8 +27,18 @@ class PinnedPool {
     std::uint64_t acquires = 0;
     std::uint64_t hits = 0;          // served from the free list
     std::uint64_t buffers_created = 0;
-    std::uint64_t bytes_allocated = 0;  // total pinned footprint
+    std::uint64_t bytes_allocated = 0;  // total bytes ever pinned
+    std::uint64_t bytes_retained = 0;   // free-list footprint right now
+    std::uint64_t oversize_rejects = 0;  // best-fit buffer was > 2x request
+    std::uint64_t trims = 0;             // buffers evicted by the cap
+    std::uint64_t bytes_trimmed = 0;
   };
+
+  /// Retained-free-bytes cap: pinned memory is a scarce, registered
+  /// resource, so the pool does not hold a long run's peak staging
+  /// footprint forever (64 MiB keeps two maximal in-flight chunk pairs of
+  /// every realistic chunk size around).
+  static constexpr std::uint64_t kDefaultRetainBytes = 64ull << 20;
 
   /// `functional` allocates real memory; model-only runs track sizes only.
   explicit PinnedPool(bool functional) : functional_(functional) {}
@@ -37,19 +47,30 @@ class PinnedPool {
   PinnedPool(const PinnedPool&) = delete;
   PinnedPool& operator=(const PinnedPool&) = delete;
 
-  /// Smallest free buffer of at least `bytes`, or a newly pinned one.
+  /// Smallest free buffer of at least `bytes` — but never more than twice
+  /// the request (a 4 KiB ask must not consume a 64 MiB staging buffer) —
+  /// or a newly pinned exact-size one.
   Buffer acquire(std::uint64_t bytes);
 
-  /// Return a buffer to the pool for reuse.
+  /// Return a buffer to the pool for reuse. If the free list now retains
+  /// more than the cap, the largest free buffers are unpinned first (they
+  /// are the expensive ones to keep and the cheapest to re-create later
+  /// relative to their transfer time).
   void release(Buffer buffer);
+
+  /// Override the retained-free-bytes cap (tests, memory-tight runs).
+  void set_retain_limit(std::uint64_t bytes);
 
   Stats stats() const;
 
  private:
+  void trim_locked();
+
   bool functional_;
   mutable ult::SpinLock lock_;
   std::multimap<std::uint64_t, void*> free_;  // size -> buffer
   Stats stats_;
+  std::uint64_t retain_limit_ = kDefaultRetainBytes;
   std::uintptr_t next_fake_ = 1;  // model-only: distinct non-null tokens
 };
 

@@ -36,6 +36,26 @@ sim::Time NodeRt::nic_transmit(sim::Time ready, sim::Time wire) {
   return done;
 }
 
+std::vector<sim::Time> NodeRt::nic_transmit_chunked(
+    sim::Time ready, const sim::LinkModel* prestage,
+    const sim::LinkModel& wire, std::uint64_t bytes, std::uint64_t chunk) {
+  sim::LinkModel stages[2];
+  int num_stages = 0;
+  if (prestage != nullptr) stages[num_stages++] = *prestage;
+  const int wire_stage = num_stages;
+  stages[num_stages++] = wire;
+  sim::Time avail[2] = {ready, ready};
+  nic_lock.lock();
+  avail[wire_stage] = nic_free;
+  std::vector<sim::Time> finishes = sim::chunk_pipeline_finishes(
+      stages, num_stages, avail, ready, bytes, chunk);
+  // The adapter is held through the whole pipelined transfer, like the
+  // monolithic reservation would hold it for the whole wire time.
+  nic_free = std::max(nic_free, finishes.back());
+  nic_lock.unlock();
+  return finishes;
+}
+
 sim::Time NodeRt::serialize_mpi(sim::Time ready, sim::Time hold) {
   nic_lock.lock();
   const sim::Time start = std::max(ready, mpi_lock_free);
@@ -58,6 +78,14 @@ Runtime::Runtime(LaunchOptions opts)
     if (const char* env = std::getenv("IMPACC_TRACE")) {
       opts_.trace_path = env;
     }
+  }
+  // Resolve the pipeline chunk size: explicit option, else the
+  // IMPACC_CHUNK_SIZE environment variable, else the 1 MiB default.
+  if (opts_.chunk_bytes == 0) {
+    if (const char* env = std::getenv("IMPACC_CHUNK_SIZE")) {
+      opts_.chunk_bytes = parse_size_bytes(env);
+    }
+    if (opts_.chunk_bytes == 0) opts_.chunk_bytes = kDefaultChunkBytes;
   }
   if (!opts_.trace_path.empty()) {
     trace_ = std::make_shared<sim::TraceSink>();

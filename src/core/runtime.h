@@ -76,6 +76,17 @@ struct NodeRt {
   /// `ready`; returns the time the message is fully on the wire.
   sim::Time nic_transmit(sim::Time ready, sim::Time wire);
 
+  /// Chunked transmit (section 3.5): run the [prestage?, wire] pipeline for
+  /// a `bytes` message split into `chunk`-sized chunks starting at `ready`;
+  /// `prestage` (may be nullptr) is the sender's DtoH staging stage. The
+  /// NIC is reserved through the last chunk. Returns per-chunk wire-finish
+  /// times (the last one is the message's arrival).
+  std::vector<sim::Time> nic_transmit_chunked(sim::Time ready,
+                                              const sim::LinkModel* prestage,
+                                              const sim::LinkModel& wire,
+                                              std::uint64_t bytes,
+                                              std::uint64_t chunk);
+
   /// Serialized-MPI mode: acquire the node's MPI lock at `ready`, hold it
   /// for `hold`; returns the release time (the message's effective ready).
   sim::Time serialize_mpi(sim::Time ready, sim::Time hold);
@@ -98,6 +109,9 @@ class Runtime {
   const Features& features() const { return opts_.features; }
   bool functional() const { return opts_.mode == ExecMode::kFunctional; }
   bool is_impacc() const { return opts_.framework == Framework::kImpacc; }
+
+  /// Resolved chunk size of the internode transfer pipeline.
+  std::uint64_t chunk_bytes() const { return opts_.chunk_bytes; }
 
   int num_tasks() const { return static_cast<int>(tasks_.size()); }
   Task& task(int id) { return *tasks_[static_cast<std::size_t>(id)]; }

@@ -99,4 +99,13 @@ void copy_bytes(void* dst, const void* src, std::uint64_t bytes,
   if (functional && bytes > 0 && dst != src) std::memmove(dst, src, bytes);
 }
 
+ChunkPipeline plan_chunk_pipeline(bool enabled, std::uint64_t msg_bytes,
+                                  std::uint64_t chunk_bytes) {
+  ChunkPipeline plan;
+  if (!enabled || chunk_bytes == 0 || msg_bytes <= chunk_bytes) return plan;
+  plan.chunk_bytes = chunk_bytes;
+  plan.chunks = static_cast<int>((msg_bytes + chunk_bytes - 1) / chunk_bytes);
+  return plan;
+}
+
 }  // namespace impacc::dev

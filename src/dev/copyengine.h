@@ -7,6 +7,7 @@
 // with IPC overhead.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 
@@ -58,5 +59,29 @@ IntraCopyPlan plan_unfused_copy(const sim::NodeDesc& node,
 /// Perform the actual bytes movement when running functionally.
 void copy_bytes(void* dst, const void* src, std::uint64_t bytes,
                 bool functional);
+
+// --- Internode chunk pipeline (section 3.5) ---------------------------------
+
+/// Split decision for one internode transfer: ceil(B/C) chunks of at most
+/// `chunk_bytes` each. A transfer is only worth splitting when it is more
+/// than one chunk long; chunk_bytes == 0 means "send monolithic".
+struct ChunkPipeline {
+  std::uint64_t chunk_bytes = 0;
+  int chunks = 1;
+
+  bool chunked() const { return chunk_bytes != 0; }
+
+  /// Size of chunk `j` (the last chunk carries the tail).
+  std::uint64_t chunk_len(int j, std::uint64_t total_bytes) const {
+    const std::uint64_t off = static_cast<std::uint64_t>(j) * chunk_bytes;
+    return std::min(chunk_bytes, total_bytes - off);
+  }
+};
+
+/// Plan the split for a message of `msg_bytes` with the runtime's chunk
+/// size `chunk_bytes`; `enabled` reflects the features().chunk_pipeline
+/// ablation gate (and any path constraints of the caller).
+ChunkPipeline plan_chunk_pipeline(bool enabled, std::uint64_t msg_bytes,
+                                  std::uint64_t chunk_bytes);
 
 }  // namespace impacc::dev

@@ -25,17 +25,25 @@ struct ResolvedBuffer {
   bool near = true;
 };
 
-ResolvedBuffer resolve_buffer(Task& t, const void* buf, bool device_clause,
-                              const char* what) {
+ResolvedBuffer resolve_buffer(Task& t, const void* buf, std::uint64_t bytes,
+                              bool device_clause, const char* what) {
   ResolvedBuffer r;
   r.ptr = const_cast<void*>(buf);
   if (device_clause) {
     // #pragma acc mpi ...buf(device): use the device copy of the host data
-    // — exactly acc_deviceptr(host_data) (section 3.5).
+    // — exactly acc_deviceptr(host_data) (section 3.5). This lookup runs
+    // on every device-clause MPI call, which is why PresentTable keeps a
+    // one-entry memo in front of the AVL tree; resolving through the entry
+    // also lets us reject messages that run past the mapping.
     IMPACC_CHECK_MSG(t.rt->is_impacc(),
                      "device-buffer MPI requires the IMPACC framework");
-    r.ptr = t.present.deviceptr(buf);
-    IMPACC_CHECK_MSG(r.ptr != nullptr, "buf(device): host data not present");
+    const acc::PresentEntry* e = t.present.find_host(buf);
+    IMPACC_CHECK_MSG(e != nullptr, "buf(device): host data not present");
+    const std::uintptr_t off =
+        reinterpret_cast<std::uintptr_t>(buf) - e->host;
+    IMPACC_CHECK_MSG(off + bytes <= e->bytes,
+                     "buf(device): message exceeds the present mapping");
+    r.ptr = reinterpret_cast<void*>(e->dev + off);
   }
   if (r.ptr == nullptr) return r;  // zero-byte message
   const core::Uvas::Location loc = t.node->uvas.locate(r.ptr);
@@ -130,7 +138,7 @@ Request isend_impl(const void* buf, int count, Datatype dt, int dst, int tag,
   const std::uint64_t bytes =
       static_cast<std::uint64_t>(count) * type_size(dt);
   const ResolvedBuffer rb =
-      resolve_buffer(t, buf, hint.send_device,
+      resolve_buffer(t, buf, bytes, hint.send_device,
                      "MPI send from device memory requires IMPACC");
   MsgCommand* cmd =
       new_send_command(t, rb, bytes, dst, tag, comm, hint.send_readonly);
@@ -174,7 +182,7 @@ Request irecv(void* buf, int count, Datatype dt, int src, int tag, Comm comm) {
   const std::uint64_t bytes =
       static_cast<std::uint64_t>(count) * type_size(dt);
   const ResolvedBuffer rb =
-      resolve_buffer(t, buf, hint.recv_device,
+      resolve_buffer(t, buf, bytes, hint.recv_device,
                      "MPI recv into device memory requires IMPACC");
   if (is_derived(dt)) {
     IMPACC_CHECK_MSG(rb.device == nullptr,

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/types.h"
+
 namespace impacc::sim {
 
 Time host_copy_time(const NodeDesc& node, std::uint64_t bytes) {
@@ -53,6 +55,76 @@ Time staged_dtod_time(const NodeDesc& node, const DeviceDesc& src,
 
 Time fabric_time(const FabricDesc& fabric, std::uint64_t bytes) {
   return fabric.per_message_overhead + fabric.link.time(bytes);
+}
+
+LinkModel staging_link(const NodeDesc& node, const DeviceDesc& dev,
+                       bool near_socket) {
+  if (dev.backend == BackendKind::kHostShared) return node.host_copy;
+  if (near_socket || node.sockets <= 1) return dev.pcie;
+  LinkModel far;
+  far.latency = dev.pcie.latency + node.numa_far_extra_latency;
+  far.bandwidth = dev.pcie.bandwidth * node.numa_far_bw_factor;
+  return far;
+}
+
+LinkModel wire_link(const FabricDesc& fabric) {
+  LinkModel link = fabric.link;
+  link.latency += fabric.per_message_overhead;
+  return link;
+}
+
+std::vector<Time> chunk_pipeline_finishes(const LinkModel* stages,
+                                          int num_stages,
+                                          const Time* stage_avail, Time start,
+                                          std::uint64_t bytes,
+                                          std::uint64_t chunk_bytes) {
+  IMPACC_CHECK(num_stages > 0);
+  if (chunk_bytes == 0 || chunk_bytes > bytes) chunk_bytes = bytes;
+  // stage_free[i]: when stage i can accept the next chunk — the previous
+  // chunk's finish there, seeded with the stage's external availability.
+  std::vector<Time> stage_free(static_cast<std::size_t>(num_stages), start);
+  if (stage_avail != nullptr) {
+    for (int i = 0; i < num_stages; ++i) {
+      stage_free[static_cast<std::size_t>(i)] =
+          std::max(start, stage_avail[i]);
+    }
+  }
+  std::vector<Time> finishes;
+  std::uint64_t off = 0;
+  do {
+    const std::uint64_t len = std::min(chunk_bytes, bytes - off);
+    Time t = start;  // finish of this chunk at the previous stage
+    for (int i = 0; i < num_stages; ++i) {
+      auto& free_at = stage_free[static_cast<std::size_t>(i)];
+      t = std::max(t, free_at) + stages[i].time(len);
+      free_at = t;
+    }
+    finishes.push_back(t);
+    off += len;
+  } while (off < bytes);
+  return finishes;
+}
+
+Time pipelined_transfer_time(const std::vector<LinkModel>& stages,
+                             std::uint64_t bytes, std::uint64_t chunk_bytes) {
+  return chunk_pipeline_finishes(stages.data(),
+                                 static_cast<int>(stages.size()),
+                                 /*stage_avail=*/nullptr, /*start=*/0, bytes,
+                                 chunk_bytes)
+      .back();
+}
+
+Time chunked_stage_total(const LinkModel& stage, std::uint64_t bytes,
+                         std::uint64_t chunk_bytes) {
+  if (chunk_bytes == 0 || chunk_bytes > bytes) chunk_bytes = bytes;
+  Time total = 0;
+  std::uint64_t off = 0;
+  do {
+    const std::uint64_t len = std::min(chunk_bytes, bytes - off);
+    total += stage.time(len);
+    off += len;
+  } while (off < bytes);
+  return total;
 }
 
 Time kernel_time(const DeviceDesc& dev, double flops, double bytes_moved) {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/topology.h"
 
@@ -39,6 +40,44 @@ Time staged_dtod_time(const NodeDesc& node, const DeviceDesc& src,
 
 /// Internode wire time for one message of `bytes`.
 Time fabric_time(const FabricDesc& fabric, std::uint64_t bytes);
+
+// --- Chunked transfer pipeline (section 3.5) --------------------------------
+//
+// Large internode device transfers split into chunks so the sender's DtoH
+// staging, the wire, and the receiver's HtoD staging overlap. The stages
+// form a linear pipeline; each is a LinkModel charged per chunk, so the
+// overlapped total converges to the bottleneck stage's bandwidth (plus the
+// per-chunk latencies the split introduces).
+
+/// Host<->device staging stage as a LinkModel. For every input,
+/// staging_link(...).time(bytes) == pcie_copy_time(node, dev, bytes, near).
+LinkModel staging_link(const NodeDesc& node, const DeviceDesc& dev,
+                       bool near_socket);
+
+/// Wire stage as a LinkModel with the fabric's per-message overhead folded
+/// into the latency: each chunk is its own message on the wire.
+LinkModel wire_link(const FabricDesc& fabric);
+
+/// Finish time of each chunk in the LAST stage of the pipeline. Chunk j may
+/// start stage i only when (a) it finished stage i-1, (b) chunk j-1 freed
+/// stage i, and (c) the stage was available at all (`stage_avail`, e.g. the
+/// NIC's busy-until time; pass nullptr for all-free). The first stage of
+/// the first chunk starts no earlier than `start`.
+std::vector<Time> chunk_pipeline_finishes(const LinkModel* stages,
+                                          int num_stages,
+                                          const Time* stage_avail, Time start,
+                                          std::uint64_t bytes,
+                                          std::uint64_t chunk_bytes);
+
+/// Total pipelined transfer time with all stages free and start = 0.
+/// Closed form for n uniform chunks: sum_i t_i(C) + (n-1) * max_i t_i(C).
+Time pipelined_transfer_time(const std::vector<LinkModel>& stages,
+                             std::uint64_t bytes, std::uint64_t chunk_bytes);
+
+/// Busy time of one stage across all chunks (sum of per-chunk times); this
+/// is what the stage's resource (PCIe link, NIC) is occupied for.
+Time chunked_stage_total(const LinkModel& stage, std::uint64_t bytes,
+                         std::uint64_t chunk_bytes);
 
 /// Kernel execution: roofline of compute and memory traffic plus launch
 /// overhead. `flops` and `bytes_moved` are the kernel's work estimate.

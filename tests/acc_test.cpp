@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <map>
 #include <random>
 #include <vector>
@@ -164,6 +165,116 @@ TEST(PresentTable, BothTreesStayConsistent) {
                                     devs[static_cast<std::size_t>(i)].data());
     EXPECT_EQ(pt.deviceptr(hosts[static_cast<std::size_t>(i)].data()), expect);
   }
+}
+
+TEST(PresentTable, MemoCacheCountsHitsAndMisses) {
+  PresentTable pt;
+  char h0[256];
+  char d0[256];
+  char h1[256];
+  char d1[256];
+  PresentEntry* e0 = pt.insert(h0, d0, 256, 0);
+  PresentEntry* e1 = pt.insert(h1, d1, 256, 1);
+  // First lookup walks the tree (the inserts invalidated the memo), the
+  // repeats — anywhere inside the same entry — are memo hits.
+  EXPECT_EQ(pt.find_host(h0), e0);
+  EXPECT_EQ(pt.find_host(h0 + 100), e0);
+  EXPECT_EQ(pt.find_host(h0 + 255), e0);
+  EXPECT_EQ(pt.cache_stats().host_misses, 1u);
+  EXPECT_EQ(pt.cache_stats().host_hits, 2u);
+  // Switching entries misses once, then hits again.
+  EXPECT_EQ(pt.find_host(h1), e1);
+  EXPECT_EQ(pt.find_host(h1 + 1), e1);
+  EXPECT_EQ(pt.cache_stats().host_misses, 2u);
+  EXPECT_EQ(pt.cache_stats().host_hits, 3u);
+  // Failed lookups count as misses and must not poison the memo: the
+  // follow-up lookup of h1 is still answered by the retained memo.
+  char elsewhere[8];
+  EXPECT_EQ(pt.find_host(elsewhere), nullptr);
+  EXPECT_EQ(pt.find_host(h1), e1);
+  EXPECT_EQ(pt.cache_stats().host_misses, 3u);
+  EXPECT_EQ(pt.cache_stats().host_hits, 4u);
+  // The device tree has its own independent memo.
+  EXPECT_EQ(pt.find_dev(d0 + 10), e0);
+  EXPECT_EQ(pt.find_dev(d0 + 20), e0);
+  EXPECT_EQ(pt.cache_stats().dev_misses, 1u);
+  EXPECT_EQ(pt.cache_stats().dev_hits, 1u);
+}
+
+TEST(PresentTable, MemoCacheInvalidatedOnEraseOfCachedEntry) {
+  PresentTable pt;
+  char h0[64];
+  char d0[64];
+  char h1[64];
+  char d1[64];
+  PresentEntry* e0 = pt.insert(h0, d0, 64, 0);
+  PresentEntry* e1 = pt.insert(h1, d1, 64, 1);
+  ASSERT_EQ(pt.find_host(h0), e0);  // e0 is now the memo
+  ASSERT_EQ(pt.find_dev(d0), e0);
+  const std::uint64_t inval_before = pt.cache_stats().invalidations;
+  pt.erase(e0);
+  EXPECT_GT(pt.cache_stats().invalidations, inval_before);
+  // The dead entry must not be resurrected from the memo.
+  EXPECT_EQ(pt.find_host(h0), nullptr);
+  EXPECT_EQ(pt.find_dev(d0), nullptr);
+  EXPECT_EQ(pt.find_host(h1), e1);
+  // Insert also invalidates: a fresh entry covering the old range is found.
+  PresentEntry* e2 = pt.insert(h0, d0, 64, 2);
+  EXPECT_EQ(pt.find_host(h0 + 3), e2);
+}
+
+TEST(PresentTable, MemoCacheAgreesWithTreeUnderRandomChurn) {
+  // Property test: interleave insert/erase/lookup and require every lookup
+  // to agree with a plain reference map, regardless of memo state.
+  std::mt19937 rng(20160601);
+  PresentTable pt;
+  constexpr std::uintptr_t kHostBase = 0x100000;
+  constexpr std::uintptr_t kDevBase = 0x9000000;
+  constexpr std::uint64_t kSlot = 0x1000;   // slot stride
+  constexpr std::uint64_t kBytes = 0x800;   // mapping size (gaps between)
+  constexpr int kSlots = 32;
+  std::array<PresentEntry*, kSlots> live{};
+  std::uint64_t lookups = 0;
+  for (int iter = 0; iter < 4000; ++iter) {
+    const int slot = static_cast<int>(rng() % kSlots);
+    const std::uintptr_t host = kHostBase + static_cast<std::uintptr_t>(slot) * kSlot;
+    const std::uintptr_t dev = kDevBase + static_cast<std::uintptr_t>(slot) * kSlot;
+    switch (rng() % 4) {
+      case 0:
+        if (live[static_cast<std::size_t>(slot)] == nullptr) {
+          live[static_cast<std::size_t>(slot)] =
+              pt.insert(reinterpret_cast<void*>(host),
+                        reinterpret_cast<void*>(dev), kBytes,
+                        static_cast<std::uint64_t>(slot));
+        }
+        break;
+      case 1:
+        if (live[static_cast<std::size_t>(slot)] != nullptr) {
+          pt.erase(live[static_cast<std::size_t>(slot)]);
+          live[static_cast<std::size_t>(slot)] = nullptr;
+        }
+        break;
+      default: {
+        // Probe inside, at the edges, and in the gap after the mapping.
+        const std::uint64_t offsets[] = {0, 1, kBytes / 2, kBytes - 1,
+                                         kBytes, kSlot - 1};
+        const std::uint64_t off = offsets[rng() % 6];
+        PresentEntry* expect =
+            off < kBytes ? live[static_cast<std::size_t>(slot)] : nullptr;
+        ASSERT_EQ(pt.find_host(reinterpret_cast<void*>(host + off)), expect)
+            << "iter " << iter;
+        ASSERT_EQ(pt.find_dev(reinterpret_cast<void*>(dev + off)), expect)
+            << "iter " << iter;
+        lookups += 2;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(pt.host_tree().check_invariants());
+  EXPECT_TRUE(pt.dev_tree().check_invariants());
+  // Every lookup is accounted as exactly one hit or one miss.
+  EXPECT_EQ(pt.cache_stats().hits() + pt.cache_stats().misses(), lookups);
+  EXPECT_GT(pt.cache_stats().hits(), 0u);
 }
 
 // --- Data environment inside a run -----------------------------------------------------

@@ -530,6 +530,56 @@ TEST(PinnedPool, GrowsOnlyOnMiss) {
   EXPECT_EQ(stats.bytes_allocated, 8192u);
 }
 
+TEST(PinnedPool, OversizeFreeBuffersAreNotReused) {
+  PinnedPool pool(/*functional=*/false);
+  auto big = pool.acquire(1 << 20);
+  pool.release(big);
+  // The only free buffer is 256x the request; handing it out would waste
+  // pinned memory — allocate exact instead.
+  auto small = pool.acquire(4096);
+  EXPECT_NE(small.ptr, big.ptr);
+  EXPECT_EQ(small.bytes, 4096u);
+  auto s = pool.stats();
+  EXPECT_EQ(s.oversize_rejects, 1u);
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.buffers_created, 2u);
+  // Up to 2x the request is still acceptable reuse.
+  pool.release(small);
+  auto half = pool.acquire(2048);
+  EXPECT_EQ(half.ptr, small.ptr);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().oversize_rejects, 1u);
+}
+
+TEST(PinnedPool, TrimEvictsLargestFreeBuffersPastTheCap) {
+  PinnedPool pool(/*functional=*/true);
+  pool.set_retain_limit(10000);
+  auto a = pool.acquire(6000);
+  auto b = pool.acquire(4000);
+  auto c = pool.acquire(3000);
+  pool.release(c);
+  pool.release(b);
+  EXPECT_EQ(pool.stats().trims, 0u);
+  EXPECT_EQ(pool.stats().bytes_retained, 7000u);
+  // 13000 retained exceeds the cap: the largest buffer (a) goes first and
+  // one eviction is enough.
+  pool.release(a);
+  auto s = pool.stats();
+  EXPECT_EQ(s.trims, 1u);
+  EXPECT_EQ(s.bytes_trimmed, 6000u);
+  EXPECT_EQ(s.bytes_retained, 7000u);
+  // The survivors are still reusable.
+  auto b2 = pool.acquire(4000);
+  EXPECT_EQ(b2.ptr, b.ptr);
+  // Lowering the cap trims immediately.
+  pool.set_retain_limit(1000);
+  EXPECT_EQ(pool.stats().bytes_retained, 0u);
+  EXPECT_EQ(pool.stats().trims, 2u);
+  EXPECT_EQ(pool.stats().bytes_trimmed, 9000u);
+  pool.release(b2);  // 4000 > cap: unpinned right away, not leaked
+  EXPECT_EQ(pool.stats().bytes_retained, 0u);
+}
+
 TEST(PinnedPool, InternodeDeviceStagingUsesThePool) {
   // Without RDMA, every internode device send stages through the pool;
   // repeated sends recycle one buffer.
@@ -557,6 +607,162 @@ TEST(PinnedPool, InternodeDeviceStagingUsesThePool) {
   EXPECT_EQ(stats.acquires, 5u);
   EXPECT_EQ(stats.buffers_created, 1u);
   EXPECT_EQ(stats.hits, 4u);
+}
+
+// --- Chunked internode pipeline (section 3.5) --------------------------------------
+
+TEST(ChunkPipeline, StagingMemoryPeaksAtTwoChunks) {
+  // A chunked device send double-buffers through the pool: each chunk's
+  // bounce buffer is released once the next one is in hand, so an 8 MiB
+  // message pins 2 MiB of staging memory, not 8.
+  LaunchOptions o;
+  o.cluster = sim::make_titan(2);
+  o.features.gpudirect_rdma = false;  // force staging
+  o.chunk_bytes = 1 << 20;
+  o.scheduler_workers = 1;
+  Runtime rt(o);
+  const std::uint64_t bytes = 8ull << 20;
+  rt.run([bytes] {
+    auto w = mpi::world();
+    const int r = mpi::comm_rank(w);
+    auto* buf = static_cast<char*>(node_malloc(bytes));
+    acc::copyin(buf, bytes);
+    if (r == 0) {
+      acc::mpi({.send_device = true});
+      mpi::send(buf, static_cast<int>(bytes), mpi::Datatype::kByte, 1, 1, w);
+    } else {
+      mpi::recv(buf, static_cast<int>(bytes), mpi::Datatype::kByte, 0, 1, w);
+    }
+    acc::del(buf);
+    node_free(buf);
+  });
+  const auto stats = rt.node(0).pinned.stats();
+  EXPECT_EQ(stats.acquires, 8u);          // one per chunk
+  EXPECT_EQ(stats.buffers_created, 2u);   // double buffering
+  EXPECT_EQ(stats.hits, 6u);
+  EXPECT_EQ(stats.bytes_allocated, 2ull << 20);
+}
+
+TEST(ChunkPipeline, ChunkedMsgStatAndFlagGate) {
+  auto run = [](bool enabled) {
+    LaunchOptions o;
+    o.cluster = sim::make_titan(2);
+    o.mode = ExecMode::kModelOnly;
+    o.features.gpudirect_rdma = false;
+    o.features.chunk_pipeline = enabled;
+    o.scheduler_workers = 1;
+    return launch(o, [] {
+      auto w = mpi::world();
+      const int r = mpi::comm_rank(w);
+      auto* buf = static_cast<char*>(node_malloc(4 << 20));
+      acc::copyin(buf, 4 << 20);
+      if (r == 0) {
+        acc::mpi({.send_device = true});
+        mpi::send(buf, 4 << 20, mpi::Datatype::kByte, 1, 1, w);
+      } else {
+        acc::mpi({.recv_device = true});
+        mpi::recv(buf, 4 << 20, mpi::Datatype::kByte, 0, 1, w);
+      }
+      acc::del(buf);
+      node_free(buf);
+    });
+  };
+  const auto on = run(true);
+  const auto off = run(false);
+  EXPECT_EQ(on.total.chunked_msgs, 1u);
+  EXPECT_EQ(off.total.chunked_msgs, 0u);
+  EXPECT_LT(on.makespan, off.makespan);  // the pipeline overlaps the stages
+}
+
+namespace {
+/// Functional internode device-to-device transfer of a patterned buffer;
+/// returns the bytes the receiver ended up with.
+std::vector<unsigned char> d2d_transfer_result(bool chunk_pipeline,
+                                               std::uint64_t chunk_bytes,
+                                               std::uint64_t bytes) {
+  std::vector<unsigned char> received(bytes, 0);
+  LaunchOptions o;
+  o.cluster = sim::make_titan(2);
+  o.features.gpudirect_rdma = false;
+  o.features.chunk_pipeline = chunk_pipeline;
+  o.chunk_bytes = chunk_bytes;
+  o.scheduler_workers = 1;
+  launch(o, [bytes, &received] {
+    auto w = mpi::world();
+    const int r = mpi::comm_rank(w);
+    auto* buf = static_cast<unsigned char*>(node_malloc(bytes));
+    if (r == 0) {
+      for (std::uint64_t i = 0; i < bytes; ++i) {
+        buf[i] = static_cast<unsigned char>((i * 131) ^ (i >> 8));
+      }
+      acc::copyin(buf, bytes);
+      acc::mpi({.send_device = true});
+      mpi::send(buf, static_cast<int>(bytes), mpi::Datatype::kByte, 1, 1, w);
+      acc::del(buf);
+    } else {
+      acc::create(buf, bytes);
+      acc::mpi({.recv_device = true});
+      mpi::recv(buf, static_cast<int>(bytes), mpi::Datatype::kByte, 0, 1, w);
+      acc::update_self(buf, bytes);
+      std::copy(buf, buf + bytes, received.begin());
+      acc::del(buf);
+    }
+    node_free(buf);
+  });
+  return received;
+}
+}  // namespace
+
+TEST(ChunkPipeline, ChunkedTransferIsChecksumIdenticalToMonolithic) {
+  // Odd size: 3 MiB + 12345 exercises the non-divisible tail chunk.
+  const std::uint64_t bytes = (3ull << 20) + 12345;
+  const auto monolithic = d2d_transfer_result(false, 1 << 20, bytes);
+  const auto chunked = d2d_transfer_result(true, 256 << 10, bytes);
+  ASSERT_EQ(monolithic.size(), chunked.size());
+  EXPECT_TRUE(monolithic == chunked);
+  // And the pattern actually made it across (not two all-zero buffers).
+  EXPECT_EQ(chunked[12345], static_cast<unsigned char>((12345 * 131) ^ 48));
+}
+
+TEST(ChunkPipeline, DerivedDatatypeUnpackMatchesAcrossChunkSettings) {
+  // Derived datatypes travel packed on host buffers; the chunk-eligible
+  // marking must not disturb the receiver's strided unpack.
+  auto run = [](bool enabled) {
+    std::vector<double> received;
+    LaunchOptions o;
+    o.cluster = sim::make_titan(2);
+    o.features.chunk_pipeline = enabled;
+    o.chunk_bytes = 64 << 10;
+    o.scheduler_workers = 1;
+    launch(o, [&received] {
+      auto w = mpi::world();
+      const int r = mpi::comm_rank(w);
+      constexpr int kRows = 1 << 14;  // column payload 128 KiB > chunk
+      constexpr int kCols = 4;
+      const mpi::Datatype col =
+          mpi::type_vector(kRows, 1, kCols, mpi::Datatype::kDouble);
+      if (r == 0) {
+        std::vector<double> m(static_cast<std::size_t>(kRows) * kCols);
+        for (std::size_t i = 0; i < m.size(); ++i) {
+          m[i] = static_cast<double>(i) * 0.5;
+        }
+        mpi::send(&m[1], 1, col, 1, 7, w);  // column 1
+      } else if (r == 1) {
+        std::vector<double> m(static_cast<std::size_t>(kRows) * kCols, -1.0);
+        mpi::recv(&m[2], 1, col, 0, 7, w);  // into column 2
+        received = m;
+      }
+    });
+    return received;
+  };
+  const auto mono = run(false);
+  const auto chunked = run(true);
+  ASSERT_EQ(mono.size(), chunked.size());
+  EXPECT_TRUE(mono == chunked);
+  // Spot-check the unpack itself: column 2 holds column 1's data, the
+  // other columns stayed -1.
+  EXPECT_DOUBLE_EQ(chunked[5 * 4 + 2], (5 * 4 + 1) * 0.5);
+  EXPECT_DOUBLE_EQ(chunked[5 * 4 + 3], -1.0);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include "apps/jacobi.h"
 #include "apps/lulesh/driver.h"
 #include "impacc.h"
+#include "sim/costmodel.h"
 
 namespace impacc {
 namespace {
@@ -156,6 +157,68 @@ TEST(Fig9Shape, TitanInternodeRdmaBeatsStaging) {
   EXPECT_LT(run(true), run(false));
 }
 
+TEST(ChunkPipelineShape, TitanStagedTransfersOverlapAndConvergeToSlowestStage) {
+  // ISSUE 2 tentpole: a 64 MiB internode device-to-device transfer on Titan
+  // with GPUDirect off stages DtoH -> wire -> HtoD. Monolithic, the stages
+  // serialize; chunked, they overlap and the transfer converges to the
+  // busy time of the slowest stage.
+  const std::uint64_t bytes = 64 << 20;
+  // makespan of the D2D exchange with `msgs` rendezvous messages; msgs == 0
+  // measures the setup (malloc/copyin/teardown) so the difference isolates
+  // the transfer itself.
+  auto run = [bytes](bool chunk, std::uint64_t chunk_bytes, int msgs) {
+    auto o = opts("titan", 2);
+    o.features.gpudirect_rdma = false;  // force the staged path
+    o.features.chunk_pipeline = chunk;
+    o.chunk_bytes = chunk_bytes;
+    const auto result = launch(o, [bytes, msgs] {
+      auto w = mpi::world();
+      const int r = mpi::comm_rank(w);
+      auto* buf = static_cast<char*>(node_malloc(bytes));
+      acc::copyin(buf, bytes);
+      const int count = static_cast<int>(bytes);
+      for (int m = 0; m < msgs; ++m) {
+        if (r == 0) {
+          acc::mpi({.send_device = true});
+          mpi::send(buf, count, mpi::Datatype::kByte, 1, 1, w);
+        } else {
+          acc::mpi({.recv_device = true});
+          mpi::recv(buf, count, mpi::Datatype::kByte, 0, 1, w);
+        }
+      }
+      acc::del(buf);
+      node_free(buf);
+    });
+    return result.makespan;
+  };
+  auto transfer = [&run](bool chunk, std::uint64_t chunk_bytes) {
+    return run(chunk, chunk_bytes, 1) - run(chunk, chunk_bytes, 0);
+  };
+
+  const sim::Time mono = transfer(false, 0);
+  const sim::Time chunk_1m = transfer(true, 1 << 20);
+  const sim::Time chunk_256k = transfer(true, 256 << 10);
+  EXPECT_LT(chunk_1m, mono);
+  EXPECT_GT(mono / chunk_256k, 2.0);
+
+  // Convergence: at 256 KiB chunks the transfer sits just above the busy
+  // time of the slowest stage (PCIe at this chunk size, where per-chunk
+  // latency matters), never more than 5% over.
+  const auto cluster = sim::make_system("titan", 2);
+  const sim::LinkModel pcie = cluster.nodes[0].devices[0].pcie;
+  const sim::LinkModel wire = sim::wire_link(cluster.fabric);
+  const sim::Time bound =
+      std::max(sim::chunked_stage_total(pcie, bytes, 256 << 10),
+               sim::chunked_stage_total(wire, bytes, 256 << 10));
+  EXPECT_GT(chunk_256k, bound);
+  EXPECT_LT(chunk_256k / bound, 1.05);
+
+  // Flag off — and flag on with chunks at least the message size — must
+  // reproduce today's monolithic timing bit-for-bit.
+  EXPECT_EQ(run(false, 0, 1), run(true, bytes, 1));
+  EXPECT_EQ(run(false, 0, 1), run(false, 256 << 10, 1));
+}
+
 // --- Scaling shapes -----------------------------------------------------------------
 
 TEST(Fig10Shape, DgemmImpaccScalesWhereBaselineDegrades) {
@@ -243,16 +306,24 @@ TEST(Ablation, EachFeatureContributesToDgemm) {
 
 TEST(Ablation, SerializedInternodeMpiHurtsScaling) {
   // Section 3.7: without MPI_THREAD_MULTIPLE the runtime serializes
-  // internode communication per node.
+  // internode communication per node. The per-node MPI lock is granted
+  // in real arrival order, so individual makespans jitter with thread
+  // scheduling; a communication-heavy workload and a best-of-three on
+  // each side keep the comparison out of the noise.
   apps::JacobiConfig cfg;
-  cfg.n = 1024;
-  cfg.iterations = 4;
-  auto o_multi = opts("beacon", 4);
-  auto o_serial = opts("beacon", 4);
-  o_serial.cluster.mpi_thread_multiple = false;
-  const sim::Time multi = run_jacobi(o_multi, cfg).launch.makespan;
-  const sim::Time serial = run_jacobi(o_serial, cfg).launch.makespan;
-  EXPECT_GE(serial, multi);
+  cfg.n = 4096;
+  cfg.iterations = 8;
+  auto best = [&cfg](bool thread_multiple) {
+    sim::Time best_time = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      auto o = opts("beacon", 4);
+      o.cluster.mpi_thread_multiple = thread_multiple;
+      const sim::Time t = run_jacobi(o, cfg).launch.makespan;
+      if (rep == 0 || t < best_time) best_time = t;
+    }
+    return best_time;
+  };
+  EXPECT_GE(best(false), best(true));
 }
 
 TEST(Ablation, PinningOffSlowsTransferHeavyRuns) {

@@ -132,6 +132,99 @@ TEST(NetModel, RdmaSkipsHostStaging) {
               2 * pcie_copy_time(node, node.devices[0], bytes, true), 1e-12);
 }
 
+// --- Chunk pipeline (section 3.5) ---------------------------------------------------
+
+TEST(ChunkPipeline, StageLinksMatchTheMonolithicCostFunctions) {
+  // staging_link/wire_link are the per-chunk forms of pcie_copy_time and
+  // fabric_time; at any single size they must charge the same cost.
+  const ClusterDesc psg = make_psg();
+  const NodeDesc& node = psg.nodes[0];
+  const DeviceDesc& dev = node.devices[0];
+  for (std::uint64_t bytes : {64ull, 1ull << 20, 64ull << 20}) {
+    for (bool near : {true, false}) {
+      EXPECT_NEAR(staging_link(node, dev, near).time(bytes),
+                  pcie_copy_time(node, dev, bytes, near), 1e-15);
+    }
+    EXPECT_NEAR(wire_link(psg.fabric).time(bytes),
+                fabric_time(psg.fabric, bytes), 1e-15);
+  }
+}
+
+TEST(ChunkPipeline, SingleChunkIsTheSumOfStageTimes) {
+  // Chunk count 1 (chunk >= message): no overlap is possible, the pipeline
+  // degenerates to the sequential staged transfer.
+  const std::vector<LinkModel> stages = {
+      {from_us(11), 6.0e9}, {from_us(2.6), 5.2e9}, {from_us(11), 6.0e9}};
+  const std::uint64_t bytes = 1 << 20;
+  Time expect = 0;
+  for (const LinkModel& s : stages) expect += s.time(bytes);
+  EXPECT_NEAR(pipelined_transfer_time(stages, bytes, bytes), expect, 1e-15);
+  EXPECT_NEAR(pipelined_transfer_time(stages, bytes, 2 * bytes), expect,
+              1e-15);
+}
+
+TEST(ChunkPipeline, UniformChunksMatchTheClosedForm) {
+  // n uniform chunks through a linear pipeline with unlimited buffering:
+  // total = sum_i t_i(C) + (n-1) * max_i t_i(C) — fill the pipe once, then
+  // every further chunk costs one bottleneck-stage service time.
+  const std::vector<LinkModel> stages = {
+      {from_us(11), 6.0e9}, {from_us(2.6), 5.2e9}, {from_us(9), 12.0e9}};
+  const std::uint64_t chunk = 256 << 10;
+  for (int n : {2, 7, 64}) {
+    const std::uint64_t bytes = static_cast<std::uint64_t>(n) * chunk;
+    Time sum = 0;
+    Time bottleneck = 0;
+    for (const LinkModel& s : stages) {
+      sum += s.time(chunk);
+      bottleneck = std::max(bottleneck, s.time(chunk));
+    }
+    EXPECT_NEAR(pipelined_transfer_time(stages, bytes, chunk),
+                sum + (n - 1) * bottleneck, 1e-12)
+        << n << " chunks";
+  }
+}
+
+TEST(ChunkPipeline, NonDivisibleTailMatchesTheClosedForm) {
+  // 2.5 chunks through [fast, slow]: with the second stage the strict
+  // bottleneck at every chunk size, it runs back to back, so the total is
+  // the fill time of the first chunk plus the bottleneck's busy time.
+  const LinkModel fast{0, 10e9};
+  const LinkModel slow{0, 1e9};
+  const std::vector<LinkModel> stages = {fast, slow};
+  const std::uint64_t chunk = 1 << 20;
+  const std::uint64_t bytes = 2 * chunk + chunk / 2;
+  const Time expect = fast.time(chunk) + chunked_stage_total(slow, bytes, chunk);
+  EXPECT_NEAR(pipelined_transfer_time(stages, bytes, chunk), expect, 1e-12);
+  // The tail chunk is charged at its own size, not padded to a full chunk.
+  EXPECT_NEAR(chunked_stage_total(slow, bytes, chunk),
+              3 * slow.latency + static_cast<double>(bytes) / slow.bandwidth,
+              1e-12);
+}
+
+TEST(ChunkPipeline, StageAvailabilityAndStartAreHonored) {
+  // A busy wire (stage_avail) delays every chunk behind it; a late start
+  // delays the first stage.
+  const LinkModel stages[2] = {{0, 10e9}, {0, 1e9}};
+  const Time avail[2] = {0, from_ms(5)};
+  const std::uint64_t chunk = 1 << 20;
+  const std::uint64_t bytes = 4 * chunk;
+  const auto finishes = chunk_pipeline_finishes(stages, 2, avail,
+                                                /*start=*/from_ms(1), bytes,
+                                                chunk);
+  ASSERT_EQ(finishes.size(), 4u);
+  // Wire opens at 5 ms (after every chunk's first stage is done), then
+  // streams the chunks back to back.
+  for (std::size_t j = 0; j < finishes.size(); ++j) {
+    EXPECT_NEAR(finishes[j],
+                from_ms(5) + (static_cast<double>(j + 1) * chunk) / 1e9,
+                1e-12);
+  }
+  // Per-chunk finishes are strictly increasing.
+  for (std::size_t j = 1; j < finishes.size(); ++j) {
+    EXPECT_GT(finishes[j], finishes[j - 1]);
+  }
+}
+
 TEST(NetModel, EagerThreshold) {
   const ClusterDesc psg = make_psg();
   EXPECT_TRUE(is_eager(psg.fabric, 1024));

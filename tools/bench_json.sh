@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Machine-readable benchmark snapshots.
+#
+# Runs the p2p bandwidth bench (fig09, including the chunk-pipeline
+# sweep) and the Jacobi speedup bench (fig13) with
+# --benchmark_format=json, then distills each google-benchmark report
+# into a flat { "<benchmark name>": <simulated seconds> } map:
+#
+#   BENCH_p2p.json     from fig09_p2p
+#   BENCH_jacobi.json  from fig13_jacobi
+#
+#   tools/bench_json.sh [--smoke] [--build-dir DIR] [--out-dir DIR]
+#
+# --smoke sets IMPACC_BENCH_SMOKE=1 so every series runs only at its
+# cheapest points (the CI configuration). The committed top-level
+# BENCH_*.json files are produced by a full (non-smoke) run.
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo"
+
+build="build"
+out="$repo"
+smoke=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) smoke=1; shift ;;
+    --build-dir) build="$2"; shift 2 ;;
+    --out-dir) out="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+mkdir -p "$out"
+
+# Distill a google-benchmark JSON report into { name: seconds }.
+distill() {
+  local raw="$1" dest="$2"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$raw" "$dest" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+scale = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+series = {
+    b["name"]: b["real_time"] * scale.get(b.get("time_unit", "ns"), 1e-9)
+    for b in doc.get("benchmarks", [])
+}
+with open(sys.argv[2], "w") as f:
+    json.dump(series, f, indent=2, sort_keys=True)
+    f.write("\n")
+EOF
+  else
+    # awk fallback: benchmark objects list "name" before "real_time" and
+    # "time_unit"; "run_name" does not match the anchored "name" pattern.
+    awk '
+      /^[[:space:]]*"name":/ {
+        s = $0
+        sub(/^[[:space:]]*"name":[[:space:]]*"/, "", s); sub(/",?$/, "", s)
+        name = s; next
+      }
+      /^[[:space:]]*"real_time":/ {
+        s = $0
+        sub(/^[[:space:]]*"real_time":[[:space:]]*/, "", s); sub(/,?$/, "", s)
+        rt = s + 0; next
+      }
+      /^[[:space:]]*"time_unit":/ && name != "" {
+        s = $0
+        sub(/^[[:space:]]*"time_unit":[[:space:]]*"/, "", s); sub(/",?$/, "", s)
+        scale = s == "ns" ? 1e-9 : s == "us" ? 1e-6 : s == "ms" ? 1e-3 : 1
+        if (n++ > 0) printf(",\n")
+        printf("  \"%s\": %.9g", name, rt * scale)
+        name = ""
+      }
+      BEGIN { printf("{\n") }
+      END   { printf("\n}\n") }
+    ' "$raw" > "$dest"
+  fi
+}
+
+snapshot() {
+  local bin="$1" dest="$2"
+  [[ -x "$build/bench/$bin" ]] || {
+    echo "missing $build/bench/$bin — build the bench targets first" >&2
+    exit 1
+  }
+  local raw
+  raw="$(mktemp)"
+  echo "== $bin -> $dest"
+  IMPACC_BENCH_SMOKE="$smoke" "$build/bench/$bin" \
+    --benchmark_format=json > "$raw"
+  distill "$raw" "$dest"
+  rm -f "$raw"
+}
+
+snapshot fig09_p2p "$out/BENCH_p2p.json"
+snapshot fig13_jacobi "$out/BENCH_jacobi.json"
+echo "== benchmark snapshots written to $out"

@@ -50,7 +50,12 @@ for f in tests/lint_fixtures/imp0*.c; do
   fi
 done
 
-# --- 3. sanitizers -----------------------------------------------------------
+# --- 3. benchmark JSON snapshots (smoke) -------------------------------------
+step "bench_json.sh --smoke"
+tools/bench_json.sh --smoke --build-dir build-check/werror \
+  --out-dir build-check/bench
+
+# --- 4. sanitizers -----------------------------------------------------------
 if [[ "$fast" -eq 0 ]]; then
   for san in address undefined; do
     step "test suite under -fsanitize=$san"
