@@ -87,6 +87,15 @@ inline double bw_gbps(double bytes, double seconds) {
   return seconds > 0 ? bytes / seconds / 1e9 : 0.0;
 }
 
+/// Metrics spec for a benchmark's representative instrumented run:
+/// IMPACC_BENCH_METRICS=path[,format] exports the snapshot there (so CI
+/// can diff it against a committed baseline, tools/metrics_diff.sh);
+/// unset, the snapshot stays in memory ("-") for the self-check rows.
+inline std::string bench_metrics_spec() {
+  const char* e = std::getenv("IMPACC_BENCH_METRICS");
+  return (e != nullptr && *e != '\0') ? std::string(e) : std::string("-");
+}
+
 /// IMPACC_BENCH_SMOKE=1 shrinks the sweeps to a CI-sized subset: every
 /// series still appears, but only at its cheapest points.
 inline bool bench_smoke() {

@@ -40,7 +40,31 @@ Breakdown dgemm_breakdown(core::Framework fw, long n, int tasks) {
   return b;
 }
 
+/// Observability cross-check (ISSUE 3): rerun one representative point
+/// with the metrics registry on and report the live histogram totals next
+/// to the TaskStats the breakdown is computed from. The two are collected
+/// by independent code paths, so a drift here means the breakdown bars no
+/// longer measure what the runtime actually did. With
+/// IMPACC_BENCH_METRICS set the snapshot is also written to disk for
+/// tools/metrics_diff.sh.
+void register_metrics_selfcheck() {
+  auto o = model_options("psg", 1, core::Framework::kImpacc);
+  limit_devices(o, 2);
+  o.metrics_path = bench_metrics_spec();
+  apps::DgemmConfig cfg;
+  cfg.n = 1024;
+  const auto r = apps::run_dgemm(o, cfg);
+  const obs::MetricsSnapshot& m = r.launch.metrics;
+  add_row("Fig11 metrics self-check", "kernel s",
+          m.value("acc.kernel.seconds.sum"), r.launch.total.kernel_busy,
+          "hist sum vs TaskStats");
+  add_row("Fig11 metrics self-check", "mpi wait s",
+          m.value("mpi.wait.seconds.sum"), r.launch.total.mpi_wait,
+          "hist sum vs TaskStats");
+}
+
 void register_benchmarks() {
+  register_metrics_selfcheck();
   for (long n : {1024L, 2048L, 4096L, 8192L}) {
     const Breakdown ref =
         dgemm_breakdown(core::Framework::kMpiOpenacc, n, 1);

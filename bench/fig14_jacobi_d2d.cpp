@@ -102,7 +102,35 @@ void register_titan_chunk_sweep() {
   }
 }
 
+/// Observability cross-check (ISSUE 3): one instrumented Jacobi run whose
+/// dev.copy.* histogram sums must match the TaskStats copy times the
+/// stacked bars are built from (both fed by core::account_copy). With
+/// IMPACC_BENCH_METRICS set the snapshot is also exported for
+/// tools/metrics_diff.sh.
+void register_metrics_selfcheck() {
+  auto o = model_options("psg", 1, core::Framework::kImpacc);
+  limit_devices(o, 2);
+  o.metrics_path = bench_metrics_spec();
+  apps::JacobiConfig cfg;
+  cfg.n = 2048;
+  cfg.iterations = 3;
+  const auto r = apps::run_jacobi(o, cfg);
+  const obs::MetricsSnapshot& m = r.launch.metrics;
+  const auto& total = r.launch.total;
+  for (auto k : {dev::CopyPathKind::kDevToDevPeer,
+                 dev::CopyPathKind::kDevToDevStaged,
+                 dev::CopyPathKind::kHostToDev}) {
+    const std::string name =
+        std::string("dev.copy.") + dev::copy_path_slug(k);
+    add_row("Fig14 metrics self-check", dev::copy_path_slug(k),
+            m.value(name + ".seconds.sum"),
+            total.copy_time[static_cast<std::size_t>(k)],
+            "hist sum vs TaskStats");
+  }
+}
+
 void register_benchmarks() {
+  register_metrics_selfcheck();
   for (long n : bench_smoke() ? std::vector<long>{2048}
                               : std::vector<long>{2048, 4096, 8192}) {
     for (int tasks : {2, 4, 8}) {

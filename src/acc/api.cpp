@@ -88,8 +88,7 @@ void raw_device_copy(core::Task& t, void* dst, const void* src,
       sim::pcie_copy_time(t.node_desc(), t.device->desc(), bytes, t.near);
   const auto path = to_device ? dev::CopyPathKind::kHostToDev
                               : dev::CopyPathKind::kDevToHost;
-  t.stats.copy_time[static_cast<std::size_t>(path)] += cost;
-  t.stats.copy_count[static_cast<std::size_t>(path)] += 1;
+  core::account_copy(t, path, cost, bytes);
   dev::StreamOp op;
   op.kind = dev::StreamOp::Kind::kMemcpy;
   op.label = label;
@@ -179,6 +178,9 @@ void kernel(const char* name, std::function<void()> body,
   op.label = name;
   op.model_cost = t.device->kernel_cost(est);
   t.stats.kernel_busy += op.model_cost;
+  if (obs::Observability* ob = t.rt->obs()) {
+    ob->kernel_seconds->record(op.model_cost);
+  }
   if (t.functional()) op.body = std::move(body);
   if (async == kSync) {
     core::sync_stream_op(t, kSync, std::move(op));

@@ -20,8 +20,7 @@ void submit_copy(core::Task& t, void* dst, const void* src,
       sim::pcie_copy_time(t.node_desc(), t.device->desc(), bytes, t.near);
   const auto path = to_device ? dev::CopyPathKind::kHostToDev
                               : dev::CopyPathKind::kDevToHost;
-  t.stats.copy_time[static_cast<std::size_t>(path)] += cost;
-  t.stats.copy_count[static_cast<std::size_t>(path)] += 1;
+  core::account_copy(t, path, cost, bytes);
 
   dev::StreamOp op;
   op.kind = dev::StreamOp::Kind::kMemcpy;

@@ -4,13 +4,31 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <mutex>
+
+#include <sys/time.h>
 
 namespace impacc::log {
 namespace {
 
 std::atomic<int> g_level{-1};
 std::mutex g_mutex;
+std::atomic<ContextFn> g_context{nullptr};
+
+/// Wall-clock "HH:MM:SS.mmm" into buf (cap must be >= 13).
+void format_timestamp(char* buf, std::size_t cap) {
+  struct timeval tv;
+  if (::gettimeofday(&tv, nullptr) != 0) {
+    std::snprintf(buf, cap, "--:--:--.---");
+    return;
+  }
+  struct tm tm_buf;
+  ::localtime_r(&tv.tv_sec, &tm_buf);
+  std::snprintf(buf, cap, "%02d:%02d:%02d.%03d", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec,
+                static_cast<int>(tv.tv_usec / 1000));
+}
 
 Level level_from_env() {
   const char* env = std::getenv("IMPACC_LOG_LEVEL");
@@ -35,22 +53,50 @@ const char* level_tag(Level lv) {
 }  // namespace
 
 Level level() {
-  int lv = g_level.load(std::memory_order_relaxed);
+  int lv = g_level.load(std::memory_order_acquire);
   if (lv < 0) {
-    lv = static_cast<int>(level_from_env());
-    g_level.store(lv, std::memory_order_relaxed);
+    // Parse the environment exactly once: without the lock, two threads
+    // racing through first use could interleave a concurrent set_level()
+    // between their parse and store and silently undo it.
+    std::lock_guard<std::mutex> lock(g_mutex);
+    lv = g_level.load(std::memory_order_relaxed);
+    if (lv < 0) {
+      lv = static_cast<int>(level_from_env());
+      g_level.store(lv, std::memory_order_release);
+    }
   }
   return static_cast<Level>(lv);
 }
 
 void set_level(Level lv) {
-  g_level.store(static_cast<int>(lv), std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_level.store(static_cast<int>(lv), std::memory_order_release);
+}
+
+void set_context_provider(ContextFn fn) {
+  g_context.store(fn, std::memory_order_release);
 }
 
 void vlogf(Level lv, const char* fmt, std::va_list ap) {
   if (static_cast<int>(lv) > static_cast<int>(level())) return;
+  char ts[16];
+  format_timestamp(ts, sizeof(ts));
+  char ctx[64];
+  int ctx_len = 0;
+  if (ContextFn fn = g_context.load(std::memory_order_acquire)) {
+    ctx_len = fn(ctx, sizeof(ctx));
+    if (ctx_len < 0) ctx_len = 0;
+    if (ctx_len >= static_cast<int>(sizeof(ctx))) {
+      ctx_len = static_cast<int>(sizeof(ctx)) - 1;
+    }
+  }
+  ctx[ctx_len] = '\0';
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[impacc %s] ", level_tag(lv));
+  if (ctx_len > 0) {
+    std::fprintf(stderr, "[impacc %s %s %s] ", ts, level_tag(lv), ctx);
+  } else {
+    std::fprintf(stderr, "[impacc %s %s] ", ts, level_tag(lv));
+  }
   std::vfprintf(stderr, fmt, ap);
   std::fputc('\n', stderr);
 }

@@ -1,16 +1,31 @@
 // Minimal leveled logger. Controlled by IMPACC_LOG_LEVEL (error|warn|info|debug).
+//
+// Lines look like:
+//   [impacc 14:03:07.512 W n0/t1] message...
+// i.e. wall-clock timestamp, level tag, and — when a context provider is
+// installed — the calling node/task (or fiber name). The runtime installs
+// a provider at construction; standalone library users get no context
+// field and lose nothing.
 #pragma once
 
 #include <cstdarg>
+#include <cstddef>
 
 namespace impacc::log {
 
 enum class Level : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 
-/// Current level; messages above it are suppressed. Read once from the
-/// environment at first use.
+/// Current level; messages above it are suppressed. Parsed from the
+/// environment exactly once (thread-safe) at first use.
 Level level();
 void set_level(Level lv);
+
+/// Optional context provider: writes a short identifier (e.g. "n0/t3")
+/// into `buf` and returns the number of characters written (0 = no
+/// context, snprintf conventions otherwise). Must be callable from any
+/// thread and must not log. Pass nullptr to uninstall.
+using ContextFn = int (*)(char* buf, std::size_t cap);
+void set_context_provider(ContextFn fn);
 
 void vlogf(Level lv, const char* fmt, std::va_list ap);
 void logf(Level lv, const char* fmt, ...) __attribute__((format(printf, 2, 3)));

@@ -56,6 +56,14 @@ std::uint64_t parse_size_bytes(const std::string& spec) {
   return value * scale;
 }
 
+// Guard against fields added to TaskStats without extending operator+=,
+// the metrics publisher (Runtime::publish_run_metrics), and the field-sum
+// test in tests/obs_test.cpp. 21 8-byte fields, no padding.
+static_assert(sizeof(TaskStats) == 168,
+              "TaskStats layout changed: update operator+= (every field!), "
+              "Runtime::publish_run_metrics, tests/obs_test.cpp, then this "
+              "assert");
+
 TaskStats& TaskStats::operator+=(const TaskStats& o) {
   kernel_busy += o.kernel_busy;
   for (std::size_t i = 0; i < copy_time.size(); ++i) {

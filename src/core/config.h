@@ -74,6 +74,11 @@ struct LaunchOptions {
   // enabled by the IMPACC_TRACE environment variable). Empty = disabled
   // unless the env var is set.
   std::string trace_path;
+  // Export a metrics snapshot here: "path[,format]" with format "json"
+  // (default) or "prom"; "-" keeps it in memory only
+  // (LaunchResult::metrics). Also enabled by IMPACC_METRICS. Empty =
+  // disabled unless the env var is set.
+  std::string metrics_path;
 };
 
 /// Per-task time accounting, used by the breakdown figures (11, 14).

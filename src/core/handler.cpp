@@ -21,14 +21,10 @@ void resume_stream(MsgCommand* cmd, sim::Time t) {
   }
 }
 
-void add_copy_stat(TaskStats& stats, dev::CopyPathKind kind, sim::Time cost) {
-  stats.copy_time[static_cast<std::size_t>(kind)] += cost;
-  stats.copy_count[static_cast<std::size_t>(kind)] += 1;
-}
-
 /// Complete a matched pair. `snd` is kSend or kIncoming, `rcv` is kRecv.
 void complete_match(NodeRt& n, MsgCommand* snd, MsgCommand* rcv) {
   Runtime* rt = n.rt;
+  obs::Observability* ob = rt->obs();
   const std::uint64_t bytes = snd->bytes;
   IMPACC_CHECK_MSG(bytes <= rcv->bytes, "message truncation (recv too small)");
   const bool functional = rt->functional();
@@ -61,12 +57,14 @@ void complete_match(NodeRt& n, MsgCommand* snd, MsgCommand* rcv) {
           off += len;
         }
         IMPACC_CHECK_MSG(off == bytes, "chunk pipeline lost bytes");
-        add_copy_stat(recv_task.stats, dev::CopyPathKind::kHostToDev, busy);
+        account_copy(recv_task, dev::CopyPathKind::kHostToDev, busy, bytes);
+        if (ob != nullptr) ob->phase_stage_htod->record(busy);
         done = finish + cost;
       } else {
         const sim::Time pcie = sim::pcie_copy_time(
             *n.desc, rcv->buf_dev->desc(), bytes, rcv->near);
-        add_copy_stat(recv_task.stats, dev::CopyPathKind::kHostToDev, pcie);
+        account_copy(recv_task, dev::CopyPathKind::kHostToDev, pcie, bytes);
+        if (ob != nullptr) ob->phase_stage_htod->record(pcie);
         done = std::max(snd->arrival, rcv->ready) + (cost + pcie);
       }
     } else {
@@ -111,7 +109,7 @@ void complete_match(NodeRt& n, MsgCommand* snd, MsgCommand* rcv) {
                                       rcv->near);
       }
       done = t0 + plan.cost;
-      add_copy_stat(recv_task.stats, plan.kind, plan.cost);
+      account_copy(recv_task, plan.kind, plan.cost, bytes);
       if (functional && bytes > 0) {
         const void* src = snd->eager_payload.empty()
                               ? snd->buf
@@ -128,18 +126,34 @@ void complete_match(NodeRt& n, MsgCommand* snd, MsgCommand* rcv) {
     }
   }
 
+  const bool incoming = snd->kind == MsgCommand::Kind::kIncoming;
+  const sim::Time avail = incoming ? snd->arrival : snd->ready;
+  const sim::Time start = std::max(avail, rcv->ready);
+  if (ob != nullptr) {
+    ob->msg_bytes->record(static_cast<double>(bytes));
+    ob->phase_match_wait->record(start - avail);
+    if (incoming) {
+      ob->msgs_internode->add();
+      if (snd->span_id != 0) {
+        ob->phase_total->record(done - snd->span_posted);
+      }
+    } else {
+      ob->msgs_intranode->add();
+    }
+  }
   if (sim::TraceSink* trace = rt->trace()) {
-    const sim::Time start =
-        std::max(snd->kind == MsgCommand::Kind::kIncoming ? snd->arrival
-                                                          : snd->ready,
-                 rcv->ready);
     trace->record(
         n.index, "mpi",
         "msg " + std::to_string(snd->src_task) + "->" +
             std::to_string(rcv->dst_task) + " (" +
             std::to_string(bytes) + "B)",
-        snd->kind == MsgCommand::Kind::kIncoming ? "internode" : "intranode",
-        start, done);
+        incoming ? "internode" : "intranode", start, done);
+    if (incoming && snd->span_id != 0) {
+      // Flow finish: binds (bp:"e") to the receive-side slice recorded
+      // just above, closing the arrow from the send-side slice.
+      trace->record_flow(false, snd->span_id, n.index, "mpi", "msg", "mpi",
+                         start);
+    }
   }
 
   // Receive status + completions.
@@ -201,15 +215,36 @@ void handle_probe(NodeRt& n, MsgCommand* probe) {
 
 }  // namespace
 
+void account_copy(Task& t, dev::CopyPathKind kind, sim::Time cost,
+                  std::uint64_t bytes) {
+  t.stats.copy_time[static_cast<std::size_t>(kind)] += cost;
+  t.stats.copy_count[static_cast<std::size_t>(kind)] += 1;
+  if (obs::Observability* ob = t.rt->obs()) {
+    const auto i = static_cast<std::size_t>(kind);
+    ob->copy_seconds[i]->record(cost);
+    ob->copy_bytes[i]->record(static_cast<double>(bytes));
+  }
+}
+
 void handler_main(NodeRt* node) {
   NodeRt& n = *node;
   const bool functional = n.rt->functional();
+  sim::TraceSink* trace = n.rt->trace();
   for (;;) {
     bool progress = false;
     // Drain the in-order command queue.
     while (MpscNode* raw = n.queue.pop()) {
       progress = true;
       auto* cmd = static_cast<MsgCommand*>(raw);
+      const int depth =
+          n.queue_depth.fetch_sub(1, std::memory_order_relaxed) - 1;
+      if (trace != nullptr) {
+        trace->record_counter(n.index, "handler queue depth", "commands",
+                              cmd->kind == MsgCommand::Kind::kIncoming
+                                  ? cmd->arrival
+                                  : cmd->ready,
+                              depth);
+      }
       if (cmd->kind == MsgCommand::Kind::kProbe) {
         handle_probe(n, cmd);
         continue;
@@ -290,12 +325,20 @@ void route_send(Task& t, MsgCommand* cmd, bool from_task_fiber) {
   // than one chunk split so the DtoH stage, the wire, and the receiver's
   // HtoD stage overlap (section 3.5); RDMA paths skip both staging legs
   // and gain nothing from splitting.
+  obs::Observability* ob = rt->obs();
+  sim::TraceSink* trace = rt->trace();
   sim::Time ready = cmd->ready;
+  const sim::Time posted = cmd->ready;
+  if (ob != nullptr) {
+    cmd->span_id = ob->next_span_id();
+    cmd->span_posted = posted;
+  }
   const bool staged_send = cmd->buf_dev != nullptr && !rt->rdma_enabled();
   const dev::ChunkPipeline pipe = dev::plan_chunk_pipeline(
       rt->is_impacc() && rt->features().chunk_pipeline && !rt->rdma_enabled(),
       cmd->bytes, rt->chunk_bytes());
   sim::Time on_wire_done = 0;
+  std::uint64_t pinned_peak = 0;
   if (pipe.chunked() && staged_send) {
     // Device sender: pipeline [DtoH, wire] per chunk. Each chunk stages
     // through its own pinned bounce buffer, released as soon as the next
@@ -303,13 +346,18 @@ void route_send(Task& t, MsgCommand* cmd, bool from_task_fiber) {
     // the full message (double buffering).
     const sim::LinkModel dtoh = sim::staging_link(
         *src_node.desc, cmd->buf_dev->desc(), cmd->near);
-    add_copy_stat(
-        t.stats, dev::CopyPathKind::kDevToHost,
-        sim::chunked_stage_total(dtoh, cmd->bytes, pipe.chunk_bytes));
+    const sim::Time dtoh_total =
+        sim::chunked_stage_total(dtoh, cmd->bytes, pipe.chunk_bytes);
+    account_copy(t, dev::CopyPathKind::kDevToHost, dtoh_total, cmd->bytes);
+    if (ob != nullptr) ob->phase_stage_dtoh->record(dtoh_total);
     PinnedPool::Buffer staged_prev{};
     for (int j = 0; j < pipe.chunks; ++j) {
       const std::uint64_t len = pipe.chunk_len(j, cmd->bytes);
       PinnedPool::Buffer b = src_node.pinned.acquire(len);
+      if (trace != nullptr) {
+        pinned_peak =
+            std::max(pinned_peak, src_node.pinned.stats().bytes_in_use);
+      }
       if (functional) {
         const auto* src = static_cast<const unsigned char*>(cmd->buf) +
                           static_cast<std::uint64_t>(j) * pipe.chunk_bytes;
@@ -319,13 +367,14 @@ void route_send(Task& t, MsgCommand* cmd, bool from_task_fiber) {
       staged_prev = b;
     }
     src_node.pinned.release(staged_prev);
+    const sim::Time wire_busy = sim::chunked_stage_total(
+        sim::wire_link(cluster.fabric), cmd->bytes, pipe.chunk_bytes);
+    if (ob != nullptr) ob->phase_wire->record(wire_busy);
     if (!cluster.mpi_thread_multiple) {
       // The per-node MPI lock is held while the NIC is busy: the hold is
       // the wire occupancy of all chunks, not the end-to-end pipeline.
       ready = src_node.serialize_mpi(
-          ready, sim::chunked_stage_total(sim::wire_link(cluster.fabric),
-                                          cmd->bytes, pipe.chunk_bytes) +
-                     cluster.costs.sync_point_overhead);
+          ready, wire_busy + cluster.costs.sync_point_overhead);
       if (from_task_fiber) t.clock.merge(ready);
     }
     cmd->chunk_split = pipe.chunk_bytes;
@@ -339,12 +388,19 @@ void route_send(Task& t, MsgCommand* cmd, bool from_task_fiber) {
       const sim::Time pcie = sim::pcie_copy_time(
           *src_node.desc, cmd->buf_dev->desc(), cmd->bytes, cmd->near);
       ready += pcie;
-      add_copy_stat(t.stats, dev::CopyPathKind::kDevToHost, pcie);
+      account_copy(t, dev::CopyPathKind::kDevToHost, pcie, cmd->bytes);
+      if (ob != nullptr) ob->phase_stage_dtoh->record(pcie);
       // The DtoH staging lands in a pre-pinned bounce buffer (section 3.7);
       // the pool recycles them across messages.
-      src_node.pinned.release(src_node.pinned.acquire(cmd->bytes));
+      PinnedPool::Buffer b = src_node.pinned.acquire(cmd->bytes);
+      if (trace != nullptr) {
+        pinned_peak =
+            std::max(pinned_peak, src_node.pinned.stats().bytes_in_use);
+      }
+      src_node.pinned.release(b);
     }
     const sim::Time wire = sim::fabric_time(cluster.fabric, cmd->bytes);
+    if (ob != nullptr) ob->phase_wire->record(wire);
     if (!cluster.mpi_thread_multiple) {
       // Without MPI_THREAD_MULTIPLE the runtime serializes internode calls
       // per node: the per-node MPI lock is held across the transfer, so a
@@ -371,6 +427,30 @@ void route_send(Task& t, MsgCommand* cmd, bool from_task_fiber) {
             on_wire_done -
             static_cast<double>(cmd->bytes - delivered) / bw);
       }
+    }
+  }
+
+  if (trace != nullptr) {
+    // Send-side slice (sender's pid): posted through fully-on-wire, with
+    // the flow start that complete_match's finish event links to.
+    trace->record(src_node.index, "mpi",
+                  "msg " + std::to_string(t.id) + "->" +
+                      std::to_string(cmd->dst_task) + " (" +
+                      std::to_string(cmd->bytes) + "B)",
+                  staged_send ? "internode-send-staged" : "internode-send",
+                  posted, on_wire_done);
+    if (cmd->span_id != 0) {
+      trace->record_flow(true, cmd->span_id, src_node.index, "mpi", "msg",
+                         "mpi", posted);
+    }
+    if (staged_send) {
+      // Pinned-pool counter track: staging footprint while this message's
+      // chunks were in flight, back to its level afterwards.
+      trace->record_counter(src_node.index, "pinned pool bytes", "in_use",
+                            posted, static_cast<double>(pinned_peak));
+      trace->record_counter(
+          src_node.index, "pinned pool bytes", "in_use", on_wire_done,
+          static_cast<double>(src_node.pinned.stats().bytes_in_use));
     }
   }
 

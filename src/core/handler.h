@@ -10,6 +10,7 @@
 #include "core/message.h"
 #include "core/runtime.h"
 #include "core/task.h"
+#include "dev/copyengine.h"
 
 namespace impacc::core {
 
@@ -37,6 +38,14 @@ sim::Time sync_stream_op(Task& t, int async_id, dev::StreamOp op);
 
 /// Block until activity queue `async_id` has drained (acc wait).
 void wait_stream(Task& t, int async_id);
+
+/// Account one modeled copy against task `t`: updates TaskStats
+/// copy_time/copy_count and, when observability is on, the matching
+/// dev.copy.<path>.* histograms. Routing every copy-accounting site
+/// through here is what makes the histogram sums reconcile with the
+/// TaskStats totals by construction (docs/OBSERVABILITY.md).
+void account_copy(Task& t, dev::CopyPathKind kind, sim::Time cost,
+                  std::uint64_t bytes);
 
 /// Eager-protocol threshold used for both intra- and internode sends.
 constexpr std::uint64_t kEagerBytes = 8192;

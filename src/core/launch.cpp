@@ -35,6 +35,7 @@ LaunchResult launch(const core::LaunchOptions& options,
     result.total += t.stats;
     result.makespan = std::max(result.makespan, t.clock.now());
   }
+  rt.publish_run_metrics(result.total, result.makespan, &result.metrics);
   return result;
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "obs/metrics.h"
 #include "sim/time.h"
 #include "sim/trace.h"
 
@@ -25,6 +26,10 @@ struct LaunchResult {
   // Virtual-time execution trace (when tracing was enabled). Written to
   // LaunchOptions::trace_path as Chrome-trace JSON ("-" = keep in memory).
   std::shared_ptr<sim::TraceSink> trace;
+  // Metrics snapshot (when observability was enabled; see
+  // LaunchOptions::metrics_path and docs/OBSERVABILITY.md). Empty
+  // otherwise. Also written to metrics_path unless that is "-".
+  obs::MetricsSnapshot metrics;
 };
 
 /// Run `task_main` under the given options and return timing/statistics.

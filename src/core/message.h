@@ -95,6 +95,13 @@ struct MsgCommand : MpscNode {
   // can overlap its HtoD staging with the remaining chunks in flight.
   std::uint64_t chunk_split = 0;
   std::vector<sim::Time> chunk_arrivals;
+
+  // Message-lifecycle span (docs/OBSERVABILITY.md). Internode messages get
+  // a nonzero span id when observability is on: the same id links the
+  // send-side and recv-side trace rows via Chrome flow events, and the
+  // posted time anchors the mpi.msg.phase.total histogram.
+  std::uint64_t span_id = 0;
+  sim::Time span_posted = 0;  // sender's ready time at route_send entry
 };
 
 }  // namespace impacc::core

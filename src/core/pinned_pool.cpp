@@ -1,5 +1,6 @@
 #include "core/pinned_pool.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <mutex>
 
@@ -17,6 +18,11 @@ PinnedPool::~PinnedPool() {
 PinnedPool::Buffer PinnedPool::acquire(std::uint64_t bytes) {
   const std::lock_guard<ult::SpinLock> guard(lock_);
   ++stats_.acquires;
+  const auto mark_in_use = [this](std::uint64_t b) {
+    stats_.bytes_in_use += b;
+    stats_.bytes_in_use_peak =
+        std::max(stats_.bytes_in_use_peak, stats_.bytes_in_use);
+  };
   auto it = free_.lower_bound(bytes);
   if (it != free_.end()) {
     if (it->first <= 2 * bytes) {
@@ -24,6 +30,7 @@ PinnedPool::Buffer PinnedPool::acquire(std::uint64_t bytes) {
       Buffer b{it->second, it->first};
       stats_.bytes_retained -= it->first;
       free_.erase(it);
+      mark_in_use(b.bytes);
       return b;
     }
     // Best fit is still wildly oversized; handing it out would waste
@@ -40,12 +47,14 @@ PinnedPool::Buffer PinnedPool::acquire(std::uint64_t bytes) {
   } else {
     b.ptr = reinterpret_cast<void*>(next_fake_++);
   }
+  mark_in_use(b.bytes);
   return b;
 }
 
 void PinnedPool::release(Buffer buffer) {
   if (buffer.ptr == nullptr) return;
   const std::lock_guard<ult::SpinLock> guard(lock_);
+  stats_.bytes_in_use -= buffer.bytes;
   free_.emplace(buffer.bytes, buffer.ptr);
   stats_.bytes_retained += buffer.bytes;
   trim_locked();

@@ -32,6 +32,8 @@ class PinnedPool {
     std::uint64_t oversize_rejects = 0;  // best-fit buffer was > 2x request
     std::uint64_t trims = 0;             // buffers evicted by the cap
     std::uint64_t bytes_trimmed = 0;
+    std::uint64_t bytes_in_use = 0;      // acquired and not yet released
+    std::uint64_t bytes_in_use_peak = 0;
   };
 
   /// Retained-free-bytes cap: pinned memory is a scarce, registered

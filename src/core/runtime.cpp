@@ -1,6 +1,8 @@
 #include "core/runtime.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/log.h"
@@ -10,6 +12,25 @@
 
 namespace impacc::core {
 
+namespace {
+
+/// common/log context provider: identifies the calling fiber as
+/// "n<node>/t<task>" (task fibers) or by fiber name (handlers). Installed
+/// once; reads only fiber-local state, so it is race-free even though
+/// multiple Runtimes may exist.
+int log_context(char* buf, std::size_t cap) {
+  if (Task* t = current_task()) {
+    return std::snprintf(buf, cap, "n%d/t%d", t->node->index, t->id);
+  }
+  ult::Fiber* f = ult::Scheduler::current();
+  if (f != nullptr && !f->name().empty()) {
+    return std::snprintf(buf, cap, "%s", f->name().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
 NodeRt::NodeRt(Runtime* rt_in, int index_in, const sim::NodeDesc* desc_in,
                std::uint64_t heap_bytes, bool functional)
     : rt(rt_in),
@@ -18,6 +39,18 @@ NodeRt::NodeRt(Runtime* rt_in, int index_in, const sim::NodeDesc* desc_in,
       heap(heap_bytes, functional),
       pinned(functional) {
   uvas.set_heap(&heap);
+}
+
+void NodeRt::post(MsgCommand* cmd) {
+  const int depth = queue_depth.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (sim::TraceSink* tr = rt->trace()) {
+    tr->record_counter(index, "handler queue depth", "commands",
+                       cmd->kind == MsgCommand::Kind::kIncoming ? cmd->arrival
+                                                                : cmd->ready,
+                       depth);
+  }
+  queue.push(cmd);
+  wake.set();
 }
 
 void NodeRt::schedule_stream(dev::Stream* s) {
@@ -87,9 +120,22 @@ Runtime::Runtime(LaunchOptions opts)
     }
     if (opts_.chunk_bytes == 0) opts_.chunk_bytes = kDefaultChunkBytes;
   }
+  if (opts_.metrics_path.empty()) {
+    if (const char* env = std::getenv("IMPACC_METRICS")) {
+      opts_.metrics_path = env;
+    }
+  }
   if (!opts_.trace_path.empty()) {
     trace_ = std::make_shared<sim::TraceSink>();
   }
+  // Observability comes up with tracing OR metrics export: spans need ids
+  // even when only the trace is on, and the registry feeds both
+  // LaunchResult::metrics and the metrics file.
+  if (trace_ != nullptr || !opts_.metrics_path.empty()) {
+    obs_ = std::make_unique<obs::Observability>(
+        obs::parse_metrics_spec(opts_.metrics_path));
+  }
+  log::set_context_provider(&log_context);
   build_topology();
 }
 
@@ -165,6 +211,33 @@ bool Runtime::rdma_enabled() const {
 void Runtime::run(const std::function<void()>& task_main) {
   tasks_remaining_.store(num_tasks(), std::memory_order_relaxed);
 
+  if (obs_ != nullptr) {
+    // Ready-fiber sampler: every push feeds the ult.sched.ready_fibers
+    // histogram; with tracing on, a throttled counter track is emitted on
+    // its own pid (num_nodes()). Scheduling is an OS-level activity, so
+    // this one track is wall-clock microseconds, not virtual time — the
+    // row is labeled accordingly.
+    const auto t0 = std::chrono::steady_clock::now();
+    auto last_emit_us = std::make_shared<std::atomic<long long>>(-1000000);
+    sched_.set_ready_sampler([this, t0, last_emit_us](std::size_t depth) {
+      obs_->ready_fibers->record(static_cast<double>(depth));
+      if (trace_ == nullptr) return;
+      const long long us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      long long prev = last_emit_us->load(std::memory_order_relaxed);
+      if (us - prev < 200) return;  // throttle: ≥200 µs between samples
+      if (!last_emit_us->compare_exchange_strong(prev, us,
+                                                 std::memory_order_relaxed)) {
+        return;
+      }
+      trace_->record_counter(num_nodes(), "ready fibers (wall clock)",
+                             "fibers", static_cast<double>(us) * 1e-6,
+                             static_cast<double>(depth));
+    });
+  }
+
   for (auto& node : nodes_) {
     NodeRt* n = node.get();
     n->handler = sched_.spawn([n] { handler_main(n); },
@@ -188,6 +261,123 @@ void Runtime::run(const std::function<void()>& task_main) {
   }
 
   sched_.wait_all();
+  if (obs_ != nullptr) sched_.set_ready_sampler({});
+}
+
+void Runtime::publish_run_metrics(const TaskStats& total, sim::Time makespan,
+                                  obs::MetricsSnapshot* out) {
+  if (obs_ == nullptr) return;
+  obs::Registry& reg = obs_->registry();
+
+  // Run shape.
+  reg.gauge("core.makespan_seconds")->set(makespan);
+  reg.gauge("core.num_tasks")->set(num_tasks());
+  reg.gauge("core.num_nodes")->set(num_nodes());
+
+  // TaskStats totals. The copy/wait *model* gauges mirror what the live
+  // dev.copy.*/mpi.wait histograms accumulated — equal by construction
+  // (every accounting site goes through account_copy / the wait site), and
+  // asserted by tests and tools/impacc-smoke.
+  reg.gauge("mpi.msgs_sent")->set(static_cast<double>(total.msgs_sent));
+  reg.gauge("mpi.msgs_recv")->set(static_cast<double>(total.msgs_recv));
+  reg.gauge("mpi.bytes_sent")->set(static_cast<double>(total.bytes_sent));
+  reg.gauge("mpi.chunked_msgs")->set(static_cast<double>(total.chunked_msgs));
+  reg.gauge("mpi.wait.model_seconds")->set(total.mpi_wait);
+  reg.gauge("acc.kernel.model_seconds")->set(total.kernel_busy);
+  reg.gauge("core.heap_aliases")->set(static_cast<double>(total.heap_aliases));
+  for (int i = 0; i < 6; ++i) {
+    const std::string prefix =
+        std::string("dev.copy.") +
+        dev::copy_path_slug(static_cast<dev::CopyPathKind>(i));
+    reg.gauge(prefix + ".model_seconds")
+        ->set(total.copy_time[static_cast<std::size_t>(i)]);
+    reg.gauge(prefix + ".model_count")
+        ->set(static_cast<double>(
+            total.copy_count[static_cast<std::size_t>(i)]));
+  }
+
+  // Present-table memo caches, summed over tasks (acc.present_table.*).
+  acc::PresentTable::CacheStats cache;
+  for (const auto& t : tasks_) {
+    const acc::PresentTable::CacheStats& cs = t->present.cache_stats();
+    cache.host_hits += cs.host_hits;
+    cache.host_misses += cs.host_misses;
+    cache.dev_hits += cs.dev_hits;
+    cache.dev_misses += cs.dev_misses;
+    cache.invalidations += cs.invalidations;
+  }
+  reg.gauge("acc.present_table.host_hits")
+      ->set(static_cast<double>(cache.host_hits));
+  reg.gauge("acc.present_table.host_misses")
+      ->set(static_cast<double>(cache.host_misses));
+  reg.gauge("acc.present_table.dev_hits")
+      ->set(static_cast<double>(cache.dev_hits));
+  reg.gauge("acc.present_table.dev_misses")
+      ->set(static_cast<double>(cache.dev_misses));
+  reg.gauge("acc.present_table.invalidations")
+      ->set(static_cast<double>(cache.invalidations));
+
+  // Pinned staging pools and matchers, summed over nodes.
+  PinnedPool::Stats pool;
+  mpi::Matcher::Stats match;
+  for (const auto& n : nodes_) {
+    const PinnedPool::Stats ps = n->pinned.stats();
+    pool.acquires += ps.acquires;
+    pool.hits += ps.hits;
+    pool.buffers_created += ps.buffers_created;
+    pool.bytes_allocated += ps.bytes_allocated;
+    pool.bytes_retained += ps.bytes_retained;
+    pool.oversize_rejects += ps.oversize_rejects;
+    pool.trims += ps.trims;
+    pool.bytes_trimmed += ps.bytes_trimmed;
+    pool.bytes_in_use += ps.bytes_in_use;
+    pool.bytes_in_use_peak =
+        std::max(pool.bytes_in_use_peak, ps.bytes_in_use_peak);
+    const mpi::Matcher::Stats& ms = n->matcher.stats();
+    match.matched += ms.matched;
+    match.unexpected_queued += ms.unexpected_queued;
+    match.recvs_queued += ms.recvs_queued;
+    match.probes_parked += ms.probes_parked;
+  }
+  reg.gauge("core.pinned_pool.acquires")
+      ->set(static_cast<double>(pool.acquires));
+  reg.gauge("core.pinned_pool.hits")->set(static_cast<double>(pool.hits));
+  reg.gauge("core.pinned_pool.buffers_created")
+      ->set(static_cast<double>(pool.buffers_created));
+  reg.gauge("core.pinned_pool.bytes_allocated")
+      ->set(static_cast<double>(pool.bytes_allocated));
+  reg.gauge("core.pinned_pool.bytes_retained")
+      ->set(static_cast<double>(pool.bytes_retained));
+  reg.gauge("core.pinned_pool.oversize_rejects")
+      ->set(static_cast<double>(pool.oversize_rejects));
+  reg.gauge("core.pinned_pool.trims")->set(static_cast<double>(pool.trims));
+  reg.gauge("core.pinned_pool.bytes_trimmed")
+      ->set(static_cast<double>(pool.bytes_trimmed));
+  reg.gauge("core.pinned_pool.bytes_in_use_peak")
+      ->set(static_cast<double>(pool.bytes_in_use_peak));
+  reg.gauge("mpi.matcher.matched")->set(static_cast<double>(match.matched));
+  reg.gauge("mpi.matcher.unexpected_queued")
+      ->set(static_cast<double>(match.unexpected_queued));
+  reg.gauge("mpi.matcher.recvs_queued")
+      ->set(static_cast<double>(match.recvs_queued));
+  reg.gauge("mpi.matcher.probes_parked")
+      ->set(static_cast<double>(match.probes_parked));
+
+  // Scheduler.
+  reg.gauge("ult.sched.workers")->set(sched_.num_workers());
+  reg.gauge("ult.sched.fibers_spawned")
+      ->set(static_cast<double>(sched_.fibers_spawned()));
+  reg.gauge("ult.sched.fibers_finished")
+      ->set(static_cast<double>(sched_.fibers_finished()));
+
+  obs::MetricsSnapshot snap = reg.snapshot();
+  const obs::MetricsConfig& cfg = obs_->config();
+  if (!cfg.path.empty() && cfg.path != "-") {
+    if (!snap.write_file(cfg.path, cfg.format)) {
+      IMPACC_LOG_WARN("could not write metrics to %s", cfg.path.c_str());
+    }
+  }
+  if (out != nullptr) *out = std::move(snap);
 }
 
 }  // namespace impacc::core

@@ -19,6 +19,7 @@
 #include "core/uvas.h"
 #include "mpi/comm.h"
 #include "mpi/matcher.h"
+#include "obs/obs.h"
 #include "sim/trace.h"
 #include "ult/scheduler.h"
 #include "ult/sync.h"
@@ -63,11 +64,12 @@ struct NodeRt {
   std::atomic<bool> shutdown{false};
   ult::Fiber* handler = nullptr;
 
+  // Commands posted but not yet popped by the handler; feeds the trace's
+  // "handler queue depth" counter track.
+  std::atomic<int> queue_depth{0};
+
   /// Post a command to this node's handler.
-  void post(MsgCommand* cmd) {
-    queue.push(cmd);
-    wake.set();
-  }
+  void post(MsgCommand* cmd);
 
   /// Make a stream's pending work visible to the handler.
   void schedule_stream(dev::Stream* s);
@@ -140,6 +142,18 @@ class Runtime {
   sim::TraceSink* trace() { return trace_.get(); }
   std::shared_ptr<sim::TraceSink> shared_trace() { return trace_; }
 
+  /// Observability bundle (metrics registry + span ids) when tracing or
+  /// metrics export is enabled, else nullptr — the single branch every
+  /// instrumentation site tests.
+  obs::Observability* obs() { return obs_.get(); }
+
+  /// Publish the run-total stats (TaskStats, present-table cache,
+  /// pinned-pool, matcher, scheduler) into the registry and snapshot it
+  /// into `total`/`metrics`; writes the configured metrics file. No-op
+  /// when observability is disabled. Called by launch() after the run.
+  void publish_run_metrics(const TaskStats& total, sim::Time makespan,
+                           obs::MetricsSnapshot* out);
+
  private:
   friend struct NodeRt;
 
@@ -147,6 +161,7 @@ class Runtime {
 
   LaunchOptions opts_;
   std::shared_ptr<sim::TraceSink> trace_;
+  std::unique_ptr<obs::Observability> obs_;
   ult::Scheduler sched_;
   std::vector<std::unique_ptr<NodeRt>> nodes_;
   std::vector<std::unique_ptr<Task>> tasks_;

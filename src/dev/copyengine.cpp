@@ -18,6 +18,18 @@ const char* copy_path_name(CopyPathKind k) {
   return "?";
 }
 
+const char* copy_path_slug(CopyPathKind k) {
+  switch (k) {
+    case CopyPathKind::kHostToHost: return "htoh";
+    case CopyPathKind::kHostToDev: return "htod";
+    case CopyPathKind::kDevToHost: return "dtoh";
+    case CopyPathKind::kDevToDevPeer: return "dtod_peer";
+    case CopyPathKind::kDevToDevStaged: return "dtod_staged";
+    case CopyPathKind::kBaselineIpc: return "ipc_staged";
+  }
+  return "unknown";
+}
+
 IntraCopyPlan plan_fused_copy(const sim::NodeDesc& node,
                               const sim::RuntimeCosts& costs,
                               const Device* src_dev, const Device* dst_dev,

@@ -27,6 +27,10 @@ enum class CopyPathKind : int {
 
 const char* copy_path_name(CopyPathKind k);
 
+/// Metric-name slug for a copy path ("dev.copy.<slug>.*" in the metrics
+/// registry): lowercase, [a-z0-9_] only.
+const char* copy_path_slug(CopyPathKind k);
+
 struct IntraCopyPlan {
   CopyPathKind kind = CopyPathKind::kHostToHost;
   sim::Time cost = 0;

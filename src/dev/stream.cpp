@@ -45,12 +45,22 @@ bool CompletionRecord::poll(sim::Time* t) {
 
 // --- Stream ------------------------------------------------------------------
 
+void Stream::record_depth(sim::Time t, std::size_t depth) {
+  trace_->record_counter(trace_pid_,
+                         "dev" + std::to_string(device_index_) + " q" +
+                             std::to_string(id_) + " depth",
+                         "ops", t, static_cast<double>(depth));
+}
+
 bool Stream::enqueue(StreamOp op) {
+  const sim::Time at = op.enqueue_time;
   spin_.lock();
   ops_.push_back(std::move(op));
+  const std::size_t depth = ops_.size() + static_cast<std::size_t>(in_flight_);
   const bool was_unscheduled = !scheduled_;
   scheduled_ = true;
   spin_.unlock();
+  if (trace_ != nullptr) record_depth(at, depth);
   return was_unscheduled;
 }
 
@@ -107,13 +117,20 @@ bool Stream::advance(bool functional) {
     }
 
     const sim::Time end = clock_.advance(op.model_cost);
-    if (trace_ != nullptr && op.kind != StreamOp::Kind::kMarker) {
-      trace_->record(trace_pid_,
-                     "dev" + std::to_string(device_index_) + " q" +
-                         std::to_string(id_),
-                     op.label,
-                     op.kind == StreamOp::Kind::kKernel ? "kernel" : "copy",
-                     start, end);
+    if (trace_ != nullptr) {
+      if (op.kind != StreamOp::Kind::kMarker) {
+        trace_->record(trace_pid_,
+                       "dev" + std::to_string(device_index_) + " q" +
+                           std::to_string(id_),
+                       op.label,
+                       op.kind == StreamOp::Kind::kKernel ? "kernel" : "copy",
+                       start, end);
+      }
+      spin_.lock();
+      const std::size_t depth =
+          ops_.size() + static_cast<std::size_t>(in_flight_);
+      spin_.unlock();
+      record_depth(end, depth);
     }
     if (op.completion != nullptr) op.completion->complete(end);
   }
@@ -124,6 +141,7 @@ bool Stream::complete_inflight(sim::Time t) {
   IMPACC_CHECK_MSG(in_flight_ > 0, "completion without initiation");
   clock_.merge(t);
   --in_flight_;
+  const std::size_t depth = ops_.size() + static_cast<std::size_t>(in_flight_);
   bool reschedule = false;
   if (in_flight_ == 0 && stalled_) {
     stalled_ = false;
@@ -131,6 +149,7 @@ bool Stream::complete_inflight(sim::Time t) {
     if (reschedule) scheduled_ = true;
   }
   spin_.unlock();
+  if (trace_ != nullptr) record_depth(t, depth);
   return reschedule;
 }
 

@@ -123,6 +123,9 @@ class Stream {
   bool idle();
 
  private:
+  /// Emit the "dev<i> q<id> depth" counter sample (trace_ must be set).
+  void record_depth(sim::Time t, std::size_t depth);
+
   int device_index_;
   int id_;
   ult::SpinLock spin_;

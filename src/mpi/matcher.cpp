@@ -23,10 +23,12 @@ core::MsgCommand* Matcher::submit(core::MsgCommand* cmd) {
       if (pair_matches(**it, *cmd)) {
         core::MsgCommand* send = *it;
         pt.sends.erase(it);
+        ++stats_.matched;
         return send;
       }
     }
     pt.recvs.push_back(cmd);
+    ++stats_.recvs_queued;
     return nullptr;
   }
   // kSend / kIncoming.
@@ -34,10 +36,12 @@ core::MsgCommand* Matcher::submit(core::MsgCommand* cmd) {
     if (pair_matches(*cmd, **it)) {
       core::MsgCommand* recv = *it;
       pt.recvs.erase(it);
+      ++stats_.matched;
       return recv;
     }
   }
   pt.sends.push_back(cmd);
+  ++stats_.unexpected_queued;
   return nullptr;
 }
 
@@ -53,6 +57,7 @@ core::MsgCommand* Matcher::find_pending_send(
 
 void Matcher::store_probe(core::MsgCommand* probe) {
   per_task_[probe->dst_task].probes.push_back(probe);
+  ++stats_.probes_parked;
 }
 
 std::vector<core::MsgCommand*> Matcher::take_matching_probes(

@@ -38,6 +38,17 @@ class Matcher {
   std::size_t posted_recvs(int dst_task) const;
   bool drained() const;
 
+  /// Matching effectiveness, published as mpi.matcher.* at the end of a
+  /// run (docs/OBSERVABILITY.md). Single-threaded like the matcher itself
+  /// (handler fiber only).
+  struct Stats {
+    std::uint64_t matched = 0;            // pairs completed
+    std::uint64_t unexpected_queued = 0;  // sends that waited for a recv
+    std::uint64_t recvs_queued = 0;       // recvs that waited for a send
+    std::uint64_t probes_parked = 0;      // blocking probes that waited
+  };
+  const Stats& stats() const { return stats_; }
+
  private:
   struct PerTask {
     std::deque<core::MsgCommand*> sends;   // unexpected sends/incomings
@@ -49,6 +60,7 @@ class Matcher {
                            const core::MsgCommand& recv);
 
   std::unordered_map<int, PerTask> per_task_;
+  Stats stats_;
 };
 
 }  // namespace impacc::mpi

@@ -217,7 +217,9 @@ void wait(Request& req, MpiStatus* status) {
   const sim::Time done = req.state->rec.wait();
   const sim::Time before = t.clock.now();
   t.clock.merge(done);
-  t.stats.mpi_wait += t.clock.now() - before;
+  const sim::Time waited = t.clock.now() - before;
+  t.stats.mpi_wait += waited;
+  if (obs::Observability* ob = t.rt->obs()) ob->mpi_wait->record(waited);
   if (status != nullptr) *status = req.state->status;
   req.state.reset();
 }
@@ -283,6 +285,7 @@ Request post_probe(Task& t, int src, int tag, Comm comm, bool blocking) {
   cmd->ready = t.clock.now();
   cmd->owner_task = t.id;
   cmd->req = std::make_shared<RequestState>();
+  if (obs::Observability* ob = t.rt->obs()) ob->probes->add(1);
   Request r{cmd->req};
   t.node->post(cmd);
   return r;

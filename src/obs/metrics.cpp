@@ -1,0 +1,297 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/types.h"
+
+namespace impacc::obs {
+
+namespace {
+
+void atomic_add_double(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min_double(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+double unit_base(HistUnit u) {
+  switch (u) {
+    case HistUnit::kSeconds: return 1e-9;  // sub-ns is one bucket
+    case HistUnit::kBytes: return 1.0;
+    case HistUnit::kCount: return 1.0;
+  }
+  return 1.0;
+}
+
+/// Shortest-ish round-trippable double. %.12g keeps virtual times exact to
+/// picoseconds and byte counts exact to 2^39, plenty for diffing.
+std::string format_number(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+  }
+  return buf;
+}
+
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + sizeof("impacc_") - 1);
+  out += "impacc_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(HistUnit unit) : unit_(unit), base_(unit_base(unit)) {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+int Histogram::bucket_index(double v) const {
+  if (!(v >= base_)) return 0;  // also catches NaN and negatives
+  const int i = 1 + static_cast<int>(std::floor(std::log2(v / base_)));
+  return std::min(i, kBuckets - 1);
+}
+
+double Histogram::bucket_lo(int i) const {
+  return i == 0 ? 0.0 : base_ * std::exp2(i - 1);
+}
+
+double Histogram::bucket_hi(int i) const { return base_ * std::exp2(i); }
+
+void Histogram::record(double v) {
+  if (std::isnan(v)) return;
+  counts_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, v);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_min_double(min_, v);
+  atomic_max_double(max_, v);
+}
+
+HistogramSummary Histogram::summarize() const {
+  HistogramSummary s;
+  std::uint64_t counts[kBuckets];
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+    s.count += counts[i];
+  }
+  if (s.count == 0) return s;
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+
+  const auto quantile = [&](double q) {
+    const double target = q * static_cast<double>(s.count);
+    std::uint64_t cum = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      if (counts[i] == 0) continue;
+      const double prev = static_cast<double>(cum);
+      cum += counts[i];
+      if (static_cast<double>(cum) >= target) {
+        // Linear interpolation inside the matched bucket.
+        const double frac =
+            (target - prev) / static_cast<double>(counts[i]);
+        const double lo = bucket_lo(i);
+        const double hi = bucket_hi(i);
+        return std::clamp(lo + frac * (hi - lo), s.min, s.max);
+      }
+    }
+    return s.max;
+  };
+  s.p50 = quantile(0.50);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+// --- Registry ---------------------------------------------------------------
+
+Counter* Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& s = slots_[name];
+  if (s.counter == nullptr) {
+    IMPACC_CHECK_MSG(s.gauge == nullptr && s.histogram == nullptr,
+                     "metric re-registered with a different kind");
+    s.kind = MetricKind::kCounter;
+    s.counter = std::make_unique<Counter>();
+  }
+  return s.counter.get();
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& s = slots_[name];
+  if (s.gauge == nullptr) {
+    IMPACC_CHECK_MSG(s.counter == nullptr && s.histogram == nullptr,
+                     "metric re-registered with a different kind");
+    s.kind = MetricKind::kGauge;
+    s.gauge = std::make_unique<Gauge>();
+  }
+  return s.gauge.get();
+}
+
+Histogram* Registry::histogram(const std::string& name, HistUnit unit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& s = slots_[name];
+  if (s.histogram == nullptr) {
+    IMPACC_CHECK_MSG(s.counter == nullptr && s.gauge == nullptr,
+                     "metric re-registered with a different kind");
+    s.kind = MetricKind::kHistogram;
+    s.histogram = std::make_unique<Histogram>(unit);
+  }
+  IMPACC_CHECK_MSG(s.histogram->unit() == unit,
+                   "histogram re-registered with a different unit");
+  return s.histogram.get();
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snap.entries.reserve(slots_.size());
+  for (const auto& [name, slot] : slots_) {  // std::map: already sorted
+    MetricsSnapshot::Entry e;
+    e.name = name;
+    e.kind = slot.kind;
+    switch (slot.kind) {
+      case MetricKind::kCounter:
+        e.value = static_cast<double>(slot.counter->value());
+        break;
+      case MetricKind::kGauge:
+        e.value = slot.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        e.hist = slot.histogram->summarize();
+        break;
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  return snap;
+}
+
+// --- MetricsSnapshot --------------------------------------------------------
+
+const MetricsSnapshot::Entry* MetricsSnapshot::find(
+    const std::string& name) const {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), name,
+      [](const Entry& e, const std::string& n) { return e.name < n; });
+  if (it == entries.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+double MetricsSnapshot::value(const std::string& name, double fallback) const {
+  if (const Entry* e = find(name)) {
+    if (e->kind == MetricKind::kHistogram) return fallback;
+    return e->value;
+  }
+  const std::size_t dot = name.rfind('.');
+  if (dot == std::string::npos) return fallback;
+  const Entry* e = find(name.substr(0, dot));
+  if (e == nullptr || e->kind != MetricKind::kHistogram) return fallback;
+  const std::string field = name.substr(dot + 1);
+  const HistogramSummary& h = e->hist;
+  if (field == "count") return static_cast<double>(h.count);
+  if (field == "sum") return h.sum;
+  if (field == "min") return h.min;
+  if (field == "max") return h.max;
+  if (field == "p50") return h.p50;
+  if (field == "p95") return h.p95;
+  if (field == "p99") return h.p99;
+  return fallback;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n";
+  bool first = true;
+  const auto emit = [&](const std::string& name, double v) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  \"" + name + "\": " + format_number(v);
+  };
+  for (const Entry& e : entries) {
+    if (e.kind == MetricKind::kHistogram) {
+      emit(e.name + ".count", static_cast<double>(e.hist.count));
+      emit(e.name + ".max", e.hist.max);
+      emit(e.name + ".min", e.hist.min);
+      emit(e.name + ".p50", e.hist.p50);
+      emit(e.name + ".p95", e.hist.p95);
+      emit(e.name + ".p99", e.hist.p99);
+      emit(e.name + ".sum", e.hist.sum);
+    } else {
+      emit(e.name, e.value);
+    }
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  for (const Entry& e : entries) {
+    const std::string pname = prometheus_name(e.name);
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        out += "# TYPE " + pname + " counter\n";
+        out += pname + " " + format_number(e.value) + "\n";
+        break;
+      case MetricKind::kGauge:
+        out += "# TYPE " + pname + " gauge\n";
+        out += pname + " " + format_number(e.value) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        out += "# TYPE " + pname + " summary\n";
+        out += pname + "{quantile=\"0.5\"} " + format_number(e.hist.p50) + "\n";
+        out += pname + "{quantile=\"0.95\"} " + format_number(e.hist.p95) + "\n";
+        out += pname + "{quantile=\"0.99\"} " + format_number(e.hist.p99) + "\n";
+        out += pname + "_sum " + format_number(e.hist.sum) + "\n";
+        out += pname + "_count " +
+               format_number(static_cast<double>(e.hist.count)) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool MetricsSnapshot::write_file(const std::string& path,
+                                 SnapshotFormat format) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text =
+      format == SnapshotFormat::kJson ? to_json() : to_prometheus();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace impacc::obs

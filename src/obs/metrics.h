@@ -1,0 +1,156 @@
+// Runtime observability: the metrics registry.
+//
+// One thread-safe registry per Runtime holds named counters, gauges, and
+// fixed-bucket histograms, registered by subsystem ("mpi.*",
+// "acc.present_table.*", "core.pinned_pool.*", "ult.sched.*", "dev.copy.*").
+// Instrumentation sites hold typed handles resolved once at startup, so a
+// hot-path update is a single relaxed atomic add — and when observability
+// is disabled entirely, sites skip even that behind one pointer-null test.
+//
+// Snapshots flatten everything into a sorted name -> value list that the
+// exporters serialize as a flat JSON object (diff-friendly; see
+// tools/metrics_diff.sh) or Prometheus text exposition.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace impacc::obs {
+
+enum class MetricKind : int { kCounter = 0, kGauge, kHistogram };
+
+/// Monotonic event count. Updates are relaxed atomics: totals are exact,
+/// ordering against other metrics is not promised.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written value (set) or running sum (add) of a double.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+/// What a histogram's samples measure; sets the geometric bucket base so
+/// the fixed bucket count covers the interesting range with ~2x resolution.
+enum class HistUnit : int {
+  kSeconds = 0,  // latencies: buckets from 1 ns up
+  kBytes,        // sizes: buckets from 1 byte up
+  kCount,        // dimensionless: queue depths, chunk counts, ...
+};
+
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = 0;  // 0 when count == 0
+  double max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+/// Fixed-bucket (power-of-two geometric) histogram. Recording is lock-free
+/// (relaxed atomics per bucket); percentiles are interpolated within the
+/// matched bucket at snapshot time, clamped to the observed min/max.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  explicit Histogram(HistUnit unit);
+
+  void record(double v);
+  HistogramSummary summarize() const;
+  HistUnit unit() const { return unit_; }
+
+ private:
+  int bucket_index(double v) const;
+  double bucket_lo(int i) const;
+  double bucket_hi(int i) const;
+
+  HistUnit unit_;
+  double base_;  // lower edge of bucket 1; bucket 0 is [0, base_)
+  std::atomic<std::uint64_t> counts_[kBuckets];
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> min_{0};
+  std::atomic<double> max_{0};
+};
+
+enum class SnapshotFormat : int { kJson = 0, kPrometheus };
+
+/// Point-in-time copy of every registered metric, flattened for export.
+/// Histograms contribute derived sub-values addressable as
+/// "<name>.count|sum|min|max|p50|p95|p99" through value().
+struct MetricsSnapshot {
+  struct Entry {
+    std::string name;
+    MetricKind kind = MetricKind::kGauge;
+    double value = 0;  // counter (as double) or gauge
+    HistogramSummary hist;
+  };
+
+  std::vector<Entry> entries;  // sorted by name
+
+  bool empty() const { return entries.empty(); }
+  const Entry* find(const std::string& name) const;
+
+  /// Look a value up by flattened name; histogram sub-values use the
+  /// ".sum"-style suffixes above. Returns `fallback` when absent.
+  double value(const std::string& name, double fallback = 0) const;
+
+  /// Flat JSON object, keys sorted, one "name": value per line.
+  std::string to_json() const;
+
+  /// Prometheus text exposition; dots in names become underscores and
+  /// histograms export as summaries (quantile series + _sum/_count).
+  std::string to_prometheus() const;
+
+  /// Serialize in `format` to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path, SnapshotFormat format) const;
+};
+
+/// Thread-safe name -> metric table. Handles returned by the accessors
+/// stay valid for the registry's lifetime; re-registering a name returns
+/// the existing metric (and aborts on a kind mismatch — two subsystems
+/// disagreeing about a name is a bug worth failing loudly on).
+class Registry {
+ public:
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name,
+                       HistUnit unit = HistUnit::kSeconds);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  struct Slot {
+    MetricKind kind = MetricKind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Slot> slots_;
+};
+
+}  // namespace impacc::obs

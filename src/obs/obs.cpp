@@ -1,0 +1,54 @@
+#include "obs/obs.h"
+
+#include "dev/copyengine.h"
+
+namespace impacc::obs {
+
+MetricsConfig parse_metrics_spec(const std::string& spec) {
+  MetricsConfig cfg;
+  const std::size_t comma = spec.rfind(',');
+  if (comma != std::string::npos) {
+    const std::string fmt = spec.substr(comma + 1);
+    if (fmt == "json") {
+      cfg.format = SnapshotFormat::kJson;
+      cfg.path = spec.substr(0, comma);
+      return cfg;
+    }
+    if (fmt == "prom" || fmt == "prometheus") {
+      cfg.format = SnapshotFormat::kPrometheus;
+      cfg.path = spec.substr(0, comma);
+      return cfg;
+    }
+    // Unknown suffix: treat the whole spec as a path (a filename may
+    // legitimately contain a comma).
+  }
+  cfg.path = spec;
+  return cfg;
+}
+
+Observability::Observability(MetricsConfig config)
+    : config_(std::move(config)) {
+  msg_bytes = registry_.histogram("mpi.msg.bytes", HistUnit::kBytes);
+  phase_stage_dtoh = registry_.histogram("mpi.msg.phase.stage_dtoh");
+  phase_wire = registry_.histogram("mpi.msg.phase.wire");
+  phase_match_wait = registry_.histogram("mpi.msg.phase.match_wait");
+  phase_stage_htod = registry_.histogram("mpi.msg.phase.stage_htod");
+  phase_total = registry_.histogram("mpi.msg.phase.total");
+  mpi_wait = registry_.histogram("mpi.wait.seconds");
+  msgs_internode = registry_.counter("mpi.msgs.internode");
+  msgs_intranode = registry_.counter("mpi.msgs.intranode");
+  probes = registry_.counter("mpi.probes");
+
+  for (int i = 0; i < 6; ++i) {
+    const std::string slug =
+        dev::copy_path_slug(static_cast<dev::CopyPathKind>(i));
+    copy_seconds[i] = registry_.histogram("dev.copy." + slug + ".seconds");
+    copy_bytes[i] =
+        registry_.histogram("dev.copy." + slug + ".bytes", HistUnit::kBytes);
+  }
+  kernel_seconds = registry_.histogram("acc.kernel.seconds");
+  ready_fibers =
+      registry_.histogram("ult.sched.ready_fibers", HistUnit::kCount);
+}
+
+}  // namespace impacc::obs

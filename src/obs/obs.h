@@ -1,0 +1,75 @@
+// Per-Runtime observability bundle.
+//
+// Owns the metrics Registry plus the typed handles the hot instrumentation
+// sites use (resolved once here so no site pays a name lookup), and hands
+// out message-span ids for the flow events that link send- and recv-side
+// trace rows (docs/OBSERVABILITY.md).
+//
+// The Runtime creates one of these when tracing or metrics export is
+// enabled (LaunchOptions::metrics_path / IMPACC_METRICS / IMPACC_TRACE);
+// otherwise Runtime::obs() stays nullptr and every site reduces to a
+// single pointer test.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace impacc::obs {
+
+/// Parsed IMPACC_METRICS / LaunchOptions::metrics_path spec:
+/// "path[,format]" with format "json" (default) or "prom"/"prometheus".
+/// Path "-" keeps the snapshot in memory only (LaunchResult::metrics).
+struct MetricsConfig {
+  std::string path;  // empty = no file export
+  SnapshotFormat format = SnapshotFormat::kJson;
+};
+
+MetricsConfig parse_metrics_spec(const std::string& spec);
+
+class Observability {
+ public:
+  explicit Observability(MetricsConfig config);
+
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  Registry& registry() { return registry_; }
+  const MetricsConfig& config() const { return config_; }
+
+  /// Fresh nonzero message-span id (shared by the send/recv trace rows of
+  /// one internode message and its ph:"s"/"f" flow pair).
+  std::uint64_t next_span_id() {
+    return next_span_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Hot-path handles (never null). Message lifecycle phases:
+  Histogram* msg_bytes;          // mpi.msg.bytes — matched message sizes
+  Histogram* phase_stage_dtoh;   // sender DtoH staging time per message
+  Histogram* phase_wire;         // fabric occupancy per message
+  Histogram* phase_match_wait;   // arrival -> recv-posted wait
+  Histogram* phase_stage_htod;   // receiver HtoD staging time per message
+  Histogram* phase_total;        // send enqueue -> receive complete
+  Histogram* mpi_wait;           // mpi.wait.seconds — blocked task time
+  Counter* msgs_internode;
+  Counter* msgs_intranode;
+  Counter* probes;
+
+  // Copy accounting, indexed by dev::CopyPathKind's integer value. Every
+  // TaskStats copy_time update goes through core::account_copy, which also
+  // records here — so histogram sums reconcile with the stats by
+  // construction.
+  Histogram* copy_seconds[6];
+  Histogram* copy_bytes[6];
+  Histogram* kernel_seconds;   // acc.kernel.seconds
+  Histogram* ready_fibers;     // ult.sched.ready_fibers (run-queue depth)
+
+ private:
+  MetricsConfig config_;
+  Registry registry_;
+  std::atomic<std::uint64_t> next_span_{1};
+};
+
+}  // namespace impacc::obs

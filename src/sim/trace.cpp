@@ -7,12 +7,43 @@ namespace impacc::sim {
 void TraceSink::record(int pid, std::string tid, std::string name,
                        std::string category, sim::Time start, sim::Time end) {
   Event e;
+  e.phase = 'X';
   e.pid = pid;
   e.tid = std::move(tid);
   e.name = std::move(name);
   e.category = std::move(category);
   e.start = start;
   e.end = end;
+  lock_.lock();
+  events_.push_back(std::move(e));
+  lock_.unlock();
+}
+
+void TraceSink::record_flow(bool start, std::uint64_t id, int pid,
+                            std::string tid, std::string name,
+                            std::string category, sim::Time t) {
+  Event e;
+  e.phase = start ? 's' : 'f';
+  e.pid = pid;
+  e.tid = std::move(tid);
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.start = t;
+  e.flow_id = id;
+  lock_.lock();
+  events_.push_back(std::move(e));
+  lock_.unlock();
+}
+
+void TraceSink::record_counter(int pid, std::string name, std::string series,
+                               sim::Time t, double value) {
+  Event e;
+  e.phase = 'C';
+  e.pid = pid;
+  e.name = std::move(name);
+  e.category = std::move(series);  // reused as the counter series key
+  e.start = t;
+  e.value = value;
   lock_.lock();
   events_.push_back(std::move(e));
   lock_.unlock();
@@ -34,7 +65,9 @@ std::vector<TraceSink::Event> TraceSink::snapshot() const {
 
 namespace {
 
-/// Escape the few JSON-significant characters that can appear in labels.
+/// Full JSON string escaping: quotes, backslashes, and every control
+/// character (user tags and kernel labels end up in event names, and a
+/// stray '\t' or '\x01' must not produce an unparseable trace).
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -43,7 +76,19 @@ std::string json_escape(const std::string& s) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
-      default: out += c;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
     }
   }
   return out;
@@ -54,17 +99,45 @@ std::string json_escape(const std::string& s) {
 std::string TraceSink::to_chrome_json() const {
   const std::vector<Event> events = snapshot();
   std::string out = "[\n";
-  char buf[160];
+  char buf[192];
   for (std::size_t i = 0; i < events.size(); ++i) {
     const Event& e = events[i];
-    // Chrome "complete" events: ts/dur in microseconds.
-    std::snprintf(buf, sizeof(buf),
-                  "{\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,",
-                  sim::to_us(e.start), sim::to_us(e.end - e.start), e.pid);
-    out += buf;
-    out += "\"tid\":\"" + json_escape(e.tid) + "\",";
-    out += "\"cat\":\"" + json_escape(e.category) + "\",";
-    out += "\"name\":\"" + json_escape(e.name) + "\"}";
+    switch (e.phase) {
+      case 's':
+      case 'f':
+        // Flow events bind to the complete event enclosing (pid, tid, ts);
+        // bp:"e" makes the finish attach to the slice it lands in.
+        std::snprintf(buf, sizeof(buf),
+                      "{\"ph\":\"%c\",\"id\":%llu,\"ts\":%.3f,\"pid\":%d,%s",
+                      e.phase,
+                      static_cast<unsigned long long>(e.flow_id),
+                      sim::to_us(e.start), e.pid,
+                      e.phase == 'f' ? "\"bp\":\"e\"," : "");
+        out += buf;
+        out += "\"tid\":\"" + json_escape(e.tid) + "\",";
+        out += "\"cat\":\"" + json_escape(e.category) + "\",";
+        out += "\"name\":\"" + json_escape(e.name) + "\"}";
+        break;
+      case 'C':
+        std::snprintf(buf, sizeof(buf),
+                      "{\"ph\":\"C\",\"ts\":%.3f,\"pid\":%d,",
+                      sim::to_us(e.start), e.pid);
+        out += buf;
+        out += "\"name\":\"" + json_escape(e.name) + "\",";
+        out += "\"args\":{\"" + json_escape(e.category) + "\":";
+        std::snprintf(buf, sizeof(buf), "%.6g}}", e.value);
+        out += buf;
+        break;
+      default:
+        // Chrome "complete" events: ts/dur in microseconds.
+        std::snprintf(buf, sizeof(buf),
+                      "{\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,",
+                      sim::to_us(e.start), sim::to_us(e.end - e.start), e.pid);
+        out += buf;
+        out += "\"tid\":\"" + json_escape(e.tid) + "\",";
+        out += "\"cat\":\"" + json_escape(e.category) + "\",";
+        out += "\"name\":\"" + json_escape(e.name) + "\"}";
+    }
     if (i + 1 < events.size()) out += ",";
     out += "\n";
   }

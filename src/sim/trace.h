@@ -20,17 +20,34 @@ namespace impacc::sim {
 class TraceSink {
  public:
   struct Event {
+    // Chrome trace-event phase: 'X' complete, 's'/'f' flow start/finish,
+    // 'C' counter sample.
+    char phase = 'X';
     int pid = 0;  // node index
     std::string tid;
     std::string name;
     std::string category;
     sim::Time start = 0;
-    sim::Time end = 0;
+    sim::Time end = 0;        // 'X' only
+    std::uint64_t flow_id = 0;  // 's'/'f' only
+    double value = 0;           // 'C' only
   };
 
   /// Record one complete event (thread-safe).
   void record(int pid, std::string tid, std::string name,
               std::string category, sim::Time start, sim::Time end);
+
+  /// Record one flow endpoint. A ph:"s" (start=true) and a ph:"f" with the
+  /// same id draw an arrow between the complete events enclosing them
+  /// (match by pid/tid and timestamp), linking e.g. a message's send-side
+  /// slice to its receive-side slice across node pids.
+  void record_flow(bool start, std::uint64_t id, int pid, std::string tid,
+                   std::string name, std::string category, sim::Time t);
+
+  /// Record one counter-track sample: `name` is the track, `series` the
+  /// stacked series within it, `value` its height at virtual time `t`.
+  void record_counter(int pid, std::string name, std::string series,
+                      sim::Time t, double value);
 
   std::size_t size() const;
   std::vector<Event> snapshot() const;

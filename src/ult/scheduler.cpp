@@ -160,12 +160,27 @@ std::uint64_t Scheduler::fibers_finished() const {
   return next_id_ - live_fibers_;
 }
 
+void Scheduler::set_ready_sampler(std::function<void(std::size_t)> sampler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ready_sampler_ = std::move(sampler);
+}
+
 void Scheduler::push_runnable(Fiber* f) {
+  const std::function<void(std::size_t)>* sampler = nullptr;
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     run_queue_.push_back(f);
+    if (ready_sampler_) {
+      sampler = &ready_sampler_;
+      depth = run_queue_.size();
+    }
   }
   work_cv_.notify_one();
+  // Invoked outside the lock: the callback may itself take locks (the
+  // metrics registry / trace sink). set_ready_sampler() is restricted to
+  // before/after the run, so the pointer stays valid here.
+  if (sampler != nullptr) (*sampler)(depth);
 }
 
 Fiber* Scheduler::pop_runnable() {

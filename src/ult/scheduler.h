@@ -54,6 +54,11 @@ class Scheduler {
   std::uint64_t fibers_spawned() const { return next_id_; }
   std::uint64_t fibers_finished() const;
 
+  /// Observability hook: called (outside the scheduler lock) with the
+  /// run-queue depth after each fiber becomes runnable. The installer must
+  /// keep the callback valid until it is reset; install before fibers run.
+  void set_ready_sampler(std::function<void(std::size_t)> sampler);
+
  private:
   friend class Fiber;
 
@@ -71,6 +76,7 @@ class Scheduler {
   std::uint64_t next_id_ = 0;
   std::uint64_t live_fibers_ = 0;
   bool shutdown_ = false;
+  std::function<void(std::size_t)> ready_sampler_;  // guarded by mutex_
 };
 
 }  // namespace impacc::ult

@@ -477,7 +477,9 @@ TEST(Trace, RecordsKernelsCopiesAndMessages) {
   bool saw_copy = false;
   bool saw_msg = false;
   for (const auto& e : result.trace->snapshot()) {
-    EXPECT_GE(e.end, e.start);
+    if (e.phase == 'X') {
+      EXPECT_GE(e.end, e.start);  // slices only
+    }
     if (e.category == "kernel" && e.name == "trace-kernel") saw_kernel = true;
     if (e.category == "copy") saw_copy = true;
     if (e.category == "intranode") saw_msg = true;

@@ -1,0 +1,461 @@
+// Observability tests (ISSUE 3): metrics registry primitives, snapshot
+// exporters, spec parsing, TaskStats/ PinnedPool stat invariants, the
+// logging prefix, and launch-level integration — flow-linked trace rows,
+// counter tracks, and the reconciliation of per-phase histograms with
+// TaskStats totals.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/log.h"
+#include "core/pinned_pool.h"
+#include "impacc.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace impacc::obs {
+namespace {
+
+TEST(Histogram, SummarizesCountSumMinMax) {
+  Histogram h(HistUnit::kSeconds);
+  EXPECT_EQ(h.summarize().count, 0u);
+  EXPECT_DOUBLE_EQ(h.summarize().min, 0.0);  // empty: no infinities leak
+  h.record(1e-3);
+  h.record(2e-3);
+  h.record(4e-3);
+  const HistogramSummary s = h.summarize();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 7e-3);
+  EXPECT_DOUBLE_EQ(s.min, 1e-3);
+  EXPECT_DOUBLE_EQ(s.max, 4e-3);
+  // Quantiles are interpolated within power-of-two buckets but always
+  // clamped to the observed range.
+  EXPECT_GE(s.p50, s.min);
+  EXPECT_LE(s.p50, s.max);
+  EXPECT_GE(s.p99, s.p50);
+  EXPECT_LE(s.p99, s.max);
+}
+
+TEST(Histogram, QuantilesOfUniformSamplesLandInBucket) {
+  Histogram h(HistUnit::kCount);
+  for (int i = 1; i <= 1000; ++i) h.record(i);
+  const HistogramSummary s = h.summarize();
+  EXPECT_EQ(s.count, 1000u);
+  // ~2x bucket resolution: p50 of 1..1000 is 500, its bucket is [512,1024)
+  // or [256,512); either way within a factor of two.
+  EXPECT_GT(s.p50, 250.0);
+  EXPECT_LT(s.p50, 1000.0);
+  EXPECT_GT(s.p95, s.p50);
+  EXPECT_LE(s.p99, 1000.0);
+}
+
+TEST(Histogram, IgnoresSignAndNanGracefully) {
+  Histogram h(HistUnit::kSeconds);
+  h.record(0.0);
+  h.record(-1.0);  // negative: clamped into bucket 0, still counted
+  const HistogramSummary s = h.summarize();
+  EXPECT_EQ(s.count, 2u);
+}
+
+TEST(Registry, FindOrCreateReturnsStableHandles) {
+  Registry reg;
+  Counter* c1 = reg.counter("a.b");
+  Counter* c2 = reg.counter("a.b");
+  EXPECT_EQ(c1, c2);
+  c1->add(3);
+  EXPECT_EQ(c2->value(), 3u);
+  Gauge* g = reg.gauge("a.g");
+  g->set(2.5);
+  g->add(0.5);
+  EXPECT_DOUBLE_EQ(g->value(), 3.0);
+  Histogram* h1 = reg.histogram("a.h", HistUnit::kBytes);
+  Histogram* h2 = reg.histogram("a.h", HistUnit::kBytes);
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(Registry, SnapshotIsSortedAndAddressable) {
+  Registry reg;
+  reg.counter("z.last")->add(7);
+  reg.gauge("a.first")->set(1.5);
+  reg.histogram("m.mid", HistUnit::kSeconds)->record(2.0);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.entries.size(), 3u);
+  EXPECT_EQ(snap.entries[0].name, "a.first");
+  EXPECT_EQ(snap.entries[2].name, "z.last");
+  EXPECT_DOUBLE_EQ(snap.value("z.last"), 7.0);
+  EXPECT_DOUBLE_EQ(snap.value("a.first"), 1.5);
+  // Histogram sub-values via the ".field" suffix.
+  EXPECT_DOUBLE_EQ(snap.value("m.mid.count"), 1.0);
+  EXPECT_DOUBLE_EQ(snap.value("m.mid.sum"), 2.0);
+  EXPECT_DOUBLE_EQ(snap.value("m.mid.min"), 2.0);
+  EXPECT_DOUBLE_EQ(snap.value("missing", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(snap.value("m.mid.bogus", -2.0), -2.0);
+}
+
+TEST(Snapshot, JsonAndPrometheusFormats) {
+  Registry reg;
+  reg.counter("mpi.msgs.internode")->add(4);
+  reg.gauge("core.makespan_seconds")->set(0.25);
+  reg.histogram("mpi.wait.seconds", HistUnit::kSeconds)->record(1e-3);
+  const MetricsSnapshot snap = reg.snapshot();
+
+  const std::string json = snap.to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"mpi.msgs.internode\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"core.makespan_seconds\": 0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"mpi.wait.seconds.count\": 1"), std::string::npos);
+
+  const std::string prom = snap.to_prometheus();
+  EXPECT_NE(prom.find("impacc_mpi_msgs_internode 4"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE impacc_mpi_msgs_internode counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("impacc_mpi_wait_seconds{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("impacc_mpi_wait_seconds_count 1"), std::string::npos);
+}
+
+TEST(Snapshot, WriteFileRoundTrip) {
+  Registry reg;
+  reg.counter("a.b")->add(1);
+  const MetricsSnapshot snap = reg.snapshot();
+  const std::string path = "/tmp/impacc_obs_test_metrics.json";
+  ASSERT_TRUE(snap.write_file(path, SnapshotFormat::kJson));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256] = {};
+  std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(buf[0], '{');
+  EXPECT_NE(std::string(buf).find("\"a.b\": 1"), std::string::npos);
+  EXPECT_FALSE(snap.write_file("/nonexistent-dir/x.json",
+                               SnapshotFormat::kJson));
+}
+
+TEST(MetricsSpec, ParsesPathAndFormat) {
+  EXPECT_EQ(parse_metrics_spec("m.json").path, "m.json");
+  EXPECT_EQ(parse_metrics_spec("m.json").format, SnapshotFormat::kJson);
+  EXPECT_EQ(parse_metrics_spec("m.prom,prom").path, "m.prom");
+  EXPECT_EQ(parse_metrics_spec("m.prom,prom").format,
+            SnapshotFormat::kPrometheus);
+  EXPECT_EQ(parse_metrics_spec("m.txt,prometheus").format,
+            SnapshotFormat::kPrometheus);
+  EXPECT_EQ(parse_metrics_spec("-").path, "-");
+  EXPECT_EQ(parse_metrics_spec("-,prom").path, "-");
+  // Unknown suffix: the comma is part of the filename.
+  EXPECT_EQ(parse_metrics_spec("weird,name").path, "weird,name");
+}
+
+}  // namespace
+}  // namespace impacc::obs
+
+namespace impacc::core {
+namespace {
+
+TEST(TaskStats, PlusEqualsSumsEveryField) {
+  // The static_assert in config.cpp pins sizeof(TaskStats); this test pins
+  // the semantics: every field participates in operator+=.
+  TaskStats a;
+  a.kernel_busy = 1;
+  for (int i = 0; i < 6; ++i) {
+    a.copy_time[static_cast<std::size_t>(i)] = 10.0 + i;
+    a.copy_count[static_cast<std::size_t>(i)] = 20u + static_cast<unsigned>(i);
+  }
+  a.mpi_wait = 2;
+  a.msgs_sent = 3;
+  a.msgs_recv = 4;
+  a.bytes_sent = 5;
+  a.heap_aliases = 6;
+  a.chunked_msgs = 7;
+  a.present_cache_hits = 8;
+  a.present_cache_misses = 9;
+
+  TaskStats b;
+  b.kernel_busy = 100;
+  for (int i = 0; i < 6; ++i) {
+    b.copy_time[static_cast<std::size_t>(i)] = 1000.0 + i;
+    b.copy_count[static_cast<std::size_t>(i)] =
+        2000u + static_cast<unsigned>(i);
+  }
+  b.mpi_wait = 200;
+  b.msgs_sent = 300;
+  b.msgs_recv = 400;
+  b.bytes_sent = 500;
+  b.heap_aliases = 600;
+  b.chunked_msgs = 700;
+  b.present_cache_hits = 800;
+  b.present_cache_misses = 900;
+
+  a += b;
+  EXPECT_DOUBLE_EQ(a.kernel_busy, 101.0);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(a.copy_time[static_cast<std::size_t>(i)],
+                     1010.0 + 2 * i);
+    EXPECT_EQ(a.copy_count[static_cast<std::size_t>(i)],
+              2020u + 2 * static_cast<unsigned>(i));
+  }
+  EXPECT_DOUBLE_EQ(a.mpi_wait, 202.0);
+  EXPECT_EQ(a.msgs_sent, 303u);
+  EXPECT_EQ(a.msgs_recv, 404u);
+  EXPECT_EQ(a.bytes_sent, 505u);
+  EXPECT_EQ(a.heap_aliases, 606u);
+  EXPECT_EQ(a.chunked_msgs, 707u);
+  EXPECT_EQ(a.present_cache_hits, 808u);
+  EXPECT_EQ(a.present_cache_misses, 909u);
+}
+
+TEST(PinnedPoolStats, ConsistentUnderConcurrentAcquireRelease) {
+  PinnedPool pool(/*functional=*/false);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::uint64_t bytes =
+            1024u << ((static_cast<unsigned>(i) + static_cast<unsigned>(t)) %
+                      4u);
+        PinnedPool::Buffer a = pool.acquire(bytes);
+        PinnedPool::Buffer b = pool.acquire(bytes * 2);
+        pool.release(b);
+        pool.release(a);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const PinnedPool::Stats s = pool.stats();
+  EXPECT_EQ(s.acquires, static_cast<std::uint64_t>(kThreads) * kIters * 2);
+  // Every acquire is either a free-list hit or a fresh pin.
+  EXPECT_EQ(s.acquires, s.hits + s.buffers_created);
+  // Everything was released: nothing is in use, and the peak saw at least
+  // one thread's two concurrent buffers.
+  EXPECT_EQ(s.bytes_in_use, 0u);
+  EXPECT_GE(s.bytes_in_use_peak, 3 * 1024u);
+  // Retained free bytes never exceed what was ever allocated.
+  EXPECT_LE(s.bytes_retained, s.bytes_allocated);
+}
+
+}  // namespace
+}  // namespace impacc::core
+
+namespace impacc::log {
+namespace {
+
+TEST(Log, PrefixCarriesTimestampAndContext) {
+  set_level(Level::kInfo);
+  set_context_provider(
+      +[](char* buf, std::size_t cap) -> int {
+        return std::snprintf(buf, cap, "n7/t42");
+      });
+  testing::internal::CaptureStderr();
+  IMPACC_LOG_INFO("hello %d", 5);
+  std::string out = testing::internal::GetCapturedStderr();
+  set_context_provider(nullptr);
+  set_level(Level::kWarn);
+  // "[impacc HH:MM:SS.mmm I n7/t42] hello 5"
+  ASSERT_NE(out.find("[impacc "), std::string::npos);
+  EXPECT_NE(out.find(" I n7/t42] hello 5"), std::string::npos);
+  // Timestamp shape: 2 colons and a dot inside the bracket prefix.
+  const std::size_t bracket = out.find(']');
+  ASSERT_NE(bracket, std::string::npos);
+  const std::string prefix = out.substr(0, bracket);
+  EXPECT_EQ(std::count(prefix.begin(), prefix.end(), ':'), 2);
+  EXPECT_NE(prefix.find('.'), std::string::npos);
+}
+
+TEST(Log, NoContextProviderOmitsField) {
+  set_level(Level::kWarn);
+  set_context_provider(nullptr);
+  testing::internal::CaptureStderr();
+  IMPACC_LOG_WARN("plain");
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find(" W] plain"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace impacc::log
+
+namespace impacc {
+namespace {
+
+core::LaunchOptions staged_opts() {
+  core::LaunchOptions o;
+  o.cluster = sim::make_system("titan", 2);
+  o.mode = core::ExecMode::kModelOnly;
+  o.scheduler_workers = 1;
+  o.features.gpudirect_rdma = false;  // force host staging
+  return o;
+}
+
+/// 2-node staged device-to-device exchange: `msgs` rendezvous messages of
+/// `bytes` each, device buffers on both ends.
+void staged_p2p_body(std::uint64_t bytes, int msgs) {
+  auto w = mpi::world();
+  const int r = mpi::comm_rank(w);
+  auto* buf = static_cast<char*>(node_malloc(bytes));
+  acc::copyin(buf, bytes);
+  const int count = static_cast<int>(bytes);
+  for (int m = 0; m < msgs; ++m) {
+    if (r == 0) {
+      acc::mpi({.send_device = true});
+      mpi::send(buf, count, mpi::Datatype::kByte, 1, 1, w);
+    } else if (r == 1) {
+      acc::mpi({.recv_device = true});
+      mpi::recv(buf, count, mpi::Datatype::kByte, 0, 1, w);
+    }
+  }
+  acc::del(buf);
+  node_free(buf);
+}
+
+TEST(ObsIntegration, StagedP2pTraceHasFlowsAndCounters) {
+  auto o = staged_opts();
+  o.trace_path = "-";
+  o.metrics_path = "-";
+  constexpr int kMsgs = 3;
+  const auto result =
+      launch(o, [] { staged_p2p_body(8 << 20, kMsgs); });
+  ASSERT_NE(result.trace, nullptr);
+
+  int flow_starts = 0;
+  int flow_finishes = 0;
+  bool saw_handler_depth = false;
+  bool saw_pinned = false;
+  bool saw_stream_depth = false;
+  std::vector<std::uint64_t> start_ids;
+  std::vector<std::uint64_t> finish_ids;
+  for (const auto& e : result.trace->snapshot()) {
+    if (e.phase == 's') {
+      ++flow_starts;
+      start_ids.push_back(e.flow_id);
+    }
+    if (e.phase == 'f') {
+      ++flow_finishes;
+      finish_ids.push_back(e.flow_id);
+    }
+    if (e.phase == 'C') {
+      if (e.name == "handler queue depth") saw_handler_depth = true;
+      if (e.name == "pinned pool bytes") saw_pinned = true;
+      if (e.name.find("depth") != std::string::npos &&
+          e.name.rfind("dev", 0) == 0) {
+        saw_stream_depth = true;
+      }
+    }
+  }
+  // One flow pair per internode message, ids matching 1:1.
+  EXPECT_EQ(flow_starts, kMsgs);
+  EXPECT_EQ(flow_finishes, kMsgs);
+  std::sort(start_ids.begin(), start_ids.end());
+  std::sort(finish_ids.begin(), finish_ids.end());
+  EXPECT_EQ(start_ids, finish_ids);
+  EXPECT_TRUE(saw_handler_depth);
+  EXPECT_TRUE(saw_pinned);
+  EXPECT_TRUE(saw_stream_depth);
+
+  // The serialized JSON carries the flow/counter phases.
+  const std::string json = result.trace->to_chrome_json();
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+
+  // Metrics side of the same run.
+  const obs::MetricsSnapshot& m = result.metrics;
+  ASSERT_FALSE(m.empty());
+  EXPECT_DOUBLE_EQ(m.value("mpi.msgs.internode"), kMsgs);
+  EXPECT_DOUBLE_EQ(m.value("mpi.msg.bytes.count"), kMsgs);
+  EXPECT_DOUBLE_EQ(m.value("mpi.msg.bytes.max"),
+                   static_cast<double>(8 << 20));
+  EXPECT_EQ(m.value("mpi.msg.phase.total.count"), kMsgs);
+  EXPECT_GT(m.value("mpi.msg.phase.wire.sum"), 0.0);
+  EXPECT_GT(m.value("mpi.msg.phase.stage_dtoh.sum"), 0.0);
+  EXPECT_GT(m.value("mpi.msg.phase.stage_htod.sum"), 0.0);
+  EXPECT_GT(m.value("core.pinned_pool.bytes_in_use_peak"), 0.0);
+}
+
+TEST(ObsIntegration, HistogramsReconcileWithTaskStats) {
+  auto o = staged_opts();
+  o.metrics_path = "-";  // metrics only, no tracing
+  const auto result = launch(o, [] { staged_p2p_body(4 << 20, 2); });
+  const obs::MetricsSnapshot& m = result.metrics;
+  ASSERT_FALSE(m.empty());
+
+  // Copy accounting goes through core::account_copy, which feeds both
+  // TaskStats and the dev.copy.* histograms — the sums must agree exactly
+  // (same additions, same order, per path kind).
+  const char* slugs[6] = {"htoh",       "htod",        "dtoh",
+                          "dtod_peer",  "dtod_staged", "ipc_staged"};
+  for (int i = 0; i < 6; ++i) {
+    const std::string name = std::string("dev.copy.") + slugs[i];
+    EXPECT_NEAR(m.value(name + ".seconds.sum"),
+                result.total.copy_time[static_cast<std::size_t>(i)],
+                1e-12 + 1e-9 * result.total.copy_time[static_cast<std::size_t>(
+                                    i)])
+        << name;
+    EXPECT_DOUBLE_EQ(
+        m.value(name + ".seconds.count"),
+        static_cast<double>(
+            result.total.copy_count[static_cast<std::size_t>(i)]))
+        << name;
+    // The end-of-run gauges mirror the same totals.
+    EXPECT_DOUBLE_EQ(m.value(name + ".model_count"),
+                     static_cast<double>(result.total.copy_count[
+                         static_cast<std::size_t>(i)]))
+        << name;
+  }
+  EXPECT_NEAR(m.value("mpi.wait.seconds.sum"), result.total.mpi_wait,
+              1e-12 + 1e-9 * result.total.mpi_wait);
+  EXPECT_NEAR(m.value("acc.kernel.seconds.sum"), result.total.kernel_busy,
+              1e-12);
+  EXPECT_DOUBLE_EQ(m.value("mpi.msgs_sent"),
+                   static_cast<double>(result.total.msgs_sent));
+  EXPECT_DOUBLE_EQ(m.value("core.makespan_seconds"), result.makespan);
+  EXPECT_DOUBLE_EQ(m.value("core.num_tasks"),
+                   static_cast<double>(result.num_tasks));
+  EXPECT_GT(m.value("ult.sched.fibers_spawned"), 0.0);
+}
+
+TEST(ObsIntegration, DisabledObservabilityIsBitForBitIdentical) {
+  // Flag-off runs must not see any timing perturbation from the
+  // instrumentation: same workload with and without metrics produces
+  // bit-identical virtual times.
+  auto run = [](bool metrics) {
+    auto o = staged_opts();
+    if (metrics) o.metrics_path = "-";
+    return launch(o, [] { staged_p2p_body(2 << 20, 2); });
+  };
+  const auto off = run(false);
+  const auto on = run(true);
+  EXPECT_TRUE(off.metrics.empty());
+  EXPECT_FALSE(on.metrics.empty());
+  ASSERT_EQ(off.task_times.size(), on.task_times.size());
+  for (std::size_t i = 0; i < off.task_times.size(); ++i) {
+    EXPECT_EQ(off.task_times[i], on.task_times[i]);  // exact, not NEAR
+  }
+  EXPECT_EQ(off.makespan, on.makespan);
+  EXPECT_EQ(off.total.mpi_wait, on.total.mpi_wait);
+}
+
+TEST(ObsIntegration, MetricsFileExport) {
+  const std::string path = "/tmp/impacc_obs_launch_metrics.json";
+  std::remove(path.c_str());
+  auto o = staged_opts();
+  o.metrics_path = path;
+  launch(o, [] { staged_p2p_body(1 << 20, 1); });
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(buf[0], '{');
+}
+
+}  // namespace
+}  // namespace impacc

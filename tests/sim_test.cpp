@@ -336,6 +336,46 @@ TEST(TraceSink, EscapesJsonSpecials) {
   EXPECT_NE(json.find("quote\\\"back\\\\slash\\nnl"), std::string::npos);
 }
 
+TEST(TraceSink, EscapesHostileNamesEverywhere) {
+  // ISSUE 3 satellite: names with quotes, backslashes, and control
+  // characters must never break the JSON — in any string field of any
+  // event phase.
+  TraceSink sink;
+  sink.record(0, "tid\"q", "name\\b", "cat\tx", 0, 1);
+  sink.record_flow(true, 7, 0, "t\"i", "n\rm", "c\x01z", 0);
+  sink.record_counter(0, "cnt\"r", "ser\"ies\n", 0, 1.5);
+  const std::string json = sink.to_chrome_json();
+  // No raw quote may survive inside a value: every '"' in the output is
+  // either structural or escaped. Check the specific translations.
+  EXPECT_NE(json.find("tid\\\"q"), std::string::npos);
+  EXPECT_NE(json.find("name\\\\b"), std::string::npos);
+  EXPECT_NE(json.find("cat\\tx"), std::string::npos);
+  EXPECT_NE(json.find("n\\rm"), std::string::npos);
+  EXPECT_NE(json.find("c\\u0001z"), std::string::npos);
+  EXPECT_NE(json.find("ser\\\"ies\\n"), std::string::npos);
+  // No raw control characters anywhere in the serialized form except the
+  // structural newline between events.
+  for (const char ch : json) {
+    if (ch == '\n') continue;
+    EXPECT_GE(static_cast<unsigned char>(ch), 0x20u);
+  }
+}
+
+TEST(TraceSink, FlowAndCounterEventShapes) {
+  TraceSink sink;
+  sink.record_flow(true, 42, 0, "mpi", "msg", "mpi", from_us(10));
+  sink.record_flow(false, 42, 1, "mpi", "msg", "mpi", from_us(30));
+  sink.record_counter(1, "queue depth", "commands", from_us(5), 3.0);
+  const std::string json = sink.to_chrome_json();
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":42"), std::string::npos);
+  // Flow finish binds to the enclosing slice (bp:"e").
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"commands\":3"), std::string::npos);
+}
+
 TEST(TraceSink, WritesFile) {
   TraceSink sink;
   sink.record(2, "x", "op", "copy", 0, from_us(1));

@@ -50,12 +50,26 @@ for f in tests/lint_fixtures/imp0*.c; do
   fi
 done
 
-# --- 3. benchmark JSON snapshots (smoke) -------------------------------------
+# --- 3. observability smoke ---------------------------------------------------
+step "impacc-smoke (trace + metrics self-validation)"
+mkdir -p build-check/obs
+build-check/werror/tools/impacc-smoke \
+  --trace build-check/obs/smoke_trace.json \
+  --metrics build-check/obs/smoke_metrics.json
+
+step "trace/metrics JSON lint"
+python3 -m json.tool build-check/obs/smoke_trace.json >/dev/null
+python3 -m json.tool build-check/obs/smoke_metrics.json >/dev/null
+
+step "metrics_diff vs committed baseline"
+tools/metrics_diff.sh BENCH_metrics.json build-check/obs/smoke_metrics.json
+
+# --- 4. benchmark JSON snapshots (smoke) -------------------------------------
 step "bench_json.sh --smoke"
 tools/bench_json.sh --smoke --build-dir build-check/werror \
   --out-dir build-check/bench
 
-# --- 4. sanitizers -----------------------------------------------------------
+# --- 5. sanitizers -----------------------------------------------------------
 if [[ "$fast" -eq 0 ]]; then
   for san in address undefined; do
     step "test suite under -fsanitize=$san"

@@ -1,0 +1,185 @@
+// impacc-smoke: self-validating observability smoke run (ISSUE 3).
+//
+// Runs a 2-node Titan staged point-to-point workload (GPUDirect off, so
+// every message pipelines DtoH -> wire -> HtoD through the pinned pool)
+// with tracing and metrics on, then checks the run's own telemetry:
+//
+//   - the trace is loadable JSON with one ph:"s"/"f" flow pair per
+//     internode message and counter tracks for the handler queue and the
+//     pinned pool,
+//   - the metrics snapshot's per-phase histogram totals reconcile with
+//     the TaskStats the breakdown figures use.
+//
+// Exit status 0 = all checks pass. CI runs this and archives the two
+// output files; tools/metrics_diff.sh diffs the snapshot against the
+// committed BENCH_metrics.json baseline.
+//
+//   impacc-smoke [--trace PATH] [--metrics PATH[,format]]
+//
+// Paths default to "-" (in memory only).
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dev/copyengine.h"
+#include "impacc.h"
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const char* what) {
+  std::printf("%-58s %s\n", what, ok ? "ok" : "FAIL");
+  if (!ok) ++g_failures;
+}
+
+void check_near(double a, double b, const char* what) {
+  const bool ok = std::fabs(a - b) <= 1e-12 + 1e-9 * std::fabs(b);
+  if (!ok) std::printf("  (%.17g vs %.17g)\n", a, b);
+  check(ok, what);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace impacc;
+
+  std::string trace_path = "-";
+  std::string metrics_path = "-";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: impacc-smoke [--trace PATH] "
+                   "[--metrics PATH[,format]]\n");
+      return 2;
+    }
+  }
+
+  constexpr int kMsgs = 8;
+  constexpr std::uint64_t kBytes = 8ull << 20;
+
+  core::LaunchOptions o;
+  o.cluster = sim::make_system("titan", 2);
+  o.mode = core::ExecMode::kFunctional;
+  o.scheduler_workers = 1;
+  o.features.gpudirect_rdma = false;  // force the staged pipeline
+  o.trace_path = trace_path;
+  o.metrics_path = metrics_path;
+
+  const auto result = launch(o, [] {
+    auto w = mpi::world();
+    const int r = mpi::comm_rank(w);
+    auto* buf = static_cast<char*>(node_malloc(kBytes));
+    if (r == 0) {
+      for (std::uint64_t i = 0; i < kBytes; ++i) {
+        buf[i] = static_cast<char>(i * 31 + 7);
+      }
+    }
+    acc::copyin(buf, kBytes);
+    const int count = static_cast<int>(kBytes);
+    for (int m = 0; m < kMsgs; ++m) {
+      if (r == 0) {
+        acc::mpi({.send_device = true});
+        mpi::send(buf, count, mpi::Datatype::kByte, 1, m, w);
+      } else if (r == 1) {
+        acc::mpi({.recv_device = true});
+        mpi::recv(buf, count, mpi::Datatype::kByte, 0, m, w);
+      }
+    }
+    if (r == 1) {
+      acc::copyout(buf);
+      // Functional mode really moved the bytes: spot-check the payload.
+      bool payload_ok = true;
+      for (std::uint64_t i = 0; i < kBytes; i += kBytes / 64) {
+        if (buf[i] != static_cast<char>(i * 31 + 7)) payload_ok = false;
+      }
+      if (!payload_ok) {
+        std::fprintf(stderr, "payload verification failed\n");
+        std::exit(1);
+      }
+    } else {
+      acc::del(buf);
+    }
+    node_free(buf);
+  });
+
+  std::printf("impacc-smoke: %d staged %lluMiB messages, makespan %.3f ms\n\n",
+              kMsgs, static_cast<unsigned long long>(kBytes >> 20),
+              sim::to_ms(result.makespan));
+
+  // --- Trace checks ---------------------------------------------------------
+  check(result.trace != nullptr, "trace collected");
+  if (result.trace != nullptr) {
+    int flow_starts = 0;
+    int flow_finishes = 0;
+    int internode_slices = 0;
+    bool handler_depth = false;
+    bool pinned_track = false;
+    bool stream_depth = false;
+    for (const auto& e : result.trace->snapshot()) {
+      if (e.phase == 's') ++flow_starts;
+      if (e.phase == 'f') ++flow_finishes;
+      if (e.phase == 'X' && e.category.rfind("internode", 0) == 0) {
+        ++internode_slices;
+      }
+      if (e.phase == 'C') {
+        if (e.name == "handler queue depth") handler_depth = true;
+        if (e.name == "pinned pool bytes") pinned_track = true;
+        if (e.name.rfind("dev", 0) == 0) stream_depth = true;
+      }
+    }
+    check(flow_starts == kMsgs, "one flow start per internode message");
+    check(flow_finishes == kMsgs, "one flow finish per internode message");
+    // Each message shows a send-side and a recv-side slice.
+    check(internode_slices == 2 * kMsgs, "send+recv slice per message");
+    check(handler_depth, "handler queue depth counter track");
+    check(pinned_track, "pinned pool counter track");
+    check(stream_depth, "activity-queue depth counter track");
+
+    const std::string json = result.trace->to_chrome_json();
+    check(!json.empty() && json.front() == '[' &&
+              json.find("\"ph\":\"s\"") != std::string::npos &&
+              json.find("\"bp\":\"e\"") != std::string::npos,
+          "chrome json has flow events");
+  }
+
+  // --- Metrics checks -------------------------------------------------------
+  const obs::MetricsSnapshot& m = result.metrics;
+  check(!m.empty(), "metrics snapshot collected");
+  check(m.value("mpi.msgs.internode") == kMsgs, "internode message count");
+  check(m.value("mpi.msg.phase.total.count") == kMsgs,
+        "per-message lifecycle histogram count");
+  check(m.value("mpi.msg.phase.wire.sum") > 0, "wire phase time recorded");
+  check(m.value("mpi.msg.phase.stage_dtoh.sum") > 0,
+        "DtoH staging phase recorded");
+  check(m.value("mpi.msg.phase.stage_htod.sum") > 0,
+        "HtoD staging phase recorded");
+  check(m.value("core.pinned_pool.bytes_in_use_peak") > 0,
+        "pinned pool peak recorded");
+
+  // Reconciliation: the histograms and the TaskStats totals are fed by the
+  // same accounting sites, so their sums must agree (acceptance criterion).
+  for (int i = 0; i < 6; ++i) {
+    const auto kind = static_cast<impacc::dev::CopyPathKind>(i);
+    const std::string name =
+        std::string("dev.copy.") + impacc::dev::copy_path_slug(kind);
+    check_near(m.value(name + ".seconds.sum"),
+               result.total.copy_time[static_cast<std::size_t>(i)],
+               (name + ".seconds.sum == TaskStats copy_time").c_str());
+  }
+  check_near(m.value("mpi.wait.seconds.sum"), result.total.mpi_wait,
+             "mpi.wait.seconds.sum == TaskStats mpi_wait");
+  check_near(m.value("core.makespan_seconds"), result.makespan,
+             "core.makespan_seconds == LaunchResult makespan");
+
+  std::printf("\nimpacc-smoke: %s (%d failure%s)\n",
+              g_failures == 0 ? "PASS" : "FAIL", g_failures,
+              g_failures == 1 ? "" : "s");
+  return g_failures == 0 ? 0 : 1;
+}

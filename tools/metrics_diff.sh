@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Diff two flat metrics-snapshot JSON files (the IMPACC_METRICS json
+# format: one "name": value per line) with a relative tolerance, so CI can
+# gate on a committed baseline without tripping on float noise.
+#
+#   tools/metrics_diff.sh baseline.json current.json [tolerance] [ignore-regex]
+#
+# tolerance     relative (default 0.15; counts compare exactly when both
+#               sides are integers and tolerance is 0)
+# ignore-regex  metric names to skip (default: ult.sched.* — run-queue
+#               depths and fiber wall-clock sampling are scheduling
+#               dependent, not model outputs)
+#
+# Exit 0 when every shared metric is within tolerance and the key sets
+# match; 1 otherwise, with a line per discrepancy.
+set -euo pipefail
+
+if [[ $# -lt 2 ]]; then
+  echo "usage: $0 baseline.json current.json [tolerance] [ignore-regex]" >&2
+  exit 2
+fi
+
+python3 - "$1" "$2" "${3:-0.15}" "${4:-^ult\.sched\.}" <<'EOF'
+import json, re, sys
+
+base_path, cur_path, tol_s, ignore_s = sys.argv[1:5]
+tol = float(tol_s)
+ignore = re.compile(ignore_s)
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {k: float(v) for k, v in data.items() if not ignore.search(k)}
+
+base = load(base_path)
+cur = load(cur_path)
+
+fail = 0
+for name in sorted(base.keys() - cur.keys()):
+    print(f"MISSING  {name} (in baseline only)")
+    fail += 1
+for name in sorted(cur.keys() - base.keys()):
+    print(f"NEW      {name} (not in baseline)")
+    fail += 1
+for name in sorted(base.keys() & cur.keys()):
+    b, c = base[name], cur[name]
+    denom = max(abs(b), abs(c))
+    if denom == 0:
+        continue
+    rel = abs(b - c) / denom
+    if rel > tol:
+        print(f"DRIFT    {name}: baseline {b:g} vs current {c:g} "
+              f"({rel:.1%} > {tol:.0%})")
+        fail += 1
+
+total = len(base.keys() | cur.keys())
+if fail:
+    print(f"metrics_diff: {fail} discrepancies over {total} metrics")
+    sys.exit(1)
+print(f"metrics_diff: OK ({total} metrics within {tol:.0%})")
+EOF
