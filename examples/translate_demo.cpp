@@ -7,6 +7,8 @@
 
 int main() {
   const char* source = R"(/* Fig. 4 (c): IMPACC unified activity queue */
+#pragma acc data create(buf0[0:n]) create(buf1[0:n])
+{
 #pragma acc kernels loop copyout(buf0[0:n]) async(1)
 for (i = 0; i < n; i++) { buf0[i] = produce(i); }
 
@@ -18,6 +20,9 @@ MPI_Irecv(buf1, n, MPI_DOUBLE, another_task, 5, MPI_COMM_WORLD, &req[1]);
 
 #pragma acc kernels loop copyin(buf1[0:n]) async(1)
 for (i = 0; i < n; i++) { consume(buf1[i]); }
+
+#pragma acc wait(1)
+}
 )";
 
   std::printf("---- input (MPI+OpenACC with IMPACC directives) ----\n%s\n",

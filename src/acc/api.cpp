@@ -177,7 +177,10 @@ void kernel(const char* name, std::function<void()> body,
   op.kind = dev::StreamOp::Kind::kKernel;
   op.label = name;
   op.model_cost = t.device->kernel_cost(est);
-  t.stats.kernel_busy += op.model_cost;
+  {
+    std::lock_guard<std::mutex> lock(t.stats_mutex);
+    t.stats.kernel_busy += op.model_cost;
+  }
   if (obs::Observability* ob = t.rt->obs()) {
     ob->kernel_seconds->record(op.model_cost);
   }

@@ -94,7 +94,10 @@ void complete_match(NodeRt& n, MsgCommand* snd, MsgCommand* rcv) {
     const sim::Time t0 = std::max(snd->ready, rcv->ready);
     if (aliased) {
       done = t0 + 2 * costs.handler_command_overhead;
-      recv_task.stats.heap_aliases += 1;
+      {
+        std::lock_guard<std::mutex> lock(recv_task.stats_mutex);
+        recv_task.stats.heap_aliases += 1;
+      }
     } else {
       dev::IntraCopyPlan plan;
       if (rt->is_impacc() && rt->features().message_fusion) {
@@ -163,7 +166,10 @@ void complete_match(NodeRt& n, MsgCommand* snd, MsgCommand* rcv) {
     rcv->req->status.bytes = bytes;
     rcv->req->rec.complete(done);
   }
-  recv_task.stats.msgs_recv += 1;
+  {
+    std::lock_guard<std::mutex> lock(recv_task.stats_mutex);
+    recv_task.stats.msgs_recv += 1;
+  }
   if (!snd->sender_completed && snd->req != nullptr) {
     snd->req->rec.complete(done);
   }
@@ -217,8 +223,11 @@ void handle_probe(NodeRt& n, MsgCommand* probe) {
 
 void account_copy(Task& t, dev::CopyPathKind kind, sim::Time cost,
                   std::uint64_t bytes) {
-  t.stats.copy_time[static_cast<std::size_t>(kind)] += cost;
-  t.stats.copy_count[static_cast<std::size_t>(kind)] += 1;
+  {
+    std::lock_guard<std::mutex> lock(t.stats_mutex);
+    t.stats.copy_time[static_cast<std::size_t>(kind)] += cost;
+    t.stats.copy_count[static_cast<std::size_t>(kind)] += 1;
+  }
   if (obs::Observability* ob = t.rt->obs()) {
     const auto i = static_cast<std::size_t>(kind);
     ob->copy_seconds[i]->record(cost);
@@ -382,7 +391,10 @@ void route_send(Task& t, MsgCommand* cmd, bool from_task_fiber) {
         ready, &dtoh, sim::wire_link(cluster.fabric), cmd->bytes,
         pipe.chunk_bytes);
     on_wire_done = cmd->chunk_arrivals.back();
-    t.stats.chunked_msgs += 1;
+    {
+      std::lock_guard<std::mutex> lock(t.stats_mutex);
+      t.stats.chunked_msgs += 1;
+    }
   } else {
     if (staged_send) {
       const sim::Time pcie = sim::pcie_copy_time(

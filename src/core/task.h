@@ -6,6 +6,8 @@
 // drives the near/far transfer costs.
 #pragma once
 
+#include <mutex>
+
 #include "acc/present_table.h"
 #include "core/config.h"
 #include "core/directives.h"
@@ -31,6 +33,12 @@ struct Task {
   acc::PresentTable present;
   MpiHint hint;  // pending #pragma acc mpi for the next MPI call
   TaskStats stats;
+  // Guards `stats`: the node's handler fiber accounts copies and receive
+  // completions on the *receiving* task while that task's own fiber may
+  // be accounting its own transfers — two scheduler workers, same
+  // counters. Every mutation site takes this; the post-run aggregation
+  // reads after wait_all() and needs no lock.
+  std::mutex stats_mutex;
   ult::Fiber* fiber = nullptr;
 
   // Per-communicator collective sequence numbers (internal tag space).

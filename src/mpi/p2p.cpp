@@ -155,8 +155,11 @@ Request isend_impl(const void* buf, int count, Datatype dt, int dst, int tag,
     }
     t.clock.advance(sim::host_copy_time(t.node_desc(), bytes));
   }
-  t.stats.msgs_sent += 1;
-  t.stats.bytes_sent += bytes;
+  {
+    std::lock_guard<std::mutex> lock(t.stats_mutex);
+    t.stats.msgs_sent += 1;
+    t.stats.bytes_sent += bytes;
+  }
   return issue(t, cmd, hint.async, /*is_send=*/true);
 }
 
@@ -218,7 +221,10 @@ void wait(Request& req, MpiStatus* status) {
   const sim::Time before = t.clock.now();
   t.clock.merge(done);
   const sim::Time waited = t.clock.now() - before;
-  t.stats.mpi_wait += waited;
+  {
+    std::lock_guard<std::mutex> lock(t.stats_mutex);
+    t.stats.mpi_wait += waited;
+  }
   if (obs::Observability* ob = t.rt->obs()) ob->mpi_wait->record(waited);
   if (status != nullptr) *status = req.state->status;
   req.state.reset();

@@ -1,0 +1,438 @@
+#include "trans/analysis/commgraph.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+namespace impacc::trans::analysis {
+
+namespace {
+
+bool is_p2p(const RankOp& op) {
+  return op.kind == RankOpKind::kSend || op.kind == RankOpKind::kRecv;
+}
+
+/// MPI basic datatypes the checker can compare by name.
+bool is_basic_dtype(const std::string& t) {
+  static const char* kBasic[] = {
+      "MPI_CHAR",      "MPI_SIGNED_CHAR", "MPI_UNSIGNED_CHAR",
+      "MPI_BYTE",      "MPI_SHORT",       "MPI_UNSIGNED_SHORT",
+      "MPI_INT",       "MPI_UNSIGNED",    "MPI_LONG",
+      "MPI_UNSIGNED_LONG", "MPI_LONG_LONG", "MPI_LONG_LONG_INT",
+      "MPI_UNSIGNED_LONG_LONG", "MPI_FLOAT", "MPI_DOUBLE",
+      "MPI_LONG_DOUBLE", "MPI_C_BOOL",    "MPI_INT8_T",
+      "MPI_INT16_T",   "MPI_INT32_T",     "MPI_INT64_T",
+      "MPI_UINT8_T",   "MPI_UINT16_T",    "MPI_UINT32_T",
+      "MPI_UINT64_T",  nullptr};
+  for (const char** p = kBasic; *p != nullptr; ++p) {
+    if (t == *p) return true;
+  }
+  return false;
+}
+
+std::string rank_str(int r) { return "rank " + std::to_string(r); }
+
+}  // namespace
+
+CommGraph build_comm_graph(const std::vector<RankTrace>& traces) {
+  CommGraph g;
+  const int nranks = static_cast<int>(traces.size());
+  // matched[r][i] marks ops already paired.
+  std::vector<std::vector<bool>> matched(traces.size());
+  for (std::size_t r = 0; r < traces.size(); ++r) {
+    matched[r].assign(traces[r].ops.size(), false);
+  }
+
+  for (int r = 0; r < nranks; ++r) {
+    for (std::size_t i = 0; i < traces[r].ops.size(); ++i) {
+      const RankOp& s = traces[r].ops[i];
+      if (s.kind != RankOpKind::kSend) continue;
+      if (!s.peer.has_value() || !s.tag.has_value()) continue;
+      const long p = *s.peer;
+      if (p < 0 || p >= nranks) {
+        g.unmatched_sends.push_back({r, i});
+        continue;
+      }
+      bool found = false;
+      for (std::size_t j = 0; j < traces[p].ops.size(); ++j) {
+        const RankOp& d = traces[p].ops[j];
+        if (d.kind != RankOpKind::kRecv || matched[p][j]) continue;
+        if (!d.peer.has_value() || !d.tag.has_value()) continue;
+        if (*d.peer != r && *d.peer != kMpiAnySource) continue;
+        if (*d.tag != *s.tag && *d.tag != kMpiAnyTag) continue;
+        if (d.comm != s.comm) continue;
+        matched[r][i] = true;
+        matched[p][j] = true;
+        g.edge_of[{r, i}] = g.edges.size();
+        g.edge_of[{static_cast<int>(p), j}] = g.edges.size();
+        g.edges.push_back({{r, i}, {static_cast<int>(p), j}});
+        found = true;
+        break;
+      }
+      if (!found) g.unmatched_sends.push_back({r, i});
+    }
+  }
+  for (int r = 0; r < nranks; ++r) {
+    for (std::size_t i = 0; i < traces[r].ops.size(); ++i) {
+      const RankOp& d = traces[r].ops[i];
+      if (d.kind == RankOpKind::kRecv && !matched[r][i]) {
+        g.unmatched_recvs.push_back({r, i});
+      }
+    }
+  }
+  return g;
+}
+
+namespace {
+
+/// Collective call sequences must agree across ranks (IMP016). Returns
+/// true when they do (so the deadlock simulation may treat the k-th
+/// collective of each rank as one synchronization round).
+bool check_collectives(const std::vector<RankTrace>& traces,
+                       std::vector<Diagnostic>* out) {
+  std::vector<std::vector<const RankOp*>> seq(traces.size());
+  for (std::size_t r = 0; r < traces.size(); ++r) {
+    for (const auto& op : traces[r].ops) {
+      if (op.kind == RankOpKind::kCollective) seq[r].push_back(&op);
+    }
+  }
+  for (std::size_t r = 1; r < traces.size(); ++r) {
+    const std::size_t n = std::min(seq[0].size(), seq[r].size());
+    for (std::size_t k = 0; k < n; ++k) {
+      const RankOp& a = *seq[0][k];
+      const RankOp& b = *seq[r][k];
+      if (a.name != b.name || a.comm != b.comm) {
+        out->push_back(make_diagnostic(
+            "IMP016", b.line, b.column,
+            "collective order diverges across ranks: rank 0 reaches " +
+                a.name + " at line " + std::to_string(a.line) + " but " +
+                rank_str(static_cast<int>(r)) + " reaches " + b.name +
+                " as collective #" + std::to_string(k + 1),
+            "make every rank execute the same collective sequence on the "
+            "same communicator"));
+        return false;
+      }
+    }
+    if (seq[0].size() != seq[r].size()) {
+      const bool zero_longer = seq[0].size() > seq[r].size();
+      const RankOp& extra = zero_longer ? *seq[0][n] : *seq[r][n];
+      out->push_back(make_diagnostic(
+          "IMP016", extra.line, extra.column,
+          "collective order diverges across ranks: " +
+              std::string(zero_longer ? "rank 0"
+                                      : rank_str(static_cast<int>(r))) +
+              " calls " + extra.name + " at line " +
+              std::to_string(extra.line) + " but " +
+              std::string(zero_longer ? rank_str(static_cast<int>(r))
+                                      : "rank 0") +
+              " executes only " + std::to_string(n) + " collectives",
+          "guard collectives identically on every rank, or move this one "
+          "outside the rank-dependent branch"));
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Unmatched-op diagnostics (IMP014/IMP015), deduplicated per source
+/// line so N ranks hitting the same call produce one report.
+void report_unmatched(const std::vector<RankTrace>& traces,
+                      const std::vector<OpRef>& refs, const char* code,
+                      int nranks, std::vector<Diagnostic>* out) {
+  std::set<int> seen_lines;
+  for (const auto& [r, i] : refs) {
+    const RankOp& op = traces[r].ops[i];
+    if (!seen_lines.insert(op.line).second) continue;
+    const bool send = op.kind == RankOpKind::kSend;
+    std::string msg;
+    std::string fix;
+    if (op.peer.has_value() && (*op.peer < 0 || *op.peer >= nranks)) {
+      msg = rank_str(r) + (send ? " sends to" : " receives from") +
+            " peer " + std::to_string(*op.peer) + ", which is outside 0.." +
+            std::to_string(nranks - 1) + " for " +
+            std::to_string(nranks) + " ranks";
+      fix = "clamp the neighbour expression at the boundary ranks "
+            "(e.g. guard with 'if (rank + 1 < size)' or use "
+            "MPI_PROC_NULL)";
+    } else {
+      msg = op.name + " at " + rank_str(r) +
+            (send ? " to " : " from ") + "peer " +
+            (op.peer ? std::to_string(*op.peer) : std::string("?")) +
+            " (tag " + (op.tag ? std::to_string(*op.tag) : "?") +
+            ") is never matched by a " +
+            (send ? "receive on the destination rank"
+                  : "send on the source rank");
+      fix = send ? "post a matching receive (same source, tag, and "
+                   "communicator) on the destination rank"
+                 : "post a matching send on the source rank, or drop the "
+                   "receive";
+    }
+    out->push_back(
+        make_diagnostic(code, op.line, op.column, std::move(msg),
+                        std::move(fix)));
+  }
+}
+
+/// Match-consistency diagnostics on every edge (IMP017/IMP018).
+void report_match_consistency(const std::vector<RankTrace>& traces,
+                              const CommGraph& g,
+                              std::vector<Diagnostic>* out) {
+  std::set<std::pair<std::string, int>> seen;
+  auto once = [&](const char* code, int line) {
+    return seen.insert({code, line}).second;
+  };
+  for (const auto& e : g.edges) {
+    const RankOp& s = traces[e.send.first].ops[e.send.second];
+    const RankOp& d = traces[e.recv.first].ops[e.recv.second];
+    if (s.count.has_value() && d.count.has_value() &&
+        *d.count < *s.count && once("IMP017", d.line)) {
+      out->push_back(make_diagnostic(
+          "IMP017", d.line, d.column,
+          "count mismatch on matched message: " + rank_str(e.send.first) +
+              " sends " + std::to_string(*s.count) + " elements at line " +
+              std::to_string(s.line) + " but " + rank_str(e.recv.first) +
+              " receives only " + std::to_string(*d.count) +
+              " (message would be truncated)",
+          "make the receive count at least the send count"));
+    }
+    if (s.dtype != d.dtype && is_basic_dtype(s.dtype) &&
+        is_basic_dtype(d.dtype) && once("IMP018", d.line)) {
+      out->push_back(make_diagnostic(
+          "IMP018", d.line, d.column,
+          "datatype mismatch on matched message: " +
+              rank_str(e.send.first) + " sends " + s.dtype + " at line " +
+              std::to_string(s.line) + " but " + rank_str(e.recv.first) +
+              " receives " + d.dtype,
+          "use the same MPI datatype on both sides of the message"));
+    }
+  }
+  // Device-extent overflow on either endpoint (the subarray shape the
+  // parser extracted bounds the transfer).
+  for (const auto& t : traces) {
+    for (const auto& op : t.ops) {
+      if (!is_p2p(op)) continue;
+      if (op.count.has_value() && op.extent.has_value() &&
+          *op.count > *op.extent && once("IMP017", op.line)) {
+        out->push_back(make_diagnostic(
+            "IMP017", op.line, op.column,
+            op.name + " transfers " + std::to_string(*op.count) +
+                " elements of '" + op.buffer + "' but only " +
+                std::to_string(*op.extent) +
+                " are present on the device (subarray shape)",
+            "grow the data clause's subarray or shrink the transfer "
+            "count"));
+      }
+    }
+  }
+}
+
+/// Scheduling simulation with rendezvous semantics. Blocking ops block
+/// until their matched partner has been posted; nonblocking ops post
+/// and complete at the covering acc wait / MPI_Wait; the k-th
+/// collective of every rank forms one synchronization round. Unmatched
+/// ops are treated as completable so IMP014/IMP015 are not re-reported
+/// as a deadlock.
+void check_deadlock(const std::vector<RankTrace>& traces,
+                    const CommGraph& g, bool collectives_consistent,
+                    std::vector<Diagnostic>* out) {
+  const int nranks = static_cast<int>(traces.size());
+  std::vector<std::size_t> pc(traces.size(), 0);
+  std::vector<std::size_t> coll_done(traces.size(), 0);
+
+  // Index of the k-th collective per rank.
+  std::vector<std::vector<std::size_t>> coll_idx(traces.size());
+  for (std::size_t r = 0; r < traces.size(); ++r) {
+    for (std::size_t i = 0; i < traces[r].ops.size(); ++i) {
+      if (traces[r].ops[i].kind == RankOpKind::kCollective &&
+          traces[r].ops[i].blocking) {
+        coll_idx[r].push_back(i);
+      }
+    }
+  }
+
+  // Partner posted: its rank's pc has reached (blocking posts on
+  // arrival) or passed (nonblocking posts and advances) the op.
+  auto posted = [&](const OpRef& ref) {
+    return pc[ref.first] >= ref.second;
+  };
+  auto partner_posted = [&](int r, std::size_t i) {
+    auto it = g.edge_of.find({r, i});
+    if (it == g.edge_of.end()) return true;  // unmatched: reported already
+    const CommEdge& e = g.edges[it->second];
+    const OpRef& other = e.send == OpRef{r, i} ? e.recv : e.send;
+    return posted(other);
+  };
+
+  auto can_advance = [&](int r) {
+    const RankOp& op = traces[r].ops[pc[r]];
+    switch (op.kind) {
+      case RankOpKind::kSend:
+      case RankOpKind::kRecv:
+        if (!op.blocking) return true;  // posts, completes later
+        return partner_posted(r, pc[r]);
+      case RankOpKind::kCollective: {
+        if (!collectives_consistent || !op.blocking) return true;
+        const std::size_t k = coll_done[r];
+        for (int r2 = 0; r2 < nranks; ++r2) {
+          if (coll_done[r2] > k) continue;
+          if (k >= coll_idx[r2].size()) continue;  // shorter trace
+          if (pc[r2] < coll_idx[r2][k]) return false;  // not arrived
+        }
+        return true;
+      }
+      case RankOpKind::kAccWait: {
+        // The unified activity queue completes in order: everything
+        // enqueued earlier on a covered queue must be completable.
+        for (std::size_t j = 0; j < pc[r]; ++j) {
+          const RankOp& prev = traces[r].ops[j];
+          if (!prev.has_queue) continue;
+          const bool covered =
+              op.wait_all ||
+              std::find(op.wait_queues.begin(), op.wait_queues.end(),
+                        prev.queue) != op.wait_queues.end();
+          if (!covered) continue;
+          if ((prev.kind == RankOpKind::kSend ||
+               prev.kind == RankOpKind::kRecv) &&
+              !partner_posted(r, j)) {
+            return false;
+          }
+        }
+        return true;
+      }
+      case RankOpKind::kHostWait: {
+        for (std::size_t j = 0; j < pc[r]; ++j) {
+          const RankOp& prev = traces[r].ops[j];
+          if (prev.request.empty() || prev.request != op.request) continue;
+          if ((prev.kind == RankOpKind::kSend ||
+               prev.kind == RankOpKind::kRecv) &&
+              !partner_posted(r, j)) {
+            return false;
+          }
+        }
+        return true;
+      }
+      case RankOpKind::kQueueOp:
+      case RankOpKind::kHostAccess:
+        return true;
+    }
+    return true;
+  };
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int r = 0; r < nranks; ++r) {
+      while (pc[r] < traces[r].ops.size() && can_advance(r)) {
+        if (traces[r].ops[pc[r]].kind == RankOpKind::kCollective &&
+            traces[r].ops[pc[r]].blocking) {
+          ++coll_done[r];
+        }
+        ++pc[r];
+        progress = true;
+      }
+    }
+  }
+
+  std::vector<int> stuck;
+  for (int r = 0; r < nranks; ++r) {
+    if (pc[r] < traces[r].ops.size()) stuck.push_back(r);
+  }
+  if (stuck.empty()) return;
+
+  // Who is each stuck rank waiting on?
+  auto waits_on = [&](int r) -> int {
+    const RankOp& op = traces[r].ops[pc[r]];
+    auto partner_of = [&](std::size_t i) -> int {
+      auto it = g.edge_of.find({r, i});
+      if (it == g.edge_of.end()) return -1;
+      const CommEdge& e = g.edges[it->second];
+      const OpRef& other = e.send == OpRef{r, i} ? e.recv : e.send;
+      return posted(other) ? -1 : other.first;
+    };
+    switch (op.kind) {
+      case RankOpKind::kSend:
+      case RankOpKind::kRecv:
+        return partner_of(pc[r]);
+      case RankOpKind::kCollective: {
+        const std::size_t k = coll_done[r];
+        for (int r2 = 0; r2 < nranks; ++r2) {
+          if (r2 == r || coll_done[r2] > k) continue;
+          if (k < coll_idx[r2].size() && pc[r2] < coll_idx[r2][k]) {
+            return r2;
+          }
+        }
+        return -1;
+      }
+      case RankOpKind::kAccWait:
+      case RankOpKind::kHostWait:
+        for (std::size_t j = 0; j < pc[r]; ++j) {
+          const int p = partner_of(j);
+          if (p >= 0) return p;
+        }
+        return -1;
+      default:
+        return -1;
+    }
+  };
+
+  // Follow the waits-on chain from the first stuck rank to a cycle.
+  std::vector<int> order;
+  std::vector<int> state(traces.size(), 0);  // 0 unvisited, 1 on path
+  int cur = stuck.front();
+  while (cur >= 0 && state[cur] == 0) {
+    state[cur] = 1;
+    order.push_back(cur);
+    cur = waits_on(cur);
+  }
+  std::vector<int> cycle;
+  if (cur >= 0) {
+    auto it = std::find(order.begin(), order.end(), cur);
+    cycle.assign(it, order.end());
+  } else {
+    cycle = stuck;  // fallback: report every stuck rank
+  }
+
+  int anchor_line = 0;
+  int anchor_col = 1;
+  std::string desc;
+  for (std::size_t k = 0; k < cycle.size(); ++k) {
+    const int r = cycle[k];
+    const RankOp& op = traces[r].ops[pc[r]];
+    if (anchor_line == 0 || op.line < anchor_line) {
+      anchor_line = op.line;
+      anchor_col = op.column;
+    }
+    if (!desc.empty()) desc += ", ";
+    desc += rank_str(r) + " blocks in " +
+            (op.kind == RankOpKind::kAccWait
+                 ? std::string("acc wait")
+                 : op.name.empty() ? std::string("a wait") : op.name) +
+            " at line " + std::to_string(op.line);
+  }
+  out->push_back(make_diagnostic(
+      "IMP013", anchor_line, anchor_col,
+      "blocking communication deadlocks: " + desc +
+          "; the waits form a cycle no rank can leave",
+      "break the cycle with nonblocking operations on an async queue "
+      "('#pragma acc mpi ... async(n)' + a later wait) or reorder the "
+      "sends/receives (e.g. even/odd phases)"));
+}
+
+}  // namespace
+
+void check_comm_graph(const RankSimResult& sim,
+                      std::vector<Diagnostic>* out) {
+  if (!sim.has_rank_size || !sim.comm_exact) return;
+  if (sim.nranks < 2) return;
+
+  const CommGraph g = build_comm_graph(sim.traces);
+  const bool collectives_ok = check_collectives(sim.traces, out);
+  report_unmatched(sim.traces, g.unmatched_sends, "IMP014", sim.nranks,
+                   out);
+  report_unmatched(sim.traces, g.unmatched_recvs, "IMP015", sim.nranks,
+                   out);
+  report_match_consistency(sim.traces, g, out);
+  check_deadlock(sim.traces, g, collectives_ok, out);
+}
+
+}  // namespace impacc::trans::analysis

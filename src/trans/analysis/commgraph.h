@@ -1,0 +1,56 @@
+// Static communication graph over rank-symbolic traces (ranksim.h).
+//
+// Matches every point-to-point operation across the simulated ranks
+// into edges (greedy in-order matching per (source, destination, tag,
+// communicator), mirroring MPI's non-overtaking rule), checks collective
+// call order, and runs a scheduling simulation with rendezvous
+// semantics to find wait-for cycles. Feeds four rule families:
+//
+//   IMP013  cyclic blocking pattern (deadlock)
+//   IMP014  unmatched send / peer out of range
+//   IMP015  unmatched receive / peer out of range
+//   IMP016  collective order mismatch across ranks
+//   IMP017  count/extent mismatch on a matched edge
+//   IMP018  datatype incompatibility on a matched edge
+//
+// All of this only runs when the simulation saw the program exactly
+// (RankSimResult::comm_exact): a single unresolved peer, tag, or guard
+// disables the whole family rather than risk accusing correct code.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "trans/analysis/diagnostics.h"
+#include "trans/analysis/ranksim.h"
+
+namespace impacc::trans::analysis {
+
+/// Position of one operation: (rank, index into that rank's trace).
+using OpRef = std::pair<int, std::size_t>;
+
+/// A matched send/receive pair.
+struct CommEdge {
+  OpRef send;
+  OpRef recv;
+};
+
+struct CommGraph {
+  std::vector<CommEdge> edges;
+  std::vector<OpRef> unmatched_sends;
+  std::vector<OpRef> unmatched_recvs;
+  /// Lookup from either endpoint to its edge index.
+  std::map<OpRef, std::size_t> edge_of;
+};
+
+/// Greedy in-order matching of every p2p op in `traces`.
+CommGraph build_comm_graph(const std::vector<RankTrace>& traces);
+
+/// Run all graph analyses and append diagnostics. No-op unless
+/// `sim.has_rank_size && sim.comm_exact`.
+void check_comm_graph(const RankSimResult& sim,
+                      std::vector<Diagnostic>* out);
+
+}  // namespace impacc::trans::analysis

@@ -68,15 +68,48 @@ struct Scanner {
 struct OpenRegion {
   int depth = 0;
   int region_id = -1;
-  int line = 0;  // line of the opening directive (for diagnostics)
+  int line = 0;   // line of the opening directive (for diagnostics)
+  int seq = 0;    // global open order, to disambiguate same-depth closes
 };
+
+/// An if/else branch currently being scanned. Single-statement branches
+/// (`if (c) stmt;`) close at the next top-level ';', braced ones at the
+/// matching '}'.
+struct OpenGuard {
+  int depth = 0;
+  int paren_depth = 0;
+  int guard_id = -1;
+  bool single_stmt = false;
+  int seq = 0;
+  std::string chain_neg;  // negated condition for a following `else`
+};
+
+/// C keywords the host-code word scanner must never treat as the
+/// left-hand side of an assignment.
+bool is_c_keyword(const std::string& w) {
+  static const char* kWords[] = {
+      "if",     "else",     "for",    "while",  "do",     "switch",
+      "case",   "default",  "break",  "continue", "return", "goto",
+      "sizeof", "typedef",  "struct", "union",  "enum",   "int",
+      "long",   "short",    "char",   "float",  "double", "signed",
+      "unsigned", "void",   "const",  "static", "extern", "volatile",
+      "register", "inline", "auto",   "size_t", "ptrdiff_t", nullptr};
+  for (const char** p = kWords; *p != nullptr; ++p) {
+    if (w == *p) return true;
+  }
+  return false;
+}
 
 struct StreamBuilder {
   Scanner sc;
   DirectiveStream out;
   int depth = 0;
+  int pdepth = 0;  // () / [] nesting in host code
   int next_region_id = 0;
+  int next_seq = 0;
   std::vector<OpenRegion> regions;
+  std::vector<OpenGuard> guards;
+  std::string last_guard_neg;  // from the most recently closed guard
 
   explicit StreamBuilder(const std::string& src) : sc{src} {}
 
@@ -168,7 +201,7 @@ struct StreamBuilder {
         ++depth;
         ev.kind = EventKind::kRegionEnter;
         ev.region_id = next_region_id++;
-        regions.push_back({depth, ev.region_id, d.line});
+        regions.push_back({depth, ev.region_id, d.line, next_seq++});
         out.events.push_back(std::move(ev));
         break;
       }
@@ -189,6 +222,166 @@ struct StreamBuilder {
         out.events.push_back(std::move(ev));
         break;
     }
+  }
+
+  // --- host-code guard / assignment scanning --------------------------------
+
+  void emit_guard_exit(const OpenGuard& g) {
+    Event ev;
+    ev.kind = EventKind::kGuardExit;
+    ev.region_id = g.guard_id;
+    ev.line = sc.line;
+    ev.column = sc.col;
+    out.events.push_back(std::move(ev));
+    last_guard_neg = g.chain_neg;
+  }
+
+  /// A single-statement branch ends at the first ';' at its paren depth.
+  /// Nested single-statement ifs (`if (a) if (b) x;`) close together.
+  void close_single_guards() {
+    while (!guards.empty() && guards.back().single_stmt &&
+           guards.back().depth == depth &&
+           guards.back().paren_depth == pdepth) {
+      emit_guard_exit(guards.back());
+      guards.pop_back();
+    }
+  }
+
+  /// Open one if/else branch; the cursor sits just before the body.
+  void open_branch(std::string cond, std::string chain_neg, int line,
+                   int col) {
+    Event ev;
+    ev.kind = EventKind::kGuardEnter;
+    ev.line = line;
+    ev.column = col;
+    ev.guard_cond = std::move(cond);
+    ev.region_id = next_region_id++;
+    sc.skip_trivia();
+    bool single = true;
+    if (sc.peek() == '{') {
+      sc.take();
+      ++depth;
+      single = false;
+    }
+    guards.push_back({depth, pdepth, ev.region_id, single, next_seq++,
+                      std::move(chain_neg)});
+    out.events.push_back(std::move(ev));
+  }
+
+  /// `if (...)` (cursor after the `if` keyword). `neg` carries the
+  /// accumulated negations of earlier branches in an else-if chain.
+  void open_guard(const std::string& neg) {
+    const int line = sc.line;
+    const int col = sc.col;
+    sc.skip_trivia();
+    if (sc.peek() != '(') return;  // not a form we model
+    const std::size_t close = match_delim(sc.s, sc.pos);
+    if (close == std::string::npos) {
+      sc.take();
+      return;
+    }
+    const std::string text =
+        trim(sc.s.substr(sc.pos + 1, close - sc.pos - 1));
+    sc.advance_to(close + 1);
+    std::string cond = neg.empty() ? "(" + text + ")"
+                                   : neg + " && (" + text + ")";
+    std::string chain = neg.empty() ? "!(" + text + ")"
+                                    : neg + " && !(" + text + ")";
+    open_branch(std::move(cond), std::move(chain), line, col);
+  }
+
+  /// `word = expr;` in host code. Values assigned inside parentheses
+  /// (loop headers) or via compound assignment are recorded as unknown so
+  /// the rank simulator drops stale bindings instead of trusting them.
+  void maybe_assignment(const std::string& word, std::size_t word_end,
+                        char prev) {
+    const int line = sc.line;
+    const int col = sc.col;
+    sc.advance_to(word_end);
+    if (prev == '.' || is_c_keyword(word)) return;  // member access / keyword
+    std::size_t p = word_end;
+    while (p < sc.s.size() &&
+           std::isspace(static_cast<unsigned char>(sc.s[p]))) {
+      ++p;
+    }
+    if (p >= sc.s.size()) return;
+    const char c0 = sc.s[p];
+    const char c1 = p + 1 < sc.s.size() ? sc.s[p + 1] : '\0';
+    bool unknown = false;
+    if (c0 == '=' && c1 != '=') {
+      // plain assignment
+    } else if ((c0 == '+' || c0 == '-' || c0 == '*' || c0 == '/' ||
+                c0 == '%' || c0 == '&' || c0 == '|' || c0 == '^') &&
+               c1 == '=') {
+      unknown = true;
+    } else if ((c0 == '+' && c1 == '+') || (c0 == '-' && c1 == '-')) {
+      unknown = true;
+    } else {
+      return;  // not an assignment to `word`
+    }
+    Event ev;
+    ev.kind = EventKind::kAssign;
+    ev.line = line;
+    ev.column = col;
+    ev.assign_var = word;
+    if (!unknown && pdepth == 0) {
+      // Capture the right-hand side up to the statement's ';'.
+      sc.advance_to(p + 1);
+      std::string rhs;
+      int local = 0;
+      while (!sc.eof()) {
+        const char ch = sc.take();
+        if (ch == '"' || ch == '\'') {
+          rhs += ch;
+          while (!sc.eof()) {
+            const char qc = sc.take();
+            rhs += qc;
+            if (qc == '\\' && !sc.eof()) {
+              rhs += sc.take();
+              continue;
+            }
+            if (qc == ch) break;
+          }
+          continue;
+        }
+        if (ch == '(' || ch == '[') ++local;
+        if (ch == ')' || ch == ']') --local;
+        if (ch == ';' && local <= 0) break;
+        rhs += ch;
+      }
+      ev.assign_expr = trim(rhs);
+      out.events.push_back(std::move(ev));
+      close_single_guards();  // the ';' we just consumed ends the branch
+      return;
+    }
+    out.events.push_back(std::move(ev));  // value unknown; leave the rest
+  }
+
+  /// A host-code identifier (not MPI_*); cursor sits at its first char.
+  void handle_word() {
+    std::size_t ne = sc.pos;
+    while (ne < sc.s.size() && word_char(sc.s[ne])) ++ne;
+    const std::string word = sc.s.substr(sc.pos, ne - sc.pos);
+    const char prev = sc.pos > 0 ? sc.s[sc.pos - 1] : '\0';
+    if (word == "if") {
+      sc.advance_to(ne);
+      open_guard("");
+      return;
+    }
+    if (word == "else") {
+      sc.advance_to(ne);
+      const std::string neg = last_guard_neg;
+      sc.skip_trivia();
+      if (sc.s.compare(sc.pos, 2, "if") == 0 &&
+          (sc.pos + 2 >= sc.s.size() || !word_char(sc.s[sc.pos + 2]))) {
+        sc.advance_to(sc.pos + 2);
+        open_guard(neg);
+      } else {
+        open_branch(neg, /*chain_neg=*/"", sc.line, sc.col);
+      }
+      return;
+    }
+    maybe_assignment(word, ne, prev);
   }
 
   /// An MPI_* identifier in plain host code; cursor sits at 'M'.
@@ -277,10 +470,31 @@ struct StreamBuilder {
         at_line_start = false;
         continue;
       }
-      if (c == '{') {
+      if ((std::isalpha(static_cast<unsigned char>(c)) || c == '_') &&
+          (sc.pos == 0 || !word_char(sc.s[sc.pos - 1]))) {
+        handle_word();
+        at_line_start = false;
+        continue;
+      }
+      if (c == '(' || c == '[') {
+        ++pdepth;
+      } else if (c == ')' || c == ']') {
+        --pdepth;
+      } else if (c == '{') {
         ++depth;
       } else if (c == '}') {
-        if (!regions.empty() && regions.back().depth == depth) {
+        // The '}' closes whichever same-depth construct opened last:
+        // a data/host_data region or a braced if/else branch.
+        const bool region_match =
+            !regions.empty() && regions.back().depth == depth;
+        const bool guard_match = !guards.empty() &&
+                                 !guards.back().single_stmt &&
+                                 guards.back().depth == depth;
+        if (guard_match &&
+            (!region_match || guards.back().seq > regions.back().seq)) {
+          emit_guard_exit(guards.back());
+          guards.pop_back();
+        } else if (region_match) {
           Event ev;
           ev.kind = EventKind::kRegionExit;
           ev.region_id = regions.back().region_id;
@@ -292,6 +506,8 @@ struct StreamBuilder {
         --depth;
       }
       sc.take();
+      if (c == ';') close_single_guards();
+      if (c == '}') close_single_guards();
       at_line_start = (c == '\n');
     }
     for (const auto& r : regions) {

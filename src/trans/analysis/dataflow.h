@@ -41,6 +41,12 @@ enum class EventKind : int {
   kRegionEnter,  // a structured data/host_data region opened
   kRegionExit,   // ... and its matching '}' was reached
   kMpiCall,      // a plain MPI_* call in host code
+  kGuardEnter,   // an if/else branch opened; `guard_cond` holds the full
+                 // branch condition (else chains fold in the negations)
+  kGuardExit,    // ... and the branch closed ('}' or the statement's ';')
+  kAssign,       // a simple scalar assignment in host code (`x = expr;`);
+                 // `assign_expr` is empty when the value is unknowable
+                 // (compound assignment, loop-header induction, ...)
 };
 
 struct Event {
@@ -49,7 +55,10 @@ struct Event {
   MpiCall call;         // kMpiCall; also the attached call for `acc mpi`
   int line = 0;
   int column = 1;
-  int region_id = -1;  // pairs kRegionEnter with its kRegionExit
+  int region_id = -1;  // pairs kRegionEnter/kGuardEnter with its exit
+  std::string guard_cond;   // kGuardEnter
+  std::string assign_var;   // kAssign
+  std::string assign_expr;  // kAssign; empty = value unknown
 };
 
 struct DirectiveStream {

@@ -50,6 +50,26 @@ const RuleInfo* rule_catalog() {
        "enter data buffer is never released by a matching exit data"},
       {"IMP012", Severity::kError,
        "malformed or unsupported directive"},
+      {"IMP013", Severity::kError,
+       "blocking communication forms a wait-for cycle across ranks "
+       "(deadlock)"},
+      {"IMP014", Severity::kError,
+       "send is never matched by a receive on the destination rank"},
+      {"IMP015", Severity::kError,
+       "receive is never matched by a send on the source rank"},
+      {"IMP016", Severity::kError,
+       "ranks disagree on the order of collective operations"},
+      {"IMP017", Severity::kError,
+       "matched send/receive disagree on element count or device "
+       "extent"},
+      {"IMP018", Severity::kError,
+       "matched send/receive use incompatible MPI datatypes"},
+      {"IMP019", Severity::kError,
+       "host accesses a buffer while an asynchronous device operation "
+       "may still be using it"},
+      {"IMP020", Severity::kWarning,
+       "one buffer is touched on two async queues with no ordering edge "
+       "between them"},
       {nullptr, Severity::kError, nullptr},
   };
   return kRules;

@@ -1,0 +1,139 @@
+#include "trans/analysis/hbclock.h"
+
+#include <set>
+#include <tuple>
+#include <utility>
+
+namespace impacc::trans::analysis {
+
+namespace {
+
+std::string queue_display(const std::string& q) {
+  return q.empty() ? "<no-value>" : q;
+}
+
+/// One asynchronous access still potentially in flight.
+struct PendingAccess {
+  std::string var;
+  bool write = false;
+  std::string queue;
+  int line = 0;
+  VectorClock clock;  // queue clock at enqueue time
+};
+
+struct RaceChecker {
+  std::vector<Diagnostic>* out;
+  /// (code, use line, pending line) already reported — the same textual
+  /// race shows up once, not once per rank.
+  std::set<std::tuple<std::string, int, int>> reported;
+
+  void report(const char* code, const RankOp& op, const PendingAccess& p,
+              std::string message, std::string fixit) {
+    if (!reported.insert({code, op.line, p.line}).second) return;
+    out->push_back(make_diagnostic(code, op.line, op.column,
+                                   std::move(message), std::move(fixit)));
+  }
+
+  void run_rank(const RankTrace& trace) {
+    std::map<std::string, VectorClock> queues;
+    VectorClock host;
+    std::vector<PendingAccess> pending;
+
+    auto complete_leq = [&](const VectorClock& bound) {
+      std::vector<PendingAccess> still;
+      for (auto& p : pending) {
+        if (!p.clock.leq(bound)) still.push_back(std::move(p));
+      }
+      pending = std::move(still);
+    };
+
+    for (const auto& op : trace.ops) {
+      const bool on_queue = op.has_queue;
+      if (op.kind == RankOpKind::kAccWait) {
+        if (op.wait_all) {
+          for (const auto& [q, c] : queues) host.merge(c);
+        } else {
+          for (const auto& q : op.wait_queues) {
+            auto it = queues.find(q);
+            if (it != queues.end()) host.merge(it->second);
+          }
+        }
+        host.tick("host");
+        complete_leq(host);
+        continue;
+      }
+      if (op.kind == RankOpKind::kHostWait) {
+        // Completes host-path requests; async-attached work is ordered
+        // by acc wait instead. No queue effect to model.
+        host.tick("host");
+        continue;
+      }
+      if (on_queue) {
+        VectorClock& c = queues[op.queue];
+        c.merge(host);  // the host issues the enqueue
+        for (const auto& wq : op.wait_clause) {
+          auto it = queues.find(wq);
+          if (it != queues.end()) c.merge(it->second);
+        }
+        c.tick("q:" + op.queue);
+        for (const auto& a : op.accesses) {
+          for (const auto& p : pending) {
+            if (p.var != a.var || p.queue == op.queue) continue;
+            if (!(p.write || a.write)) continue;
+            if (p.clock.leq(c)) continue;
+            if (op.guarded_unknown) continue;
+            report("IMP020", op, p,
+                   "'" + a.var + "' is " + (a.write ? "written" : "read") +
+                       " on async queue " + queue_display(op.queue) +
+                       " while queue " + queue_display(p.queue) +
+                       " may still be " +
+                       (p.write ? "writing" : "reading") +
+                       " it (enqueued at line " + std::to_string(p.line) +
+                       "); the queues have no ordering edge",
+                   "add a 'wait(" + queue_display(p.queue) +
+                       ")' clause to this construct or a '#pragma acc "
+                       "wait(" + queue_display(p.queue) +
+                       ")' between the two");
+          }
+        }
+        if (!op.guarded_unknown) {
+          for (const auto& a : op.accesses) {
+            pending.push_back({a.var, a.write, op.queue, op.line, c});
+          }
+        }
+        continue;
+      }
+      // Host-path operation: plain MPI calls, synchronous updates, and
+      // synchronous acc mpi all touch their buffers immediately.
+      host.tick("host");
+      for (const auto& a : op.accesses) {
+        for (const auto& p : pending) {
+          if (p.var != a.var) continue;
+          if (!(p.write || a.write)) continue;
+          if (p.clock.leq(host)) continue;
+          if (op.guarded_unknown) continue;
+          report("IMP019", op, p,
+                 "host " + std::string(a.write ? "writes" : "reads") +
+                     " '" + a.var + "' while async queue " +
+                     queue_display(p.queue) + " may still be " +
+                     (p.write ? "writing" : "reading") +
+                     " it (enqueued at line " + std::to_string(p.line) +
+                     "); no wait orders them",
+                 "add '#pragma acc wait(" + queue_display(p.queue) +
+                     ")' before this host access");
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void check_races(const RankSimResult& sim, std::vector<Diagnostic>* out) {
+  RaceChecker checker{out, {}};
+  for (const auto& trace : sim.traces) {
+    checker.run_rank(trace);
+  }
+}
+
+}  // namespace impacc::trans::analysis

@@ -1,0 +1,67 @@
+// Static happens-before race detection over rank-symbolic traces.
+//
+// Models the ordering structure of §3.5-3.6 with vector clocks, the
+// same device the execution simulator uses dynamically (sim/vclock.h):
+// one clock axis per async queue plus one for the host path. An async
+// enqueue inherits the host clock (the host issues it), a `wait(q)`
+// clause merges the named queue into the construct's queue, and an
+// `acc wait` merges the waited queues back into the host. Work on one
+// queue is totally ordered (the unified activity queue completes in
+// order); everything else is ordered only through those merges.
+//
+// Two rules fall out of "no ordering edge between conflicting
+// accesses":
+//
+//   IMP019  the host touches a buffer while an asynchronous device op
+//           that uses it may still be in flight (no covering wait)
+//   IMP020  two async queues touch the same present-table entry, at
+//           least one writing, with no wait edge between them
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trans/analysis/diagnostics.h"
+#include "trans/analysis/ranksim.h"
+
+namespace impacc::trans::analysis {
+
+/// A vector clock keyed by axis name ("host", "q:<queue>"). Missing
+/// components read as zero, matching sim/vclock.h's growable vector.
+class VectorClock {
+ public:
+  void tick(const std::string& axis) { ++c_[axis]; }
+
+  void merge(const VectorClock& other) {
+    for (const auto& [axis, t] : other.c_) {
+      long& mine = c_[axis];
+      if (t > mine) mine = t;
+    }
+  }
+
+  /// True when every component of *this is <= the matching component
+  /// of `other` — i.e. *this happens-before-or-equals `other`.
+  bool leq(const VectorClock& other) const {
+    for (const auto& [axis, t] : c_) {
+      auto it = other.c_.find(axis);
+      const long theirs = it == other.c_.end() ? 0 : it->second;
+      if (t > theirs) return false;
+    }
+    return true;
+  }
+
+  long at(const std::string& axis) const {
+    auto it = c_.find(axis);
+    return it == c_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::map<std::string, long> c_;
+};
+
+/// Run the race analysis over every simulated rank and append IMP019 /
+/// IMP020 diagnostics (deduplicated across ranks by source line).
+void check_races(const RankSimResult& sim, std::vector<Diagnostic>* out);
+
+}  // namespace impacc::trans::analysis

@@ -3,8 +3,13 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <sstream>
 
+#include "trans/analysis/commgraph.h"
 #include "trans/analysis/dataflow.h"
+#include "trans/analysis/hbclock.h"
+#include "trans/analysis/ranksim.h"
+#include "trans/lexer.h"
 
 namespace impacc::trans::analysis {
 
@@ -351,6 +356,12 @@ struct Linter {
         case EventKind::kMpiCall:
           check_plain_call(ev);
           break;
+        case EventKind::kGuardEnter:
+        case EventKind::kGuardExit:
+        case EventKind::kAssign:
+          // Consumed by the rank-symbolic pass (ranksim.h); the
+          // single-rank checks treat guarded code as unconditional.
+          break;
         case EventKind::kDirective:
           switch (ev.directive.kind) {
             case DirectiveKind::kEnterData:
@@ -399,6 +410,43 @@ struct Linter {
   }
 };
 
+/// In-source suppressions: `/* impacc-lint: allow(IMP014) */` (or a
+/// `//` comment) silences the named codes on its own line and the line
+/// below, so it can sit beside or above the offending statement.
+std::map<int, std::set<std::string>> collect_suppressions(
+    const std::string& source) {
+  std::map<int, std::set<std::string>> out;
+  std::istringstream in(source);
+  std::string text;
+  int line = 0;
+  while (std::getline(in, text)) {
+    ++line;
+    std::size_t at = text.find("impacc-lint:");
+    if (at == std::string::npos) continue;
+    at = text.find("allow", at);
+    if (at == std::string::npos) continue;
+    const std::size_t open = text.find('(', at);
+    const std::size_t close = text.find(')', at);
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      continue;
+    }
+    std::string codes = text.substr(open + 1, close - open - 1);
+    std::size_t pos = 0;
+    while (pos < codes.size()) {
+      std::size_t comma = codes.find(',', pos);
+      if (comma == std::string::npos) comma = codes.size();
+      const std::string code = trim(codes.substr(pos, comma - pos));
+      if (!code.empty()) {
+        out[line].insert(code);
+        out[line + 1].insert(code);
+      }
+      pos = comma + 1;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 LintResult lint_source(const std::string& source, const LintOptions& options) {
@@ -411,6 +459,27 @@ LintResult lint_source(const std::string& source, const LintOptions& options) {
   result.diagnostics = stream.scan_diagnostics;
   result.diagnostics.insert(result.diagnostics.end(),
                             linter.diags.begin(), linter.diags.end());
+
+  if (options.ranks >= 2) {
+    const RankSimResult sim = simulate_ranks(stream, options.ranks);
+    check_comm_graph(sim, &result.diagnostics);
+    check_races(sim, &result.diagnostics);
+  }
+
+  const auto suppressions = collect_suppressions(source);
+  if (!suppressions.empty()) {
+    std::vector<Diagnostic> kept;
+    kept.reserve(result.diagnostics.size());
+    for (auto& d : result.diagnostics) {
+      auto it = suppressions.find(d.line);
+      if (it != suppressions.end() && it->second.count(d.code) != 0) {
+        ++result.suppressed;
+        continue;
+      }
+      kept.push_back(std::move(d));
+    }
+    result.diagnostics = std::move(kept);
+  }
   std::stable_sort(result.diagnostics.begin(), result.diagnostics.end(),
                    [](const Diagnostic& a, const Diagnostic& b) {
                      if (a.line != b.line) return a.line < b.line;
@@ -421,6 +490,7 @@ LintResult lint_source(const std::string& source, const LintOptions& options) {
     if (options.warnings_as_errors && d.severity == Severity::kWarning) {
       d.severity = Severity::kError;
     }
+    if (d.code == "IMP012") ++result.parse_failures;
     switch (d.severity) {
       case Severity::kError:
         ++result.errors;

@@ -20,6 +20,20 @@
 //   IMP010  aliased send/recv buffers within one acc mpi directive
 //   IMP011  enter data buffer never released by exit data
 //   IMP012  malformed or unsupported directive
+//
+// Multi-rank checks (the rank-symbolic pass; ranksim.h / commgraph.h /
+// hbclock.h, enabled whenever options.ranks >= 2):
+//   IMP013  blocking communication forms a wait-for cycle (deadlock)
+//   IMP014  send never matched by a receive on the destination rank
+//   IMP015  receive never matched by a send on the source rank
+//   IMP016  ranks disagree on the order of collective operations
+//   IMP017  count/extent mismatch on a matched message
+//   IMP018  datatype mismatch on a matched message
+//   IMP019  host touches a buffer with a pending async device op
+//   IMP020  two async queues touch one buffer with no ordering edge
+//
+// Any diagnostic can be silenced in-source with a comment on the same
+// line or the line above:  /* impacc-lint: allow(IMP014) */
 #pragma once
 
 #include <string>
@@ -32,6 +46,9 @@ namespace impacc::trans::analysis {
 struct LintOptions {
   /// Promote warnings to errors (the CLI's --werror).
   bool warnings_as_errors = false;
+  /// Symbolic ranks for the multi-rank pass (the CLI's --ranks N).
+  /// Values < 2 disable the pass (IMP013-IMP020 never fire).
+  int ranks = 4;
 };
 
 struct LintResult {
@@ -39,9 +56,15 @@ struct LintResult {
   int errors = 0;
   int warnings = 0;
   int notes = 0;
+  /// IMP012 count: the source could not even be scanned into a
+  /// directive stream (the CLI's exit code 3).
+  int parse_failures = 0;
+  /// Diagnostics silenced by `impacc-lint: allow(...)` comments.
+  int suppressed = 0;
 
   bool clean() const { return diagnostics.empty(); }
   bool has_errors() const { return errors > 0; }
+  bool has_parse_failures() const { return parse_failures > 0; }
 };
 
 /// Run every check over one source file.

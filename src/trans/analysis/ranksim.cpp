@@ -1,0 +1,699 @@
+#include "trans/analysis/ranksim.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "trans/lexer.h"
+
+namespace impacc::trans::analysis {
+
+// --- integer expression evaluator -------------------------------------------
+//
+// A tiny recursive-descent parser over optional<long>: every subterm is
+// either a known value or unknown, and unknowns flow upward except where
+// short-circuit semantics can decide the result without them.
+
+namespace {
+
+struct ExprTok {
+  enum Kind { kNum, kIdent, kOp, kEnd, kBad } kind = kEnd;
+  long num = 0;
+  std::string text;
+};
+
+struct ExprLexer {
+  const std::string& s;
+  std::size_t pos = 0;
+
+  ExprTok next() {
+    while (pos < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[pos]))) {
+      ++pos;
+    }
+    ExprTok t;
+    if (pos >= s.size()) return t;
+    const char c = s[pos];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      char* end = nullptr;
+      t.kind = ExprTok::kNum;
+      t.num = std::strtol(s.c_str() + pos, &end, 0);
+      // Swallow integer suffixes (u, l, ul, ...).
+      std::size_t np = static_cast<std::size_t>(end - s.c_str());
+      while (np < s.size() && (s[np] == 'u' || s[np] == 'U' ||
+                               s[np] == 'l' || s[np] == 'L')) {
+        ++np;
+      }
+      pos = np;
+      return t;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t e = pos;
+      while (e < s.size() && (std::isalnum(static_cast<unsigned char>(s[e])) ||
+                              s[e] == '_')) {
+        ++e;
+      }
+      t.kind = ExprTok::kIdent;
+      t.text = s.substr(pos, e - pos);
+      pos = e;
+      return t;
+    }
+    static const char* kTwoChar[] = {"&&", "||", "==", "!=", "<=",
+                                     ">=", "<<", ">>", nullptr};
+    for (const char** p = kTwoChar; *p != nullptr; ++p) {
+      if (s.compare(pos, 2, *p) == 0) {
+        t.kind = ExprTok::kOp;
+        t.text = *p;
+        pos += 2;
+        return t;
+      }
+    }
+    if (std::string("+-*/%<>&|^!~?:()").find(c) != std::string::npos) {
+      t.kind = ExprTok::kOp;
+      t.text = std::string(1, c);
+      ++pos;
+      return t;
+    }
+    t.kind = ExprTok::kBad;
+    return t;
+  }
+};
+
+using Val = std::optional<long>;
+
+struct ExprParser {
+  ExprLexer lex;
+  const IntEnv& env;
+  ExprTok cur;
+  bool failed = false;
+
+  ExprParser(const std::string& s, const IntEnv& e) : lex{s}, env(e) {
+    cur = lex.next();
+  }
+
+  bool eat(const char* op) {
+    if (cur.kind == ExprTok::kOp && cur.text == op) {
+      cur = lex.next();
+      return true;
+    }
+    return false;
+  }
+
+  Val primary() {
+    if (cur.kind == ExprTok::kNum) {
+      const long v = cur.num;
+      cur = lex.next();
+      return v;
+    }
+    if (cur.kind == ExprTok::kIdent) {
+      const std::string name = cur.text;
+      cur = lex.next();
+      if (name == "MPI_PROC_NULL") return kMpiProcNull;
+      if (name == "MPI_ANY_SOURCE") return kMpiAnySource;
+      if (name == "MPI_ANY_TAG") return kMpiAnyTag;
+      auto it = env.find(name);
+      if (it != env.end()) return it->second;
+      return std::nullopt;
+    }
+    if (eat("(")) {
+      const Val v = ternary();
+      if (!eat(")")) failed = true;
+      return v;
+    }
+    failed = true;
+    return std::nullopt;
+  }
+
+  Val unary() {
+    if (eat("-")) {
+      const Val v = unary();
+      return v ? Val(-*v) : std::nullopt;
+    }
+    if (eat("+")) return unary();
+    if (eat("!")) {
+      const Val v = unary();
+      return v ? Val(*v == 0 ? 1 : 0) : std::nullopt;
+    }
+    if (eat("~")) {
+      const Val v = unary();
+      return v ? Val(~*v) : std::nullopt;
+    }
+    return primary();
+  }
+
+  Val mul() {
+    Val v = unary();
+    for (;;) {
+      if (eat("*")) {
+        const Val r = unary();
+        v = (v && r) ? Val(*v * *r) : std::nullopt;
+      } else if (eat("/")) {
+        const Val r = unary();
+        v = (v && r && *r != 0) ? Val(*v / *r) : std::nullopt;
+      } else if (eat("%")) {
+        const Val r = unary();
+        v = (v && r && *r != 0) ? Val(*v % *r) : std::nullopt;
+      } else {
+        return v;
+      }
+    }
+  }
+
+  Val add() {
+    Val v = mul();
+    for (;;) {
+      if (eat("+")) {
+        const Val r = mul();
+        v = (v && r) ? Val(*v + *r) : std::nullopt;
+      } else if (eat("-")) {
+        const Val r = mul();
+        v = (v && r) ? Val(*v - *r) : std::nullopt;
+      } else {
+        return v;
+      }
+    }
+  }
+
+  Val shift() {
+    Val v = add();
+    for (;;) {
+      if (eat("<<")) {
+        const Val r = add();
+        v = (v && r) ? Val(*v << *r) : std::nullopt;
+      } else if (eat(">>")) {
+        const Val r = add();
+        v = (v && r) ? Val(*v >> *r) : std::nullopt;
+      } else {
+        return v;
+      }
+    }
+  }
+
+  Val rel() {
+    Val v = shift();
+    for (;;) {
+      if (eat("<=")) {
+        const Val r = shift();
+        v = (v && r) ? Val(*v <= *r ? 1 : 0) : std::nullopt;
+      } else if (eat(">=")) {
+        const Val r = shift();
+        v = (v && r) ? Val(*v >= *r ? 1 : 0) : std::nullopt;
+      } else if (eat("<")) {
+        const Val r = shift();
+        v = (v && r) ? Val(*v < *r ? 1 : 0) : std::nullopt;
+      } else if (eat(">")) {
+        const Val r = shift();
+        v = (v && r) ? Val(*v > *r ? 1 : 0) : std::nullopt;
+      } else {
+        return v;
+      }
+    }
+  }
+
+  Val eq() {
+    Val v = rel();
+    for (;;) {
+      if (eat("==")) {
+        const Val r = rel();
+        v = (v && r) ? Val(*v == *r ? 1 : 0) : std::nullopt;
+      } else if (eat("!=")) {
+        const Val r = rel();
+        v = (v && r) ? Val(*v != *r ? 1 : 0) : std::nullopt;
+      } else {
+        return v;
+      }
+    }
+  }
+
+  Val bit_and() {
+    Val v = eq();
+    while (cur.kind == ExprTok::kOp && cur.text == "&") {
+      eat("&");
+      const Val r = eq();
+      v = (v && r) ? Val(*v & *r) : std::nullopt;
+    }
+    return v;
+  }
+
+  Val bit_xor() {
+    Val v = bit_and();
+    while (eat("^")) {
+      const Val r = bit_and();
+      v = (v && r) ? Val(*v ^ *r) : std::nullopt;
+    }
+    return v;
+  }
+
+  Val bit_or() {
+    Val v = bit_xor();
+    while (cur.kind == ExprTok::kOp && cur.text == "|") {
+      eat("|");
+      const Val r = bit_xor();
+      v = (v && r) ? Val(*v | *r) : std::nullopt;
+    }
+    return v;
+  }
+
+  Val log_and() {
+    Val v = bit_or();
+    while (eat("&&")) {
+      const Val r = bit_or();
+      if (v && *v == 0) {
+        v = 0;  // short-circuit: unknown right side is dead
+      } else if (r && *r == 0) {
+        v = 0;
+      } else if (v && r) {
+        v = 1;
+      } else {
+        v = std::nullopt;
+      }
+    }
+    return v;
+  }
+
+  Val log_or() {
+    Val v = log_and();
+    while (eat("||")) {
+      const Val r = log_and();
+      if (v && *v != 0) {
+        v = 1;
+      } else if (r && *r != 0) {
+        v = 1;
+      } else if (v && r) {
+        v = 0;
+      } else {
+        v = std::nullopt;
+      }
+    }
+    return v;
+  }
+
+  Val ternary() {
+    Val c = log_or();
+    if (!eat("?")) return c;
+    const Val a = ternary();
+    if (!eat(":")) {
+      failed = true;
+      return std::nullopt;
+    }
+    const Val b = ternary();
+    if (c) return *c != 0 ? a : b;
+    if (a && b && *a == *b) return a;  // both arms agree; cond irrelevant
+    return std::nullopt;
+  }
+
+  Val run() {
+    const Val v = ternary();
+    if (failed || cur.kind != ExprTok::kEnd) return std::nullopt;
+    return v;
+  }
+};
+
+}  // namespace
+
+std::optional<long> eval_int_expr(const std::string& expr,
+                                  const IntEnv& env) {
+  if (trim(expr).empty()) return std::nullopt;
+  ExprParser p(expr, env);
+  return p.run();
+}
+
+// --- per-rank interpretation ------------------------------------------------
+
+namespace {
+
+/// MPI calls that neither move data nor order ranks; they are invisible
+/// to the communication model.
+bool is_neutral_mpi(const std::string& n) {
+  static const char* kNeutral[] = {
+      "MPI_Init",        "MPI_Init_thread",  "MPI_Finalize",
+      "MPI_Initialized", "MPI_Finalized",    "MPI_Abort",
+      "MPI_Wtime",       "MPI_Wtick",        "MPI_Get_processor_name",
+      "MPI_Comm_dup",    "MPI_Comm_free",    "MPI_Type_commit",
+      "MPI_Type_free",   "MPI_Type_vector",  "MPI_Type_contiguous",
+      "MPI_Get_count",   "MPI_Request_free", "MPI_Error_string",
+      "MPI_Type_create_subarray",            nullptr};
+  for (const char** p = kNeutral; *p != nullptr; ++p) {
+    if (n == *p) return true;
+  }
+  return false;
+}
+
+bool is_collective_mpi(const std::string& n) {
+  static const char* kColl[] = {
+      "MPI_Barrier", "MPI_Bcast",     "MPI_Reduce",
+      "MPI_Allreduce", "MPI_Scan",    "MPI_Reduce_scatter_block",
+      "MPI_Gather", "MPI_Scatter",    "MPI_Allgather",
+      "MPI_Alltoall", nullptr};
+  for (const char** p = kColl; *p != nullptr; ++p) {
+    if (n == *p) return true;
+  }
+  return false;
+}
+
+/// Data clauses on compute constructs / data regions, mapped to the
+/// direction of the device-copy access they imply.
+bool clause_reads_device(const std::string& name) {
+  return name == "copyin" || name == "present" || name == "copyout" ||
+         name == "copy" || name == "create" || name == "use_device";
+}
+
+bool clause_writes_device(const std::string& name) {
+  return name == "copyout" || name == "create" || name == "copy";
+}
+
+struct RankInterp {
+  const DirectiveStream& stream;
+  int nranks;
+  int rank;
+  RankSimResult& res;
+
+  RankTrace trace;
+  IntEnv env;
+  std::vector<int> guard_tri;  // 1 taken, 0 dead, -1 unknown
+  std::map<std::string, long> extents;
+  std::string rank_var;
+  std::string size_var;
+
+  RankInterp(const DirectiveStream& s, int n, int r, RankSimResult& out)
+      : stream(s), nranks(n), rank(r), res(out) {
+    trace.rank = r;
+  }
+
+  bool dead() const {
+    for (const int t : guard_tri) {
+      if (t == 0) return true;
+    }
+    return false;
+  }
+
+  bool unknown_guard() const {
+    for (const int t : guard_tri) {
+      if (t == -1) return true;
+    }
+    return false;
+  }
+
+  void push_op(RankOp op) {
+    op.guarded_unknown = unknown_guard();
+    if (op.guarded_unknown &&
+        (op.kind == RankOpKind::kSend || op.kind == RankOpKind::kRecv ||
+         op.kind == RankOpKind::kCollective ||
+         op.kind == RankOpKind::kAccWait ||
+         op.kind == RankOpKind::kHostWait)) {
+      res.comm_exact = false;
+    }
+    trace.ops.push_back(std::move(op));
+  }
+
+  void record_extents(const Directive& d) {
+    for (const auto& c : d.clauses) {
+      if (c.name != "copyin" && c.name != "copyout" && c.name != "copy" &&
+          c.name != "create") {
+        continue;
+      }
+      for (const auto& sa : c.subarrays) {
+        if (sa.dims.empty()) continue;
+        long total = 1;
+        bool known = true;
+        for (const auto& dim : sa.dims) {
+          const auto v = eval_int_expr(dim.count, env);
+          if (!v.has_value() || *v < 0) {
+            known = false;
+            break;
+          }
+          total *= *v;
+        }
+        if (known) extents[sa.var] = total;
+      }
+    }
+  }
+
+  std::vector<BufferAccess> clause_accesses(const Directive& d) {
+    std::vector<BufferAccess> out;
+    for (const auto& c : d.clauses) {
+      if (!clause_reads_device(c.name) && !clause_writes_device(c.name)) {
+        continue;
+      }
+      for (const auto& sa : c.subarrays) {
+        out.push_back({sa.var, clause_writes_device(c.name)});
+      }
+    }
+    return out;
+  }
+
+  void handle_p2p(const MpiCall& call, const Directive* d, int line,
+                  int column) {
+    const bool send = call.name == "MPI_Send" || call.name == "MPI_Ssend" ||
+                      call.name == "MPI_Isend";
+    const bool nonblocking = is_nonblocking_p2p(call.name);
+    if (call.args.size() < 6) {
+      res.comm_exact = false;
+      return;
+    }
+    RankOp op;
+    op.kind = send ? RankOpKind::kSend : RankOpKind::kRecv;
+    op.name = call.name;
+    op.line = line;
+    op.column = column;
+    op.buffer = base_identifier(call.args[0]);
+    op.count_text = trim(call.args[1]);
+    op.count = eval_int_expr(call.args[1], env);
+    op.dtype = trim(call.args[2]);
+    op.peer = eval_int_expr(call.args[3], env);
+    op.tag = eval_int_expr(call.args[4], env);
+    op.comm = trim(call.args[5]);
+    if (nonblocking && !call.args.empty()) {
+      op.request = base_identifier(call.args.back());
+    }
+    if (d != nullptr) {
+      if (const Clause* as = d->find("async")) {
+        op.has_queue = true;
+        op.queue = as->args.empty() ? std::string() : as->args[0];
+      }
+    }
+    op.blocking = !nonblocking && !op.has_queue;
+    auto it = extents.find(op.buffer);
+    if (it != extents.end()) op.extent = it->second;
+    op.accesses.push_back({op.buffer, /*write=*/!send});
+
+    if (op.peer.has_value() && *op.peer == kMpiProcNull) return;  // no-op
+    if (!op.peer.has_value()) res.comm_exact = false;
+    if (!op.tag.has_value()) res.comm_exact = false;
+    push_op(std::move(op));
+  }
+
+  void handle_collective(const MpiCall& call, const Directive* d, int line,
+                         int column) {
+    RankOp op;
+    op.kind = RankOpKind::kCollective;
+    op.name = call.name;
+    op.line = line;
+    op.column = column;
+    if (!call.args.empty()) op.comm = trim(call.args.back());
+    if (const auto roles = mpi_buffer_roles(call.name)) {
+      if (roles->send_arg >= 0 &&
+          roles->send_arg < static_cast<int>(call.args.size())) {
+        op.accesses.push_back(
+            {base_identifier(call.args[roles->send_arg]), false});
+      }
+      if (roles->recv_arg >= 0 &&
+          roles->recv_arg < static_cast<int>(call.args.size())) {
+        op.accesses.push_back(
+            {base_identifier(call.args[roles->recv_arg]), true});
+      }
+    }
+    if (d != nullptr) {
+      if (const Clause* as = d->find("async")) {
+        op.has_queue = true;
+        op.queue = as->args.empty() ? std::string() : as->args[0];
+      }
+    }
+    op.blocking = !op.has_queue;
+    push_op(std::move(op));
+  }
+
+  void handle_call(const MpiCall& call, const Directive* d, int line,
+                   int column) {
+    const std::string& n = call.name;
+    if (n == "MPI_Comm_rank" || n == "MPI_Comm_size") {
+      if (call.args.size() >= 2) {
+        const std::string var = base_identifier(call.args[1]);
+        if (!var.empty()) {
+          // Binding under a dead guard never runs; under an unknown
+          // guard the value is unreliable, so drop it.
+          if (unknown_guard()) {
+            env.erase(var);
+          } else {
+            env[var] = n == "MPI_Comm_rank" ? rank : nranks;
+            (n == "MPI_Comm_rank" ? rank_var : size_var) = var;
+          }
+        }
+      }
+      return;
+    }
+    if (n == "MPI_Wait" || n == "MPI_Waitall" || n == "MPI_Waitany") {
+      RankOp op;
+      op.kind = RankOpKind::kHostWait;
+      op.name = n;
+      op.line = line;
+      op.column = column;
+      const int req_arg = n == "MPI_Wait" ? 0 : 1;
+      if (req_arg < static_cast<int>(call.args.size())) {
+        op.request = base_identifier(call.args[req_arg]);
+      }
+      push_op(std::move(op));
+      return;
+    }
+    if (n == "MPI_Send" || n == "MPI_Ssend" || n == "MPI_Isend" ||
+        n == "MPI_Recv" || n == "MPI_Irecv") {
+      handle_p2p(call, d, line, column);
+      return;
+    }
+    if (is_collective_mpi(n)) {
+      handle_collective(call, d, line, column);
+      return;
+    }
+    if (is_neutral_mpi(n)) return;
+    // An MPI routine the model does not understand may communicate;
+    // refuse to reason exactly about this program.
+    res.comm_exact = false;
+  }
+
+  void handle_directive(const Event& ev) {
+    const Directive& d = ev.directive;
+    const Clause* as = d.find("async");
+    switch (d.kind) {
+      case DirectiveKind::kMpi:
+        if (ev.call.valid) handle_call(ev.call, &d, ev.line, ev.column);
+        break;
+      case DirectiveKind::kWait: {
+        RankOp op;
+        op.kind = RankOpKind::kAccWait;
+        op.line = ev.line;
+        op.column = ev.column;
+        const Clause* w = d.find("wait");
+        if (w == nullptr || w->args.empty()) {
+          op.wait_all = true;
+        } else {
+          op.wait_queues = w->args;
+        }
+        push_op(std::move(op));
+        break;
+      }
+      case DirectiveKind::kEnterData:
+        record_extents(d);
+        break;
+      case DirectiveKind::kExitData:
+        break;
+      case DirectiveKind::kUpdate: {
+        RankOp op;
+        op.line = ev.line;
+        op.column = ev.column;
+        for (const auto& c : d.clauses) {
+          if (c.name == "device") {
+            for (const auto& sa : c.subarrays) {
+              op.accesses.push_back({sa.var, true});
+            }
+          } else if (c.name == "self" || c.name == "host") {
+            for (const auto& sa : c.subarrays) {
+              op.accesses.push_back({sa.var, false});
+            }
+          }
+        }
+        if (as != nullptr) {
+          op.kind = RankOpKind::kQueueOp;
+          op.has_queue = true;
+          op.queue = as->args.empty() ? std::string() : as->args[0];
+        } else {
+          op.kind = RankOpKind::kHostAccess;
+        }
+        if (const Clause* w = d.find("wait")) op.wait_clause = w->args;
+        push_op(std::move(op));
+        break;
+      }
+      case DirectiveKind::kParallelLoop: {
+        if (as == nullptr) break;  // synchronous compute completes inline
+        RankOp op;
+        op.kind = RankOpKind::kQueueOp;
+        op.line = ev.line;
+        op.column = ev.column;
+        op.has_queue = true;
+        op.queue = as->args.empty() ? std::string() : as->args[0];
+        op.accesses = clause_accesses(d);
+        if (const Clause* w = d.find("wait")) op.wait_clause = w->args;
+        push_op(std::move(op));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void run() {
+    for (const auto& ev : stream.events) {
+      if (ev.kind == EventKind::kGuardEnter) {
+        int tri = -1;
+        if (!dead()) {
+          const auto v = eval_int_expr(ev.guard_cond, env);
+          if (v.has_value()) tri = *v != 0 ? 1 : 0;
+        } else {
+          tri = 0;  // inside a dead branch everything is dead
+        }
+        guard_tri.push_back(tri);
+        continue;
+      }
+      if (ev.kind == EventKind::kGuardExit) {
+        if (!guard_tri.empty()) guard_tri.pop_back();
+        continue;
+      }
+      if (dead()) continue;
+      switch (ev.kind) {
+        case EventKind::kAssign:
+          if (unknown_guard() || ev.assign_expr.empty()) {
+            env.erase(ev.assign_var);
+          } else {
+            const auto v = eval_int_expr(ev.assign_expr, env);
+            if (v.has_value()) {
+              env[ev.assign_var] = *v;
+            } else {
+              env.erase(ev.assign_var);
+            }
+          }
+          break;
+        case EventKind::kMpiCall:
+          handle_call(ev.call, nullptr, ev.line, ev.column);
+          break;
+        case EventKind::kDirective:
+          handle_directive(ev);
+          break;
+        case EventKind::kRegionEnter:
+          record_extents(ev.directive);
+          break;
+        case EventKind::kRegionExit:
+        case EventKind::kGuardEnter:
+        case EventKind::kGuardExit:
+          break;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+RankSimResult simulate_ranks(const DirectiveStream& stream, int nranks) {
+  RankSimResult res;
+  res.nranks = nranks;
+  bool saw_rank = false;
+  bool saw_size = false;
+  for (int r = 0; r < nranks; ++r) {
+    RankInterp interp(stream, nranks, r, res);
+    interp.run();
+    saw_rank = saw_rank || !interp.rank_var.empty();
+    saw_size = saw_size || !interp.size_var.empty();
+    res.traces.push_back(std::move(interp.trace));
+  }
+  res.has_rank_size = saw_rank && saw_size;
+  return res;
+}
+
+}  // namespace impacc::trans::analysis

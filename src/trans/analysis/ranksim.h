@@ -1,0 +1,121 @@
+// Rank-symbolic execution for impacc-lint (`--ranks N`).
+//
+// The single-rank passes in dataflow.h see one undifferentiated stream;
+// real MPI+OpenACC programs branch on the rank (`if (rank == 0)`,
+// even/odd pairing, `rank + 1` neighbours). This pass interprets the
+// directive stream once per symbolic rank in [0, N): it binds the rank
+// and size variables from MPI_Comm_rank/MPI_Comm_size, evaluates guard
+// conditions and scalar assignments with a small integer-expression
+// evaluator, and lowers every communication-relevant event into a
+// per-rank operation trace. commgraph.h matches those traces into a
+// static communication graph (deadlock / match analyses) and hbclock.h
+// runs vector clocks over them (race analyses).
+//
+// Control flow is approximated as straight-line code: each branch whose
+// condition evaluates to a known value is taken or skipped exactly;
+// branches with unknown conditions are included but poison the trace's
+// exactness (comm_exact), which gates the deadlock/match analyses so
+// they never report on programs the model cannot see precisely. Loops
+// are not unrolled — a loop body contributes its operations once, and
+// variables mutated in loop headers become unknown.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trans/analysis/dataflow.h"
+
+namespace impacc::trans::analysis {
+
+/// Values of the MPI sentinels the evaluator understands (the common
+/// MPICH/Open MPI encodings; only their identity matters here).
+constexpr long kMpiProcNull = -2;
+constexpr long kMpiAnySource = -1;
+constexpr long kMpiAnyTag = -1;
+
+/// Variable bindings for one symbolic rank.
+using IntEnv = std::map<std::string, long>;
+
+/// Evaluate a C integer expression over `env`. Supports decimal/hex
+/// literals, bound identifiers, MPI_PROC_NULL / MPI_ANY_SOURCE /
+/// MPI_ANY_TAG, unary + - ! ~, binary * / % + - << >> < > <= >= == !=
+/// & ^ | && ||, parentheses, and the ternary ?: operator. && and ||
+/// short-circuit, so an unknown operand on the dead side does not
+/// poison a decidable condition. Returns nullopt when the expression
+/// references an unbound identifier, divides by zero, or fails to parse.
+std::optional<long> eval_int_expr(const std::string& expr, const IntEnv& env);
+
+enum class RankOpKind : int {
+  kSend,        // point-to-point send (blocking or nonblocking)
+  kRecv,        // point-to-point receive
+  kCollective,  // MPI_Barrier / Bcast / Reduce / Allreduce / ...
+  kAccWait,     // #pragma acc wait [(q...)]
+  kHostWait,    // MPI_Wait / Waitall / Waitany
+  kQueueOp,     // non-MPI work on an async queue (compute, update, ...)
+  kHostAccess,  // host-path access to buffers (plain call, sync update)
+};
+
+/// One buffer touched by an operation, with direction.
+struct BufferAccess {
+  std::string var;
+  bool write = false;
+};
+
+/// One operation in a rank's trace, in program order.
+struct RankOp {
+  RankOpKind kind = RankOpKind::kHostAccess;
+  int line = 0;
+  int column = 1;
+
+  // point-to-point
+  std::string name;           // MPI routine (also for collectives)
+  bool blocking = false;      // MPI_Send/Ssend/Recv not on an async queue
+  std::optional<long> peer;   // resolved peer rank (nullopt = unknown)
+  std::optional<long> tag;    // nullopt = unknown
+  std::string count_text;     // raw count argument
+  std::optional<long> count;  // evaluated count, when constant
+  std::string dtype;          // raw datatype argument
+  std::string buffer;         // base identifier of the data buffer
+  std::optional<long> extent; // device extent of `buffer` (elements)
+  std::string request;        // base identifier of the request object
+  std::string comm;           // raw communicator argument
+
+  // queue attachment (the unified activity queue of §3.5)
+  bool has_queue = false;
+  std::string queue;  // textual async argument; "" = no-value queue
+
+  // kAccWait
+  bool wait_all = false;
+  std::vector<std::string> wait_queues;
+
+  // kQueueOp / kHostAccess
+  std::vector<BufferAccess> accesses;
+  std::vector<std::string> wait_clause;  // wait(q) clause on the construct
+
+  bool guarded_unknown = false;  // an enclosing guard was undecidable
+};
+
+struct RankTrace {
+  int rank = 0;
+  std::vector<RankOp> ops;
+};
+
+struct RankSimResult {
+  int nranks = 0;
+  /// Both MPI_Comm_rank and MPI_Comm_size were seen, so the traces are
+  /// genuinely rank-differentiated.
+  bool has_rank_size = false;
+  /// Every p2p peer/tag resolved to a concrete value, every comm-relevant
+  /// guard was decidable, and no unmodeled MPI communication call
+  /// appeared. The deadlock/match analyses only run when this holds —
+  /// the model must see the program exactly to accuse it.
+  bool comm_exact = true;
+  std::vector<RankTrace> traces;
+};
+
+/// Interpret `stream` once per rank in [0, nranks).
+RankSimResult simulate_ranks(const DirectiveStream& stream, int nranks);
+
+}  // namespace impacc::trans::analysis

@@ -8,6 +8,7 @@
 #include "common/log.h"
 #include "ult/asan_fiber.h"
 #include "ult/scheduler.h"
+#include "ult/tsan_fiber.h"
 
 namespace impacc::ult {
 
@@ -46,9 +47,12 @@ Fiber::Fiber(Scheduler* sched, std::uint64_t id, std::function<void()> entry,
   ::makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
                 static_cast<unsigned>(self >> 32),
                 static_cast<unsigned>(self & 0xffffffffu));
+
+  tsan_fiber_ = tsan::create_fiber();
 }
 
 Fiber::~Fiber() {
+  tsan::destroy_fiber(tsan_fiber_);
   if (stack_base_ != nullptr) ::munmap(stack_base_, stack_total_);
 }
 

@@ -80,6 +80,7 @@ class Fiber {
   void* stack_lo_ = nullptr;        // usable stack bottom (above the guard)
   std::size_t stack_usable_ = 0;    // usable stack size
   void* asan_fake_stack_ = nullptr;  // ASan fake-stack save slot
+  void* tsan_fiber_ = nullptr;       // TSan shadow context handle
   ucontext_t context_{};
 
   // Fine-grained state for the park/unpark protocol; see scheduler.cpp for

@@ -5,6 +5,7 @@
 #include "common/log.h"
 #include "common/types.h"
 #include "ult/asan_fiber.h"
+#include "ult/tsan_fiber.h"
 
 #if IMPACC_ASAN
 #include <pthread.h>
@@ -32,6 +33,9 @@ FiberState Fiber::state() const {
 namespace {
 thread_local Fiber* tls_current = nullptr;
 thread_local ucontext_t tls_worker_context;
+// The worker thread's own TSan shadow context, so a fiber switching back
+// to the scheduler can name it as the target. nullptr when TSan is off.
+thread_local void* tls_worker_tsan_fiber = nullptr;
 
 #if IMPACC_ASAN
 // ASan bookkeeping for the worker side of each switch: the worker's own
@@ -202,6 +206,7 @@ void Scheduler::switch_to_scheduler() {
   asan::start_switch(dying ? nullptr : &f->asan_fake_stack_,
                      tls_worker_stack_lo, tls_worker_stack_size);
 #endif
+  tsan::switch_to(tls_worker_tsan_fiber);
   ::swapcontext(&f->context_, &tls_worker_context);
   // Back on this fiber after a later resume.
   asan::finish_switch(f->asan_fake_stack_);
@@ -211,6 +216,7 @@ void Scheduler::worker_main(int /*index*/) {
 #if IMPACC_ASAN
   init_worker_stack_bounds();
 #endif
+  tls_worker_tsan_fiber = tsan::current_fiber();
   for (;;) {
     Fiber* f = pop_runnable();
     if (f == nullptr) return;  // shutdown
@@ -220,6 +226,7 @@ void Scheduler::worker_main(int /*index*/) {
     asan::start_switch(&tls_worker_fake_stack, f->stack_lo_,
                        f->stack_usable_);
 #endif
+    tsan::switch_to(f->tsan_fiber_);
     ::swapcontext(&tls_worker_context, &f->context_);
 #if IMPACC_ASAN
     asan::finish_switch(tls_worker_fake_stack);

@@ -1,0 +1,76 @@
+// ThreadSanitizer fiber-switch annotations.
+//
+// TSan maintains per-thread shadow state (clocks, stack traces); a
+// swapcontext moves execution between stacks without telling it, so
+// every fiber hop would look like impossible same-thread races. The
+// fiber API fixes this: give each fiber its own shadow context with
+// __tsan_create_fiber, and announce every hop with
+// __tsan_switch_to_fiber immediately before the swapcontext (flags = 0
+// makes the switch itself a synchronization point, matching the
+// scheduler's real handoff ordering). Mirrors asan_fiber.h: the
+// wrappers compile to nothing when TSan is off, so the scheduler calls
+// them unconditionally.
+#pragma once
+
+#if defined(__SANITIZE_THREAD__)
+#define IMPACC_TSAN 1
+#endif
+#if !defined(IMPACC_TSAN) && defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define IMPACC_TSAN 1
+#endif
+#endif
+#ifndef IMPACC_TSAN
+#define IMPACC_TSAN 0
+#endif
+
+#if IMPACC_TSAN
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}  // extern "C"
+#endif
+
+namespace impacc::ult::tsan {
+
+/// Allocate a shadow context for a new fiber. Returns nullptr when TSan
+/// is off.
+inline void* create_fiber() {
+#if IMPACC_TSAN
+  return __tsan_create_fiber(0);
+#else
+  return nullptr;
+#endif
+}
+
+/// Release a fiber's shadow context. Must not be the running fiber.
+inline void destroy_fiber(void* fiber) {
+#if IMPACC_TSAN
+  if (fiber != nullptr) __tsan_destroy_fiber(fiber);
+#else
+  (void)fiber;
+#endif
+}
+
+/// Shadow context of the calling thread/fiber (so a worker can name
+/// itself as a switch target later). Returns nullptr when TSan is off.
+inline void* current_fiber() {
+#if IMPACC_TSAN
+  return __tsan_get_current_fiber();
+#else
+  return nullptr;
+#endif
+}
+
+/// Call immediately before the swapcontext that enters `fiber`.
+inline void switch_to(void* fiber) {
+#if IMPACC_TSAN
+  if (fiber != nullptr) __tsan_switch_to_fiber(fiber, 0);
+#else
+  (void)fiber;
+#endif
+}
+
+}  // namespace impacc::ult::tsan

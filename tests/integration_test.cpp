@@ -10,6 +10,7 @@
 #include "apps/lulesh/driver.h"
 #include "impacc.h"
 #include "sim/costmodel.h"
+#include "ult/tsan_fiber.h"
 
 namespace impacc {
 namespace {
@@ -310,6 +311,13 @@ TEST(Ablation, SerializedInternodeMpiHurtsScaling) {
   // in real arrival order, so individual makespans jitter with thread
   // scheduling; a communication-heavy workload and a best-of-three on
   // each side keep the comparison out of the noise.
+#if IMPACC_TSAN
+  // The contrast rides on real lock-arrival order; TSan serializes
+  // threads so heavily that the serialized-vs-multiple gap drowns in
+  // scheduling noise. The race coverage TSan is here for lives in the
+  // runtime itself, not in this timing property.
+  GTEST_SKIP() << "timing-contrast assertion is noise under TSan";
+#endif
   apps::JacobiConfig cfg;
   cfg.n = 4096;
   cfg.iterations = 8;

@@ -1,0 +1,22 @@
+/* Clean: even/odd pairing — even ranks send first then receive, odd
+ * ranks receive first then send, so every blocking operation meets an
+ * already-posted partner. The partner expression exercises the
+ * evaluator's ternary and modulo handling, and the `size` guard keeps
+ * the last even rank quiet when it has no odd partner. */
+void evenodd(double* a, double* b, int n) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  int partner = rank % 2 == 0 ? rank + 1 : rank - 1;
+  if (rank % 2 == 0 && partner < size) {
+    MPI_Send(a, n, MPI_DOUBLE, partner, 2, MPI_COMM_WORLD);
+    MPI_Recv(b, n, MPI_DOUBLE, partner, 2, MPI_COMM_WORLD,
+             MPI_STATUS_IGNORE);
+  } else if (rank % 2 == 1) {
+    MPI_Recv(b, n, MPI_DOUBLE, partner, 2, MPI_COMM_WORLD,
+             MPI_STATUS_IGNORE);
+    MPI_Send(a, n, MPI_DOUBLE, partner, 2, MPI_COMM_WORLD);
+  }
+  MPI_Barrier(MPI_COMM_WORLD);
+}

@@ -1,0 +1,25 @@
+/* Clean: a 1-D halo stencil exchange. Boundary ranks aim their missing
+ * neighbour at MPI_PROC_NULL (the evaluator resolves the ternaries per
+ * rank and drops those no-op transfers), interior ranks exchange both
+ * halos on one async queue, device-to-device. */
+void halo(double* u, double* lo, double* hi, int n, int m) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  int up = rank == 0 ? MPI_PROC_NULL : rank - 1;
+  int down = rank == size - 1 ? MPI_PROC_NULL : rank + 1;
+#pragma acc data copyin(u[0:n]) copy(lo[0:m]) copy(hi[0:m])
+  {
+#pragma acc mpi sendbuf(device) async(1)
+    MPI_Isend(u, m, MPI_DOUBLE, up, 11, MPI_COMM_WORLD, &req0);
+#pragma acc mpi sendbuf(device) async(1)
+    MPI_Isend(u, m, MPI_DOUBLE, down, 12, MPI_COMM_WORLD, &req1);
+#pragma acc mpi recvbuf(device) async(1)
+    MPI_Irecv(lo, m, MPI_DOUBLE, up, 12, MPI_COMM_WORLD, &req2);
+#pragma acc mpi recvbuf(device) async(1)
+    MPI_Irecv(hi, m, MPI_DOUBLE, down, 11, MPI_COMM_WORLD, &req3);
+#pragma acc wait(1)
+  }
+  MPI_Barrier(MPI_COMM_WORLD);
+}

@@ -1,0 +1,22 @@
+/* Clean: the ring exchange of imp013_deadlock_ring.c rewritten with
+ * nonblocking acc mpi operations on one async queue. The unified
+ * activity queue posts both transfers before the wait, so every send
+ * meets its receive and the wait-for graph is acyclic — the deadlock
+ * analysis must prove this ring deadlock-free. */
+void ring_async(double* a, double* b, int n) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  int next = (rank + 1) % size;
+  int prev = (rank + size - 1) % size;
+#pragma acc data copyin(a[0:n]) copyout(b[0:n])
+  {
+#pragma acc mpi sendbuf(device) async(1)
+    MPI_Isend(a, n, MPI_DOUBLE, next, 7, MPI_COMM_WORLD, &sreq);
+#pragma acc mpi recvbuf(device) async(1)
+    MPI_Irecv(b, n, MPI_DOUBLE, prev, 7, MPI_COMM_WORLD, &rreq);
+#pragma acc wait(1)
+  }
+  MPI_Barrier(MPI_COMM_WORLD);
+}

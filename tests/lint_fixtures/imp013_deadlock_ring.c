@@ -1,0 +1,15 @@
+/* IMP013: every rank does a blocking MPI_Send to its right neighbour
+ * before posting the matching receive — with rendezvous semantics no
+ * send can complete, so the ring of waits is a deadlock cycle.
+ * Rewriting these as `#pragma acc mpi ... async(1)` nonblocking ops
+ * (see clean_ring_async.c) breaks the cycle. */
+void ring(double* a, double* b, int n) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  int next = (rank + 1) % size;
+  int prev = (rank + size - 1) % size;
+  MPI_Send(a, n, MPI_DOUBLE, next, 7, MPI_COMM_WORLD);
+  MPI_Recv(b, n, MPI_DOUBLE, prev, 7, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+}

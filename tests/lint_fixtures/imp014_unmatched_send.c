@@ -1,0 +1,16 @@
+/* IMP014: rank 0 sends to rank 1, but no rank ever posts a matching
+ * receive (same source, tag, communicator). */
+void orphan_send(double* a, int n) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  if (rank == 0) {
+#pragma acc data copyin(a[0:n])
+    {
+#pragma acc mpi sendbuf(device) async(1)
+      MPI_Isend(a, n, MPI_DOUBLE, 1, 7, MPI_COMM_WORLD, &req);
+#pragma acc wait(1)
+    }
+  }
+}

@@ -1,0 +1,15 @@
+/* IMP015: rank 1 waits for a message from rank 0 that is never sent. */
+void orphan_recv(double* b, int n) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  if (rank == 1) {
+#pragma acc data copyout(b[0:n])
+    {
+#pragma acc mpi recvbuf(device) async(1)
+      MPI_Irecv(b, n, MPI_DOUBLE, 0, 9, MPI_COMM_WORLD, &req);
+#pragma acc wait(1)
+    }
+  }
+}

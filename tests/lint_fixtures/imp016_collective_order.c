@@ -1,0 +1,13 @@
+/* IMP016: only rank 0 enters the reduction, so the ranks disagree on
+ * which collective comes first — rank 0 sits in MPI_Reduce while the
+ * others are already in MPI_Barrier. */
+void skewed_reduce(double* x, double* y) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  if (rank == 0) {
+    MPI_Reduce(x, y, 4, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);
+  }
+  MPI_Barrier(MPI_COMM_WORLD);
+}

@@ -1,0 +1,11 @@
+/* IMP017: the matched pair disagrees on the element count — rank 0
+ * sends 8 doubles but rank 1 only receives 4, truncating the message. */
+void short_recv(double* a, double* b) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  if (rank == 0) MPI_Send(a, 8, MPI_DOUBLE, 1, 5, MPI_COMM_WORLD);
+  if (rank == 1)
+    MPI_Recv(b, 4, MPI_DOUBLE, 0, 5, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+}

@@ -1,0 +1,11 @@
+/* IMP018: sender and receiver of one matched message use different
+ * basic MPI datatypes (MPI_DOUBLE vs MPI_FLOAT). */
+void wrong_type(double* a, float* b) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  if (rank == 0) MPI_Send(a, 6, MPI_DOUBLE, 1, 2, MPI_COMM_WORLD);
+  if (rank == 1)
+    MPI_Recv(b, 6, MPI_FLOAT, 0, 2, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+}

@@ -1,0 +1,10 @@
+/* IMP019: the update writes `field`'s device copy on async queue 2,
+ * and the host-path MPI_Send reads the buffer before any wait orders
+ * the two — the send may ship stale data. */
+void host_race(double* field, int n, int peer) {
+#pragma acc enter data copyin(field[0:n])
+#pragma acc update device(field[0:n]) async(2)
+  MPI_Send(field, n, MPI_DOUBLE, peer, 0, MPI_COMM_WORLD);
+#pragma acc wait(2)
+#pragma acc exit data delete(field[0:n])
+}

@@ -1,0 +1,13 @@
+/* IMP020: queue 1 is still writing `out` (update device) when the
+ * compute construct on queue 2 also writes it; the two queues have no
+ * ordering edge, so the final contents depend on scheduling. */
+void queue_race(double* out, int n) {
+#pragma acc enter data create(out[0:n])
+#pragma acc update device(out[0:n]) async(1)
+#pragma acc parallel loop copyout(out[0:n]) async(2)
+  for (int i = 0; i < n; ++i) {
+    out[i] = i;
+  }
+#pragma acc wait
+#pragma acc exit data delete(out[0:n])
+}

@@ -29,26 +29,54 @@ step "test suite"
 ctest --test-dir build-check/werror --output-on-failure --repeat until-pass:2 -j "$jobs"
 
 # --- 2. lint the shipped directive sources -----------------------------------
-step "impacc-lint over shipped sources"
+step "impacc-lint over shipped sources (multi-rank pass on)"
 lint="build-check/werror/tools/impacc-lint"
 fail=0
 for f in examples/*.c tests/lint_fixtures/clean_*.c; do
   [[ -e "$f" ]] || continue
-  if ! "$lint" -q "$f"; then
+  if ! "$lint" -q --werror --ranks 4 "$f"; then
     echo "lint FAILED: $f"
     fail=1
   fi
 done
 [[ "$fail" -eq 0 ]] || { echo "lint gate failed"; exit 1; }
 
-step "impacc-lint golden fixtures still fire"
+step "impacc-lint over embedded directive snippets"
+python3 tools/lint_embedded.py --lint "$lint" --werror --ranks 4 -- \
+  examples/*.cpp
+
+step "impacc-lint golden fixtures exit with the documented code"
+# Exit scheme: 0 clean, 1 warnings, 2 errors, 3 parse failure.
 for f in tests/lint_fixtures/imp0*.c; do
-  # --werror so warning-severity fixtures (IMP006/7/9/11) also gate.
-  if "$lint" -q --werror "$f" 2>/dev/null; then
-    echo "fixture no longer rejected: $f"
+  rc=0
+  "$lint" -q "$f" 2>/dev/null || rc=$?
+  case "$(basename "$f")" in
+    imp012*) want=3 ;;
+    imp006*|imp007*|imp009*|imp011*|imp020*) want=1 ;;
+    *) want=2 ;;
+  esac
+  if [[ "$rc" -ne "$want" ]]; then
+    echo "fixture $f: exit $rc, expected $want"
     exit 1
   fi
 done
+
+step "impacc-lint --werror promotes warning fixtures to exit 2"
+rc=0
+"$lint" -q --werror tests/lint_fixtures/imp006_async_never_waited.c \
+  2>/dev/null || rc=$?
+[[ "$rc" -eq 2 ]] || { echo "--werror should exit 2, got $rc"; exit 1; }
+
+# --- 2b. clang-tidy (when available) -----------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  step "clang-tidy (bugprone / concurrency / performance)"
+  cmake -B build-check/werror -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    >/dev/null
+  git ls-files 'src/*.cpp' 'tools/*.cpp' \
+    | xargs -P "$jobs" -n 8 clang-tidy -p build-check/werror --quiet
+else
+  step "clang-tidy not installed — skipping (CI runs it)"
+fi
 
 # --- 3. observability smoke ---------------------------------------------------
 step "impacc-smoke (trace + metrics self-validation)"
@@ -71,7 +99,7 @@ tools/bench_json.sh --smoke --build-dir build-check/werror \
 
 # --- 5. sanitizers -----------------------------------------------------------
 if [[ "$fast" -eq 0 ]]; then
-  for san in address undefined; do
+  for san in address undefined thread; do
     step "test suite under -fsanitize=$san"
     cmake -B "build-check/$san" -S . -DIMPACC_SANITIZE="$san" >/dev/null
     cmake --build "build-check/$san" -j "$jobs"

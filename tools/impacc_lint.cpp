@@ -6,11 +6,17 @@
 //     --json                     shorthand for --format json
 //     --sarif                    shorthand for --format sarif
 //     --werror                   treat warnings as errors
+//     --ranks N                  symbolic ranks for the multi-rank
+//                                pass (default 4; < 2 disables it)
 //     -q, --quiet                suppress the summary line
 //
-// Exit status: 0 when no error-level diagnostics were produced, 1 when
-// at least one error was reported, 2 on usage or I/O problems.
+// Exit status (most severe wins):
+//   0  clean
+//   1  warnings only
+//   2  at least one error
+//   3  parse failure (IMP012) or a usage / I/O problem
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -26,9 +32,9 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--format text|json|sarif] [--json] [--sarif] "
-               "[--werror] [-q] [file...]\n",
+               "[--werror] [--ranks N] [-q] [file...]\n",
                argv0);
-  return 2;
+  return 3;
 }
 
 bool read_all(const std::string& path, std::string* out) {
@@ -69,6 +75,15 @@ int main(int argc, char** argv) {
       format = "sarif";
     } else if (arg == "--werror") {
       options.warnings_as_errors = true;
+    } else if (arg == "--ranks") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      char* end = nullptr;
+      const long n = std::strtol(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || n < 0 || n > 64) {
+        std::fprintf(stderr, "--ranks expects an integer in 0..64\n");
+        return usage(argv[0]);
+      }
+      options.ranks = static_cast<int>(n);
     } else if (arg == "-q" || arg == "--quiet") {
       quiet = true;
     } else if (arg == "-h" || arg == "--help") {
@@ -89,15 +104,17 @@ int main(int argc, char** argv) {
   std::vector<FileDiagnostics> files;
   int total_errors = 0;
   int total_warnings = 0;
+  int total_parse_failures = 0;
   for (const auto& path : inputs) {
     std::string source;
     if (!read_all(path, &source)) {
       std::fprintf(stderr, "cannot open %s\n", path.c_str());
-      return 2;
+      return 3;
     }
     const LintResult result = lint_source(source, options);
     total_errors += result.errors;
     total_warnings += result.warnings;
+    total_parse_failures += result.parse_failures;
     files.push_back(
         {path.empty() ? "<stdin>" : path, result.diagnostics});
   }
@@ -117,5 +134,8 @@ int main(int argc, char** argv) {
                    total_errors, total_warnings, files.size());
     }
   }
-  return total_errors > 0 ? 1 : 0;
+  if (total_parse_failures > 0) return 3;
+  if (total_errors > 0) return 2;
+  if (total_warnings > 0) return 1;
+  return 0;
 }

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Lint MPI+OpenACC snippets embedded in C++ raw string literals.
+
+Sources like examples/translate_demo.cpp carry directive programs inside
+R"(...)" literals, invisible to impacc-lint's file-level scanner. This
+gate extracts every raw string that contains an `#pragma acc` directive,
+writes it to a temp file, and runs impacc-lint over it with the caller's
+flags. Exit code is the maximum lint exit code over all snippets (so the
+0/1/2/3 severity scheme survives aggregation).
+
+Usage: lint_embedded.py --lint <impacc-lint> [lint flags --] file...
+"""
+import re
+import subprocess
+import sys
+import tempfile
+
+RAW_STRING = re.compile(r'R"([A-Za-z_]{0,16})\((.*?)\)\1"', re.S)
+
+
+def main(argv):
+    if len(argv) < 3 or argv[1] != "--lint":
+        print(__doc__, file=sys.stderr)
+        return 3
+    lint = argv[2]
+    rest = argv[3:]
+    if "--" in rest:
+        split = rest.index("--")
+        flags, files = rest[:split], rest[split + 1:]
+    else:
+        flags, files = [], rest
+
+    worst = 0
+    snippets = 0
+    for path in files:
+        try:
+            text = open(path, encoding="utf-8", errors="replace").read()
+        except OSError as err:
+            print(f"lint_embedded: cannot read {path}: {err}",
+                  file=sys.stderr)
+            return 3
+        for i, m in enumerate(RAW_STRING.finditer(text)):
+            body = m.group(2)
+            if "#pragma acc" not in body:
+                continue
+            snippets += 1
+            line = text.count("\n", 0, m.start()) + 1
+            with tempfile.NamedTemporaryFile(
+                    "w", suffix=".c", delete=False) as tmp:
+                tmp.write(body)
+                name = tmp.name
+            proc = subprocess.run([lint, *flags, name],
+                                  capture_output=True, text=True)
+            if proc.returncode != 0:
+                label = f"{path}:{line} (embedded snippet #{i})"
+                print(f"-- findings in {label} --")
+                sys.stdout.write(
+                    proc.stdout.replace(name, label))
+                sys.stderr.write(
+                    proc.stderr.replace(name, label))
+            worst = max(worst, proc.returncode)
+    print(f"lint_embedded: {snippets} snippet(s) checked, "
+          f"worst exit {worst}")
+    return worst
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
