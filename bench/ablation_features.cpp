@@ -37,6 +37,8 @@ const Variant kVariants[] = {
      [](core::LaunchOptions& o) { o.features.gpudirect_rdma = false; }},
     {"no-chunking",
      [](core::LaunchOptions& o) { o.features.chunk_pipeline = false; }},
+    {"no-hier-collectives",
+     [](core::LaunchOptions& o) { o.features.hier_collectives = false; }},
     {"serialized-mpi",
      [](core::LaunchOptions& o) { o.cluster.mpi_thread_multiple = false; }},
     {"baseline",

@@ -1,0 +1,137 @@
+// Collective latency: the node-aware two-level algorithms (section 3.5)
+// against the flat schedules they replace.
+//
+// Not a paper figure — the paper reports collective effects only through
+// the applications — but the two-level rework needs its own series: each
+// (system, collective, payload) point runs with hier_collectives on and
+// off and reports the simulated time of one call, measured marginally so
+// launch and teardown overheads cancel.
+#include <map>
+
+#include "bench_common.h"
+
+namespace impacc::bench {
+namespace {
+
+enum class Coll { kBarrier, kBcast, kAllreduce, kAllgather, kReduceScatter };
+
+const char* coll_name(Coll c) {
+  switch (c) {
+    case Coll::kBarrier: return "barrier";
+    case Coll::kBcast: return "bcast";
+    case Coll::kAllreduce: return "allreduce";
+    case Coll::kAllgather: return "allgather";
+    case Coll::kReduceScatter: return "reduce_scatter";
+  }
+  return "?";
+}
+
+/// One collective call. `bytes` is the payload a rank contributes (the
+/// per-rank block for allgather / reduce_scatter_block); model-only runs
+/// accept null buffers, the counts are what the cost model sees.
+void call_coll(Coll c, std::uint64_t bytes) {
+  auto w = mpi::world();
+  const int count = static_cast<int>(bytes);
+  switch (c) {
+    case Coll::kBarrier:
+      mpi::barrier(w);
+      break;
+    case Coll::kBcast:
+      mpi::bcast(nullptr, count, mpi::Datatype::kByte, 0, w);
+      break;
+    case Coll::kAllreduce:
+      mpi::allreduce(nullptr, nullptr, count, mpi::Datatype::kByte,
+                     mpi::Op::kSum, w);
+      break;
+    case Coll::kAllgather:
+      mpi::allgather(nullptr, count, mpi::Datatype::kByte, nullptr, count,
+                     mpi::Datatype::kByte, w);
+      break;
+    case Coll::kReduceScatter:
+      mpi::reduce_scatter_block(nullptr, nullptr, count,
+                                mpi::Datatype::kByte, mpi::Op::kSum, w);
+      break;
+  }
+}
+
+/// Marginal simulated time of one collective call on the given system.
+sim::Time coll_time(const std::string& system, int nodes, bool hier, Coll c,
+                    std::uint64_t bytes) {
+  static std::map<std::string, sim::Time> cache;
+  const std::string key = system + std::to_string(nodes) +
+                          std::to_string(hier) +
+                          std::to_string(static_cast<int>(c)) +
+                          std::to_string(bytes);
+  if (auto it = cache.find(key); it != cache.end()) return it->second;
+  auto run = [&](int reps) {
+    auto o = model_options(system, nodes, core::Framework::kImpacc);
+    o.features.hier_collectives = hier;
+    return launch(o, [c, bytes, reps] {
+             for (int i = 0; i < reps; ++i) call_coll(c, bytes);
+           })
+        .makespan;
+  };
+  const sim::Time t = (run(3) - run(1)) / 2.0;
+  cache[key] = t;
+  return t;
+}
+
+void register_benchmarks() {
+  struct System {
+    const char* label;
+    const char* name;
+    int nodes;
+  };
+  // Titan-like: one GPU per node, the inter-node phase dominates. PSG x3:
+  // eight ranks per node, the shared-memory phase matters too.
+  const std::vector<System> systems = {
+      {"Coll titan 8n", "titan", 8},
+      {"Coll psg 3nx8", "psg", 3},
+  };
+  const std::vector<Coll> colls = {Coll::kBarrier, Coll::kBcast,
+                                   Coll::kAllreduce, Coll::kAllgather,
+                                   Coll::kReduceScatter};
+  const std::vector<std::uint64_t> sizes =
+      bench_smoke() ? std::vector<std::uint64_t>{4096}
+                    : std::vector<std::uint64_t>{4096, 256 << 10, 4 << 20};
+  for (const System& s : systems) {
+    for (const Coll c : colls) {
+      // Barrier carries no payload; run it at a single size point.
+      const std::vector<std::uint64_t> pts =
+          c == Coll::kBarrier ? std::vector<std::uint64_t>{0} : sizes;
+      for (const std::uint64_t bytes : pts) {
+        const sim::Time hier_t = coll_time(s.name, s.nodes, true, c, bytes);
+        const sim::Time flat_t = coll_time(s.name, s.nodes, false, c, bytes);
+        add_row(std::string(s.label) + " " + coll_name(c),
+                std::to_string(bytes >> 10) + "KB", hier_t * 1e3,
+                flat_t * 1e3, "ms simulated (hier vs flat)");
+        for (const bool hier : {true, false}) {
+          const sim::Time t = hier ? hier_t : flat_t;
+          const std::string name = std::string("Coll/") + s.name + "/" +
+                                   std::to_string(s.nodes) + "n/" +
+                                   coll_name(c) + "/" +
+                                   (hier ? "hier" : "flat") + "/" +
+                                   std::to_string(bytes);
+          benchmark::RegisterBenchmark(
+              name.c_str(),
+              [t, hier_t, flat_t](benchmark::State& st) {
+                for (auto _ : st) {
+                  st.SetIterationTime(t);
+                  st.counters["vs_flat"] = flat_t > 0 ? t / flat_t : 1.0;
+                  st.counters["hier_speedup"] =
+                      hier_t > 0 ? flat_t / hier_t : 1.0;
+                }
+              })
+              ->UseManualTime()
+              ->Iterations(1);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace impacc::bench
+
+using impacc::bench::register_benchmarks;
+IMPACC_BENCH_MAIN("Collectives", "two-level (node-aware) vs flat collective latency")

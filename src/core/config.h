@@ -32,6 +32,10 @@ struct Features {
   bool numa_pinning = true;      // near-socket task pinning (section 3.3)
   bool gpudirect_rdma = true;    // use fabric RDMA when available
   bool chunk_pipeline = true;    // chunked internode transfers (section 3.5)
+  // Node-aware two-level collectives (section 3.5): intra-node shared
+  // memory phase + inter-node phase over per-node leaders. Also
+  // overridable via the IMPACC_HIER_COLLECTIVES environment variable.
+  bool hier_collectives = true;
 };
 
 /// OpenACC device-type selection bits (IMPACC_ACC_DEVICE_TYPE, Fig. 2).

@@ -125,6 +125,12 @@ Runtime::Runtime(LaunchOptions opts)
       opts_.metrics_path = env;
     }
   }
+  // IMPACC_HIER_COLLECTIVES=0|off|false disables the node-aware two-level
+  // collectives without rebuilding (ablation runs); anything else enables.
+  if (const char* env = std::getenv("IMPACC_HIER_COLLECTIVES")) {
+    const std::string v = env;
+    opts_.features.hier_collectives = !(v == "0" || v == "off" || v == "false");
+  }
   if (!opts_.trace_path.empty()) {
     trace_ = std::make_shared<sim::TraceSink>();
   }

@@ -1,3 +1,4 @@
+#include <climits>
 #include <cstring>
 #include <vector>
 
@@ -5,6 +6,7 @@
 #include "core/runtime.h"
 #include "core/task.h"
 #include "mpi/api.h"
+#include "obs/obs.h"
 
 namespace impacc::mpi {
 
@@ -17,6 +19,12 @@ using core::Task;
 // apart (MPI requires identical call order on all members).
 constexpr int kCollTagBase = 1 << 24;
 
+// Inter-node payloads above this switch from latency-optimal binomial /
+// recursive-doubling schedules to bandwidth-optimal reduce-scatter based
+// ones (Rabenseifner); the crossover sits a little above the fabric's
+// eager threshold.
+constexpr std::uint64_t kHierLargeBytes = 64u << 10;
+
 int next_coll_tag(Task& t, Comm comm) {
   int& seq = t.collective_seq[comm->context_id()];
   const int tag = kCollTagBase + (seq & 0x7fffff);
@@ -28,8 +36,15 @@ bool functional() {
   return core::require_task("collective").rt->functional();
 }
 
+/// Node-aware two-level collectives (section 3.5): enabled for the IMPACC
+/// framework unless the ablation flag (or IMPACC_HIER_COLLECTIVES) turns
+/// them off. The baseline process model keeps the flat algorithms.
+bool hier_on(Task& t) {
+  return t.rt->is_impacc() && t.rt->features().hier_collectives;
+}
+
 /// Group communicator ranks by node, preserving rank order. Used by the
-/// node-aware broadcast.
+/// node-aware broadcast and the hierarchical collectives.
 std::vector<std::vector<int>> ranks_by_node(Task& t, Comm comm) {
   std::vector<std::vector<int>> groups(
       static_cast<std::size_t>(t.rt->num_nodes()));
@@ -42,6 +57,223 @@ std::vector<std::vector<int>> ranks_by_node(Task& t, Comm comm) {
     if (!g.empty()) out.push_back(std::move(g));
   }
   return out;
+}
+
+/// Records the call's virtual duration on the calling rank into the
+/// per-kind coll.*.seconds histogram. Metrics never advance the clock, so
+/// instrumented runs stay bit-for-bit identical in virtual time.
+class CollScope {
+ public:
+  CollScope(Task& t, obs::CollKind kind)
+      : t_(t), kind_(kind), start_(t.clock.now()) {}
+  ~CollScope() {
+    if (obs::Observability* ob = t_.rt->obs()) {
+      ob->coll_seconds[static_cast<int>(kind_)]->record(t_.clock.now() -
+                                                        start_);
+    }
+  }
+  CollScope(const CollScope&) = delete;
+  CollScope& operator=(const CollScope&) = delete;
+
+ private:
+  Task& t_;
+  obs::CollKind kind_;
+  sim::Time start_;
+};
+
+/// Account a collective leg whose peer lives on another node. The
+/// coll.internode.bytes counter is what the hierarchy tests assert: the
+/// node-aware algorithms put each payload on the fabric at most once per
+/// node, the flat ones do not.
+void note_send(Task& t, Comm comm, int dst, std::uint64_t bytes) {
+  obs::Observability* ob = t.rt->obs();
+  if (ob == nullptr) return;
+  if (t.rt->task(comm->global_of(dst)).node->index == t.node->index) return;
+  ob->coll_internode_bytes->add(bytes);
+  ob->coll_internode_msgs->add(1);
+}
+
+void csend(Task& t, Comm comm, const void* buf, int count, Datatype dt,
+           int dst, int tag) {
+  note_send(t, comm, dst, static_cast<std::uint64_t>(count) * datatype_size(dt));
+  send(buf, count, dt, dst, tag, comm);
+}
+
+Request cisend(Task& t, Comm comm, const void* buf, int count, Datatype dt,
+               int dst, int tag) {
+  note_send(t, comm, dst, static_cast<std::uint64_t>(count) * datatype_size(dt));
+  return isend(buf, count, dt, dst, tag, comm);
+}
+
+/// Per-node leader structure for the two-level algorithms. Leaders default
+/// to each group's lowest rank; for rooted collectives the root replaces
+/// its own node's leader so the final hop is free.
+struct Hier {
+  std::vector<std::vector<int>> groups;  // comm ranks grouped by node
+  std::vector<int> leaders;              // leader rank of each group
+  int my_group = -1;
+  int root_group = -1;  // -1 for rootless collectives
+  int my_leader = -1;
+  bool is_leader = false;
+
+  int n() const { return static_cast<int>(groups.size()); }
+  const std::vector<int>& local() const {
+    return groups[static_cast<std::size_t>(my_group)];
+  }
+};
+
+Hier build_hier(Task& t, Comm comm, int rank, int root = -1) {
+  Hier h;
+  h.groups = ranks_by_node(t, comm);
+  for (std::size_t g = 0; g < h.groups.size(); ++g) {
+    for (int r : h.groups[g]) {
+      if (r == rank) h.my_group = static_cast<int>(g);
+      if (r == root) h.root_group = static_cast<int>(g);
+    }
+    h.leaders.push_back(h.groups[g].front());
+  }
+  IMPACC_CHECK(h.my_group >= 0);
+  if (root >= 0) {
+    IMPACC_CHECK(h.root_group >= 0);
+    h.leaders[static_cast<std::size_t>(h.root_group)] = root;
+  }
+  h.my_leader = h.leaders[static_cast<std::size_t>(h.my_group)];
+  h.is_leader = h.my_leader == rank;
+  return h;
+}
+
+/// Fold the collected per-member vectors into vecs[0] with binomial-tree
+/// association. This matches the grouping of the flat binomial reduction
+/// (floating-point addition is commutative bitwise, so only the grouping
+/// matters), keeping single-node IMPACC runs bitwise identical to the
+/// baseline framework's flat algorithms.
+void tree_fold(std::vector<std::vector<unsigned char>>& vecs, int count,
+               Datatype dt, Op op) {
+  const int k = static_cast<int>(vecs.size());
+  for (int mask = 1; mask < k; mask <<= 1) {
+    for (int i = 0; i + mask < k; i += 2 * mask) {
+      apply_op(vecs[static_cast<std::size_t>(i)].data(),
+               vecs[static_cast<std::size_t>(i + mask)].data(), count, dt, op);
+    }
+  }
+}
+
+/// Near-equal partition of `count` elements into n blocks; block b covers
+/// [blk_lo(b), blk_lo(b+1)).
+int blk_lo(int count, int n, int b) {
+  return static_cast<int>(static_cast<std::int64_t>(count) * b / n);
+}
+
+int blk_count(int count, int n, int b) {
+  return blk_lo(count, n, b + 1) - blk_lo(count, n, b);
+}
+
+/// Recursive doubling allreduce over the leaders with the standard
+/// non-power-of-two fold-in: the first `rem` odd leaders hand their
+/// contribution to the even neighbor before the doubling rounds and
+/// collect the final vector afterwards. `acc` holds this leader's
+/// intra-node reduction on entry and the global one on exit.
+void leaders_allreduce_small(Task& t, Comm comm, const Hier& h, void* acc,
+                             int count, Datatype dt, Op op, int tag, bool fn,
+                             std::vector<unsigned char>& incoming) {
+  const int n = h.n();
+  const int me = h.my_group;
+  int pof2 = 1;
+  while (pof2 * 2 <= n) pof2 *= 2;
+  const int rem = n - pof2;
+  int vrank = -1;
+  if (me < 2 * rem) {
+    if (me % 2 == 1) {
+      csend(t, comm, fn ? acc : nullptr, count, dt,
+            h.leaders[static_cast<std::size_t>(me - 1)], tag);
+    } else {
+      recv(fn ? incoming.data() : nullptr, count, dt,
+           h.leaders[static_cast<std::size_t>(me + 1)], tag, comm);
+      if (fn) apply_op(acc, incoming.data(), count, dt, op);
+      vrank = me / 2;
+    }
+  } else {
+    vrank = me - rem;
+  }
+  if (vrank >= 0) {
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int vpeer = vrank ^ mask;
+      const int peer_g = vpeer < rem ? 2 * vpeer : vpeer + rem;
+      const int peer = h.leaders[static_cast<std::size_t>(peer_g)];
+      Request rr =
+          irecv(fn ? incoming.data() : nullptr, count, dt, peer, tag, comm);
+      csend(t, comm, fn ? acc : nullptr, count, dt, peer, tag);
+      wait(rr);
+      if (fn) apply_op(acc, incoming.data(), count, dt, op);
+    }
+  }
+  if (me < 2 * rem) {
+    if (me % 2 == 1) {
+      recv(fn ? acc : nullptr, count, dt,
+           h.leaders[static_cast<std::size_t>(me - 1)], tag, comm);
+    } else {
+      csend(t, comm, fn ? acc : nullptr, count, dt,
+            h.leaders[static_cast<std::size_t>(me + 1)], tag);
+    }
+  }
+}
+
+/// Pairwise reduce-scatter over element blocks of `acc` among the leaders:
+/// step s sends our (unmodified) copy of block (me+s) and folds the
+/// arriving contribution to block me, so afterwards every leader owns the
+/// fully reduced block of its own index. Only block me is ever written.
+void leaders_reduce_scatter(Task& t, Comm comm, const Hier& h, void* acc,
+                            int count, Datatype dt, Op op, int tag, bool fn) {
+  const int n = h.n();
+  const int me = h.my_group;
+  const std::uint64_t esz = datatype_size(dt);
+  auto* accb = static_cast<unsigned char*>(acc);
+  const int mine = blk_count(count, n, me);
+  std::vector<unsigned char> tmp(
+      fn ? static_cast<std::uint64_t>(mine) * esz : 0);
+  for (int step = 1; step < n; ++step) {
+    const int dst_g = (me + step) % n;
+    const int src_g = (me - step + n) % n;
+    Request rr =
+        irecv(fn ? tmp.data() : nullptr, mine, dt,
+              h.leaders[static_cast<std::size_t>(src_g)], tag, comm);
+    csend(t, comm,
+          fn ? accb + static_cast<std::uint64_t>(blk_lo(count, n, dst_g)) * esz
+             : nullptr,
+          blk_count(count, n, dst_g), dt,
+          h.leaders[static_cast<std::size_t>(dst_g)], tag);
+    wait(rr);
+    if (fn && mine > 0) {
+      apply_op(accb + static_cast<std::uint64_t>(blk_lo(count, n, me)) * esz,
+               tmp.data(), mine, dt, op);
+    }
+  }
+}
+
+/// Ring allgather of the per-leader blocks of `acc` (the second half of the
+/// Rabenseifner allreduce): n-1 steps, each forwarding the most recently
+/// completed block to the right neighbor.
+void leaders_ring_allgather(Task& t, Comm comm, const Hier& h, void* acc,
+                            int count, Datatype dt, int tag, bool fn) {
+  const int n = h.n();
+  const int me = h.my_group;
+  const std::uint64_t esz = datatype_size(dt);
+  auto* accb = static_cast<unsigned char*>(acc);
+  const int right = h.leaders[static_cast<std::size_t>((me + 1) % n)];
+  const int left = h.leaders[static_cast<std::size_t>((me - 1 + n) % n)];
+  for (int step = 0; step < n - 1; ++step) {
+    const int sg = (me - step + n) % n;
+    const int rg = (me - step - 1 + 2 * n) % n;
+    Request rr = irecv(
+        fn ? accb + static_cast<std::uint64_t>(blk_lo(count, n, rg)) * esz
+           : nullptr,
+        blk_count(count, n, rg), dt, left, tag, comm);
+    csend(t, comm,
+          fn ? accb + static_cast<std::uint64_t>(blk_lo(count, n, sg)) * esz
+             : nullptr,
+          blk_count(count, n, sg), dt, right, tag);
+    wait(rr);
+  }
 }
 
 }  // namespace
@@ -96,15 +328,50 @@ void apply_op(void* inout, const void* in, int count, Datatype dt, Op op) {
 
 void barrier(Comm comm) {
   Task& t = core::require_task("mpi::barrier outside a task");
+  CollScope scope(t, obs::CollKind::kBarrier);
   const int rank = comm->rank_of_global(t.id);
   const int size = comm->size();
   const int tag = next_coll_tag(t, comm);
+  if (size == 1) return;
+  if (hier_on(t)) {
+    // Two-level barrier: members check in with their node leader over
+    // shared memory, the leaders run a dissemination barrier over the
+    // fabric, then each leader releases its node.
+    const Hier h = build_hier(t, comm, rank);
+    if (!h.is_leader) {
+      csend(t, comm, nullptr, 0, Datatype::kByte, h.my_leader, tag);
+      recv(nullptr, 0, Datatype::kByte, h.my_leader, tag, comm);
+      return;
+    }
+    for (int r : h.local()) {
+      if (r != rank) recv(nullptr, 0, Datatype::kByte, r, tag, comm);
+    }
+    const int n = h.n();
+    const int me = h.my_group;
+    for (int dist = 1; dist < n; dist <<= 1) {
+      const int to = h.leaders[static_cast<std::size_t>((me + dist) % n)];
+      const int from =
+          h.leaders[static_cast<std::size_t>((me - dist + n) % n)];
+      Request rr = irecv(nullptr, 0, Datatype::kByte, from, tag, comm);
+      Request sr = cisend(t, comm, nullptr, 0, Datatype::kByte, to, tag);
+      wait(sr);
+      wait(rr);
+    }
+    std::vector<Request> reqs;
+    for (int r : h.local()) {
+      if (r != rank) {
+        reqs.push_back(cisend(t, comm, nullptr, 0, Datatype::kByte, r, tag));
+      }
+    }
+    waitall(reqs);
+    return;
+  }
   // Dissemination barrier: ceil(log2(P)) rounds of zero-byte messages.
   for (int dist = 1; dist < size; dist <<= 1) {
     const int to = (rank + dist) % size;
-    const int from = (rank - dist % size + size) % size;
+    const int from = (rank - dist + size) % size;
     Request rr = irecv(nullptr, 0, Datatype::kByte, from, tag, comm);
-    Request sr = isend(nullptr, 0, Datatype::kByte, to, tag, comm);
+    Request sr = cisend(t, comm, nullptr, 0, Datatype::kByte, to, tag);
     wait(sr);
     wait(rr);
   }
@@ -112,7 +379,8 @@ void barrier(Comm comm) {
 
 void bcast(void* buf, int count, Datatype dt, int root, Comm comm) {
   Task& t = core::require_task("mpi::bcast outside a task");
-  const core::MpiHint hint = t.take_hint();  // readonly aliasing hints
+  CollScope scope(t, obs::CollKind::kBcast);
+  const core::MpiHint hint = t.take_hint();  // readonly / device clauses
   const int rank = comm->rank_of_global(t.id);
   const int size = comm->size();
   if (size == 1) return;
@@ -120,7 +388,10 @@ void bcast(void* buf, int count, Datatype dt, int root, Comm comm) {
 
   // Node-aware two-level broadcast (section 3.8): stage 1 is a binomial
   // tree over node leaders; stage 2 forwards within each node, where the
-  // heap-aliasing requirements can be met.
+  // heap-aliasing requirements can be met. A device clause on the caller's
+  // buffer flows through to every leg so the payload moves between the
+  // device copies directly.
+  const bool dev_clause = hint.send_device || hint.recv_device;
   const auto groups = ranks_by_node(t, comm);
   std::vector<int> leaders;
   leaders.reserve(groups.size());
@@ -159,12 +430,22 @@ void bcast(void* buf, int count, Datatype dt, int root, Comm comm) {
         if (vpeer < n) {
           const int peer = stage1[static_cast<std::size_t>(
               (vpeer + root_group) % n)];
-          send(buf, count, dt, peer, tag, comm);
+          if (dev_clause) {
+            core::MpiHint hs;
+            hs.send_device = true;
+            core::set_mpi_hint(hs);
+          }
+          csend(t, comm, buf, count, dt, peer, tag);
         }
       } else if (vme < 2 * mask) {
         const int vpeer = vme - mask;
         const int peer =
             stage1[static_cast<std::size_t>((vpeer + root_group) % n)];
+        if (dev_clause) {
+          core::MpiHint hr;
+          hr.recv_device = true;
+          core::set_mpi_hint(hr);
+        }
         recv(buf, count, dt, peer, tag, comm);
       }
       mask <<= 1;
@@ -185,21 +466,28 @@ void bcast(void* buf, int count, Datatype dt, int root, Comm comm) {
     std::vector<Request> reqs;
     for (int r : local) {
       if (r == my_leader || r == root) continue;
-      if (fwd_readonly) {
+      if (fwd_readonly || dev_clause) {
         core::MpiHint h;
-        h.send_readonly = true;
+        h.send_readonly = fwd_readonly;
+        h.send_device = dev_clause;
         core::set_mpi_hint(h);
       }
-      reqs.push_back(isend(buf, count, dt, r, tag, comm));
+      reqs.push_back(cisend(t, comm, buf, count, dt, r, tag));
     }
     waitall(reqs);
   } else if (rank != root) {
+    core::MpiHint h;
+    bool set = false;
     if (hint.recv_readonly && hint.recv_ptr_addr != nullptr) {
-      core::MpiHint h;
       h.recv_readonly = true;
       h.recv_ptr_addr = hint.recv_ptr_addr;
-      core::set_mpi_hint(h);
+      set = true;
     }
+    if (dev_clause) {
+      h.recv_device = true;
+      set = true;
+    }
+    if (set) core::set_mpi_hint(h);
     recv(buf, count, dt, my_leader, tag, comm);
   }
 }
@@ -207,6 +495,7 @@ void bcast(void* buf, int count, Datatype dt, int root, Comm comm) {
 void reduce(const void* sendbuf, void* recvbuf, int count, Datatype dt, Op op,
             int root, Comm comm) {
   Task& t = core::require_task("mpi::reduce outside a task");
+  CollScope scope(t, obs::CollKind::kReduce);
   const int rank = comm->rank_of_global(t.id);
   const int size = comm->size();
   const int tag = next_coll_tag(t, comm);
@@ -214,7 +503,96 @@ void reduce(const void* sendbuf, void* recvbuf, int count, Datatype dt, Op op,
       static_cast<std::uint64_t>(count) * datatype_size(dt);
   const bool fn = functional();
 
-  // Local accumulator (rank-rotated binomial reduction tree).
+  if (hier_on(t) && size > 1) {
+    const Hier h = build_hier(t, comm, rank, root);
+    if (!h.is_leader) {
+      csend(t, comm, sendbuf, count, dt, h.my_leader, tag);
+      return;
+    }
+    // Intra-node phase: collect the node's contributions and fold them
+    // with binomial-tree association.
+    std::vector<unsigned char> acc_buf;
+    void* acc = nullptr;
+    if (fn) {
+      if (rank == root) {
+        acc = recvbuf;
+      } else {
+        acc_buf.resize(bytes);
+        acc = acc_buf.data();
+      }
+    }
+    {
+      const auto& local = h.local();
+      std::vector<std::vector<unsigned char>> parts(local.size());
+      for (std::size_t i = 0; i < local.size(); ++i) {
+        const int r = local[i];
+        if (fn) parts[i].resize(bytes);
+        if (r == rank) {
+          if (fn) std::memcpy(parts[i].data(), sendbuf, bytes);
+          continue;
+        }
+        recv(fn ? parts[i].data() : nullptr, count, dt, r, tag, comm);
+      }
+      if (fn) {
+        tree_fold(parts, count, dt, op);
+        std::memcpy(acc, parts[0].data(), bytes);
+      }
+    }
+    std::vector<unsigned char> incoming(fn ? bytes : 0);
+    const int n = h.n();
+    if (n == 1) return;  // the root's node held everything
+    const int me = h.my_group;
+    if (bytes <= kHierLargeBytes) {
+      // Inter-node phase, short messages: binomial over the leaders,
+      // rooted at the root's node.
+      const int vme = (me - h.root_group + n) % n;
+      int mask = 1;
+      while (mask < n) {
+        if ((vme & mask) == 0) {
+          const int vpeer = vme | mask;
+          if (vpeer < n) {
+            const int peer = h.leaders[static_cast<std::size_t>(
+                (vpeer + h.root_group) % n)];
+            recv(fn ? incoming.data() : nullptr, count, dt, peer, tag, comm);
+            if (fn) apply_op(acc, incoming.data(), count, dt, op);
+          }
+        } else {
+          const int peer = h.leaders[static_cast<std::size_t>(
+              ((vme & ~mask) + h.root_group) % n)];
+          csend(t, comm, fn ? acc : nullptr, count, dt, peer, tag);
+          break;
+        }
+        mask <<= 1;
+      }
+      return;
+    }
+    // Inter-node phase, large messages (Rabenseifner reduce halving):
+    // pairwise reduce-scatter over element blocks, then the leaders funnel
+    // their reduced blocks to the root.
+    leaders_reduce_scatter(t, comm, h, acc, count, dt, op, tag, fn);
+    const std::uint64_t esz = datatype_size(dt);
+    auto* accb = static_cast<unsigned char*>(acc);
+    if (rank == root) {
+      std::vector<Request> reqs;
+      for (int g = 0; g < n; ++g) {
+        if (g == me) continue;
+        reqs.push_back(irecv(
+            fn ? accb + static_cast<std::uint64_t>(blk_lo(count, n, g)) * esz
+               : nullptr,
+            blk_count(count, n, g), dt,
+            h.leaders[static_cast<std::size_t>(g)], tag, comm));
+      }
+      waitall(reqs);
+    } else {
+      csend(t, comm,
+            fn ? accb + static_cast<std::uint64_t>(blk_lo(count, n, me)) * esz
+               : nullptr,
+            blk_count(count, n, me), dt, root, tag);
+    }
+    return;
+  }
+
+  // Flat path: rank-rotated binomial reduction tree.
   std::vector<unsigned char> acc_buf;
   void* acc = nullptr;
   if (fn) {
@@ -242,7 +620,7 @@ void reduce(const void* sendbuf, void* recvbuf, int count, Datatype dt, Op op,
       }
     } else {
       const int peer = ((vrank & ~mask) + root) % size;
-      send(fn ? acc : nullptr, fn ? count : 0, dt, peer, tag, comm);
+      csend(t, comm, fn ? acc : nullptr, fn ? count : 0, dt, peer, tag);
       break;
     }
     mask <<= 1;
@@ -251,25 +629,182 @@ void reduce(const void* sendbuf, void* recvbuf, int count, Datatype dt, Op op,
 
 void allreduce(const void* sendbuf, void* recvbuf, int count, Datatype dt,
                Op op, Comm comm) {
-  reduce(sendbuf, recvbuf, count, dt, op, 0, comm);
-  bcast(recvbuf, count, dt, 0, comm);
+  Task& t = core::require_task("mpi::allreduce outside a task");
+  CollScope scope(t, obs::CollKind::kAllreduce);
+  if (!hier_on(t)) {
+    reduce(sendbuf, recvbuf, count, dt, op, 0, comm);
+    bcast(recvbuf, count, dt, 0, comm);
+    return;
+  }
+  const core::MpiHint hint = t.take_hint();
+  const int rank = comm->rank_of_global(t.id);
+  const int size = comm->size();
+  const int tag = next_coll_tag(t, comm);
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(count) * datatype_size(dt);
+  const bool fn = functional();
+  if (fn) std::memcpy(recvbuf, sendbuf, bytes);
+  if (size == 1) return;
+
+  const Hier h = build_hier(t, comm, rank);
+  if (!h.is_leader) {
+    csend(t, comm, sendbuf, count, dt, h.my_leader, tag);
+    if (hint.recv_readonly && hint.recv_ptr_addr != nullptr) {
+      core::MpiHint hr;
+      hr.recv_readonly = true;
+      hr.recv_ptr_addr = hint.recv_ptr_addr;
+      core::set_mpi_hint(hr);
+    }
+    recv(recvbuf, count, dt, h.my_leader, tag, comm);
+    return;
+  }
+  // Intra-node reduction into recvbuf (binomial-tree association, see
+  // tree_fold).
+  void* acc = fn ? recvbuf : nullptr;
+  {
+    const auto& local = h.local();
+    std::vector<std::vector<unsigned char>> parts(local.size());
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      const int r = local[i];
+      if (fn) parts[i].resize(bytes);
+      if (r == rank) {
+        if (fn) std::memcpy(parts[i].data(), sendbuf, bytes);
+        continue;
+      }
+      recv(fn ? parts[i].data() : nullptr, count, dt, r, tag, comm);
+    }
+    if (fn) {
+      tree_fold(parts, count, dt, op);
+      std::memcpy(acc, parts[0].data(), bytes);
+    }
+  }
+  std::vector<unsigned char> incoming(fn ? bytes : 0);
+  // Inter-node phase over the leaders only.
+  if (h.n() > 1) {
+    if (bytes <= kHierLargeBytes) {
+      leaders_allreduce_small(t, comm, h, acc, count, dt, op, tag, fn,
+                              incoming);
+    } else {
+      leaders_reduce_scatter(t, comm, h, acc, count, dt, op, tag, fn);
+      leaders_ring_allgather(t, comm, h, acc, count, dt, tag, fn);
+    }
+  }
+  // Intra-node distribution, riding the same readonly-aliasing path the
+  // broadcast's stage 2 uses.
+  const bool fwd_readonly = hint.send_readonly || hint.recv_readonly;
+  std::vector<Request> reqs;
+  for (int r : h.local()) {
+    if (r == rank) continue;
+    if (fwd_readonly) {
+      core::MpiHint hs;
+      hs.send_readonly = true;
+      core::set_mpi_hint(hs);
+    }
+    reqs.push_back(cisend(t, comm, recvbuf, count, dt, r, tag));
+  }
+  waitall(reqs);
 }
 
 void gather(const void* sbuf, int scount, Datatype sdt, void* rbuf, int rcount,
             Datatype rdt, int root, Comm comm) {
   Task& t = core::require_task("mpi::gather outside a task");
+  CollScope scope(t, obs::CollKind::kGather);
   const int rank = comm->rank_of_global(t.id);
   const int size = comm->size();
   const int tag = next_coll_tag(t, comm);
   const std::uint64_t rbytes =
       static_cast<std::uint64_t>(rcount) * datatype_size(rdt);
+  const bool fn = functional();
+
+  if (hier_on(t) && size > 1) {
+    // Two-level gather: node leaders bundle their node's blocks and send
+    // one message per node to the root.
+    const Hier h = build_hier(t, comm, rank, root);
+    if (rank == root) {
+      auto* out = static_cast<unsigned char*>(rbuf);
+      std::vector<std::vector<unsigned char>> bundles(
+          static_cast<std::size_t>(h.n()));
+      std::vector<Request> reqs;
+      for (int g = 0; g < h.n(); ++g) {
+        const auto& grp = h.groups[static_cast<std::size_t>(g)];
+        if (g == h.my_group) {
+          for (int r : grp) {
+            if (r == rank) {
+              if (fn && rbytes > 0) {
+                std::memcpy(out + static_cast<std::uint64_t>(r) * rbytes, sbuf,
+                            rbytes);
+              }
+              continue;
+            }
+            reqs.push_back(irecv(
+                fn ? out + static_cast<std::uint64_t>(r) * rbytes : nullptr,
+                rcount, rdt, r, tag, comm));
+          }
+          continue;
+        }
+        const std::int64_t bcount =
+            static_cast<std::int64_t>(grp.size()) * rcount;
+        IMPACC_CHECK_MSG(bcount <= INT_MAX,
+                         "mpi::gather: node bundle element count overflows int");
+        auto& b = bundles[static_cast<std::size_t>(g)];
+        b.resize(fn ? grp.size() * rbytes : 0);
+        reqs.push_back(irecv(fn ? b.data() : nullptr,
+                             static_cast<int>(bcount), rdt,
+                             h.leaders[static_cast<std::size_t>(g)], tag,
+                             comm));
+      }
+      waitall(reqs);
+      if (fn && rbytes > 0) {
+        for (int g = 0; g < h.n(); ++g) {
+          if (g == h.my_group) continue;
+          const auto& grp = h.groups[static_cast<std::size_t>(g)];
+          const auto& b = bundles[static_cast<std::size_t>(g)];
+          for (std::size_t i = 0; i < grp.size(); ++i) {
+            std::memcpy(
+                out + static_cast<std::uint64_t>(grp[i]) * rbytes,
+                b.data() + static_cast<std::uint64_t>(i) * rbytes, rbytes);
+          }
+        }
+      }
+      return;
+    }
+    if (!h.is_leader) {
+      csend(t, comm, sbuf, scount, sdt, h.my_leader, tag);
+      return;
+    }
+    // Leader of a non-root node: assemble the node bundle in group order.
+    const auto& local = h.local();
+    const std::uint64_t sbytes =
+        static_cast<std::uint64_t>(scount) * datatype_size(sdt);
+    const std::int64_t bcount =
+        static_cast<std::int64_t>(local.size()) * scount;
+    IMPACC_CHECK_MSG(bcount <= INT_MAX,
+                     "mpi::gather: node bundle element count overflows int");
+    std::vector<unsigned char> bundle(fn ? local.size() * sbytes : 0);
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      const int r = local[i];
+      if (r == rank) {
+        if (fn && sbytes > 0) {
+          std::memcpy(bundle.data() + i * sbytes, sbuf, sbytes);
+        }
+        continue;
+      }
+      recv(fn ? bundle.data() + i * sbytes : nullptr, scount, sdt, r, tag,
+           comm);
+    }
+    csend(t, comm, fn ? bundle.data() : nullptr, static_cast<int>(bcount),
+          sdt, root, tag);
+    return;
+  }
+
+  // Flat path: the root exchanges directly with every rank.
   if (rank == root) {
     auto* out = static_cast<unsigned char*>(rbuf);
     std::vector<Request> reqs;
     reqs.reserve(static_cast<std::size_t>(size));
     for (int r = 0; r < size; ++r) {
       if (r == rank) {
-        if (functional() && rbytes > 0) {
+        if (fn && rbytes > 0) {
           std::memcpy(out + static_cast<std::uint64_t>(r) * rbytes, sbuf,
                       rbytes);
         }
@@ -280,7 +815,7 @@ void gather(const void* sbuf, int scount, Datatype sdt, void* rbuf, int rcount,
     }
     waitall(reqs);
   } else {
-    send(sbuf, scount, sdt, root, tag, comm);
+    csend(t, comm, sbuf, scount, sdt, root, tag);
   }
 }
 
@@ -288,6 +823,7 @@ void gatherv(const void* sbuf, int scount, Datatype sdt, void* rbuf,
              const int* rcounts, const int* displs, Datatype rdt, int root,
              Comm comm) {
   Task& t = core::require_task("mpi::gatherv outside a task");
+  CollScope scope(t, obs::CollKind::kGatherv);
   const int rank = comm->rank_of_global(t.id);
   const int size = comm->size();
   const int tag = next_coll_tag(t, comm);
@@ -308,28 +844,106 @@ void gatherv(const void* sbuf, int scount, Datatype sdt, void* rbuf,
     }
     waitall(reqs);
   } else {
-    send(sbuf, scount, sdt, root, tag, comm);
+    csend(t, comm, sbuf, scount, sdt, root, tag);
   }
 }
 
 void scatter(const void* sbuf, int scount, Datatype sdt, void* rbuf,
              int rcount, Datatype rdt, int root, Comm comm) {
   Task& t = core::require_task("mpi::scatter outside a task");
+  CollScope scope(t, obs::CollKind::kScatter);
   const int rank = comm->rank_of_global(t.id);
   const int size = comm->size();
   const int tag = next_coll_tag(t, comm);
   const std::uint64_t sbytes =
       static_cast<std::uint64_t>(scount) * datatype_size(sdt);
+  const bool fn = functional();
+
+  if (hier_on(t) && size > 1) {
+    // Two-level scatter: the root sends one bundle per node; leaders
+    // unpack and hand each member its block over shared memory.
+    const Hier h = build_hier(t, comm, rank, root);
+    if (rank == root) {
+      const auto* in = static_cast<const unsigned char*>(sbuf);
+      std::vector<std::vector<unsigned char>> bundles(
+          static_cast<std::size_t>(h.n()));
+      std::vector<Request> reqs;
+      for (int g = 0; g < h.n(); ++g) {
+        const auto& grp = h.groups[static_cast<std::size_t>(g)];
+        if (g == h.my_group) {
+          for (int r : grp) {
+            const unsigned char* src =
+                in + static_cast<std::uint64_t>(r) * sbytes;
+            if (r == rank) {
+              if (fn && sbytes > 0) std::memcpy(rbuf, src, sbytes);
+              continue;
+            }
+            reqs.push_back(cisend(t, comm, src, scount, sdt, r, tag));
+          }
+          continue;
+        }
+        const std::int64_t bcount =
+            static_cast<std::int64_t>(grp.size()) * scount;
+        IMPACC_CHECK_MSG(
+            bcount <= INT_MAX,
+            "mpi::scatter: node bundle element count overflows int");
+        auto& b = bundles[static_cast<std::size_t>(g)];
+        if (fn) {
+          b.resize(grp.size() * sbytes);
+          for (std::size_t i = 0; i < grp.size(); ++i) {
+            std::memcpy(b.data() + i * sbytes,
+                        in + static_cast<std::uint64_t>(grp[i]) * sbytes,
+                        sbytes);
+          }
+        }
+        reqs.push_back(cisend(t, comm, fn ? b.data() : nullptr,
+                              static_cast<int>(bcount), sdt,
+                              h.leaders[static_cast<std::size_t>(g)], tag));
+      }
+      waitall(reqs);
+      return;
+    }
+    const std::uint64_t rbytes =
+        static_cast<std::uint64_t>(rcount) * datatype_size(rdt);
+    if (!h.is_leader) {
+      recv(rbuf, rcount, rdt, h.my_leader, tag, comm);
+      return;
+    }
+    const auto& local = h.local();
+    const std::int64_t bcount =
+        static_cast<std::int64_t>(local.size()) * rcount;
+    IMPACC_CHECK_MSG(bcount <= INT_MAX,
+                     "mpi::scatter: node bundle element count overflows int");
+    std::vector<unsigned char> bundle(fn ? local.size() * rbytes : 0);
+    recv(fn ? bundle.data() : nullptr, static_cast<int>(bcount), rdt, root,
+         tag, comm);
+    std::vector<Request> reqs;
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      const int r = local[i];
+      if (r == rank) {
+        if (fn && rbytes > 0) {
+          std::memcpy(rbuf, bundle.data() + i * rbytes, rbytes);
+        }
+        continue;
+      }
+      reqs.push_back(cisend(t, comm, fn ? bundle.data() + i * rbytes : nullptr,
+                            rcount, rdt, r, tag));
+    }
+    waitall(reqs);
+    return;
+  }
+
+  // Flat path: the root exchanges directly with every rank.
   if (rank == root) {
     const auto* in = static_cast<const unsigned char*>(sbuf);
     std::vector<Request> reqs;
     for (int r = 0; r < size; ++r) {
       const unsigned char* src = in + static_cast<std::uint64_t>(r) * sbytes;
       if (r == rank) {
-        if (functional() && sbytes > 0) std::memcpy(rbuf, src, sbytes);
+        if (fn && sbytes > 0) std::memcpy(rbuf, src, sbytes);
         continue;
       }
-      reqs.push_back(isend(src, scount, sdt, r, tag, comm));
+      reqs.push_back(cisend(t, comm, src, scount, sdt, r, tag));
     }
     waitall(reqs);
   } else {
@@ -341,6 +955,7 @@ void scatterv(const void* sbuf, const int* scounts, const int* displs,
               Datatype sdt, void* rbuf, int rcount, Datatype rdt, int root,
               Comm comm) {
   Task& t = core::require_task("mpi::scatterv outside a task");
+  CollScope scope(t, obs::CollKind::kScatterv);
   const int rank = comm->rank_of_global(t.id);
   const int size = comm->size();
   const int tag = next_coll_tag(t, comm);
@@ -357,7 +972,7 @@ void scatterv(const void* sbuf, const int* scounts, const int* displs,
         }
         continue;
       }
-      reqs.push_back(isend(src, scounts[r], sdt, r, tag, comm));
+      reqs.push_back(cisend(t, comm, src, scounts[r], sdt, r, tag));
     }
     waitall(reqs);
   } else {
@@ -368,6 +983,7 @@ void scatterv(const void* sbuf, const int* scounts, const int* displs,
 void scan(const void* sendbuf, void* recvbuf, int count, Datatype dt, Op op,
           Comm comm) {
   Task& t = core::require_task("mpi::scan outside a task");
+  CollScope scope(t, obs::CollKind::kScan);
   const int rank = comm->rank_of_global(t.id);
   const int size = comm->size();
   const int tag = next_coll_tag(t, comm);
@@ -387,8 +1003,8 @@ void scan(const void* sendbuf, void* recvbuf, int count, Datatype dt, Op op,
   for (int dist = 1; dist < size; dist <<= 1) {
     Request sr;
     if (rank + dist < size) {
-      sr = isend(fn ? subtotal.data() : nullptr, fn ? count : 0, dt,
-                 rank + dist, tag + 1000 + dist, comm);
+      sr = cisend(t, comm, fn ? subtotal.data() : nullptr, fn ? count : 0, dt,
+                  rank + dist, tag + 1000 + dist);
     }
     if (rank - dist >= 0) {
       recv(fn ? incoming.data() : nullptr, fn ? count : 0, dt, rank - dist,
@@ -405,29 +1021,219 @@ void scan(const void* sendbuf, void* recvbuf, int count, Datatype dt, Op op,
 void reduce_scatter_block(const void* sendbuf, void* recvbuf, int count,
                           Datatype dt, Op op, Comm comm) {
   Task& t = core::require_task("mpi::reduce_scatter_block outside a task");
+  CollScope scope(t, obs::CollKind::kReduceScatter);
   const int rank = comm->rank_of_global(t.id);
   const int size = comm->size();
-  const std::uint64_t bytes =
-      static_cast<std::uint64_t>(count) * datatype_size(dt);
+  const std::int64_t total64 = static_cast<std::int64_t>(count) * size;
+  IMPACC_CHECK_MSG(
+      total64 <= INT_MAX,
+      "mpi::reduce_scatter_block: count * comm size overflows int");
+  const int total = static_cast<int>(total64);
+  const std::uint64_t esz = datatype_size(dt);
+  const std::uint64_t bytes = static_cast<std::uint64_t>(count) * esz;
   const bool fn = functional();
-  // Reduce the full count*size vector at rank 0, then scatter the blocks.
+
+  if (hier_on(t) && size > 1) {
+    // Two-level reduce_scatter: leaders fold their node's full vectors,
+    // pairwise-exchange per-node block bundles (each block crosses the
+    // fabric exactly once, to the node that owns it), then hand members
+    // their blocks over shared memory.
+    const int tag = next_coll_tag(t, comm);
+    const Hier h = build_hier(t, comm, rank);
+    if (!h.is_leader) {
+      csend(t, comm, sendbuf, total, dt, h.my_leader, tag);
+      recv(recvbuf, count, dt, h.my_leader, tag, comm);
+      return;
+    }
+    const std::uint64_t tbytes = static_cast<std::uint64_t>(total) * esz;
+    std::vector<unsigned char> acc(fn ? tbytes : 0);
+    {
+      const auto& local = h.local();
+      std::vector<std::vector<unsigned char>> parts(local.size());
+      for (std::size_t i = 0; i < local.size(); ++i) {
+        const int r = local[i];
+        if (fn) parts[i].resize(tbytes);
+        if (r == rank) {
+          if (fn) std::memcpy(parts[i].data(), sendbuf, tbytes);
+          continue;
+        }
+        recv(fn ? parts[i].data() : nullptr, total, dt, r, tag, comm);
+      }
+      if (fn) {
+        tree_fold(parts, total, dt, op);
+        std::memcpy(acc.data(), parts[0].data(), tbytes);
+      }
+    }
+    const int n = h.n();
+    const int me = h.my_group;
+    if (n > 1) {
+      const auto& local = h.local();
+      const int mcnt = static_cast<int>(local.size()) * count;
+      std::vector<unsigned char> tmp(
+          fn ? static_cast<std::uint64_t>(mcnt) * esz : 0);
+      std::vector<unsigned char> outgoing;
+      for (int step = 1; step < n; ++step) {
+        const int dst_g = (me + step) % n;
+        const int src_g = (me - step + n) % n;
+        const auto& dgrp = h.groups[static_cast<std::size_t>(dst_g)];
+        const int dcnt = static_cast<int>(dgrp.size()) * count;
+        if (fn) {
+          outgoing.resize(static_cast<std::uint64_t>(dcnt) * esz);
+          for (std::size_t i = 0; i < dgrp.size(); ++i) {
+            std::memcpy(outgoing.data() + i * bytes,
+                        acc.data() + static_cast<std::uint64_t>(dgrp[i]) * bytes,
+                        bytes);
+          }
+        }
+        Request rr =
+            irecv(fn ? tmp.data() : nullptr, mcnt, dt,
+                  h.leaders[static_cast<std::size_t>(src_g)], tag, comm);
+        csend(t, comm, fn ? outgoing.data() : nullptr, dcnt, dt,
+              h.leaders[static_cast<std::size_t>(dst_g)], tag);
+        wait(rr);
+        if (fn) {
+          for (std::size_t i = 0; i < local.size(); ++i) {
+            apply_op(acc.data() + static_cast<std::uint64_t>(local[i]) * bytes,
+                     tmp.data() + i * bytes, count, dt, op);
+          }
+        }
+      }
+    }
+    std::vector<Request> reqs;
+    for (int r : h.local()) {
+      if (r == rank) {
+        if (fn && bytes > 0) {
+          std::memcpy(recvbuf,
+                      acc.data() + static_cast<std::uint64_t>(r) * bytes,
+                      bytes);
+        }
+        continue;
+      }
+      reqs.push_back(cisend(
+          t, comm,
+          fn ? acc.data() + static_cast<std::uint64_t>(r) * bytes : nullptr,
+          count, dt, r, tag));
+    }
+    waitall(reqs);
+    return;
+  }
+
+  // Flat path: reduce the full count*size vector at rank 0, then scatter
+  // the blocks.
   std::vector<unsigned char> full(
       fn && rank == 0 ? bytes * static_cast<std::uint64_t>(size) : 0);
-  reduce(sendbuf, full.data(), count * size, dt, op, 0, comm);
+  reduce(sendbuf, full.data(), total, dt, op, 0, comm);
   scatter(full.data(), count, dt, recvbuf, count, dt, 0, comm);
 }
 
 void allgather(const void* sbuf, int scount, Datatype sdt, void* rbuf,
                int rcount, Datatype rdt, Comm comm) {
-  // gather-to-0 + node-aware bcast: 2 log-ish phases, good enough at the
-  // scales the paper's applications use allgather.
+  Task& t = core::require_task("mpi::allgather outside a task");
+  CollScope scope(t, obs::CollKind::kAllgather);
+  const int rank = comm->rank_of_global(t.id);
+  const int size = comm->size();
+  const std::int64_t total64 = static_cast<std::int64_t>(rcount) * size;
+  IMPACC_CHECK_MSG(total64 <= INT_MAX,
+                   "mpi::allgather: rcount * comm size overflows int");
+  const int total = static_cast<int>(total64);
+  const std::uint64_t rbytes =
+      static_cast<std::uint64_t>(rcount) * datatype_size(rdt);
+  const bool fn = functional();
+
+  if (hier_on(t) && size > 1) {
+    // Two-level allgather: leaders collect their node's blocks into rbuf,
+    // ring-exchange per-node bundles (each node's data crosses the fabric
+    // exactly n-1 times in aggregate — once per other node), then
+    // distribute the assembled vector over shared memory.
+    const int tag = next_coll_tag(t, comm);
+    const core::MpiHint hint = t.take_hint();
+    const Hier h = build_hier(t, comm, rank);
+    if (!h.is_leader) {
+      csend(t, comm, sbuf, scount, sdt, h.my_leader, tag);
+      if (hint.recv_readonly && hint.recv_ptr_addr != nullptr) {
+        core::MpiHint hr;
+        hr.recv_readonly = true;
+        hr.recv_ptr_addr = hint.recv_ptr_addr;
+        core::set_mpi_hint(hr);
+      }
+      recv(rbuf, total, rdt, h.my_leader, tag, comm);
+      return;
+    }
+    auto* out = static_cast<unsigned char*>(rbuf);
+    if (fn && rbytes > 0) {
+      std::memcpy(out + static_cast<std::uint64_t>(rank) * rbytes, sbuf,
+                  rbytes);
+    }
+    for (int r : h.local()) {
+      if (r == rank) continue;
+      recv(fn ? out + static_cast<std::uint64_t>(r) * rbytes : nullptr, rcount,
+           rdt, r, tag, comm);
+    }
+    const int n = h.n();
+    const int me = h.my_group;
+    if (n > 1) {
+      std::vector<std::vector<unsigned char>> bundles(
+          static_cast<std::size_t>(n));
+      if (fn) {
+        auto& mine = bundles[static_cast<std::size_t>(me)];
+        const auto& local = h.local();
+        mine.resize(local.size() * rbytes);
+        for (std::size_t i = 0; i < local.size(); ++i) {
+          std::memcpy(mine.data() + i * rbytes,
+                      out + static_cast<std::uint64_t>(local[i]) * rbytes,
+                      rbytes);
+        }
+      }
+      const int right = h.leaders[static_cast<std::size_t>((me + 1) % n)];
+      const int left = h.leaders[static_cast<std::size_t>((me - 1 + n) % n)];
+      for (int step = 0; step < n - 1; ++step) {
+        const int sg = (me - step + n) % n;
+        const int rg = (me - step - 1 + 2 * n) % n;
+        const auto& sgrp = h.groups[static_cast<std::size_t>(sg)];
+        const auto& rgrp = h.groups[static_cast<std::size_t>(rg)];
+        auto& rb = bundles[static_cast<std::size_t>(rg)];
+        if (fn) rb.resize(rgrp.size() * rbytes);
+        Request rr =
+            irecv(fn ? rb.data() : nullptr,
+                  static_cast<int>(rgrp.size()) * rcount, rdt, left, tag,
+                  comm);
+        csend(t, comm,
+              fn ? bundles[static_cast<std::size_t>(sg)].data() : nullptr,
+              static_cast<int>(sgrp.size()) * rcount, rdt, right, tag);
+        wait(rr);
+        if (fn && rbytes > 0) {
+          for (std::size_t i = 0; i < rgrp.size(); ++i) {
+            std::memcpy(out + static_cast<std::uint64_t>(rgrp[i]) * rbytes,
+                        rb.data() + i * rbytes, rbytes);
+          }
+        }
+      }
+    }
+    const bool fwd_readonly = hint.send_readonly || hint.recv_readonly;
+    std::vector<Request> reqs;
+    for (int r : h.local()) {
+      if (r == rank) continue;
+      if (fwd_readonly) {
+        core::MpiHint hs;
+        hs.send_readonly = true;
+        core::set_mpi_hint(hs);
+      }
+      reqs.push_back(cisend(t, comm, rbuf, total, rdt, r, tag));
+    }
+    waitall(reqs);
+    return;
+  }
+
+  // Flat path: gather-to-0 + node-aware bcast — 2 log-ish phases, good
+  // enough at the scales the paper's applications use allgather.
   gather(sbuf, scount, sdt, rbuf, rcount, rdt, 0, comm);
-  bcast(rbuf, rcount * comm->size(), rdt, 0, comm);
+  bcast(rbuf, total, rdt, 0, comm);
 }
 
 void alltoall(const void* sbuf, int scount, Datatype sdt, void* rbuf,
               int rcount, Datatype rdt, Comm comm) {
   Task& t = core::require_task("mpi::alltoall outside a task");
+  CollScope scope(t, obs::CollKind::kAlltoall);
   const int rank = comm->rank_of_global(t.id);
   const int size = comm->size();
   const int tag = next_coll_tag(t, comm);
@@ -448,8 +1254,9 @@ void alltoall(const void* sbuf, int scount, Datatype sdt, void* rbuf,
     const int from = (rank - step + size) % size;
     reqs.push_back(irecv(out + static_cast<std::uint64_t>(from) * rbytes,
                          rcount, rdt, from, tag, comm));
-    reqs.push_back(isend(in + static_cast<std::uint64_t>(to) * sbytes, scount,
-                         sdt, to, tag, comm));
+    reqs.push_back(cisend(t, comm,
+                          in + static_cast<std::uint64_t>(to) * sbytes, scount,
+                          sdt, to, tag));
   }
   waitall(reqs);
 }

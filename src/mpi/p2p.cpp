@@ -241,6 +241,10 @@ void waitall(std::vector<Request>& reqs) {
 int waitany(Request* reqs, int n, MpiStatus* status) {
   Task& t = core::require_task("mpi::waitany outside a task");
   t.clock.advance(t.costs().sync_point_overhead);
+  // Virtual time only moves on the final merge, so the pre-poll timestamp
+  // stays valid across the yield loop; the merged-in interval is blocked
+  // MPI completion time exactly like wait().
+  const sim::Time before = t.clock.now();
   for (;;) {
     bool any_active = false;
     for (int i = 0; i < n; ++i) {
@@ -249,6 +253,12 @@ int waitany(Request* reqs, int n, MpiStatus* status) {
       sim::Time done = 0;
       if (reqs[i].state->rec.poll(&done)) {
         t.clock.merge(done);
+        const sim::Time waited = t.clock.now() - before;
+        {
+          std::lock_guard<std::mutex> lock(t.stats_mutex);
+          t.stats.mpi_wait += waited;
+        }
+        if (obs::Observability* ob = t.rt->obs()) ob->mpi_wait->record(waited);
         if (status != nullptr) *status = reqs[i].state->status;
         reqs[i].state.reset();
         return i;
@@ -304,7 +314,16 @@ void probe(int src, int tag, Comm comm, MpiStatus* status) {
   t.clock.advance(t.costs().mpi_call_overhead);
   Request r = post_probe(t, src, tag, comm, /*blocking=*/true);
   const sim::Time done = r.state->rec.wait();
+  const sim::Time before = t.clock.now();
   t.clock.merge(done);
+  // A blocking probe is blocked MPI time just like wait(); account it so
+  // the mpi.wait histogram reconciles with TaskStats::mpi_wait.
+  const sim::Time waited = t.clock.now() - before;
+  {
+    std::lock_guard<std::mutex> lock(t.stats_mutex);
+    t.stats.mpi_wait += waited;
+  }
+  if (obs::Observability* ob = t.rt->obs()) ob->mpi_wait->record(waited);
   if (status != nullptr) *status = r.state->status;
 }
 

@@ -49,6 +49,33 @@ Observability::Observability(MetricsConfig config)
   kernel_seconds = registry_.histogram("acc.kernel.seconds");
   ready_fibers =
       registry_.histogram("ult.sched.ready_fibers", HistUnit::kCount);
+
+  for (int k = 0; k < static_cast<int>(CollKind::kCount); ++k) {
+    coll_seconds[k] = registry_.histogram(
+        std::string("coll.") + coll_kind_slug(static_cast<CollKind>(k)) +
+        ".seconds");
+  }
+  coll_internode_bytes = registry_.counter("coll.internode.bytes");
+  coll_internode_msgs = registry_.counter("coll.internode.msgs");
+}
+
+const char* coll_kind_slug(CollKind k) {
+  switch (k) {
+    case CollKind::kBarrier: return "barrier";
+    case CollKind::kBcast: return "bcast";
+    case CollKind::kReduce: return "reduce";
+    case CollKind::kAllreduce: return "allreduce";
+    case CollKind::kGather: return "gather";
+    case CollKind::kGatherv: return "gatherv";
+    case CollKind::kScatter: return "scatter";
+    case CollKind::kScatterv: return "scatterv";
+    case CollKind::kAllgather: return "allgather";
+    case CollKind::kReduceScatter: return "reduce_scatter";
+    case CollKind::kAlltoall: return "alltoall";
+    case CollKind::kScan: return "scan";
+    case CollKind::kCount: break;
+  }
+  return "unknown";
 }
 
 }  // namespace impacc::obs

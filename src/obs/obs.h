@@ -29,6 +29,27 @@ struct MetricsConfig {
 
 MetricsConfig parse_metrics_spec(const std::string& spec);
 
+/// Collective kinds instrumented with per-call virtual-time histograms
+/// (coll.<slug>.seconds). Nested collectives (e.g. the flat allreduce's
+/// internal reduce+bcast) record under their own kind as well.
+enum class CollKind : int {
+  kBarrier = 0,
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kGather,
+  kGatherv,
+  kScatter,
+  kScatterv,
+  kAllgather,
+  kReduceScatter,
+  kAlltoall,
+  kScan,
+  kCount,
+};
+
+const char* coll_kind_slug(CollKind k);
+
 class Observability {
  public:
   explicit Observability(MetricsConfig config);
@@ -65,6 +86,15 @@ class Observability {
   Histogram* copy_bytes[6];
   Histogram* kernel_seconds;   // acc.kernel.seconds
   Histogram* ready_fibers;     // ult.sched.ready_fibers (run-queue depth)
+
+  // Collective instrumentation: per-kind call-duration histograms (virtual
+  // seconds from entry to completion on the calling rank) and the bytes
+  // collectives hand to legs whose peer lives on another node. The byte
+  // counter is what the hierarchy tests assert against: node-aware
+  // algorithms put each payload on the fabric at most once per node.
+  Histogram* coll_seconds[static_cast<int>(CollKind::kCount)];
+  Counter* coll_internode_bytes;  // coll.internode.bytes
+  Counter* coll_internode_msgs;   // coll.internode.msgs
 
  private:
   MetricsConfig config_;

@@ -127,6 +127,74 @@ Time chunked_stage_total(const LinkModel& stage, std::uint64_t bytes,
   return total;
 }
 
+int collective_rounds(int n) {
+  int rounds = 0;
+  for (int span = 1; span < n; span <<= 1) ++rounds;
+  return rounds;
+}
+
+Time collective_leg_overhead(const RuntimeCosts& costs) {
+  return 2 * (costs.mpi_call_overhead + costs.sync_point_overhead +
+              costs.handler_command_overhead + costs.queue_op_overhead);
+}
+
+namespace {
+
+// Serial intra-node phase: the node handler performs the member copies one
+// after another, so k-1 host copies plus their software legs.
+Time intra_phase_bound(const NodeDesc& node, int tasks_per_node,
+                       std::uint64_t bytes, const RuntimeCosts& costs) {
+  if (tasks_per_node <= 1) return 0;
+  return (tasks_per_node - 1) *
+         (host_copy_time(node, bytes) + collective_leg_overhead(costs));
+}
+
+}  // namespace
+
+Time hier_bcast_bound(const NodeDesc& node, const FabricDesc& fabric,
+                      int num_nodes, int tasks_per_node, std::uint64_t bytes,
+                      const RuntimeCosts& costs) {
+  const Time inter = collective_rounds(num_nodes) *
+                     (fabric_time(fabric, bytes) +
+                      collective_leg_overhead(costs));
+  return inter + intra_phase_bound(node, tasks_per_node, bytes, costs);
+}
+
+Time hier_allreduce_bound(const NodeDesc& node, const FabricDesc& fabric,
+                          int num_nodes, int tasks_per_node,
+                          std::uint64_t bytes, const RuntimeCosts& costs) {
+  const Time leg = collective_leg_overhead(costs);
+  const Time intra = intra_phase_bound(node, tasks_per_node, bytes, costs);
+  // Recursive-doubling form: log2 rounds plus the non-power-of-two
+  // fold-in / fold-out pair.
+  const Time small = (collective_rounds(num_nodes) + 2) *
+                     (fabric_time(fabric, bytes) + leg);
+  // Reduce-scatter + ring form: 2*(n-1) rounds of ~bytes/n blocks.
+  Time large = 0;
+  if (num_nodes > 1) {
+    const std::uint64_t blk =
+        (bytes + static_cast<std::uint64_t>(num_nodes) - 1) /
+        static_cast<std::uint64_t>(num_nodes);
+    large = 2.0 * (num_nodes - 1) * (fabric_time(fabric, blk) + leg);
+  }
+  return intra + std::max(small, large) + intra;
+}
+
+Time hier_allgather_bound(const NodeDesc& node, const FabricDesc& fabric,
+                          int num_nodes, int tasks_per_node,
+                          std::uint64_t block_bytes,
+                          const RuntimeCosts& costs) {
+  const std::uint64_t bundle =
+      static_cast<std::uint64_t>(tasks_per_node) * block_bytes;
+  const std::uint64_t total = static_cast<std::uint64_t>(num_nodes) * bundle;
+  Time bound = intra_phase_bound(node, tasks_per_node, block_bytes, costs);
+  if (num_nodes > 1) {
+    bound += (num_nodes - 1) * (fabric_time(fabric, bundle) +
+                                collective_leg_overhead(costs));
+  }
+  return bound + intra_phase_bound(node, tasks_per_node, total, costs);
+}
+
 Time kernel_time(const DeviceDesc& dev, double flops, double bytes_moved) {
   const double compute = flops / dev.flops_dp;
   const double memory = bytes_moved / dev.mem_bandwidth;

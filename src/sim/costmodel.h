@@ -79,6 +79,47 @@ Time pipelined_transfer_time(const std::vector<LinkModel>& stages,
 Time chunked_stage_total(const LinkModel& stage, std::uint64_t bytes,
                          std::uint64_t chunk_bytes);
 
+// --- Two-level (node-aware) collective bounds (section 3.5) -----------------
+//
+// Closed forms for the hierarchical collectives' makespans: an intra-node
+// phase serialized through the node's host memory (the handler performs the
+// member copies one after another) and an inter-node phase over one leader
+// per node. Tests assert the simulated collectives stay under these bounds.
+
+/// ceil(log2(n)): rounds of a binomial / dissemination / recursive-doubling
+/// schedule over n participants.
+int collective_rounds(int n);
+
+/// Generous per-leg software overhead of one point-to-point message inside
+/// a collective: both endpoints pay the MPI call + sync point, and the
+/// message traverses a handler command and an activity-queue operation on
+/// each side.
+Time collective_leg_overhead(const RuntimeCosts& costs);
+
+/// Upper bound on the node-aware two-level broadcast makespan:
+/// ceil(log2(nodes)) inter-node rounds of the full payload plus the serial
+/// intra-node forwarding phase.
+Time hier_bcast_bound(const NodeDesc& node, const FabricDesc& fabric,
+                      int num_nodes, int tasks_per_node, std::uint64_t bytes,
+                      const RuntimeCosts& costs);
+
+/// Upper bound on the two-level allreduce makespan: intra-node reduction,
+/// an inter-node leader phase (recursive doubling for short payloads,
+/// reduce-scatter + ring allgather for long ones — the bound takes the
+/// worse of the two forms), and intra-node distribution.
+Time hier_allreduce_bound(const NodeDesc& node, const FabricDesc& fabric,
+                          int num_nodes, int tasks_per_node,
+                          std::uint64_t bytes, const RuntimeCosts& costs);
+
+/// Upper bound on the two-level allgather makespan: intra-node gather of
+/// `block_bytes` per rank, a ring of per-node bundles over the leaders, and
+/// intra-node distribution of the assembled nodes*tasks_per_node*block
+/// vector.
+Time hier_allgather_bound(const NodeDesc& node, const FabricDesc& fabric,
+                          int num_nodes, int tasks_per_node,
+                          std::uint64_t block_bytes,
+                          const RuntimeCosts& costs);
+
 /// Kernel execution: roofline of compute and memory traffic plus launch
 /// overhead. `flops` and `bytes_moved` are the kernel's work estimate.
 Time kernel_time(const DeviceDesc& dev, double flops, double bytes_moved);

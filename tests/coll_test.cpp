@@ -1,0 +1,677 @@
+// Tests for the node-aware hierarchical collectives (section 3.5):
+// conformance against reference implementations with hier_collectives on
+// and off, operator/datatype coverage, device-clause buffers, overflow
+// guards, fabric-traffic accounting, and the closed-form cost bounds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <climits>
+#include <cstdlib>
+#include <functional>
+#include <numeric>
+#include <type_traits>
+#include <vector>
+
+// GoogleTest < 1.12 has no GTEST_FLAG_SET; fall back to assigning the
+// legacy ::testing::FLAGS_gtest_* variable directly.
+#ifndef GTEST_FLAG_SET
+#define GTEST_FLAG_SET(name, value) \
+  (void)(::testing::GTEST_FLAG(name) = (value))
+#endif
+
+#include "impacc.h"
+#include "sim/costmodel.h"
+
+namespace impacc::mpi {
+namespace {
+
+core::LaunchOptions options_for(sim::ClusterDesc cluster, bool hier,
+                                core::ExecMode mode =
+                                    core::ExecMode::kFunctional) {
+  core::LaunchOptions o;
+  o.cluster = std::move(cluster);
+  o.scheduler_workers = 1;  // keep gtest assertions single-threaded
+  o.features.hier_collectives = hier;
+  o.mode = mode;
+  return o;
+}
+
+/// Three nodes with 3, 1 and 5 accelerators: odd, uneven ranks-per-node,
+/// so group/leader bookkeeping cannot rely on uniform node sizes.
+sim::ClusterDesc odd_cluster() {
+  sim::ClusterDesc c = sim::make_psg(3);
+  c.nodes[0].devices.resize(3);
+  c.nodes[1].devices.resize(1);
+  c.nodes[2].devices.resize(5);
+  return c;
+}
+
+/// Operator-aware element values, small enough that every reduction result
+/// is exact in every datatype (products stay <= 2^12, sums stay small;
+/// logical inputs mix zeros and ones).
+int gen(Op op, int rank, int i) {
+  switch (op) {
+    case Op::kProd:
+      return 1 + ((rank + i) & 1);
+    case Op::kLand:
+    case Op::kLor:
+      return (rank * 3 + i) % 3 == 0 ? 0 : 1;
+    default:
+      return (rank * 7 + i * 3) % 5 + 1;
+  }
+}
+
+/// Reference combine with the same typed arithmetic as apply_op, so
+/// wrapping integer types agree too.
+template <typename T>
+T ref_combine(Op op, T a, T b) {
+  switch (op) {
+    case Op::kSum: return static_cast<T>(a + b);
+    case Op::kProd: return static_cast<T>(a * b);
+    case Op::kMax: return a < b ? b : a;
+    case Op::kMin: return b < a ? b : a;
+    case Op::kLand: return static_cast<T>(a != T{} && b != T{});
+    case Op::kLor: return static_cast<T>(a != T{} || b != T{});
+    case Op::kBand:
+    case Op::kBor:
+      if constexpr (std::is_integral_v<T>) {
+        return op == Op::kBand ? static_cast<T>(a & b)
+                               : static_cast<T>(a | b);
+      }
+      break;
+  }
+  return a;
+}
+
+/// Reductions (allreduce, reduce to two roots, scan, reduce_scatter_block)
+/// against rank-order reference folds. All inputs are exact, so any
+/// association the algorithms use must give bit-equal answers.
+template <typename T>
+void check_reductions(Comm c, Datatype dt, Op op) {
+  const int size = comm_size(c);
+  const int rank = comm_rank(c);
+  constexpr int kCount = 5;
+  std::vector<T> in(kCount), out(kCount), ref(kCount);
+  for (int i = 0; i < kCount; ++i) {
+    in[static_cast<std::size_t>(i)] = static_cast<T>(gen(op, rank, i));
+  }
+  for (int i = 0; i < kCount; ++i) {
+    T acc = static_cast<T>(gen(op, 0, i));
+    for (int r = 1; r < size; ++r) {
+      acc = ref_combine(op, acc, static_cast<T>(gen(op, r, i)));
+    }
+    ref[static_cast<std::size_t>(i)] = acc;
+  }
+
+  std::fill(out.begin(), out.end(), T{});
+  allreduce(in.data(), out.data(), kCount, dt, op, c);
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(+out[static_cast<std::size_t>(i)],
+              +ref[static_cast<std::size_t>(i)])
+        << "allreduce size=" << size << " i=" << i;
+  }
+
+  for (const int root : {0, size - 1}) {
+    std::fill(out.begin(), out.end(), T{});
+    reduce(in.data(), out.data(), kCount, dt, op, root, c);
+    if (rank == root) {
+      for (int i = 0; i < kCount; ++i) {
+        EXPECT_EQ(+out[static_cast<std::size_t>(i)],
+                  +ref[static_cast<std::size_t>(i)])
+            << "reduce size=" << size << " root=" << root << " i=" << i;
+      }
+    }
+  }
+
+  std::fill(out.begin(), out.end(), T{});
+  scan(in.data(), out.data(), kCount, dt, op, c);
+  for (int i = 0; i < kCount; ++i) {
+    T acc = static_cast<T>(gen(op, 0, i));
+    for (int r = 1; r <= rank; ++r) {
+      acc = ref_combine(op, acc, static_cast<T>(gen(op, r, i)));
+    }
+    EXPECT_EQ(+out[static_cast<std::size_t>(i)], +acc)
+        << "scan size=" << size << " i=" << i;
+  }
+
+  constexpr int kBlk = 2;
+  std::vector<T> vin(static_cast<std::size_t>(kBlk * size));
+  std::vector<T> vout(kBlk, T{});
+  for (int i = 0; i < kBlk * size; ++i) {
+    vin[static_cast<std::size_t>(i)] = static_cast<T>(gen(op, rank, i));
+  }
+  reduce_scatter_block(vin.data(), vout.data(), kBlk, dt, op, c);
+  for (int i = 0; i < kBlk; ++i) {
+    const int e = rank * kBlk + i;
+    T acc = static_cast<T>(gen(op, 0, e));
+    for (int r = 1; r < size; ++r) {
+      acc = ref_combine(op, acc, static_cast<T>(gen(op, r, e)));
+    }
+    EXPECT_EQ(+vout[static_cast<std::size_t>(i)], +acc)
+        << "reduce_scatter_block size=" << size << " i=" << i;
+  }
+}
+
+/// Data-movement collectives (bcast, gather(v), scatter(v), allgather,
+/// alltoall, barrier) against directly computed expectations.
+void check_movement(Comm c) {
+  const int size = comm_size(c);
+  const int rank = comm_rank(c);
+  constexpr int kB = 3;  // elements per rank block
+  auto val = [](int r, int i) { return r * 1000 + i; };
+
+  for (const int root : {0, size / 2, size - 1}) {
+    std::vector<int> buf(kB * 4);
+    if (rank == root) {
+      for (int i = 0; i < kB * 4; ++i) {
+        buf[static_cast<std::size_t>(i)] = val(root, i);
+      }
+    }
+    bcast(buf.data(), kB * 4, Datatype::kInt, root, c);
+    for (int i = 0; i < kB * 4; ++i) {
+      EXPECT_EQ(buf[static_cast<std::size_t>(i)], val(root, i))
+          << "bcast size=" << size << " root=" << root;
+    }
+  }
+
+  std::vector<int> mine(kB);
+  for (int i = 0; i < kB; ++i) {
+    mine[static_cast<std::size_t>(i)] = val(rank, i);
+  }
+  for (const int root : {0, size - 1}) {
+    std::vector<int> all(static_cast<std::size_t>(kB * size), -1);
+    gather(mine.data(), kB, Datatype::kInt, all.data(), kB, Datatype::kInt,
+           root, c);
+    if (rank == root) {
+      for (int r = 0; r < size; ++r) {
+        for (int i = 0; i < kB; ++i) {
+          EXPECT_EQ(all[static_cast<std::size_t>(r * kB + i)], val(r, i))
+              << "gather size=" << size << " root=" << root;
+        }
+      }
+    }
+  }
+
+  // gatherv / scatterv with reversed displacements.
+  {
+    const int root = size / 2;
+    std::vector<int> counts(static_cast<std::size_t>(size), kB);
+    std::vector<int> displs(static_cast<std::size_t>(size));
+    for (int r = 0; r < size; ++r) {
+      displs[static_cast<std::size_t>(r)] = (size - 1 - r) * kB;
+    }
+    std::vector<int> all(static_cast<std::size_t>(kB * size), -1);
+    gatherv(mine.data(), kB, Datatype::kInt, all.data(), counts.data(),
+            displs.data(), Datatype::kInt, root, c);
+    if (rank == root) {
+      for (int r = 0; r < size; ++r) {
+        for (int i = 0; i < kB; ++i) {
+          EXPECT_EQ(all[static_cast<std::size_t>((size - 1 - r) * kB + i)],
+                    val(r, i))
+              << "gatherv size=" << size;
+        }
+      }
+    }
+    std::vector<int> packed(static_cast<std::size_t>(kB * size));
+    if (rank == root) {
+      for (int r = 0; r < size; ++r) {
+        for (int i = 0; i < kB; ++i) {
+          packed[static_cast<std::size_t>((size - 1 - r) * kB + i)] =
+              val(r, i) + 7;
+        }
+      }
+    }
+    std::vector<int> block(kB, -1);
+    scatterv(packed.data(), counts.data(), displs.data(), Datatype::kInt,
+             block.data(), kB, Datatype::kInt, root, c);
+    for (int i = 0; i < kB; ++i) {
+      EXPECT_EQ(block[static_cast<std::size_t>(i)], val(rank, i) + 7)
+          << "scatterv size=" << size;
+    }
+  }
+
+  for (const int root : {0, size - 1}) {
+    std::vector<int> packed(static_cast<std::size_t>(kB * size));
+    if (rank == root) {
+      for (int r = 0; r < size; ++r) {
+        for (int i = 0; i < kB; ++i) {
+          packed[static_cast<std::size_t>(r * kB + i)] = val(r, i) + 13;
+        }
+      }
+    }
+    std::vector<int> block(kB, -1);
+    scatter(packed.data(), kB, Datatype::kInt, block.data(), kB,
+            Datatype::kInt, root, c);
+    for (int i = 0; i < kB; ++i) {
+      EXPECT_EQ(block[static_cast<std::size_t>(i)], val(rank, i) + 13)
+          << "scatter size=" << size << " root=" << root;
+    }
+  }
+
+  {
+    std::vector<int> all(static_cast<std::size_t>(kB * size), -1);
+    allgather(mine.data(), kB, Datatype::kInt, all.data(), kB,
+              Datatype::kInt, c);
+    for (int r = 0; r < size; ++r) {
+      for (int i = 0; i < kB; ++i) {
+        EXPECT_EQ(all[static_cast<std::size_t>(r * kB + i)], val(r, i))
+            << "allgather size=" << size;
+      }
+    }
+  }
+
+  {
+    std::vector<int> sbuf(static_cast<std::size_t>(kB * size));
+    std::vector<int> rbuf(static_cast<std::size_t>(kB * size), -1);
+    for (int j = 0; j < size; ++j) {
+      for (int i = 0; i < kB; ++i) {
+        sbuf[static_cast<std::size_t>(j * kB + i)] =
+            rank * 10000 + j * 100 + i;
+      }
+    }
+    alltoall(sbuf.data(), kB, Datatype::kInt, rbuf.data(), kB,
+             Datatype::kInt, c);
+    for (int j = 0; j < size; ++j) {
+      for (int i = 0; i < kB; ++i) {
+        EXPECT_EQ(rbuf[static_cast<std::size_t>(j * kB + i)],
+                  j * 10000 + rank * 100 + i)
+            << "alltoall size=" << size;
+      }
+    }
+  }
+
+  barrier(c);
+}
+
+/// Sweep sub-communicator sizes 1..9 carved out of the world with
+/// comm_split, running the whole conformance battery on each.
+void conformance_sweep() {
+  auto w = world();
+  const int wsize = comm_size(w);
+  const int wrank = comm_rank(w);
+  const int max_size = std::min(9, wsize);
+  for (int s = 1; s <= max_size; ++s) {
+    Comm c = comm_split(w, wrank < s ? 0 : -1, wrank);
+    if (c == nullptr) continue;
+    ASSERT_EQ(comm_size(c), s);
+    check_movement(c);
+    check_reductions<int>(c, Datatype::kInt, Op::kSum);
+    check_reductions<double>(c, Datatype::kDouble, Op::kSum);
+  }
+}
+
+TEST(CollConformance, SweepMultiNodeUniform) {
+  for (const bool hier : {false, true}) {
+    launch(options_for(sim::make_beacon(3), hier), [] {
+      conformance_sweep();
+    });
+  }
+}
+
+TEST(CollConformance, SweepOddRanksPerNode) {
+  for (const bool hier : {false, true}) {
+    launch(options_for(odd_cluster(), hier), [] { conformance_sweep(); });
+  }
+}
+
+TEST(CollConformance, SweepOneRankPerNode) {
+  for (const bool hier : {false, true}) {
+    launch(options_for(sim::make_titan(6), hier), [] {
+      conformance_sweep();
+    });
+  }
+}
+
+TEST(CollConformance, SweepSingleNode) {
+  for (const bool hier : {false, true}) {
+    launch(options_for(sim::make_psg(1), hier), [] { conformance_sweep(); });
+  }
+}
+
+TEST(CollConformance, AllOpsAllDatatypes) {
+  for (const bool hier : {false, true}) {
+    launch(options_for(sim::make_beacon(3), hier), [] {
+      auto w = world();
+      for (const Op op : {Op::kSum, Op::kProd, Op::kMax, Op::kMin, Op::kLand,
+                          Op::kLor, Op::kBand, Op::kBor}) {
+        const bool bitwise = op == Op::kBand || op == Op::kBor;
+        check_reductions<unsigned char>(w, Datatype::kByte, op);
+        check_reductions<unsigned char>(w, Datatype::kChar, op);
+        check_reductions<int>(w, Datatype::kInt, op);
+        check_reductions<long>(w, Datatype::kLong, op);
+        check_reductions<std::uint64_t>(w, Datatype::kUint64, op);
+        if (!bitwise) {  // bitwise ops on floating datatypes abort
+          check_reductions<float>(w, Datatype::kFloat, op);
+          check_reductions<double>(w, Datatype::kDouble, op);
+        }
+      }
+    });
+  }
+}
+
+TEST(CollConformance, DeviceClauseBcastDelivers) {
+  for (const bool hier : {false, true}) {
+    launch(options_for(sim::make_psg(2), hier), [] {
+      auto w = world();
+      const int r = comm_rank(w);
+      constexpr int kN = 256;
+      constexpr std::uint64_t kBytes = kN * sizeof(int);
+      std::vector<int> host(kN, 0);
+      if (r == 0) std::iota(host.begin(), host.end(), 500);
+      acc::copyin(host.data(), kBytes);
+      if (r == 0) {
+        acc::mpi({.send_device = true});
+      } else {
+        acc::mpi({.recv_device = true});
+      }
+      bcast(host.data(), kN, Datatype::kInt, 0, w);
+      // The payload lands in the device copies; bring it back to check.
+      acc::update_self(host.data(), kBytes);
+      for (int i = 0; i < kN; ++i) {
+        ASSERT_EQ(host[static_cast<std::size_t>(i)], 500 + i) << "rank " << r;
+      }
+      acc::del(host.data());
+    });
+  }
+}
+
+TEST(CollEdge, BarrierNonPowerOfTwoAndSingleton) {
+  // 9 ranks over 3/1/5 nodes, 7 leaders on titan, and size-1 communicators
+  // all complete (regression for the flat barrier's precedence bug, which
+  // only showed on non-power-of-two layouts).
+  for (const bool hier : {false, true}) {
+    launch(options_for(odd_cluster(), hier), [] {
+      auto w = world();
+      barrier(w);
+      // Singleton communicators: every rank its own color.
+      Comm mine = comm_split(w, comm_rank(w), 0);
+      ASSERT_NE(mine, nullptr);
+      ASSERT_EQ(comm_size(mine), 1);
+      barrier(mine);
+      barrier(w);
+    });
+    const auto r = launch(
+        options_for(sim::make_titan(7), hier, core::ExecMode::kModelOnly),
+        [] { barrier(world()); });
+    EXPECT_GT(r.makespan, 0.0);
+  }
+}
+
+TEST(CollEdge, NearIntMaxCountsSucceed) {
+  // count * size must be computed in 64-bit: counts near INT_MAX / size
+  // stay legal in both the hierarchical and the flat algorithms.
+  for (const bool hier : {false, true}) {
+    launch(options_for(sim::make_titan(4), hier, core::ExecMode::kModelOnly),
+           [] {
+             auto w = world();  // 4 ranks
+             const int count = INT_MAX / 4 - 8;
+             reduce_scatter_block(nullptr, nullptr, count, Datatype::kInt,
+                                  Op::kSum, w);
+             allgather(nullptr, count, Datatype::kInt, nullptr, count,
+                       Datatype::kInt, w);
+           });
+  }
+}
+
+using CollDeathTest = ::testing::Test;
+
+TEST(CollDeathTest, ReduceScatterBlockCountOverflowAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(
+      {
+        launch(options_for(sim::make_psg(1), true,
+                           core::ExecMode::kModelOnly),
+               [] {
+                 reduce_scatter_block(nullptr, nullptr, INT_MAX / 4,
+                                      Datatype::kInt, Op::kSum, world());
+               });
+      },
+      "overflows");
+}
+
+TEST(CollDeathTest, AllgatherCountOverflowAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(
+      {
+        launch(options_for(sim::make_psg(1), false,
+                           core::ExecMode::kModelOnly),
+               [] {
+                 allgather(nullptr, INT_MAX / 4, Datatype::kInt, nullptr,
+                           INT_MAX / 4, Datatype::kInt, world());
+               });
+      },
+      "overflows");
+}
+
+LaunchResult run_with_metrics(sim::ClusterDesc cluster, bool hier,
+                              const std::function<void()>& body) {
+  auto o = options_for(std::move(cluster), hier);
+  o.metrics_path = "-";
+  return launch(o, body);
+}
+
+TEST(CollTraffic, HierPayloadCrossesFabricOncePerNode) {
+  // psg(3): 3 nodes x 8 ranks. The node-aware algorithms put each payload
+  // on the wire the minimum number of times; the counters are exact.
+  const int G = 3;
+  const int P = 24;
+  {
+    constexpr int kCount = 1024;  // 4 KiB broadcast payload
+    const auto r = run_with_metrics(sim::make_psg(3), true, [] {
+      std::vector<int> buf(1024, 1);
+      bcast(buf.data(), 1024, Datatype::kInt, 0, world());
+    });
+    EXPECT_DOUBLE_EQ(r.metrics.value("coll.internode.bytes"),
+                     (G - 1) * kCount * 4.0);
+    EXPECT_DOUBLE_EQ(r.metrics.value("coll.bcast.seconds.count"),
+                     static_cast<double>(P));
+  }
+  {
+    constexpr int kBlk = 256;  // 1 KiB per-rank block
+    const auto r = run_with_metrics(sim::make_psg(3), true, [] {
+      std::vector<int> mine(kBlk, 2), all(kBlk * 24);
+      allgather(mine.data(), kBlk, Datatype::kInt, all.data(), kBlk,
+                Datatype::kInt, world());
+    });
+    // Ring of per-node bundles: every node's data crosses to each other
+    // node exactly once -> (G-1) * total payload.
+    EXPECT_DOUBLE_EQ(r.metrics.value("coll.internode.bytes"),
+                     (G - 1) * static_cast<double>(P) * kBlk * 4.0);
+  }
+  {
+    constexpr int kBlk = 64;
+    const auto r = run_with_metrics(sim::make_psg(3), true, [] {
+      std::vector<int> in(kBlk * 24, 1), out(kBlk);
+      reduce_scatter_block(in.data(), out.data(), kBlk, Datatype::kInt,
+                           Op::kSum, world());
+    });
+    // Pairwise block exchange: each rank's block crosses once to the node
+    // that owns it -> (G-1) * total payload.
+    EXPECT_DOUBLE_EQ(r.metrics.value("coll.internode.bytes"),
+                     (G - 1) * static_cast<double>(P) * kBlk * 4.0);
+  }
+  {
+    constexpr int kCount = 128;
+    const auto r = run_with_metrics(sim::make_psg(3), true, [] {
+      std::vector<double> in(kCount, 1.0), out(kCount);
+      allreduce(in.data(), out.data(), kCount, Datatype::kDouble, Op::kSum,
+                world());
+    });
+    // Recursive doubling over leaders: at most 2*(G-1) full payloads.
+    EXPECT_LE(r.metrics.value("coll.internode.bytes"),
+              2.0 * (G - 1) * kCount * 8.0);
+    EXPECT_GT(r.metrics.value("coll.internode.msgs"), 0.0);
+  }
+}
+
+TEST(CollTraffic, HierBeatsFlatOnUnevenLayout) {
+  // On an uneven 3/1/5 layout the flat trees cross node boundaries more
+  // than once per payload; the two-level forms do not.
+  auto bytes_of = [](bool hier, const std::function<void()>& body) {
+    return run_with_metrics(odd_cluster(), hier, body)
+        .metrics.value("coll.internode.bytes");
+  };
+  auto msgs_of = [](bool hier, const std::function<void()>& body) {
+    return run_with_metrics(odd_cluster(), hier, body)
+        .metrics.value("coll.internode.msgs");
+  };
+  const auto do_allreduce = [] {
+    std::vector<double> in(512, 1.0), out(512);
+    allreduce(in.data(), out.data(), 512, Datatype::kDouble, Op::kSum,
+              world());
+  };
+  const auto do_allgather = [] {
+    std::vector<int> mine(128, 3), all(128 * 9);
+    allgather(mine.data(), 128, Datatype::kInt, all.data(), 128,
+              Datatype::kInt, world());
+  };
+  const auto do_rsb = [] {
+    std::vector<int> in(32 * 9, 1), out(32);
+    reduce_scatter_block(in.data(), out.data(), 32, Datatype::kInt, Op::kSum,
+                         world());
+  };
+  EXPECT_LT(bytes_of(true, do_allreduce), bytes_of(false, do_allreduce));
+  EXPECT_LT(bytes_of(true, do_allgather), bytes_of(false, do_allgather));
+  EXPECT_LT(bytes_of(true, do_rsb), bytes_of(false, do_rsb));
+  // Barrier moves no payload; the hierarchy still saves fabric messages.
+  const auto do_barrier = [] { barrier(world()); };
+  EXPECT_LT(msgs_of(true, do_barrier), msgs_of(false, do_barrier));
+}
+
+TEST(CollBounds, RoundsAndBoundSanity) {
+  EXPECT_EQ(sim::collective_rounds(1), 0);
+  EXPECT_EQ(sim::collective_rounds(2), 1);
+  EXPECT_EQ(sim::collective_rounds(3), 2);
+  EXPECT_EQ(sim::collective_rounds(8), 3);
+  EXPECT_EQ(sim::collective_rounds(9), 4);
+
+  const auto c = sim::make_titan(8);
+  const auto& node = c.nodes[0];
+  // Bounds grow with payload and with node count.
+  EXPECT_LT(sim::hier_bcast_bound(node, c.fabric, 8, 1, 1 << 10, c.costs),
+            sim::hier_bcast_bound(node, c.fabric, 8, 1, 1 << 20, c.costs));
+  EXPECT_LT(sim::hier_bcast_bound(node, c.fabric, 2, 1, 1 << 20, c.costs),
+            sim::hier_bcast_bound(node, c.fabric, 64, 1, 1 << 20, c.costs));
+  EXPECT_LT(
+      sim::hier_allreduce_bound(node, c.fabric, 8, 1, 1 << 10, c.costs),
+      sim::hier_allreduce_bound(node, c.fabric, 8, 1, 1 << 22, c.costs));
+  EXPECT_LT(
+      sim::hier_allgather_bound(node, c.fabric, 8, 1, 1 << 10, c.costs),
+      sim::hier_allgather_bound(node, c.fabric, 8, 1, 1 << 18, c.costs));
+  // More ranks per node adds intra-node phases.
+  EXPECT_LT(sim::hier_bcast_bound(node, c.fabric, 8, 1, 1 << 20, c.costs),
+            sim::hier_bcast_bound(node, c.fabric, 8, 8, 1 << 20, c.costs));
+}
+
+/// Marginal virtual-time cost of one collective: reps amortize the launch
+/// and teardown overheads away.
+double marginal_makespan(const sim::ClusterDesc& cluster,
+                         const std::function<void()>& coll) {
+  auto run = [&](int reps) {
+    auto o = options_for(cluster, true, core::ExecMode::kModelOnly);
+    return launch(o, [&coll, reps] {
+             for (int i = 0; i < reps; ++i) coll();
+           })
+        .makespan;
+  };
+  return (run(3) - run(1)) / 2.0;
+}
+
+TEST(CollBounds, ModelTimeStaysUnderClosedForms) {
+  const auto c = sim::make_titan(8);  // 1 rank/node: pure inter-node phase
+  const auto& node = c.nodes[0];
+  constexpr int kCount = 1 << 18;  // 1 MiB of ints
+  constexpr std::uint64_t kBytes = kCount * 4ull;
+  const double bcast_t = marginal_makespan(c, [] {
+    bcast(nullptr, kCount, Datatype::kInt, 0, world());
+  });
+  EXPECT_LE(bcast_t,
+            sim::hier_bcast_bound(node, c.fabric, 8, 1, kBytes, c.costs));
+  const double allreduce_t = marginal_makespan(c, [] {
+    allreduce(nullptr, nullptr, kCount, Datatype::kDouble, Op::kSum,
+              world());
+  });
+  EXPECT_LE(allreduce_t, sim::hier_allreduce_bound(node, c.fabric, 8, 1,
+                                                   kCount * 8ull, c.costs));
+  constexpr int kBlk = 1 << 15;  // 128 KiB per-rank block
+  const double allgather_t = marginal_makespan(c, [] {
+    allgather(nullptr, kBlk, Datatype::kInt, nullptr, kBlk, Datatype::kInt,
+              world());
+  });
+  EXPECT_LE(allgather_t, sim::hier_allgather_bound(node, c.fabric, 8, 1,
+                                                   kBlk * 4ull, c.costs));
+
+  // Multi-rank nodes: the intra-node phases are covered by the bound too.
+  const auto p = sim::make_psg(3);
+  const double p_bcast = marginal_makespan(p, [] {
+    bcast(nullptr, kCount, Datatype::kInt, 0, world());
+  });
+  EXPECT_LE(p_bcast,
+            sim::hier_bcast_bound(p.nodes[0], p.fabric, 3, 8, kBytes,
+                                  p.costs));
+}
+
+TEST(CollBounds, HierBeatsFlatModelTime) {
+  // Titan-like config, large payloads: the two-level algorithms finish
+  // earlier in virtual time than the flat ones.
+  auto time_of = [](bool hier, const std::function<void()>& body) {
+    return launch(options_for(sim::make_titan(8), hier,
+                              core::ExecMode::kModelOnly),
+                  body)
+        .makespan;
+  };
+  const auto big_allreduce = [] {
+    allreduce(nullptr, nullptr, 1 << 20, Datatype::kDouble, Op::kSum,
+              world());
+  };
+  const auto big_allgather = [] {
+    allgather(nullptr, 1 << 16, Datatype::kInt, nullptr, 1 << 16,
+              Datatype::kInt, world());
+  };
+  EXPECT_LT(time_of(true, big_allreduce), time_of(false, big_allreduce));
+  EXPECT_LT(time_of(true, big_allgather), time_of(false, big_allgather));
+}
+
+TEST(CollConfig, FlagOffDeterministicAndEnvOverride) {
+  const auto workload = [] {
+    auto w = world();
+    std::vector<double> in(64, 1.5), out(64);
+    allreduce(in.data(), out.data(), 64, Datatype::kDouble, Op::kSum, w);
+    barrier(w);
+    std::vector<int> mine(8, comm_rank(w));
+    std::vector<int> all(static_cast<std::size_t>(8 * comm_size(w)));
+    allgather(mine.data(), 8, Datatype::kInt, all.data(), 8, Datatype::kInt,
+              w);
+  };
+  auto run = [&](bool hier) {
+    return launch(options_for(sim::make_psg(2), hier), workload);
+  };
+  const auto off1 = run(false);
+  const auto off2 = run(false);
+  const auto on1 = run(true);
+  EXPECT_EQ(off1.makespan, off2.makespan);  // exact, not NEAR
+  ASSERT_EQ(off1.task_times.size(), off2.task_times.size());
+  for (std::size_t i = 0; i < off1.task_times.size(); ++i) {
+    EXPECT_EQ(off1.task_times[i], off2.task_times[i]);
+  }
+
+  // IMPACC_HIER_COLLECTIVES=0 forces the flag off regardless of options.
+  setenv("IMPACC_HIER_COLLECTIVES", "0", 1);
+  const auto env_off = run(true);
+  unsetenv("IMPACC_HIER_COLLECTIVES");
+  EXPECT_EQ(env_off.makespan, off1.makespan);
+  const auto on2 = run(true);
+  EXPECT_EQ(on2.makespan, on1.makespan);
+
+  // The baseline process framework always uses the flat algorithms; the
+  // flag must not change it at all.
+  auto baseline = [&](bool hier) {
+    auto o = options_for(sim::make_psg(2), hier);
+    o.framework = core::Framework::kMpiOpenacc;
+    return launch(o, workload).makespan;
+  };
+  EXPECT_EQ(baseline(true), baseline(false));
+}
+
+}  // namespace
+}  // namespace impacc::mpi

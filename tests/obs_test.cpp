@@ -421,6 +421,68 @@ TEST(ObsIntegration, HistogramsReconcileWithTaskStats) {
   EXPECT_GT(m.value("ult.sched.fibers_spawned"), 0.0);
 }
 
+TEST(ObsIntegration, WaitanyWaitAccountingReconciles) {
+  // Rank 0 blocks ONLY in waitany (irecv is non-blocking), so a non-zero
+  // mpi_wait on its task proves waitany accounts the blocked time, and the
+  // reconciliation proves the histogram saw the same additions.
+  auto o = staged_opts();
+  o.metrics_path = "-";
+  constexpr int kMsgs = 3;
+  const auto result = launch(o, [] {
+    auto w = mpi::world();
+    const int r = mpi::comm_rank(w);
+    const int count = 1 << 20;
+    if (r == 0) {
+      std::vector<mpi::Request> reqs;
+      for (int m = 0; m < kMsgs; ++m) {
+        reqs.push_back(
+            mpi::irecv(nullptr, count, mpi::Datatype::kByte, 1, m, w));
+      }
+      for (int done = 0; done < kMsgs; ++done) {
+        const int idx = mpi::waitany(reqs.data(), kMsgs);
+        EXPECT_GE(idx, 0);
+      }
+    } else if (r == 1) {
+      for (int m = 0; m < kMsgs; ++m) {
+        mpi::send(nullptr, count, mpi::Datatype::kByte, 0, m, w);
+      }
+    }
+  });
+  const obs::MetricsSnapshot& m = result.metrics;
+  ASSERT_FALSE(m.empty());
+  EXPECT_GT(result.task_stats[0].mpi_wait, 0.0);
+  EXPECT_NEAR(m.value("mpi.wait.seconds.sum"), result.total.mpi_wait,
+              1e-12 + 1e-9 * result.total.mpi_wait);
+  EXPECT_GE(m.value("mpi.wait.seconds.count"), static_cast<double>(kMsgs));
+}
+
+TEST(ObsIntegration, ProbeWaitAccountingReconciles) {
+  // Rank 0 blocks in probe before the message exists; the follow-up recv
+  // finds it already delivered, so the blocked time belongs to the probe.
+  auto o = staged_opts();
+  o.metrics_path = "-";
+  const auto result = launch(o, [] {
+    auto w = mpi::world();
+    const int r = mpi::comm_rank(w);
+    const int count = 1 << 20;
+    if (r == 0) {
+      mpi::MpiStatus st;
+      mpi::probe(1, 777, w, &st);
+      EXPECT_EQ(st.source, 1);
+      EXPECT_EQ(st.bytes, static_cast<std::uint64_t>(count));
+      mpi::recv(nullptr, count, mpi::Datatype::kByte, 1, 777, w);
+    } else if (r == 1) {
+      mpi::send(nullptr, count, mpi::Datatype::kByte, 0, 777, w);
+    }
+  });
+  const obs::MetricsSnapshot& m = result.metrics;
+  ASSERT_FALSE(m.empty());
+  EXPECT_GT(result.task_stats[0].mpi_wait, 0.0);
+  EXPECT_NEAR(m.value("mpi.wait.seconds.sum"), result.total.mpi_wait,
+              1e-12 + 1e-9 * result.total.mpi_wait);
+  EXPECT_DOUBLE_EQ(m.value("mpi.probes"), 1.0);
+}
+
 TEST(ObsIntegration, DisabledObservabilityIsBitForBitIdentical) {
   // Flag-off runs must not see any timing perturbation from the
   // instrumentation: same workload with and without metrics produces

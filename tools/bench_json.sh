@@ -2,12 +2,14 @@
 # Machine-readable benchmark snapshots.
 #
 # Runs the p2p bandwidth bench (fig09, including the chunk-pipeline
-# sweep) and the Jacobi speedup bench (fig13) with
-# --benchmark_format=json, then distills each google-benchmark report
-# into a flat { "<benchmark name>": <simulated seconds> } map:
+# sweep), the Jacobi speedup bench (fig13), and the collective-latency
+# bench (two-level vs flat) with --benchmark_format=json, then distills
+# each google-benchmark report into a flat
+# { "<benchmark name>": <simulated seconds> } map:
 #
 #   BENCH_p2p.json     from fig09_p2p
 #   BENCH_jacobi.json  from fig13_jacobi
+#   BENCH_coll.json    from coll_latency
 #
 #   tools/bench_json.sh [--smoke] [--build-dir DIR] [--out-dir DIR]
 #
@@ -94,4 +96,5 @@ snapshot() {
 
 snapshot fig09_p2p "$out/BENCH_p2p.json"
 snapshot fig13_jacobi "$out/BENCH_jacobi.json"
+snapshot coll_latency "$out/BENCH_coll.json"
 echo "== benchmark snapshots written to $out"
