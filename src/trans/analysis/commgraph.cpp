@@ -96,38 +96,81 @@ bool check_collectives(const std::vector<RankTrace>& traces,
       if (op.kind == RankOpKind::kCollective) seq[r].push_back(&op);
     }
   }
+  // A divergence whose diverging call sits inside an unrolled loop
+  // iteration is the loop-carried flavor: the guard depends on the
+  // iteration variable, so ranks drift apart round by round (IMP023).
+  const auto loop_carried = [](const RankOp& op) {
+    return op.loop_depth > 0;
+  };
+  const auto loop_note = [](const RankOp& op) {
+    std::string note = " (inside the loop at line " +
+                       std::to_string(op.loop_line);
+    if (op.loop_iter >= 0) {
+      note += ", iteration " + std::to_string(op.loop_iter);
+    }
+    return note + ")";
+  };
   for (std::size_t r = 1; r < traces.size(); ++r) {
     const std::size_t n = std::min(seq[0].size(), seq[r].size());
     for (std::size_t k = 0; k < n; ++k) {
       const RankOp& a = *seq[0][k];
       const RankOp& b = *seq[r][k];
       if (a.name != b.name || a.comm != b.comm) {
-        out->push_back(make_diagnostic(
-            "IMP016", b.line, b.column,
-            "collective order diverges across ranks: rank 0 reaches " +
-                a.name + " at line " + std::to_string(a.line) + " but " +
-                rank_str(static_cast<int>(r)) + " reaches " + b.name +
-                " as collective #" + std::to_string(k + 1),
-            "make every rank execute the same collective sequence on the "
-            "same communicator"));
+        if (loop_carried(a) || loop_carried(b)) {
+          const RankOp& at = loop_carried(b) ? b : a;
+          out->push_back(make_diagnostic(
+              "IMP023", at.line, at.column,
+              "loop-carried collective divergence: rank 0 reaches " +
+                  a.name + " at line " + std::to_string(a.line) + " but " +
+                  rank_str(static_cast<int>(r)) + " reaches " + b.name +
+                  " as collective #" + std::to_string(k + 1) +
+                  loop_note(at),
+              "hoist the collective out of the iteration-dependent "
+              "branch, or make its guard agree on every rank in every "
+              "iteration"));
+        } else {
+          out->push_back(make_diagnostic(
+              "IMP016", b.line, b.column,
+              "collective order diverges across ranks: rank 0 reaches " +
+                  a.name + " at line " + std::to_string(a.line) + " but " +
+                  rank_str(static_cast<int>(r)) + " reaches " + b.name +
+                  " as collective #" + std::to_string(k + 1),
+              "make every rank execute the same collective sequence on "
+              "the same communicator"));
+        }
         return false;
       }
     }
     if (seq[0].size() != seq[r].size()) {
       const bool zero_longer = seq[0].size() > seq[r].size();
       const RankOp& extra = zero_longer ? *seq[0][n] : *seq[r][n];
-      out->push_back(make_diagnostic(
-          "IMP016", extra.line, extra.column,
-          "collective order diverges across ranks: " +
-              std::string(zero_longer ? "rank 0"
-                                      : rank_str(static_cast<int>(r))) +
-              " calls " + extra.name + " at line " +
-              std::to_string(extra.line) + " but " +
-              std::string(zero_longer ? rank_str(static_cast<int>(r))
-                                      : "rank 0") +
-              " executes only " + std::to_string(n) + " collectives",
-          "guard collectives identically on every rank, or move this one "
-          "outside the rank-dependent branch"));
+      const std::string who = zero_longer
+                                  ? std::string("rank 0")
+                                  : rank_str(static_cast<int>(r));
+      const std::string other = zero_longer
+                                    ? rank_str(static_cast<int>(r))
+                                    : std::string("rank 0");
+      if (loop_carried(extra)) {
+        out->push_back(make_diagnostic(
+            "IMP023", extra.line, extra.column,
+            "loop-carried collective divergence: " + who + " calls " +
+                extra.name + " at line " + std::to_string(extra.line) +
+                loop_note(extra) + " but " + other + " executes only " +
+                std::to_string(n) +
+                " collectives — an iteration-dependent guard makes the "
+                "rounds drift apart",
+            "hoist the collective out of the iteration-dependent branch, "
+            "or make its guard agree on every rank in every iteration"));
+      } else {
+        out->push_back(make_diagnostic(
+            "IMP016", extra.line, extra.column,
+            "collective order diverges across ranks: " + who + " calls " +
+                extra.name + " at line " + std::to_string(extra.line) +
+                " but " + other + " executes only " + std::to_string(n) +
+                " collectives",
+            "guard collectives identically on every rank, or move this "
+            "one outside the rank-dependent branch"));
+      }
       return false;
     }
   }

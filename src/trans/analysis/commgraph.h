@@ -12,6 +12,8 @@
 //   IMP016  collective order mismatch across ranks
 //   IMP017  count/extent mismatch on a matched edge
 //   IMP018  datatype incompatibility on a matched edge
+//   IMP023  loop-carried collective divergence (the diverging call sits
+//           in an unrolled loop iteration — an iteration-dependent guard)
 //
 // All of this only runs when the simulation saw the program exactly
 // (RankSimResult::comm_exact): a single unresolved peer, tag, or guard

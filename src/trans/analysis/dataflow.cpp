@@ -72,9 +72,9 @@ struct OpenRegion {
   int seq = 0;    // global open order, to disambiguate same-depth closes
 };
 
-/// An if/else branch currently being scanned. Single-statement branches
-/// (`if (c) stmt;`) close at the next top-level ';', braced ones at the
-/// matching '}'.
+/// An if/else branch or loop statement currently being scanned.
+/// Single-statement bodies (`if (c) stmt;`, `for (...) stmt;`) close at
+/// the next top-level ';', braced ones at the matching '}'.
 struct OpenGuard {
   int depth = 0;
   int paren_depth = 0;
@@ -82,6 +82,15 @@ struct OpenGuard {
   bool single_stmt = false;
   int seq = 0;
   std::string chain_neg;  // negated condition for a following `else`
+  bool is_loop = false;   // emits kLoopExit instead of kGuardExit
+};
+
+/// A function definition currently being scanned (file-scope only).
+struct OpenFunc {
+  int depth = 0;
+  int region_id = -1;
+  int seq = 0;
+  std::string name;
 };
 
 /// C keywords the host-code word scanner must never treat as the
@@ -100,6 +109,35 @@ bool is_c_keyword(const std::string& w) {
   return false;
 }
 
+/// Type-ish keywords that may prefix a loop-header declaration
+/// (`for (int i = 0; ...)`); stripping them leaves `i = 0`.
+bool is_decl_keyword(const std::string& w) {
+  static const char* kWords[] = {"int",      "long",     "short",
+                                 "char",     "signed",   "unsigned",
+                                 "const",    "register", "volatile",
+                                 "auto",     "size_t",   "ptrdiff_t",
+                                 "static",   nullptr};
+  for (const char** p = kWords; *p != nullptr; ++p) {
+    if (w == *p) return true;
+  }
+  return false;
+}
+
+std::string strip_decl_prefix(std::string text) {
+  for (;;) {
+    std::size_t i = 0;
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    std::size_t j = i;
+    while (j < text.size() && word_char(text[j])) ++j;
+    if (j == i || !is_decl_keyword(text.substr(i, j - i))) break;
+    text = text.substr(j);
+  }
+  return trim(text);
+}
+
 struct StreamBuilder {
   Scanner sc;
   DirectiveStream out;
@@ -109,7 +147,9 @@ struct StreamBuilder {
   int next_seq = 0;
   std::vector<OpenRegion> regions;
   std::vector<OpenGuard> guards;
+  std::vector<OpenFunc> funcs;
   std::string last_guard_neg;  // from the most recently closed guard
+  std::string last_word;       // previous identifier in this statement
 
   explicit StreamBuilder(const std::string& src) : sc{src} {}
 
@@ -228,12 +268,12 @@ struct StreamBuilder {
 
   void emit_guard_exit(const OpenGuard& g) {
     Event ev;
-    ev.kind = EventKind::kGuardExit;
+    ev.kind = g.is_loop ? EventKind::kLoopExit : EventKind::kGuardExit;
     ev.region_id = g.guard_id;
     ev.line = sc.line;
     ev.column = sc.col;
     out.events.push_back(std::move(ev));
-    last_guard_neg = g.chain_neg;
+    if (!g.is_loop) last_guard_neg = g.chain_neg;
   }
 
   /// A single-statement branch ends at the first ';' at its paren depth.
@@ -288,6 +328,64 @@ struct StreamBuilder {
     std::string chain = neg.empty() ? "!(" + text + ")"
                                     : neg + " && !(" + text + ")";
     open_branch(std::move(cond), std::move(chain), line, col);
+  }
+
+  /// `for (init; cond; inc)` / `while (cond)` (cursor after the
+  /// keyword). The header pieces are captured textually; the rank
+  /// simulator decides whether the trip count is resolvable.
+  void open_loop(bool is_for) {
+    const int line = sc.line;
+    const int col = sc.col;
+    sc.skip_trivia();
+    if (sc.peek() != '(') return;  // not a form we model
+    const std::size_t close = match_delim(sc.s, sc.pos);
+    if (close == std::string::npos) {
+      sc.take();
+      return;
+    }
+    const std::string header = sc.s.substr(sc.pos + 1, close - sc.pos - 1);
+    sc.advance_to(close + 1);
+
+    Event ev;
+    ev.kind = EventKind::kLoopEnter;
+    ev.line = line;
+    ev.column = col;
+    ev.region_id = next_region_id++;
+    if (is_for) {
+      std::vector<std::string> parts;
+      std::string part;
+      int pd = 0;
+      for (const char ch : header) {
+        if (ch == '(' || ch == '[') ++pd;
+        if (ch == ')' || ch == ']') --pd;
+        if (ch == ';' && pd == 0 && parts.size() < 2) {
+          parts.push_back(part);
+          part.clear();
+          continue;
+        }
+        part += ch;
+      }
+      parts.push_back(part);
+      if (parts.size() == 3) {
+        ev.loop_init = strip_decl_prefix(parts[0]);
+        ev.loop_cond = trim(parts[1]);
+        ev.loop_inc = trim(parts[2]);
+      }
+      // A header without the two ';'s stays empty, which the rank
+      // simulator treats as an unresolvable trip count (widening).
+    } else {
+      ev.loop_cond = trim(header);
+    }
+    sc.skip_trivia();
+    bool single = true;
+    if (sc.peek() == '{') {
+      sc.take();
+      ++depth;
+      single = false;
+    }
+    guards.push_back({depth, pdepth, ev.region_id, single, next_seq++,
+                      std::string(), /*is_loop=*/true});
+    out.events.push_back(std::move(ev));
   }
 
   /// `word = expr;` in host code. Values assigned inside parentheses
@@ -352,6 +450,7 @@ struct StreamBuilder {
       ev.assign_expr = trim(rhs);
       out.events.push_back(std::move(ev));
       close_single_guards();  // the ';' we just consumed ends the branch
+      last_word.clear();      // ... and the statement
       return;
     }
     out.events.push_back(std::move(ev));  // value unknown; leave the rest
@@ -365,11 +464,13 @@ struct StreamBuilder {
     const char prev = sc.pos > 0 ? sc.s[sc.pos - 1] : '\0';
     if (word == "if") {
       sc.advance_to(ne);
+      last_word.clear();
       open_guard("");
       return;
     }
     if (word == "else") {
       sc.advance_to(ne);
+      last_word.clear();
       const std::string neg = last_guard_neg;
       sc.skip_trivia();
       if (sc.s.compare(sc.pos, 2, "if") == 0 &&
@@ -381,7 +482,68 @@ struct StreamBuilder {
       }
       return;
     }
+    if (word == "for" || word == "while") {
+      sc.advance_to(ne);
+      last_word.clear();
+      open_loop(word == "for");
+      return;
+    }
+    if (prev != '.' && !is_c_keyword(word) && try_func_or_call(word, ne)) {
+      return;
+    }
+    last_word = word;
     maybe_assignment(word, ne, prev);
+  }
+
+  /// Distinguish `name(args) {` (function definition at file scope) and
+  /// `name(args);` at statement start (plain call) from everything else.
+  /// Returns true when the word was consumed as one of the two.
+  bool try_func_or_call(const std::string& word, std::size_t word_end) {
+    const int line = sc.line;
+    const int col = sc.col;
+    std::size_t p = word_end;
+    while (p < sc.s.size() &&
+           std::isspace(static_cast<unsigned char>(sc.s[p]))) {
+      ++p;
+    }
+    if (p >= sc.s.size() || sc.s[p] != '(') return false;
+    const std::size_t close = match_delim(sc.s, p);
+    if (close == std::string::npos) return false;
+    std::size_t q = close + 1;
+    while (q < sc.s.size() &&
+           std::isspace(static_cast<unsigned char>(sc.s[q]))) {
+      ++q;
+    }
+    if (q < sc.s.size() && sc.s[q] == '{' && depth == 0 && pdepth == 0) {
+      Event ev;
+      ev.kind = EventKind::kFuncEnter;
+      ev.line = line;
+      ev.column = col;
+      ev.symbol = word;
+      ev.region_id = next_region_id++;
+      sc.advance_to(q);
+      sc.take();  // '{'
+      ++depth;
+      funcs.push_back({depth, ev.region_id, next_seq++, word});
+      out.events.push_back(std::move(ev));
+      last_word.clear();
+      return true;
+    }
+    // A call statement starts the statement (no preceding declarator
+    // word, so prototypes like `void f(int);` are not calls).
+    if (q < sc.s.size() && sc.s[q] == ';' && pdepth == 0 &&
+        last_word.empty()) {
+      Event ev;
+      ev.kind = EventKind::kCall;
+      ev.line = line;
+      ev.column = col;
+      ev.symbol = word;
+      out.events.push_back(std::move(ev));
+      sc.advance_to(close + 1);  // the ';' closes single-stmt branches
+      last_word.clear();
+      return true;
+    }
+    return false;
   }
 
   /// An MPI_* identifier in plain host code; cursor sits at 'M'.
@@ -439,6 +601,7 @@ struct StreamBuilder {
               scan_error(line, column, err);
             }
           }
+          last_word.clear();
           at_line_start = true;
           continue;
         }
@@ -483,18 +646,33 @@ struct StreamBuilder {
       } else if (c == '{') {
         ++depth;
       } else if (c == '}') {
-        // The '}' closes whichever same-depth construct opened last:
-        // a data/host_data region or a braced if/else branch.
+        // The '}' closes whichever same-depth construct opened last: a
+        // data/host_data region, a braced if/else or loop body, or a
+        // function definition.
         const bool region_match =
             !regions.empty() && regions.back().depth == depth;
         const bool guard_match = !guards.empty() &&
                                  !guards.back().single_stmt &&
                                  guards.back().depth == depth;
-        if (guard_match &&
-            (!region_match || guards.back().seq > regions.back().seq)) {
+        const bool func_match = !funcs.empty() && funcs.back().depth == depth;
+        int best = -1;  // 0 guard, 1 region, 2 func
+        int best_seq = -1;
+        if (guard_match && guards.back().seq > best_seq) {
+          best = 0;
+          best_seq = guards.back().seq;
+        }
+        if (region_match && regions.back().seq > best_seq) {
+          best = 1;
+          best_seq = regions.back().seq;
+        }
+        if (func_match && funcs.back().seq > best_seq) {
+          best = 2;
+          best_seq = funcs.back().seq;
+        }
+        if (best == 0) {
           emit_guard_exit(guards.back());
           guards.pop_back();
-        } else if (region_match) {
+        } else if (best == 1) {
           Event ev;
           ev.kind = EventKind::kRegionExit;
           ev.region_id = regions.back().region_id;
@@ -502,8 +680,20 @@ struct StreamBuilder {
           ev.column = sc.col;
           out.events.push_back(std::move(ev));
           regions.pop_back();
+        } else if (best == 2) {
+          Event ev;
+          ev.kind = EventKind::kFuncExit;
+          ev.region_id = funcs.back().region_id;
+          ev.symbol = funcs.back().name;
+          ev.line = sc.line;
+          ev.column = sc.col;
+          out.events.push_back(std::move(ev));
+          funcs.pop_back();
         }
         --depth;
+      }
+      if (!std::isspace(static_cast<unsigned char>(c)) && c != '*') {
+        last_word.clear();
       }
       sc.take();
       if (c == ';') close_single_guards();

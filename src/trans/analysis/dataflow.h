@@ -46,7 +46,16 @@ enum class EventKind : int {
   kGuardExit,    // ... and the branch closed ('}' or the statement's ';')
   kAssign,       // a simple scalar assignment in host code (`x = expr;`);
                  // `assign_expr` is empty when the value is unknowable
-                 // (compound assignment, loop-header induction, ...)
+                 // (compound assignment, assignment inside parentheses)
+  kLoopEnter,    // a `for`/`while` statement opened; `loop_init`,
+                 // `loop_cond`, `loop_inc` hold the raw header pieces
+                 // (empty where the header has none)
+  kLoopExit,     // ... and its body closed ('}' or the statement's ';')
+  kFuncEnter,    // a function definition opened at file scope; `symbol`
+                 // is the function name
+  kFuncExit,     // ... and its body's closing '}' was reached
+  kCall,         // a plain call statement `name(args);`; `symbol` is the
+                 // callee name (only statement-level calls are modeled)
 };
 
 struct Event {
@@ -55,10 +64,14 @@ struct Event {
   MpiCall call;         // kMpiCall; also the attached call for `acc mpi`
   int line = 0;
   int column = 1;
-  int region_id = -1;  // pairs kRegionEnter/kGuardEnter with its exit
+  int region_id = -1;  // pairs enter events with their matching exit
   std::string guard_cond;   // kGuardEnter
   std::string assign_var;   // kAssign
   std::string assign_expr;  // kAssign; empty = value unknown
+  std::string loop_init;    // kLoopEnter: `i = 0` (type keywords stripped)
+  std::string loop_cond;    // kLoopEnter: `i < n`; empty = no condition
+  std::string loop_inc;     // kLoopEnter: `i++` / `i += 2` / ...
+  std::string symbol;       // kFuncEnter / kFuncExit / kCall: the name
 };
 
 struct DirectiveStream {

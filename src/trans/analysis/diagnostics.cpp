@@ -70,6 +70,18 @@ const RuleInfo* rule_catalog() {
       {"IMP020", Severity::kWarning,
        "one buffer is touched on two async queues with no ordering edge "
        "between them"},
+      {"IMP021", Severity::kError,
+       "buffer with a pending nonblocking operation is reused before the "
+       "completing wait"},
+      {"IMP022", Severity::kWarning,
+       "request handle is overwritten by a new nonblocking post while "
+       "still pending (handle leak)"},
+      {"IMP023", Severity::kError,
+       "collective under an iteration-dependent guard makes ranks "
+       "diverge across loop iterations"},
+      {"IMP024", Severity::kWarning,
+       "user p2p tag collides with the tag window reserved for the "
+       "runtime's hierarchical collectives (>= 1<<24)"},
       {nullptr, Severity::kError, nullptr},
   };
   return kRules;

@@ -1,0 +1,185 @@
+#include "trans/analysis/lifetime.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace impacc::trans::analysis {
+
+namespace {
+
+/// One outstanding nonblocking p2p operation on a rank.
+struct Pending {
+  std::string request_expr;  // whitespace-stripped request argument
+  std::string request;       // base identifier (what waits name)
+  std::string buffer;
+  bool writes_buffer = false;  // receive writes; send only reads
+  bool has_queue = false;
+  std::string queue;
+  std::string name;  // MPI routine of the post
+  int line = 0;
+  bool uncertain = false;  // posted under an undecidable guard / widening
+};
+
+bool is_p2p(const RankOp& op) {
+  return op.kind == RankOpKind::kSend || op.kind == RankOpKind::kRecv;
+}
+
+/// Same async queue on both operations: the unified activity queue
+/// executes them in order, so the access is sequenced after the post.
+bool same_queue(const Pending& p, const RankOp& op) {
+  return p.has_queue && op.has_queue && p.queue == op.queue;
+}
+
+struct LifetimeChecker {
+  std::vector<Diagnostic>* out;
+  std::set<std::pair<std::string, int>> reported;  // (code, line)
+
+  void report(const char* code, int line, int column, std::string msg,
+              std::string fixit) {
+    if (!reported.insert({code, line}).second) return;
+    out->push_back(make_diagnostic(code, line, column, std::move(msg),
+                                   std::move(fixit)));
+  }
+
+  void check_tag_window(const RankOp& op) {
+    if (!is_p2p(op) || !op.tag.has_value()) return;
+    if (*op.tag < kReservedCollTagBase) return;
+    report("IMP024", op.line, op.column,
+           op.name + " uses tag " + std::to_string(*op.tag) +
+               ", inside the tag window reserved for the runtime's "
+               "hierarchical collectives (>= " +
+               std::to_string(kReservedCollTagBase) +
+               "); user messages could match internal traffic",
+           "keep user tags below 1<<24, or derive them modulo the "
+           "reserved base");
+  }
+
+  void check_buffer_conflicts(const std::vector<Pending>& pending,
+                              const RankOp& op) {
+    if (op.guarded_unknown) return;
+    for (const auto& acc : op.accesses) {
+      if (acc.var.empty()) continue;
+      for (const auto& p : pending) {
+        if (p.uncertain || p.buffer != acc.var) continue;
+        if (!p.writes_buffer && !acc.write) continue;  // read/read is fine
+        if (same_queue(p, op)) continue;
+        const char* how =
+            acc.write ? (p.writes_buffer ? "is written while the pending "
+                                           "receive also writes it"
+                                         : "is written while the pending "
+                                           "send still reads it")
+                      : "is read while the pending receive writes it";
+        report("IMP021", op.line, op.column,
+               "buffer '" + acc.var + "' " + how + ": " + p.name +
+                   " at line " + std::to_string(p.line) +
+                   " has not completed yet",
+               "complete the request with MPI_Wait (or a covering acc "
+               "wait) before touching '" +
+                   acc.var + "' again, or use a second buffer");
+        return;  // one report per op is enough
+      }
+    }
+  }
+
+  void check_request_overwrite(std::vector<Pending>* pending,
+                               const RankOp& op) {
+    if (op.request_expr.empty()) return;
+    for (auto it = pending->begin(); it != pending->end(); ++it) {
+      if (it->request_expr != op.request_expr) continue;
+      if (!op.guarded_unknown && !it->uncertain) {
+        std::string msg =
+            "request '" + op.request_expr + "' is overwritten by " +
+            op.name + " while the " + it->name + " posted at line " +
+            std::to_string(it->line) + " is still pending";
+        if (op.loop_iter > 0 || it->line == op.line) {
+          msg += " (previous loop iteration)";
+        }
+        report("IMP022", op.line, op.column, std::move(msg),
+               "wait on the request before reposting (move MPI_Wait "
+               "inside the loop) or use one request per iteration "
+               "(an array indexed by the loop variable)");
+      }
+      // The overwritten post can never complete; drop it so later waits
+      // pair with the new post, as they do at runtime.
+      pending->erase(it);
+      break;
+    }
+  }
+
+  void run_rank(const RankTrace& trace) {
+    std::vector<Pending> pending;
+    for (const auto& op : trace.ops) {
+      check_tag_window(op);
+      switch (op.kind) {
+        case RankOpKind::kSend:
+        case RankOpKind::kRecv: {
+          // Overwrite first: reposting the same handle replaces the old
+          // entry, which must not then also count as a buffer conflict
+          // (IMP022 subsumes IMP021 for the replaced post).
+          if (!op.request_expr.empty()) {
+            check_request_overwrite(&pending, op);
+          }
+          check_buffer_conflicts(pending, op);
+          if (!op.request_expr.empty()) {
+            Pending p;
+            p.request_expr = op.request_expr;
+            p.request = op.request;
+            p.buffer = op.buffer;
+            p.writes_buffer = op.kind == RankOpKind::kRecv;
+            p.has_queue = op.has_queue;
+            p.queue = op.queue;
+            p.name = op.name;
+            p.line = op.line;
+            p.uncertain = op.guarded_unknown;
+            pending.push_back(std::move(p));
+          }
+          break;
+        }
+        case RankOpKind::kHostWait:
+          if (!op.request.empty()) {
+            pending.erase(
+                std::remove_if(pending.begin(), pending.end(),
+                               [&](const Pending& p) {
+                                 return p.request == op.request;
+                               }),
+                pending.end());
+          }
+          break;
+        case RankOpKind::kAccWait:
+          pending.erase(
+              std::remove_if(
+                  pending.begin(), pending.end(),
+                  [&](const Pending& p) {
+                    if (!p.has_queue) return false;
+                    return op.wait_all ||
+                           std::find(op.wait_queues.begin(),
+                                     op.wait_queues.end(),
+                                     p.queue) != op.wait_queues.end();
+                  }),
+              pending.end());
+          break;
+        case RankOpKind::kCollective:
+        case RankOpKind::kQueueOp:
+        case RankOpKind::kHostAccess:
+          check_buffer_conflicts(pending, op);
+          break;
+      }
+    }
+    // Entries still pending at end of trace are IMP009's (host path) or
+    // IMP006's (unwaited queue) to report; not re-flagged here.
+  }
+};
+
+}  // namespace
+
+void check_lifetimes(const RankSimResult& sim,
+                     std::vector<Diagnostic>* out) {
+  LifetimeChecker checker{out, {}};
+  for (const auto& trace : sim.traces) {
+    checker.run_rank(trace);
+  }
+}
+
+}  // namespace impacc::trans::analysis

@@ -1,0 +1,42 @@
+// Request/buffer lifetime checks over rank-symbolic traces (ranksim.h).
+//
+// The loop-aware simulator replays iterative communication patterns
+// (halo exchanges in a timestep loop) iteration by iteration, which is
+// exactly where nonblocking request discipline breaks in practice:
+//
+//   IMP021  a buffer with a pending nonblocking operation is reused —
+//           written, or read while the pending op writes it — before
+//           the completing wait. Accesses ordered by a shared async
+//           queue are exempt (the unified activity queue serializes
+//           them, §3.5 of the paper).
+//   IMP022  a request handle is overwritten by a new nonblocking post
+//           while the previous operation it names is still pending
+//           (classic loop bug: MPI_Irecv(..., &req) every iteration,
+//           one MPI_Wait after the loop). The overwritten request can
+//           never be completed — a handle leak.
+//   IMP024  a user p2p tag lands in the reserved hierarchical-
+//           collective tag window (>= 1<<24, mpi/collectives.cpp):
+//           user messages could match the runtime's internal traffic.
+//
+// IMP021/IMP022 are per-rank sequencing checks: they skip operations
+// whose execution is uncertain (undecidable guard, widened loop body)
+// but do not require whole-program exactness the way the cross-rank
+// matching rules do. IMP024 only needs the tag expression's value.
+#pragma once
+
+#include <vector>
+
+#include "trans/analysis/diagnostics.h"
+#include "trans/analysis/ranksim.h"
+
+namespace impacc::trans::analysis {
+
+/// First tag reserved for the runtime's hierarchical collectives; keep
+/// in sync with kCollTagBase in src/mpi/collectives.cpp.
+constexpr long kReservedCollTagBase = 1L << 24;
+
+/// Run the lifetime checks over every simulated rank and append
+/// diagnostics (deduplicated per source line across ranks).
+void check_lifetimes(const RankSimResult& sim, std::vector<Diagnostic>* out);
+
+}  // namespace impacc::trans::analysis

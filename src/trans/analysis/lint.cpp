@@ -8,6 +8,7 @@
 #include "trans/analysis/commgraph.h"
 #include "trans/analysis/dataflow.h"
 #include "trans/analysis/hbclock.h"
+#include "trans/analysis/lifetime.h"
 #include "trans/analysis/ranksim.h"
 #include "trans/lexer.h"
 
@@ -359,8 +360,14 @@ struct Linter {
         case EventKind::kGuardEnter:
         case EventKind::kGuardExit:
         case EventKind::kAssign:
+        case EventKind::kLoopEnter:
+        case EventKind::kLoopExit:
+        case EventKind::kFuncEnter:
+        case EventKind::kFuncExit:
+        case EventKind::kCall:
           // Consumed by the rank-symbolic pass (ranksim.h); the
-          // single-rank checks treat guarded code as unconditional.
+          // single-rank checks treat guarded/looped code as
+          // unconditional straight-line code.
           break;
         case EventKind::kDirective:
           switch (ev.directive.kind) {
@@ -461,9 +468,14 @@ LintResult lint_source(const std::string& source, const LintOptions& options) {
                             linter.diags.begin(), linter.diags.end());
 
   if (options.ranks >= 2) {
-    const RankSimResult sim = simulate_ranks(stream, options.ranks);
+    SimOptions sim_options;
+    sim_options.unroll = options.unroll;
+    const RankSimResult sim =
+        simulate_ranks(stream, options.ranks, sim_options);
+    result.multirank_exact = sim.has_rank_size && sim.comm_exact;
     check_comm_graph(sim, &result.diagnostics);
     check_races(sim, &result.diagnostics);
+    check_lifetimes(sim, &result.diagnostics);
   }
 
   const auto suppressions = collect_suppressions(source);

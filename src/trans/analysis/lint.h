@@ -32,6 +32,14 @@
 //   IMP019  host touches a buffer with a pending async device op
 //   IMP020  two async queues touch one buffer with no ordering edge
 //
+// Loop/lifetime checks (loop-aware, interprocedural simulation; loops
+// are unrolled up to options.unroll iterations, statement-level calls to
+// user functions are inlined):
+//   IMP021  nonblocking buffer reused or written before its wait
+//   IMP022  request handle overwritten while still pending
+//   IMP023  loop-carried collective-order divergence
+//   IMP024  user tag collides with the reserved collective tag window
+//
 // Any diagnostic can be silenced in-source with a comment on the same
 // line or the line above:  /* impacc-lint: allow(IMP014) */
 #pragma once
@@ -47,8 +55,11 @@ struct LintOptions {
   /// Promote warnings to errors (the CLI's --werror).
   bool warnings_as_errors = false;
   /// Symbolic ranks for the multi-rank pass (the CLI's --ranks N).
-  /// Values < 2 disable the pass (IMP013-IMP020 never fire).
+  /// Values < 2 disable the pass (IMP013-IMP024 never fire).
   int ranks = 4;
+  /// Maximum loop iterations the rank simulator unrolls exactly (the
+  /// CLI's --unroll K). 0 = every loop widens (pre-loop-aware behavior).
+  int unroll = 4;
 };
 
 struct LintResult {
@@ -61,6 +72,12 @@ struct LintResult {
   int parse_failures = 0;
   /// Diagnostics silenced by `impacc-lint: allow(...)` comments.
   int suppressed = 0;
+  /// The multi-rank pass ran, saw MPI_Comm_rank/size, and its traces
+  /// were exact: every guard decided, every loop around communication
+  /// unrolled within the budget, every peer/tag resolved. This is the
+  /// "verified deadlock-free" bit — false means the deadlock/match
+  /// analyses were gated off, not that the program is wrong.
+  bool multirank_exact = false;
 
   bool clean() const { return diagnostics.empty(); }
   bool has_errors() const { return errors > 0; }

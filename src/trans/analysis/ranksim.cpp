@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <set>
 
 #include "trans/lexer.h"
 
@@ -317,6 +318,127 @@ std::optional<long> eval_int_expr(const std::string& expr,
   return p.run();
 }
 
+// --- loop-header parsing ----------------------------------------------------
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_plain_ident(const std::string& w) {
+  if (w.empty() || std::isdigit(static_cast<unsigned char>(w[0]))) {
+    return false;
+  }
+  for (const char c : w) {
+    if (!ident_char(c)) return false;
+  }
+  return true;
+}
+
+/// One parsed loop-header piece: `var = expr` shape, or a step operator
+/// rewritten into one (`i++` becomes `i + 1`).
+struct LoopBinding {
+  bool present = false;  // the header piece is nonempty
+  bool ok = false;       // ... and parsed into var/expr
+  std::string var;
+  std::string expr;
+};
+
+std::size_t lead_ident(const std::string& t, std::string* word) {
+  std::size_t i = 0;
+  while (i < t.size() && std::isspace(static_cast<unsigned char>(t[i]))) {
+    ++i;
+  }
+  std::size_t j = i;
+  while (j < t.size() && ident_char(t[j])) ++j;
+  *word = t.substr(i, j - i);
+  return j;
+}
+
+/// `i = 0` (the for-init, type keywords already stripped).
+LoopBinding parse_loop_assign(const std::string& text) {
+  LoopBinding b;
+  const std::string t = trim(text);
+  if (t.empty()) return b;
+  b.present = true;
+  std::string w;
+  std::size_t j = lead_ident(t, &w);
+  if (!is_plain_ident(w)) return b;
+  while (j < t.size() && std::isspace(static_cast<unsigned char>(t[j]))) {
+    ++j;
+  }
+  if (j < t.size() && t[j] == '=' &&
+      (j + 1 >= t.size() || t[j + 1] != '=')) {
+    b.var = w;
+    b.expr = trim(t.substr(j + 1));
+    b.ok = !b.expr.empty();
+  }
+  return b;
+}
+
+/// `i++` / `++i` / `i += 2` / `i = i * 2` (the for-increment).
+LoopBinding parse_loop_step(const std::string& text) {
+  LoopBinding b;
+  const std::string t = trim(text);
+  if (t.empty()) return b;
+  b.present = true;
+  if (t.size() > 2 &&
+      (t.compare(0, 2, "++") == 0 || t.compare(0, 2, "--") == 0)) {
+    const std::string w = trim(t.substr(2));
+    if (is_plain_ident(w)) {
+      b.var = w;
+      b.expr = w + (t[0] == '+' ? " + 1" : " - 1");
+      b.ok = true;
+    }
+    return b;
+  }
+  std::string w;
+  std::size_t j = lead_ident(t, &w);
+  if (!is_plain_ident(w)) return b;
+  while (j < t.size() && std::isspace(static_cast<unsigned char>(t[j]))) {
+    ++j;
+  }
+  const std::string rest = trim(t.substr(j));
+  if (rest == "++") {
+    b.var = w;
+    b.expr = w + " + 1";
+    b.ok = true;
+  } else if (rest == "--") {
+    b.var = w;
+    b.expr = w + " - 1";
+    b.ok = true;
+  } else if (rest.size() >= 2 && rest[1] == '=' &&
+             (rest[0] == '+' || rest[0] == '-' || rest[0] == '*')) {
+    const std::string rhs = trim(rest.substr(2));
+    if (!rhs.empty()) {
+      b.var = w;
+      b.expr = w + " " + rest[0] + " (" + rhs + ")";
+      b.ok = true;
+    }
+  } else if (!rest.empty() && rest[0] == '=' &&
+             (rest.size() < 2 || rest[1] != '=')) {
+    const std::string rhs = trim(rest.substr(1));
+    if (!rhs.empty()) {
+      b.var = w;
+      b.expr = rhs;
+      b.ok = true;
+    }
+  }
+  return b;
+}
+
+std::string strip_spaces(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
 // --- per-rank interpretation ------------------------------------------------
 
 namespace {
@@ -361,8 +483,143 @@ bool clause_writes_device(const std::string& name) {
   return name == "copyout" || name == "create" || name == "copy";
 }
 
+/// Rank-independent structure of the stream, computed once and shared by
+/// every per-rank interpretation: enter/exit pairing for loops and
+/// function bodies, the call graph, and the (transitive) set of variables
+/// each loop or function may mutate — the set widening must invalidate.
+struct StreamIndex {
+  std::map<std::size_t, std::size_t> exit_of;  // loop/func enter -> exit
+  struct FuncBody {
+    std::size_t begin = 0;  // first event inside the body
+    std::size_t end = 0;    // the kFuncExit event
+  };
+  std::map<std::string, FuncBody> funcs;  // first definition wins
+  std::set<std::string> called;           // symbols with a kCall site
+  std::map<std::size_t, std::set<std::string>> loop_touched;
+  std::map<std::string, std::set<std::string>> func_touched;
+};
+
+StreamIndex build_index(const DirectiveStream& stream) {
+  StreamIndex idx;
+  std::vector<std::size_t> loop_stack;
+  std::vector<std::size_t> func_stack;
+  for (std::size_t i = 0; i < stream.events.size(); ++i) {
+    const Event& ev = stream.events[i];
+    switch (ev.kind) {
+      case EventKind::kLoopEnter:
+        loop_stack.push_back(i);
+        break;
+      case EventKind::kLoopExit:
+        if (!loop_stack.empty()) {
+          idx.exit_of[loop_stack.back()] = i;
+          loop_stack.pop_back();
+        }
+        break;
+      case EventKind::kFuncEnter:
+        func_stack.push_back(i);
+        break;
+      case EventKind::kFuncExit:
+        if (!func_stack.empty()) {
+          const std::size_t enter = func_stack.back();
+          func_stack.pop_back();
+          idx.exit_of[enter] = i;
+          const std::string& name = stream.events[enter].symbol;
+          if (!name.empty() && idx.funcs.find(name) == idx.funcs.end()) {
+            idx.funcs[name] = {enter + 1, i};
+          }
+        }
+        break;
+      case EventKind::kCall:
+        idx.called.insert(ev.symbol);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Variables directly mutated in an event range, plus the calls made
+  // there (resolved transitively below).
+  const auto touched_direct = [&stream](std::size_t b, std::size_t e,
+                                        std::set<std::string>* vars,
+                                        std::set<std::string>* callees) {
+    for (std::size_t i = b; i < e && i < stream.events.size(); ++i) {
+      const Event& ev = stream.events[i];
+      switch (ev.kind) {
+        case EventKind::kAssign:
+          if (!ev.assign_var.empty()) vars->insert(ev.assign_var);
+          break;
+        case EventKind::kLoopEnter: {
+          const LoopBinding init = parse_loop_assign(ev.loop_init);
+          if (init.ok) vars->insert(init.var);
+          const LoopBinding step = parse_loop_step(ev.loop_inc);
+          if (step.ok) vars->insert(step.var);
+          break;
+        }
+        case EventKind::kCall:
+          callees->insert(ev.symbol);
+          break;
+        case EventKind::kMpiCall:
+        case EventKind::kDirective: {
+          const MpiCall* c = nullptr;
+          if (ev.kind == EventKind::kMpiCall) {
+            c = &ev.call;
+          } else if (ev.directive.kind == DirectiveKind::kMpi &&
+                     ev.call.valid) {
+            c = &ev.call;
+          }
+          if (c != nullptr &&
+              (c->name == "MPI_Comm_rank" || c->name == "MPI_Comm_size") &&
+              c->args.size() >= 2) {
+            const std::string var = base_identifier(c->args[1]);
+            if (!var.empty()) vars->insert(var);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  };
+
+  std::map<std::string, std::set<std::string>> callees_of;
+  for (const auto& [name, body] : idx.funcs) {
+    touched_direct(body.begin, body.end, &idx.func_touched[name],
+                   &callees_of[name]);
+  }
+  // Transitive closure over the call graph (monotone; terminates).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [name, callees] : callees_of) {
+      for (const auto& cn : callees) {
+        const auto it = idx.func_touched.find(cn);
+        if (it == idx.func_touched.end()) continue;
+        for (const auto& v : it->second) {
+          if (idx.func_touched[name].insert(v).second) changed = true;
+        }
+      }
+    }
+  }
+  for (const auto& [enter, exit] : idx.exit_of) {
+    if (stream.events[enter].kind != EventKind::kLoopEnter) continue;
+    std::set<std::string> vars;
+    std::set<std::string> callees;
+    touched_direct(enter, exit, &vars, &callees);
+    for (const auto& cn : callees) {
+      const auto it = idx.func_touched.find(cn);
+      if (it != idx.func_touched.end()) {
+        vars.insert(it->second.begin(), it->second.end());
+      }
+    }
+    idx.loop_touched[enter] = std::move(vars);
+  }
+  return idx;
+}
+
 struct RankInterp {
   const DirectiveStream& stream;
+  const StreamIndex& idx;
+  const SimOptions& opts;
   int nranks;
   int rank;
   RankSimResult& res;
@@ -374,8 +631,17 @@ struct RankInterp {
   std::string rank_var;
   std::string size_var;
 
-  RankInterp(const DirectiveStream& s, int n, int r, RankSimResult& out)
-      : stream(s), nranks(n), rank(r), res(out) {
+  struct LoopCtx {
+    int line = 0;
+    int iter = -1;  // -1 = widened body
+  };
+  std::vector<LoopCtx> loops;
+  std::vector<std::string> call_stack;
+  int widen_depth = 0;
+
+  RankInterp(const DirectiveStream& s, const StreamIndex& ix,
+             const SimOptions& o, int n, int r, RankSimResult& out)
+      : stream(s), idx(ix), opts(o), nranks(n), rank(r), res(out) {
     trace.rank = r;
   }
 
@@ -393,8 +659,17 @@ struct RankInterp {
     return false;
   }
 
+  /// Execution of the current statement is uncertain: an enclosing guard
+  /// is undecidable, or we are replaying a widened loop body.
+  bool approx() const { return widen_depth > 0 || unknown_guard(); }
+
   void push_op(RankOp op) {
-    op.guarded_unknown = unknown_guard();
+    op.guarded_unknown = approx();
+    if (!loops.empty()) {
+      op.loop_depth = static_cast<int>(loops.size());
+      op.loop_line = loops.back().line;
+      op.loop_iter = loops.back().iter;
+    }
     if (op.guarded_unknown &&
         (op.kind == RankOpKind::kSend || op.kind == RankOpKind::kRecv ||
          op.kind == RankOpKind::kCollective ||
@@ -464,6 +739,7 @@ struct RankInterp {
     op.comm = trim(call.args[5]);
     if (nonblocking && !call.args.empty()) {
       op.request = base_identifier(call.args.back());
+      op.request_expr = strip_spaces(call.args.back());
     }
     if (d != nullptr) {
       if (const Clause* as = d->find("async")) {
@@ -520,8 +796,8 @@ struct RankInterp {
         const std::string var = base_identifier(call.args[1]);
         if (!var.empty()) {
           // Binding under a dead guard never runs; under an unknown
-          // guard the value is unreliable, so drop it.
-          if (unknown_guard()) {
+          // guard or a widened loop the value is unreliable, so drop it.
+          if (approx()) {
             env.erase(var);
           } else {
             env[var] = n == "MPI_Comm_rank" ? rank : nranks;
@@ -629,27 +905,169 @@ struct RankInterp {
     }
   }
 
-  void run() {
-    for (const auto& ev : stream.events) {
-      if (ev.kind == EventKind::kGuardEnter) {
-        int tri = -1;
-        if (!dead()) {
-          const auto v = eval_int_expr(ev.guard_cond, env);
-          if (v.has_value()) tri = *v != 0 ? 1 : 0;
-        } else {
-          tri = 0;  // inside a dead branch everything is dead
+  /// Matching exit index for the loop/func enter at `i`, clamped to `e`
+  /// (an unmatched enter runs to the end of the enclosing range).
+  std::size_t exit_at(std::size_t i, std::size_t e) const {
+    const auto it = idx.exit_of.find(i);
+    if (it != idx.exit_of.end() && it->second <= e) return it->second;
+    return e;
+  }
+
+  void erase_loop_touched(std::size_t enter) {
+    const auto it = idx.loop_touched.find(enter);
+    if (it == idx.loop_touched.end()) return;
+    for (const auto& v : it->second) env.erase(v);
+  }
+
+  /// A loop whose trip count resolves within the unroll budget replays
+  /// exactly, the induction variable bound per iteration. Anything else
+  /// — unresolvable bounds, budget exceeded, an already-approximate
+  /// context — rolls back whatever the attempt emitted and *widens*: the
+  /// body contributes once, every variable the loop can mutate becomes
+  /// unknown, and ops inside are marked uncertain (which poisons
+  /// comm_exact for communication, the pre-unrolling behavior).
+  void exec_loop(std::size_t enter, std::size_t exit) {
+    const Event& ev = stream.events[enter];
+    const std::size_t body_b = enter + 1;
+    const std::size_t body_e = exit;
+
+    const LoopBinding init = parse_loop_assign(ev.loop_init);
+    const LoopBinding step = parse_loop_step(ev.loop_inc);
+    bool attempt = opts.unroll > 0 && !trim(ev.loop_cond).empty() &&
+                   (!init.present || init.ok) &&
+                   (!step.present || step.ok) && !approx();
+
+    const IntEnv env0 = env;
+    const auto extents0 = extents;
+    const std::size_t ops0 = trace.ops.size();
+    const bool exact0 = res.comm_exact;
+    const bool widened0 = res.widened_loops;
+    const std::string rank_var0 = rank_var;
+    const std::string size_var0 = size_var;
+
+    bool exact = false;
+    if (attempt && init.ok) {
+      const auto v = eval_int_expr(init.expr, env);
+      if (v.has_value()) {
+        env[init.var] = *v;
+      } else {
+        attempt = false;
+      }
+    }
+    if (attempt) {
+      loops.push_back({ev.line, 0});
+      int iter = 0;
+      for (;;) {
+        const auto c = eval_int_expr(ev.loop_cond, env);
+        if (!c.has_value()) break;  // condition unresolvable -> widen
+        if (*c == 0) {
+          exact = true;  // terminated within the budget
+          break;
         }
-        guard_tri.push_back(tri);
-        continue;
+        if (iter >= opts.unroll) break;  // trip count exceeds budget
+        loops.back().iter = iter;
+        exec_range(body_b, body_e);
+        if (step.ok) {
+          const auto v = eval_int_expr(step.expr, env);
+          if (!v.has_value()) break;
+          env[step.var] = *v;
+        }
+        ++iter;
       }
-      if (ev.kind == EventKind::kGuardExit) {
-        if (!guard_tri.empty()) guard_tri.pop_back();
-        continue;
+      loops.pop_back();
+    }
+    if (exact) return;
+
+    // Widen: discard the partial attempt and replay the body once with
+    // every loop-mutated variable unknown.
+    env = env0;
+    extents = extents0;
+    trace.ops.resize(ops0);
+    res.comm_exact = exact0;
+    res.widened_loops = widened0;
+    rank_var = rank_var0;
+    size_var = size_var0;
+    res.widened_loops = true;
+    erase_loop_touched(enter);
+    ++widen_depth;
+    loops.push_back({ev.line, -1});
+    exec_range(body_b, body_e);
+    loops.pop_back();
+    --widen_depth;
+    erase_loop_touched(enter);
+  }
+
+  /// Inline a statement-level call to a user function defined in this
+  /// file. The callee runs on the caller's environment; afterwards the
+  /// caller's bindings are restored minus anything the callee (or its
+  /// callees) may have reassigned. Recursion and over-deep chains are
+  /// not modeled — they poison exactness.
+  void exec_call(const Event& ev) {
+    const auto it = idx.funcs.find(ev.symbol);
+    if (it == idx.funcs.end()) return;  // extern: invisible, as before
+    for (const auto& f : call_stack) {
+      if (f == ev.symbol) {
+        res.comm_exact = false;
+        return;
       }
-      if (dead()) continue;
+    }
+    if (static_cast<int>(call_stack.size()) >= opts.inline_depth) {
+      res.comm_exact = false;
+      return;
+    }
+    call_stack.push_back(ev.symbol);
+    const IntEnv env0 = env;
+    exec_range(it->second.begin, it->second.end);
+    call_stack.pop_back();
+    IntEnv restored = env0;
+    const auto t = idx.func_touched.find(ev.symbol);
+    if (t != idx.func_touched.end()) {
+      for (const auto& v : t->second) restored.erase(v);
+    }
+    env = std::move(restored);
+  }
+
+  void exec_range(std::size_t begin, std::size_t end) {
+    std::size_t i = begin;
+    while (i < end && i < stream.events.size()) {
+      const Event& ev = stream.events[i];
       switch (ev.kind) {
+        case EventKind::kGuardEnter: {
+          int tri = -1;
+          if (!dead()) {
+            const auto v = eval_int_expr(ev.guard_cond, env);
+            if (v.has_value()) tri = *v != 0 ? 1 : 0;
+          } else {
+            tri = 0;  // inside a dead branch everything is dead
+          }
+          guard_tri.push_back(tri);
+          break;
+        }
+        case EventKind::kGuardExit:
+          if (!guard_tri.empty()) guard_tri.pop_back();
+          break;
+        case EventKind::kLoopEnter: {
+          const std::size_t x = exit_at(i, end);
+          if (!dead()) exec_loop(i, x);
+          i = x + 1;
+          continue;
+        }
+        case EventKind::kFuncEnter: {
+          // A function that is called somewhere runs at its call sites;
+          // skip the definition. Never-called functions are interpreted
+          // in place (single-function files behave as before).
+          if (idx.called.count(ev.symbol) != 0) {
+            i = exit_at(i, end) + 1;
+            continue;
+          }
+          break;
+        }
+        case EventKind::kCall:
+          if (!dead()) exec_call(ev);
+          break;
         case EventKind::kAssign:
-          if (unknown_guard() || ev.assign_expr.empty()) {
+          if (dead()) break;
+          if (approx() || ev.assign_expr.empty()) {
             env.erase(ev.assign_var);
           } else {
             const auto v = eval_int_expr(ev.assign_expr, env);
@@ -661,32 +1079,37 @@ struct RankInterp {
           }
           break;
         case EventKind::kMpiCall:
-          handle_call(ev.call, nullptr, ev.line, ev.column);
+          if (!dead()) handle_call(ev.call, nullptr, ev.line, ev.column);
           break;
         case EventKind::kDirective:
-          handle_directive(ev);
+          if (!dead()) handle_directive(ev);
           break;
         case EventKind::kRegionEnter:
-          record_extents(ev.directive);
+          if (!dead()) record_extents(ev.directive);
           break;
         case EventKind::kRegionExit:
-        case EventKind::kGuardEnter:
-        case EventKind::kGuardExit:
+        case EventKind::kLoopExit:
+        case EventKind::kFuncExit:
           break;
       }
+      ++i;
     }
   }
+
+  void run() { exec_range(0, stream.events.size()); }
 };
 
 }  // namespace
 
-RankSimResult simulate_ranks(const DirectiveStream& stream, int nranks) {
+RankSimResult simulate_ranks(const DirectiveStream& stream, int nranks,
+                             const SimOptions& options) {
   RankSimResult res;
   res.nranks = nranks;
+  const StreamIndex idx = build_index(stream);
   bool saw_rank = false;
   bool saw_size = false;
   for (int r = 0; r < nranks; ++r) {
-    RankInterp interp(stream, nranks, r, res);
+    RankInterp interp(stream, idx, options, nranks, r, res);
     interp.run();
     saw_rank = saw_rank || !interp.rank_var.empty();
     saw_size = saw_size || !interp.size_var.empty();
@@ -694,6 +1117,10 @@ RankSimResult simulate_ranks(const DirectiveStream& stream, int nranks) {
   }
   res.has_rank_size = saw_rank && saw_size;
   return res;
+}
+
+RankSimResult simulate_ranks(const DirectiveStream& stream, int nranks) {
+  return simulate_ranks(stream, nranks, SimOptions{});
 }
 
 }  // namespace impacc::trans::analysis

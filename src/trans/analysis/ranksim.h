@@ -11,13 +11,25 @@
 // static communication graph (deadlock / match analyses) and hbclock.h
 // runs vector clocks over them (race analyses).
 //
-// Control flow is approximated as straight-line code: each branch whose
-// condition evaluates to a known value is taken or skipped exactly;
-// branches with unknown conditions are included but poison the trace's
-// exactness (comm_exact), which gates the deadlock/match analyses so
-// they never report on programs the model cannot see precisely. Loops
-// are not unrolled — a loop body contributes its operations once, and
-// variables mutated in loop headers become unknown.
+// Control flow: each branch whose condition evaluates to a known value
+// is taken or skipped exactly; branches with unknown conditions are
+// included but poison the trace's exactness (comm_exact), which gates
+// the deadlock/match analyses so they never report on programs the
+// model cannot see precisely.
+//
+// Loops are unrolled boundedly (SimOptions::unroll, the CLI's
+// --unroll): when a `for`/`while` header's trip count resolves to at
+// most K iterations the body is replayed exactly, with the induction
+// variable bound per iteration. Otherwise the loop *widens* — the body
+// contributes its operations once, every variable the loop mutates
+// becomes unknown, and any communication inside poisons comm_exact
+// (the pre-unrolling behavior, kept as the sound fallback).
+//
+// Function calls are inlined interprocedurally: a statement-level call
+// to a function defined in the same file replays the callee's events
+// with the caller's environment (depth-limited; recursion poisons
+// exactness). Functions that are never called are interpreted at their
+// definition site, so single-function fixture files behave as before.
 #pragma once
 
 #include <map>
@@ -94,12 +106,32 @@ struct RankOp {
   std::vector<BufferAccess> accesses;
   std::vector<std::string> wait_clause;  // wait(q) clause on the construct
 
-  bool guarded_unknown = false;  // an enclosing guard was undecidable
+  /// An enclosing guard was undecidable, or the op sits in a widened
+  /// (non-unrolled) loop body — either way its execution is uncertain.
+  bool guarded_unknown = false;
+
+  // loop context (innermost enclosing loop, if any)
+  int loop_depth = 0;   // 0 = not inside any loop
+  int loop_line = 0;    // line of the innermost loop header
+  int loop_iter = -1;   // unrolled iteration number; -1 = widened
+  /// Whitespace-stripped request argument text ("&req[1]"), which keeps
+  /// distinct elements of one request array apart (base `request` does
+  /// not). Empty for blocking ops.
+  std::string request_expr;
 };
 
 struct RankTrace {
   int rank = 0;
   std::vector<RankOp> ops;
+};
+
+/// Knobs for the rank-symbolic interpretation.
+struct SimOptions {
+  /// Maximum loop iterations to unroll exactly (the CLI's --unroll).
+  /// 0 disables unrolling: every loop widens.
+  int unroll = 4;
+  /// Maximum call-inlining depth; deeper chains poison exactness.
+  int inline_depth = 8;
 };
 
 struct RankSimResult {
@@ -108,14 +140,21 @@ struct RankSimResult {
   /// genuinely rank-differentiated.
   bool has_rank_size = false;
   /// Every p2p peer/tag resolved to a concrete value, every comm-relevant
-  /// guard was decidable, and no unmodeled MPI communication call
-  /// appeared. The deadlock/match analyses only run when this holds —
-  /// the model must see the program exactly to accuse it.
+  /// guard was decidable, every loop around communication unrolled
+  /// exactly, and no unmodeled MPI communication call appeared. The
+  /// deadlock/match analyses only run when this holds — the model must
+  /// see the program exactly to accuse it.
   bool comm_exact = true;
+  /// At least one loop could not be unrolled within the budget and fell
+  /// back to widening (informational; widened *communication* also
+  /// clears comm_exact).
+  bool widened_loops = false;
   std::vector<RankTrace> traces;
 };
 
 /// Interpret `stream` once per rank in [0, nranks).
+RankSimResult simulate_ranks(const DirectiveStream& stream, int nranks,
+                             const SimOptions& options);
 RankSimResult simulate_ranks(const DirectiveStream& stream, int nranks);
 
 }  // namespace impacc::trans::analysis

@@ -1,0 +1,17 @@
+/* Clean counterpart of imp022: two in-flight receives, one request
+ * array element each. Distinct elements (&rq[0] / &rq[1]) are distinct
+ * handles, not an overwrite, and MPI_Waitall completes both. */
+void exchange2(double* a, double* b, double* c, int n) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  int next = (rank + 1) % size;
+  int prev = (rank + size - 1) % size;
+  MPI_Request rq[2];
+  MPI_Irecv(b, n, MPI_DOUBLE, prev, 0, MPI_COMM_WORLD, &rq[0]);
+  MPI_Irecv(c, n, MPI_DOUBLE, prev, 1, MPI_COMM_WORLD, &rq[1]);
+  MPI_Send(a, n, MPI_DOUBLE, next, 0, MPI_COMM_WORLD);
+  MPI_Send(a, n, MPI_DOUBLE, next, 1, MPI_COMM_WORLD);
+  MPI_Waitall(2, rq, MPI_STATUSES_IGNORE);
+}

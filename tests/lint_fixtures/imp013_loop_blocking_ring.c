@@ -1,0 +1,16 @@
+/* IMP013 (loop-carried): the blocking ring of imp013_deadlock_ring.c,
+ * but inside a timestep loop. With the default --unroll 4 the loop
+ * unrolls exactly and the first round's sends already form the wait-for
+ * cycle: every rank blocks in MPI_Send before any receive is posted. */
+void ring_steps(double* a, double* b, int n) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  int next = (rank + 1) % size;
+  int prev = (rank + size - 1) % size;
+  for (int it = 0; it < 4; it++) {
+    MPI_Send(a, n, MPI_DOUBLE, next, it, MPI_COMM_WORLD);
+    MPI_Recv(b, n, MPI_DOUBLE, prev, it, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+  }
+}

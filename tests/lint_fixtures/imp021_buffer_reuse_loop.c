@@ -1,0 +1,18 @@
+/* IMP021: every iteration posts MPI_Irecv into `b` and then sends out
+ * of the same `b` while the receive is still in flight — the send can
+ * read half-updated data. Waiting before the send, or sending from a
+ * second buffer (clean_loop_halo_wait.c), fixes it. */
+void halo_steps(double* a, double* b, int n) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  int next = (rank + 1) % size;
+  int prev = (rank + size - 1) % size;
+  MPI_Request rq;
+  for (int it = 0; it < 4; it++) {
+    MPI_Irecv(b, n, MPI_DOUBLE, prev, 5, MPI_COMM_WORLD, &rq);
+    MPI_Send(b, n, MPI_DOUBLE, next, 5, MPI_COMM_WORLD);
+    MPI_Wait(&rq, MPI_STATUS_IGNORE);
+  }
+}

@@ -1,0 +1,18 @@
+/* IMP022: the request handle is overwritten by the next iteration's
+ * MPI_Irecv before anyone waits on it — only the last receive can ever
+ * be completed by the MPI_Wait after the loop; the earlier ones leak.
+ * Waiting inside the loop (clean_loop_halo_wait.c) fixes it. */
+void gather_steps(double* a, double* b, int n) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  int next = (rank + 1) % size;
+  int prev = (rank + size - 1) % size;
+  MPI_Request rq;
+  for (int it = 0; it < 4; it++) {
+    MPI_Irecv(b, n, MPI_DOUBLE, prev, it, MPI_COMM_WORLD, &rq);
+    MPI_Send(a, n, MPI_DOUBLE, next, it, MPI_COMM_WORLD);
+  }
+  MPI_Wait(&rq, MPI_STATUS_IGNORE);
+}

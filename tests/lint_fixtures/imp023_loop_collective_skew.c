@@ -1,0 +1,16 @@
+/* IMP023: the reduction is guarded by a condition that depends on both
+ * the rank AND the loop iteration, so in any given round some ranks
+ * enter the Allreduce while others skip straight to the barrier — the
+ * collective sequences drift apart iteration by iteration. */
+void relax_steps(double* a, int n) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  for (int it = 0; it < 4; it++) {
+    if ((rank + it) % 2 == 0) {
+      MPI_Allreduce(MPI_IN_PLACE, a, n, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+    }
+    MPI_Barrier(MPI_COMM_WORLD);
+  }
+}

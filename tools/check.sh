@@ -41,9 +41,9 @@ for f in examples/*.c tests/lint_fixtures/clean_*.c; do
 done
 [[ "$fail" -eq 0 ]] || { echo "lint gate failed"; exit 1; }
 
-step "impacc-lint over embedded directive snippets"
+step "impacc-lint over embedded directive snippets + raw sources"
 python3 tools/lint_embedded.py --lint "$lint" --werror --ranks 4 -- \
-  examples/*.cpp
+  examples/*.cpp examples/*.c
 
 step "impacc-lint golden fixtures exit with the documented code"
 # Exit scheme: 0 clean, 1 warnings, 2 errors, 3 parse failure.
@@ -52,7 +52,7 @@ for f in tests/lint_fixtures/imp0*.c; do
   "$lint" -q "$f" 2>/dev/null || rc=$?
   case "$(basename "$f")" in
     imp012*) want=3 ;;
-    imp006*|imp007*|imp009*|imp011*|imp020*) want=1 ;;
+    imp006*|imp007*|imp009*|imp011*|imp020*|imp022*|imp024*) want=1 ;;
     *) want=2 ;;
   esac
   if [[ "$rc" -ne "$want" ]]; then
@@ -66,6 +66,22 @@ rc=0
 "$lint" -q --werror tests/lint_fixtures/imp006_async_never_waited.c \
   2>/dev/null || rc=$?
 [[ "$rc" -eq 2 ]] || { echo "--werror should exit 2, got $rc"; exit 1; }
+
+step "impacc-lint baseline round-trip (snapshot suppresses known findings)"
+base="build-check/lint_baseline.txt"
+mkdir -p build-check
+"$lint" -q --ranks 4 --write-baseline "$base" tests/lint_fixtures/imp0*.c \
+  >/dev/null 2>&1 || true
+rc=0
+"$lint" -q --ranks 4 --baseline "$base" tests/lint_fixtures/imp0*.c \
+  >/dev/null 2>&1 || rc=$?
+# Every finding in the snapshot is known, so the re-run is clean.
+[[ "$rc" -eq 0 ]] || { echo "baselined run should exit 0, got $rc"; exit 1; }
+# A finding not in the snapshot still fails.
+rc=0
+"$lint" -q --ranks 4 --baseline <(grep -v IMP021 "$base") \
+  tests/lint_fixtures/imp021_buffer_reuse_loop.c >/dev/null 2>&1 || rc=$?
+[[ "$rc" -eq 2 ]] || { echo "new finding should survive the baseline (exit 2), got $rc"; exit 1; }
 
 # --- 2b. clang-tidy (when available) -----------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then

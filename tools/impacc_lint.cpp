@@ -8,19 +8,28 @@
 //     --werror                   treat warnings as errors
 //     --ranks N                  symbolic ranks for the multi-rank
 //                                pass (default 4; < 2 disables it)
+//     --unroll K                 loop iterations to unroll exactly in
+//                                the rank simulation (default 4;
+//                                0 = every loop widens)
+//     --baseline FILE            drop findings recorded in FILE; only
+//                                new findings are reported and counted
+//     --write-baseline FILE      record current findings as file:line:
+//                                rule keys into FILE and exit 0
 //     -q, --quiet                suppress the summary line
 //
 // Exit status (most severe wins):
 //   0  clean
 //   1  warnings only
-//   2  at least one error
-//   3  parse failure (IMP012) or a usage / I/O problem
+//   2  at least one error, or a bad option value (usage error)
+//   3  parse failure (IMP012) or an I/O / unknown-option problem
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -32,9 +41,28 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--format text|json|sarif] [--json] [--sarif] "
-               "[--werror] [--ranks N] [-q] [file...]\n",
+               "[--werror] [--ranks N] [--unroll K] [--baseline FILE] "
+               "[--write-baseline FILE] [-q] [file...]\n",
                argv0);
   return 3;
+}
+
+/// Parse a bounded integer option value. Returns false (with a message
+/// naming the option, the offending value, and the accepted range) on
+/// malformed input or out-of-range values.
+bool parse_bounded(const char* opt, const char* text, long lo, long hi,
+                   int* out) {
+  char* end = nullptr;
+  const long n = std::strtol(text, &end, 10);
+  if (end == text || end == nullptr || *end != '\0' || n < lo || n > hi) {
+    std::fprintf(stderr,
+                 "impacc-lint: invalid value '%s' for %s: expected an "
+                 "integer in %ld..%ld\n",
+                 text, opt, lo, hi);
+    return false;
+  }
+  *out = static_cast<int>(n);
+  return true;
 }
 
 bool read_all(const std::string& path, std::string* out) {
@@ -54,6 +82,11 @@ bool read_all(const std::string& path, std::string* out) {
   return true;
 }
 
+std::string finding_key(const std::string& file,
+                        const impacc::trans::analysis::Diagnostic& d) {
+  return file + ":" + std::to_string(d.line) + ":" + d.code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -62,6 +95,8 @@ int main(int argc, char** argv) {
   std::string format = "text";
   LintOptions options;
   bool quiet = false;
+  std::string baseline_path;
+  std::string write_baseline_path;
   std::vector<std::string> inputs;
 
   for (int i = 1; i < argc; ++i) {
@@ -77,13 +112,20 @@ int main(int argc, char** argv) {
       options.warnings_as_errors = true;
     } else if (arg == "--ranks") {
       if (i + 1 >= argc) return usage(argv[0]);
-      char* end = nullptr;
-      const long n = std::strtol(argv[++i], &end, 10);
-      if (end == nullptr || *end != '\0' || n < 0 || n > 64) {
-        std::fprintf(stderr, "--ranks expects an integer in 0..64\n");
-        return usage(argv[0]);
+      if (!parse_bounded("--ranks", argv[++i], 0, 64, &options.ranks)) {
+        return 2;  // usage error: bad option value
       }
-      options.ranks = static_cast<int>(n);
+    } else if (arg == "--unroll") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      if (!parse_bounded("--unroll", argv[++i], 0, 64, &options.unroll)) {
+        return 2;
+      }
+    } else if (arg == "--baseline") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      baseline_path = argv[++i];
+    } else if (arg == "--write-baseline") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      write_baseline_path = argv[++i];
     } else if (arg == "-q" || arg == "--quiet") {
       quiet = true;
     } else if (arg == "-h" || arg == "--help") {
@@ -99,12 +141,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown format '%s'\n", format.c_str());
     return usage(argv[0]);
   }
+  if (!baseline_path.empty() && !write_baseline_path.empty()) {
+    std::fprintf(stderr,
+                 "impacc-lint: --baseline and --write-baseline are "
+                 "mutually exclusive\n");
+    return 2;
+  }
   if (inputs.empty()) inputs.push_back("");  // stdin
 
   std::vector<FileDiagnostics> files;
-  int total_errors = 0;
-  int total_warnings = 0;
-  int total_parse_failures = 0;
   for (const auto& path : inputs) {
     std::string source;
     if (!read_all(path, &source)) {
@@ -112,11 +157,84 @@ int main(int argc, char** argv) {
       return 3;
     }
     const LintResult result = lint_source(source, options);
-    total_errors += result.errors;
-    total_warnings += result.warnings;
-    total_parse_failures += result.parse_failures;
     files.push_back(
         {path.empty() ? "<stdin>" : path, result.diagnostics});
+  }
+
+  // Snapshot mode: record every finding as a stable file:line:rule key.
+  if (!write_baseline_path.empty()) {
+    std::vector<std::string> keys;
+    for (const auto& f : files) {
+      for (const auto& d : f.diagnostics) {
+        keys.push_back(finding_key(f.file, d));
+      }
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    std::ofstream out(write_baseline_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   write_baseline_path.c_str());
+      return 3;
+    }
+    for (const auto& k : keys) out << k << "\n";
+    if (!quiet) {
+      std::fprintf(stderr, "wrote %zu finding(s) to %s\n", keys.size(),
+                   write_baseline_path.c_str());
+    }
+    return 0;
+  }
+
+  // Compare mode: findings already in the baseline are dropped before
+  // reporting and exit-code accounting, so only regressions fail CI.
+  int baselined = 0;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open baseline %s\n",
+                   baseline_path.c_str());
+      return 3;
+    }
+    std::set<std::string> known;
+    std::string line;
+    while (std::getline(in, line)) {
+      while (!line.empty() &&
+             (line.back() == '\r' || line.back() == ' ')) {
+        line.pop_back();
+      }
+      if (!line.empty()) known.insert(line);
+    }
+    for (auto& f : files) {
+      std::vector<Diagnostic> kept;
+      kept.reserve(f.diagnostics.size());
+      for (auto& d : f.diagnostics) {
+        if (known.count(finding_key(f.file, d)) != 0) {
+          ++baselined;
+        } else {
+          kept.push_back(std::move(d));
+        }
+      }
+      f.diagnostics = std::move(kept);
+    }
+  }
+
+  int total_errors = 0;
+  int total_warnings = 0;
+  int total_parse_failures = 0;
+  for (const auto& f : files) {
+    for (const auto& d : f.diagnostics) {
+      if (d.code == "IMP012") ++total_parse_failures;
+      switch (d.severity) {
+        case Severity::kError:
+          ++total_errors;
+          break;
+        case Severity::kWarning:
+          ++total_warnings;
+          break;
+        case Severity::kNote:
+          break;
+      }
+    }
   }
 
   if (format == "json") {
@@ -130,8 +248,16 @@ int main(int argc, char** argv) {
       }
     }
     if (!quiet) {
-      std::fprintf(stderr, "%d error(s), %d warning(s) in %zu file(s)\n",
-                   total_errors, total_warnings, files.size());
+      if (baselined > 0) {
+        std::fprintf(stderr,
+                     "%d error(s), %d warning(s) in %zu file(s) "
+                     "(%d baselined)\n",
+                     total_errors, total_warnings, files.size(),
+                     baselined);
+      } else {
+        std::fprintf(stderr, "%d error(s), %d warning(s) in %zu file(s)\n",
+                     total_errors, total_warnings, files.size());
+      }
     }
   }
   if (total_parse_failures > 0) return 3;

@@ -5,7 +5,9 @@ Sources like examples/translate_demo.cpp carry directive programs inside
 R"(...)" literals, invisible to impacc-lint's file-level scanner. This
 gate extracts every raw string that contains an `#pragma acc` directive,
 writes it to a temp file, and runs impacc-lint over it with the caller's
-flags. Exit code is the maximum lint exit code over all snippets (so the
+flags. Files ending in `.c` (e.g. examples/ring_acc_source.c, which is
+translated rather than compiled) are linted whole, under their real
+path. Exit code is the maximum lint exit code over all snippets (so the
 0/1/2/3 severity scheme survives aggregation).
 
 Usage: lint_embedded.py --lint <impacc-lint> [lint flags --] file...
@@ -39,6 +41,18 @@ def main(argv):
             print(f"lint_embedded: cannot read {path}: {err}",
                   file=sys.stderr)
             return 3
+        if path.endswith(".c"):
+            # Raw directive sources are a lint input as-is: no
+            # extraction, and findings keep their real path/line.
+            snippets += 1
+            proc = subprocess.run([lint, *flags, path],
+                                  capture_output=True, text=True)
+            if proc.returncode != 0:
+                print(f"-- findings in {path} --")
+                sys.stdout.write(proc.stdout)
+                sys.stderr.write(proc.stderr)
+            worst = max(worst, proc.returncode)
+            continue
         for i, m in enumerate(RAW_STRING.finditer(text)):
             body = m.group(2)
             if "#pragma acc" not in body:
