@@ -1,0 +1,107 @@
+// Handler ping-storm: wall-clock throughput of the message-handler hot
+// path, batched rings vs the legacy per-message loop (DESIGN.md
+// section 9).
+//
+// Not a paper figure — the simulated virtual times are bit-identical with
+// features.handler_batching on and off (that is the flag's contract), so
+// this series measures what the batching actually buys: HOST wall-clock
+// msgs/sec through one node handler at saturation. The workload is
+// adversarial for the legacy path: rank 0 pre-posts every receive with
+// ascending tags and the senders emit descending tags, so each arriving
+// send scans almost the whole posted-receive deque (O(n^2) total) where
+// the hash-bucket matcher answers in O(1) per message.
+#include <chrono>
+#include <map>
+
+#include "bench_common.h"
+
+namespace impacc::bench {
+namespace {
+
+/// One storm: (size-1) senders flood rank 0 with `msgs_per_sender` eager
+/// messages each; rank 0 pre-posts all receives. Model-only, so the run
+/// cost is dominated by the handler/matching machinery under test.
+/// Returns wall-clock seconds for the whole launch.
+double run_storm(bool batched, int msgs_per_sender) {
+  auto o = model_options("psg", 1, core::Framework::kImpacc);
+  o.features.handler_batching = batched;
+  const auto t0 = std::chrono::steady_clock::now();
+  launch(o, [msgs_per_sender] {
+    auto w = mpi::world();
+    const int rank = mpi::comm_rank(w);
+    const int size = mpi::comm_size(w);
+    if (rank == 0) {
+      const int total = (size - 1) * msgs_per_sender;
+      std::vector<mpi::Request> recvs;
+      recvs.reserve(static_cast<std::size_t>(total));
+      // Ascending tags per source; senders go descending, so the legacy
+      // matcher's linear scan walks ~all earlier-posted receives.
+      for (int src = 1; src < size; ++src) {
+        for (int m = 0; m < msgs_per_sender; ++m) {
+          recvs.push_back(
+              mpi::irecv(nullptr, 1, mpi::Datatype::kLong, src, m, w));
+        }
+      }
+      mpi::waitall(recvs);
+    } else {
+      for (int m = msgs_per_sender - 1; m >= 0; --m) {
+        mpi::send(nullptr, 1, mpi::Datatype::kLong, 0, m, w);
+      }
+    }
+    mpi::barrier(w);
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+void register_benchmarks() {
+  const std::vector<int> sweep =
+      bench_smoke() ? std::vector<int>{64} : std::vector<int>{1024, 4096};
+  const int iterations = bench_smoke() ? 1 : 3;
+  for (const int msgs : sweep) {
+    for (const bool batched : {true, false}) {
+      // psg is a single 8-task node: 7 senders per storm.
+      const std::uint64_t storm_msgs = 7ull * static_cast<unsigned>(msgs);
+      const std::string name = std::string("HandlerStorm/psg/") +
+                               (batched ? "batched" : "unbatched") + "/" +
+                               std::to_string(msgs);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [batched, msgs, storm_msgs](benchmark::State& st) {
+            // Rates accumulated across the batched/unbatched pair so the
+            // summary table can show them side by side (the batched
+            // variant registers — and therefore runs — first).
+            static std::map<int, double> batched_rate;
+            std::uint64_t total = 0;
+            double seconds = 0;
+            for (auto _ : st) {
+              seconds += run_storm(batched, msgs);
+              total += storm_msgs;
+            }
+            const double rate =
+                seconds > 0 ? static_cast<double>(total) / seconds : 0;
+            st.counters["msgs_per_sec"] = benchmark::Counter(
+                static_cast<double>(total), benchmark::Counter::kIsRate);
+            if (batched) {
+              batched_rate[msgs] = rate;
+            } else {
+              add_row("HandlerStorm psg 8t",
+                      std::to_string(msgs) + " msg/sender",
+                      batched_rate[msgs] / 1e6, rate / 1e6,
+                      "Mmsg/s wall (batched vs unbatched)");
+            }
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(iterations)
+          ->UseRealTime();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace impacc::bench
+
+using impacc::bench::register_benchmarks;
+IMPACC_BENCH_MAIN("HandlerStorm",
+                  "message-handler wall-clock throughput, batched rings vs "
+                  "per-message loop")

@@ -1,6 +1,7 @@
 #include "acc/present_table.h"
 
 #include <algorithm>
+#include <mutex>
 
 namespace impacc::acc {
 namespace detail {
@@ -221,6 +222,7 @@ PresentEntry* PresentTable::insert(const void* host, void* dev,
   IMPACC_CHECK(bytes > 0);
   const auto h = reinterpret_cast<std::uintptr_t>(host);
   const auto d = reinterpret_cast<std::uintptr_t>(dev);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   // Overlap guard: an existing entry overlaps [x, x+bytes) iff it contains
   // x or starts inside (x, x+bytes).
   IMPACC_CHECK_MSG(by_host_.find_containing(h) == nullptr &&
@@ -241,42 +243,61 @@ PresentEntry* PresentTable::insert(const void* host, void* dev,
 }
 
 void PresentTable::erase(PresentEntry* e) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   by_host_.erase(e);
   by_dev_.erase(e);
+  // Clear the memos before the entry dies: concurrent lookups are
+  // excluded by the writer lock, so none can still validate `e`.
   invalidate_memo();
   delete e;
 }
 
 void PresentTable::invalidate_memo() {
-  host_memo_ = nullptr;
-  dev_memo_ = nullptr;
-  ++cache_.invalidations;
+  for (MemoShard& s : memo_) {
+    s.host.store(nullptr, std::memory_order_relaxed);
+    s.dev.store(nullptr, std::memory_order_relaxed);
+  }
+  cache_.invalidations.fetch_add(1, std::memory_order_relaxed);
 }
 
 PresentEntry* PresentTable::find_host(const void* p) const {
   const auto addr = reinterpret_cast<std::uintptr_t>(p);
-  if (host_memo_ != nullptr && addr >= host_memo_->host &&
-      addr < host_memo_->host + host_memo_->bytes) {
-    ++cache_.host_hits;
-    return host_memo_;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::atomic<PresentEntry*>& memo = memo_[memo_shard(addr)].host;
+  PresentEntry* m = memo.load(std::memory_order_acquire);
+  if (m != nullptr && addr >= m->host && addr < m->host + m->bytes) {
+    cache_.host_hits.fetch_add(1, std::memory_order_relaxed);
+    return m;
   }
-  ++cache_.host_misses;
+  cache_.host_misses.fetch_add(1, std::memory_order_relaxed);
   PresentEntry* e = by_host_.find_containing(addr);
-  if (e != nullptr) host_memo_ = e;
+  if (e != nullptr) memo.store(e, std::memory_order_release);
   return e;
 }
 
 PresentEntry* PresentTable::find_dev(const void* p) const {
   const auto addr = reinterpret_cast<std::uintptr_t>(p);
-  if (dev_memo_ != nullptr && addr >= dev_memo_->dev &&
-      addr < dev_memo_->dev + dev_memo_->bytes) {
-    ++cache_.dev_hits;
-    return dev_memo_;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::atomic<PresentEntry*>& memo = memo_[memo_shard(addr)].dev;
+  PresentEntry* m = memo.load(std::memory_order_acquire);
+  if (m != nullptr && addr >= m->dev && addr < m->dev + m->bytes) {
+    cache_.dev_hits.fetch_add(1, std::memory_order_relaxed);
+    return m;
   }
-  ++cache_.dev_misses;
+  cache_.dev_misses.fetch_add(1, std::memory_order_relaxed);
   PresentEntry* e = by_dev_.find_containing(addr);
-  if (e != nullptr) dev_memo_ = e;
+  if (e != nullptr) memo.store(e, std::memory_order_release);
   return e;
+}
+
+PresentTable::CacheStats PresentTable::cache_stats() const {
+  CacheStats out;
+  out.host_hits = cache_.host_hits.load(std::memory_order_relaxed);
+  out.host_misses = cache_.host_misses.load(std::memory_order_relaxed);
+  out.dev_hits = cache_.dev_hits.load(std::memory_order_relaxed);
+  out.dev_misses = cache_.dev_misses.load(std::memory_order_relaxed);
+  out.invalidations = cache_.invalidations.load(std::memory_order_relaxed);
+  return out;
 }
 
 void* PresentTable::deviceptr(const void* p) const {
@@ -294,6 +315,7 @@ void* PresentTable::hostptr(const void* p) const {
 }
 
 std::vector<PresentEntry*> PresentTable::entries() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<PresentEntry*> out;
   out.reserve(by_host_.size());
   for (std::uintptr_t key : by_host_.keys()) {

@@ -8,8 +8,11 @@
 // entries are non-overlapping address intervals.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "common/types.h"
@@ -98,15 +101,22 @@ class AddrAvlTree {
 }  // namespace detail
 
 /// Per-task present table: owns its entries and keeps both index trees in
-/// sync. Not thread-safe by design: a present table belongs to one task
-/// (the paper keeps "a distinct present table for each task to avoid the
-/// access conflict between them").
+/// sync. Each task keeps its own table (the paper keeps "a distinct
+/// present table for each task to avoid the access conflict between
+/// them"), but within a task's node the handler fiber and the task fiber
+/// can look buffers up concurrently, so the LOOKUP path is thread-safe:
+/// a reader/writer lock guards the trees (lookups share it) and the memo
+/// caches are sharded atomics, so concurrent fibers resolving different
+/// buffers neither serialize nor ping-pong one memo cache line.
+/// Structural changes (insert/erase) still come only from the owning task
+/// fiber; returned entries stay valid because only the owner erases.
 class PresentTable {
  public:
-  /// Effectiveness counters of the one-entry memo caches that sit in front
+  /// Effectiveness counters of the sharded memo caches that sit in front
   /// of the two AVL trees. Directive-heavy code (and every `acc mpi`
   /// buffer resolution) looks the same few buffers up over and over, so a
-  /// single remembered entry per tree answers most lookups in O(1).
+  /// remembered entry per (tree, address shard) answers most lookups in
+  /// O(1) without touching the lock-protected tree walk.
   struct CacheStats {
     std::uint64_t host_hits = 0;
     std::uint64_t host_misses = 0;  // tree walked (found or not)
@@ -152,19 +162,43 @@ class PresentTable {
   /// All entries (unordered); used at task teardown to release leaks.
   std::vector<PresentEntry*> entries() const;
 
-  const CacheStats& cache_stats() const { return cache_; }
+  /// Snapshot of the memo-cache counters (by value: the live counters are
+  /// atomics updated concurrently by lookups).
+  CacheStats cache_stats() const;
+
+  /// Number of memo shards per tree. Lookup addresses map to shards at
+  /// page granularity, so fibers resolving different buffers hit
+  /// different shards.
+  static constexpr std::size_t kMemoShards = 8;
 
  private:
+  static std::size_t memo_shard(std::uintptr_t addr) {
+    return (addr >> 12) & (kMemoShards - 1);
+  }
   void invalidate_memo();
 
   detail::AddrAvlTree by_host_;
   detail::AddrAvlTree by_dev_;
-  // One-entry memo caches (mutable: lookups are logically const). Any
-  // insert or erase invalidates both — correctness over cleverness; the
-  // hot path is long runs of lookups between structural changes.
-  mutable PresentEntry* host_memo_ = nullptr;
-  mutable PresentEntry* dev_memo_ = nullptr;
-  mutable CacheStats cache_;
+  // Reader/writer lock: lookups take it shared (concurrent), insert/erase
+  // exclusive. Exclusive sections clear every memo shard before an entry
+  // is destroyed, so a lookup can never validate a freed entry.
+  mutable std::shared_mutex mu_;
+  // Sharded memo caches (mutable: lookups are logically const). Any
+  // insert or erase invalidates all shards — correctness over cleverness;
+  // the hot path is long runs of lookups between structural changes.
+  struct MemoShard {
+    std::atomic<PresentEntry*> host{nullptr};
+    std::atomic<PresentEntry*> dev{nullptr};
+  };
+  mutable std::array<MemoShard, kMemoShards> memo_;
+  struct AtomicCacheStats {
+    std::atomic<std::uint64_t> host_hits{0};
+    std::atomic<std::uint64_t> host_misses{0};
+    std::atomic<std::uint64_t> dev_hits{0};
+    std::atomic<std::uint64_t> dev_misses{0};
+    std::atomic<std::uint64_t> invalidations{0};
+  };
+  mutable AtomicCacheStats cache_;
 };
 
 }  // namespace impacc::acc

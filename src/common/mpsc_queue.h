@@ -6,6 +6,13 @@
 // nodes with one atomic exchange; the consumer walks the list. Per-producer
 // FIFO ordering is preserved, which is what MPI message-ordering semantics
 // need.
+//
+// On top of the one-at-a-time pop(), pop_all() detaches the entire pushed
+// chain in a single head exchange and hands it back as an in-order Batch —
+// the submission side of the handler's io_uring-style ring pipeline
+// (DESIGN.md section 9). Because the detached chain is exactly the
+// producers' link order, a Batch preserves per-producer FIFO by
+// construction.
 #pragma once
 
 #include <atomic>
@@ -14,6 +21,8 @@
 #include "common/types.h"
 
 namespace impacc {
+
+struct MpscQueueTestPeer;
 
 /// Base class for nodes that can be put on an MpscQueue.
 struct MpscNode {
@@ -26,11 +35,54 @@ struct MpscNode {
 /// consumer; it may momentarily observe an in-flight push (next pointer not
 /// yet linked) and return nullptr, in which case the element will be
 /// visible on a later pop — consumers must treat nullptr as "possibly more
-/// later", and use empty() only as a hint.
+/// later", and use empty_hint() only as a hint.
 class MpscQueue {
  public:
-  MpscQueue() : head_(&stub_), tail_(&stub_) {
-    stub_.next.store(nullptr, std::memory_order_relaxed);
+  /// In-order view of one detached producer chain (see pop_all()). The
+  /// single consumer iterates with take(); a Batch must be fully drained
+  /// before the next pop()/pop_all() call on its queue, because the next
+  /// drain recycles the stub node the Batch may still have to skip over.
+  class Batch {
+   public:
+    Batch() = default;
+
+    /// Next element in push order, or nullptr when the batch is exhausted.
+    /// May spin briefly across an in-flight push window: the chain's end is
+    /// known (it was the head at detach time), so any missing intermediate
+    /// link is two producer instructions away from being visible.
+    MpscNode* take() {
+      while (cur_ != nullptr) {
+        MpscNode* n = cur_;
+        if (n == last_) {
+          cur_ = nullptr;
+        } else {
+          MpscNode* next = n->next.load(std::memory_order_acquire);
+          while (next == nullptr) {  // producer mid-push; the store lands
+            next = n->next.load(std::memory_order_acquire);
+          }
+          cur_ = next;
+        }
+        if (n == skip_) continue;  // the recycled stub, not an element
+        return n;
+      }
+      return nullptr;
+    }
+
+    bool empty() const { return cur_ == nullptr; }
+
+   private:
+    friend class MpscQueue;
+    Batch(MpscNode* first, MpscNode* last, MpscNode* skip)
+        : cur_(first), last_(last), skip_(skip) {}
+
+    MpscNode* cur_ = nullptr;
+    MpscNode* last_ = nullptr;
+    MpscNode* skip_ = nullptr;
+  };
+
+  MpscQueue() : head_(&stubs_[0]), tail_(&stubs_[0]), cur_stub_(&stubs_[0]) {
+    stubs_[0].next.store(nullptr, std::memory_order_relaxed);
+    stubs_[1].next.store(nullptr, std::memory_order_relaxed);
   }
 
   MpscQueue(const MpscQueue&) = delete;
@@ -47,42 +99,71 @@ class MpscQueue {
 
   /// Dequeue one node, or nullptr if (apparently) empty. Single consumer.
   MpscNode* pop() {
-    MpscNode* tail = tail_;
+    MpscNode* stub = cur_stub_.load(std::memory_order_relaxed);
+    MpscNode* tail = tail_.load(std::memory_order_relaxed);
     MpscNode* next = tail->next.load(std::memory_order_acquire);
-    if (tail == &stub_) {
+    if (tail == stub) {
       if (next == nullptr) return nullptr;  // empty (or in-flight push)
-      tail_ = next;
+      tail_.store(next, std::memory_order_relaxed);
       tail = next;
       next = next->next.load(std::memory_order_acquire);
     }
     if (next != nullptr) {
-      tail_ = next;
+      tail_.store(next, std::memory_order_relaxed);
       return tail;
     }
     MpscNode* head = head_.load(std::memory_order_acquire);
     if (tail != head) return nullptr;  // producer mid-push; retry later
     // Re-insert the stub so the consumer can take the last element.
-    stub_.next.store(nullptr, std::memory_order_relaxed);
-    MpscNode* prev = head_.exchange(&stub_, std::memory_order_acq_rel);
-    prev->next.store(&stub_, std::memory_order_release);
+    stub->next.store(nullptr, std::memory_order_relaxed);
+    MpscNode* prev = head_.exchange(stub, std::memory_order_acq_rel);
+    prev->next.store(stub, std::memory_order_release);
     next = tail->next.load(std::memory_order_acquire);
     if (next != nullptr) {
-      tail_ = next;
+      tail_.store(next, std::memory_order_relaxed);
       return tail;
     }
     return nullptr;
   }
 
-  /// Hint: true when nothing is observably queued.
+  /// Detach everything currently pushed in ONE head exchange and return it
+  /// as an in-order Batch. Single consumer. The queue flips to its spare
+  /// stub, so producers keep pushing undisturbed while the consumer walks
+  /// the detached chain; the previous stub travels inside the chain (pop()
+  /// may have recycled it mid-stream) and the Batch skips it. The returned
+  /// Batch must be fully drained before the next pop()/pop_all().
+  Batch pop_all() {
+    MpscNode* stub = cur_stub_.load(std::memory_order_relaxed);
+    MpscNode* first = tail_.load(std::memory_order_relaxed);
+    if (first == stub &&
+        head_.load(std::memory_order_acquire) == stub) {
+      return Batch{};  // nothing pushed (in-flight pushes show up later)
+    }
+    MpscNode* fresh = stub == &stubs_[0] ? &stubs_[1] : &stubs_[0];
+    fresh->next.store(nullptr, std::memory_order_relaxed);
+    MpscNode* last = head_.exchange(fresh, std::memory_order_acq_rel);
+    tail_.store(fresh, std::memory_order_relaxed);
+    cur_stub_.store(fresh, std::memory_order_relaxed);
+    return Batch{first, last, stub};
+  }
+
+  /// Hint: true when nothing is observably queued. Safe to call
+  /// concurrently with producers (every member read is atomic).
   bool empty_hint() const {
-    return head_.load(std::memory_order_acquire) == tail_ &&
-           tail_ == const_cast<MpscNode*>(&stub_);
+    MpscNode* tail = tail_.load(std::memory_order_acquire);
+    return head_.load(std::memory_order_acquire) == tail &&
+           tail == cur_stub_.load(std::memory_order_acquire);
   }
 
  private:
-  std::atomic<MpscNode*> head_;  // producers push here
-  MpscNode* tail_;               // consumer pops here
-  MpscNode stub_;
+  friend struct MpscQueueTestPeer;
+
+  std::atomic<MpscNode*> head_;      // producers push here
+  std::atomic<MpscNode*> tail_;      // consumer pops here
+  std::atomic<MpscNode*> cur_stub_;  // which of stubs_ roots the live list
+  // Two stubs so pop_all() can flip to a fresh one while the old stub is
+  // still buried in the detached chain.
+  MpscNode stubs_[2];
 };
 
 }  // namespace impacc

@@ -36,6 +36,14 @@ struct Features {
   // memory phase + inter-node phase over per-node leaders. Also
   // overridable via the IMPACC_HIER_COLLECTIVES environment variable.
   bool hier_collectives = true;
+  // Batched handler rings (DESIGN.md section 9): the message handler
+  // drains its MPSC queue with one-exchange batch detaches, matches
+  // through the matcher's exact-key hash buckets, and coalesces
+  // stats/completion/stream work per batch instead of per message. Pure
+  // scheduling optimization — virtual times are identical either way; off
+  // reproduces the per-message legacy loop bit for bit. Also overridable
+  // via the IMPACC_HANDLER_BATCHING environment variable.
+  bool handler_batching = true;
 };
 
 /// OpenACC device-type selection bits (IMPACC_ACC_DEVICE_TYPE, Fig. 2).

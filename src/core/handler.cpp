@@ -1,7 +1,11 @@
 #include "core/handler.h"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
+#include <mutex>
+#include <utility>
+#include <vector>
 
 #include "common/log.h"
 #include "dev/copyengine.h"
@@ -13,16 +17,111 @@ namespace impacc::core {
 
 namespace {
 
+/// Completion ring of one handler batch (DESIGN.md section 9). The
+/// submission pass (matching) appends the per-message side effects that
+/// used to be applied inline — TaskStats mutations, request completions,
+/// activity-queue wakeups — and the completion pass applies them
+/// coalesced: one stats_mutex acquisition per task, one astream_lock +
+/// wake per node, instead of one of each per message. Request state is
+/// held by shared_ptr because the matched MsgCommands are deleted before
+/// the flush runs. Virtual times are computed in the submission pass and
+/// carried through unchanged, so batching never moves a completion time.
+struct BatchSink {
+  struct TaskDelta {
+    Task* task;
+    std::array<sim::Time, 6> copy_time{};
+    std::array<std::uint64_t, 6> copy_count{};
+    std::uint64_t msgs_recv = 0;
+    std::uint64_t heap_aliases = 0;
+  };
+
+  // A node hosts a handful of tasks, so the linear scan beats a map.
+  std::vector<TaskDelta> tasks;
+  std::vector<std::pair<std::shared_ptr<mpi::RequestState>, sim::Time>>
+      completions;
+  std::vector<std::pair<dev::Stream*, NodeRt*>> resumes;
+
+  TaskDelta& delta(Task& t) {
+    for (TaskDelta& d : tasks) {
+      if (d.task == &t) return d;
+    }
+    tasks.push_back(TaskDelta{&t, {}, {}, 0, 0});
+    return tasks.back();
+  }
+};
+
+/// Apply one batch's deferred side effects, coalesced per task / node.
+void flush_batch(BatchSink& sink) {
+  for (BatchSink::TaskDelta& d : sink.tasks) {
+    std::lock_guard<std::mutex> lock(d.task->stats_mutex);
+    for (std::size_t i = 0; i < 6; ++i) {
+      d.task->stats.copy_time[i] += d.copy_time[i];
+      d.task->stats.copy_count[i] += d.copy_count[i];
+    }
+    d.task->stats.msgs_recv += d.msgs_recv;
+    d.task->stats.heap_aliases += d.heap_aliases;
+  }
+  for (auto& [req, done] : sink.completions) {
+    req->rec.complete(done);
+  }
+  // Activity-queue advancement: group the resumed streams by node so each
+  // node pays one lock acquisition and one wake for the whole batch.
+  for (std::size_t i = 0; i < sink.resumes.size(); ++i) {
+    NodeRt* node = sink.resumes[i].second;
+    if (node == nullptr) continue;  // grouped with an earlier entry
+    node->astream_lock.lock();
+    for (std::size_t j = i; j < sink.resumes.size(); ++j) {
+      if (sink.resumes[j].second == node) {
+        node->active_streams.push_back(sink.resumes[j].first);
+        if (j != i) sink.resumes[j].second = nullptr;
+      }
+    }
+    node->astream_lock.unlock();
+    node->wake.set();
+  }
+  sink.tasks.clear();
+  sink.completions.clear();
+  sink.resumes.clear();
+}
+
 /// Account one completed MPI initiation back to its activity queue.
-void resume_stream(MsgCommand* cmd, sim::Time t) {
+void resume_stream(MsgCommand* cmd, sim::Time t, BatchSink* sink) {
   if (cmd->stream == nullptr) return;
   if (cmd->stream->complete_inflight(t)) {
-    cmd->stream_node->schedule_stream(cmd->stream);
+    if (sink != nullptr) {
+      sink->resumes.emplace_back(cmd->stream, cmd->stream_node);
+    } else {
+      cmd->stream_node->schedule_stream(cmd->stream);
+    }
+  }
+}
+
+/// account_copy, routed through the batch sink when one is active: the
+/// obs histograms (lock-free) record immediately either way; only the
+/// stats_mutex-guarded TaskStats part is deferred.
+void account_copy_batched(BatchSink* sink, Task& t, dev::CopyPathKind kind,
+                          sim::Time cost, std::uint64_t bytes) {
+  if (sink == nullptr) {
+    account_copy(t, kind, cost, bytes);
+    return;
+  }
+  BatchSink::TaskDelta& d = sink->delta(t);
+  d.copy_time[static_cast<std::size_t>(kind)] += cost;
+  d.copy_count[static_cast<std::size_t>(kind)] += 1;
+  if (obs::Observability* ob = t.rt->obs()) {
+    const auto i = static_cast<std::size_t>(kind);
+    ob->copy_seconds[i]->record(cost);
+    ob->copy_bytes[i]->record(static_cast<double>(bytes));
   }
 }
 
 /// Complete a matched pair. `snd` is kSend or kIncoming, `rcv` is kRecv.
-void complete_match(NodeRt& n, MsgCommand* snd, MsgCommand* rcv) {
+/// With `sink` null every side effect applies inline (the legacy,
+/// flag-off behaviour); with a sink the stats/completion/stream work is
+/// deferred to the batch's completion pass. The computed virtual times
+/// are identical either way.
+void complete_match(NodeRt& n, MsgCommand* snd, MsgCommand* rcv,
+                    BatchSink* sink) {
   Runtime* rt = n.rt;
   obs::Observability* ob = rt->obs();
   const std::uint64_t bytes = snd->bytes;
@@ -57,13 +156,15 @@ void complete_match(NodeRt& n, MsgCommand* snd, MsgCommand* rcv) {
           off += len;
         }
         IMPACC_CHECK_MSG(off == bytes, "chunk pipeline lost bytes");
-        account_copy(recv_task, dev::CopyPathKind::kHostToDev, busy, bytes);
+        account_copy_batched(sink, recv_task, dev::CopyPathKind::kHostToDev,
+                             busy, bytes);
         if (ob != nullptr) ob->phase_stage_htod->record(busy);
         done = finish + cost;
       } else {
         const sim::Time pcie = sim::pcie_copy_time(
             *n.desc, rcv->buf_dev->desc(), bytes, rcv->near);
-        account_copy(recv_task, dev::CopyPathKind::kHostToDev, pcie, bytes);
+        account_copy_batched(sink, recv_task, dev::CopyPathKind::kHostToDev,
+                             pcie, bytes);
         if (ob != nullptr) ob->phase_stage_htod->record(pcie);
         done = std::max(snd->arrival, rcv->ready) + (cost + pcie);
       }
@@ -94,7 +195,9 @@ void complete_match(NodeRt& n, MsgCommand* snd, MsgCommand* rcv) {
     const sim::Time t0 = std::max(snd->ready, rcv->ready);
     if (aliased) {
       done = t0 + 2 * costs.handler_command_overhead;
-      {
+      if (sink != nullptr) {
+        sink->delta(recv_task).heap_aliases += 1;
+      } else {
         std::lock_guard<std::mutex> lock(recv_task.stats_mutex);
         recv_task.stats.heap_aliases += 1;
       }
@@ -112,7 +215,7 @@ void complete_match(NodeRt& n, MsgCommand* snd, MsgCommand* rcv) {
                                       rcv->near);
       }
       done = t0 + plan.cost;
-      account_copy(recv_task, plan.kind, plan.cost, bytes);
+      account_copy_batched(sink, recv_task, plan.kind, plan.cost, bytes);
       if (functional && bytes > 0) {
         const void* src = snd->eager_payload.empty()
                               ? snd->buf
@@ -159,30 +262,50 @@ void complete_match(NodeRt& n, MsgCommand* snd, MsgCommand* rcv) {
     }
   }
 
-  // Receive status + completions.
+  // Receive status + completions. Status fields are written before the
+  // completion is signaled (or enqueued), so waiters always observe them.
   if (rcv->req != nullptr) {
     rcv->req->status.source = snd->src_comm_rank;
     rcv->req->status.tag = snd->tag;
     rcv->req->status.bytes = bytes;
-    rcv->req->rec.complete(done);
+    if (sink != nullptr) {
+      sink->completions.emplace_back(rcv->req, done);
+    } else {
+      rcv->req->rec.complete(done);
+    }
   }
-  {
+  if (sink != nullptr) {
+    sink->delta(recv_task).msgs_recv += 1;
+  } else {
     std::lock_guard<std::mutex> lock(recv_task.stats_mutex);
     recv_task.stats.msgs_recv += 1;
   }
   if (!snd->sender_completed && snd->req != nullptr) {
-    snd->req->rec.complete(done);
+    if (sink != nullptr) {
+      sink->completions.emplace_back(snd->req, done);
+    } else {
+      snd->req->rec.complete(done);
+    }
   }
   if (snd->remote_sender_req != nullptr) {
-    snd->remote_sender_req->rec.complete(done);
+    if (sink != nullptr) {
+      sink->completions.emplace_back(snd->remote_sender_req, done);
+    } else {
+      snd->remote_sender_req->rec.complete(done);
+    }
   }
   if (snd->remote_sender_stream != nullptr) {
     if (snd->remote_sender_stream->complete_inflight(done)) {
-      snd->remote_sender_node->schedule_stream(snd->remote_sender_stream);
+      if (sink != nullptr) {
+        sink->resumes.emplace_back(snd->remote_sender_stream,
+                                   snd->remote_sender_node);
+      } else {
+        snd->remote_sender_node->schedule_stream(snd->remote_sender_stream);
+      }
     }
   }
-  resume_stream(snd, done);
-  resume_stream(rcv, done);
+  resume_stream(snd, done, sink);
+  resume_stream(rcv, done, sink);
   delete snd;
   delete rcv;
 }
@@ -219,24 +342,49 @@ void handle_probe(NodeRt& n, MsgCommand* probe) {
   delete probe;
 }
 
-}  // namespace
-
-void account_copy(Task& t, dev::CopyPathKind kind, sim::Time cost,
-                  std::uint64_t bytes) {
-  {
-    std::lock_guard<std::mutex> lock(t.stats_mutex);
-    t.stats.copy_time[static_cast<std::size_t>(kind)] += cost;
-    t.stats.copy_count[static_cast<std::size_t>(kind)] += 1;
+/// Submit one command: probes answer immediately; everything else goes
+/// through the matcher and, on a match, the (possibly sink-deferred)
+/// completion path.
+void submit_command(NodeRt& n, MsgCommand* cmd, BatchSink* sink) {
+  if (cmd->kind == MsgCommand::Kind::kProbe) {
+    handle_probe(n, cmd);
+    return;
   }
-  if (obs::Observability* ob = t.rt->obs()) {
-    const auto i = static_cast<std::size_t>(kind);
-    ob->copy_seconds[i]->record(cost);
-    ob->copy_bytes[i]->record(static_cast<double>(bytes));
+  MsgCommand* partner = n.matcher.submit(cmd);
+  if (partner != nullptr) {
+    MsgCommand* snd = cmd->kind == MsgCommand::Kind::kRecv ? partner : cmd;
+    MsgCommand* rcv = cmd->kind == MsgCommand::Kind::kRecv ? cmd : partner;
+    complete_match(n, snd, rcv, sink);
+  } else if (cmd->kind != MsgCommand::Kind::kRecv) {
+    // A send just became pending: wake any parked probes it satisfies.
+    for (MsgCommand* p : n.matcher.take_matching_probes(*cmd)) {
+      complete_probe(n, p, cmd);
+    }
   }
 }
 
-void handler_main(NodeRt* node) {
-  NodeRt& n = *node;
+/// Advance every runnable activity queue; returns true if any ran.
+bool advance_streams(NodeRt& n, bool functional) {
+  bool progress = false;
+  for (;;) {
+    n.astream_lock.lock();
+    if (n.active_streams.empty()) {
+      n.astream_lock.unlock();
+      break;
+    }
+    dev::Stream* s = n.active_streams.front();
+    n.active_streams.pop_front();
+    n.astream_lock.unlock();
+    progress = true;
+    s->advance(functional);
+  }
+  return progress;
+}
+
+/// The pre-batching handler loop, byte-for-byte the behaviour shipped
+/// before the ring pipeline: one pop per message, per-dequeue trace
+/// counter, every side effect inline (features.handler_batching=off).
+void handler_loop_legacy(NodeRt& n) {
   const bool functional = n.rt->functional();
   sim::TraceSink* trace = n.rt->trace();
   for (;;) {
@@ -254,36 +402,10 @@ void handler_main(NodeRt* node) {
                                   : cmd->ready,
                               depth);
       }
-      if (cmd->kind == MsgCommand::Kind::kProbe) {
-        handle_probe(n, cmd);
-        continue;
-      }
-      MsgCommand* partner = n.matcher.submit(cmd);
-      if (partner != nullptr) {
-        MsgCommand* snd =
-            cmd->kind == MsgCommand::Kind::kRecv ? partner : cmd;
-        MsgCommand* rcv = cmd->kind == MsgCommand::Kind::kRecv ? cmd : partner;
-        complete_match(n, snd, rcv);
-      } else if (cmd->kind != MsgCommand::Kind::kRecv) {
-        // A send just became pending: wake any parked probes it satisfies.
-        for (MsgCommand* p : n.matcher.take_matching_probes(*cmd)) {
-          complete_probe(n, p, cmd);
-        }
-      }
+      submit_command(n, cmd, nullptr);
     }
     // Advance runnable activity queues.
-    for (;;) {
-      n.astream_lock.lock();
-      if (n.active_streams.empty()) {
-        n.astream_lock.unlock();
-        break;
-      }
-      dev::Stream* s = n.active_streams.front();
-      n.active_streams.pop_front();
-      n.astream_lock.unlock();
-      progress = true;
-      s->advance(functional);
-    }
+    if (advance_streams(n, functional)) progress = true;
     if (!progress) {
       if (n.shutdown.load(std::memory_order_acquire) && n.queue.empty_hint()) {
         if (!n.matcher.drained()) {
@@ -296,6 +418,114 @@ void handler_main(NodeRt* node) {
       }
       n.wake.wait_and_reset();
     }
+  }
+}
+
+/// The ring pipeline (DESIGN.md section 9): detach the whole producer
+/// chain in one exchange, slice it into fixed-size submission rings,
+/// match each ring in one pass, then flush the completion ring — the
+/// stats/wakeup coalescing — once per slice. Queue-depth accounting and
+/// the trace counter move to batch boundaries.
+void handler_loop_batched(NodeRt& n) {
+  const bool functional = n.rt->functional();
+  sim::TraceSink* trace = n.rt->trace();
+  obs::Observability* ob = n.rt->obs();
+  std::array<MsgCommand*, kHandlerRingSize> ring;
+  BatchSink sink;
+  std::uint64_t fastpath_seen = 0;
+  for (;;) {
+    bool progress = false;
+    // Like the legacy loop, drain to empty — including commands that
+    // arrive while a batch is being processed — before advancing the
+    // activity queues, so stream-head sends keep their position relative
+    // to queued traffic.
+    MpscQueue::Batch batch = n.queue.pop_all();
+    for (;;) {
+      // Fill the submission ring from the detached chain.
+      std::size_t count = 0;
+      while (count < kHandlerRingSize) {
+        MpscNode* raw = batch.take();
+        if (raw == nullptr) break;
+        ring[count++] = static_cast<MsgCommand*>(raw);
+      }
+      if (count == 0) {
+        // Chain exhausted: one more exchange picks up anything pushed
+        // since the detach (the Batch is fully drained, as pop_all
+        // requires).
+        batch = n.queue.pop_all();
+        if (batch.empty()) break;
+        continue;
+      }
+      progress = true;
+      // The boundary sample's timestamp comes from the slice's last
+      // command — grab it before the submission pass frees the commands.
+      const MsgCommand* last = ring[count - 1];
+      const sim::Time sample_at = last->kind == MsgCommand::Kind::kIncoming
+                                      ? last->arrival
+                                      : last->ready;
+      // Submission pass: batch matching, side effects into the sink.
+      for (std::size_t i = 0; i < count; ++i) {
+        submit_command(n, ring[i], &sink);
+      }
+      // Depth accounting and tracing once per slice, not per dequeue.
+      const int depth =
+          n.queue_depth.fetch_sub(static_cast<int>(count),
+                                  std::memory_order_relaxed) -
+          static_cast<int>(count);
+      if (trace != nullptr) {
+        trace->record_counter(n.index, "handler queue depth", "commands",
+                              sample_at, depth);
+      }
+      if (ob != nullptr) {
+        ob->handler_batch_size->record(static_cast<double>(count));
+        ob->handler_queue_depth->set(static_cast<double>(depth));
+        const std::uint64_t fp = n.matcher.stats().fastpath_hits;
+        if (fp != fastpath_seen) {
+          ob->matcher_fastpath->add(fp - fastpath_seen);
+          fastpath_seen = fp;
+        }
+      }
+      // Completion pass: coalesced stats, completions, stream wakeups.
+      flush_batch(sink);
+    }
+    // Advance runnable activity queues.
+    if (advance_streams(n, functional)) progress = true;
+    if (!progress) {
+      if (n.shutdown.load(std::memory_order_acquire) && n.queue.empty_hint()) {
+        if (!n.matcher.drained()) {
+          IMPACC_LOG_WARN(
+              "node %d handler exiting with unmatched messages "
+              "(application did not complete all communication)",
+              n.index);
+        }
+        return;
+      }
+      n.wake.wait_and_reset();
+    }
+  }
+}
+
+}  // namespace
+
+void account_copy(Task& t, dev::CopyPathKind kind, sim::Time cost,
+                  std::uint64_t bytes) {
+  {
+    std::lock_guard<std::mutex> lock(t.stats_mutex);
+    t.stats.copy_time[static_cast<std::size_t>(kind)] += cost;
+    t.stats.copy_count[static_cast<std::size_t>(kind)] += 1;
+  }
+  if (obs::Observability* ob = t.rt->obs()) {
+    const auto i = static_cast<std::size_t>(kind);
+    ob->copy_seconds[i]->record(cost);
+    ob->copy_bytes[i]->record(static_cast<double>(bytes));
+  }
+}
+
+void handler_main(NodeRt* node) {
+  if (node->rt->features().handler_batching) {
+    handler_loop_batched(*node);
+  } else {
+    handler_loop_legacy(*node);
   }
 }
 

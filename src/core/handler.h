@@ -5,6 +5,15 @@
 // intra-node pairs into single copies (Fig. 6), applies node heap
 // aliasing when eligible (section 3.8), completes pending internode
 // messages, and drives the activity queues (section 3.6).
+//
+// With features.handler_batching on (the default) the loop runs
+// io_uring-style (DESIGN.md section 9): MpscQueue::pop_all() detaches the
+// whole producer chain in one exchange, the chain is sliced into
+// kHandlerRingSize submission rings, each ring is matched in one pass,
+// and a completion ring coalesces the per-message stats_mutex
+// acquisitions, request completions, and activity-queue wakeups into one
+// flush per slice. Flag off reproduces the per-message legacy loop
+// exactly; either way the computed virtual times are identical.
 #pragma once
 
 #include "core/message.h"
@@ -49,5 +58,11 @@ void account_copy(Task& t, dev::CopyPathKind kind, sim::Time cost,
 
 /// Eager-protocol threshold used for both intra- and internode sends.
 constexpr std::uint64_t kEagerBytes = 8192;
+
+/// Submission-ring capacity of the batched handler loop: one detached
+/// producer chain is processed in slices of at most this many commands,
+/// bounding both the sink's deferred-work footprint and the latency
+/// between a command's match and its completion flush.
+constexpr std::size_t kHandlerRingSize = 256;
 
 }  // namespace impacc::core

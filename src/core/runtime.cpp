@@ -39,6 +39,9 @@ NodeRt::NodeRt(Runtime* rt_in, int index_in, const sim::NodeDesc* desc_in,
       heap(heap_bytes, functional),
       pinned(functional) {
   uvas.set_heap(&heap);
+  // The matcher's hash-bucket fast path ships with the batched handler
+  // loop; flag off keeps the legacy deque scans byte for byte.
+  matcher.set_fast_path(rt->features().handler_batching);
 }
 
 void NodeRt::post(MsgCommand* cmd) {
@@ -130,6 +133,12 @@ Runtime::Runtime(LaunchOptions opts)
   if (const char* env = std::getenv("IMPACC_HIER_COLLECTIVES")) {
     const std::string v = env;
     opts_.features.hier_collectives = !(v == "0" || v == "off" || v == "false");
+  }
+  // IMPACC_HANDLER_BATCHING=0|off|false falls back to the per-message
+  // handler loop and the matcher's linear scans (DESIGN.md section 9).
+  if (const char* env = std::getenv("IMPACC_HANDLER_BATCHING")) {
+    const std::string v = env;
+    opts_.features.handler_batching = !(v == "0" || v == "off" || v == "false");
   }
   if (!opts_.trace_path.empty()) {
     trace_ = std::make_shared<sim::TraceSink>();
@@ -344,6 +353,7 @@ void Runtime::publish_run_metrics(const TaskStats& total, sim::Time makespan,
     match.unexpected_queued += ms.unexpected_queued;
     match.recvs_queued += ms.recvs_queued;
     match.probes_parked += ms.probes_parked;
+    match.fastpath_hits += ms.fastpath_hits;
   }
   reg.gauge("core.pinned_pool.acquires")
       ->set(static_cast<double>(pool.acquires));
@@ -368,6 +378,8 @@ void Runtime::publish_run_metrics(const TaskStats& total, sim::Time makespan,
       ->set(static_cast<double>(match.recvs_queued));
   reg.gauge("mpi.matcher.probes_parked")
       ->set(static_cast<double>(match.probes_parked));
+  reg.gauge("mpi.matcher.fastpath_hits")
+      ->set(static_cast<double>(match.fastpath_hits));
 
   // Scheduler.
   reg.gauge("ult.sched.workers")->set(sched_.num_workers());

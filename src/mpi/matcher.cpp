@@ -1,5 +1,7 @@
 #include "mpi/matcher.h"
 
+#include <algorithm>
+
 #include "common/types.h"
 
 namespace impacc::mpi {
@@ -16,8 +18,96 @@ bool Matcher::pair_matches(const core::MsgCommand& send,
   return true;
 }
 
+namespace {
+
+bool recv_is_exact(const core::MsgCommand& recv) {
+  return recv.src_task != kAnySource && recv.src_match_tag != kAnyTag;
+}
+
+}  // namespace
+
+core::MsgCommand* Matcher::take_send(PerTask& pt, SendList::iterator it) {
+  core::MsgCommand* send = *it;
+  const Key key{send->context_id, send->src_task, send->tag};
+  auto bucket = pt.send_buckets.find(key);
+  IMPACC_CHECK_MSG(bucket != pt.send_buckets.end() &&
+                       !bucket->second.empty() && bucket->second.front() == it,
+                   "matcher bucket out of sync with send list");
+  bucket->second.pop_front();
+  if (bucket->second.empty()) pt.send_buckets.erase(bucket);
+  pt.send_list.erase(it);
+  return send;
+}
+
+core::MsgCommand* Matcher::submit_fast(PerTask& pt, core::MsgCommand* cmd) {
+  if (cmd->kind == core::MsgCommand::Kind::kRecv) {
+    if (recv_is_exact(*cmd)) {
+      // Sends never wildcard, so every send this receive can match carries
+      // exactly this key: the bucket front IS the FIFO-earliest match.
+      const Key key{cmd->context_id, cmd->src_task, cmd->src_match_tag};
+      auto bucket = pt.send_buckets.find(key);
+      if (bucket != pt.send_buckets.end() && !bucket->second.empty()) {
+        ++stats_.matched;
+        ++stats_.fastpath_hits;
+        return take_send(pt, bucket->second.front());
+      }
+      pt.recv_buckets[key].push_back(PostedRecv{cmd, next_seq_++});
+      ++pt.recv_count;
+      ++stats_.recvs_queued;
+      return nullptr;
+    }
+    // Wildcard receive: only the insertion-ordered list can answer "first
+    // matching send" — same linear cost the legacy path paid for everyone.
+    for (auto it = pt.send_list.begin(); it != pt.send_list.end(); ++it) {
+      if (pair_matches(**it, *cmd)) {
+        ++stats_.matched;
+        return take_send(pt, it);
+      }
+    }
+    pt.recv_wild.push_back(PostedRecv{cmd, next_seq_++});
+    ++pt.recv_count;
+    ++stats_.recvs_queued;
+    return nullptr;
+  }
+
+  // kSend / kIncoming: the FIFO-earliest matching receive is either the
+  // front of the exact bucket for this send's key or the first matching
+  // wildcard on the sideline — whichever was posted first (lower seq).
+  const Key key{cmd->context_id, cmd->src_task, cmd->tag};
+  auto bucket = pt.recv_buckets.find(key);
+  const bool bucket_hit =
+      bucket != pt.recv_buckets.end() && !bucket->second.empty();
+  auto wild = pt.recv_wild.begin();
+  for (; wild != pt.recv_wild.end(); ++wild) {
+    if (pair_matches(*cmd, *wild->cmd)) break;
+  }
+  const bool wild_hit = wild != pt.recv_wild.end();
+  if (bucket_hit &&
+      (!wild_hit || bucket->second.front().seq < wild->seq)) {
+    core::MsgCommand* recv = bucket->second.front().cmd;
+    bucket->second.pop_front();
+    if (bucket->second.empty()) pt.recv_buckets.erase(bucket);
+    --pt.recv_count;
+    ++stats_.matched;
+    if (pt.recv_wild.empty()) ++stats_.fastpath_hits;
+    return recv;
+  }
+  if (wild_hit) {
+    core::MsgCommand* recv = wild->cmd;
+    pt.recv_wild.erase(wild);
+    --pt.recv_count;
+    ++stats_.matched;
+    return recv;
+  }
+  pt.send_list.push_back(cmd);
+  pt.send_buckets[key].push_back(std::prev(pt.send_list.end()));
+  ++stats_.unexpected_queued;
+  return nullptr;
+}
+
 core::MsgCommand* Matcher::submit(core::MsgCommand* cmd) {
   PerTask& pt = per_task_[cmd->dst_task];
+  if (fast_path_) return submit_fast(pt, cmd);
   if (cmd->kind == core::MsgCommand::Kind::kRecv) {
     for (auto it = pt.sends.begin(); it != pt.sends.end(); ++it) {
       if (pair_matches(**it, *cmd)) {
@@ -49,7 +139,22 @@ core::MsgCommand* Matcher::find_pending_send(
     const core::MsgCommand& probe) const {
   auto it = per_task_.find(probe.dst_task);
   if (it == per_task_.end()) return nullptr;
-  for (core::MsgCommand* send : it->second.sends) {
+  const PerTask& pt = it->second;
+  if (fast_path_) {
+    if (recv_is_exact(probe)) {
+      const Key key{probe.context_id, probe.src_task, probe.src_match_tag};
+      auto bucket = pt.send_buckets.find(key);
+      if (bucket == pt.send_buckets.end() || bucket->second.empty()) {
+        return nullptr;
+      }
+      return *bucket->second.front();
+    }
+    for (core::MsgCommand* send : pt.send_list) {
+      if (pair_matches(*send, probe)) return send;
+    }
+    return nullptr;
+  }
+  for (core::MsgCommand* send : pt.sends) {
     if (pair_matches(*send, probe)) return send;
   }
   return nullptr;
@@ -79,17 +184,20 @@ std::vector<core::MsgCommand*> Matcher::take_matching_probes(
 
 std::size_t Matcher::pending_sends(int dst_task) const {
   auto it = per_task_.find(dst_task);
-  return it == per_task_.end() ? 0 : it->second.sends.size();
+  if (it == per_task_.end()) return 0;
+  return fast_path_ ? it->second.send_list.size() : it->second.sends.size();
 }
 
 std::size_t Matcher::posted_recvs(int dst_task) const {
   auto it = per_task_.find(dst_task);
-  return it == per_task_.end() ? 0 : it->second.recvs.size();
+  if (it == per_task_.end()) return 0;
+  return fast_path_ ? it->second.recv_count : it->second.recvs.size();
 }
 
 bool Matcher::drained() const {
   for (const auto& [task, pt] : per_task_) {
-    if (!pt.sends.empty() || !pt.recvs.empty() || !pt.probes.empty()) {
+    if (!pt.sends.empty() || !pt.recvs.empty() || !pt.probes.empty() ||
+        !pt.send_list.empty() || pt.recv_count != 0) {
       return false;
     }
   }

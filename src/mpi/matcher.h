@@ -4,10 +4,24 @@
 // pending (unexpected) sends are kept per destination task in FIFO order,
 // which — together with the in-order MPSC command queue — preserves MPI's
 // non-overtaking guarantee between any (sender, receiver, tag) triple.
+//
+// Two interchangeable lookup structures back the same FIFO semantics:
+//
+//  - legacy: plain deques scanned linearly (the pre-batching code,
+//    retained verbatim for the features.handler_batching=off path);
+//  - fast (set_fast_path(true)): exact-key (context, source, tag) hash
+//    buckets over an insertion-ordered list, plus a wildcard sideline for
+//    ANY_SOURCE/ANY_TAG receives. Wildcard-free submits resolve in O(1);
+//    wildcard candidates carry monotonic sequence stamps so the chosen
+//    partner is always the globally FIFO-earliest match — the two paths
+//    pick identical pairs by construction (DESIGN.md section 9).
 #pragma once
 
+#include <cstdint>
 #include <deque>
+#include <list>
 #include <unordered_map>
+#include <vector>
 
 #include "core/message.h"
 
@@ -33,6 +47,12 @@ class Matcher {
   std::vector<core::MsgCommand*> take_matching_probes(
       const core::MsgCommand& send);
 
+  /// Select the lookup structure. Must be called before the first submit
+  /// (the node handler configures it at startup from
+  /// features.handler_batching).
+  void set_fast_path(bool on) { fast_path_ = on; }
+  bool fast_path() const { return fast_path_; }
+
   /// Counts for tests/diagnostics.
   std::size_t pending_sends(int dst_task) const;
   std::size_t posted_recvs(int dst_task) const;
@@ -46,21 +66,76 @@ class Matcher {
     std::uint64_t unexpected_queued = 0;  // sends that waited for a recv
     std::uint64_t recvs_queued = 0;       // recvs that waited for a send
     std::uint64_t probes_parked = 0;      // blocking probes that waited
+    // Submits answered purely by O(1) exact-key bucket operations
+    // (no linear scan). Always 0 on the legacy path.
+    std::uint64_t fastpath_hits = 0;
   };
   const Stats& stats() const { return stats_; }
 
  private:
+  /// Exact matching key of a send: (communicator context, sender, tag).
+  /// Receives and probes produce the same key from their selector when
+  /// they carry no wildcard.
+  struct Key {
+    int context;
+    int src;
+    int tag;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::uint64_t h = static_cast<std::uint64_t>(
+                            static_cast<std::uint32_t>(k.context)) *
+                        0x9e3779b97f4a7c15ull;
+      h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.src)) *
+           0xc2b2ae3d27d4eb4full;
+      h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.tag)) *
+           0x165667b19e3779f9ull;
+      h ^= h >> 29;
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  using SendList = std::list<core::MsgCommand*>;
+
+  /// A posted receive with its global arrival stamp, so the fast path can
+  /// order an exact-bucket candidate against a wildcard-sideline one.
+  struct PostedRecv {
+    core::MsgCommand* cmd;
+    std::uint64_t seq;
+  };
+
   struct PerTask {
+    // Legacy structures (linear scans, pre-batching behaviour).
     std::deque<core::MsgCommand*> sends;   // unexpected sends/incomings
     std::deque<core::MsgCommand*> recvs;   // posted receives
-    std::deque<core::MsgCommand*> probes;  // parked blocking probes
+
+    // Parked blocking probes (both paths).
+    std::deque<core::MsgCommand*> probes;
+
+    // Fast-path structures. Sends live on an insertion-ordered list
+    // (wildcard receives and probes scan it); the bucket indexes list
+    // positions by exact key, FIFO within a bucket. Exact receives live
+    // only in their bucket; wildcard receives only on the sideline.
+    SendList send_list;
+    std::unordered_map<Key, std::deque<SendList::iterator>, KeyHash>
+        send_buckets;
+    std::unordered_map<Key, std::deque<PostedRecv>, KeyHash> recv_buckets;
+    std::list<PostedRecv> recv_wild;
+    std::size_t recv_count = 0;
   };
 
   static bool pair_matches(const core::MsgCommand& send,
                            const core::MsgCommand& recv);
 
+  core::MsgCommand* submit_fast(PerTask& pt, core::MsgCommand* cmd);
+  /// Remove `it`'s send from both the list and the front of its bucket.
+  core::MsgCommand* take_send(PerTask& pt, SendList::iterator it);
+
   std::unordered_map<int, PerTask> per_task_;
   Stats stats_;
+  bool fast_path_ = false;
+  std::uint64_t next_seq_ = 0;  // stamps posted receives, fast path only
 };
 
 }  // namespace impacc::mpi

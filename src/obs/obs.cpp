@@ -38,6 +38,10 @@ Observability::Observability(MetricsConfig config)
   msgs_internode = registry_.counter("mpi.msgs.internode");
   msgs_intranode = registry_.counter("mpi.msgs.intranode");
   probes = registry_.counter("mpi.probes");
+  handler_batch_size =
+      registry_.histogram("handler.batch.size", HistUnit::kCount);
+  handler_queue_depth = registry_.gauge("handler.queue.depth");
+  matcher_fastpath = registry_.counter("matcher.fastpath.hits");
 
   for (int i = 0; i < 6; ++i) {
     const std::string slug =

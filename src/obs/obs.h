@@ -78,6 +78,13 @@ class Observability {
   Counter* msgs_intranode;
   Counter* probes;
 
+  // Handler ring pipeline (DESIGN.md section 9). Batch-size samples, the
+  // queue depth observed at each batch boundary, and the matcher submits
+  // resolved by the exact-key hash buckets without a linear scan.
+  Histogram* handler_batch_size;  // handler.batch.size
+  Gauge* handler_queue_depth;     // handler.queue.depth
+  Counter* matcher_fastpath;      // matcher.fastpath.hits
+
   // Copy accounting, indexed by dev::CopyPathKind's integer value. Every
   // TaskStats copy_time update goes through core::account_copy, which also
   // records here — so histogram sums reconcile with the stats by

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <thread>
 #include <vector>
@@ -12,6 +13,26 @@
 #include "common/nas_rng.h"
 
 namespace impacc {
+
+// Test-only backdoor (befriended by MpscQueue): performs the two halves of
+// push() separately, replicating a producer preempted between its head
+// exchange and its next-pointer store — the "in-flight push" window the
+// consumer-side comments promise to handle.
+struct MpscQueueTestPeer {
+  /// First half of push(): publish the node at the head WITHOUT linking it.
+  /// Returns the previous head; the chain stays disconnected until
+  /// finish_push() stores the link.
+  static MpscNode* begin_push(MpscQueue& q, MpscNode* node) {
+    node->next.store(nullptr, std::memory_order_relaxed);
+    return q.head_.exchange(node, std::memory_order_acq_rel);
+  }
+
+  /// Second half of push(): make the link visible.
+  static void finish_push(MpscNode* prev, MpscNode* node) {
+    prev->next.store(node, std::memory_order_release);
+  }
+};
+
 namespace {
 
 // --- math_utils --------------------------------------------------------------
@@ -132,6 +153,162 @@ TEST(MpscQueue, MultiProducerPreservesPerProducerOrder) {
     ++consumed;
   }
   for (auto& t : producers) t.join();
+  EXPECT_EQ(q.pop(), nullptr);
+}
+
+TEST(MpscQueue, EmptyHintIsConstCallable) {
+  // empty_hint() reads only atomics — it must be callable through a const
+  // reference without const_cast tricks.
+  MpscQueue q;
+  const MpscQueue& cq = q;
+  EXPECT_TRUE(cq.empty_hint());
+  TestNode n;
+  q.push(&n);
+  EXPECT_FALSE(cq.empty_hint());
+  EXPECT_EQ(q.pop(), &n);
+  EXPECT_TRUE(cq.empty_hint());
+}
+
+TEST(MpscQueue, InFlightPushWindowPopReturnsNullThenElement) {
+  // A producer preempted between its head exchange and its link store
+  // leaves the queue momentarily disconnected: pop() must report "nothing
+  // visible" (nullptr) rather than spin or crash, and must deliver the
+  // element once the link lands.
+  MpscQueue q;
+  TestNode a;
+  MpscNode* prev = MpscQueueTestPeer::begin_push(q, &a);
+  EXPECT_FALSE(q.empty_hint());  // the head moved, so not observably empty
+  EXPECT_EQ(q.pop(), nullptr);   // but the element is not reachable yet
+  EXPECT_EQ(q.pop(), nullptr);
+  MpscQueueTestPeer::finish_push(prev, &a);
+  EXPECT_EQ(q.pop(), &a);
+  EXPECT_TRUE(q.empty_hint());
+
+  // Same window one element deeper: even the fully pushed b is withheld,
+  // because handing out the current tail requires advancing past it and
+  // its successor link (c) hasn't landed yet. Both appear, in order, once
+  // the producer's store completes.
+  TestNode b;
+  TestNode c;
+  q.push(&b);
+  MpscNode* prev2 = MpscQueueTestPeer::begin_push(q, &c);
+  EXPECT_EQ(q.pop(), nullptr);  // b blocked behind the in-flight push of c
+  MpscQueueTestPeer::finish_push(prev2, &c);
+  EXPECT_EQ(q.pop(), &b);
+  EXPECT_EQ(q.pop(), &c);
+  EXPECT_EQ(q.pop(), nullptr);
+}
+
+TEST(MpscQueue, PopAllDrainsInPushOrder) {
+  MpscQueue q;
+  EXPECT_TRUE(q.pop_all().empty());  // empty queue -> empty batch
+  std::deque<TestNode> nodes(100);
+  for (int i = 0; i < 100; ++i) {
+    nodes[static_cast<std::size_t>(i)].seq = i;
+    q.push(&nodes[static_cast<std::size_t>(i)]);
+  }
+  auto batch = q.pop_all();
+  int expect = 0;
+  for (MpscNode* m = batch.take(); m != nullptr; m = batch.take()) {
+    EXPECT_EQ(static_cast<TestNode*>(m)->seq, expect++);
+  }
+  EXPECT_EQ(expect, 100);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_TRUE(q.empty_hint());
+  EXPECT_TRUE(q.pop_all().empty());
+}
+
+TEST(MpscQueue, PopAllSkipsRecycledStub) {
+  // pop() of the last element re-inserts the stub into the live chain; a
+  // later pop_all() detaches a chain with that stub buried in it and must
+  // skip it, handing back only real elements.
+  MpscQueue q;
+  TestNode a;
+  TestNode b;
+  q.push(&a);
+  EXPECT_EQ(q.pop(), &a);  // stub now re-inserted at the head
+  q.push(&b);
+  auto batch = q.pop_all();
+  EXPECT_EQ(batch.take(), &b);
+  EXPECT_EQ(batch.take(), nullptr);
+  // And the flip is reusable: the queue keeps working across many drains.
+  for (int round = 0; round < 8; ++round) {
+    q.push(&a);
+    q.push(&b);
+    auto batch2 = q.pop_all();
+    EXPECT_EQ(batch2.take(), &a);
+    EXPECT_EQ(batch2.take(), &b);
+    EXPECT_EQ(batch2.take(), nullptr);
+  }
+}
+
+TEST(MpscQueue, PopAllTakeSpinsAcrossInFlightPush) {
+  // pop_all() can detach a chain with a hole in it (producer preempted
+  // mid-push after the chain end was already captured by the head
+  // exchange). Batch::take() must wait the hole out: the chain end is
+  // known, so the missing link is guaranteed to land.
+  MpscQueue q;
+  TestNode a;
+  TestNode b;
+  q.push(&a);
+  MpscNode* prev = MpscQueueTestPeer::begin_push(q, &b);
+  auto batch = q.pop_all();  // detached chain: stub -> a -> (hole) -> b
+  std::thread linker([prev, &b] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    MpscQueueTestPeer::finish_push(prev, &b);
+  });
+  EXPECT_EQ(batch.take(), &a);  // spins across the hole, then proceeds
+  EXPECT_EQ(batch.take(), &b);
+  EXPECT_EQ(batch.take(), nullptr);
+  linker.join();
+  EXPECT_TRUE(q.empty_hint());
+}
+
+TEST(MpscQueue, PopAllMultiProducerPreservesPerProducerOrder) {
+  // FIFO property test for the batch drain (DESIGN.md section 9): across
+  // repeated pop_all() batches — interleaved with single pop()s — every
+  // producer's elements arrive in push order. This is the MPI
+  // non-overtaking guarantee the batched handler relies on.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  MpscQueue q;
+  std::vector<std::deque<TestNode>> nodes(kProducers);
+  for (auto& v : nodes) v.resize(kPerProducer);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, &nodes, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        auto& n = nodes[static_cast<std::size_t>(p)][static_cast<std::size_t>(i)];
+        n.producer = p;
+        n.seq = i;
+        q.push(&n);
+      }
+    });
+  }
+
+  int consumed = 0;
+  int rounds = 0;
+  std::vector<int> last_seq(kProducers, -1);
+  while (consumed < kProducers * kPerProducer) {
+    if (++rounds % 7 == 0) {  // mix in the one-at-a-time path
+      auto* n = static_cast<TestNode*>(q.pop());
+      if (n == nullptr) continue;
+      EXPECT_EQ(n->seq, last_seq[static_cast<std::size_t>(n->producer)] + 1);
+      last_seq[static_cast<std::size_t>(n->producer)] = n->seq;
+      ++consumed;
+      continue;
+    }
+    auto batch = q.pop_all();
+    for (MpscNode* m = batch.take(); m != nullptr; m = batch.take()) {
+      auto* n = static_cast<TestNode*>(m);
+      EXPECT_EQ(n->seq, last_seq[static_cast<std::size_t>(n->producer)] + 1);
+      last_seq[static_cast<std::size_t>(n->producer)] = n->seq;
+      ++consumed;
+    }
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_TRUE(q.pop_all().empty());
   EXPECT_EQ(q.pop(), nullptr);
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <random>
 #include <vector>
 
 // GoogleTest < 1.12 has no GTEST_FLAG_SET; fall back to assigning the
@@ -849,6 +850,77 @@ TEST(Matcher, ParkedProbesWakeOnMatchingSend) {
   EXPECT_EQ(woken[0], p);
   EXPECT_TRUE(m.take_matching_probes(*s).empty());  // consumed
   delete p; delete s;
+}
+
+TEST(Matcher, FastPathUnitSemanticsMatchLegacy) {
+  // The four scenarios above, replayed against the hash-bucket path.
+  for (int round = 0; round < 2; ++round) {
+    Matcher m;
+    m.set_fast_path(true);
+    auto* s1 = make_send(0, 1, 5);
+    auto* s2 = make_send(0, 1, 5);
+    EXPECT_EQ(m.submit(s1), nullptr);
+    EXPECT_EQ(m.submit(s2), nullptr);
+    EXPECT_EQ(m.pending_sends(1), 2u);
+    auto* r1 = make_recv(0, 1, 5);
+    EXPECT_EQ(m.submit(r1), s1);  // FIFO within the bucket
+    auto* r_any = make_recv(kAnySource, 1, kAnyTag);
+    EXPECT_EQ(m.submit(r_any), s2);  // wildcard scans the send list
+    EXPECT_TRUE(m.drained());
+    EXPECT_GT(m.stats().fastpath_hits, 0u);
+    delete s1; delete s2; delete r1; delete r_any;
+  }
+}
+
+TEST(Matcher, FastPathMatchesLegacyOnRandomWorkload) {
+  // Equivalence property test (DESIGN.md section 9): feed the SAME random
+  // submit sequence — exact and wildcard receives, multiple contexts,
+  // sources, and tags — to a legacy matcher and a fast-path matcher.
+  // Every submit must pick the identical partner (pointer equality: the
+  // commands are shared between the two, neither path mutates them), so
+  // the simulated virtual times cannot depend on the flag.
+  Matcher legacy;
+  Matcher fast;
+  fast.set_fast_path(true);
+  std::mt19937 rng(20160608);
+  std::vector<core::MsgCommand*> owned;
+  constexpr int kSteps = 6000;
+  for (int step = 0; step < kSteps; ++step) {
+    const int dst = static_cast<int>(rng() % 3u);
+    const int ctx = 1 + static_cast<int>(rng() % 2u);
+    core::MsgCommand* c;
+    if (rng() % 2u == 0) {
+      c = make_send(static_cast<int>(rng() % 4u), dst,
+                    static_cast<int>(rng() % 5u), ctx);
+    } else {
+      const int src =
+          rng() % 4u == 0 ? kAnySource : static_cast<int>(rng() % 4u);
+      const int tag =
+          rng() % 4u == 0 ? kAnyTag : static_cast<int>(rng() % 5u);
+      c = make_recv(src, dst, tag, ctx);
+    }
+    owned.push_back(c);
+    core::MsgCommand* a = legacy.submit(c);
+    core::MsgCommand* b = fast.submit(c);
+    ASSERT_EQ(a, b) << "divergent match at step " << step;
+    ASSERT_EQ(legacy.pending_sends(dst), fast.pending_sends(dst));
+    ASSERT_EQ(legacy.posted_recvs(dst), fast.posted_recvs(dst));
+    // Probing must see the same head-of-line send on both paths.
+    core::MsgCommand probe;
+    probe.kind = core::MsgCommand::Kind::kProbe;
+    probe.src_task = step % 2 == 0 ? kAnySource : 1;
+    probe.dst_task = dst;
+    probe.src_match_tag = step % 3 == 0 ? kAnyTag : 2;
+    probe.context_id = ctx;
+    ASSERT_EQ(legacy.find_pending_send(probe), fast.find_pending_send(probe));
+  }
+  EXPECT_EQ(legacy.stats().matched, fast.stats().matched);
+  EXPECT_EQ(legacy.stats().unexpected_queued, fast.stats().unexpected_queued);
+  EXPECT_EQ(legacy.stats().recvs_queued, fast.stats().recvs_queued);
+  EXPECT_EQ(legacy.stats().fastpath_hits, 0u);  // legacy never fast-paths
+  EXPECT_GT(fast.stats().fastpath_hits, 0u);
+  EXPECT_EQ(legacy.drained(), fast.drained());
+  for (auto* c : owned) delete c;
 }
 
 // --- Misuse aborts (the runtime's contract checks) -----------------------------------

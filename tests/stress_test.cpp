@@ -348,6 +348,65 @@ TEST(Stress, HandlerHammeredByManyWorkers) {
   EXPECT_EQ(errors.load(), 0);
 }
 
+TEST(Stress, BatchedHandlerMatchesUnbatchedBitForBit) {
+  // The flag contract of DESIGN.md section 9: features.handler_batching
+  // changes only how the handler drains its queue, never what it computes.
+  // The same messaging-heavy workload must produce byte-identical results
+  // AND bit-identical virtual time with the flag on and off.
+  auto run = [](bool batching, double* checksum) {
+    auto o = opts("titan", 2, 2);
+    o.features.handler_batching = batching;
+    std::atomic<std::uint64_t> sum{0};
+    const auto r = launch(o, [&sum] {
+      auto w = mpi::world();
+      const int rank = mpi::comm_rank(w);
+      const int size = mpi::comm_size(w);
+      constexpr int kRounds = 40;
+      std::uint64_t local = 0;
+      // Mixed traffic: a flood into rank 0 (wildcard receives), plus a
+      // neighbour ring exchange so non-zero ranks also match pairs.
+      if (rank == 0) {
+        std::vector<long> inbox(
+            static_cast<std::size_t>((size - 1) * kRounds), 0);
+        std::vector<mpi::Request> recvs;
+        for (std::size_t i = 0; i < inbox.size(); ++i) {
+          recvs.push_back(mpi::irecv(&inbox[i], 1, mpi::Datatype::kLong,
+                                     mpi::kAnySource, mpi::kAnyTag, w));
+        }
+        mpi::waitall(recvs);
+        for (long v : inbox) local += static_cast<std::uint64_t>(v);
+      } else {
+        for (int r2 = 0; r2 < kRounds; ++r2) {
+          long v = static_cast<long>(rank) * 1000 + r2;
+          mpi::send(&v, 1, mpi::Datatype::kLong, 0, r2 % 7, w);
+        }
+      }
+      const int right = (rank + 1) % size;
+      const int left = (rank + size - 1) % size;
+      for (int r2 = 0; r2 < 20; ++r2) {
+        long out = rank * 37 + r2;
+        long in = -1;
+        mpi::sendrecv(&out, 1, mpi::Datatype::kLong, right, 3, &in, 1,
+                      mpi::Datatype::kLong, left, 3, w);
+        local += static_cast<std::uint64_t>(in);
+      }
+      long total = 0;
+      long mine = static_cast<long>(local & 0x7fffffff);
+      mpi::allreduce(&mine, &total, 1, mpi::Datatype::kLong, mpi::Op::kSum,
+                     w);
+      sum.fetch_add(static_cast<std::uint64_t>(total));
+    });
+    *checksum = static_cast<double>(sum.load());
+    return r.makespan;
+  };
+  double sum_on = 0;
+  double sum_off = 0;
+  const auto makespan_on = run(true, &sum_on);
+  const auto makespan_off = run(false, &sum_off);
+  EXPECT_EQ(sum_on, sum_off);
+  EXPECT_EQ(makespan_on, makespan_off);  // virtual time, bit for bit
+}
+
 TEST(Stress, BackToBackLaunchesAreIndependent) {
   // Runtimes must tear down completely: repeated launches on one process
   // (the pattern every benchmark binary uses) cannot leak state.

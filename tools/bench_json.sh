@@ -2,14 +2,16 @@
 # Machine-readable benchmark snapshots.
 #
 # Runs the p2p bandwidth bench (fig09, including the chunk-pipeline
-# sweep), the Jacobi speedup bench (fig13), and the collective-latency
-# bench (two-level vs flat) with --benchmark_format=json, then distills
-# each google-benchmark report into a flat
-# { "<benchmark name>": <simulated seconds> } map:
+# sweep), the Jacobi speedup bench (fig13), the collective-latency bench
+# (two-level vs flat), and the handler ping-storm bench (batched rings vs
+# per-message loop; real wall-clock, not simulated time) with
+# --benchmark_format=json, then distills each google-benchmark report
+# into a flat { "<benchmark name>": <seconds> } map:
 #
 #   BENCH_p2p.json     from fig09_p2p
 #   BENCH_jacobi.json  from fig13_jacobi
 #   BENCH_coll.json    from coll_latency
+#   BENCH_handler.json from handler_storm
 #
 #   tools/bench_json.sh [--smoke] [--build-dir DIR] [--out-dir DIR]
 #
@@ -97,4 +99,5 @@ snapshot() {
 snapshot fig09_p2p "$out/BENCH_p2p.json"
 snapshot fig13_jacobi "$out/BENCH_jacobi.json"
 snapshot coll_latency "$out/BENCH_coll.json"
+snapshot handler_storm "$out/BENCH_handler.json"
 echo "== benchmark snapshots written to $out"
