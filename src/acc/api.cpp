@@ -97,6 +97,7 @@ void raw_device_copy(core::Task& t, void* dst, const void* src,
   op.bytes = bytes;
   op.functional = t.functional();
   op.model_cost = cost;
+  op.copy_path = static_cast<int>(path);
   if (async == kSync) {
     core::sync_stream_op(t, kSync, std::move(op));
   } else {

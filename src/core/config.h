@@ -91,6 +91,23 @@ struct LaunchOptions {
   // (LaunchResult::metrics). Also enabled by IMPACC_METRICS. Empty =
   // disabled unless the env var is set.
   std::string metrics_path;
+  // Record the causal dependency graph and publish critpath.* makespan
+  // attribution gauges (also enabled by IMPACC_CRITPATH, or implicitly by
+  // either of the two switches below). Off keeps Runtime::critpath() null
+  // and virtual times bit-for-bit identical.
+  bool critpath = false;
+  // Write the human-readable critical-path report here at publish time
+  // (IMPACC_PROF). Implies `critpath`.
+  std::string prof_report_path;
+  // Serialize the dependency graph here (impacc-critpath-graph v1) for
+  // offline re-analysis with tools/impacc-prof (IMPACC_PROF_GRAPH).
+  // Implies `critpath`.
+  std::string critpath_graph_path;
+  // Wall-clock hang watchdog (IMPACC_WATCHDOG): if no fiber becomes
+  // runnable for this many seconds while tasks remain, dump per-task
+  // blocked wait sites, matcher queues, and stream states to stderr and
+  // _Exit(kWatchdogExitCode). 0 disables.
+  double watchdog_seconds = 0;
 };
 
 /// Per-task time accounting, used by the breakdown figures (11, 14).

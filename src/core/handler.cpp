@@ -4,6 +4,7 @@
 #include <array>
 #include <cstring>
 #include <mutex>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -37,7 +38,9 @@ struct BatchSink {
 
   // A node hosts a handful of tasks, so the linear scan beats a map.
   std::vector<TaskDelta> tasks;
-  std::vector<std::pair<std::shared_ptr<mpi::RequestState>, sim::Time>>
+  // (request, completion time, critical-path node of the completing work).
+  std::vector<
+      std::tuple<std::shared_ptr<mpi::RequestState>, sim::Time, std::uint32_t>>
       completions;
   std::vector<std::pair<dev::Stream*, NodeRt*>> resumes;
 
@@ -61,8 +64,8 @@ void flush_batch(BatchSink& sink) {
     d.task->stats.msgs_recv += d.msgs_recv;
     d.task->stats.heap_aliases += d.heap_aliases;
   }
-  for (auto& [req, done] : sink.completions) {
-    req->rec.complete(done);
+  for (auto& [req, done, cp] : sink.completions) {
+    req->rec.complete(done, cp);
   }
   // Activity-queue advancement: group the resumed streams by node so each
   // node pays one lock acquisition and one wake for the whole batch.
@@ -84,10 +87,13 @@ void flush_batch(BatchSink& sink) {
   sink.resumes.clear();
 }
 
-/// Account one completed MPI initiation back to its activity queue.
-void resume_stream(MsgCommand* cmd, sim::Time t, BatchSink* sink) {
+/// Account one completed MPI initiation back to its activity queue. `cp`
+/// is the completing match's critical-path node; it joins the stream's
+/// dependency chain so later queue ops depend on the message.
+void resume_stream(MsgCommand* cmd, sim::Time t, BatchSink* sink,
+                   std::uint32_t cp) {
   if (cmd->stream == nullptr) return;
-  if (cmd->stream->complete_inflight(t)) {
+  if (cmd->stream->complete_inflight(t, cp)) {
     if (sink != nullptr) {
       sink->resumes.emplace_back(cmd->stream, cmd->stream_node);
     } else {
@@ -131,6 +137,11 @@ void complete_match(NodeRt& n, MsgCommand* snd, MsgCommand* rcv,
   const sim::RuntimeCosts& costs = rt->options().cluster.costs;
 
   sim::Time done = 0;
+  // Critical-path category of the delivery work [match start, done]:
+  // receiver-side HtoD staging for device-destined internode messages,
+  // the fused-copy path kind for intra-node copies, plain handler
+  // overhead otherwise.
+  obs::CritCategory mcat = obs::CritCategory::kHandler;
   if (snd->kind == MsgCommand::Kind::kIncoming) {
     // Pending internode message: data hit this node at snd->arrival; the
     // handler writes device-resident receive buffers after completion of
@@ -139,6 +150,7 @@ void complete_match(NodeRt& n, MsgCommand* snd, MsgCommand* rcv,
     // and is the source of the paper's small LULESH regression on Beacon.
     const sim::Time cost = rt->is_impacc() ? costs.handler_command_overhead : 0;
     if (rcv->buf_dev != nullptr && !rt->rdma_enabled()) {
+      mcat = obs::CritCategory::kCopyHtoD;
       if (snd->chunk_split > 0) {
         // Chunked sender (section 3.5): issue the HtoD staging copy of each
         // chunk as it comes off the wire, overlapping with the chunks still
@@ -215,6 +227,7 @@ void complete_match(NodeRt& n, MsgCommand* snd, MsgCommand* rcv,
                                       rcv->near);
       }
       done = t0 + plan.cost;
+      mcat = obs::crit_copy_category(static_cast<int>(plan.kind));
       account_copy_batched(sink, recv_task, plan.kind, plan.cost, bytes);
       if (functional && bytes > 0) {
         const void* src = snd->eager_payload.empty()
@@ -235,6 +248,21 @@ void complete_match(NodeRt& n, MsgCommand* snd, MsgCommand* rcv,
   const bool incoming = snd->kind == MsgCommand::Kind::kIncoming;
   const sim::Time avail = incoming ? snd->arrival : snd->ready;
   const sim::Time start = std::max(avail, rcv->ready);
+  // Critical-path node of the delivery: sender side comes in through the
+  // wire node (internode) or the send's issue-time chains (intranode);
+  // the receiver's post chains through cp_pred/cp_pred2. The gap before
+  // `start` is matching wait (data or buffer not yet available).
+  std::uint32_t cp_done = 0;
+  if (obs::CritPath* cpg = rt->critpath()) {
+    const std::uint32_t snd_p = incoming ? snd->cp_node : snd->cp_pred;
+    const std::uint32_t snd_p2 = incoming ? 0 : snd->cp_pred2;
+    const std::uint32_t rcv_p =
+        rcv->cp_pred2 != 0 ? rcv->cp_pred2 : rcv->cp_pred;
+    cp_done = cpg->add(mcat, start, done, snd_p, snd_p2, rcv_p,
+                       obs::CritCategory::kMatchWait, rcv->dst_task, bytes,
+                       "msg " + std::to_string(snd->src_task) + "->" +
+                           std::to_string(rcv->dst_task));
+  }
   if (ob != nullptr) {
     ob->msg_bytes->record(static_cast<double>(bytes));
     ob->phase_match_wait->record(start - avail);
@@ -269,9 +297,9 @@ void complete_match(NodeRt& n, MsgCommand* snd, MsgCommand* rcv,
     rcv->req->status.tag = snd->tag;
     rcv->req->status.bytes = bytes;
     if (sink != nullptr) {
-      sink->completions.emplace_back(rcv->req, done);
+      sink->completions.emplace_back(rcv->req, done, cp_done);
     } else {
-      rcv->req->rec.complete(done);
+      rcv->req->rec.complete(done, cp_done);
     }
   }
   if (sink != nullptr) {
@@ -282,20 +310,20 @@ void complete_match(NodeRt& n, MsgCommand* snd, MsgCommand* rcv,
   }
   if (!snd->sender_completed && snd->req != nullptr) {
     if (sink != nullptr) {
-      sink->completions.emplace_back(snd->req, done);
+      sink->completions.emplace_back(snd->req, done, cp_done);
     } else {
-      snd->req->rec.complete(done);
+      snd->req->rec.complete(done, cp_done);
     }
   }
   if (snd->remote_sender_req != nullptr) {
     if (sink != nullptr) {
-      sink->completions.emplace_back(snd->remote_sender_req, done);
+      sink->completions.emplace_back(snd->remote_sender_req, done, cp_done);
     } else {
-      snd->remote_sender_req->rec.complete(done);
+      snd->remote_sender_req->rec.complete(done, cp_done);
     }
   }
   if (snd->remote_sender_stream != nullptr) {
-    if (snd->remote_sender_stream->complete_inflight(done)) {
+    if (snd->remote_sender_stream->complete_inflight(done, cp_done)) {
       if (sink != nullptr) {
         sink->resumes.emplace_back(snd->remote_sender_stream,
                                    snd->remote_sender_node);
@@ -304,8 +332,8 @@ void complete_match(NodeRt& n, MsgCommand* snd, MsgCommand* rcv,
       }
     }
   }
-  resume_stream(snd, done, sink);
-  resume_stream(rcv, done, sink);
+  resume_stream(snd, done, sink, cp_done);
+  resume_stream(rcv, done, sink, cp_done);
   delete snd;
   delete rcv;
 }
@@ -551,7 +579,8 @@ void route_send(Task& t, MsgCommand* cmd, bool from_task_fiber) {
       cmd->sender_completed = true;
       if (cmd->req != nullptr) {
         cmd->req->rec.complete(
-            cmd->ready + sim::host_copy_time(*src_node.desc, cmd->bytes));
+            cmd->ready + sim::host_copy_time(*src_node.desc, cmd->bytes),
+            cmd->cp_pred);
       }
     }
     src_node.post(cmd);
@@ -566,6 +595,10 @@ void route_send(Task& t, MsgCommand* cmd, bool from_task_fiber) {
   // and gain nothing from splitting.
   obs::Observability* ob = rt->obs();
   sim::TraceSink* trace = rt->trace();
+  obs::CritPath* cpg = rt->critpath();
+  std::uint32_t cp_stage = 0;       // sender-side DtoH staging node
+  sim::Time wire_occupancy = 0;     // NIC busy time of this message
+  sim::Time cp_serial_before = -1;  // task clock before the MPI-lock merge
   sim::Time ready = cmd->ready;
   const sim::Time posted = cmd->ready;
   if (ob != nullptr) {
@@ -589,6 +622,14 @@ void route_send(Task& t, MsgCommand* cmd, bool from_task_fiber) {
         sim::chunked_stage_total(dtoh, cmd->bytes, pipe.chunk_bytes);
     account_copy(t, dev::CopyPathKind::kDevToHost, dtoh_total, cmd->bytes);
     if (ob != nullptr) ob->phase_stage_dtoh->record(dtoh_total);
+    if (cpg != nullptr) {
+      // The chunked staging overlaps the wire; record its busy time as a
+      // contiguous node starting at the post (the pipeline's first leg).
+      cp_stage = cpg->add(obs::CritCategory::kCopyDtoH, posted,
+                          posted + dtoh_total, cmd->cp_pred, cmd->cp_pred2, 0,
+                          obs::CritCategory::kSchedStall, t.id, cmd->bytes,
+                          "stage dtoh (chunked)");
+    }
     PinnedPool::Buffer staged_prev{};
     for (int j = 0; j < pipe.chunks; ++j) {
       const std::uint64_t len = pipe.chunk_len(j, cmd->bytes);
@@ -612,10 +653,12 @@ void route_send(Task& t, MsgCommand* cmd, bool from_task_fiber) {
     if (!cluster.mpi_thread_multiple) {
       // The per-node MPI lock is held while the NIC is busy: the hold is
       // the wire occupancy of all chunks, not the end-to-end pipeline.
+      if (from_task_fiber && cpg != nullptr) cp_serial_before = t.clock.now();
       ready = src_node.serialize_mpi(
           ready, wire_busy + cluster.costs.sync_point_overhead);
       if (from_task_fiber) t.clock.merge(ready);
     }
+    wire_occupancy = wire_busy;
     cmd->chunk_split = pipe.chunk_bytes;
     cmd->chunk_arrivals = src_node.nic_transmit_chunked(
         ready, &dtoh, sim::wire_link(cluster.fabric), cmd->bytes,
@@ -632,6 +675,12 @@ void route_send(Task& t, MsgCommand* cmd, bool from_task_fiber) {
       ready += pcie;
       account_copy(t, dev::CopyPathKind::kDevToHost, pcie, cmd->bytes);
       if (ob != nullptr) ob->phase_stage_dtoh->record(pcie);
+      if (cpg != nullptr) {
+        cp_stage = cpg->add(obs::CritCategory::kCopyDtoH, posted, ready,
+                            cmd->cp_pred, cmd->cp_pred2, 0,
+                            obs::CritCategory::kSchedStall, t.id, cmd->bytes,
+                            "stage dtoh");
+      }
       // The DtoH staging lands in a pre-pinned bounce buffer (section 3.7);
       // the pool recycles them across messages.
       PinnedPool::Buffer b = src_node.pinned.acquire(cmd->bytes);
@@ -648,10 +697,12 @@ void route_send(Task& t, MsgCommand* cmd, bool from_task_fiber) {
       // per node: the per-node MPI lock is held across the transfer, so a
       // node's outgoing messages cannot overlap, and a calling task fiber
       // is held until its turn completes (section 3.7).
+      if (from_task_fiber && cpg != nullptr) cp_serial_before = t.clock.now();
       ready = src_node.serialize_mpi(
           ready, wire + cluster.costs.sync_point_overhead);
       if (from_task_fiber) t.clock.merge(ready);
     }
+    wire_occupancy = wire;
     on_wire_done = src_node.nic_transmit(ready, wire);
     if (pipe.chunked()) {
       // Host sender, but the receiver may still stage to a device: the
@@ -669,6 +720,37 @@ void route_send(Task& t, MsgCommand* cmd, bool from_task_fiber) {
             on_wire_done -
             static_cast<double>(cmd->bytes - delivered) / bw);
       }
+    }
+  }
+
+  if (cpg != nullptr) {
+    // Wire node: NIC occupancy ending at arrival. It chains after the
+    // staging leg (or directly after the issue-time chains) and, in
+    // serialized-MPI mode, after the previous holder of the node's MPI
+    // lock — the gap before it is fabric/lock serialization, i.e. wire.
+    const std::uint32_t prev =
+        cluster.mpi_thread_multiple
+            ? 0
+            : src_node.cp_mpi_lock.load(std::memory_order_relaxed);
+    std::uint32_t p1 = cp_stage;
+    std::uint32_t p3 = 0;
+    if (cp_stage == 0) {
+      p1 = cmd->cp_pred;
+      p3 = cmd->cp_pred2;
+    }
+    cmd->cp_node =
+        cpg->add(obs::CritCategory::kWire, on_wire_done - wire_occupancy,
+                 on_wire_done, p1, prev, p3, obs::CritCategory::kWire, t.id,
+                 cmd->bytes,
+                 "wire " + std::to_string(t.id) + "->" +
+                     std::to_string(cmd->dst_task));
+    if (!cluster.mpi_thread_multiple) {
+      src_node.cp_mpi_lock.store(cmd->cp_node, std::memory_order_relaxed);
+    }
+    if (cp_serial_before >= 0 && t.clock.now() > cp_serial_before) {
+      // The calling fiber was held on the per-node MPI lock: record the
+      // blocked interval as a join on this message's wire node.
+      cp_join(t, cpg, cp_serial_before, cmd->cp_node);
     }
   }
 
@@ -705,8 +787,8 @@ void route_send(Task& t, MsgCommand* cmd, bool from_task_fiber) {
     }
     cmd->sender_completed = true;
     if (cmd->req != nullptr) {
-      cmd->req->rec.complete(cmd->ready +
-                             cluster.costs.mpi_call_overhead);
+      cmd->req->rec.complete(cmd->ready + cluster.costs.mpi_call_overhead,
+                             cmd->cp_pred);
     }
   } else {
     // Rendezvous: the receiver's handler completes the sender.
@@ -726,11 +808,73 @@ void route_send(Task& t, MsgCommand* cmd, bool from_task_fiber) {
 
 void route_recv(Task& t, MsgCommand* cmd) { t.node->post(cmd); }
 
+std::uint32_t cp_checkpoint(Task& t, obs::CritPath* cp) {
+  if (cp == nullptr) return 0;
+  const sim::Time now = t.clock.now();
+  // No virtual time elapsed since the last checkpoint: the previous node
+  // already ends exactly here, so reuse it instead of appending a
+  // zero-length duplicate (tight issue loops hit this every iteration).
+  if (now == t.cp_open && t.cp_last != 0) return t.cp_last;
+  const std::uint32_t id =
+      cp->add(obs::CritCategory::kCompute, t.cp_open, now, t.cp_last, 0, 0,
+              obs::CritCategory::kMatchWait, t.id);
+  t.cp_last = id;
+  t.cp_open = now;
+  return id;
+}
+
+void cp_join(Task& t, obs::CritPath* cp, sim::Time before,
+             std::uint32_t producer) {
+  if (cp == nullptr) return;
+  const sim::Time now = t.clock.now();
+  // The wait never blocked: the producer finished strictly inside the
+  // task's own busy period, so the task — not the message — was the
+  // rate limiter and the open compute segment just continues. No node.
+  if (now == before) return;
+  const std::uint32_t seg =
+      before == t.cp_open && t.cp_last != 0
+          ? t.cp_last
+          : cp->add(obs::CritCategory::kCompute, t.cp_open, before, t.cp_last,
+                    0, 0, obs::CritCategory::kMatchWait, t.id);
+  // Zero-length join node: it pins the walk's frontier at `now`, books the
+  // blocked interval [producer end, frontier] as match_wait, and descends
+  // into whichever of {own segment, producer} finished last — entering the
+  // producer's subtree (wire, staging copies) at its completion time.
+  const std::uint32_t join =
+      cp->add(obs::CritCategory::kMatchWait, now, now, seg, producer, 0,
+              obs::CritCategory::kMatchWait, t.id);
+  t.cp_last = join;
+  t.cp_open = now;
+}
+
+void wd_register(Task& t, const char* site, int context, int peer, int tag,
+                 std::uint64_t bytes) {
+  if (!t.rt->watchdog_enabled()) return;
+  t.wd_lock.lock();
+  t.wd_site = site;
+  t.wd_context = context;
+  t.wd_peer = peer;
+  t.wd_tag = tag;
+  t.wd_bytes = bytes;
+  t.wd_lock.unlock();
+}
+
+void wd_clear(Task& t) {
+  if (!t.rt->watchdog_enabled()) return;
+  t.wd_lock.lock();
+  t.wd_site = nullptr;
+  t.wd_lock.unlock();
+}
+
 void submit_stream_op(Task& t, int async_id, dev::StreamOp op) {
   t.clock.advance(t.costs().queue_op_overhead);
   op.enqueue_time = t.clock.now();
   dev::Stream* s = t.device->stream(async_id);
   if (t.rt->trace() != nullptr) s->set_trace(t.rt->trace(), t.node->index);
+  if (obs::CritPath* cpg = t.rt->critpath()) {
+    s->set_critpath(cpg);
+    op.cp_pred = cp_checkpoint(t, cpg);
+  }
   if (s->enqueue(std::move(op))) t.node->schedule_stream(s);
 }
 
@@ -738,9 +882,20 @@ sim::Time sync_stream_op(Task& t, int async_id, dev::StreamOp op) {
   dev::CompletionRecord rec;
   IMPACC_CHECK_MSG(op.completion == nullptr, "sync op already has completion");
   op.completion = &rec;
+  const char* site = op.kind == dev::StreamOp::Kind::kMarker
+                         ? "acc wait (queue drain)"
+                         : "stream sync";
   submit_stream_op(t, async_id, std::move(op));
+  wd_register(t, site, 0, -1, -1, 0);
   const sim::Time done = rec.wait();
-  t.clock.merge(done);
+  wd_clear(t);
+  if (obs::CritPath* cpg = t.rt->critpath()) {
+    const sim::Time before = t.clock.now();
+    t.clock.merge(done);
+    cp_join(t, cpg, before, rec.cp());
+  } else {
+    t.clock.merge(done);
+  }
   return done;
 }
 
@@ -748,7 +903,13 @@ void wait_stream(Task& t, int async_id) {
   dev::Stream* s = t.device->stream(async_id);
   if (s->idle()) {
     t.clock.advance(t.costs().sync_point_overhead);
-    t.clock.merge(s->now());
+    if (obs::CritPath* cpg = t.rt->critpath()) {
+      const sim::Time before = t.clock.now();
+      t.clock.merge(s->now());
+      if (t.clock.now() > before) cp_join(t, cpg, before, s->cp_last());
+    } else {
+      t.clock.merge(s->now());
+    }
     return;
   }
   dev::StreamOp marker;

@@ -56,6 +56,30 @@ void wait_stream(Task& t, int async_id);
 void account_copy(Task& t, dev::CopyPathKind kind, sim::Time cost,
                   std::uint64_t bytes);
 
+/// Critical-path helpers (no-ops returning 0 when `cp` is null).
+///
+/// cp_checkpoint closes the task's open compute segment [cp_open, now] as
+/// a kCompute node chained after cp_last, returns its id, and opens a new
+/// segment at now. Call before handing the task's chain to someone else
+/// (issuing a command, enqueuing a stream op).
+std::uint32_t cp_checkpoint(Task& t, obs::CritPath* cp);
+
+/// cp_join records a wakeup: the task blocked at `before`, a producer
+/// (graph node `producer`) finished at `now`, and the task resumes. The
+/// segment is closed at `before`, a zero-length join node at `now` links
+/// {segment, producer} with the gap categorized as match_wait, and a new
+/// segment opens at `now`. Call after every blocking wait that merged a
+/// completion into the task clock.
+void cp_join(Task& t, obs::CritPath* cp, sim::Time before,
+             std::uint32_t producer);
+
+/// Hang-watchdog wait-site registration (no-ops unless IMPACC_WATCHDOG is
+/// armed): record what the task fiber is about to block on, so the
+/// watchdog's dump can name the site; clear after the wait returns.
+void wd_register(Task& t, const char* site, int context, int peer, int tag,
+                 std::uint64_t bytes);
+void wd_clear(Task& t);
+
 /// Eager-protocol threshold used for both intra- and internode sends.
 constexpr std::uint64_t kEagerBytes = 8192;
 

@@ -14,13 +14,6 @@ LaunchResult launch(const core::LaunchOptions& options,
 
   LaunchResult result;
   result.trace = rt.shared_trace();
-  if (result.trace != nullptr && !rt.options().trace_path.empty() &&
-      rt.options().trace_path != "-") {
-    if (!result.trace->write_file(rt.options().trace_path)) {
-      IMPACC_LOG_WARN("could not write trace to %s",
-                      rt.options().trace_path.c_str());
-    }
-  }
   result.num_tasks = rt.num_tasks();
   result.task_times.reserve(static_cast<std::size_t>(rt.num_tasks()));
   result.task_stats.reserve(static_cast<std::size_t>(rt.num_tasks()));
@@ -35,7 +28,17 @@ LaunchResult launch(const core::LaunchOptions& options,
     result.total += t.stats;
     result.makespan = std::max(result.makespan, t.clock.now());
   }
+  // Terminal counter samples and the critical-path overlay land in the
+  // trace during publish, so the file is written only afterwards.
+  if (result.trace != nullptr) result.trace->finalize_counters(result.makespan);
   rt.publish_run_metrics(result.total, result.makespan, &result.metrics);
+  if (result.trace != nullptr && !rt.options().trace_path.empty() &&
+      rt.options().trace_path != "-") {
+    if (!result.trace->write_file(rt.options().trace_path)) {
+      IMPACC_LOG_WARN("could not write trace to %s",
+                      rt.options().trace_path.c_str());
+    }
+  }
   return result;
 }
 

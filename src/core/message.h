@@ -102,6 +102,14 @@ struct MsgCommand : MpscNode {
   // posted time anchors the mpi.msg.phase.total histogram.
   std::uint64_t span_id = 0;
   sim::Time span_posted = 0;  // sender's ready time at route_send entry
+
+  // Critical-path plumbing (src/obs/critpath.h); all 0 when the profiler
+  // is off. `cp_pred` is the issuing task's compute segment, `cp_pred2`
+  // the issuing stream's chain (unified-queue ops), `cp_node` the sender
+  // side's last graph node (dtoh staging / wire) for kIncoming commands.
+  std::uint32_t cp_pred = 0;
+  std::uint32_t cp_pred2 = 0;
+  std::uint32_t cp_node = 0;
 };
 
 }  // namespace impacc::core

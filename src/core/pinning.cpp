@@ -49,4 +49,22 @@ bool socket_is_near(const sim::NodeDesc& node, const sim::DeviceDesc& dev,
   return socket == dev.socket;
 }
 
+int choose_handler_socket(const sim::NodeDesc& node) {
+  if (node.sockets <= 1 || node.devices.empty()) return 0;
+  std::vector<int> devs_on(static_cast<std::size_t>(node.sockets), 0);
+  for (const auto& d : node.devices) {
+    if (d.socket >= 0 && d.socket < node.sockets) {
+      ++devs_on[static_cast<std::size_t>(d.socket)];
+    }
+  }
+  int best = 0;
+  for (int s = 1; s < node.sockets; ++s) {
+    if (devs_on[static_cast<std::size_t>(s)] >
+        devs_on[static_cast<std::size_t>(best)]) {
+      best = s;
+    }
+  }
+  return best;
+}
+
 }  // namespace impacc::core

@@ -28,4 +28,10 @@ int choose_socket(const sim::NodeDesc& node, const sim::DeviceDesc& dev,
 bool socket_is_near(const sim::NodeDesc& node, const sim::DeviceDesc& dev,
                     int socket);
 
+/// Socket for the node's message-handler thread (the CPUMap idea from the
+/// exemplar runtime): pin it next to the node's devices — the socket
+/// hosting the most accelerators, lowest index on a tie — so staging
+/// copies and queue polling stay on the near memory controller.
+int choose_handler_socket(const sim::NodeDesc& node);
+
 }  // namespace impacc::core

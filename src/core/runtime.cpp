@@ -36,6 +36,7 @@ NodeRt::NodeRt(Runtime* rt_in, int index_in, const sim::NodeDesc* desc_in,
     : rt(rt_in),
       index(index_in),
       desc(desc_in),
+      handler_socket(choose_handler_socket(*desc_in)),
       heap(heap_bytes, functional),
       pinned(functional) {
   uvas.set_heap(&heap);
@@ -140,13 +141,44 @@ Runtime::Runtime(LaunchOptions opts)
     const std::string v = env;
     opts_.features.handler_batching = !(v == "0" || v == "off" || v == "false");
   }
+  // Critical-path profiler switches (DESIGN.md section 10): IMPACC_CRITPATH
+  // records the graph, IMPACC_PROF additionally writes the report,
+  // IMPACC_PROF_GRAPH serializes the graph for tools/impacc-prof. Any of
+  // the three brings the recorder up.
+  if (const char* env = std::getenv("IMPACC_CRITPATH")) {
+    const std::string v = env;
+    opts_.critpath = !(v == "0" || v == "off" || v == "false");
+  }
+  if (opts_.prof_report_path.empty()) {
+    if (const char* env = std::getenv("IMPACC_PROF")) {
+      opts_.prof_report_path = env;
+    }
+  }
+  if (opts_.critpath_graph_path.empty()) {
+    if (const char* env = std::getenv("IMPACC_PROF_GRAPH")) {
+      opts_.critpath_graph_path = env;
+    }
+  }
+  if (!opts_.prof_report_path.empty() || !opts_.critpath_graph_path.empty()) {
+    opts_.critpath = true;
+  }
+  if (opts_.watchdog_seconds <= 0) {
+    if (const char* env = std::getenv("IMPACC_WATCHDOG")) {
+      opts_.watchdog_seconds = std::atof(env);
+    }
+  }
   if (!opts_.trace_path.empty()) {
     trace_ = std::make_shared<sim::TraceSink>();
   }
+  if (opts_.critpath) {
+    critpath_ = std::make_unique<obs::CritPath>();
+  }
   // Observability comes up with tracing OR metrics export: spans need ids
   // even when only the trace is on, and the registry feeds both
-  // LaunchResult::metrics and the metrics file.
-  if (trace_ != nullptr || !opts_.metrics_path.empty()) {
+  // LaunchResult::metrics and the metrics file. The critical-path profiler
+  // needs it too, so its attribution gauges have somewhere to publish.
+  if (trace_ != nullptr || !opts_.metrics_path.empty() ||
+      critpath_ != nullptr) {
     obs_ = std::make_unique<obs::Observability>(
         obs::parse_metrics_spec(opts_.metrics_path));
   }
@@ -226,6 +258,11 @@ bool Runtime::rdma_enabled() const {
 void Runtime::run(const std::function<void()>& task_main) {
   tasks_remaining_.store(num_tasks(), std::memory_order_relaxed);
 
+  if (opts_.watchdog_seconds > 0) {
+    watchdog_stop_.store(false, std::memory_order_release);
+    watchdog_ = std::thread([this] { watchdog_main(); });
+  }
+
   if (obs_ != nullptr) {
     // Ready-fiber sampler: every push feeds the ult.sched.ready_fibers
     // histogram; with tracing on, a throttled counter track is emitted on
@@ -276,11 +313,95 @@ void Runtime::run(const std::function<void()>& task_main) {
   }
 
   sched_.wait_all();
+  if (watchdog_.joinable()) {
+    watchdog_stop_.store(true, std::memory_order_release);
+    watchdog_.join();
+  }
   if (obs_ != nullptr) sched_.set_ready_sampler({});
+}
+
+void Runtime::watchdog_main() {
+  // Progress = fibers becoming runnable. A waitany/test poll loop keeps
+  // yielding (and so keeps the counter moving); a true deadlock — nothing
+  // runnable, every task parked — freezes it. The one blind spot is a
+  // single functional kernel body grinding for longer than the limit
+  // without yielding; pick the limit accordingly.
+  const double limit = opts_.watchdog_seconds;
+  std::uint64_t last_events = sched_.ready_events();
+  auto last_progress = std::chrono::steady_clock::now();
+  while (!watchdog_stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const std::uint64_t events = sched_.ready_events();
+    if (events != last_events) {
+      last_events = events;
+      last_progress = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (tasks_remaining_.load(std::memory_order_acquire) <= 0) continue;
+    const double idle = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - last_progress)
+                            .count();
+    if (idle < limit) continue;
+    dump_hang_diagnostics(idle);
+    std::fflush(stderr);
+    // The run cannot make progress; tear the process down with the
+    // distinct watchdog code (no atexit/destructors — fibers are parked).
+    std::_Exit(kWatchdogExitCode);
+  }
+}
+
+void Runtime::dump_hang_diagnostics(double idle_seconds) {
+  std::fprintf(stderr,
+               "[impacc watchdog] no scheduler progress for %.2f s with %d "
+               "task(s) unfinished; dumping state\n",
+               idle_seconds,
+               tasks_remaining_.load(std::memory_order_relaxed));
+  std::string blocked_ids;
+  for (const auto& t : tasks_) {
+    t->wd_lock.lock();
+    const char* site = t->wd_site;
+    const int context = t->wd_context;
+    const int peer = t->wd_peer;
+    const int tag = t->wd_tag;
+    const std::uint64_t bytes = t->wd_bytes;
+    t->wd_lock.unlock();
+    if (site != nullptr) {
+      std::fprintf(stderr,
+                   "  task %d (node %d, clock %.6f ms): blocked in %s "
+                   "(context=%d peer=%d tag=%d bytes=%llu)\n",
+                   t->id, t->node->index, sim::to_ms(t->clock.now()), site,
+                   context, peer, tag,
+                   static_cast<unsigned long long>(bytes));
+      if (!blocked_ids.empty()) blocked_ids += ' ';
+      blocked_ids += std::to_string(t->id);
+    } else {
+      std::fprintf(stderr,
+                   "  task %d (node %d, clock %.6f ms): no registered wait "
+                   "site\n",
+                   t->id, t->node->index, sim::to_ms(t->clock.now()));
+    }
+  }
+  for (const auto& n : nodes_) {
+    std::fprintf(stderr, "  node %d: handler queue depth=%d\n", n->index,
+                 n->queue_depth.load(std::memory_order_relaxed));
+    // The handler fiber is parked (no progress), so reading the matcher
+    // and the streams is quiescent here.
+    const std::string matcher = n->matcher.debug_dump();
+    std::fprintf(stderr, "%s", matcher.c_str());
+    for (const auto& d : n->devices) {
+      for (const auto& s : d->streams()) {
+        std::fprintf(stderr, "    %s\n", s->debug_state().c_str());
+      }
+    }
+  }
+  std::string blocked = "blocked tasks:";
+  if (!blocked_ids.empty()) blocked += " " + blocked_ids;
+  std::fprintf(stderr, "%s\n", blocked.c_str());
 }
 
 void Runtime::publish_run_metrics(const TaskStats& total, sim::Time makespan,
                                   obs::MetricsSnapshot* out) {
+  if (critpath_ != nullptr) publish_critpath(makespan);
   if (obs_ == nullptr) return;
   obs::Registry& reg = obs_->registry();
 
@@ -288,6 +409,22 @@ void Runtime::publish_run_metrics(const TaskStats& total, sim::Time makespan,
   reg.gauge("core.makespan_seconds")->set(makespan);
   reg.gauge("core.num_tasks")->set(num_tasks());
   reg.gauge("core.num_nodes")->set(num_nodes());
+  for (const auto& n : nodes_) {
+    reg.gauge("core.node" + std::to_string(n->index) + ".handler_socket")
+        ->set(n->handler_socket);
+  }
+  if (trace_ != nullptr) {
+    // Label the pid rows: node index + where its handler thread is pinned,
+    // plus the wall-clock scheduler row.
+    for (const auto& n : nodes_) {
+      trace_->record_meta(n->index, "process_name",
+                          "node" + std::to_string(n->index) +
+                              " (handler socket " +
+                              std::to_string(n->handler_socket) + ")");
+    }
+    trace_->record_meta(num_nodes(), "process_name",
+                        "scheduler (wall clock)");
+  }
 
   // TaskStats totals. The copy/wait *model* gauges mirror what the live
   // dev.copy.*/mpi.wait histograms accumulated — equal by construction
@@ -396,6 +533,77 @@ void Runtime::publish_run_metrics(const TaskStats& total, sim::Time makespan,
     }
   }
   if (out != nullptr) *out = std::move(snap);
+}
+
+void Runtime::publish_critpath(sim::Time makespan) {
+  obs::CritPath* cp = critpath_.get();
+
+  // Close every task's final compute segment so each dependency chain
+  // reaches the end of the run; the last-finishing task's segment is the
+  // backward walk's end node (its end == makespan by definition).
+  Task* last = nullptr;
+  for (const auto& t : tasks_) {
+    if (last == nullptr || t->clock.now() > last->clock.now()) last = t.get();
+  }
+  std::uint32_t end_node = 0;
+  for (const auto& t : tasks_) {
+    const std::uint32_t id = cp_checkpoint(*t, cp);
+    if (t.get() == last) end_node = id;
+  }
+
+  // The slice list only feeds the trace overlay and the report's top-N
+  // table; gauge-only runs can skip collecting it.
+  const bool want_path = trace_ != nullptr || !opts_.prof_report_path.empty();
+  const obs::CritPath::Report rep = cp->analyze(makespan, end_node, want_path);
+
+  if (obs_ != nullptr) {
+    obs::Registry& reg = obs_->registry();
+    for (int c = 0; c < obs::kCritCategoryCount; ++c) {
+      const std::string prefix =
+          std::string("critpath.") +
+          obs::crit_category_slug(static_cast<obs::CritCategory>(c));
+      reg.gauge(prefix + ".seconds")->set(rep.seconds[c]);
+      reg.gauge(prefix + ".fraction")
+          ->set(makespan > 0 ? rep.seconds[c] / makespan : 0);
+    }
+  }
+
+  if (trace_ != nullptr) {
+    // Overlay the on-path slices on their own pid so Perfetto highlights
+    // the path without disturbing the per-node rows (whose categories the
+    // smoke tool asserts on).
+    const int pid = num_nodes() + 1;
+    trace_->record_meta(pid, "process_name", "critical path");
+    for (const auto& s : rep.path) {
+      if (s.attributed <= 0 || s.end <= s.start) continue;
+      trace_->record(
+          pid, "critical path",
+          s.label.empty() ? obs::crit_category_slug(s.cat) : s.label,
+          "critpath", s.start, s.end);
+    }
+  }
+
+  if (!opts_.prof_report_path.empty()) {
+    const std::string report = cp->format_report(rep);
+    if (opts_.prof_report_path == "-") {
+      std::fputs(report.c_str(), stderr);
+    } else {
+      std::FILE* f = std::fopen(opts_.prof_report_path.c_str(), "w");
+      if (f == nullptr ||
+          std::fwrite(report.data(), 1, report.size(), f) != report.size()) {
+        IMPACC_LOG_WARN("could not write profile report to %s",
+                        opts_.prof_report_path.c_str());
+      }
+      if (f != nullptr) std::fclose(f);
+    }
+  }
+  if (!opts_.critpath_graph_path.empty() &&
+      opts_.critpath_graph_path != "-") {
+    if (!cp->save_graph(opts_.critpath_graph_path, makespan, end_node)) {
+      IMPACC_LOG_WARN("could not write critpath graph to %s",
+                      opts_.critpath_graph_path.c_str());
+    }
+  }
 }
 
 }  // namespace impacc::core

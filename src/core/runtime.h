@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -19,12 +20,18 @@
 #include "core/uvas.h"
 #include "mpi/comm.h"
 #include "mpi/matcher.h"
+#include "obs/critpath.h"
 #include "obs/obs.h"
 #include "sim/trace.h"
 #include "ult/scheduler.h"
 #include "ult/sync.h"
 
 namespace impacc::core {
+
+/// Process exit code of the hang watchdog (IMPACC_WATCHDOG): distinct
+/// from every IMPACC_CHECK abort and test-harness code, so a harness can
+/// tell "diagnosed deadlock" apart from "crashed".
+constexpr int kWatchdogExitCode = 86;
 
 /// Per-node runtime state. The handler fiber is the paper's "message
 /// handler thread": sole consumer of the node's in-order lock-free command
@@ -36,6 +43,17 @@ struct NodeRt {
   Runtime* rt;
   int index;
   const sim::NodeDesc* desc;
+
+  // Socket the node's message-handler thread is pinned on (CPUMap-style:
+  // next to the node's devices; see choose_handler_socket). Published as
+  // the core.node<i>.handler_socket gauge and as trace metadata.
+  int handler_socket = 0;
+
+  // Last critical-path node of the serialized-MPI lock timeline (the
+  // per-node MPI lock that internode sends hold; section 3.7). Purely
+  // observational — a racy read only mis-attributes a wait, never breaks
+  // the Σ == makespan invariant.
+  std::atomic<std::uint32_t> cp_mpi_lock{0};
 
   std::vector<std::unique_ptr<dev::Device>> devices;
   std::vector<Task*> tasks;
@@ -147,6 +165,14 @@ class Runtime {
   /// instrumentation site tests.
   obs::Observability* obs() { return obs_.get(); }
 
+  /// Critical-path recorder when the profiler is enabled, else nullptr —
+  /// same null-test discipline as obs().
+  obs::CritPath* critpath() { return critpath_.get(); }
+
+  /// Whether the hang watchdog is armed (wait sites register their
+  /// diagnostics only then).
+  bool watchdog_enabled() const { return opts_.watchdog_seconds > 0; }
+
   /// Publish the run-total stats (TaskStats, present-table cache,
   /// pinned-pool, matcher, scheduler) into the registry and snapshot it
   /// into `total`/`metrics`; writes the configured metrics file. No-op
@@ -159,9 +185,21 @@ class Runtime {
 
   void build_topology();
 
+  /// Close every task's open compute segment, walk the graph backward from
+  /// the last-finishing task, publish critpath.<category>.seconds/.fraction
+  /// gauges, mark on-path slices in the trace, and write the configured
+  /// report/graph files. Called from publish_run_metrics.
+  void publish_critpath(sim::Time makespan);
+
+  void watchdog_main();
+  void dump_hang_diagnostics(double idle_seconds);
+
   LaunchOptions opts_;
   std::shared_ptr<sim::TraceSink> trace_;
   std::unique_ptr<obs::Observability> obs_;
+  std::unique_ptr<obs::CritPath> critpath_;
+  std::thread watchdog_;
+  std::atomic<bool> watchdog_stop_{false};
   ult::Scheduler sched_;
   std::vector<std::unique_ptr<NodeRt>> nodes_;
   std::vector<std::unique_ptr<Task>> tasks_;

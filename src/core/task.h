@@ -6,6 +6,7 @@
 // drives the near/far transfer costs.
 #pragma once
 
+#include <cstdint>
 #include <mutex>
 
 #include "acc/present_table.h"
@@ -14,6 +15,7 @@
 #include "dev/device.h"
 #include "sim/vclock.h"
 #include "ult/fiber.h"
+#include "ult/sync.h"
 
 namespace impacc::core {
 
@@ -46,6 +48,23 @@ struct Task {
   // Per-communicator count of communicator-creation calls (context
   // agreement; see Runtime::agree_context).
   std::unordered_map<int, int> comm_create_seq;
+
+  // Critical-path chain (src/obs/critpath.h); only touched by the task's
+  // own fiber (plus the publish pass after wait_all), and only when the
+  // profiler is on. `cp_open` is the virtual start of the currently open
+  // compute segment, `cp_last` the id of the last closed node.
+  sim::Time cp_open = 0;
+  std::uint32_t cp_last = 0;
+
+  // Hang-watchdog wait-site registration: set while the task fiber is
+  // blocked in an MPI completion wait, read by the watchdog thread.
+  // Registered only when the watchdog is enabled (no cost otherwise).
+  ult::SpinLock wd_lock;
+  const char* wd_site = nullptr;  // static string, e.g. "mpi::wait"
+  int wd_context = 0;
+  int wd_peer = 0;
+  int wd_tag = 0;
+  std::uint64_t wd_bytes = 0;
 
   /// Consume (and clear) the pending directive hint.
   MpiHint take_hint() {

@@ -1,5 +1,6 @@
 #include "dev/stream.h"
 
+#include <cstdio>
 #include <cstring>
 
 #include "common/types.h"
@@ -9,11 +10,12 @@ namespace impacc::dev {
 
 // --- CompletionRecord -------------------------------------------------------
 
-void CompletionRecord::complete(sim::Time t) {
+void CompletionRecord::complete(sim::Time t, std::uint32_t cp) {
   spin_.lock();
   IMPACC_CHECK_MSG(!done_, "double completion");
   done_ = true;
   time_ = t;
+  cp_ = cp;
   std::vector<ult::Fiber*> waiters;
   waiters.swap(waiters_);
   spin_.unlock();
@@ -41,6 +43,14 @@ bool CompletionRecord::poll(sim::Time* t) {
   if (done && t != nullptr) *t = time_;
   spin_.unlock();
   return done;
+}
+
+std::uint32_t CompletionRecord::cp() const {
+  auto* self = const_cast<CompletionRecord*>(this);
+  self->spin_.lock();
+  const std::uint32_t cp = cp_;
+  self->spin_.unlock();
+  return cp;
 }
 
 // --- Stream ------------------------------------------------------------------
@@ -81,10 +91,11 @@ bool Stream::advance(bool functional) {
       // Initiate and keep going; completion arrives out-of-band.
       auto begin = std::move(head.begin_async);
       const sim::Time ready = clock_.now();
+      const std::uint32_t cp = cp_last_;
       ops_.pop_front();
       ++in_flight_;
       spin_.unlock();
-      begin(ready);
+      begin(ready, cp);
       continue;
     }
 
@@ -132,14 +143,41 @@ bool Stream::advance(bool functional) {
       spin_.unlock();
       record_depth(end, depth);
     }
-    if (op.completion != nullptr) op.completion->complete(end);
+    std::uint32_t cp_done = 0;
+    if (critpath_ != nullptr) {
+      spin_.lock();
+      const std::uint32_t chain = cp_last_;
+      spin_.unlock();
+      if (op.kind == StreamOp::Kind::kKernel ||
+          op.kind == StreamOp::Kind::kMemcpy) {
+        // Preds: queue FIFO order and the enqueuing task's segment. A gap
+        // before the op means the queue sat scheduled but not advanced.
+        const obs::CritCategory cat =
+            op.kind == StreamOp::Kind::kKernel
+                ? obs::CritCategory::kKernel
+                : obs::crit_copy_category(op.copy_path >= 0 ? op.copy_path
+                                                            : 0);
+        cp_done = critpath_->add(cat, start, end, chain, op.cp_pred, 0,
+                                 obs::CritCategory::kSchedStall, -1, op.bytes,
+                                 op.label);
+        spin_.lock();
+        cp_last_ = cp_done;
+        spin_.unlock();
+      } else {
+        // Markers/callbacks add no time of their own; pass the chain (or
+        // the enqueuer's segment) through their completion.
+        cp_done = chain != 0 ? chain : op.cp_pred;
+      }
+    }
+    if (op.completion != nullptr) op.completion->complete(end, cp_done);
   }
 }
 
-bool Stream::complete_inflight(sim::Time t) {
+bool Stream::complete_inflight(sim::Time t, std::uint32_t cp) {
   spin_.lock();
   IMPACC_CHECK_MSG(in_flight_ > 0, "completion without initiation");
   clock_.merge(t);
+  if (cp != 0) cp_last_ = cp;
   --in_flight_;
   const std::size_t depth = ops_.size() + static_cast<std::size_t>(in_flight_);
   bool reschedule = false;
@@ -158,6 +196,28 @@ bool Stream::idle() {
   const bool idle = ops_.empty() && in_flight_ == 0;
   spin_.unlock();
   return idle;
+}
+
+std::uint32_t Stream::cp_last() {
+  spin_.lock();
+  const std::uint32_t cp = cp_last_;
+  spin_.unlock();
+  return cp;
+}
+
+std::string Stream::debug_state() {
+  spin_.lock();
+  const std::size_t queued = ops_.size();
+  const int in_flight = in_flight_;
+  const bool stalled = stalled_;
+  const sim::Time now = clock_.now();
+  spin_.unlock();
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "dev%d q%d: queued=%zu in_flight=%d stalled=%d now=%.6fms",
+                device_index_, id_, queued, in_flight, stalled ? 1 : 0,
+                sim::to_ms(now));
+  return buf;
 }
 
 }  // namespace impacc::dev

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/critpath.h"
 #include "sim/trace.h"
 #include "sim/vclock.h"
 #include "ult/sync.h"
@@ -23,8 +24,10 @@ namespace impacc::dev {
 /// operation finished. Task fibers block on it; the handler signals it.
 class CompletionRecord {
  public:
-  /// Signal completion at virtual time `t`. Wakes all waiters.
-  void complete(sim::Time t);
+  /// Signal completion at virtual time `t`. Wakes all waiters. `cp` is the
+  /// producer's critical-path node id (0 when the profiler is off or the
+  /// producer recorded nothing); waiters join their dependency chain to it.
+  void complete(sim::Time t, std::uint32_t cp = 0);
 
   /// Block the calling fiber until complete; returns the completion time.
   sim::Time wait();
@@ -32,10 +35,14 @@ class CompletionRecord {
   /// Non-blocking check; fills `t` when done.
   bool poll(sim::Time* t = nullptr);
 
+  /// Critical-path node of the producer that completed this record.
+  std::uint32_t cp() const;
+
  private:
   ult::SpinLock spin_;
   bool done_ = false;
   sim::Time time_ = 0;
+  std::uint32_t cp_ = 0;
   std::vector<ult::Fiber*> waiters_;
 };
 
@@ -74,7 +81,10 @@ struct StreamOp {
   // deadlock under rendezvous). Non-MPI ops wait for every outstanding
   // initiation to complete (in-order completion, section 3.6). The
   // external agent calls Stream::complete_inflight() when done.
-  std::function<void(sim::Time ready)> begin_async;
+  // `cp_pred` is the stream's own chain at initiation time (its most
+  // recent critical-path node), so the external op can depend on the
+  // queue's preceding work.
+  std::function<void(sim::Time ready, std::uint32_t cp_pred)> begin_async;
 
   // Optional completion to signal with the op's end time.
   CompletionRecord* completion = nullptr;
@@ -82,6 +92,14 @@ struct StreamOp {
   // Virtual time of the enqueuing task when it enqueued this op; the op
   // cannot start earlier.
   sim::Time enqueue_time = 0;
+
+  // Critical-path node of the enqueuing task's compute segment (0 when the
+  // profiler is off).
+  std::uint32_t cp_pred = 0;
+
+  // kMemcpy: dev::CopyPathKind as int (categorizes the copy on the
+  // critical path); -1 = unclassified.
+  int copy_path = -1;
 };
 
 /// In-order activity queue. All mutation happens on the owning node's
@@ -101,6 +119,14 @@ class Stream {
     trace_pid_ = pid;
   }
 
+  /// Attach the critical-path recorder; executed kernel/copy ops become
+  /// graph nodes chained in queue order. nullptr (the default) keeps every
+  /// hook a single pointer test.
+  void set_critpath(obs::CritPath* cp) { critpath_ = cp; }
+
+  /// Most recent critical-path node on this stream's chain (0 if none).
+  std::uint32_t cp_last();
+
   /// Append an op. Returns true if the stream was previously idle (the
   /// caller should then schedule it with the handler).
   bool enqueue(StreamOp op);
@@ -112,15 +138,21 @@ class Stream {
   bool advance(bool functional);
 
   /// Complete one outstanding MPI initiation at time `t` (any fiber).
-  /// Returns true when the stream has runnable work again and should be
-  /// rescheduled with its node handler.
-  bool complete_inflight(sim::Time t);
+  /// `cp` is the completing operation's critical-path node (0 when the
+  /// profiler is off); it becomes the stream chain's latest node so later
+  /// ops depend on it. Returns true when the stream has runnable work
+  /// again and should be rescheduled with its node handler.
+  bool complete_inflight(sim::Time t, std::uint32_t cp = 0);
 
   /// Virtual time at which all currently-finished work on this stream was
   /// done.
   sim::Time now() const { return clock_.now(); }
 
   bool idle();
+
+  /// One-line state dump for the hang watchdog ("queued=2 in_flight=1
+  /// stalled=1 now=1.234ms"). Safe from any thread.
+  std::string debug_state();
 
  private:
   /// Emit the "dev<i> q<id> depth" counter sample (trace_ must be set).
@@ -136,6 +168,8 @@ class Stream {
   sim::VirtualClock clock_;
   sim::TraceSink* trace_ = nullptr;
   int trace_pid_ = 0;
+  obs::CritPath* critpath_ = nullptr;
+  std::uint32_t cp_last_ = 0;  // guarded by spin_
 };
 
 }  // namespace impacc::dev

@@ -1,6 +1,7 @@
 #include "mpi/matcher.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/types.h"
 
@@ -202,6 +203,45 @@ bool Matcher::drained() const {
     }
   }
   return true;
+}
+
+std::string Matcher::debug_dump() const {
+  std::ostringstream os;
+  auto line = [&os](const char* what, const core::MsgCommand* c, int peer,
+                    int tag) {
+    os << "      " << what << " peer=" << peer << " dst=" << c->dst_task
+       << " context=" << c->context_id << " tag=" << tag
+       << " bytes=" << c->bytes << "\n";
+  };
+  for (const auto& [task, pt] : per_task_) {
+    const std::size_t ns =
+        fast_path_ ? pt.send_list.size() : pt.sends.size();
+    const std::size_t nr = fast_path_ ? pt.recv_count : pt.recvs.size();
+    if (ns == 0 && nr == 0 && pt.probes.empty()) continue;
+    os << "    matcher (for task " << task << "): " << ns
+       << " pending send(s), " << nr << " posted recv(s), "
+       << pt.probes.size() << " parked probe(s)\n";
+    if (fast_path_) {
+      for (const auto* c : pt.send_list) line("send", c, c->src_task, c->tag);
+      for (const auto& [key, dq] : pt.recv_buckets) {
+        for (const auto& pr : dq) {
+          line("recv", pr.cmd, pr.cmd->src_task, pr.cmd->src_match_tag);
+        }
+      }
+      for (const auto& pr : pt.recv_wild) {
+        line("recv", pr.cmd, pr.cmd->src_task, pr.cmd->src_match_tag);
+      }
+    } else {
+      for (const auto* c : pt.sends) line("send", c, c->src_task, c->tag);
+      for (const auto* c : pt.recvs) {
+        line("recv", c, c->src_task, c->src_match_tag);
+      }
+    }
+    for (const auto* c : pt.probes) {
+      line("probe", c, c->src_task, c->src_match_tag);
+    }
+  }
+  return os.str();
 }
 
 }  // namespace impacc::mpi

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <deque>
 #include <list>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -57,6 +58,14 @@ class Matcher {
   std::size_t pending_sends(int dst_task) const;
   std::size_t posted_recvs(int dst_task) const;
   bool drained() const;
+
+  /// Multi-line dump of every pending send, posted receive, and parked
+  /// probe with its (context, peer, tag, bytes) — the hang watchdog's view
+  /// of what never matched. The matcher is handler-fiber-private; the
+  /// watchdog calls this only when the scheduler has made no progress for
+  /// seconds (every handler idle-blocked) and exits right after, so the
+  /// unlocked read is acceptable for a diagnostic.
+  std::string debug_dump() const;
 
   /// Matching effectiveness, published as mpi.matcher.* at the end of a
   /// run (docs/OBSERVABILITY.md). Single-threaded like the matcher itself

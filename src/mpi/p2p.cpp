@@ -77,6 +77,11 @@ MsgCommand* new_send_command(Task& t, const ResolvedBuffer& rb,
   cmd->readonly_hint = readonly;
   cmd->owner_task = t.id;
   cmd->req = std::make_shared<RequestState>();
+  cmd->req->dbg_context = cmd->context_id;
+  cmd->req->dbg_peer = dst;
+  cmd->req->dbg_tag = tag;
+  cmd->req->dbg_bytes = bytes;
+  cmd->req->dbg_is_send = true;
   return cmd;
 }
 
@@ -89,12 +94,16 @@ Request issue(Task& t, MsgCommand* cmd, int async, bool is_send) {
   if (unified) {
     cmd->stream = t.device->stream(async);
     cmd->stream_node = t.node;
+    // Close the task's compute segment at issue time; the stream chain at
+    // initiation arrives through begin_async's cp argument.
+    cmd->cp_pred = core::cp_checkpoint(t, t.rt->critpath());
     dev::StreamOp op;
     op.kind = dev::StreamOp::Kind::kAsyncExternal;
     op.label = is_send ? "mpi-isend" : "mpi-irecv";
     Task* tp = &t;
-    op.begin_async = [tp, cmd, is_send](sim::Time ready) {
+    op.begin_async = [tp, cmd, is_send](sim::Time ready, std::uint32_t cp) {
       cmd->ready = ready;
+      cmd->cp_pred2 = cp;
       if (is_send) {
         core::route_send(*tp, cmd, /*from_task_fiber=*/false);
       } else {
@@ -105,6 +114,7 @@ Request issue(Task& t, MsgCommand* cmd, int async, bool is_send) {
     return r;
   }
   cmd->ready = t.clock.now();
+  cmd->cp_pred = core::cp_checkpoint(t, t.rt->critpath());
   if (is_send) {
     core::route_send(t, cmd, /*from_task_fiber=*/true);
   } else {
@@ -210,6 +220,10 @@ Request irecv(void* buf, int count, Datatype dt, int src, int tag, Comm comm) {
                                                             : nullptr;
   cmd->owner_task = t.id;
   cmd->req = std::make_shared<RequestState>();
+  cmd->req->dbg_context = cmd->context_id;
+  cmd->req->dbg_peer = src;
+  cmd->req->dbg_tag = tag;
+  cmd->req->dbg_bytes = bytes;
   return issue(t, cmd, hint.async, /*is_send=*/false);
 }
 
@@ -217,9 +231,16 @@ void wait(Request& req, MpiStatus* status) {
   if (req.null()) return;
   Task& t = core::require_task("mpi::wait outside a task");
   t.clock.advance(t.costs().sync_point_overhead);
+  core::wd_register(t,
+                    req.state->dbg_is_send ? "mpi::wait (send)"
+                                           : "mpi::wait (recv)",
+                    req.state->dbg_context, req.state->dbg_peer,
+                    req.state->dbg_tag, req.state->dbg_bytes);
   const sim::Time done = req.state->rec.wait();
+  core::wd_clear(t);
   const sim::Time before = t.clock.now();
   t.clock.merge(done);
+  core::cp_join(t, t.rt->critpath(), before, req.state->rec.cp());
   const sim::Time waited = t.clock.now() - before;
   {
     std::lock_guard<std::mutex> lock(t.stats_mutex);
@@ -245,6 +266,7 @@ int waitany(Request* reqs, int n, MpiStatus* status) {
   // stays valid across the yield loop; the merged-in interval is blocked
   // MPI completion time exactly like wait().
   const sim::Time before = t.clock.now();
+  core::wd_register(t, "mpi::waitany", 0, kAnySource, kAnyTag, 0);
   for (;;) {
     bool any_active = false;
     for (int i = 0; i < n; ++i) {
@@ -253,6 +275,7 @@ int waitany(Request* reqs, int n, MpiStatus* status) {
       sim::Time done = 0;
       if (reqs[i].state->rec.poll(&done)) {
         t.clock.merge(done);
+        core::cp_join(t, t.rt->critpath(), before, reqs[i].state->rec.cp());
         const sim::Time waited = t.clock.now() - before;
         {
           std::lock_guard<std::mutex> lock(t.stats_mutex);
@@ -261,10 +284,14 @@ int waitany(Request* reqs, int n, MpiStatus* status) {
         if (obs::Observability* ob = t.rt->obs()) ob->mpi_wait->record(waited);
         if (status != nullptr) *status = reqs[i].state->status;
         reqs[i].state.reset();
+        core::wd_clear(t);
         return i;
       }
     }
-    if (!any_active) return -1;  // all null: MPI_UNDEFINED
+    if (!any_active) {
+      core::wd_clear(t);
+      return -1;  // all null: MPI_UNDEFINED
+    }
     // Let the handler make progress, then re-poll.
     t.rt->scheduler().yield();
   }
@@ -274,6 +301,7 @@ bool testall(Request* reqs, int n) {
   Task& t = core::require_task("mpi::testall outside a task");
   t.clock.advance(t.costs().mpi_call_overhead);
   sim::Time latest = 0;
+  std::uint32_t latest_cp = 0;
   for (int i = 0; i < n; ++i) {
     if (reqs[i].null()) continue;
     sim::Time done = 0;
@@ -281,9 +309,16 @@ bool testall(Request* reqs, int n) {
       t.rt->scheduler().yield();  // drive progress (see test())
       return false;
     }
-    latest = std::max(latest, done);
+    if (done >= latest) {
+      latest = done;
+      latest_cp = reqs[i].state->rec.cp();
+    }
   }
+  const sim::Time before = t.clock.now();
   t.clock.merge(latest);
+  if (t.clock.now() > before) {
+    core::cp_join(t, t.rt->critpath(), before, latest_cp);
+  }
   for (int i = 0; i < n; ++i) reqs[i].state.reset();
   return true;
 }
@@ -313,9 +348,12 @@ void probe(int src, int tag, Comm comm, MpiStatus* status) {
   Task& t = core::require_task("mpi::probe outside a task");
   t.clock.advance(t.costs().mpi_call_overhead);
   Request r = post_probe(t, src, tag, comm, /*blocking=*/true);
+  core::wd_register(t, "mpi::probe", comm->context_id(), src, tag, 0);
   const sim::Time done = r.state->rec.wait();
+  core::wd_clear(t);
   const sim::Time before = t.clock.now();
   t.clock.merge(done);
+  core::cp_join(t, t.rt->critpath(), before, r.state->rec.cp());
   // A blocking probe is blocked MPI time just like wait(); account it so
   // the mpi.wait histogram reconciles with TaskStats::mpi_wait.
   const sim::Time waited = t.clock.now() - before;
@@ -353,7 +391,11 @@ bool test(Request& req, MpiStatus* status) {
     t.rt->scheduler().yield();
     return false;
   }
+  const sim::Time before = t.clock.now();
   t.clock.merge(done);
+  if (t.clock.now() > before) {
+    core::cp_join(t, t.rt->critpath(), before, req.state->rec.cp());
+  }
   if (status != nullptr) *status = req.state->status;
   req.state.reset();
   return true;

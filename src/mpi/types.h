@@ -59,6 +59,14 @@ struct RequestState {
   dev::CompletionRecord rec;
   MpiStatus status;
   bool probe_found = false;  // MPI_Iprobe answer
+
+  // Hang-watchdog diagnostics, filled at command build time (plain
+  // descriptive data; never read on any timing path).
+  int dbg_context = 0;
+  int dbg_peer = kAnySource;
+  int dbg_tag = kAnyTag;
+  std::uint64_t dbg_bytes = 0;
+  bool dbg_is_send = false;
 };
 
 /// Non-blocking operation handle (MPI_Request). Copyable; test/wait

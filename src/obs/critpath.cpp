@@ -1,0 +1,327 @@
+#include "obs/critpath.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/types.h"
+
+namespace impacc::obs {
+
+namespace {
+
+constexpr const char* kSlugs[kCritCategoryCount] = {
+    "compute",
+    "kernel",
+    // Copy slugs mirror dev::copy_path_slug(), same order as CopyPathKind.
+    "copy.htoh",
+    "copy.htod",
+    "copy.dtoh",
+    "copy.dtod_peer",
+    "copy.dtod_staged",
+    "copy.ipc_staged",
+    "wire",
+    "match_wait",
+    "handler",
+    "sched_stall",
+};
+
+}  // namespace
+
+const char* crit_category_slug(CritCategory c) {
+  const int i = static_cast<int>(c);
+  IMPACC_CHECK(i >= 0 && i < kCritCategoryCount);
+  return kSlugs[i];
+}
+
+CritCategory crit_copy_category(int copy_path) {
+  IMPACC_CHECK(copy_path >= 0 && copy_path < 6);
+  return static_cast<CritCategory>(static_cast<int>(CritCategory::kCopyHtoH) +
+                                   copy_path);
+}
+
+std::uint32_t CritPath::add(CritCategory cat, sim::Time start, sim::Time end,
+                            std::uint32_t p1, std::uint32_t p2,
+                            std::uint32_t p3, CritCategory gap,
+                            std::int32_t owner, std::uint64_t bytes,
+                            std::string label) {
+  CritNode n;
+  n.start = start;
+  n.end = end;
+  n.pred[0] = p1;
+  n.pred[1] = p2;
+  n.pred[2] = p3;
+  n.cat = cat;
+  n.gap_cat = gap;
+  n.owner = owner;
+  n.bytes = bytes;
+  n.label = std::move(label);
+  spin_.lock();
+  nodes_.push_back(std::move(n));
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  spin_.unlock();
+  // Predecessors must predate this node (ids are a topological order).
+  IMPACC_CHECK(p1 < id && p2 < id && p3 < id);
+  return id;
+}
+
+std::size_t CritPath::num_nodes() const {
+  spin_.lock();
+  const std::size_t n = nodes_.size();
+  spin_.unlock();
+  return n;
+}
+
+CritNode CritPath::node(std::uint32_t id) const {
+  spin_.lock();
+  IMPACC_CHECK(id >= 1 && id <= nodes_.size());
+  CritNode n = nodes_[id - 1];
+  spin_.unlock();
+  return n;
+}
+
+std::vector<CritNode> CritPath::snapshot() const {
+  spin_.lock();
+  std::vector<CritNode> out(nodes_.begin(), nodes_.end());
+  spin_.unlock();
+  return out;
+}
+
+double CritPath::Report::total() const {
+  double s = 0;
+  for (const double v : seconds) s += v;
+  return s;
+}
+
+CritPath::Report CritPath::analyze(sim::Time makespan, std::uint32_t end_node,
+                                   bool want_path) const {
+  // Analysis happens once, after the run, when nothing records anymore —
+  // walk the deque in place under the lock instead of copying it (the
+  // copy dominates publish time on message-heavy runs).
+  spin_.lock();
+  const std::deque<CritNode>& nodes = nodes_;
+  Report r;
+  r.makespan = makespan;
+  r.end_node = end_node;
+  if (end_node == 0 || end_node > nodes.size()) {
+    spin_.unlock();
+    return r;
+  }
+
+  // Frontier time descends from makespan to 0. Each step either attributes
+  // a node's occupied interval [start, t] to its category or a dependency
+  // gap [pred.end, t] to the node's gap reason; both lower t, so the sum of
+  // all attributions telescopes to exactly the makespan.
+  sim::Time t = makespan;
+  std::uint32_t cur = end_node;
+  while (cur != 0) {
+    const CritNode& n = nodes[cur - 1];
+    const sim::Time s = std::min(t, n.start);
+    const sim::Time attributed = t - s;
+    if (attributed != 0) r.seconds[static_cast<int>(n.cat)] += attributed;
+    if (want_path) {
+      PathSlice slice;
+      slice.id = cur;
+      slice.cat = n.cat;
+      slice.start = n.start;
+      slice.end = n.end;
+      slice.attributed = attributed;
+      slice.owner = n.owner;
+      slice.bytes = n.bytes;
+      slice.label = n.label;
+      r.path.push_back(std::move(slice));
+    }
+    t = s;
+
+    // Descend into the predecessor that finished last; attribute any gap
+    // before this node started to the node's recorded wait reason.
+    std::uint32_t next = 0;
+    sim::Time next_end = 0;
+    for (const std::uint32_t p : n.pred) {
+      if (p == 0) continue;
+      IMPACC_CHECK(p < cur);
+      if (next == 0 || nodes[p - 1].end > next_end) {
+        next = p;
+        next_end = nodes[p - 1].end;
+      }
+    }
+    if (next == 0) {
+      // Chain head. Anything left before it is unexplained start latency.
+      if (t > 0) r.seconds[static_cast<int>(n.gap_cat)] += t;
+      t = 0;
+      break;
+    }
+    if (next_end < t) {
+      r.seconds[static_cast<int>(n.gap_cat)] += t - next_end;
+      t = next_end;
+    }
+    cur = next;
+  }
+  spin_.unlock();
+  return r;
+}
+
+sim::Time CritPath::whatif_makespan(int zeroed_cat) const {
+  spin_.lock();
+  const std::deque<CritNode>& nodes = nodes_;
+  std::vector<sim::Time> new_end(nodes.size() + 1, 0);
+  sim::Time makespan = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const CritNode& n = nodes[i];
+    // The node's scheduling delay past its predecessors is kept fixed (it
+    // can be negative for overlapping pipeline records); only durations of
+    // the zeroed category collapse.
+    sim::Time max_pred_end = 0;
+    sim::Time max_pred_new = 0;
+    bool has_pred = false;
+    for (const std::uint32_t p : n.pred) {
+      if (p == 0) continue;
+      has_pred = true;
+      max_pred_end = std::max(max_pred_end, nodes[p - 1].end);
+      max_pred_new = std::max(max_pred_new, new_end[p]);
+    }
+    const sim::Time delay = has_pred ? n.start - max_pred_end : n.start;
+    const sim::Time dur =
+        static_cast<int>(n.cat) == zeroed_cat ? 0 : n.end - n.start;
+    new_end[i + 1] = max_pred_new + delay + dur;
+    makespan = std::max(makespan, new_end[i + 1]);
+  }
+  spin_.unlock();
+  return makespan;
+}
+
+std::string CritPath::format_report(const Report& r, int top_n) const {
+  std::ostringstream os;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "critical path: makespan %.6f ms, %zu nodes recorded, %zu on "
+                "path\n",
+                sim::to_ms(r.makespan), num_nodes(), r.path.size());
+  os << buf;
+
+  os << "makespan attribution by category:\n";
+  for (int c = 0; c < kCritCategoryCount; ++c) {
+    if (r.seconds[c] == 0) continue;
+    const double frac = r.makespan > 0 ? r.seconds[c] / r.makespan : 0;
+    std::snprintf(buf, sizeof buf, "  %-18s %12.6f ms  %6.2f%%\n",
+                  kSlugs[c], sim::to_ms(r.seconds[c]), 100.0 * frac);
+    os << buf;
+  }
+  std::snprintf(buf, sizeof buf, "  %-18s %12.6f ms  (sum; == makespan)\n",
+                "total", sim::to_ms(r.total()));
+  os << buf;
+
+  std::vector<const PathSlice*> top;
+  top.reserve(r.path.size());
+  for (const PathSlice& s : r.path)
+    if (s.attributed > 0) top.push_back(&s);
+  std::stable_sort(top.begin(), top.end(),
+                   [](const PathSlice* a, const PathSlice* b) {
+                     return a->attributed > b->attributed;
+                   });
+  if (top_n >= 0 && top.size() > static_cast<std::size_t>(top_n))
+    top.resize(static_cast<std::size_t>(top_n));
+  os << "top critical operations:\n";
+  int rank = 1;
+  for (const PathSlice* s : top) {
+    const double frac = r.makespan > 0 ? s->attributed / r.makespan : 0;
+    std::snprintf(buf, sizeof buf,
+                  "  %2d. %-16s %10.6f ms  %6.2f%%  owner=%d  %" PRIu64
+                  "B  %s\n",
+                  rank++, kSlugs[static_cast<int>(s->cat)],
+                  sim::to_ms(s->attributed), 100.0 * frac, s->owner, s->bytes,
+                  s->label.c_str());
+    os << buf;
+  }
+
+  // What-if: re-schedule the whole graph with one category's durations
+  // zeroed. Categories that only ever appear as gaps (pure waiting) have
+  // nothing to zero and are skipped.
+  double cat_dur[kCritCategoryCount] = {};
+  {
+    const std::vector<CritNode> nodes = snapshot();
+    for (const CritNode& n : nodes)
+      cat_dur[static_cast<int>(n.cat)] += n.end - n.start;
+  }
+  const sim::Time base = whatif_makespan(-1);
+  os << "what-if (category -> 0):\n";
+  for (int c = 0; c < kCritCategoryCount; ++c) {
+    if (cat_dur[c] <= 0 || r.seconds[c] <= 0) continue;
+    const sim::Time zeroed = whatif_makespan(c);
+    const double drop = base > 0 ? 100.0 * (base - zeroed) / base : 0;
+    std::snprintf(buf, sizeof buf,
+                  "  %-18s -> 0  =>  makespan %0.6f ms  (-%.1f%%)\n",
+                  kSlugs[c], sim::to_ms(zeroed), drop);
+    os << buf;
+  }
+  return os.str();
+}
+
+bool CritPath::save_graph(const std::string& path, sim::Time makespan,
+                          std::uint32_t end_node) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  const std::vector<CritNode> nodes = snapshot();
+  f << "impacc-critpath-graph v1\n";
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "makespan %.17g\n", makespan);
+  f << buf << "end_node " << end_node << "\n";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const CritNode& n = nodes[i];
+    std::snprintf(buf, sizeof buf,
+                  "node %zu %d %.17g %.17g %u %u %u %d %d %" PRIu64 " ",
+                  i + 1, static_cast<int>(n.cat), n.start, n.end, n.pred[0],
+                  n.pred[1], n.pred[2], static_cast<int>(n.gap_cat), n.owner,
+                  n.bytes);
+    f << buf << n.label << "\n";
+  }
+  return static_cast<bool>(f);
+}
+
+bool CritPath::load_graph(const std::string& path, CritPath* out,
+                          sim::Time* makespan, std::uint32_t* end_node) {
+  std::ifstream f(path);
+  if (!f) return false;
+  std::string line;
+  if (!std::getline(f, line) || line != "impacc-critpath-graph v1")
+    return false;
+  *makespan = 0;
+  *end_node = 0;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    std::istringstream is(line);
+    std::string kw;
+    is >> kw;
+    if (kw == "makespan") {
+      is >> *makespan;
+    } else if (kw == "end_node") {
+      is >> *end_node;
+    } else if (kw == "node") {
+      std::size_t id = 0;
+      int cat = 0;
+      int gap = 0;
+      CritNode n;
+      is >> id >> cat >> n.start >> n.end >> n.pred[0] >> n.pred[1] >>
+          n.pred[2] >> gap >> n.owner >> n.bytes;
+      if (!is || cat < 0 || cat >= kCritCategoryCount || gap < 0 ||
+          gap >= kCritCategoryCount)
+        return false;
+      n.cat = static_cast<CritCategory>(cat);
+      n.gap_cat = static_cast<CritCategory>(gap);
+      std::getline(is, n.label);
+      if (!n.label.empty() && n.label.front() == ' ') n.label.erase(0, 1);
+      const std::uint32_t got = out->add(n.cat, n.start, n.end, n.pred[0],
+                                         n.pred[1], n.pred[2], n.gap_cat,
+                                         n.owner, n.bytes, std::move(n.label));
+      if (got != id) return false;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace impacc::obs

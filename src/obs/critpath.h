@@ -1,0 +1,139 @@
+// Causal critical-path recorder (DESIGN.md §10).
+//
+// A run is a DAG: task compute segments (between blocking points), kernel
+// and copy ops on device activity queues, internode message phases
+// (stage_dtoh -> wire -> stage_htod), and the handler work that matches
+// them. Edges come from program order, queue FIFO order, send->recv
+// causality, and wait-completion sites. Recording is append-only and
+// thread-safe; analysis happens once, at publish time, with a backward
+// walk from the last-finishing task that attributes every instant of
+// [0, makespan] to exactly one category — reconciliation by construction,
+// same discipline as account_copy.
+//
+// This header is deliberately free of core/dev includes so it can be
+// pulled into dev/stream.h and core/runtime.h without cycles.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "ult/sync.h"
+
+namespace impacc::obs {
+
+/// Where a slice of the critical path went. The six copy categories mirror
+/// dev::CopyPathKind (same order, same slugs as dev.copy.<path>.*).
+enum class CritCategory : int {
+  kCompute = 0,     // task fiber between blocking points
+  kKernel,          // modeled kernel on a device queue
+  kCopyHtoH,
+  kCopyHtoD,
+  kCopyDtoH,
+  kCopyDtoDPeer,
+  kCopyDtoDStaged,
+  kCopyBaselineIpc,
+  kWire,            // fabric occupancy (incl. NIC serialization waits)
+  kMatchWait,       // data ready but unmatched / task blocked in wait
+  kHandler,         // per-message handler command overhead
+  kSchedStall,      // device queue scheduled but not yet advanced
+  kCount,
+};
+
+constexpr int kCritCategoryCount = static_cast<int>(CritCategory::kCount);
+
+/// Metric-name slug: "compute", "kernel", "copy.htod", ..., "wire",
+/// "match_wait", "handler", "sched_stall".
+const char* crit_category_slug(CritCategory c);
+
+/// Map a dev::CopyPathKind (as int, to avoid the include) to its category.
+CritCategory crit_copy_category(int copy_path);
+
+/// One DAG node. Node ids are 1-based (0 = no predecessor); they are
+/// assigned in creation order, so every predecessor id is smaller than the
+/// node's own id and id order is a topological order for free.
+struct CritNode {
+  sim::Time start = 0;
+  sim::Time end = 0;
+  std::uint32_t pred[3] = {0, 0, 0};
+  CritCategory cat = CritCategory::kCompute;
+  /// What the owner was waiting on during the gap *before* this node
+  /// started (frontier time > max predecessor end in the backward walk).
+  CritCategory gap_cat = CritCategory::kSchedStall;
+  std::int32_t owner = -1;  // task id, or -1 for node-level work
+  std::uint64_t bytes = 0;
+  std::string label;
+};
+
+class CritPath {
+ public:
+  /// Append a node; thread-safe. Returns the new node's id (>= 1).
+  /// Predecessor ids must already exist (i.e. be smaller).
+  std::uint32_t add(CritCategory cat, sim::Time start, sim::Time end,
+                    std::uint32_t p1 = 0, std::uint32_t p2 = 0,
+                    std::uint32_t p3 = 0,
+                    CritCategory gap = CritCategory::kSchedStall,
+                    std::int32_t owner = -1, std::uint64_t bytes = 0,
+                    std::string label = {});
+
+  std::size_t num_nodes() const;
+  CritNode node(std::uint32_t id) const;
+
+  /// One on-path node with the seconds the walk attributed to it.
+  struct PathSlice {
+    std::uint32_t id = 0;
+    CritCategory cat = CritCategory::kCompute;
+    sim::Time start = 0;
+    sim::Time end = 0;
+    sim::Time attributed = 0;
+    std::int32_t owner = -1;
+    std::uint64_t bytes = 0;
+    std::string label;
+  };
+
+  struct Report {
+    sim::Time makespan = 0;
+    std::uint32_t end_node = 0;
+    double seconds[kCritCategoryCount] = {};
+    std::vector<PathSlice> path;  // walk order: makespan -> time 0
+    double total() const;
+  };
+
+  /// Backward walk from `end_node` (the final segment of the last-finishing
+  /// task, whose end == makespan). Every attribution lowers the frontier
+  /// time, from makespan down to 0, so Σ seconds == makespan by
+  /// construction (up to float summation of exact differences).
+  /// `want_path` = false skips collecting the per-slice path (the category
+  /// totals are all the gauges need; the slice list only feeds the trace
+  /// overlay and the report's top-N table).
+  Report analyze(sim::Time makespan, std::uint32_t end_node,
+                 bool want_path = true) const;
+
+  /// Forward re-schedule keeping each node's start-delay past its
+  /// predecessors fixed but zeroing the durations of one category
+  /// (`zeroed_cat` as int; -1 zeroes nothing and reproduces the recorded
+  /// end times). Returns the resulting makespan estimate.
+  sim::Time whatif_makespan(int zeroed_cat) const;
+
+  /// Human-readable report: per-category attribution, top-N critical
+  /// operations, and what-if estimates for every category that has
+  /// on-graph duration.
+  std::string format_report(const Report& r, int top_n = 10) const;
+
+  /// Text serialization (impacc-critpath-graph v1) so tools/impacc-prof
+  /// can re-analyze a run offline.
+  bool save_graph(const std::string& path, sim::Time makespan,
+                  std::uint32_t end_node) const;
+  static bool load_graph(const std::string& path, CritPath* out,
+                         sim::Time* makespan, std::uint32_t* end_node);
+
+ private:
+  std::vector<CritNode> snapshot() const;
+
+  mutable ult::SpinLock spin_;
+  std::deque<CritNode> nodes_;
+};
+
+}  // namespace impacc::obs

@@ -1,6 +1,8 @@
 #include "sim/trace.h"
 
 #include <cstdio>
+#include <map>
+#include <tuple>
 
 namespace impacc::sim {
 
@@ -47,6 +49,40 @@ void TraceSink::record_counter(int pid, std::string name, std::string series,
   lock_.lock();
   events_.push_back(std::move(e));
   lock_.unlock();
+}
+
+void TraceSink::record_meta(int pid, std::string meta_name,
+                            std::string value) {
+  Event e;
+  e.phase = 'M';
+  e.pid = pid;
+  e.name = std::move(meta_name);
+  e.category = std::move(value);  // reused as the metadata value
+  lock_.lock();
+  events_.push_back(std::move(e));
+  lock_.unlock();
+}
+
+void TraceSink::finalize_counters(sim::Time end) {
+  // Last sample per (pid, track, series). Computed from a snapshot, then
+  // appended; the run is over when this is called, so no sample races in.
+  struct Last {
+    sim::Time t = 0;
+    double value = 0;
+  };
+  std::map<std::tuple<int, std::string, std::string>, Last> last;
+  lock_.lock();
+  for (const Event& e : events_) {
+    if (e.phase != 'C') continue;
+    Last& l = last[{e.pid, e.name, e.category}];
+    if (e.start >= l.t) l = {e.start, e.value};
+  }
+  lock_.unlock();
+  for (const auto& [key, l] : last) {
+    const auto& [pid, name, series] = key;
+    if (name.find("(wall clock)") != std::string::npos) continue;
+    if (l.t < end) record_counter(pid, name, series, end, l.value);
+  }
 }
 
 std::size_t TraceSink::size() const {
@@ -127,6 +163,12 @@ std::string TraceSink::to_chrome_json() const {
         out += "\"args\":{\"" + json_escape(e.category) + "\":";
         std::snprintf(buf, sizeof(buf), "%.6g}}", e.value);
         out += buf;
+        break;
+      case 'M':
+        std::snprintf(buf, sizeof(buf), "{\"ph\":\"M\",\"pid\":%d,", e.pid);
+        out += buf;
+        out += "\"name\":\"" + json_escape(e.name) + "\",";
+        out += "\"args\":{\"name\":\"" + json_escape(e.category) + "\"}}";
         break;
       default:
         // Chrome "complete" events: ts/dur in microseconds.

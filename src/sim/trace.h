@@ -21,7 +21,8 @@ class TraceSink {
  public:
   struct Event {
     // Chrome trace-event phase: 'X' complete, 's'/'f' flow start/finish,
-    // 'C' counter sample.
+    // 'C' counter sample, 'M' metadata ("process_name" row labels; the
+    // value rides in `category`).
     char phase = 'X';
     int pid = 0;  // node index
     std::string tid;
@@ -48,6 +49,16 @@ class TraceSink {
   /// stacked series within it, `value` its height at virtual time `t`.
   void record_counter(int pid, std::string name, std::string series,
                       sim::Time t, double value);
+
+  /// Record one metadata event (`ph:"M"`), e.g. ("process_name", "node0")
+  /// to label a pid row in the viewer.
+  void record_meta(int pid, std::string meta_name, std::string value);
+
+  /// Append a terminal sample at `end` to every counter track whose last
+  /// sample precedes it, so viewers stop extending the last value to
+  /// infinity. Tracks named "... (wall clock)" live on a different time
+  /// base and are skipped. Call once, after the run, with the makespan.
+  void finalize_counters(sim::Time end);
 
   std::size_t size() const;
   std::vector<Event> snapshot() const;

@@ -94,6 +94,7 @@ Fiber* Scheduler::spawn(std::function<void()> entry, std::string name,
     ++live_fibers_;
     run_queue_.push_back(raw);
   }
+  ready_events_.fetch_add(1, std::memory_order_relaxed);
   work_cv_.notify_one();
   return raw;
 }
@@ -180,6 +181,7 @@ void Scheduler::push_runnable(Fiber* f) {
       depth = run_queue_.size();
     }
   }
+  ready_events_.fetch_add(1, std::memory_order_relaxed);
   work_cv_.notify_one();
   // Invoked outside the lock: the callback may itself take locks (the
   // metrics registry / trace sink). set_ready_sampler() is restricted to

@@ -1,6 +1,7 @@
 // Cooperative fiber scheduler over a pool of OS worker threads.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -54,6 +55,13 @@ class Scheduler {
   std::uint64_t fibers_spawned() const { return next_id_; }
   std::uint64_t fibers_finished() const;
 
+  /// Monotonic count of fibers made runnable (spawn/yield/unblock). The
+  /// hang watchdog polls this: a deadlocked run (nothing runnable) freezes
+  /// it, while waitany/test polling keeps yielding and so keeps it moving.
+  std::uint64_t ready_events() const {
+    return ready_events_.load(std::memory_order_relaxed);
+  }
+
   /// Observability hook: called (outside the scheduler lock) with the
   /// run-queue depth after each fiber becomes runnable. The installer must
   /// keep the callback valid until it is reset; install before fibers run.
@@ -75,6 +83,7 @@ class Scheduler {
   std::vector<std::thread> workers_;
   std::uint64_t next_id_ = 0;
   std::uint64_t live_fibers_ = 0;
+  std::atomic<std::uint64_t> ready_events_{0};
   bool shutdown_ = false;
   std::function<void(std::size_t)> ready_sampler_;  // guarded by mutex_
 };

@@ -1,0 +1,348 @@
+// Critical-path profiler and hang watchdog (ISSUE 8, DESIGN.md §10).
+//
+// Covers the recorder in isolation (closed-form DAG, what-if estimates,
+// graph round trip), the runtime integration (Σ critpath.*.seconds ==
+// makespan on the smoke and Fig.14 workloads; flag-off runs bit-for-bit
+// identical), the handler-socket pinning satellite, the trace terminal
+// samples, and the watchdog's exit code + diagnostics dump.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "apps/jacobi.h"
+#include "core/pinning.h"
+#include "core/runtime.h"
+#include "impacc.h"
+#include "obs/critpath.h"
+#include "sim/trace.h"
+
+namespace impacc {
+namespace {
+
+core::LaunchOptions opts(const char* system, int nodes) {
+  core::LaunchOptions o;
+  o.cluster = sim::make_system(system, nodes);
+  o.mode = core::ExecMode::kModelOnly;
+  o.scheduler_workers = 1;
+  return o;
+}
+
+// --- Recorder in isolation --------------------------------------------------
+
+using obs::CritCategory;
+using obs::CritPath;
+
+/// Hand-built chain with gaps:
+///   n1 compute [0,1]                      (chain head)
+///   n2 kernel  [2,5]  pred n1, gap sched  (1s scheduling gap before it)
+///   n3 wire    [5,9]  pred n2
+///   n4 compute [9,10] pred n3
+/// Backward from n4 at makespan 10 the attribution is closed-form.
+std::uint32_t build_chain(CritPath* cp) {
+  const auto n1 = cp->add(CritCategory::kCompute, 0, 1);
+  const auto n2 = cp->add(CritCategory::kKernel, 2, 5, n1, 0, 0,
+                          CritCategory::kSchedStall);
+  const auto n3 = cp->add(CritCategory::kWire, 5, 9, n2);
+  return cp->add(CritCategory::kCompute, 9, 10, n3);
+}
+
+TEST(CritPathDag, ClosedFormAttribution) {
+  CritPath cp;
+  const std::uint32_t end_node = build_chain(&cp);
+  const CritPath::Report r = cp.analyze(10.0, end_node);
+
+  // compute: [0,1] + [9,10]; kernel: [2,5]; wire: [5,9]; the [1,2] gap
+  // books to n2's gap category (sched_stall). Every value is an exact sum
+  // of integer-valued doubles.
+  EXPECT_DOUBLE_EQ(r.seconds[static_cast<int>(CritCategory::kCompute)], 2.0);
+  EXPECT_DOUBLE_EQ(r.seconds[static_cast<int>(CritCategory::kKernel)], 3.0);
+  EXPECT_DOUBLE_EQ(r.seconds[static_cast<int>(CritCategory::kWire)], 4.0);
+  EXPECT_DOUBLE_EQ(r.seconds[static_cast<int>(CritCategory::kSchedStall)],
+                   1.0);
+  EXPECT_DOUBLE_EQ(r.total(), 10.0);
+  ASSERT_EQ(r.path.size(), 4u);  // walk order: makespan -> 0
+  EXPECT_EQ(r.path.front().id, end_node);
+  EXPECT_EQ(r.path.back().id, 1u);
+}
+
+TEST(CritPathDag, WhatIfEstimates) {
+  CritPath cp;
+  build_chain(&cp);
+
+  // Baseline (-1) re-schedules with nothing zeroed and reproduces the
+  // recorded makespan (exactly here: integer arithmetic).
+  EXPECT_DOUBLE_EQ(cp.whatif_makespan(-1), 10.0);
+  // Zeroing wire removes its 4s; the start delays (1s before n2) stay.
+  EXPECT_DOUBLE_EQ(
+      cp.whatif_makespan(static_cast<int>(CritCategory::kWire)), 6.0);
+  EXPECT_DOUBLE_EQ(
+      cp.whatif_makespan(static_cast<int>(CritCategory::kKernel)), 7.0);
+}
+
+TEST(CritPathDag, ReportMentionsEveryCategoryOnPath) {
+  CritPath cp;
+  const std::uint32_t end_node = build_chain(&cp);
+  const std::string rep = cp.format_report(cp.analyze(10.0, end_node), 10);
+  EXPECT_NE(rep.find("compute"), std::string::npos);
+  EXPECT_NE(rep.find("kernel"), std::string::npos);
+  EXPECT_NE(rep.find("wire"), std::string::npos);
+  EXPECT_NE(rep.find("sched_stall"), std::string::npos);
+  EXPECT_NE(rep.find("what-if"), std::string::npos);
+}
+
+TEST(CritPathDag, GraphSaveLoadRoundTrip) {
+  CritPath cp;
+  const std::uint32_t end_node = build_chain(&cp);
+  const std::string path =
+      testing::TempDir() + "/critpath_roundtrip.cpg";
+
+  ASSERT_TRUE(cp.save_graph(path, 10.0, end_node));
+  CritPath loaded;
+  sim::Time makespan = 0;
+  std::uint32_t loaded_end = 0;
+  ASSERT_TRUE(CritPath::load_graph(path, &loaded, &makespan, &loaded_end));
+  std::remove(path.c_str());
+
+  EXPECT_DOUBLE_EQ(makespan, 10.0);
+  EXPECT_EQ(loaded_end, end_node);
+  ASSERT_EQ(loaded.num_nodes(), cp.num_nodes());
+  for (std::uint32_t id = 1; id <= cp.num_nodes(); ++id) {
+    const obs::CritNode a = cp.node(id);
+    const obs::CritNode b = loaded.node(id);
+    EXPECT_DOUBLE_EQ(a.start, b.start) << "node " << id;
+    EXPECT_DOUBLE_EQ(a.end, b.end) << "node " << id;
+    EXPECT_EQ(a.pred[0], b.pred[0]) << "node " << id;
+    EXPECT_EQ(a.cat, b.cat) << "node " << id;
+    EXPECT_EQ(a.gap_cat, b.gap_cat) << "node " << id;
+    EXPECT_EQ(a.owner, b.owner) << "node " << id;
+  }
+  // Same attribution after the round trip.
+  const CritPath::Report r1 = cp.analyze(10.0, end_node);
+  const CritPath::Report r2 = loaded.analyze(makespan, loaded_end);
+  for (int c = 0; c < obs::kCritCategoryCount; ++c) {
+    EXPECT_DOUBLE_EQ(r1.seconds[c], r2.seconds[c]);
+  }
+}
+
+TEST(CritPathDag, LoadGraphRejectsMissingFile) {
+  CritPath cp;
+  sim::Time makespan = 0;
+  std::uint32_t end_node = 0;
+  EXPECT_FALSE(CritPath::load_graph(testing::TempDir() + "/no_such.cpg", &cp,
+                                    &makespan, &end_node));
+}
+
+// --- Runtime integration ----------------------------------------------------
+
+double critpath_sum(const obs::MetricsSnapshot& m) {
+  double sum = 0;
+  for (int c = 0; c < obs::kCritCategoryCount; ++c) {
+    const auto cat = static_cast<CritCategory>(c);
+    sum += m.value(std::string("critpath.") + obs::crit_category_slug(cat) +
+                   ".seconds");
+  }
+  return sum;
+}
+
+void expect_reconciled(const LaunchResult& result) {
+  const double sum = critpath_sum(result.metrics);
+  EXPECT_NEAR(sum, result.makespan,
+              1e-12 + 1e-9 * std::fabs(result.makespan));
+  EXPECT_GT(sum, 0.0);
+  // Fractions mirror seconds / makespan; spot-check they sum to ~1.
+  double frac = 0;
+  for (int c = 0; c < obs::kCritCategoryCount; ++c) {
+    const auto cat = static_cast<CritCategory>(c);
+    frac += result.metrics.value(std::string("critpath.") +
+                                 obs::crit_category_slug(cat) + ".fraction");
+  }
+  EXPECT_NEAR(frac, 1.0, 1e-9);
+}
+
+/// The smoke workload: staged internode p2p (GPUDirect off) on Titan, so
+/// the path crosses stage_dtoh -> wire -> stage_htod and the handler.
+LaunchResult run_staged_p2p(bool critpath) {
+  auto o = opts("titan", 2);
+  o.features.gpudirect_rdma = false;
+  o.critpath = critpath;
+  constexpr int kMsgs = 4;
+  constexpr std::uint64_t kBytes = 1 << 20;
+  return launch(o, [] {
+    auto w = mpi::world();
+    const int r = mpi::comm_rank(w);
+    auto* buf = static_cast<char*>(node_malloc(kBytes));
+    acc::copyin(buf, kBytes);
+    for (int m = 0; m < kMsgs; ++m) {
+      if (r == 0) {
+        acc::mpi({.send_device = true});
+        mpi::send(buf, kBytes, mpi::Datatype::kByte, 1, m, w);
+      } else if (r == 1) {
+        acc::mpi({.recv_device = true});
+        mpi::recv(buf, kBytes, mpi::Datatype::kByte, 0, m, w);
+      }
+    }
+    acc::del(buf);
+    node_free(buf);
+  });
+}
+
+TEST(CritPathRun, StagedP2PReconciles) {
+  expect_reconciled(run_staged_p2p(true));
+}
+
+TEST(CritPathRun, Fig14JacobiReconciles) {
+  // The Fig. 14 configuration: multi-device Jacobi with halo exchange.
+  auto o = opts("psg", 1);
+  apps::JacobiConfig cfg;
+  cfg.n = 2048;
+  cfg.iterations = 3;
+  const auto r = apps::run_jacobi([&] {
+    auto with_cp = o;
+    with_cp.critpath = true;
+    return with_cp;
+  }(), cfg);
+  expect_reconciled(r.launch);
+}
+
+TEST(CritPathRun, FlagOffIsBitForBitIdentical) {
+  // Recording must not perturb the simulation: the same workload with the
+  // profiler off and on yields the exact same doubles (not just close).
+  const LaunchResult off = run_staged_p2p(false);
+  const LaunchResult on = run_staged_p2p(true);
+  EXPECT_EQ(off.makespan, on.makespan);
+  ASSERT_EQ(off.task_times.size(), on.task_times.size());
+  for (std::size_t i = 0; i < off.task_times.size(); ++i) {
+    EXPECT_EQ(off.task_times[i], on.task_times[i]) << "task " << i;
+  }
+  // And off really is off: no recorder, no critpath gauges.
+  EXPECT_EQ(off.metrics.find("critpath.compute.seconds"), nullptr);
+  EXPECT_NE(on.metrics.find("critpath.compute.seconds"), nullptr);
+}
+
+TEST(CritPathRun, TraceGetsOnPathOverlay) {
+  auto o = opts("titan", 2);
+  o.features.gpudirect_rdma = false;
+  o.critpath = true;
+  o.trace_path = "-";
+  const auto result = launch(o, [] {
+    auto w = mpi::world();
+    const int r = mpi::comm_rank(w);
+    char buf[4096];
+    if (r == 0) {
+      mpi::send(buf, sizeof buf, mpi::Datatype::kByte, 1, 0, w);
+    } else if (r == 1) {
+      mpi::recv(buf, sizeof buf, mpi::Datatype::kByte, 0, 0, w);
+    }
+  });
+  ASSERT_NE(result.trace, nullptr);
+  int overlay = 0;
+  int overlay_pid = -1;
+  for (const auto& e : result.trace->snapshot()) {
+    if (e.phase == 'X' && e.category == "critpath") {
+      ++overlay;
+      overlay_pid = e.pid;
+    }
+  }
+  EXPECT_GT(overlay, 0);
+  // The overlay lives on its own pid row past the per-node rows (pid
+  // num_nodes()+1), so it never disturbs the per-node slice counts.
+  EXPECT_EQ(overlay_pid, 3);
+}
+
+// --- Satellites -------------------------------------------------------------
+
+TEST(HandlerSocket, PinsToDeviceMajoritySocket) {
+  sim::NodeDesc node;
+  node.sockets = 2;
+  EXPECT_EQ(core::choose_handler_socket(node), 0);  // no devices
+
+  sim::DeviceDesc d0;
+  d0.socket = 1;
+  node.devices = {d0, d0};
+  EXPECT_EQ(core::choose_handler_socket(node), 1);  // all on socket 1
+
+  sim::DeviceDesc d1;
+  d1.socket = 0;
+  node.devices = {d0, d1, d0};
+  EXPECT_EQ(core::choose_handler_socket(node), 1);  // majority wins
+
+  node.devices = {d0, d1};
+  EXPECT_EQ(core::choose_handler_socket(node), 0);  // tie -> lowest index
+
+  node.sockets = 1;
+  node.devices = {d0, d0};
+  EXPECT_EQ(core::choose_handler_socket(node), 0);  // single socket
+}
+
+TEST(HandlerSocket, GaugePublishedPerNode) {
+  auto o = opts("titan", 2);
+  o.metrics_path = "-";  // bring observability up without a file
+  const auto result = launch(o, [] {});
+  EXPECT_GE(result.metrics.value("core.node0.handler_socket", -1), 0);
+  EXPECT_GE(result.metrics.value("core.node1.handler_socket", -1), 0);
+}
+
+TEST(TraceSink, FinalizeCountersAppendsTerminalSamples) {
+  sim::TraceSink t;
+  t.record_counter(0, "handler queue depth", "depth", 1.0, 3);
+  t.record_counter(0, "handler queue depth", "depth", 2.0, 0);
+  t.record_counter(0, "spin (wall clock)", "s", 1.0, 5);  // different base
+  t.finalize_counters(10.0);
+
+  int depth_samples = 0;
+  sim::Time depth_last = 0;
+  int wall_samples = 0;
+  for (const auto& e : t.snapshot()) {
+    if (e.phase != 'C') continue;
+    if (e.name == "handler queue depth") {
+      ++depth_samples;
+      depth_last = std::max(depth_last, e.start);
+    }
+    if (e.name == "spin (wall clock)") ++wall_samples;
+  }
+  // One terminal sample at the makespan for the virtual-time track; the
+  // wall-clock track is on a different time base and must be left alone.
+  EXPECT_EQ(depth_samples, 3);
+  EXPECT_DOUBLE_EQ(depth_last, 10.0);
+  EXPECT_EQ(wall_samples, 1);
+
+  // Idempotent: a second call finds every track already terminated.
+  t.finalize_counters(10.0);
+  EXPECT_EQ(t.snapshot().size(), 4u);
+}
+
+TEST(TraceSink, MetadataEventsReachChromeJson) {
+  sim::TraceSink t;
+  t.record_meta(3, "process_name", "critical path");
+  const std::string json = t.to_chrome_json();
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("critical path"), std::string::npos);
+}
+
+// --- Watchdog ---------------------------------------------------------------
+
+TEST(WatchdogDeathTest, DeadlockDumpsDiagnosticsAndExits86) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Mutual synchronous sends across nodes: a textbook deadlock. Virtual
+  // time freezes, the wall-clock watchdog fires, dumps both blocked wait
+  // sites, and exits with the distinct hang code.
+  auto run = [] {
+    auto o = opts("titan", 2);
+    o.watchdog_seconds = 0.3;
+    launch(o, [] {
+      auto w = mpi::world();
+      const int r = mpi::comm_rank(w);
+      int buf[16] = {};
+      mpi::ssend(buf, 16, mpi::Datatype::kInt, 1 - r, 7, w);
+    });
+  };
+  EXPECT_EXIT(run(), testing::ExitedWithCode(core::kWatchdogExitCode),
+              "blocked tasks: 0 1");
+}
+
+}  // namespace
+}  // namespace impacc

@@ -239,7 +239,7 @@ TEST(Stream, AsyncExternalInitiatesInOrderWithoutBlockingTheQueue) {
   for (int i = 0; i < 2; ++i) {
     StreamOp op;
     op.kind = StreamOp::Kind::kAsyncExternal;
-    op.begin_async = [&events, i](sim::Time) {
+    op.begin_async = [&events, i](sim::Time, std::uint32_t) {
       events.push_back("init" + std::to_string(i));
     };
     s.enqueue(std::move(op));

@@ -95,15 +95,19 @@ else
 fi
 
 # --- 3. observability smoke ---------------------------------------------------
-step "impacc-smoke (trace + metrics self-validation)"
+step "impacc-smoke (trace + metrics + critical-path self-validation)"
 mkdir -p build-check/obs
 build-check/werror/tools/impacc-smoke \
   --trace build-check/obs/smoke_trace.json \
-  --metrics build-check/obs/smoke_metrics.json
+  --metrics build-check/obs/smoke_metrics.json \
+  --graph build-check/obs/smoke_graph.cpg
 
 step "trace/metrics JSON lint"
 python3 -m json.tool build-check/obs/smoke_trace.json >/dev/null
 python3 -m json.tool build-check/obs/smoke_metrics.json >/dev/null
+
+step "impacc-prof over the smoke graph (reconciliation gate)"
+build-check/werror/tools/impacc-prof build-check/obs/smoke_graph.cpg --top 5
 
 step "metrics_diff vs committed baseline"
 tools/metrics_diff.sh BENCH_metrics.json build-check/obs/smoke_metrics.json

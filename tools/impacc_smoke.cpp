@@ -14,7 +14,11 @@
 // output files; tools/metrics_diff.sh diffs the snapshot against the
 // committed BENCH_metrics.json baseline.
 //
-//   impacc-smoke [--trace PATH] [--metrics PATH[,format]]
+// The critical-path profiler (ISSUE 8) runs as part of the smoke: the
+// sum of the critpath.<category>.seconds gauges must equal the makespan
+// exactly, and --graph PATH dumps the dependency graph for impacc-prof.
+//
+//   impacc-smoke [--trace PATH] [--metrics PATH[,format]] [--graph PATH]
 //
 // Paths default to "-" (in memory only).
 #include <cmath>
@@ -25,6 +29,7 @@
 
 #include "dev/copyengine.h"
 #include "impacc.h"
+#include "obs/critpath.h"
 
 namespace {
 
@@ -48,15 +53,18 @@ int main(int argc, char** argv) {
 
   std::string trace_path = "-";
   std::string metrics_path = "-";
+  std::string graph_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--graph") == 0 && i + 1 < argc) {
+      graph_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: impacc-smoke [--trace PATH] "
-                   "[--metrics PATH[,format]]\n");
+                   "[--metrics PATH[,format]] [--graph PATH]\n");
       return 2;
     }
   }
@@ -71,6 +79,8 @@ int main(int argc, char** argv) {
   o.features.gpudirect_rdma = false;  // force the staged pipeline
   o.trace_path = trace_path;
   o.metrics_path = metrics_path;
+  o.critpath = true;
+  o.critpath_graph_path = graph_path;
 
   const auto result = launch(o, [] {
     auto w = mpi::world();
@@ -119,6 +129,7 @@ int main(int argc, char** argv) {
     int flow_starts = 0;
     int flow_finishes = 0;
     int internode_slices = 0;
+    int critpath_slices = 0;
     bool handler_depth = false;
     bool pinned_track = false;
     bool stream_depth = false;
@@ -128,6 +139,7 @@ int main(int argc, char** argv) {
       if (e.phase == 'X' && e.category.rfind("internode", 0) == 0) {
         ++internode_slices;
       }
+      if (e.phase == 'X' && e.category == "critpath") ++critpath_slices;
       if (e.phase == 'C') {
         if (e.name == "handler queue depth") handler_depth = true;
         if (e.name == "pinned pool bytes") pinned_track = true;
@@ -138,6 +150,7 @@ int main(int argc, char** argv) {
     check(flow_finishes == kMsgs, "one flow finish per internode message");
     // Each message shows a send-side and a recv-side slice.
     check(internode_slices == 2 * kMsgs, "send+recv slice per message");
+    check(critpath_slices > 0, "critical-path overlay slices in trace");
     check(handler_depth, "handler queue depth counter track");
     check(pinned_track, "pinned pool counter track");
     check(stream_depth, "activity-queue depth counter track");
@@ -177,6 +190,19 @@ int main(int argc, char** argv) {
              "mpi.wait.seconds.sum == TaskStats mpi_wait");
   check_near(m.value("core.makespan_seconds"), result.makespan,
              "core.makespan_seconds == LaunchResult makespan");
+
+  // Critical-path reconciliation (acceptance criterion): every instant of
+  // the makespan is attributed to exactly one category.
+  double critpath_sum = 0;
+  for (int c = 0; c < obs::kCritCategoryCount; ++c) {
+    const auto cat = static_cast<obs::CritCategory>(c);
+    critpath_sum += m.value(std::string("critpath.") +
+                            obs::crit_category_slug(cat) + ".seconds");
+  }
+  check_near(critpath_sum, result.makespan,
+             "sum(critpath.*.seconds) == makespan");
+  check(m.value("core.node0.handler_socket", -1) >= 0,
+        "handler socket pinning gauge published");
 
   std::printf("\nimpacc-smoke: %s (%d failure%s)\n",
               g_failures == 0 ? "PASS" : "FAIL", g_failures,

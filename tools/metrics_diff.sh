@@ -9,7 +9,9 @@
 #               sides are integers and tolerance is 0)
 # ignore-regex  metric names to skip (default: ult.sched.* — run-queue
 #               depths and fiber wall-clock sampling are scheduling
-#               dependent, not model outputs)
+#               dependent, not model outputs — and critpath.* — path
+#               attribution can flip between near-tied chains when
+#               wall-clock wake order shifts NIC reservation order)
 #
 # Exit 0 when every shared metric is within tolerance and the key sets
 # match; 1 otherwise, with a line per discrepancy.
@@ -20,7 +22,7 @@ if [[ $# -lt 2 ]]; then
   exit 2
 fi
 
-python3 - "$1" "$2" "${3:-0.15}" "${4:-^ult\.sched\.}" <<'EOF'
+python3 - "$1" "$2" "${3:-0.15}" "${4:-^(ult\.sched\.|critpath\.)}" <<'EOF'
 import json, re, sys
 
 base_path, cur_path, tol_s, ignore_s = sys.argv[1:5]
