@@ -195,6 +195,56 @@ Time hier_allgather_bound(const NodeDesc& node, const FabricDesc& fabric,
   return bound + intra_phase_bound(node, tasks_per_node, total, costs);
 }
 
+namespace {
+
+/// Slowest link one leg of a flat (rank-level) collective crosses: the
+/// fabric when the job spans nodes, otherwise node-local host memory.
+Time flat_leg_time(const NodeDesc& node, const FabricDesc& fabric,
+                   int num_nodes, std::uint64_t bytes) {
+  if (num_nodes > 1) return fabric_time(fabric, bytes);
+  return host_copy_time(node, bytes);
+}
+
+}  // namespace
+
+Time flat_allreduce_estimate(const NodeDesc& node, const FabricDesc& fabric,
+                             int nranks, int num_nodes, std::uint64_t bytes,
+                             const RuntimeCosts& costs) {
+  const Time leg = collective_leg_overhead(costs);
+  return collective_rounds(nranks) *
+         (flat_leg_time(node, fabric, num_nodes, bytes) + leg);
+}
+
+Time flat_allgather_estimate(const NodeDesc& node, const FabricDesc& fabric,
+                             int nranks, int num_nodes,
+                             std::uint64_t block_bytes,
+                             const RuntimeCosts& costs) {
+  if (nranks <= 1) return 0;
+  const Time leg = collective_leg_overhead(costs);
+  return (nranks - 1) *
+         (flat_leg_time(node, fabric, num_nodes, block_bytes) + leg);
+}
+
+Time hier_allreduce_estimate(const NodeDesc& node, const FabricDesc& fabric,
+                             int num_nodes, int tasks_per_node,
+                             std::uint64_t bytes, const RuntimeCosts& costs) {
+  const Time leg = collective_leg_overhead(costs);
+  const Time intra = intra_phase_bound(node, tasks_per_node, bytes, costs);
+  Time inter = 0;
+  if (num_nodes > 1) {
+    if (bytes >= kRabenseifnerCrossoverBytes) {
+      const std::uint64_t blk =
+          (bytes + static_cast<std::uint64_t>(num_nodes) - 1) /
+          static_cast<std::uint64_t>(num_nodes);
+      inter = 2.0 * (num_nodes - 1) * (fabric_time(fabric, blk) + leg);
+    } else {
+      inter = collective_rounds(num_nodes) *
+              (fabric_time(fabric, bytes) + leg);
+    }
+  }
+  return intra + inter + intra;
+}
+
 Time kernel_time(const DeviceDesc& dev, double flops, double bytes_moved) {
   const double compute = flops / dev.flops_dp;
   const double memory = bytes_moved / dev.mem_bandwidth;

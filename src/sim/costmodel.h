@@ -120,6 +120,39 @@ Time hier_allgather_bound(const NodeDesc& node, const FabricDesc& fabric,
                           std::uint64_t block_bytes,
                           const RuntimeCosts& costs);
 
+/// Inter-node payloads above this crossover switch from latency-optimal
+/// recursive-doubling schedules to bandwidth-optimal reduce-scatter based
+/// ones (Rabenseifner). Mirrors the runtime's collective dispatch.
+constexpr std::uint64_t kRabenseifnerCrossoverBytes = 64u << 10;
+
+// --- Flat (node-oblivious) collective estimates -----------------------------
+//
+// Expected makespans of the classic single-level algorithms over all ranks,
+// used by the static perf analysis to price a user-forced flat collective
+// (or a hand-rolled exchange) against the hierarchical path. These are
+// estimates of the algorithm the runtime would actually run, not worst-case
+// bounds, so they compare apples-to-apples with the estimates below.
+
+/// Flat recursive-doubling allreduce over nranks: every round moves the
+/// full payload across the slowest link any participant pair shares (the
+/// fabric when the job spans nodes, host memory otherwise).
+Time flat_allreduce_estimate(const NodeDesc& node, const FabricDesc& fabric,
+                             int nranks, int num_nodes, std::uint64_t bytes,
+                             const RuntimeCosts& costs);
+
+/// Flat ring allgather over nranks: nranks-1 rounds of one block each.
+Time flat_allgather_estimate(const NodeDesc& node, const FabricDesc& fabric,
+                             int nranks, int num_nodes,
+                             std::uint64_t block_bytes,
+                             const RuntimeCosts& costs);
+
+/// Expected two-level allreduce makespan with the Rabenseifner split the
+/// runtime actually picks for this payload (recursive doubling below the
+/// crossover, reduce-scatter + ring above), not the worst-of-both bound.
+Time hier_allreduce_estimate(const NodeDesc& node, const FabricDesc& fabric,
+                             int num_nodes, int tasks_per_node,
+                             std::uint64_t bytes, const RuntimeCosts& costs);
+
 /// Kernel execution: roofline of compute and memory traffic plus launch
 /// overhead. `flops` and `bytes_moved` are the kernel's work estimate.
 Time kernel_time(const DeviceDesc& dev, double flops, double bytes_moved);

@@ -356,6 +356,7 @@ void check_deadlock(const std::vector<RankTrace>& traces,
       }
       case RankOpKind::kQueueOp:
       case RankOpKind::kHostAccess:
+      case RankOpKind::kDataMove:
         return true;
     }
     return true;

@@ -82,6 +82,30 @@ const RuleInfo* rule_catalog() {
       {"IMP024", Severity::kWarning,
        "user p2p tag collides with the tag window reserved for the "
        "runtime's hierarchical collectives (>= 1<<24)"},
+      {"IMP030", Severity::kWarning,
+       "blocking send/recv pair of independent buffers that a nonblocking "
+       "rewrite would overlap"},
+      {"IMP031", Severity::kWarning,
+       "update moves a full array although the adjacent communication "
+       "covers only a subarray"},
+      {"IMP032", Severity::kWarning,
+       "copyin/copyout repeated identically across loop iterations is "
+       "hoistable out of the loop"},
+      {"IMP033", Severity::kWarning,
+       "hand-rolled point-to-point exchange matches a collective shape "
+       "the hierarchical path serves with fewer fabric crossings"},
+      {"IMP034", Severity::kWarning,
+       "user-forced flat collective above the 64 KiB Rabenseifner "
+       "crossover where the hierarchical schedule wins"},
+      {"IMP035", Severity::kWarning,
+       "independent sends serialized on one async queue that distinct "
+       "queues would overlap"},
+      {"IMP036", Severity::kWarning,
+       "internode device transfer with pipelining disabled or a pessimal "
+       "chunk size"},
+      {"IMP037", Severity::kWarning,
+       "wait placed earlier than the first true use of the in-flight "
+       "data (shrinkable overlap window)"},
       {nullptr, Severity::kError, nullptr},
   };
   return kRules;
@@ -112,6 +136,9 @@ std::string render_text(const Diagnostic& d, const std::string& file) {
                     std::to_string(d.column) + ": " +
                     severity_name(d.severity) + ": " + d.message + " [" +
                     d.code + "]";
+  if (d.occurrences > 1) {
+    out += " (x" + std::to_string(d.occurrences) + ")";
+  }
   if (!d.fixit.empty()) out += "\n  fix-it: " + d.fixit;
   return out;
 }
@@ -151,6 +178,13 @@ std::string json_escape(const std::string& s) {
 
 namespace {
 
+/// Shortest round-trippable rendering of a double for JSON output.
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
 std::string diag_json(const Diagnostic& d) {
   std::string out = "{";
   out += "\"code\": \"" + json_escape(d.code) + "\", ";
@@ -162,8 +196,23 @@ std::string diag_json(const Diagnostic& d) {
   if (!d.fixit.empty()) {
     out += ", \"fixit\": \"" + json_escape(d.fixit) + "\"";
   }
+  if (d.occurrences > 1) {
+    out += ", \"occurrences\": " + std::to_string(d.occurrences);
+  }
+  if (d.seconds_saved >= 0) {
+    out += ", \"estimated_seconds_saved\": " + fmt_double(d.seconds_saved);
+  }
   out += "}";
   return out;
+}
+
+/// The per-file predicted_makespan block (--perf), shared by JSON and
+/// SARIF property bags.
+std::string makespan_json(const FileDiagnostics& f) {
+  return "{\"seconds\": " + fmt_double(f.predicted_makespan) +
+         ", \"exact\": " + (f.perf_exact ? "true" : "false") +
+         ", \"model\": \"" + json_escape(f.perf_system) +
+         "\", \"ranks\": " + std::to_string(f.perf_ranks) + "}";
 }
 
 }  // namespace
@@ -172,8 +221,11 @@ std::string to_json(const std::vector<FileDiagnostics>& files) {
   std::string out = "{\n  \"tool\": \"impacc-lint\",\n  \"version\": 1,\n";
   out += "  \"files\": [\n";
   for (std::size_t fi = 0; fi < files.size(); ++fi) {
-    out += "    {\"file\": \"" + json_escape(files[fi].file) +
-           "\", \"diagnostics\": [";
+    out += "    {\"file\": \"" + json_escape(files[fi].file) + "\", ";
+    if (files[fi].has_perf) {
+      out += "\"predicted_makespan\": " + makespan_json(files[fi]) + ", ";
+    }
+    out += "\"diagnostics\": [";
     const auto& ds = files[fi].diagnostics;
     for (std::size_t i = 0; i < ds.size(); ++i) {
       out += "\n      " + diag_json(ds[i]);
@@ -226,11 +278,44 @@ std::string to_sarif(const std::vector<FileDiagnostics>& files) {
              "{\"artifactLocation\": {\"uri\": \"" +
              json_escape(f.file) +
              "\"}, \"region\": {\"startLine\": " + std::to_string(d.line) +
-             ", \"startColumn\": " + std::to_string(d.column) + "}}}]}";
+             ", \"startColumn\": " + std::to_string(d.column) + "}}}]";
+      // Perf metadata rides in the SARIF property bag so CI artifacts
+      // surface the estimates next to each finding.
+      std::string props;
+      if (d.seconds_saved >= 0) {
+        props += "\"estimatedSecondsSaved\": " + fmt_double(d.seconds_saved);
+      }
+      if (f.has_perf) {
+        if (!props.empty()) props += ", ";
+        props +=
+            "\"predictedMakespan\": " + fmt_double(f.predicted_makespan);
+      }
+      if (d.occurrences > 1) {
+        if (!props.empty()) props += ", ";
+        props += "\"occurrenceCount\": " + std::to_string(d.occurrences);
+      }
+      if (!props.empty()) out += ", \"properties\": {" + props + "}";
+      out += "}";
     }
   }
   if (!first) out += "\n    ";
-  out += "]\n  }]\n}\n";
+  out += "]";
+  // Run-level property bag: one predicted_makespan entry per file.
+  bool any_perf = false;
+  for (const auto& f : files) any_perf |= f.has_perf;
+  if (any_perf) {
+    out += ",\n    \"properties\": {\"predictedMakespan\": [";
+    bool pfirst = true;
+    for (const auto& f : files) {
+      if (!f.has_perf) continue;
+      if (!pfirst) out += ",";
+      pfirst = false;
+      out += "\n      {\"file\": \"" + json_escape(f.file) +
+             "\", \"makespan\": " + makespan_json(f) + "}";
+    }
+    out += "\n    ]}";
+  }
+  out += "\n  }]\n}\n";
   return out;
 }
 

@@ -24,6 +24,12 @@ struct Diagnostic {
   int column = 1;                         // 1-based
   std::string message;
   std::string fixit;  // optional suggested fix; empty when none applies
+  /// Perf rules (IMP030..IMP037): cost-model estimate of the seconds the
+  /// suggested rewrite saves. Negative = not a perf finding.
+  double seconds_saved = -1.0;
+  /// How many identical findings (inlined call sites, unrolled
+  /// iterations, symbolic ranks) collapsed into this one.
+  int occurrences = 1;
 };
 
 /// Static description of one lint rule.
@@ -39,6 +45,21 @@ const RuleInfo* rule_catalog();
 /// Catalog entry for `code`, or nullptr for unknown codes.
 const RuleInfo* find_rule(const std::string& code);
 
+/// One-paragraph documentation of a rule for `impacc-lint --explain`:
+/// what it means, a minimal example, and a fix sketch. Generated table
+/// in ruledocs.cpp; terminated by a null `code`.
+struct RuleDoc {
+  const char* code;
+  const char* doc;      // one-paragraph explanation
+  const char* example;  // minimal triggering snippet
+  const char* fix;      // how to resolve it
+};
+
+const RuleDoc* rule_doc_table();
+
+/// Doc entry for `code`, or nullptr for unknown codes.
+const RuleDoc* find_rule_doc(const std::string& code);
+
 /// Build a diagnostic for `code` with the catalog's default severity.
 Diagnostic make_diagnostic(const std::string& code, int line, int column,
                            std::string message, std::string fixit = "");
@@ -47,6 +68,13 @@ Diagnostic make_diagnostic(const std::string& code, int line, int column,
 struct FileDiagnostics {
   std::string file;  // display name; "<stdin>" when piped
   std::vector<Diagnostic> diagnostics;
+  /// Static perf prediction (--perf): emitted as a predicted_makespan
+  /// block in JSON/SARIF/text when `has_perf` is set.
+  bool has_perf = false;
+  double predicted_makespan = 0.0;  // seconds
+  bool perf_exact = false;
+  std::string perf_system;
+  int perf_ranks = 0;
 };
 
 /// "file:line:col: severity: message [IMPnnn]" plus an indented fix-it

@@ -165,6 +165,10 @@ struct LifetimeChecker {
         case RankOpKind::kHostAccess:
           check_buffer_conflicts(pending, op);
           break;
+        case RankOpKind::kDataMove:
+          // Bulk host<->device staging is invisible to request/buffer
+          // lifetimes (no accesses, no queue); perf-model input only.
+          break;
       }
     }
     // Entries still pending at end of trace are IMP009's (host path) or

@@ -476,6 +476,24 @@ LintResult lint_source(const std::string& source, const LintOptions& options) {
     check_comm_graph(sim, &result.diagnostics);
     check_races(sim, &result.diagnostics);
     check_lifetimes(sim, &result.diagnostics);
+
+    if (options.perf && sim.has_rank_size) {
+      const PerfParams params =
+          make_perf_params(options.perf_system, options.perf_tasks_per_node);
+      const CommGraph graph = build_comm_graph(sim.traces);
+      result.perf = predict_makespan(sim, graph, params);
+      // The perf rules assume a structurally sound program: skip them
+      // when the correctness pass found deadlocks, unmatched messages,
+      // or count/type mismatches (IMP013-IMP018) — those findings come
+      // first, and their traces would make the estimates meaningless.
+      bool structural = false;
+      for (const auto& d : result.diagnostics) {
+        if (d.code >= "IMP013" && d.code <= "IMP018") structural = true;
+      }
+      if (!structural) {
+        check_perf_rules(sim, graph, params, &result.diagnostics);
+      }
+    }
   }
 
   const auto suppressions = collect_suppressions(source);
@@ -498,6 +516,26 @@ LintResult lint_source(const std::string& source, const LintOptions& options) {
                      if (a.column != b.column) return a.column < b.column;
                      return a.code < b.code;
                    });
+  // Collapse identical findings — same position, code, message, and
+  // fix-it, typically from inlined call sites or unrolled iterations —
+  // into one diagnostic carrying an occurrence count.
+  if (!result.diagnostics.empty()) {
+    std::vector<Diagnostic> uniq;
+    uniq.reserve(result.diagnostics.size());
+    for (auto& d : result.diagnostics) {
+      if (!uniq.empty()) {
+        Diagnostic& prev = uniq.back();
+        if (prev.code == d.code && prev.line == d.line &&
+            prev.column == d.column && prev.message == d.message &&
+            prev.fixit == d.fixit) {
+          prev.occurrences += d.occurrences;
+          continue;
+        }
+      }
+      uniq.push_back(std::move(d));
+    }
+    result.diagnostics = std::move(uniq);
+  }
   for (auto& d : result.diagnostics) {
     if (options.warnings_as_errors && d.severity == Severity::kWarning) {
       d.severity = Severity::kError;

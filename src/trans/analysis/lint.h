@@ -40,6 +40,17 @@
 //   IMP023  loop-carried collective-order divergence
 //   IMP024  user tag collides with the reserved collective tag window
 //
+// Performance checks (the cost-model-backed perf pass; perfmodel.h /
+// perfrules.cpp, enabled with options.perf — the CLI's --perf):
+//   IMP030  blocking send/recv pair a nonblocking rewrite would overlap
+//   IMP031  full-array update where the use covers only a subarray
+//   IMP032  loop-invariant copyin/copyout hoistable out of the loop
+//   IMP033  hand-rolled p2p exchange matching a collective shape
+//   IMP034  forced-flat collective above the Rabenseifner crossover
+//   IMP035  independent sends serialized on one async queue
+//   IMP036  chunk pipeline disabled or pessimally sized
+//   IMP037  wait placed earlier than the first true use of the data
+//
 // Any diagnostic can be silenced in-source with a comment on the same
 // line or the line above:  /* impacc-lint: allow(IMP014) */
 #pragma once
@@ -48,6 +59,7 @@
 #include <vector>
 
 #include "trans/analysis/diagnostics.h"
+#include "trans/analysis/perfmodel.h"
 
 namespace impacc::trans::analysis {
 
@@ -60,6 +72,16 @@ struct LintOptions {
   /// Maximum loop iterations the rank simulator unrolls exactly (the
   /// CLI's --unroll K). 0 = every loop widens (pre-loop-aware behavior).
   int unroll = 4;
+  /// Run the cost-model-backed perf pass (the CLI's --perf): predicted
+  /// makespan plus the IMP030-IMP037 rules. Off by default so that
+  /// default output is unchanged.
+  bool perf = false;
+  /// System preset pricing the perf pass ("psg", "beacon", "titan";
+  /// the CLI's --perf-system).
+  std::string perf_system = "psg";
+  /// Ranks packed per node for the perf pass; <= 0 selects the preset's
+  /// device count (the CLI's --perf-tpn N).
+  int perf_tasks_per_node = 0;
 };
 
 struct LintResult {
@@ -78,6 +100,9 @@ struct LintResult {
   /// "verified deadlock-free" bit — false means the deadlock/match
   /// analyses were gated off, not that the program is wrong.
   bool multirank_exact = false;
+  /// Static makespan prediction (options.perf); perf.ran is false when
+  /// the pass was off or the multi-rank simulation was unavailable.
+  PerfPrediction perf;
 
   bool clean() const { return diagnostics.empty(); }
   bool has_errors() const { return errors > 0; }

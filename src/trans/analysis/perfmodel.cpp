@@ -1,0 +1,666 @@
+#include "trans/analysis/perfmodel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/costmodel.h"
+#include "sim/systems.h"
+
+namespace impacc::trans::analysis {
+
+namespace {
+
+using sim::Time;
+
+/// Node index and device of one rank under the default packed,
+/// round-robin task-per-device mapping.
+struct Placement {
+  int node = 0;
+  const sim::DeviceDesc* dev = nullptr;
+};
+
+Placement place(const PerfParams& p, int rank) {
+  Placement pl;
+  const int tpn = std::max(1, p.tasks_per_node);
+  pl.node = rank / tpn;
+  if (!p.node.devices.empty()) {
+    pl.dev = &p.node.devices[static_cast<std::size_t>(rank % tpn) %
+                             p.node.devices.size()];
+  }
+  return pl;
+}
+
+/// Full price of one p2p payload, split by resource for the breakdown.
+struct TransferCost {
+  double total = 0.0;     // in-flight seconds (excludes handler overhead)
+  double wire = 0.0;      // fabric busy time
+  double staging = 0.0;   // PCIe / host-memory busy time
+  double overhead = 0.0;  // handler commands
+};
+
+TransferCost transfer_cost(const PerfParams& p, std::uint64_t bytes,
+                           int src, int dst, bool dev_send, bool dev_recv,
+                           std::uint64_t chunk) {
+  TransferCost c;
+  if (bytes == 0) return c;
+  const Placement s = place(p, src);
+  const Placement d = place(p, dst);
+  if (s.node == d.node) {
+    Time t = 0;
+    if (dev_send && dev_recv && s.dev != nullptr && d.dev != nullptr) {
+      if (sim::peer_copy_possible(*s.dev, *d.dev)) {
+        t = sim::peer_copy_time(*s.dev, *d.dev, bytes);
+      } else {
+        t = sim::staged_dtod_time(p.node, *s.dev, *d.dev, bytes,
+                                  /*include_host_copy=*/false);
+      }
+    } else if (dev_send && s.dev != nullptr) {
+      t = sim::pcie_copy_time(p.node, *s.dev, bytes, /*near_socket=*/true);
+    } else if (dev_recv && d.dev != nullptr) {
+      t = sim::pcie_copy_time(p.node, *d.dev, bytes, /*near_socket=*/true);
+    } else {
+      t = sim::host_copy_time(p.node, bytes);
+    }
+    c.total = t;
+    c.staging = t;
+    c.overhead = p.costs.handler_command_overhead;
+    return c;
+  }
+  std::vector<sim::LinkModel> stages;
+  if (dev_send && !p.gpudirect && s.dev != nullptr) {
+    stages.push_back(sim::staging_link(p.node, *s.dev, /*near_socket=*/true));
+  }
+  const std::size_t wire_idx = stages.size();
+  stages.push_back(sim::wire_link(p.fabric));
+  if (dev_recv && !p.gpudirect && d.dev != nullptr) {
+    stages.push_back(sim::staging_link(p.node, *d.dev, /*near_socket=*/true));
+  }
+  if (chunk == 0 || chunk >= bytes || stages.size() == 1) {
+    Time t = 0;
+    for (const auto& st : stages) t += st.time(bytes);
+    c.total = t;
+    c.wire = stages[wire_idx].time(bytes);
+  } else {
+    c.total = sim::pipelined_transfer_time(stages, bytes, chunk);
+    c.wire = sim::chunked_stage_total(stages[wire_idx], bytes, chunk);
+  }
+  c.staging = std::max(0.0, c.total - c.wire);
+  c.overhead = 2.0 * p.costs.handler_command_overhead;
+  return c;
+}
+
+bool is_gather_family(const std::string& name) {
+  return name == "MPI_Allgather" || name == "MPI_Alltoall" ||
+         name == "MPI_Gather" || name == "MPI_Scatter";
+}
+
+/// Estimated makespan of one collective over `nranks`.
+double collective_cost(const PerfParams& p, const RankOp& op, int nranks) {
+  const int tpn = std::max(1, p.tasks_per_node);
+  const int num_nodes = (nranks + tpn - 1) / tpn;
+  std::uint64_t bytes = 0;
+  if (op.count.has_value() && *op.count > 0) {
+    std::uint64_t esz = mpi_dtype_bytes(op.dtype);
+    if (esz == 0) esz = p.default_elem_size;
+    bytes = static_cast<std::uint64_t>(*op.count) * esz;
+  }
+  if (op.forced_flat) {
+    if (is_gather_family(op.name)) {
+      return sim::flat_allgather_estimate(p.node, p.fabric, nranks,
+                                          num_nodes, bytes, p.costs);
+    }
+    return sim::flat_allreduce_estimate(p.node, p.fabric, nranks, num_nodes,
+                                        bytes, p.costs);
+  }
+  if (op.name == "MPI_Barrier") {
+    return sim::hier_bcast_bound(p.node, p.fabric, num_nodes, tpn, 0,
+                                 p.costs);
+  }
+  if (op.name == "MPI_Bcast") {
+    return sim::hier_bcast_bound(p.node, p.fabric, num_nodes, tpn, bytes,
+                                 p.costs);
+  }
+  if (is_gather_family(op.name)) {
+    return sim::hier_allgather_bound(p.node, p.fabric, num_nodes, tpn, bytes,
+                                     p.costs);
+  }
+  return sim::hier_allreduce_estimate(p.node, p.fabric, num_nodes, tpn,
+                                      bytes, p.costs);
+}
+
+/// Timeline state of one operation.
+struct OpState {
+  double post = -1.0;  // issued by the host (-1 = not yet)
+  double done = -1.0;  // effect complete (-1 = unresolved)
+};
+
+struct QueueState {
+  std::vector<std::size_t> items;  // op indices, append order
+  std::size_t head = 0;            // first unresolved item
+  double free_at = 0.0;            // finish of the last resolved item
+};
+
+struct RankState {
+  double h = 0.0;  // host clock
+  std::size_t pc = 0;
+  std::vector<OpState> ops;
+  std::map<std::string, QueueState> queues;
+  std::size_t coll_done = 0;
+  // wait(q) clause snapshots: op index -> (queue, #items at post time)
+  std::map<std::size_t, std::vector<std::pair<std::string, std::size_t>>>
+      deps;
+  // busy-time breakdown
+  double wire = 0, staging = 0, kernel = 0, data = 0, coll = 0,
+         overhead = 0;
+};
+
+/// The virtual-clock replay shared by predict_makespan and the rules.
+struct Timeline {
+  const RankSimResult& sim_res;
+  const CommGraph& graph;
+  const PerfParams& p;
+
+  std::vector<RankState> ranks;
+  std::vector<std::vector<std::size_t>> coll_idx;  // per-rank collectives
+  std::map<std::size_t, std::map<int, double>> coll_arrival;
+  std::map<std::size_t, double> coll_release;
+  bool priced_everything = true;
+  bool forced_progress = false;
+
+  Timeline(const RankSimResult& s, const CommGraph& g, const PerfParams& pp)
+      : sim_res(s), graph(g), p(pp) {
+    ranks.resize(sim_res.traces.size());
+    coll_idx.resize(sim_res.traces.size());
+    for (std::size_t r = 0; r < sim_res.traces.size(); ++r) {
+      ranks[r].ops.resize(sim_res.traces[r].ops.size());
+      for (std::size_t i = 0; i < sim_res.traces[r].ops.size(); ++i) {
+        if (sim_res.traces[r].ops[i].kind == RankOpKind::kCollective) {
+          coll_idx[r].push_back(i);
+        }
+      }
+    }
+  }
+
+  const RankOp& op_at(int r, std::size_t i) const {
+    return sim_res.traces[static_cast<std::size_t>(r)].ops[i];
+  }
+
+  std::uint64_t elem_size_for(const RankOp& op) const {
+    const std::uint64_t esz = mpi_dtype_bytes(op.dtype);
+    if (esz != 0) return esz;
+    return infer_elem_size(sim_res, op.buffer, p.default_elem_size);
+  }
+
+  /// Payload bytes of a matched edge (send side preferred), or 0 when
+  /// neither side's count resolved.
+  std::uint64_t edge_bytes(const CommEdge& e) {
+    const RankOp& s = op_at(e.send.first, e.send.second);
+    const RankOp& r = op_at(e.recv.first, e.recv.second);
+    for (const RankOp* o : {&s, &r}) {
+      if (o->count.has_value() && *o->count > 0) {
+        return static_cast<std::uint64_t>(*o->count) * elem_size_for(*o);
+      }
+    }
+    priced_everything = false;
+    return 0;
+  }
+
+  std::uint64_t chunk_for(const RankOp& s) const {
+    if (s.has_chunk_clause) {
+      if (s.chunk_bytes_clause.has_value() && *s.chunk_bytes_clause >= 0) {
+        return static_cast<std::uint64_t>(*s.chunk_bytes_clause);
+      }
+    }
+    return p.chunk_bytes;
+  }
+
+  /// Roofline price of an async compute region on this rank's device.
+  double kernel_cost(int r, const RankOp& op) {
+    long elems = -1;
+    for (const auto& a : op.accesses) {
+      if (a.elems.has_value()) elems = std::max(elems, *a.elems);
+    }
+    if (elems < 0) {
+      priced_everything = false;
+      elems = 0;
+    }
+    const double flops = p.kernel_flops_per_element *
+                         static_cast<double>(elems);
+    const double bytes = p.kernel_bytes_per_element *
+                         static_cast<double>(elems);
+    const Placement pl = place(p, r);
+    if (pl.dev != nullptr) return sim::kernel_time(*pl.dev, flops, bytes);
+    return bytes / p.node.host_copy.bandwidth;
+  }
+
+  /// Host<->device price of an update directive's transfers.
+  double update_cost(int r, const RankOp& op) {
+    const Placement pl = place(p, r);
+    double total = 0;
+    for (const auto& a : op.accesses) {
+      if (!a.elems.has_value()) {
+        priced_everything = false;
+        continue;
+      }
+      const std::uint64_t bytes =
+          static_cast<std::uint64_t>(*a.elems) *
+          infer_elem_size(sim_res, a.var, p.default_elem_size);
+      total += pl.dev != nullptr
+                   ? sim::pcie_copy_time(p.node, *pl.dev, bytes, true)
+                   : sim::host_copy_time(p.node, bytes);
+    }
+    return total;
+  }
+
+  double data_move_cost(int r, const RankOp& op) {
+    if (!op.count.has_value()) {
+      priced_everything = false;
+      return 0;
+    }
+    const Placement pl = place(p, r);
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(*op.count) *
+        infer_elem_size(sim_res, op.buffer, p.default_elem_size);
+    return pl.dev != nullptr
+               ? sim::pcie_copy_time(p.node, *pl.dev, bytes, true)
+               : sim::host_copy_time(p.node, bytes);
+  }
+
+  /// Earliest time op (r,i)'s payload may start moving, or -1 when not
+  /// yet known (not posted / stuck behind its queue).
+  double ready_time(int r, std::size_t i) {
+    RankState& st = ranks[static_cast<std::size_t>(r)];
+    const OpState& os = st.ops[i];
+    if (os.post < 0) return -1;
+    const RankOp& op = op_at(r, i);
+    if (!op.has_queue) return os.post;
+    const QueueState& q = st.queues[op.queue];
+    if (q.head >= q.items.size() || q.items[q.head] != i) return -1;
+    double t = std::max(os.post, q.free_at);
+    const auto dit = st.deps.find(i);
+    if (dit != st.deps.end()) {
+      for (const auto& [qn, cnt] : dit->second) {
+        if (cnt == 0) continue;
+        const QueueState& wq = st.queues[qn];
+        if (wq.head < cnt) return -1;  // waited work not resolved yet
+        t = std::max(t, st.ops[wq.items[cnt - 1]].done);
+      }
+    }
+    return t;
+  }
+
+  /// Mark op (r,i) finished at `t`; advance its queue if it was queued.
+  void finish(int r, std::size_t i, double t) {
+    RankState& st = ranks[static_cast<std::size_t>(r)];
+    st.ops[i].done = t;
+    const RankOp& op = op_at(r, i);
+    if (op.has_queue) {
+      QueueState& q = st.queues[op.queue];
+      if (q.head < q.items.size() && q.items[q.head] == i) {
+        q.free_at = std::max(q.free_at, t);
+        ++q.head;
+      }
+    }
+  }
+
+  bool resolve_edge(const CommEdge& e) {
+    RankState& ss = ranks[static_cast<std::size_t>(e.send.first)];
+    RankState& rs = ranks[static_cast<std::size_t>(e.recv.first)];
+    if (ss.ops[e.send.second].done >= 0) return false;  // already resolved
+    const double sr = ready_time(e.send.first, e.send.second);
+    const double rr = ready_time(e.recv.first, e.recv.second);
+    if (sr < 0 || rr < 0) return false;
+    const RankOp& sop = op_at(e.send.first, e.send.second);
+    const TransferCost c =
+        transfer_cost(p, edge_bytes(e), e.send.first, e.recv.first,
+                      sop.dev_send,
+                      op_at(e.recv.first, e.recv.second).dev_recv,
+                      chunk_for(sop));
+    const double start = std::max(sr, rr);
+    const double done = start + c.total + c.overhead;
+    finish(e.send.first, e.send.second, done);
+    finish(e.recv.first, e.recv.second, done);
+    for (RankState* st : {&ss, &rs}) {
+      st->wire += c.wire;
+      st->staging += c.staging;
+      st->overhead += c.overhead;
+    }
+    return true;
+  }
+
+  /// Resolve every queue-head op that needs no partner (compute, update).
+  bool resolve_queue_heads(int r) {
+    RankState& st = ranks[static_cast<std::size_t>(r)];
+    bool progress = false;
+    for (auto& [name, q] : st.queues) {
+      (void)name;
+      while (q.head < q.items.size()) {
+        const std::size_t i = q.items[q.head];
+        const RankOp& op = op_at(r, i);
+        if (op.kind == RankOpKind::kSend || op.kind == RankOpKind::kRecv) {
+          break;  // needs its partner; resolve_edge handles it
+        }
+        const double ready = ready_time(r, i);
+        if (ready < 0) break;
+        const double dur =
+            op.is_update ? update_cost(r, op) : kernel_cost(r, op);
+        finish(r, i, ready + dur);
+        (op.is_update ? st.data : st.kernel) += dur;
+        progress = true;
+      }
+    }
+    return progress;
+  }
+
+  /// Enqueue op i on its activity queue, snapshotting wait(q) clause
+  /// dependencies at post time.
+  void post_to_queue(RankState& st, const RankOp& op, std::size_t i,
+                     OpState& os) {
+    os.post = st.h + p.costs.queue_op_overhead;
+    st.h = os.post;
+    st.overhead += p.costs.queue_op_overhead;
+    if (!op.wait_clause.empty()) {
+      auto& d = st.deps[i];
+      for (const auto& wq : op.wait_clause) {
+        d.emplace_back(wq, st.queues[wq].items.size());
+      }
+    }
+    st.queues[op.queue].items.push_back(i);
+  }
+
+  /// Step the host program counter of rank r as far as it can go.
+  bool advance_pc(int r) {
+    RankState& st = ranks[static_cast<std::size_t>(r)];
+    const auto& ops = sim_res.traces[static_cast<std::size_t>(r)].ops;
+    bool progress = false;
+    while (st.pc < ops.size()) {
+      const std::size_t i = st.pc;
+      const RankOp& op = ops[i];
+      OpState& os = st.ops[i];
+      switch (op.kind) {
+        case RankOpKind::kDataMove: {
+          const double dur = data_move_cost(r, op);
+          st.h += dur + p.costs.handler_command_overhead;
+          st.data += dur;
+          st.overhead += p.costs.handler_command_overhead;
+          os.post = os.done = st.h;
+          break;
+        }
+        case RankOpKind::kHostAccess: {
+          const double dur = op.is_update ? update_cost(r, op) : 0.0;
+          st.h += dur;
+          st.data += dur;
+          os.post = os.done = st.h;
+          break;
+        }
+        case RankOpKind::kQueueOp: {
+          post_to_queue(st, op, i, os);
+          break;
+        }
+        case RankOpKind::kSend:
+        case RankOpKind::kRecv: {
+          if (op.has_queue) {
+            post_to_queue(st, op, i, os);
+            break;
+          }
+          if (os.post < 0) {
+            os.post = st.h + p.costs.mpi_call_overhead;
+            st.overhead += p.costs.mpi_call_overhead;
+            progress = true;
+            if (graph.edge_of.find({r, i}) == graph.edge_of.end()) {
+              os.done = os.post;  // unmatched: modeled as instantaneous
+            }
+          }
+          if (op.blocking) {
+            if (os.done < 0) return progress;  // stalled on the partner
+            st.h = std::max(st.h, os.done);
+          } else {
+            st.h = os.post;  // nonblocking: host moves on
+          }
+          break;
+        }
+        case RankOpKind::kAccWait: {
+          double t = st.h;
+          bool all_resolved = true;
+          for (auto& [name, q] : st.queues) {
+            const bool covered =
+                op.wait_all ||
+                std::find(op.wait_queues.begin(), op.wait_queues.end(),
+                          name) != op.wait_queues.end();
+            if (!covered) continue;
+            if (q.head < q.items.size()) {
+              all_resolved = false;
+              break;
+            }
+            t = std::max(t, q.free_at);
+          }
+          if (!all_resolved) return progress;
+          st.h = t + p.costs.sync_point_overhead;
+          st.overhead += p.costs.sync_point_overhead;
+          os.post = os.done = st.h;
+          break;
+        }
+        case RankOpKind::kHostWait: {
+          double t = st.h;
+          for (std::size_t j = 0; j < i; ++j) {
+            const RankOp& prev = ops[j];
+            if (prev.kind != RankOpKind::kSend &&
+                prev.kind != RankOpKind::kRecv) {
+              continue;
+            }
+            if (prev.blocking || prev.has_queue) continue;
+            if (!op.request.empty() && prev.request != op.request) continue;
+            if (st.ops[j].done < 0) return progress;  // still in flight
+            t = std::max(t, st.ops[j].done);
+          }
+          st.h = t + p.costs.sync_point_overhead;
+          st.overhead += p.costs.sync_point_overhead;
+          os.post = os.done = st.h;
+          break;
+        }
+        case RankOpKind::kCollective: {
+          const std::size_t k = st.coll_done;
+          if (os.post < 0) {
+            os.post = st.h + p.costs.mpi_call_overhead;
+            st.overhead += p.costs.mpi_call_overhead;
+            coll_arrival[k][r] = os.post;
+            progress = true;
+          }
+          const auto rit = coll_release.find(k);
+          if (rit == coll_release.end()) {
+            // Release once every participant of round k has arrived.
+            double arrive = 0;
+            bool complete = true;
+            for (std::size_t r2 = 0; r2 < coll_idx.size(); ++r2) {
+              if (coll_idx[r2].size() <= k) continue;
+              const auto ait = coll_arrival[k].find(static_cast<int>(r2));
+              if (ait == coll_arrival[k].end()) {
+                complete = false;
+                break;
+              }
+              arrive = std::max(arrive, ait->second);
+            }
+            if (!complete) return progress;
+            coll_release[k] =
+                arrive +
+                collective_cost(p, op, static_cast<int>(sim_res.nranks));
+          }
+          const double release = coll_release[k];
+          st.coll += release - os.post;
+          st.h = std::max(st.h, release);
+          os.done = release;
+          ++st.coll_done;
+          break;
+        }
+      }
+      ++st.pc;
+      progress = true;
+    }
+    return progress;
+  }
+
+  /// Last resort when the program is not exactly resolvable: complete
+  /// one posted-but-unresolved op for free so the replay terminates.
+  bool force_one() {
+    for (std::size_t r = 0; r < ranks.size(); ++r) {
+      RankState& st = ranks[r];
+      for (auto& [name, q] : st.queues) {
+        (void)name;
+        if (q.head < q.items.size() &&
+            st.ops[q.items[q.head]].post >= 0 &&
+            st.ops[q.items[q.head]].done < 0) {
+          finish(static_cast<int>(r), q.items[q.head],
+                 std::max(st.ops[q.items[q.head]].post, q.free_at));
+          return true;
+        }
+      }
+      for (std::size_t i = 0; i < st.ops.size(); ++i) {
+        if (st.ops[i].post >= 0 && st.ops[i].done < 0) {
+          finish(static_cast<int>(r), i, st.ops[i].post);
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  void run() {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t r = 0; r < ranks.size(); ++r) {
+        progress |= advance_pc(static_cast<int>(r));
+        progress |= resolve_queue_heads(static_cast<int>(r));
+      }
+      for (const auto& e : graph.edges) {
+        progress |= resolve_edge(e);
+      }
+      bool stuck = false;
+      for (std::size_t r = 0; r < ranks.size(); ++r) {
+        stuck |= ranks[r].pc < sim_res.traces[r].ops.size();
+      }
+      if (!progress && stuck) {
+        forced_progress = true;
+        if (!force_one()) break;  // nothing left to force; give up
+        progress = true;
+      }
+    }
+  }
+
+  double rank_end(std::size_t r) const {
+    double t = ranks[r].h;
+    for (const auto& os : ranks[r].ops) t = std::max(t, os.done);
+    return t;
+  }
+};
+
+}  // namespace
+
+PerfParams make_perf_params(const std::string& system, int tasks_per_node) {
+  PerfParams p;
+  p.system = system.empty() ? "psg" : system;
+  const sim::ClusterDesc cluster = sim::make_system(p.system, 2);
+  if (!cluster.nodes.empty()) p.node = cluster.nodes.front();
+  p.fabric = cluster.fabric;
+  p.costs = cluster.costs;
+  p.tasks_per_node =
+      tasks_per_node > 0
+          ? tasks_per_node
+          : std::max(1, static_cast<int>(p.node.devices.size()));
+  return p;
+}
+
+std::uint64_t mpi_dtype_bytes(const std::string& dtype) {
+  if (dtype == "MPI_BYTE" || dtype == "MPI_CHAR" ||
+      dtype == "MPI_SIGNED_CHAR" || dtype == "MPI_UNSIGNED_CHAR") {
+    return 1;
+  }
+  if (dtype == "MPI_SHORT" || dtype == "MPI_UNSIGNED_SHORT") return 2;
+  if (dtype == "MPI_INT" || dtype == "MPI_UNSIGNED" ||
+      dtype == "MPI_FLOAT" || dtype == "MPI_INT32_T" ||
+      dtype == "MPI_UINT32_T") {
+    return 4;
+  }
+  if (dtype == "MPI_DOUBLE" || dtype == "MPI_LONG" ||
+      dtype == "MPI_UNSIGNED_LONG" || dtype == "MPI_LONG_LONG" ||
+      dtype == "MPI_INT64_T" || dtype == "MPI_UINT64_T" ||
+      dtype == "MPI_DOUBLE_INT") {
+    return 8;
+  }
+  if (dtype == "MPI_LONG_DOUBLE") return 16;
+  return 0;
+}
+
+std::uint64_t infer_elem_size(const RankSimResult& sim,
+                              const std::string& var,
+                              std::uint64_t fallback) {
+  if (var.empty()) return fallback;
+  for (const auto& trace : sim.traces) {
+    for (const auto& op : trace.ops) {
+      if (op.kind != RankOpKind::kSend && op.kind != RankOpKind::kRecv &&
+          op.kind != RankOpKind::kCollective) {
+        continue;
+      }
+      if (op.buffer != var) continue;
+      const std::uint64_t esz = mpi_dtype_bytes(op.dtype);
+      if (esz != 0) return esz;
+    }
+  }
+  return fallback;
+}
+
+double p2p_transfer_seconds(const PerfParams& params, std::uint64_t bytes,
+                            int src_rank, int dst_rank, bool dev_send,
+                            bool dev_recv, std::uint64_t chunk_bytes) {
+  const TransferCost c = transfer_cost(params, bytes, src_rank, dst_rank,
+                                       dev_send, dev_recv, chunk_bytes);
+  return c.total + c.overhead;
+}
+
+double p2p_wire_seconds(const PerfParams& params, std::uint64_t bytes,
+                        int src_rank, int dst_rank, bool dev_send,
+                        bool dev_recv, std::uint64_t chunk_bytes) {
+  return transfer_cost(params, bytes, src_rank, dst_rank, dev_send, dev_recv,
+                       chunk_bytes)
+      .wire;
+}
+
+PerfPrediction predict_makespan(const RankSimResult& sim,
+                                const CommGraph& graph,
+                                const PerfParams& params) {
+  PerfPrediction pred;
+  pred.ran = true;
+  pred.ranks = sim.nranks;
+  pred.tasks_per_node = std::max(1, params.tasks_per_node);
+  pred.system = params.system;
+  if (sim.traces.empty()) {
+    pred.exact = sim.has_rank_size && sim.comm_exact;
+    return pred;
+  }
+  Timeline tl(sim, graph, params);
+  tl.run();
+  std::size_t crit = 0;
+  for (std::size_t r = 0; r < tl.ranks.size(); ++r) {
+    const double end = tl.rank_end(r);
+    if (end > pred.makespan) {
+      pred.makespan = end;
+      crit = r;
+    }
+  }
+  pred.critical_rank = static_cast<int>(crit);
+  const RankState& cs = tl.ranks[crit];
+  pred.wire_seconds = cs.wire;
+  pred.staging_seconds = cs.staging;
+  pred.kernel_seconds = cs.kernel;
+  pred.data_seconds = cs.data;
+  pred.collective_seconds = cs.coll;
+  pred.overhead_seconds = cs.overhead;
+  pred.exact = sim.has_rank_size && sim.comm_exact &&
+               tl.priced_everything && !tl.forced_progress;
+  return pred;
+}
+
+}  // namespace impacc::trans::analysis

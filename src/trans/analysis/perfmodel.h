@@ -1,0 +1,119 @@
+// Static performance model for impacc-lint (`--perf`).
+//
+// The rank simulator (ranksim.h) already produces per-rank operation
+// traces and commgraph.h matches them into a communication graph. This
+// pass replays those traces on a virtual clock, pricing every matched
+// communication edge, kernel/update node, and bulk data move with the
+// closed-form cost models of src/sim/costmodel — the analyzer's analogue
+// of the runtime critical-path profiler (src/obs/critpath): a *static*
+// critical-path estimate computed before a single run.
+//
+// The prediction is a model, not a measurement. Known error sources
+// (documented in docs/LINT.md "Performance rules"): placement is the
+// default round-robin task-per-device mapping, NUMA is assumed near,
+// kernels are priced by a per-element roofline heuristic, hierarchical
+// collectives use their closed-form estimates, and anything the
+// simulator could not resolve (unknown counts, unmatched ops) costs
+// zero and clears `exact`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/topology.h"
+#include "trans/analysis/commgraph.h"
+#include "trans/analysis/diagnostics.h"
+#include "trans/analysis/ranksim.h"
+
+namespace impacc::trans::analysis {
+
+/// Machine/model parameters for the static perf pass, derived from a
+/// sim system preset (psg / beacon / titan).
+struct PerfParams {
+  std::string system = "psg";
+  sim::NodeDesc node;
+  sim::FabricDesc fabric;
+  sim::RuntimeCosts costs;
+  /// Ranks packed per node; node of rank r is r / tasks_per_node and its
+  /// device is (r % tasks_per_node) mod the node's device count.
+  int tasks_per_node = 1;
+  /// Chunk size of the internode transfer pipeline (the runtime's
+  /// default 1 MiB); a `chunk(N)` clause on the op overrides it.
+  std::uint64_t chunk_bytes = 1u << 20;
+  /// Model GPUDirect RDMA (fabric reads device memory directly). Off by
+  /// default: the conservative staged path matches the runtime's
+  /// feature default in the shipped workloads.
+  bool gpudirect = false;
+  /// Roofline heuristic for async compute regions: flops and bytes
+  /// moved per element of the largest device array the kernel touches.
+  double kernel_flops_per_element = 5.0;
+  double kernel_bytes_per_element = 16.0;
+  /// Element size assumed when no MPI datatype ever names the buffer.
+  std::uint64_t default_elem_size = 8;
+};
+
+/// Build PerfParams from a system preset name ("psg", "beacon",
+/// "titan"). `tasks_per_node <= 0` selects the preset's device count
+/// (the paper's one-task-per-device mapping).
+PerfParams make_perf_params(const std::string& system, int tasks_per_node);
+
+/// Static critical-path estimate for one program.
+struct PerfPrediction {
+  bool ran = false;    // perf pass executed (rank sim available)
+  bool exact = false;  // every op was resolvable and fully priced
+  double makespan = 0.0;      // seconds, max over ranks of finish time
+  int critical_rank = 0;      // rank attaining the makespan
+  int ranks = 0;
+  int tasks_per_node = 0;
+  std::string system;
+  // Busy-time breakdown of the critical rank (informational; categories
+  // overlap with each other and with other ranks' work, so they do not
+  // sum to the makespan).
+  double wire_seconds = 0.0;      // fabric crossings
+  double staging_seconds = 0.0;   // PCIe / host staging copies
+  double kernel_seconds = 0.0;    // async compute regions
+  double data_seconds = 0.0;      // data-region / update bulk moves
+  double collective_seconds = 0.0;
+  double overhead_seconds = 0.0;  // software costs (calls, syncs, queue ops)
+};
+
+/// Replay the rank traces on a virtual clock and return the makespan
+/// estimate. `graph` must be built over the same `sim` result.
+PerfPrediction predict_makespan(const RankSimResult& sim,
+                                const CommGraph& graph,
+                                const PerfParams& params);
+
+/// Bytes per element of an MPI datatype name ("MPI_DOUBLE" -> 8); 0 when
+/// the name is not recognized.
+std::uint64_t mpi_dtype_bytes(const std::string& dtype);
+
+/// Element size for `var` inferred from the first p2p/collective op in
+/// any trace that names it with a known datatype; `fallback` otherwise.
+std::uint64_t infer_elem_size(const RankSimResult& sim,
+                              const std::string& var, std::uint64_t fallback);
+
+/// Seconds one point-to-point payload spends in flight between two
+/// ranks, including staging through host memory for device-resident
+/// endpoints and the chunk pipeline across the fabric. `chunk_bytes`
+/// 0 disables pipelining (monolithic stages).
+double p2p_transfer_seconds(const PerfParams& params, std::uint64_t bytes,
+                            int src_rank, int dst_rank, bool dev_send,
+                            bool dev_recv, std::uint64_t chunk_bytes);
+
+/// Fabric busy seconds of the same payload (0 for same-node transfers):
+/// the component distinct async queues cannot overlap, since they share
+/// the NIC.
+double p2p_wire_seconds(const PerfParams& params, std::uint64_t bytes,
+                        int src_rank, int dst_rank, bool dev_send,
+                        bool dev_recv, std::uint64_t chunk_bytes);
+
+/// Run the IMP030..IMP037 performance rules over the traces and append
+/// findings (each carrying an estimated-seconds-saved figure) to `out`.
+/// Callers gate this on an exact simulation with a consistent
+/// communication graph; the rules assume matched, deadlock-free traces.
+void check_perf_rules(const RankSimResult& sim, const CommGraph& graph,
+                      const PerfParams& params,
+                      std::vector<Diagnostic>* out);
+
+}  // namespace impacc::trans::analysis

@@ -1,0 +1,661 @@
+// Performance anti-pattern rules IMP030..IMP037 over the rank-symbolic
+// traces, each finding carrying a cost-model-derived estimated saving.
+//
+// The rules only run on programs the simulator resolved exactly and
+// whose communication graph is consistent (lint.cpp gates on that), so
+// every estimate below can assume matched, deadlock-free traces. Every
+// saving is computed as (price of what the program does) minus (price
+// of the rewrite the fix-it suggests), both over src/sim/costmodel;
+// a rule stays silent unless that difference is positive.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/costmodel.h"
+#include "trans/analysis/perfmodel.h"
+
+namespace impacc::trans::analysis {
+
+namespace {
+
+/// "1.23 ms" style rendering for finding messages.
+std::string human_seconds(double s) {
+  char buf[64];
+  if (s >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3g s", s);
+  } else if (s >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3g ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3g us", s * 1e6);
+  }
+  return buf;
+}
+
+std::string human_bytes(std::uint64_t b) {
+  char buf[64];
+  if (b >= (1u << 20) && b % (1u << 20) == 0) {
+    std::snprintf(buf, sizeof buf, "%llu MiB",
+                  static_cast<unsigned long long>(b >> 20));
+  } else if (b >= (1u << 10) && b % (1u << 10) == 0) {
+    std::snprintf(buf, sizeof buf, "%llu KiB",
+                  static_cast<unsigned long long>(b >> 10));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu bytes",
+                  static_cast<unsigned long long>(b));
+  }
+  return buf;
+}
+
+struct RuleCtx {
+  const RankSimResult& sim;
+  const CommGraph& g;
+  const PerfParams& p;
+  std::vector<Diagnostic>* out;
+
+  const RankOp& op_at(const OpRef& ref) const {
+    return sim.traces[static_cast<std::size_t>(ref.first)].ops[ref.second];
+  }
+
+  int node_of(int rank) const {
+    return rank / std::max(1, p.tasks_per_node);
+  }
+
+  /// Payload bytes of one p2p/collective op, when its count resolved.
+  std::optional<std::uint64_t> op_bytes(const RankOp& o) const {
+    if (!o.count.has_value() || *o.count <= 0) return std::nullopt;
+    std::uint64_t esz = mpi_dtype_bytes(o.dtype);
+    if (esz == 0) {
+      esz = infer_elem_size(sim, o.buffer, p.default_elem_size);
+    }
+    return static_cast<std::uint64_t>(*o.count) * esz;
+  }
+
+  /// The matched edge of op (r,i), or nullptr when unmatched.
+  const CommEdge* edge_of(int r, std::size_t i) const {
+    const auto it = g.edge_of.find({r, i});
+    return it == g.edge_of.end() ? nullptr : &g.edges[it->second];
+  }
+
+  /// In-flight seconds of op (r,i)'s matched transfer; nullopt when the
+  /// op is unmatched or its payload size did not resolve.
+  std::optional<double> edge_transfer(int r, std::size_t i) const {
+    const CommEdge* e = edge_of(r, i);
+    if (e == nullptr) return std::nullopt;
+    const RankOp& s = op_at(e->send);
+    const RankOp& rv = op_at(e->recv);
+    auto bytes = op_bytes(s);
+    if (!bytes.has_value()) bytes = op_bytes(rv);
+    if (!bytes.has_value()) return std::nullopt;
+    std::uint64_t chunk = p.chunk_bytes;
+    if (s.has_chunk_clause && s.chunk_bytes_clause.has_value() &&
+        *s.chunk_bytes_clause >= 0) {
+      chunk = static_cast<std::uint64_t>(*s.chunk_bytes_clause);
+    }
+    return p2p_transfer_seconds(p, *bytes, e->send.first, e->recv.first,
+                                s.dev_send, rv.dev_recv, chunk);
+  }
+
+  /// Price of one host<->device bulk move of `bytes` on rank r.
+  double move_cost(int r, std::uint64_t bytes) const {
+    const int tpn = std::max(1, p.tasks_per_node);
+    if (!p.node.devices.empty()) {
+      const auto& dev =
+          p.node.devices[static_cast<std::size_t>(r % tpn) %
+                         p.node.devices.size()];
+      return sim::pcie_copy_time(p.node, dev, bytes, /*near_socket=*/true);
+    }
+    return sim::host_copy_time(p.node, bytes);
+  }
+
+  bool touches(const RankOp& o, const std::string& var) const {
+    if (o.buffer == var) return true;
+    for (const auto& a : o.accesses) {
+      if (a.var == var) return true;
+    }
+    return false;
+  }
+
+  void report(const char* code, int line, int column, std::string message,
+              std::string fixit, double saved) const {
+    if (saved <= 1e-9) return;
+    message += " (estimated saving ~" + human_seconds(saved) + ")";
+    Diagnostic d =
+        make_diagnostic(code, line, column, std::move(message),
+                        std::move(fixit));
+    d.seconds_saved = saved;
+    out->push_back(std::move(d));
+  }
+};
+
+// --- IMP030: blocking send/recv pair a nonblocking rewrite overlaps ---------
+
+void rule_blocking_pair(const RuleCtx& c) {
+  for (const auto& trace : c.sim.traces) {
+    for (std::size_t i = 0; i + 1 < trace.ops.size(); ++i) {
+      const RankOp& a = trace.ops[i];
+      const RankOp& b = trace.ops[i + 1];
+      const bool pair = (a.kind == RankOpKind::kSend &&
+                         b.kind == RankOpKind::kRecv) ||
+                        (a.kind == RankOpKind::kRecv &&
+                         b.kind == RankOpKind::kSend);
+      if (!pair || !a.blocking || !b.blocking) continue;
+      if (a.buffer.empty() || a.buffer == b.buffer) continue;
+      const auto ta = c.edge_transfer(trace.rank, i);
+      const auto tb = c.edge_transfer(trace.rank, i + 1);
+      if (!ta.has_value() || !tb.has_value()) continue;
+      const double saved = std::min(*ta, *tb);
+      c.report("IMP030", a.line, a.column,
+               "blocking " + a.name + " immediately followed by blocking " +
+                   b.name +
+                   " of an independent buffer serializes two transfers the "
+                   "runtime could overlap",
+               "post both nonblocking (MPI_Isend/MPI_Irecv + MPI_Waitall, "
+               "or async(q) + acc wait) so the transfers proceed together",
+               saved);
+    }
+  }
+}
+
+// --- IMP031: full-array update where the use covers a subarray --------------
+
+void rule_full_update(const RuleCtx& c) {
+  for (const auto& trace : c.sim.traces) {
+    for (std::size_t i = 0; i < trace.ops.size(); ++i) {
+      const RankOp& u = trace.ops[i];
+      if (!u.is_update) continue;
+      for (const auto& acc : u.accesses) {
+        if (!acc.elems.has_value() || *acc.elems <= 0) continue;
+        if (!acc.write) {
+          // update host(var[0:N]): find the next send of var.
+          for (std::size_t j = i + 1; j < trace.ops.size(); ++j) {
+            const RankOp& s = trace.ops[j];
+            if (s.kind == RankOpKind::kSend && s.buffer == acc.var) {
+              if (s.count.has_value() && *s.count > 0 &&
+                  *s.count < *acc.elems) {
+                const std::uint64_t esz =
+                    mpi_dtype_bytes(s.dtype) != 0
+                        ? mpi_dtype_bytes(s.dtype)
+                        : c.p.default_elem_size;
+                const double saved =
+                    c.move_cost(trace.rank,
+                                static_cast<std::uint64_t>(*acc.elems) *
+                                    esz) -
+                    c.move_cost(trace.rank,
+                                static_cast<std::uint64_t>(*s.count) * esz);
+                c.report(
+                    "IMP031", u.line, u.column,
+                    "update host moves all " + std::to_string(*acc.elems) +
+                        " elements of '" + acc.var +
+                        "' but the following send uses only " +
+                        std::to_string(*s.count),
+                    "update only the subarray the send covers: update "
+                    "host(" +
+                        acc.var + "[0:" + std::to_string(*s.count) + "])",
+                    saved);
+              }
+              break;  // only the first use of var decides
+            }
+            if (c.touches(s, acc.var)) break;
+          }
+        } else {
+          // update device(var[0:N]): look back for the recv that filled it.
+          for (std::size_t j = i; j-- > 0;) {
+            const RankOp& rv = trace.ops[j];
+            if (rv.kind == RankOpKind::kRecv && rv.buffer == acc.var) {
+              if (rv.count.has_value() && *rv.count > 0 &&
+                  *rv.count < *acc.elems) {
+                const std::uint64_t esz =
+                    mpi_dtype_bytes(rv.dtype) != 0
+                        ? mpi_dtype_bytes(rv.dtype)
+                        : c.p.default_elem_size;
+                const double saved =
+                    c.move_cost(trace.rank,
+                                static_cast<std::uint64_t>(*acc.elems) *
+                                    esz) -
+                    c.move_cost(trace.rank,
+                                static_cast<std::uint64_t>(*rv.count) * esz);
+                c.report(
+                    "IMP031", u.line, u.column,
+                    "update device moves all " +
+                        std::to_string(*acc.elems) + " elements of '" +
+                        acc.var + "' but the receive before it filled only " +
+                        std::to_string(*rv.count),
+                    "update only the received subarray: update device(" +
+                        acc.var + "[0:" + std::to_string(*rv.count) + "])",
+                    saved);
+              }
+              break;
+            }
+            if (c.touches(rv, acc.var)) break;
+          }
+        }
+      }
+    }
+  }
+}
+
+// --- IMP032: copyin/copyout hoistable out of an unrolled loop ---------------
+
+void rule_loop_copy(const RuleCtx& c) {
+  for (const auto& trace : c.sim.traces) {
+    // (loop line, directive line, var, direction) -> iterations seen + cost
+    struct Group {
+      std::set<int> iters;
+      int column = 1;
+      std::uint64_t bytes = 0;
+      bool bytes_known = false;
+    };
+    std::map<std::tuple<int, int, std::string, bool>, Group> groups;
+    for (const auto& op : trace.ops) {
+      if (op.kind != RankOpKind::kDataMove) continue;
+      if (op.loop_line == 0 || op.loop_iter < 0) continue;
+      Group& grp = groups[{op.loop_line, op.line, op.buffer,
+                           op.move_to_device}];
+      grp.iters.insert(op.loop_iter);
+      grp.column = op.column;
+      if (op.count.has_value() && *op.count > 0) {
+        grp.bytes = static_cast<std::uint64_t>(*op.count) *
+                    infer_elem_size(c.sim, op.buffer, c.p.default_elem_size);
+        grp.bytes_known = true;
+      }
+    }
+    for (const auto& [key, grp] : groups) {
+      const auto& [loop_line, line, var, to_device] = key;
+      if (grp.iters.size() < 2 || !grp.bytes_known) continue;
+      // The repeated transfer is redundant only if the copied side of
+      // `var` cannot change between iterations.
+      bool modified = false;
+      for (const auto& op : trace.ops) {
+        if (op.loop_line != loop_line || op.loop_depth == 0) continue;
+        if (op.kind == RankOpKind::kDataMove) continue;
+        if (to_device) {
+          // Host image must be loop-invariant: no receive into it, no
+          // update host of it, no device kernel writing it (kept fresh
+          // for a later copyout).
+          if (op.kind == RankOpKind::kRecv && op.buffer == var) {
+            modified = true;
+          }
+          for (const auto& a : op.accesses) {
+            if (a.var == var && (a.write || op.is_update)) modified = true;
+          }
+        } else {
+          // Device image must be loop-invariant: no kernel at all (it
+          // may write anything present) and no device receive into it.
+          if (op.kind == RankOpKind::kQueueOp && !op.is_update) {
+            modified = true;
+          }
+          if (op.kind == RankOpKind::kRecv && op.buffer == var &&
+              op.dev_recv) {
+            modified = true;
+          }
+        }
+        if (modified) break;
+      }
+      if (modified) continue;
+      const int extra = static_cast<int>(grp.iters.size()) - 1;
+      const double saved =
+          extra * c.move_cost(trace.rank, grp.bytes);
+      c.report("IMP032", line, grp.column,
+               std::string(to_device ? "copyin" : "copyout") + " of '" +
+                   var + "' repeats identically across " +
+                   std::to_string(grp.iters.size()) +
+                   " iterations of the loop at line " +
+                   std::to_string(loop_line) +
+                   " although the loop never modifies it",
+               "hoist the data region out of the loop so '" + var +
+                   "' crosses PCIe once",
+               saved);
+    }
+  }
+}
+
+// --- IMP033: hand-rolled all-to-all / allgather exchange --------------------
+
+void rule_collective_shape(const RuleCtx& c) {
+  const int n = c.sim.nranks;
+  if (n < 3) return;
+  for (const auto& trace : c.sim.traces) {
+    // Nonblocking sends by (buffer); allgather shape = one buffer sent
+    // to every other rank with one count/dtype.
+    struct SendSet {
+      std::set<long> peers;
+      std::optional<long> count;
+      std::string dtype;
+      bool uniform = true;
+      int line = 0;
+      int column = 1;
+      std::vector<std::size_t> ops;
+    };
+    std::map<std::string, SendSet> by_buffer;
+    for (std::size_t i = 0; i < trace.ops.size(); ++i) {
+      const RankOp& op = trace.ops[i];
+      if (op.kind != RankOpKind::kSend || op.blocking) continue;
+      if (!op.peer.has_value() || *op.peer < 0 || *op.peer >= n) continue;
+      SendSet& ss = by_buffer[op.buffer];
+      if (ss.ops.empty()) {
+        ss.count = op.count;
+        ss.dtype = op.dtype;
+        ss.line = op.line;
+        ss.column = op.column;
+      } else if (ss.count != op.count || ss.dtype != op.dtype) {
+        ss.uniform = false;
+      }
+      ss.peers.insert(*op.peer);
+      ss.ops.push_back(i);
+    }
+    for (const auto& [buffer, ss] : by_buffer) {
+      if (!ss.uniform || !ss.count.has_value() || *ss.count <= 0) continue;
+      if (static_cast<int>(ss.peers.size()) != n - 1) continue;
+      if (ss.peers.count(trace.rank) != 0) continue;  // self-send: not a shape
+      std::uint64_t esz = mpi_dtype_bytes(ss.dtype);
+      if (esz == 0) esz = c.p.default_elem_size;
+      const std::uint64_t block =
+          static_cast<std::uint64_t>(*ss.count) * esz;
+      // Flat price: each peer transfer, serialized on this rank's links,
+      // plus the per-leg software overheads.
+      double flat = 0;
+      for (const std::size_t i : ss.ops) {
+        const auto t = c.edge_transfer(trace.rank, i);
+        if (!t.has_value()) {
+          flat = -1;
+          break;
+        }
+        flat += *t + sim::collective_leg_overhead(c.p.costs);
+      }
+      if (flat < 0) continue;
+      // The shape's other half: this rank also receives one same-sized
+      // block from every peer. hier_allgather_bound prices the fully
+      // completed collective, so the flat side must too.
+      std::set<long> recv_peers;
+      for (std::size_t i = 0; i < trace.ops.size(); ++i) {
+        const RankOp& op = trace.ops[i];
+        if (op.kind != RankOpKind::kRecv || op.blocking) continue;
+        if (op.count != ss.count || op.dtype != ss.dtype) continue;
+        if (!op.peer.has_value() || *op.peer < 0 || *op.peer >= n) continue;
+        if (!recv_peers.insert(*op.peer).second) continue;
+        const auto t = c.edge_transfer(trace.rank, i);
+        if (!t.has_value()) {
+          flat = -1;
+          break;
+        }
+        flat += *t + sim::collective_leg_overhead(c.p.costs);
+      }
+      if (flat < 0 || static_cast<int>(recv_peers.size()) != n - 1) continue;
+      const int tpn = std::max(1, c.p.tasks_per_node);
+      const int num_nodes = (n + tpn - 1) / tpn;
+      const double hier = sim::hier_allgather_bound(
+          c.p.node, c.p.fabric, num_nodes, tpn, block, c.p.costs);
+      c.report("IMP033", ss.line, ss.column,
+               "every rank sends '" + buffer + "' (" + human_bytes(block) +
+                   ") to all " + std::to_string(n - 1) +
+                   " peers — an allgather in point-to-point clothing; the "
+                   "hierarchical collective crosses the fabric once per "
+                   "node instead of once per peer",
+               "replace the exchange with MPI_Allgather and let the "
+               "node-aware path share payloads intra-node",
+               flat - hier);
+    }
+  }
+}
+
+// --- IMP034: forced-flat collective above the Rabenseifner crossover --------
+
+void rule_flat_collective(const RuleCtx& c) {
+  const int n = c.sim.nranks;
+  const int tpn = std::max(1, c.p.tasks_per_node);
+  const int num_nodes = (n + tpn - 1) / tpn;
+  std::set<std::pair<std::string, int>> seen;  // one finding per site
+  for (const auto& trace : c.sim.traces) {
+    for (const auto& op : trace.ops) {
+      if (op.kind != RankOpKind::kCollective || !op.forced_flat) continue;
+      const auto bytes = c.op_bytes(op);
+      if (!bytes.has_value()) continue;
+      if (*bytes < sim::kRabenseifnerCrossoverBytes) continue;
+      if (!seen.insert({op.name, op.line}).second) continue;
+      const bool gather = op.name == "MPI_Allgather" ||
+                          op.name == "MPI_Alltoall" ||
+                          op.name == "MPI_Gather" ||
+                          op.name == "MPI_Scatter";
+      const double flat =
+          gather ? sim::flat_allgather_estimate(c.p.node, c.p.fabric, n,
+                                                num_nodes, *bytes, c.p.costs)
+                 : sim::flat_allreduce_estimate(c.p.node, c.p.fabric, n,
+                                                num_nodes, *bytes,
+                                                c.p.costs);
+      const double hier =
+          gather ? sim::hier_allgather_bound(c.p.node, c.p.fabric, num_nodes,
+                                             tpn, *bytes, c.p.costs)
+                 : sim::hier_allreduce_estimate(c.p.node, c.p.fabric,
+                                                num_nodes, tpn, *bytes,
+                                                c.p.costs);
+      c.report("IMP034", op.line, op.column,
+               "'flat' forces the single-level " + op.name + " on a " +
+                   human_bytes(*bytes) +
+                   " payload above the 64 KiB Rabenseifner crossover, "
+                   "where the bandwidth-optimal hierarchical schedule wins",
+               "drop the flat clause and let the runtime pick the "
+               "node-aware reduce-scatter path",
+               flat - hier);
+    }
+  }
+}
+
+// --- IMP035: independent sends serialized on one activity queue ------------
+
+void rule_serialized_queue(const RuleCtx& c) {
+  for (const auto& trace : c.sim.traces) {
+    // Rebuild each queue's item order, then look for runs of >= 2
+    // consecutive sends with pairwise-distinct buffers.
+    std::map<std::string, std::vector<std::size_t>> queue_items;
+    for (std::size_t i = 0; i < trace.ops.size(); ++i) {
+      const RankOp& op = trace.ops[i];
+      if (op.has_queue && (op.kind == RankOpKind::kSend ||
+                           op.kind == RankOpKind::kRecv ||
+                           op.kind == RankOpKind::kQueueOp)) {
+        queue_items[op.queue].push_back(i);
+      }
+    }
+    for (const auto& [queue, items] : queue_items) {
+      std::size_t run_begin = 0;
+      while (run_begin < items.size()) {
+        // Extend a run of consecutive queue-adjacent sends.
+        std::size_t run_end = run_begin;
+        std::set<std::string> buffers;
+        std::vector<double> times;
+        double wire = 0;
+        while (run_end < items.size()) {
+          const RankOp& op = trace.ops[items[run_end]];
+          if (op.kind != RankOpKind::kSend) break;
+          if (buffers.count(op.buffer) != 0) break;  // reuse: dependent
+          const auto t = c.edge_transfer(trace.rank, items[run_end]);
+          if (!t.has_value()) break;
+          const CommEdge* e = c.edge_of(trace.rank, items[run_end]);
+          const RankOp& sop = c.op_at(e->send);
+          const auto bytes = c.op_bytes(sop);
+          buffers.insert(op.buffer);
+          times.push_back(*t);
+          if (bytes.has_value()) {
+            std::uint64_t chunk = c.p.chunk_bytes;
+            if (sop.has_chunk_clause && sop.chunk_bytes_clause.has_value() &&
+                *sop.chunk_bytes_clause >= 0) {
+              chunk = static_cast<std::uint64_t>(*sop.chunk_bytes_clause);
+            }
+            wire += p2p_wire_seconds(c.p, *bytes, e->send.first,
+                                     e->recv.first, sop.dev_send,
+                                     c.op_at(e->recv).dev_recv, chunk);
+          }
+          ++run_end;
+        }
+        if (times.size() >= 2) {
+          double serial = 0;
+          double longest = 0;
+          for (const double t : times) {
+            serial += t;
+            longest = std::max(longest, t);
+          }
+          // Distinct queues overlap everything but the shared fabric.
+          const double overlapped = std::max(longest, wire);
+          const RankOp& first = trace.ops[items[run_begin]];
+          c.report("IMP035", first.line, first.column,
+                   std::to_string(times.size()) +
+                       " independent sends share async queue " +
+                       (queue.empty() ? std::string("<no-value>") : queue) +
+                       ", so their transfers run back-to-back",
+                   "give each send its own async queue (and wait on all "
+                   "of them) so the copies overlap",
+                   serial - overlapped);
+        }
+        run_begin = std::max(run_end, run_begin + 1);
+      }
+    }
+  }
+}
+
+// --- IMP036: disabled or pessimal chunk pipeline ----------------------------
+
+void rule_chunk_pipeline(const RuleCtx& c) {
+  for (const auto& e : c.g.edges) {
+    const RankOp& s = c.op_at(e.send);
+    const RankOp& rv = c.op_at(e.recv);
+    if (!s.has_chunk_clause || !s.chunk_bytes_clause.has_value()) continue;
+    if (c.node_of(e.send.first) == c.node_of(e.recv.first)) continue;
+    if (!s.dev_send && !rv.dev_recv) continue;  // no staging to pipeline
+    auto bytes = c.op_bytes(s);
+    if (!bytes.has_value()) bytes = c.op_bytes(rv);
+    if (!bytes.has_value()) continue;
+    const std::uint64_t given_chunk =
+        *s.chunk_bytes_clause > 0
+            ? static_cast<std::uint64_t>(*s.chunk_bytes_clause)
+            : 0;
+    const double t_given =
+        p2p_transfer_seconds(c.p, *bytes, e.send.first, e.recv.first,
+                             s.dev_send, rv.dev_recv, given_chunk);
+    double t_best = t_given;
+    std::uint64_t best_chunk = given_chunk;
+    for (const std::uint64_t cand :
+         {std::uint64_t{64} << 10, std::uint64_t{256} << 10,
+          std::uint64_t{1} << 20, std::uint64_t{4} << 20, *bytes}) {
+      if (cand >= *bytes && cand != *bytes) continue;
+      const double t =
+          p2p_transfer_seconds(c.p, *bytes, e.send.first, e.recv.first,
+                               s.dev_send, rv.dev_recv, cand);
+      if (t < t_best) {
+        t_best = t;
+        best_chunk = cand;
+      }
+    }
+    if (t_given <= 1.2 * t_best) continue;  // within tolerance of optimal
+    const std::string given_desc =
+        given_chunk == 0 ? std::string("chunk(0) disables pipelining")
+                         : "chunk(" + std::to_string(given_chunk) +
+                               ") is far from the optimum";
+    c.report("IMP036", s.line, s.column,
+             given_desc + " for this " + human_bytes(*bytes) +
+                 " internode device transfer; staging and wire no longer "
+                 "overlap",
+             "use chunk(" + std::to_string(best_chunk) +
+                 ") (or drop the clause for the runtime default) to "
+                 "pipeline the stages",
+             t_given - t_best);
+  }
+}
+
+// --- IMP037: wait placed earlier than the first true use --------------------
+
+void rule_early_wait(const RuleCtx& c) {
+  for (const auto& trace : c.sim.traces) {
+    for (std::size_t i = 0; i < trace.ops.size(); ++i) {
+      const RankOp& w = trace.ops[i];
+      if (w.kind != RankOpKind::kAccWait) continue;
+      // Buffers and transfer times still outstanding at this wait.
+      std::set<std::string> pending;
+      double longest = 0;
+      for (std::size_t j = i; j-- > 0;) {
+        const RankOp& prev = trace.ops[j];
+        if (prev.kind == RankOpKind::kAccWait) break;
+        if ((prev.kind != RankOpKind::kSend &&
+             prev.kind != RankOpKind::kRecv) ||
+            !prev.has_queue) {
+          continue;
+        }
+        const bool covered =
+            w.wait_all ||
+            std::find(w.wait_queues.begin(), w.wait_queues.end(),
+                      prev.queue) != w.wait_queues.end();
+        if (!covered) continue;
+        pending.insert(prev.buffer);
+        const auto t = c.edge_transfer(trace.rank, j);
+        if (t.has_value()) longest = std::max(longest, *t);
+      }
+      if (pending.empty() || longest <= 0) continue;
+      // Walk forward: host work that does not touch the pending buffers
+      // could run before the wait; stop at the first true use or at the
+      // next synchronization boundary.
+      double movable = 0;
+      for (std::size_t j = i + 1; j < trace.ops.size(); ++j) {
+        const RankOp& nxt = trace.ops[j];
+        bool uses = false;
+        for (const auto& var : pending) {
+          if (c.touches(nxt, var)) uses = true;
+        }
+        if (uses || nxt.kind == RankOpKind::kAccWait ||
+            nxt.kind == RankOpKind::kHostWait ||
+            nxt.kind == RankOpKind::kCollective) {
+          break;
+        }
+        if (nxt.kind == RankOpKind::kDataMove &&
+            nxt.count.has_value() && *nxt.count > 0) {
+          movable += c.move_cost(
+              trace.rank,
+              static_cast<std::uint64_t>(*nxt.count) *
+                  infer_elem_size(c.sim, nxt.buffer,
+                                  c.p.default_elem_size));
+        } else if (nxt.is_update) {
+          for (const auto& a : nxt.accesses) {
+            if (!a.elems.has_value() || *a.elems <= 0) continue;
+            movable += c.move_cost(
+                trace.rank,
+                static_cast<std::uint64_t>(*a.elems) *
+                    infer_elem_size(c.sim, a.var, c.p.default_elem_size));
+          }
+        } else if ((nxt.kind == RankOpKind::kSend ||
+                    nxt.kind == RankOpKind::kRecv) &&
+                   nxt.blocking) {
+          const auto t = c.edge_transfer(trace.rank, j);
+          if (t.has_value()) movable += *t;
+        }
+      }
+      if (movable <= 0) continue;
+      c.report("IMP037", w.line, w.column,
+               "this wait blocks " + human_seconds(movable) +
+                   " of host work that never touches the in-flight "
+                   "buffers; the transfers could still be overlapping it",
+               "move the wait down to just before the first real use of "
+               "the data",
+               std::min(movable, longest));
+    }
+  }
+}
+
+}  // namespace
+
+void check_perf_rules(const RankSimResult& sim, const CommGraph& graph,
+                      const PerfParams& params,
+                      std::vector<Diagnostic>* out) {
+  const RuleCtx ctx{sim, graph, params, out};
+  rule_blocking_pair(ctx);
+  rule_full_update(ctx);
+  rule_loop_copy(ctx);
+  rule_collective_shape(ctx);
+  rule_flat_collective(ctx);
+  rule_serialized_queue(ctx);
+  rule_chunk_pipeline(ctx);
+  rule_early_wait(ctx);
+}
+
+}  // namespace impacc::trans::analysis

@@ -616,6 +616,31 @@ StreamIndex build_index(const DirectiveStream& stream) {
   return idx;
 }
 
+bool clause_has_flag(const Clause* c, const char* flag) {
+  if (c == nullptr) return false;
+  for (const auto& a : c->args) {
+    if (a == flag) return true;
+  }
+  return false;
+}
+
+/// Argument index of (count, datatype) for the collectives whose payload
+/// the perf model prices; {-1, -1} when the routine has no single payload
+/// (Barrier) or the model does not track it.
+std::pair<int, int> collective_count_args(const std::string& name) {
+  if (name == "MPI_Bcast") return {1, 2};
+  if (name == "MPI_Reduce" || name == "MPI_Allreduce" ||
+      name == "MPI_Scan" || name == "MPI_Exscan" ||
+      name == "MPI_Reduce_scatter_block") {
+    return {2, 3};
+  }
+  if (name == "MPI_Allgather" || name == "MPI_Gather" ||
+      name == "MPI_Scatter" || name == "MPI_Alltoall") {
+    return {1, 2};
+  }
+  return {-1, -1};
+}
+
 struct RankInterp {
   const DirectiveStream& stream;
   const StreamIndex& idx;
@@ -637,6 +662,7 @@ struct RankInterp {
   };
   std::vector<LoopCtx> loops;
   std::vector<std::string> call_stack;
+  std::vector<const Directive*> region_stack;
   int widen_depth = 0;
 
   RankInterp(const DirectiveStream& s, const StreamIndex& ix,
@@ -680,6 +706,19 @@ struct RankInterp {
     trace.ops.push_back(std::move(op));
   }
 
+  /// Evaluated element count of one subarray spec, when every dimension
+  /// resolves; nullopt otherwise.
+  std::optional<long> subarray_elems(const SubArray& sa) {
+    if (sa.dims.empty()) return std::nullopt;
+    long total = 1;
+    for (const auto& dim : sa.dims) {
+      const auto v = eval_int_expr(dim.count, env);
+      if (!v.has_value() || *v < 0) return std::nullopt;
+      total *= *v;
+    }
+    return total;
+  }
+
   void record_extents(const Directive& d) {
     for (const auto& c : d.clauses) {
       if (c.name != "copyin" && c.name != "copyout" && c.name != "copy" &&
@@ -687,18 +726,32 @@ struct RankInterp {
         continue;
       }
       for (const auto& sa : c.subarrays) {
-        if (sa.dims.empty()) continue;
-        long total = 1;
-        bool known = true;
-        for (const auto& dim : sa.dims) {
-          const auto v = eval_int_expr(dim.count, env);
-          if (!v.has_value() || *v < 0) {
-            known = false;
-            break;
-          }
-          total *= *v;
-        }
-        if (known) extents[sa.var] = total;
+        const auto total = subarray_elems(sa);
+        if (total.has_value()) extents[sa.var] = *total;
+      }
+    }
+  }
+
+  /// Emit one kDataMove per transferring clause of a data construct
+  /// (`to_device` selects the entry clauses copyin/copy vs. the exit
+  /// clauses copyout/copy). Data moves carry no accesses and never sit
+  /// on a queue, so every correctness analysis sees straight through
+  /// them; only the perf model prices them.
+  void push_data_moves(const Directive& d, int line, int column,
+                       bool to_device) {
+    for (const auto& c : d.clauses) {
+      const bool entry_move = c.name == "copyin" || c.name == "copy";
+      const bool exit_move = c.name == "copyout" || c.name == "copy";
+      if (to_device ? !entry_move : !exit_move) continue;
+      for (const auto& sa : c.subarrays) {
+        RankOp op;
+        op.kind = RankOpKind::kDataMove;
+        op.line = line;
+        op.column = column;
+        op.buffer = sa.var;
+        op.count = subarray_elems(sa);
+        op.move_to_device = to_device;
+        push_op(std::move(op));
       }
     }
   }
@@ -710,7 +763,8 @@ struct RankInterp {
         continue;
       }
       for (const auto& sa : c.subarrays) {
-        out.push_back({sa.var, clause_writes_device(c.name)});
+        out.push_back({sa.var, clause_writes_device(c.name),
+                       subarray_elems(sa)});
       }
     }
     return out;
@@ -746,11 +800,19 @@ struct RankInterp {
         op.has_queue = true;
         op.queue = as->args.empty() ? std::string() : as->args[0];
       }
+      op.dev_send = clause_has_flag(d->find("sendbuf"), "device");
+      op.dev_recv = clause_has_flag(d->find("recvbuf"), "device");
+      if (const Clause* ch = d->find("chunk")) {
+        op.has_chunk_clause = true;
+        if (!ch->args.empty()) {
+          op.chunk_bytes_clause = eval_int_expr(ch->args[0], env);
+        }
+      }
     }
     op.blocking = !nonblocking && !op.has_queue;
     auto it = extents.find(op.buffer);
     if (it != extents.end()) op.extent = it->second;
-    op.accesses.push_back({op.buffer, /*write=*/!send});
+    op.accesses.push_back({op.buffer, /*write=*/!send, std::nullopt});
 
     if (op.peer.has_value() && *op.peer == kMpiProcNull) return;  // no-op
     if (!op.peer.has_value()) res.comm_exact = false;
@@ -770,19 +832,32 @@ struct RankInterp {
       if (roles->send_arg >= 0 &&
           roles->send_arg < static_cast<int>(call.args.size())) {
         op.accesses.push_back(
-            {base_identifier(call.args[roles->send_arg]), false});
+            {base_identifier(call.args[roles->send_arg]), false,
+             std::nullopt});
       }
       if (roles->recv_arg >= 0 &&
           roles->recv_arg < static_cast<int>(call.args.size())) {
         op.accesses.push_back(
-            {base_identifier(call.args[roles->recv_arg]), true});
+            {base_identifier(call.args[roles->recv_arg]), true,
+             std::nullopt});
       }
+    }
+    const auto [count_arg, dtype_arg] = collective_count_args(call.name);
+    if (count_arg >= 0 && count_arg < static_cast<int>(call.args.size())) {
+      op.count_text = trim(call.args[count_arg]);
+      op.count = eval_int_expr(call.args[count_arg], env);
+    }
+    if (dtype_arg >= 0 && dtype_arg < static_cast<int>(call.args.size())) {
+      op.dtype = trim(call.args[dtype_arg]);
     }
     if (d != nullptr) {
       if (const Clause* as = d->find("async")) {
         op.has_queue = true;
         op.queue = as->args.empty() ? std::string() : as->args[0];
       }
+      op.forced_flat = d->find("flat") != nullptr;
+      op.dev_send = clause_has_flag(d->find("sendbuf"), "device");
+      op.dev_recv = clause_has_flag(d->find("recvbuf"), "device");
     }
     op.blocking = !op.has_queue;
     push_op(std::move(op));
@@ -858,21 +933,24 @@ struct RankInterp {
       }
       case DirectiveKind::kEnterData:
         record_extents(d);
+        push_data_moves(d, ev.line, ev.column, /*to_device=*/true);
         break;
       case DirectiveKind::kExitData:
+        push_data_moves(d, ev.line, ev.column, /*to_device=*/false);
         break;
       case DirectiveKind::kUpdate: {
         RankOp op;
         op.line = ev.line;
         op.column = ev.column;
+        op.is_update = true;
         for (const auto& c : d.clauses) {
           if (c.name == "device") {
             for (const auto& sa : c.subarrays) {
-              op.accesses.push_back({sa.var, true});
+              op.accesses.push_back({sa.var, true, subarray_elems(sa)});
             }
           } else if (c.name == "self" || c.name == "host") {
             for (const auto& sa : c.subarrays) {
-              op.accesses.push_back({sa.var, false});
+              op.accesses.push_back({sa.var, false, subarray_elems(sa)});
             }
           }
         }
@@ -1085,9 +1163,24 @@ struct RankInterp {
           if (!dead()) handle_directive(ev);
           break;
         case EventKind::kRegionEnter:
-          if (!dead()) record_extents(ev.directive);
+          if (!dead()) {
+            record_extents(ev.directive);
+            if (ev.directive.kind == DirectiveKind::kData) {
+              push_data_moves(ev.directive, ev.line, ev.column,
+                              /*to_device=*/true);
+            }
+          }
+          region_stack.push_back(&ev.directive);
           break;
         case EventKind::kRegionExit:
+          if (!region_stack.empty()) {
+            const Directive* rd = region_stack.back();
+            region_stack.pop_back();
+            if (!dead() && rd->kind == DirectiveKind::kData) {
+              push_data_moves(*rd, ev.line, ev.column, /*to_device=*/false);
+            }
+          }
+          break;
         case EventKind::kLoopExit:
         case EventKind::kFuncExit:
           break;

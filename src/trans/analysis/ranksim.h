@@ -67,12 +67,18 @@ enum class RankOpKind : int {
   kHostWait,    // MPI_Wait / Waitall / Waitany
   kQueueOp,     // non-MPI work on an async queue (compute, update, ...)
   kHostAccess,  // host-path access to buffers (plain call, sync update)
+  kDataMove,    // host<->device bulk transfer (enter/exit data, region
+                // copyin/copyout) — cost-model input only; invisible to
+                // the correctness analyses (no accesses, never queued)
 };
 
 /// One buffer touched by an operation, with direction.
 struct BufferAccess {
   std::string var;
   bool write = false;
+  /// Evaluated subarray element count (`u[0:n]` with n known), when the
+  /// clause names one and it resolves. Used only by the perf model.
+  std::optional<long> elems;
 };
 
 /// One operation in a rank's trace, in program order.
@@ -97,6 +103,15 @@ struct RankOp {
   // queue attachment (the unified activity queue of §3.5)
   bool has_queue = false;
   std::string queue;  // textual async argument; "" = no-value queue
+
+  // perf-model annotations (ignored by the correctness analyses)
+  bool dev_send = false;     // acc mpi sendbuf(device) on this op
+  bool dev_recv = false;     // acc mpi recvbuf(device) on this op
+  bool forced_flat = false;  // acc mpi flat — user forced flat collective
+  bool is_update = false;    // op came from `#pragma acc update`
+  bool move_to_device = false;            // kDataMove direction
+  bool has_chunk_clause = false;          // acc mpi chunk(N) present
+  std::optional<long> chunk_bytes_clause; // evaluated chunk(N) argument
 
   // kAccWait
   bool wait_all = false;

@@ -1,0 +1,266 @@
+// One-paragraph documentation per lint rule, backing
+// `impacc-lint --explain IMPnnn`. Kept next to the catalog in
+// diagnostics.cpp; docs/LINT.md renders the same material with more
+// context.
+#include "trans/analysis/diagnostics.h"
+
+namespace impacc::trans::analysis {
+
+const RuleDoc* rule_doc_table() {
+  static const RuleDoc kDocs[] = {
+      {"IMP001",
+       "An `enter data` directive allocates (copyin/create) a buffer that "
+       "the present-table already tracks. The runtime reference-counts "
+       "device buffers, so the second copyin bumps the count and the "
+       "matching single exit data leaks one device reference (and the "
+       "device memory behind it).",
+       "#pragma acc enter data copyin(a[0:n])\n"
+       "#pragma acc enter data copyin(a[0:n])   // IMP001",
+       "Remove the duplicate enter data, or pair every enter with its own "
+       "exit data."},
+      {"IMP002",
+       "An `exit data`, `delete`, or `present()` names a buffer that is "
+       "not on the device at that point. At run time this aborts (present "
+       "table miss) or silently deletes the wrong mapping.",
+       "#pragma acc exit data copyout(a[0:n])   // IMP002: never entered",
+       "Add the matching enter data / structured data region, or drop the "
+       "stale exit."},
+      {"IMP003",
+       "`update device(...)` / `update self(...)` moves data for a buffer "
+       "that has no device copy, which is a run-time error.",
+       "#pragma acc update device(a[0:n])   // IMP002-style miss",
+       "Create the device copy first (enter data / data region) or delete "
+       "the update."},
+      {"IMP004",
+       "`host_data use_device(...)` asks for the device address of a "
+       "buffer that is not present; the runtime returns the host pointer "
+       "or aborts, and the MPI call underneath reads the wrong memory.",
+       "#pragma acc host_data use_device(a)\n"
+       "MPI_Send(a, ...);                       // wrong pointer",
+       "Make the buffer present before taking its device address."},
+      {"IMP005",
+       "`acc mpi sendbuf(device)` / `recvbuf(device)` tells the runtime "
+       "to transfer from/into device memory, but the named buffer has no "
+       "device copy.",
+       "#pragma acc mpi sendbuf(device)\n"
+       "MPI_Send(a, n, MPI_DOUBLE, 1, 0, comm);  // a not present",
+       "Enter the buffer into device memory first, or drop the device "
+       "flag to use the host path."},
+      {"IMP006",
+       "Work was enqueued on an async queue that is never waited on "
+       "before the program (or the enclosing scope) ends, so its "
+       "completion and any copyback are never observed.",
+       "#pragma acc parallel loop async(1)\n"
+       "...                                      // no wait(1) anywhere",
+       "Add `#pragma acc wait(1)` (or a blocking op that covers the "
+       "queue) before the results are needed."},
+      {"IMP007",
+       "A `wait` names an async queue that nothing was enqueued to. "
+       "Harmless at run time, but it usually means the queue number is a "
+       "typo and the real queue is left unsynchronized.",
+       "#pragma acc parallel loop async(1)\n"
+       "#pragma acc wait(2)                      // IMP007: queue 2 empty",
+       "Fix the queue id so the wait covers the intended work."},
+      {"IMP008",
+       "A buffer handed to the runtime as readonly (e.g. a copyin-only "
+       "mapping) is mutated by a later receive, so host and device copies "
+       "silently diverge.",
+       "#pragma acc enter data copyin(a[0:n])\n"
+       "MPI_Recv(a, ...);                        // host copy changes",
+       "Use copy/create plus an update, or receive into the device copy "
+       "with `acc mpi recvbuf(device)`."},
+      {"IMP009",
+       "A nonblocking MPI_Isend/MPI_Irecv's request is never completed "
+       "with MPI_Wait/MPI_Test on the host path; the transfer may never "
+       "finish and the request handle leaks.",
+       "MPI_Irecv(a, n, MPI_DOUBLE, 0, 0, comm, &rq);\n"
+       "// ... no MPI_Wait(&rq, ...)             // IMP009",
+       "Complete every request with MPI_Wait/MPI_Waitall before the "
+       "buffer is reused or the scope ends."},
+      {"IMP010",
+       "The send and receive buffers of one `acc mpi` directive alias the "
+       "same object, which MPI forbids for non-in-place operations.",
+       "#pragma acc mpi sendbuf(device) recvbuf(device)\n"
+       "MPI_Sendrecv(a, ..., a, ...);            // IMP010",
+       "Use distinct buffers or the documented in-place form."},
+      {"IMP011",
+       "A buffer entered with `enter data` is never released by a "
+       "matching `exit data`; its device allocation lives until program "
+       "end (a leak in any long-running or iterative context).",
+       "#pragma acc enter data copyin(a[0:n])\n"
+       "// ... no exit data delete/copyout(a)",
+       "Pair the enter with `#pragma acc exit data delete(a)` (or "
+       "copyout) on every path."},
+      {"IMP012",
+       "The directive could not be parsed: unknown directive kind, "
+       "malformed clause, or an unsupported combination. The analyzer "
+       "cannot reason past it, and the translator would reject it.",
+       "#pragma acc mpi sendbuf(            // unbalanced parens",
+       "Fix the directive syntax; see docs/LINT.md for the accepted "
+       "grammar."},
+      {"IMP013",
+       "Across the simulated ranks, blocking communication forms a "
+       "wait-for cycle: every rank in the cycle is blocked in a send or "
+       "receive that only another blocked rank can match. Classic "
+       "head-to-head MPI_Send deadlock.",
+       "MPI_Send(.., to right ..); MPI_Recv(.., from left ..);  // all ranks",
+       "Break the cycle: reorder by parity, use MPI_Sendrecv, or switch "
+       "one side to nonblocking."},
+      {"IMP014",
+       "A send is never matched by a receive on the destination rank "
+       "(wrong peer, tag, or communicator-order divergence). The payload "
+       "is lost and blocking sends may hang.",
+       "if (rank == 0) MPI_Send(a, n, MPI_DOUBLE, 1, 7, comm);\n"
+       "// rank 1 never posts a tag-7 receive     // IMP014",
+       "Post the matching receive, or fix the destination/tag."},
+      {"IMP015",
+       "A receive is never matched by a send on the source rank; the "
+       "receive blocks forever (or its request never completes).",
+       "if (rank == 1) MPI_Recv(a, n, MPI_DOUBLE, 0, 7, comm, &st);\n"
+       "// rank 0 never sends tag 7               // IMP015",
+       "Post the matching send, or fix the source/tag."},
+      {"IMP016",
+       "The simulated ranks disagree on the order of collective "
+       "operations (e.g. one rank reaches a Bcast while another reaches "
+       "an Allreduce). MPI requires identical collective sequences per "
+       "communicator.",
+       "if (rank == 0) MPI_Bcast(...); else MPI_Allreduce(...);",
+       "Make every rank execute the same collectives in the same order."},
+      {"IMP017",
+       "A matched send/receive pair disagrees on element count or on the "
+       "device subarray extent, so the receiver truncates or overruns.",
+       "rank 0: MPI_Send(a, 100, ...);  rank 1: MPI_Recv(a, 50, ...);",
+       "Make the counts (and mapped extents) agree on both sides."},
+      {"IMP018",
+       "A matched send/receive pair uses incompatible MPI datatypes "
+       "(different sizes), which corrupts the payload.",
+       "rank 0 sends MPI_DOUBLE, rank 1 receives MPI_FLOAT",
+       "Use the same (or same-sized) datatype on both sides."},
+      {"IMP019",
+       "The host reads or writes a buffer while an asynchronous device "
+       "operation that uses the same buffer may still be in flight — a "
+       "host/device data race.",
+       "#pragma acc parallel loop async(1)  // writes a\n"
+       "printf(\"%f\", a[0]);                // IMP019: no wait(1) yet",
+       "Insert `#pragma acc wait(queue)` before the host access."},
+      {"IMP020",
+       "One buffer is touched on two async queues with no ordering edge "
+       "(wait or shared queue) between them; the operations may execute "
+       "in either order.",
+       "#pragma acc parallel loop async(1)  // writes a\n"
+       "#pragma acc update self(a) async(2)  // IMP020",
+       "Serialize the touches on one queue or add `wait(1) async(2)`."},
+      {"IMP021",
+       "A buffer with a pending nonblocking operation is reused (written, "
+       "sent again, or freed) before the completing wait; MPI may still "
+       "be reading or writing it.",
+       "MPI_Isend(a, ..., &rq);\n"
+       "a[0] = 1.0;                          // IMP021: before MPI_Wait",
+       "Complete the request before touching the buffer."},
+      {"IMP022",
+       "A request handle is overwritten by a new nonblocking post while "
+       "the previous operation is still pending, so the old operation can "
+       "never be completed (handle leak).",
+       "MPI_Irecv(a, ..., &rq);\n"
+       "MPI_Irecv(b, ..., &rq);              // IMP022: rq overwritten",
+       "Wait on the request before reusing it, or use a request array."},
+      {"IMP023",
+       "A collective sits under a guard whose value diverges across loop "
+       "iterations per rank (e.g. `if (iter % ranks == rank)`), so ranks "
+       "stop agreeing on the collective sequence after a few iterations.",
+       "for (it = 0; it < n; ++it)\n"
+       "  if (it % size == rank) MPI_Allreduce(...);  // IMP023",
+       "Hoist the collective out of the guard or make the guard "
+       "rank-invariant."},
+      {"IMP024",
+       "A user point-to-point tag lands in the tag window the runtime "
+       "reserves for its hierarchical collectives (>= 1<<24); user and "
+       "runtime traffic can cross-match.",
+       "MPI_Send(a, n, MPI_DOUBLE, 1, 1 << 24, comm);  // IMP024",
+       "Keep user tags below 1<<24."},
+      {"IMP030",
+       "Adjacent blocking send and receive move independent buffers, so "
+       "the second transfer waits for the first although nothing orders "
+       "them. A nonblocking pair overlaps the two payloads; the cost "
+       "model estimates the saving as the smaller transfer time.",
+       "MPI_Send(a, n, MPI_DOUBLE, p, 0, comm);\n"
+       "MPI_Recv(b, n, MPI_DOUBLE, p, 0, comm, &st);   // IMP030",
+       "Rewrite as MPI_Isend + MPI_Irecv + MPI_Waitall."},
+      {"IMP031",
+       "An `update` moves a full array although the adjacent send/receive "
+       "covers only a subarray (e.g. a halo row). The extra bytes cross "
+       "PCIe for nothing; the estimate prices the difference between the "
+       "full and the covering move.",
+       "#pragma acc update self(u[0:n*n])     // IMP031\n"
+       "MPI_Send(u, n, MPI_DOUBLE, p, 0, comm);  // uses only n elements",
+       "Shrink the update to the communicated subarray, e.g. "
+       "`update self(u[0:n])`."},
+      {"IMP032",
+       "The same copyin/copyout (identical buffer, extent, and direction) "
+       "executes on every iteration of a loop although nothing inside the "
+       "loop invalidates the copy. Hoisting it out pays the transfer once "
+       "instead of once per iteration.",
+       "for (it = 0; it < steps; ++it) {\n"
+       "  #pragma acc data copyin(a[0:n])     // IMP032\n"
+       "  { ... }\n"
+       "}",
+       "Hoist the data region (or enter/exit data) out of the loop."},
+      {"IMP033",
+       "Each rank posts point-to-point sends of the same buffer and "
+       "uniform count to every other rank — a hand-rolled allgather/"
+       "alltoall. The runtime's hierarchical collective crosses the "
+       "fabric once per node pair instead of once per rank pair.",
+       "for each peer p != rank:\n"
+       "  MPI_Isend(buf, n, MPI_DOUBLE, p, 0, comm, &rq[p]);  // IMP033",
+       "Replace the exchange loop with MPI_Allgather (or MPI_Alltoall) "
+       "under `#pragma acc mpi`."},
+      {"IMP034",
+       "A collective forced onto the flat per-rank algorithm (`flat` "
+       "clause) carries a payload above the 64 KiB Rabenseifner "
+       "crossover, where the hierarchical node-leader schedule is "
+       "strictly cheaper on the modeled system.",
+       "#pragma acc mpi flat\n"
+       "MPI_Allreduce(a, b, 1<<20, MPI_DOUBLE, MPI_SUM, comm);  // IMP034",
+       "Drop the `flat` clause and let the runtime pick the hierarchical "
+       "schedule."},
+      {"IMP035",
+       "Consecutive sends of pairwise-distinct buffers share one async "
+       "queue, so the device serializes their stagings although only the "
+       "fabric is a shared resource. Distinct queues overlap staging with "
+       "wire time.",
+       "#pragma acc mpi sendbuf(device) async(1)\n"
+       "MPI_Isend(a, ...);\n"
+       "#pragma acc mpi sendbuf(device) async(1)   // IMP035: same queue\n"
+       "MPI_Isend(b, ...);",
+       "Spread independent sends across distinct async queues."},
+      {"IMP036",
+       "An internode device transfer disables the chunk pipeline "
+       "(`chunk(0)`) or forces a chunk size far from the modeled optimum, "
+       "so PCIe staging and fabric time serialize instead of "
+       "pipelining.",
+       "#pragma acc mpi sendbuf(device) chunk(0)   // IMP036\n"
+       "MPI_Send(a, 1<<20, MPI_DOUBLE, p, 0, comm);",
+       "Drop the chunk clause (runtime default 1 MiB) or use the chunk "
+       "size named in the fix-it."},
+      {"IMP037",
+       "An `acc wait` completes an in-flight transfer long before the "
+       "first statement that truly needs the data; the work between the "
+       "wait and the first use could overlap the transfer.",
+       "#pragma acc wait(1)        // IMP037: recv on queue 1 ...\n"
+       "#pragma acc update device(other[0:n])  // ... not needed here\n"
+       "use(recv_buf);",
+       "Move the wait down to just before the first use of the awaited "
+       "data."},
+      {nullptr, nullptr, nullptr, nullptr},
+  };
+  return kDocs;
+}
+
+const RuleDoc* find_rule_doc(const std::string& code) {
+  for (const RuleDoc* d = rule_doc_table(); d->code != nullptr; ++d) {
+    if (code == d->code) return d;
+  }
+  return nullptr;
+}
+
+}  // namespace impacc::trans::analysis

@@ -1,0 +1,11 @@
+/* Clean (IMP034): forcing the flat algorithm is fine below the 64 KiB
+ * crossover — latency dominates there and the flat schedule has fewer
+ * software legs. 1024 doubles = 8 KiB. */
+void small_flat_reduce(double* x, double* y) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+#pragma acc mpi flat
+  MPI_Allreduce(x, y, 1024, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+}

@@ -1,0 +1,22 @@
+/* Clean (IMP037): the unrelated table push happens while the halo
+ * receive is still in flight; the wait sits directly before the first
+ * real use of the data. */
+void late_wait(double* halo, double* table) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  int peer = rank % 2 == 0 ? rank + 1 : rank - 1;
+  if (rank % 2 == 0) {
+#pragma acc data copy(halo[0:65536]) copyin(table[0:1048576])
+    {
+#pragma acc mpi recvbuf(device) async(1)
+      MPI_Irecv(halo, 65536, MPI_DOUBLE, peer, 4, MPI_COMM_WORLD, &rq0);
+#pragma acc update device(table[0:1048576])
+#pragma acc wait(1)
+#pragma acc update self(halo[0:65536])
+    }
+  } else {
+    MPI_Send(halo, 65536, MPI_DOUBLE, peer, 4, MPI_COMM_WORLD);
+  }
+}

@@ -1,0 +1,19 @@
+/* Clean (IMP032): the copied buffer is refreshed by a receive on every
+ * iteration, so the per-iteration copyin is genuinely needed. */
+void stream_updates(double* coef) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  for (int it = 0; it < 4; ++it) {
+    if (rank == 0) {
+      MPI_Recv(coef, 65536, MPI_DOUBLE, 1, 5, MPI_COMM_WORLD, &st);
+#pragma acc data copyin(coef[0:65536])
+      {
+      }
+    }
+    if (rank == 1) {
+      MPI_Send(coef, 65536, MPI_DOUBLE, 0, 5, MPI_COMM_WORLD);
+    }
+  }
+}

@@ -1,0 +1,15 @@
+/* Clean (IMP030): the same pairwise exchange posted nonblocking, so
+ * the two transfers already overlap; the perf rules stay silent. */
+void pairwise_exchange(double* a, double* b) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  int peer = rank % 2 == 0 ? rank + 1 : rank - 1;
+  int tag_out = rank % 2 == 0 ? 7 : 8;
+  int tag_in = rank % 2 == 0 ? 8 : 7;
+  MPI_Isend(a, 1048576, MPI_DOUBLE, peer, tag_out, MPI_COMM_WORLD, &rq0);
+  MPI_Irecv(b, 1048576, MPI_DOUBLE, peer, tag_in, MPI_COMM_WORLD, &rq1);
+  MPI_Wait(&rq0, &st);
+  MPI_Wait(&rq1, &st);
+}

@@ -1,0 +1,18 @@
+/* IMP030: every rank runs a blocking send directly followed by a
+ * blocking receive of an independent buffer (parity-ordered, so there
+ * is no deadlock). The two transfers could overlap; back-to-back
+ * blocking calls serialize them. */
+void pairwise_exchange(double* a, double* b) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  int peer = rank % 2 == 0 ? rank + 1 : rank - 1;
+  if (rank % 2 == 0) {
+    MPI_Send(a, 1048576, MPI_DOUBLE, peer, 7, MPI_COMM_WORLD);
+    MPI_Recv(b, 1048576, MPI_DOUBLE, peer, 8, MPI_COMM_WORLD, &st);
+  } else {
+    MPI_Recv(b, 1048576, MPI_DOUBLE, peer, 7, MPI_COMM_WORLD, &st);
+    MPI_Send(a, 1048576, MPI_DOUBLE, peer, 8, MPI_COMM_WORLD);
+  }
+}

@@ -1,0 +1,19 @@
+/* IMP031: rank 0 copies the whole 4096-element array back to the host
+ * although the send right after it covers only the first 64 elements
+ * (a boundary row); the other 4032 elements cross PCIe for nothing. */
+void boundary_send(double* u) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+#pragma acc data copy(u[0:4096])
+  {
+    if (rank == 0) {
+#pragma acc update self(u[0:4096])
+      MPI_Send(u, 64, MPI_DOUBLE, 1, 9, MPI_COMM_WORLD);
+    }
+    if (rank == 1) {
+      MPI_Recv(u, 64, MPI_DOUBLE, 0, 9, MPI_COMM_WORLD, &st);
+    }
+  }
+}

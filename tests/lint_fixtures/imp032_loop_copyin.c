@@ -1,0 +1,21 @@
+/* IMP032: the coefficient table crosses PCIe on every iteration of the
+ * time loop although nothing in the loop ever modifies it; the copyin
+ * is loop-invariant and hoistable. */
+void resend_coefficients(double* coef) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  for (int it = 0; it < 4; ++it) {
+    if (rank == 0) {
+#pragma acc data copyin(coef[0:65536])
+      {
+#pragma acc mpi sendbuf(device)
+        MPI_Send(coef, 65536, MPI_DOUBLE, 1, 5, MPI_COMM_WORLD);
+      }
+    }
+    if (rank == 1) {
+      MPI_Recv(coef, 65536, MPI_DOUBLE, 0, 5, MPI_COMM_WORLD, &st);
+    }
+  }
+}

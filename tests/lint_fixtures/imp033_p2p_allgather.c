@@ -1,0 +1,25 @@
+/* IMP033: every rank sends its block to every other rank with one
+ * count and datatype — a hand-rolled allgather. Peers are ring offsets
+ * so the pattern is symmetric at any size; with 4 ranks each rank
+ * reaches all 3 others. */
+void gather_by_hand(double* mine, double* in1, double* in2, double* in3) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  int p1 = (rank + 1) % size;
+  int p2 = (rank + 2) % size;
+  int p3 = (rank + 3) % size;
+  MPI_Isend(mine, 32768, MPI_DOUBLE, p1, 3, MPI_COMM_WORLD, &rq0);
+  MPI_Isend(mine, 32768, MPI_DOUBLE, p2, 3, MPI_COMM_WORLD, &rq1);
+  MPI_Isend(mine, 32768, MPI_DOUBLE, p3, 3, MPI_COMM_WORLD, &rq2);
+  MPI_Irecv(in1, 32768, MPI_DOUBLE, p1, 3, MPI_COMM_WORLD, &rq3);
+  MPI_Irecv(in2, 32768, MPI_DOUBLE, p2, 3, MPI_COMM_WORLD, &rq4);
+  MPI_Irecv(in3, 32768, MPI_DOUBLE, p3, 3, MPI_COMM_WORLD, &rq5);
+  MPI_Wait(&rq0, &st);
+  MPI_Wait(&rq1, &st);
+  MPI_Wait(&rq2, &st);
+  MPI_Wait(&rq3, &st);
+  MPI_Wait(&rq4, &st);
+  MPI_Wait(&rq5, &st);
+}

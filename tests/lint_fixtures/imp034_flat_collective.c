@@ -1,0 +1,11 @@
+/* IMP034: the user forces the flat single-level allreduce on an 8 MiB
+ * payload — far above the 64 KiB Rabenseifner crossover, where the
+ * hierarchical reduce-scatter schedule is strictly cheaper. */
+void big_flat_reduce(double* x, double* y) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+#pragma acc mpi flat
+  MPI_Allreduce(x, y, 1048576, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+}

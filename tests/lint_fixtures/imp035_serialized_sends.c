@@ -1,0 +1,23 @@
+/* IMP035: two independent device sends share async queue 1, so their
+ * PCIe stagings run back-to-back although only the fabric is a shared
+ * resource; distinct queues would overlap them. */
+void two_sends_one_queue(double* a, double* b) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  int peer = rank % 2 == 0 ? rank + 1 : rank - 1;
+  if (rank % 2 == 0) {
+#pragma acc data copyin(a[0:262144]) copyin(b[0:262144])
+    {
+#pragma acc mpi sendbuf(device) async(1)
+      MPI_Isend(a, 262144, MPI_DOUBLE, peer, 1, MPI_COMM_WORLD, &rq0);
+#pragma acc mpi sendbuf(device) async(1)
+      MPI_Isend(b, 262144, MPI_DOUBLE, peer, 2, MPI_COMM_WORLD, &rq1);
+#pragma acc wait(1)
+    }
+  } else {
+    MPI_Recv(a, 262144, MPI_DOUBLE, peer, 1, MPI_COMM_WORLD, &st);
+    MPI_Recv(b, 262144, MPI_DOUBLE, peer, 2, MPI_COMM_WORLD, &st);
+  }
+}

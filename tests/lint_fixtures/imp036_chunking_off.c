@@ -1,0 +1,19 @@
+/* IMP036: an 8 MiB internode device send with chunk(0) — the chunk
+ * pipeline is disabled, so the PCIe staging copy and the fabric
+ * transfer serialize instead of overlapping chunk by chunk. */
+void monolithic_send(double* big) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  int peer = rank % 2 == 0 ? rank + 1 : rank - 1;
+  if (rank % 2 == 0) {
+#pragma acc data copyin(big[0:1048576])
+    {
+#pragma acc mpi sendbuf(device) chunk(0)
+      MPI_Send(big, 1048576, MPI_DOUBLE, peer, 9, MPI_COMM_WORLD);
+    }
+  } else {
+    MPI_Recv(big, 1048576, MPI_DOUBLE, peer, 9, MPI_COMM_WORLD, &st);
+  }
+}

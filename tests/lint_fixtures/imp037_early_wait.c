@@ -1,0 +1,23 @@
+/* IMP037: the wait completes the in-flight halo receive, then the rank
+ * pushes an unrelated 8 MiB table to the device before first touching
+ * the received data — that push could overlap the transfer if the wait
+ * moved down. */
+void early_wait(double* halo, double* table) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  int peer = rank % 2 == 0 ? rank + 1 : rank - 1;
+  if (rank % 2 == 0) {
+#pragma acc data copy(halo[0:65536]) copyin(table[0:1048576])
+    {
+#pragma acc mpi recvbuf(device) async(1)
+      MPI_Irecv(halo, 65536, MPI_DOUBLE, peer, 4, MPI_COMM_WORLD, &rq0);
+#pragma acc wait(1)
+#pragma acc update device(table[0:1048576])
+#pragma acc update self(halo[0:65536])
+    }
+  } else {
+    MPI_Send(halo, 65536, MPI_DOUBLE, peer, 4, MPI_COMM_WORLD);
+  }
+}

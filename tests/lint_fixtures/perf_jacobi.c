@@ -1,0 +1,35 @@
+/* Static-model mirror of the Fig. 14 Jacobi configuration (one PSG
+ * node, 8 devices, n = 2048, 3 sweeps): every rank owns a 256-row
+ * block with halo rows, exchanges boundary rows with its neighbours
+ * straight from device memory on the unified queue, and runs the sweep
+ * on the same queue. Lint with --ranks 8 --perf-system psg
+ * --perf-tpn 8; the predicted makespan is compared against the
+ * measured critical path of the real run. */
+void jacobi(double* u, double* unew, double* local, double* total) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  int up = rank > 0 ? rank - 1 : MPI_PROC_NULL;
+  int down = rank < size - 1 ? rank + 1 : MPI_PROC_NULL;
+#pragma acc enter data copyin(u[0:528384]) copyin(unew[0:528384])
+  for (int it = 0; it < 3; ++it) {
+#pragma acc mpi recvbuf(device) async(1)
+    MPI_Irecv(u, 2048, MPI_DOUBLE, up, 22, MPI_COMM_WORLD, &rq0);
+#pragma acc mpi sendbuf(device) async(1)
+    MPI_Isend(u, 2048, MPI_DOUBLE, up, 21, MPI_COMM_WORLD, &rq1);
+#pragma acc mpi recvbuf(device) async(1)
+    MPI_Irecv(u, 2048, MPI_DOUBLE, down, 21, MPI_COMM_WORLD, &rq2);
+#pragma acc mpi sendbuf(device) async(1)
+    MPI_Isend(u, 2048, MPI_DOUBLE, down, 22, MPI_COMM_WORLD, &rq3);
+#pragma acc parallel loop present(u[0:528384], unew[0:528384]) async(1)
+    for (int i = 1; i <= 256; ++i) {
+      unew[i] = 0.25 * u[i];
+    }
+#pragma acc wait(1)
+  }
+#pragma acc update self(u[0:524288])
+#pragma acc exit data delete(u[0:528384]) delete(unew[0:528384])
+  MPI_Reduce(local, total, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);
+  MPI_Barrier(MPI_COMM_WORLD);
+}

@@ -1,0 +1,25 @@
+/* Static-model mirror of the impacc-smoke workload (2 Titan nodes,
+ * GPUDirect off): rank 0 pushes 8 x 8 MiB messages to rank 1 straight
+ * from device memory, each staged DtoH -> wire -> HtoD through the
+ * chunk pipeline. Lint with --ranks 2 --unroll 8 --perf-system titan
+ * --perf-tpn 1; the predicted makespan is compared against the
+ * measured critical path of the real run. */
+void staged_p2p(char* buf) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+#pragma acc data copy(buf[0:8388608])
+  {
+    for (int m = 0; m < 8; ++m) {
+      if (rank == 0) {
+#pragma acc mpi sendbuf(device)
+        MPI_Send(buf, 8388608, MPI_BYTE, 1, m, MPI_COMM_WORLD);
+      }
+      if (rank == 1) {
+#pragma acc mpi recvbuf(device)
+        MPI_Recv(buf, 8388608, MPI_BYTE, 0, m, MPI_COMM_WORLD, &st);
+      }
+    }
+  }
+}

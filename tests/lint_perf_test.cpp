@@ -1,0 +1,305 @@
+// Tests for the cost-model-backed performance lint (--perf): the static
+// critical-path prediction (closed-form two-rank check, JSON/SARIF
+// shape), the IMP030-IMP037 golden fixtures (each rule fires on its
+// seeded-regression fixture and stays silent on the clean twin), the
+// finding dedup, and the static-vs-measured comparison on the staged
+// p2p and Fig. 14 Jacobi workloads (within the documented factor, see
+// docs/LINT.md "Performance rules").
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/jacobi.h"
+#include "core/runtime.h"
+#include "impacc.h"
+#include "trans/analysis/diagnostics.h"
+#include "trans/analysis/lint.h"
+#include "trans/analysis/perfmodel.h"
+
+namespace impacc::trans::analysis {
+namespace {
+
+/// Documented error budget of the static prediction (docs/LINT.md).
+constexpr double kComparisonFactor = 3.0;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string fixture(const std::string& name) {
+  return read_file(std::string(LINT_FIXTURE_DIR) + "/" + name);
+}
+
+LintOptions perf_opts(const std::string& system, int tpn, int ranks = 4,
+                      int unroll = 4) {
+  LintOptions o;
+  o.perf = true;
+  o.perf_system = system;
+  o.perf_tasks_per_node = tpn;
+  o.ranks = ranks;
+  o.unroll = unroll;
+  return o;
+}
+
+int count_code(const LintResult& r, const std::string& code) {
+  int n = 0;
+  for (const auto& d : r.diagnostics) {
+    if (d.code == code) ++n;
+  }
+  return n;
+}
+
+// --- closed-form prediction -------------------------------------------------
+
+// Two ranks on separate PSG nodes, one host-to-host 8 KiB message. The
+// replay charges exactly one MPI call overhead (both ranks post at the
+// same clock) plus the monolithic p2p transfer price, so the makespan
+// is closed-form in the cost model.
+TEST(PerfModel, TwoRankPingPongIsClosedForm) {
+  const std::string src = R"(
+void pingpong(double* a) {
+  int rank = 0;
+  int size = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  if (rank == 0) {
+    MPI_Send(a, 1024, MPI_DOUBLE, 1, 3, MPI_COMM_WORLD);
+  }
+  if (rank == 1) {
+    MPI_Recv(a, 1024, MPI_DOUBLE, 0, 3, MPI_COMM_WORLD, &st);
+  }
+}
+)";
+  const LintResult r = lint_source(src, perf_opts("psg", 1, /*ranks=*/2));
+  ASSERT_TRUE(r.perf.ran);
+  EXPECT_TRUE(r.perf.exact);
+  EXPECT_EQ(r.perf.ranks, 2);
+  EXPECT_EQ(r.perf.system, "psg");
+
+  const PerfParams p = make_perf_params("psg", 1);
+  const double expected =
+      p.costs.mpi_call_overhead +
+      p2p_transfer_seconds(p, 1024 * 8, /*src=*/0, /*dst=*/1,
+                           /*dev_send=*/false, /*dev_recv=*/false,
+                           p.chunk_bytes);
+  EXPECT_NEAR(r.perf.makespan, expected, 1e-15 + 1e-12 * expected);
+}
+
+TEST(PerfModel, RanFalseWhenPerfOff) {
+  const LintResult r = lint_source(fixture("imp030_blocking_pair.c"));
+  EXPECT_FALSE(r.perf.ran);
+  EXPECT_EQ(count_code(r, "IMP030"), 0);
+}
+
+// --- golden fixtures --------------------------------------------------------
+
+struct PerfGoldenCase {
+  const char* file;
+  const char* code;   // nullptr = clean fixture, expects zero findings
+  const char* system;
+  int tpn;
+};
+
+class PerfGolden : public ::testing::TestWithParam<PerfGoldenCase> {};
+
+TEST_P(PerfGolden, FiringFixtureProducesItsCodeCleanStaysSilent) {
+  const PerfGoldenCase& c = GetParam();
+  const LintResult r =
+      lint_source(fixture(c.file), perf_opts(c.system, c.tpn));
+  ASSERT_TRUE(r.perf.ran) << c.file;
+  EXPECT_GT(r.perf.makespan, 0.0) << c.file;
+  if (c.code == nullptr) {
+    EXPECT_TRUE(r.diagnostics.empty())
+        << c.file << " produced " << r.diagnostics.size() << " finding(s)";
+    return;
+  }
+  ASSERT_GT(count_code(r, c.code), 0)
+      << c.file << " did not produce " << c.code;
+  for (const auto& d : r.diagnostics) {
+    EXPECT_EQ(d.code, c.code) << c.file << " also produced " << d.code;
+    EXPECT_EQ(d.severity, Severity::kWarning) << c.file;
+    EXPECT_GT(d.seconds_saved, 0.0) << c.file;
+    EXPECT_GT(d.line, 0) << c.file;
+    EXPECT_FALSE(d.message.empty()) << c.file;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPerfRules, PerfGolden,
+    ::testing::Values(
+        PerfGoldenCase{"imp030_blocking_pair.c", "IMP030", "psg", 0},
+        PerfGoldenCase{"clean_perf_overlap.c", nullptr, "psg", 0},
+        PerfGoldenCase{"imp031_full_update.c", "IMP031", "psg", 0},
+        PerfGoldenCase{"clean_update_subarray.c", nullptr, "psg", 0},
+        PerfGoldenCase{"imp032_loop_copyin.c", "IMP032", "psg", 0},
+        PerfGoldenCase{"clean_loop_copyin_needed.c", nullptr, "psg", 0},
+        PerfGoldenCase{"imp033_p2p_allgather.c", "IMP033", "psg", 2},
+        PerfGoldenCase{"clean_neighbor_ring.c", nullptr, "psg", 2},
+        PerfGoldenCase{"imp034_flat_collective.c", "IMP034", "titan", 1},
+        PerfGoldenCase{"clean_flat_small.c", nullptr, "titan", 1},
+        PerfGoldenCase{"imp035_serialized_sends.c", "IMP035", "psg", 0},
+        PerfGoldenCase{"clean_two_queues.c", nullptr, "psg", 0},
+        PerfGoldenCase{"imp036_chunking_off.c", "IMP036", "titan", 1},
+        PerfGoldenCase{"clean_chunked.c", nullptr, "titan", 1},
+        PerfGoldenCase{"imp037_early_wait.c", "IMP037", "psg", 0},
+        PerfGoldenCase{"clean_late_wait.c", nullptr, "psg", 0}));
+
+// --- dedup ------------------------------------------------------------------
+
+TEST(PerfDedup, IdenticalRankFindingsCollapseWithOccurrenceCount) {
+  // Both even ranks produce the same IMP030 pair at the same site; the
+  // report carries one finding per site with occurrences == 2.
+  const LintResult r =
+      lint_source(fixture("imp030_blocking_pair.c"), perf_opts("psg", 0));
+  ASSERT_GT(count_code(r, "IMP030"), 0);
+  for (const auto& d : r.diagnostics) {
+    EXPECT_EQ(d.occurrences, 2) << "line " << d.line;
+  }
+  // No two surviving findings are identical.
+  for (std::size_t i = 0; i + 1 < r.diagnostics.size(); ++i) {
+    const auto& a = r.diagnostics[i];
+    const auto& b = r.diagnostics[i + 1];
+    EXPECT_FALSE(a.code == b.code && a.line == b.line &&
+                 a.column == b.column && a.message == b.message)
+        << "duplicate finding survived dedup at line " << a.line;
+  }
+}
+
+// --- JSON / SARIF shape -----------------------------------------------------
+
+FileDiagnostics lint_file_diags(const char* file, const LintOptions& o) {
+  const LintResult r = lint_source(fixture(file), o);
+  FileDiagnostics fd;
+  fd.file = file;
+  fd.diagnostics = r.diagnostics;
+  fd.has_perf = r.perf.ran;
+  fd.predicted_makespan = r.perf.makespan;
+  fd.perf_exact = r.perf.exact;
+  fd.perf_system = r.perf.system;
+  fd.perf_ranks = r.perf.ranks;
+  return fd;
+}
+
+TEST(PerfReport, JsonCarriesMakespanAndSavings) {
+  const FileDiagnostics fd =
+      lint_file_diags("imp034_flat_collective.c", perf_opts("titan", 1));
+  ASSERT_TRUE(fd.has_perf);
+  const std::string json = to_json({fd});
+  EXPECT_NE(json.find("\"predicted_makespan\""), std::string::npos);
+  EXPECT_NE(json.find("\"seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"model\": \"titan\""), std::string::npos);
+  EXPECT_NE(json.find("\"estimated_seconds_saved\""), std::string::npos);
+}
+
+TEST(PerfReport, SarifCarriesPropertiesBags) {
+  const FileDiagnostics fd =
+      lint_file_diags("imp034_flat_collective.c", perf_opts("titan", 1));
+  ASSERT_TRUE(fd.has_perf);
+  ASSERT_FALSE(fd.diagnostics.empty());
+  const std::string sarif = to_sarif({fd});
+  // Per-result property bag with the estimated saving, and the run-level
+  // predictedMakespan summary.
+  EXPECT_NE(sarif.find("\"estimatedSecondsSaved\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"predictedMakespan\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"properties\""), std::string::npos);
+  // The rule id is present as a SARIF rule.
+  EXPECT_NE(sarif.find("\"IMP034\""), std::string::npos);
+}
+
+TEST(PerfReport, NoPerfOutputIsUnchangedShape) {
+  // Without --perf the emitters must not mention any perf key at all —
+  // the byte-identity guarantee for flag-off runs.
+  LintOptions o;
+  const LintResult r = lint_source(fixture("imp001_double_copyin.c"), o);
+  FileDiagnostics fd;
+  fd.file = "imp001_double_copyin.c";
+  fd.diagnostics = r.diagnostics;
+  const std::string json = to_json({fd});
+  EXPECT_EQ(json.find("predicted_makespan"), std::string::npos);
+  EXPECT_EQ(json.find("estimated_seconds_saved"), std::string::npos);
+  const std::string sarif = to_sarif({fd});
+  EXPECT_EQ(sarif.find("predictedMakespan"), std::string::npos);
+  EXPECT_EQ(sarif.find("estimatedSecondsSaved"), std::string::npos);
+}
+
+// --- static vs measured -----------------------------------------------------
+
+double comparison_ratio(double predicted, double measured) {
+  EXPECT_GT(predicted, 0.0);
+  EXPECT_GT(measured, 0.0);
+  return std::max(predicted / measured, measured / predicted);
+}
+
+/// The impacc-smoke workload: 8 x 8 MiB staged device-to-device
+/// messages across two Titan nodes with GPUDirect off — the same
+/// program tests/lint_fixtures/perf_staged_p2p.c spells in source form.
+TEST(PerfCompare, StagedP2PWithinDocumentedFactor) {
+  core::LaunchOptions o;
+  o.cluster = sim::make_system("titan", 2);
+  o.mode = core::ExecMode::kModelOnly;
+  o.scheduler_workers = 1;
+  o.features.gpudirect_rdma = false;
+  const LaunchResult measured = launch(o, [] {
+    auto w = mpi::world();
+    const int r = mpi::comm_rank(w);
+    constexpr std::uint64_t kBytes = 8u << 20;
+    auto* buf = static_cast<char*>(node_malloc(kBytes));
+    acc::copyin(buf, kBytes);
+    for (int m = 0; m < 8; ++m) {
+      if (r == 0) {
+        acc::mpi({.send_device = true});
+        mpi::send(buf, kBytes, mpi::Datatype::kByte, 1, m, w);
+      } else if (r == 1) {
+        acc::mpi({.recv_device = true});
+        mpi::recv(buf, kBytes, mpi::Datatype::kByte, 0, m, w);
+      }
+    }
+    acc::del(buf);
+    node_free(buf);
+  });
+
+  const LintResult r = lint_source(
+      fixture("perf_staged_p2p.c"),
+      perf_opts("titan", 1, /*ranks=*/2, /*unroll=*/8));
+  ASSERT_TRUE(r.perf.ran);
+  EXPECT_TRUE(r.perf.exact);
+  EXPECT_LE(comparison_ratio(r.perf.makespan, measured.makespan),
+            kComparisonFactor)
+      << "predicted " << r.perf.makespan << " s vs measured "
+      << measured.makespan << " s";
+}
+
+/// The Fig. 14 configuration: 8-device Jacobi on one PSG node, n = 2048,
+/// 3 sweeps — mirrored by tests/lint_fixtures/perf_jacobi.c.
+TEST(PerfCompare, Fig14JacobiWithinDocumentedFactor) {
+  core::LaunchOptions o;
+  o.cluster = sim::make_system("psg", 1);
+  o.mode = core::ExecMode::kModelOnly;
+  o.scheduler_workers = 1;
+  apps::JacobiConfig cfg;
+  cfg.n = 2048;
+  cfg.iterations = 3;
+  const apps::JacobiResult measured = apps::run_jacobi(o, cfg);
+
+  const LintResult r = lint_source(
+      fixture("perf_jacobi.c"),
+      perf_opts("psg", 8, /*ranks=*/8));
+  ASSERT_TRUE(r.perf.ran);
+  EXPECT_LE(
+      comparison_ratio(r.perf.makespan, measured.launch.makespan),
+      kComparisonFactor)
+      << "predicted " << r.perf.makespan << " s vs measured "
+      << measured.launch.makespan << " s";
+}
+
+}  // namespace
+}  // namespace impacc::trans::analysis

@@ -1125,8 +1125,19 @@ TEST(LintReport, RuleCatalogIsWellFormed) {
     EXPECT_GT(std::string(r->summary).size(), 10u) << r->code;
     EXPECT_EQ(find_rule(r->code), r);
   }
-  EXPECT_EQ(n, 24);
+  EXPECT_EQ(n, 32);  // IMP001..IMP024 correctness + IMP030..IMP037 perf
   EXPECT_EQ(find_rule("IMP999"), nullptr);
+  // Every cataloged rule has an --explain doc entry, and vice versa.
+  int docs = 0;
+  for (const RuleDoc* d = rule_doc_table(); d->code != nullptr; ++d, ++docs) {
+    EXPECT_NE(find_rule(d->code), nullptr) << d->code;
+    EXPECT_GT(std::string(d->doc).size(), 20u) << d->code;
+    EXPECT_NE(d->example, nullptr) << d->code;
+    EXPECT_NE(d->fix, nullptr) << d->code;
+  }
+  EXPECT_EQ(docs, 32);
+  EXPECT_EQ(find_rule_doc("IMP001"), rule_doc_table());
+  EXPECT_EQ(find_rule_doc("IMP999"), nullptr);
 }
 
 TEST(LintReport, RenderTextCarriesPositionCodeAndFixit) {

@@ -53,6 +53,7 @@ for f in tests/lint_fixtures/imp0*.c; do
   case "$(basename "$f")" in
     imp012*) want=3 ;;
     imp006*|imp007*|imp009*|imp011*|imp020*|imp022*|imp024*) want=1 ;;
+    imp03*) want=0 ;;  # perf fixtures only fire under --perf (checked below)
     *) want=2 ;;
   esac
   if [[ "$rc" -ne "$want" ]]; then
@@ -83,7 +84,58 @@ rc=0
   tests/lint_fixtures/imp021_buffer_reuse_loop.c >/dev/null 2>&1 || rc=$?
 [[ "$rc" -eq 2 ]] || { echo "new finding should survive the baseline (exit 2), got $rc"; exit 1; }
 
-# --- 2b. clang-tidy (when available) -----------------------------------------
+# --- 2b. perf lint (--perf): prediction + IMP030-IMP037 ----------------------
+step "impacc-lint --perf predicts a makespan for every example"
+for f in examples/*.c; do
+  out="$("$lint" --perf --ranks 4 "$f")" \
+    || { echo "perf lint FAILED: $f"; exit 1; }
+  grep -q "predicted makespan" <<<"$out" \
+    || { echo "no predicted makespan for $f"; exit 1; }
+done
+
+step "impacc-lint --perf golden fixtures (fire seeded, silent on clean)"
+perf_case() {  # file expected-exit extra-flags...
+  local f="$1" want="$2"; shift 2
+  local rc=0
+  "$lint" -q --perf "$@" "tests/lint_fixtures/$f" >/dev/null 2>&1 || rc=$?
+  [[ "$rc" -eq "$want" ]] \
+    || { echo "perf fixture $f: exit $rc, expected $want"; exit 1; }
+}
+perf_case imp030_blocking_pair.c 1
+perf_case imp031_full_update.c 1
+perf_case imp032_loop_copyin.c 1
+perf_case imp033_p2p_allgather.c 1 --perf-tpn 2
+perf_case imp034_flat_collective.c 1 --perf-system titan --perf-tpn 1
+perf_case imp035_serialized_sends.c 1
+perf_case imp036_chunking_off.c 1 --perf-system titan --perf-tpn 1
+perf_case imp037_early_wait.c 1
+perf_case clean_perf_overlap.c 0
+perf_case clean_update_subarray.c 0
+perf_case clean_loop_copyin_needed.c 0
+perf_case clean_neighbor_ring.c 0 --perf-tpn 2
+perf_case clean_flat_small.c 0 --perf-system titan --perf-tpn 1
+perf_case clean_two_queues.c 0
+perf_case clean_chunked.c 0 --perf-system titan --perf-tpn 1
+perf_case clean_late_wait.c 0
+
+step "impacc-lint --perf baseline round-trip"
+pbase="build-check/lint_perf_baseline.txt"
+mkdir -p build-check
+"$lint" -q --perf --write-baseline "$pbase" \
+  tests/lint_fixtures/imp030_blocking_pair.c >/dev/null 2>&1 || true
+rc=0
+"$lint" -q --perf --baseline "$pbase" \
+  tests/lint_fixtures/imp030_blocking_pair.c >/dev/null 2>&1 || rc=$?
+[[ "$rc" -eq 0 ]] || { echo "baselined --perf run should exit 0, got $rc"; exit 1; }
+
+step "impacc-lint --no-perf output is byte-identical to flag-off"
+"$lint" examples/ring_acc_source.c > build-check/lint_plain.out 2>&1 || true
+"$lint" --no-perf examples/ring_acc_source.c \
+  > build-check/lint_noperf.out 2>&1 || true
+cmp build-check/lint_plain.out build-check/lint_noperf.out \
+  || { echo "--no-perf output differs from flag-off output"; exit 1; }
+
+# --- 2c. clang-tidy (when available) -----------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
   step "clang-tidy (bugprone / concurrency / performance)"
   cmake -B build-check/werror -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
@@ -108,6 +160,24 @@ python3 -m json.tool build-check/obs/smoke_metrics.json >/dev/null
 
 step "impacc-prof over the smoke graph (reconciliation gate)"
 build-check/werror/tools/impacc-prof build-check/obs/smoke_graph.cpg --top 5
+
+step "impacc-prof --compare (static prediction vs measured critical path)"
+# perf_staged_p2p.c is the smoke workload in source form; the static
+# prediction must land within the documented factor (docs/LINT.md) of
+# the measured makespan recorded in the smoke graph.
+"$lint" --perf --ranks 2 --unroll 8 --perf-system titan --perf-tpn 1 \
+  --format json tests/lint_fixtures/perf_staged_p2p.c \
+  > build-check/obs/staged_p2p_perf.json || true
+build-check/werror/tools/impacc-prof build-check/obs/smoke_graph.cpg \
+  --compare build-check/obs/staged_p2p_perf.json
+# Same gate on the Fig. 14 Jacobi configuration.
+build-check/werror/tools/impacc-smoke --jacobi \
+  --graph build-check/obs/jacobi_graph.cpg >/dev/null
+"$lint" --perf --ranks 8 --perf-system psg --perf-tpn 8 --format json \
+  tests/lint_fixtures/perf_jacobi.c \
+  > build-check/obs/jacobi_perf.json || true
+build-check/werror/tools/impacc-prof build-check/obs/jacobi_graph.cpg \
+  --compare build-check/obs/jacobi_perf.json
 
 step "metrics_diff vs committed baseline"
 tools/metrics_diff.sh BENCH_metrics.json build-check/obs/smoke_metrics.json

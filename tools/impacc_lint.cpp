@@ -15,6 +15,15 @@
 //                                new findings are reported and counted
 //     --write-baseline FILE      record current findings as file:line:
 //                                rule keys into FILE and exit 0
+//     --perf                     run the cost-model perf pass: predicted
+//                                makespan + rules IMP030-IMP037
+//     --no-perf                  disable the perf pass (the default)
+//     --perf-system NAME         system preset pricing the perf pass:
+//                                psg (default), beacon, titan
+//     --perf-tpn N               ranks per node for the perf pass
+//                                (default 0 = the preset's device count)
+//     --explain IMPnnn           print the documentation of one rule
+//                                and exit
 //     -q, --quiet                suppress the summary line
 //
 // Exit status (most severe wins):
@@ -42,7 +51,11 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--format text|json|sarif] [--json] [--sarif] "
                "[--werror] [--ranks N] [--unroll K] [--baseline FILE] "
-               "[--write-baseline FILE] [-q] [file...]\n",
+               "[--write-baseline FILE] [--perf] [--no-perf] "
+               "[--perf-system psg|beacon|titan] [--perf-tpn N] "
+               "[--explain IMPnnn] [-q] [file...]\n"
+               "  rule ids: IMP001..IMP024 (correctness), "
+               "IMP030..IMP037 (performance)\n",
                argv0);
   return 3;
 }
@@ -97,6 +110,7 @@ int main(int argc, char** argv) {
   bool quiet = false;
   std::string baseline_path;
   std::string write_baseline_path;
+  std::string explain_code;
   std::vector<std::string> inputs;
 
   for (int i = 1; i < argc; ++i) {
@@ -126,6 +140,30 @@ int main(int argc, char** argv) {
     } else if (arg == "--write-baseline") {
       if (i + 1 >= argc) return usage(argv[0]);
       write_baseline_path = argv[++i];
+    } else if (arg == "--perf") {
+      options.perf = true;
+    } else if (arg == "--no-perf") {
+      options.perf = false;
+    } else if (arg == "--perf-system") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      options.perf_system = argv[++i];
+      if (options.perf_system != "psg" && options.perf_system != "beacon" &&
+          options.perf_system != "titan") {
+        std::fprintf(stderr,
+                     "impacc-lint: unknown system '%s' for --perf-system: "
+                     "expected psg, beacon, or titan\n",
+                     options.perf_system.c_str());
+        return 2;
+      }
+    } else if (arg == "--perf-tpn") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      if (!parse_bounded("--perf-tpn", argv[++i], 0, 1024,
+                         &options.perf_tasks_per_node)) {
+        return 2;
+      }
+    } else if (arg == "--explain") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      explain_code = argv[++i];
     } else if (arg == "-q" || arg == "--quiet") {
       quiet = true;
     } else if (arg == "-h" || arg == "--help") {
@@ -136,6 +174,22 @@ int main(int argc, char** argv) {
     } else {
       inputs.push_back(arg);
     }
+  }
+  if (!explain_code.empty()) {
+    const RuleInfo* info = find_rule(explain_code);
+    const RuleDoc* doc = find_rule_doc(explain_code);
+    if (info == nullptr || doc == nullptr) {
+      std::fprintf(stderr,
+                   "impacc-lint: unknown rule '%s' for --explain: valid "
+                   "rule ids are IMP001..IMP024 (correctness) and "
+                   "IMP030..IMP037 (performance)\n",
+                   explain_code.c_str());
+      return 2;
+    }
+    std::printf("%s (%s): %s\n\n%s\n\nexample:\n%s\n\nfix: %s\n",
+                info->code, severity_name(info->default_severity),
+                info->summary, doc->doc, doc->example, doc->fix);
+    return 0;
   }
   if (format != "text" && format != "json" && format != "sarif") {
     std::fprintf(stderr, "unknown format '%s'\n", format.c_str());
@@ -157,8 +211,17 @@ int main(int argc, char** argv) {
       return 3;
     }
     const LintResult result = lint_source(source, options);
-    files.push_back(
-        {path.empty() ? "<stdin>" : path, result.diagnostics});
+    FileDiagnostics fd;
+    fd.file = path.empty() ? "<stdin>" : path;
+    fd.diagnostics = result.diagnostics;
+    if (result.perf.ran) {
+      fd.has_perf = true;
+      fd.predicted_makespan = result.perf.makespan;
+      fd.perf_exact = result.perf.exact;
+      fd.perf_system = result.perf.system;
+      fd.perf_ranks = result.perf.ranks;
+    }
+    files.push_back(std::move(fd));
   }
 
   // Snapshot mode: record every finding as a stable file:line:rule key.
@@ -245,6 +308,12 @@ int main(int argc, char** argv) {
     for (const auto& f : files) {
       for (const auto& d : f.diagnostics) {
         std::printf("%s\n", render_text(d, f.file).c_str());
+      }
+      if (f.has_perf) {
+        std::printf("%s: predicted makespan %.6g s (%s, %d ranks, %s)\n",
+                    f.file.c_str(), f.predicted_makespan,
+                    f.perf_system.c_str(), f.perf_ranks,
+                    f.perf_exact ? "exact model" : "approximate model");
       }
     }
     if (!quiet) {

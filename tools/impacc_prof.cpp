@@ -11,32 +11,76 @@
 //
 // exiting nonzero when it does not hold, so CI can gate on it.
 //
-//   impacc-prof GRAPH [--top N]
+//   impacc-prof GRAPH [--top N] [--compare LINT_JSON [--factor F]]
+//
+// --compare closes the loop with the static perf pass: it reads the
+// `predicted_makespan` block from an `impacc-lint --perf --json` report
+// and checks that the static prediction and the measured makespan agree
+// within a factor F (default 3; see docs/LINT.md "Performance rules"
+// for why 3x bounds the model's known error sources). Exit 1 when they
+// diverge by more, so CI catches a cost model drifting from the runtime.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "obs/critpath.h"
+
+namespace {
+
+/// Pull the first `"predicted_makespan": {... "seconds": S ...}` out of
+/// an impacc-lint --perf --json report. Returns false when the report
+/// has no perf block.
+bool read_predicted_makespan(const std::string& path, double* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  const std::size_t block = text.find("\"predicted_makespan\"");
+  if (block == std::string::npos) return false;
+  const std::size_t key = text.find("\"seconds\":", block);
+  if (key == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + key + 10, nullptr);
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using impacc::obs::CritPath;
 
   std::string graph_path;
+  std::string compare_path;
+  double factor = 3.0;
   int top_n = 10;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
       top_n = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--compare") == 0 && i + 1 < argc) {
+      compare_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--factor") == 0 && i + 1 < argc) {
+      factor = std::atof(argv[++i]);
+      if (!(factor >= 1.0)) {
+        std::fprintf(stderr, "impacc-prof: --factor must be >= 1\n");
+        return 2;
+      }
     } else if (argv[i][0] != '-' && graph_path.empty()) {
       graph_path = argv[i];
     } else {
-      std::fprintf(stderr, "usage: impacc-prof GRAPH [--top N]\n");
+      std::fprintf(stderr,
+                   "usage: impacc-prof GRAPH [--top N] "
+                   "[--compare LINT_JSON [--factor F]]\n");
       return 2;
     }
   }
   if (graph_path.empty()) {
-    std::fprintf(stderr, "usage: impacc-prof GRAPH [--top N]\n");
+    std::fprintf(stderr,
+                 "usage: impacc-prof GRAPH [--top N] "
+                 "[--compare LINT_JSON [--factor F]]\n");
     return 2;
   }
 
@@ -63,5 +107,36 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("reconciliation: sum(critpath.*.seconds) == makespan  ok\n");
+
+  if (!compare_path.empty()) {
+    double predicted = 0.0;
+    if (!read_predicted_makespan(compare_path, &predicted)) {
+      std::fprintf(stderr,
+                   "impacc-prof: no predicted_makespan block in %s "
+                   "(run impacc-lint --perf --json)\n",
+                   compare_path.c_str());
+      return 2;
+    }
+    if (predicted <= 0.0 || makespan <= 0.0) {
+      std::fprintf(stderr,
+                   "impacc-prof: cannot compare nonpositive makespans "
+                   "(predicted %.17g, measured %.17g)\n",
+                   predicted, static_cast<double>(makespan));
+      return 1;
+    }
+    const double ratio = predicted > makespan ? predicted / makespan
+                                              : makespan / predicted;
+    std::printf(
+        "compare: static prediction %.6g s vs measured %.6g s "
+        "(ratio %.3g, budget %.3gx)\n",
+        predicted, static_cast<double>(makespan), ratio, factor);
+    if (ratio > factor) {
+      std::fprintf(stderr,
+                   "impacc-prof: COMPARISON FAILED: static prediction "
+                   "and measured makespan diverge by %.3gx (> %.3gx)\n",
+                   ratio, factor);
+      return 1;
+    }
+  }
   return 0;
 }

@@ -19,14 +19,20 @@
 // exactly, and --graph PATH dumps the dependency graph for impacc-prof.
 //
 //   impacc-smoke [--trace PATH] [--metrics PATH[,format]] [--graph PATH]
+//                [--jacobi]
 //
-// Paths default to "-" (in memory only).
+// Paths default to "-" (in memory only). --jacobi swaps the workload
+// for the Fig. 14 Jacobi configuration (one PSG node, 8 devices,
+// n = 2048, 3 sweeps) so its measured critical-path graph can be
+// compared against the static lint prediction
+// (tests/lint_fixtures/perf_jacobi.c via impacc-prof --compare).
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "apps/jacobi.h"
 #include "dev/copyengine.h"
 #include "impacc.h"
 #include "obs/critpath.h"
@@ -54,6 +60,7 @@ int main(int argc, char** argv) {
   std::string trace_path = "-";
   std::string metrics_path = "-";
   std::string graph_path;
+  bool jacobi = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
@@ -61,12 +68,45 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--graph") == 0 && i + 1 < argc) {
       graph_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--jacobi") == 0) {
+      jacobi = true;
     } else {
       std::fprintf(stderr,
                    "usage: impacc-smoke [--trace PATH] "
-                   "[--metrics PATH[,format]] [--graph PATH]\n");
+                   "[--metrics PATH[,format]] [--graph PATH] [--jacobi]\n");
       return 2;
     }
+  }
+
+  if (jacobi) {
+    core::LaunchOptions o;
+    o.cluster = sim::make_system("psg", 1);
+    o.mode = core::ExecMode::kModelOnly;
+    o.scheduler_workers = 1;
+    o.metrics_path = metrics_path;
+    o.critpath = true;
+    o.critpath_graph_path = graph_path;
+    apps::JacobiConfig cfg;
+    cfg.n = 2048;
+    cfg.iterations = 3;
+    const auto r = apps::run_jacobi(o, cfg);
+    std::printf(
+        "impacc-smoke --jacobi: Fig.14 config (psg, n=2048, 3 sweeps), "
+        "makespan %.3f ms\n\n",
+        sim::to_ms(r.launch.makespan));
+    double sum = 0;
+    for (int c = 0; c < obs::kCritCategoryCount; ++c) {
+      const auto cat = static_cast<obs::CritCategory>(c);
+      sum += r.launch.metrics.value(std::string("critpath.") +
+                                    obs::crit_category_slug(cat) +
+                                    ".seconds");
+    }
+    check_near(sum, r.launch.makespan,
+               "sum(critpath.*.seconds) == makespan");
+    std::printf("\nimpacc-smoke: %s (%d failure%s)\n",
+                g_failures == 0 ? "PASS" : "FAIL", g_failures,
+                g_failures == 1 ? "" : "s");
+    return g_failures == 0 ? 0 : 1;
   }
 
   constexpr int kMsgs = 8;
