@@ -1,0 +1,134 @@
+// Fault-tolerance recovery benchmark (DESIGN.md section 12): modeled
+// cost of surviving a mid-run failure, distilled into BENCH_ft.json.
+//
+// Not a paper figure — the paper's machines did not fail on schedule.
+// Each series runs the checkpointed Jacobi workload clean, then kills a
+// victim (fixed node/device targets plus a seeded sweep) and reports the
+// recovered run's simulated makespan. Counters break the overhead into
+// its parts: checkpoint cost, rolled-back progress (ft.lost_seconds) and
+// modeled restart (ft.recovery_seconds). Every faulted run doubles as a
+// correctness gate — it must reproduce the fault-free checksum
+// bit-for-bit and tear down quiescent.
+#include <cstdlib>
+
+#include "apps/jacobi.h"
+#include "bench_common.h"
+
+namespace impacc::bench {
+namespace {
+
+core::LaunchOptions ft_options(int nodes) {
+  // Functional mode: the checksum equality gate needs real data, and the
+  // retention log needs dereferenceable payloads.
+  core::LaunchOptions o;
+  o.cluster = sim::make_system("psg", nodes);
+  o.deterministic = true;
+  return o;
+}
+
+apps::JacobiConfig ft_config() {
+  apps::JacobiConfig cfg;
+  cfg.n = bench_smoke() ? 128 : 512;
+  cfg.iterations = 12;
+  cfg.checkpoint_every = 3;
+  return cfg;
+}
+
+/// Fail the whole binary loudly when a recovered run diverges — a wrong
+/// answer must never become just a slow data point.
+void require(bool ok, const char* what) {
+  if (ok) return;
+  std::fprintf(stderr, "ft_recovery: %s\n", what);
+  std::abort();
+}
+
+void register_point(const std::string& name, const apps::JacobiResult& clean,
+                    const core::LaunchOptions& fault_opts) {
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [fault_opts, name, base_makespan = clean.launch.makespan,
+       base_checksum = clean.checksum](benchmark::State& st) {
+        apps::JacobiResult r;
+        for (auto _ : st) {
+          r = apps::run_jacobi(fault_opts, ft_config());
+          st.SetIterationTime(r.launch.makespan);
+        }
+        require(r.launch.ft.faults >= 1, "fault did not fire");
+        require(r.checksum == base_checksum,
+                "recovered checksum diverged from the fault-free run");
+        require(r.launch.stray_messages == 0,
+                "stray messages after recovery");
+        st.counters["recovery_seconds"] = r.launch.ft.recovery_seconds;
+        st.counters["lost_seconds"] = r.launch.ft.lost_seconds;
+        st.counters["overhead_seconds"] = r.launch.makespan - base_makespan;
+        st.counters["replayed_msgs"] =
+            static_cast<double>(r.launch.ft.replayed_msgs);
+        add_row("FtRecovery psg 2 nodes", name.substr(name.rfind('/') + 1),
+                r.launch.makespan, base_makespan,
+                "s virtual (recovered vs fault-free)");
+      })
+      ->UseManualTime()
+      ->Iterations(1);
+}
+
+void register_benchmarks() {
+  const auto cfg = ft_config();
+  const auto opts = ft_options(2);
+  const auto clean = apps::run_jacobi(opts, cfg);
+  require(clean.launch.makespan > 0, "clean run produced no makespan");
+
+  // Checkpoint overhead: same workload without the fault machinery.
+  {
+    auto plain_cfg = cfg;
+    plain_cfg.checkpoint_every = 0;
+    const auto plain = apps::run_jacobi(opts, plain_cfg);
+    benchmark::RegisterBenchmark(
+        "FtCheckpointOverhead/psg/2nodes",
+        [makespan = clean.launch.makespan,
+         plain_makespan = plain.launch.makespan](benchmark::State& st) {
+          for (auto _ : st) st.SetIterationTime(makespan);
+          st.counters["checkpoint_overhead_seconds"] =
+              makespan - plain_makespan;
+        })
+        ->UseManualTime()
+        ->Iterations(1);
+    add_row("FtCheckpointOverhead psg", "every 3 sweeps",
+            clean.launch.makespan, plain.launch.makespan,
+            "s virtual (checkpointed vs plain)");
+  }
+
+  // Fixed targets: one whole node, one single device.
+  {
+    auto o = opts;
+    sim::FaultEvent ev;
+    ev.node = 1;
+    ev.time = clean.launch.makespan * 0.5;
+    o.faults.events.push_back(ev);
+    register_point("FtRecovery/psg/2nodes/node1", clean, o);
+  }
+  {
+    auto o = opts;
+    sim::FaultEvent ev;
+    ev.node = 0;
+    ev.device = 2;
+    ev.time = clean.launch.makespan * 0.6;
+    o.faults.events.push_back(ev);
+    register_point("FtRecovery/psg/2nodes/dev0.2", clean, o);
+  }
+
+  // Seeded sweep: the CI fault matrix replays these exact events.
+  for (unsigned seed : {1u, 2u, 3u}) {
+    auto o = opts;
+    o.faults.seeds.push_back({seed, clean.launch.makespan});
+    register_point("FtRecovery/psg/2nodes/seed" + std::to_string(seed), clean,
+                   o);
+  }
+}
+
+}  // namespace
+}  // namespace impacc::bench
+
+using impacc::bench::register_benchmarks;
+IMPACC_BENCH_MAIN("FtRecovery",
+                  "modeled fault-recovery cost: checkpointed Jacobi vs "
+                  "node/device kills (checksum-gated)")

@@ -71,11 +71,33 @@ void task_main(const JacobiConfig& cfg, Shared* shared) {
   acc::copyin(u, block_bytes);
   acc::copyin(unew, block_bytes);
 
+  // Fault tolerance: both blocks are restartable state. The names are
+  // bound to the *allocations*; the u/unew pointer swap below is purely
+  // logical, so a restored run re-derives the swap parity from the
+  // restart iteration instead of checkpointing it.
+  ft_protect("jacobi.block0", u, block_bytes);
+  ft_protect("jacobi.block1", unew, block_bytes);
+  int start_iter = 0;
+  if (const int epoch = ft_restore(); epoch > 0 && cfg.checkpoint_every > 0) {
+    start_iter = epoch * cfg.checkpoint_every;
+    acc::update_device(u, block_bytes);
+    acc::update_device(unew, block_bytes);
+    if (start_iter % 2 != 0) std::swap(u, unew);
+  }
+
   const int q = 1;  // unified activity queue
   const sim::WorkEstimate est{5.0 * static_cast<double>(rows) * n,
                               static_cast<double>(rows + 2) * n * 8 * 2};
 
-  for (int iter = 0; iter < cfg.iterations; ++iter) {
+  for (int iter = start_iter; iter < cfg.iterations; ++iter) {
+    if (cfg.checkpoint_every > 0 && iter > start_iter &&
+        iter % cfg.checkpoint_every == 0) {
+      // Quiesce the activity queue first: ft_checkpoint requires no
+      // outstanding requests, and the snapshot must see the completed
+      // sweep for iteration `iter - 1`.
+      if (im) acc::wait(q);
+      ft_checkpoint();  // epoch e <=> state after e * checkpoint_every sweeps
+    }
     if (im) {
       // Unified routines straight from device memory; the in-order queue
       // sequences transfers and the sweep without host synchronization.
@@ -152,13 +174,18 @@ void task_main(const JacobiConfig& cfg, Shared* shared) {
   acc::del(unew);
 
   if (fn) {
+    // Rank-ordered gather + Kahan at the root rather than reduce(kSum):
+    // the summation order is then a pure function of the rank count, so
+    // the checksum is bit-for-bit reproducible across schedules and
+    // across fault-recovery reruns on a shrunk topology.
     const double local = kahan_sum(u + n, static_cast<std::size_t>(rows) * n);
-    double total = 0;
-    mpi::reduce(&local, &total, 1, mpi::Datatype::kDouble, mpi::Op::kSum, 0,
-                w);
+    std::vector<double> partials(rank == 0 ? static_cast<std::size_t>(size)
+                                           : 0);
+    mpi::gather(&local, 1, mpi::Datatype::kDouble, partials.data(), 1,
+                mpi::Datatype::kDouble, 0, w);
     if (rank == 0) {
       shared->lock.lock();
-      shared->checksum = total;
+      shared->checksum = kahan_sum(partials.data(), partials.size());
       shared->lock.unlock();
     }
     if (cfg.verify) {

@@ -20,6 +20,10 @@ struct JacobiConfig {
   long n = 1024;        // grid dimension (N x N)
   int iterations = 10;  // Jacobi sweeps
   bool verify = false;  // functional runs: compare against a serial sweep
+  // Cut a coordinated checkpoint (ft_checkpoint) every this many sweeps;
+  // 0 disables. Only meaningful when a fault plan is armed — unarmed runs
+  // treat every ft_* call as a no-op.
+  int checkpoint_every = 0;
 };
 
 struct JacobiResult {

@@ -1,0 +1,366 @@
+#include "core/checkpoint.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "acc/api.h"
+#include "common/log.h"
+#include "core/handler.h"
+#include "core/message.h"
+#include "core/runtime.h"
+#include "core/task.h"
+#include "mpi/api.h"
+
+namespace impacc::core {
+
+// --- fault firing ------------------------------------------------------------
+
+void FtState::refresh_next_due() {
+  double due = std::numeric_limits<double>::infinity();
+  for (const auto& ev : plan_.events) {
+    if (!ev.fired && !ev.skipped && ev.time < due) due = ev.time;
+  }
+  next_due_.store(due, std::memory_order_release);
+}
+
+void FtState::observe(sim::Time now) {
+  if (fired_.load(std::memory_order_acquire)) return;
+  if (now < next_due_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (fired_.load(std::memory_order_relaxed)) return;
+  int best = -1;
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    auto& ev = plan_.events[i];
+    if (ev.fired || ev.skipped) continue;
+    bool dead = false;
+    for (const auto& ex : excluded_) {
+      if (ex.node != ev.node) continue;
+      if (ex.local_index < 0 || ex.local_index == ev.device) dead = true;
+    }
+    if (dead) {
+      ev.skipped = true;
+      IMPACC_LOG_WARN("fault %s skipped: target already failed",
+                      sim::describe(ev).c_str());
+      continue;
+    }
+    if (ev.time <= now &&
+        (best < 0 || ev.time < plan_.events[static_cast<std::size_t>(best)].time)) {
+      best = static_cast<int>(i);
+    }
+  }
+  if (best >= 0) {
+    auto& ev = plan_.events[static_cast<std::size_t>(best)];
+    ev.fired = true;
+    fired_index_ = best;
+    fault_time_ = ev.time;
+    counters.faults++;
+    IMPACC_LOG_WARN("fault injected: %s", sim::describe(ev).c_str());
+    fired_.store(true, std::memory_order_release);
+  }
+  refresh_next_due();
+}
+
+sim::FaultEvent FtState::fired_event() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (fired_index_ < 0) return sim::FaultEvent{};
+  return plan_.events[static_cast<std::size_t>(fired_index_)];
+}
+
+// --- exclusions --------------------------------------------------------------
+
+bool FtState::node_excluded(int node) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& ex : excluded_) {
+    if (ex.node == node && ex.local_index < 0) return true;
+  }
+  return false;
+}
+
+bool FtState::host_excluded(int node, int local_index) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& ex : excluded_) {
+    if (ex.node != node) continue;
+    if (ex.local_index < 0 || ex.local_index == local_index) return true;
+  }
+  return false;
+}
+
+int FtState::num_excluded_nodes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  int n = 0;
+  for (const auto& ex : excluded_) {
+    if (ex.local_index < 0) ++n;
+  }
+  return n;
+}
+
+int FtState::num_excluded() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<int>(excluded_.size());
+}
+
+std::vector<std::pair<int, int>> FtState::exclusions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::pair<int, int>> out;
+  out.reserve(excluded_.size());
+  for (const auto& ex : excluded_) out.emplace_back(ex.node, ex.local_index);
+  return out;
+}
+
+// --- checkpoints -------------------------------------------------------------
+
+namespace {
+int committed_epoch_unlocked(
+    const std::map<int, std::map<int, TaskSnapshot>>& snapshots,
+    int num_tasks) {
+  if (num_tasks <= 0) return 0;
+  int committed = std::numeric_limits<int>::max();
+  for (int rank = 0; rank < num_tasks; ++rank) {
+    auto it = snapshots.find(rank);
+    int latest = 0;
+    if (it != snapshots.end() && !it->second.empty()) {
+      latest = it->second.rbegin()->first;
+    }
+    if (latest < committed) committed = latest;
+  }
+  return committed == std::numeric_limits<int>::max() ? 0 : committed;
+}
+}  // namespace
+
+void FtState::save_snapshot(int task, TaskSnapshot snap) {
+  std::lock_guard<std::mutex> lk(mu_);
+  counters.checkpoints++;
+  counters.checkpoint_bytes += snap.total_bytes();
+  auto& per_rank = snapshots_[task];
+  per_rank[snap.epoch] = std::move(snap);
+  while (per_rank.size() > 2) per_rank.erase(per_rank.begin());
+  // Entries consumed strictly before the committed epoch can never be in
+  // a future replay set (restore epochs only grow): drop them.
+  int committed = committed_epoch_unlocked(snapshots_, num_tasks_);
+  for (auto it = log_.begin(); it != log_.end();) {
+    if (it->second.consumed && it->second.consume_epoch < committed) {
+      counters.pruned_msgs++;
+      it = log_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+int FtState::committed_epoch() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return committed_epoch_unlocked(snapshots_, num_tasks_);
+}
+
+const TaskSnapshot* FtState::find_snapshot(int task, int epoch) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = snapshots_.find(task);
+  if (it == snapshots_.end()) return nullptr;
+  auto jt = it->second.find(epoch);
+  if (jt == it->second.end()) return nullptr;
+  return &jt->second;
+}
+
+// --- sender retention --------------------------------------------------------
+
+std::uint64_t FtState::retain(const MsgCommand& cmd, int sent_epoch,
+                              bool functional) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t id = next_id_++;
+  RetainedMsg& r = log_[id];
+  r.id = id;
+  r.context_id = cmd.context_id;
+  r.tag = cmd.tag;
+  r.src_task = cmd.src_task;
+  r.dst_task = cmd.dst_task;
+  r.src_comm_rank = cmd.src_comm_rank;
+  r.bytes = cmd.bytes;
+  r.sent_epoch = sent_epoch;
+  if (!functional) {
+    // Model-only: nothing to copy; replay re-injects timing only.
+  } else if (!cmd.eager_payload.empty()) {
+    r.payload = cmd.eager_payload;
+  } else if (cmd.buf != nullptr && cmd.bytes > 0) {
+    // Rendezvous send: the buffer holds the wire bytes and stays stable
+    // until completion, so a copy taken at routing time is exact.
+    const auto* p = static_cast<const unsigned char*>(cmd.buf);
+    r.payload.assign(p, p + cmd.bytes);
+  }
+  counters.retained_msgs++;
+  counters.retained_bytes += r.payload.size();
+  return id;
+}
+
+void FtState::mark_consumed(std::uint64_t id, int consume_epoch) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = log_.find(id);
+  if (it == log_.end()) return;  // already pruned as committed
+  it->second.consumed = true;
+  it->second.consume_epoch = consume_epoch;
+}
+
+std::vector<RetainedMsg> FtState::replay_set() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<RetainedMsg> out;
+  out.reserve(log_.size());
+  for (const auto& [id, r] : log_) out.push_back(r);
+  return out;
+}
+
+// --- recovery ----------------------------------------------------------------
+
+void FtState::begin_recovery() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (fired_index_ < 0) return;
+  auto& ev = plan_.events[static_cast<std::size_t>(fired_index_)];
+  excluded_.push_back(Exclusion{ev.node, ev.device});
+
+  restore_epoch_ = committed_epoch_unlocked(snapshots_, num_tasks_);
+  restart_base_ = fault_time_ + kRestartLatency;
+  recoveries_.push_back(
+      RecoveryRecord{ev.node, ev.device, fault_time_, restart_base_});
+
+  sim::Time reached = 0;  // furthest checkpointed progress being kept
+  if (restore_epoch_ > 0) {
+    for (const auto& [rank, per_rank] : snapshots_) {
+      auto it = per_rank.find(restore_epoch_);
+      if (it != per_rank.end() && it->second.clock > reached) {
+        reached = it->second.clock;
+      }
+    }
+  }
+  if (fault_time_ > reached) counters.lost_seconds += fault_time_ - reached;
+  counters.recovery_seconds += kRestartLatency;
+  counters.recoveries++;
+
+  // Prune the log down to the replay set: messages sent at or after the
+  // restore epoch will be re-sent by the re-executing senders; messages
+  // consumed before it are on both sides of the cut. What remains was in
+  // flight across the cut and must be re-injected.
+  for (auto it = log_.begin(); it != log_.end();) {
+    RetainedMsg& r = it->second;
+    if (r.sent_epoch >= restore_epoch_ ||
+        (r.consumed && r.consume_epoch < restore_epoch_)) {
+      counters.pruned_msgs++;
+      it = log_.erase(it);
+    } else {
+      r.consumed = false;
+      r.consume_epoch = 0;
+      counters.replayed_msgs++;
+      ++it;
+    }
+  }
+
+  fired_index_ = -1;
+  recovering_ = true;
+  fired_.store(false, std::memory_order_release);
+  refresh_next_due();
+}
+
+std::vector<RecoveryRecord> FtState::recovery_log() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return recoveries_;
+}
+
+}  // namespace impacc::core
+
+// --- public application API --------------------------------------------------
+
+namespace impacc {
+
+bool ft_armed() {
+  core::Task* t = core::current_task();
+  return t != nullptr && t->rt->ft() != nullptr;
+}
+
+void ft_protect(const char* name, void* ptr, std::uint64_t bytes) {
+  core::Task& t = core::require_task("ft_protect");
+  if (t.rt->ft() == nullptr) return;
+  for (auto& r : t.ft_regions) {
+    if (r.name == name) {  // re-registration after a restart
+      r.ptr = ptr;
+      r.bytes = bytes;
+      return;
+    }
+  }
+  t.ft_regions.push_back(core::FtRegion{name, ptr, bytes});
+}
+
+int ft_checkpoint() {
+  core::Task& t = core::require_task("ft_checkpoint");
+  core::FtState* ft = t.rt->ft();
+  if (ft == nullptr) return 0;
+  core::ft_check(t);  // abort here rather than cut a doomed checkpoint
+
+  // Flush device copies of the protected regions so the host snapshot is
+  // current; charged at the normal update-self cost.
+  for (const auto& r : t.ft_regions) {
+    if (acc::is_present(r.ptr)) acc::update_self(r.ptr, r.bytes);
+  }
+
+  int epoch = t.ft_epoch.fetch_add(1, std::memory_order_acq_rel) + 1;
+  core::TaskSnapshot snap;
+  snap.epoch = epoch;
+  std::uint64_t total = 0;
+  for (const auto& r : t.ft_regions) {
+    core::TaskSnapshot::Region out;
+    out.name = r.name;
+    if (t.functional() && r.ptr != nullptr && r.bytes > 0) {
+      const auto* p = static_cast<const unsigned char*>(r.ptr);
+      out.data.assign(p, p + r.bytes);
+    }
+    total += r.bytes;
+    snap.regions.push_back(std::move(out));
+  }
+  t.clock.advance(core::kCheckpointLatency +
+                  static_cast<double>(total) /
+                      core::kCheckpointBandwidthBytesPerSec);
+  snap.clock = t.clock.now();
+  ft->save_snapshot(t.id, std::move(snap));
+
+  mpi::barrier(mpi::world());
+  return epoch;
+}
+
+int ft_restore() {
+  core::Task& t = core::require_task("ft_restore");
+  core::FtState* ft = t.rt->ft();
+  if (ft == nullptr || !ft->recovering()) return 0;
+  int epoch = ft->restore_epoch();
+  if (epoch == 0) return 0;  // no committed checkpoint: restart from scratch
+  const core::TaskSnapshot* snap = ft->find_snapshot(t.id, epoch);
+  if (snap == nullptr) {
+    IMPACC_LOG_ERROR(
+        "ft_restore: task %d has no snapshot for committed epoch %d", t.id,
+        epoch);
+    std::abort();
+  }
+  std::uint64_t total = 0;
+  for (const auto& r : t.ft_regions) {
+    total += r.bytes;
+    if (!t.functional()) continue;
+    const core::TaskSnapshot::Region* found = nullptr;
+    for (const auto& s : snap->regions) {
+      if (s.name == r.name) {
+        found = &s;
+        break;
+      }
+    }
+    if (found == nullptr || found->data.size() != r.bytes) {
+      IMPACC_LOG_ERROR(
+          "ft_restore: region \"%s\" (%llu bytes) does not match the "
+          "snapshot from epoch %d",
+          r.name.c_str(), static_cast<unsigned long long>(r.bytes), epoch);
+      std::abort();
+    }
+    std::memcpy(r.ptr, found->data.data(), r.bytes);
+  }
+  t.clock.advance(core::kCheckpointLatency +
+                  static_cast<double>(total) /
+                      core::kCheckpointBandwidthBytesPerSec);
+  t.ft_epoch.store(epoch, std::memory_order_release);
+  return epoch;
+}
+
+}  // namespace impacc

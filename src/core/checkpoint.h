@@ -1,0 +1,241 @@
+// Fault tolerance: coordinated checkpoint/restart, sender retention, and
+// shrinking recovery (DESIGN.md section 12, ROADMAP item 4).
+//
+// One FtState exists per launch *only when a fault plan is armed*; with
+// no plan the runtime never touches any of this and committed virtual
+// times are bit-for-bit identical to builds without it.
+//
+// Protocol sketch (details in DESIGN.md section 12):
+//  - Applications register restartable state with ft_protect() and cut a
+//    coordinated checkpoint with ft_checkpoint(): flush device copies,
+//    bump the task's epoch, snapshot host regions + virtual clock, then
+//    barrier. Snapshot-before-barrier makes epoch comparisons a
+//    consistent cut (Chandy-Lamport with the barrier as the marker).
+//  - Every send is retained (payload copy + sender epoch) while armed;
+//    consumption is stamped with the receiver's epoch. On recovery to
+//    epoch R the replay set is exactly {sent_epoch < R and (unconsumed or
+//    consume_epoch >= R)} — the messages in flight across the cut.
+//  - A fault kills a node (or one device's task); every task aborts via
+//    FaultAbort at its next blocking site, the launch layer remaps the
+//    orphaned ranks onto surviving hosts (mapping.h), rebuilds the
+//    runtime with clocks based at the modeled restart time, and replays
+//    the retained messages. A quiescence verifier then checks no stray
+//    sends/recvs survive the rerun.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/fault.h"
+#include "sim/time.h"
+
+namespace impacc::core {
+
+struct MsgCommand;
+struct Task;
+
+/// Thrown by ft_check/ft_wait inside task fibers once a fault has fired;
+/// unwinds the task body so the launch layer can run recovery. Never
+/// escapes launch().
+struct FaultAbort {};
+
+/// One application-registered restartable memory region. The name is the
+/// stable key across restarts (pointers change when the node heap is
+/// rebuilt).
+struct FtRegion {
+  std::string name;
+  void* ptr = nullptr;
+  std::uint64_t bytes = 0;
+};
+
+/// Per-(rank, epoch) checkpoint record.
+struct TaskSnapshot {
+  int epoch = 0;
+  sim::Time clock = 0;  // task's virtual time when the snapshot was cut
+  struct Region {
+    std::string name;
+    std::vector<unsigned char> data;
+  };
+  std::vector<Region> regions;
+
+  std::uint64_t total_bytes() const {
+    std::uint64_t n = 0;
+    for (const auto& r : regions) n += r.data.size();
+    return n;
+  }
+};
+
+/// Sender-retention log entry: everything needed to re-inject the message
+/// into a rebuilt runtime.
+struct RetainedMsg {
+  std::uint64_t id = 0;  // nonzero; stamped into MsgCommand::ft_id
+  int context_id = 0;
+  int tag = 0;
+  int src_task = 0;
+  int dst_task = 0;
+  int src_comm_rank = 0;
+  std::uint64_t bytes = 0;
+  std::vector<unsigned char> payload;  // packed wire bytes (functional mode)
+  int sent_epoch = 0;
+  bool consumed = false;
+  int consume_epoch = 0;
+};
+
+/// ft.* metric counters (docs/OBSERVABILITY.md). Mutated under FtState's
+/// mutex or from single-threaded launch code.
+struct FtCounters {
+  std::uint64_t faults = 0;            // events that fired
+  std::uint64_t recoveries = 0;        // restarts performed
+  std::uint64_t checkpoints = 0;       // per-rank snapshots cut
+  std::uint64_t checkpoint_bytes = 0;  // bytes captured across snapshots
+  std::uint64_t retained_msgs = 0;     // sends entered into the log
+  std::uint64_t retained_bytes = 0;
+  std::uint64_t replayed_msgs = 0;  // log entries re-injected on recovery
+  std::uint64_t pruned_msgs = 0;    // log entries dropped as committed
+  double lost_seconds = 0;          // virtual time rolled back by faults
+  double recovery_seconds = 0;      // modeled restart + restore time
+};
+
+/// Modeled checkpoint/restart costs (virtual time). The simulation
+/// charges snapshot and restore copies at host-memcpy-like bandwidth and
+/// a fixed coordination latency per restart.
+constexpr double kCheckpointBandwidthBytesPerSec = 8.0e9;
+constexpr sim::Time kCheckpointLatency = sim::from_us(50.0);
+constexpr sim::Time kRestartLatency = sim::from_ms(5.0);
+
+/// One completed restart, for the ft trace spans.
+struct RecoveryRecord {
+  int node = 0;
+  int device = -1;  // -1 = whole node
+  sim::Time fault_time = 0;
+  sim::Time restart = 0;
+};
+
+class FtState {
+ public:
+  explicit FtState(sim::FaultPlan plan) : plan_(std::move(plan)) {
+    refresh_next_due();
+  }
+
+  sim::FaultPlan& plan() { return plan_; }
+
+  /// World size, needed for the committed-epoch min; set by the Runtime
+  /// once the mapping is known (constant across recovery reruns).
+  void set_num_tasks(int n) {
+    std::lock_guard<std::mutex> lk(mu_);
+    num_tasks_ = n;
+  }
+
+  // --- fault firing ---------------------------------------------------------
+  /// Cheap poll from task fibers: fires the earliest due event the first
+  /// time any task clock passes its time. Fault time is the *event's*
+  /// scheduled time, not the observing clock, so firing is deterministic
+  /// regardless of which task notices first.
+  void observe(sim::Time now);
+  bool fired() const { return fired_.load(std::memory_order_acquire); }
+  sim::Time fault_time() const { return fault_time_; }
+  /// The event taken by the current (un-recovered) firing; valid while
+  /// fired().
+  sim::FaultEvent fired_event() const;
+
+  // --- exclusions (dead resources) -----------------------------------------
+  bool node_excluded(int node) const;
+  bool host_excluded(int node, int local_index) const;
+  int num_excluded_nodes() const;
+  int num_excluded() const;
+  /// (node, local_index) pairs; local_index < 0 means the whole node.
+  std::vector<std::pair<int, int>> exclusions() const;
+
+  // --- checkpoints ----------------------------------------------------------
+  void save_snapshot(int task, TaskSnapshot snap);
+  /// Latest epoch every rank has saved (0 = none committed).
+  int committed_epoch() const;
+  const TaskSnapshot* find_snapshot(int task, int epoch) const;
+
+  // --- sender retention -----------------------------------------------------
+  /// Enter a send into the log; returns its nonzero retention id. The
+  /// payload is copied only in functional mode (model-only buffers are
+  /// not dereferenceable).
+  std::uint64_t retain(const MsgCommand& cmd, int sent_epoch, bool functional);
+  void mark_consumed(std::uint64_t id, int consume_epoch);
+  /// The current replay set (valid between begin_recovery and the rebuilt
+  /// run). Entries stay in the log so cascading faults replay them again.
+  std::vector<RetainedMsg> replay_set() const;
+
+  // --- recovery -------------------------------------------------------------
+  /// Consume the fired event: exclude its target, fix the restore epoch
+  /// and modeled restart time, prune the retention log down to the replay
+  /// set, and clear the fired flag so later events can fire in the rerun.
+  void begin_recovery();
+  bool recovering() const { return recovering_; }
+  int restore_epoch() const { return restore_epoch_; }
+  sim::Time restart_base() const { return restart_base_; }
+  std::vector<RecoveryRecord> recovery_log() const;
+
+  FtCounters counters;
+
+ private:
+  void refresh_next_due();  // callers hold mu_
+
+  sim::FaultPlan plan_;
+  int num_tasks_ = 0;
+
+  mutable std::mutex mu_;
+  std::atomic<bool> fired_{false};
+  // Earliest unfired event time; +inf when none. Read lock-free on the
+  // observe fast path.
+  std::atomic<double> next_due_{0};
+  int fired_index_ = -1;
+  sim::Time fault_time_ = 0;
+
+  struct Exclusion {
+    int node;
+    int local_index;  // -1 = whole node
+  };
+  std::vector<Exclusion> excluded_;
+  std::vector<RecoveryRecord> recoveries_;
+
+  // rank -> (epoch -> snapshot); only the last two epochs are kept.
+  std::map<int, std::map<int, TaskSnapshot>> snapshots_;
+
+  std::map<std::uint64_t, RetainedMsg> log_;  // keyed by retention id
+  std::uint64_t next_id_ = 1;
+
+  bool recovering_ = false;
+  int restore_epoch_ = 0;
+  sim::Time restart_base_ = 0;
+};
+
+}  // namespace impacc::core
+
+namespace impacc {
+
+/// True when the current launch has a fault plan armed. All other ft_*
+/// calls are no-ops (returning 0) when unarmed, so applications can leave
+/// checkpoint calls in unconditionally.
+bool ft_armed();
+
+/// Register (or re-register, after a restart) a restartable host memory
+/// region under a stable name. Must be called from a task fiber.
+void ft_protect(const char* name, void* ptr, std::uint64_t bytes);
+
+/// Cut a coordinated checkpoint: flush protected regions' device copies
+/// to the host, bump this task's epoch, snapshot regions + clock, then
+/// barrier on MPI_COMM_WORLD. Returns the new epoch (0 when unarmed).
+/// Contract: the caller must have no outstanding MPI requests (request
+/// handles are runtime state and are not checkpointed). In-flight *eager*
+/// messages are fine — that is what the sender-retention replay covers.
+int ft_checkpoint();
+
+/// On a recovery rerun, restore the protected regions from the committed
+/// snapshot and return its epoch; returns 0 on a fresh (non-recovery) run
+/// or when no checkpoint was committed before the fault. The caller is
+/// responsible for refreshing device copies (acc::update_device) — the
+/// present table was rebuilt by the re-executed copyins.
+int ft_restore();
+
+}  // namespace impacc

@@ -1,5 +1,10 @@
 #include "core/config.h"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
 namespace impacc::core {
 
 const char* framework_name(Framework f) {
@@ -54,6 +59,44 @@ std::uint64_t parse_size_bytes(const std::string& spec) {
   }
   if (pos != spec.size()) return 0;
   return value * scale;
+}
+
+bool parse_env_double(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  if (!std::isfinite(v)) return false;  // "nan"/"inf" parse but mean nothing
+  *out = v;
+  return true;
+}
+
+bool parse_env_int(const std::string& s, long* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  long v = std::strtol(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_env_bool(const std::string& s, bool* out) {
+  std::string low;
+  low.reserve(s.size());
+  for (char c : s) {
+    low.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (low == "1" || low == "on" || low == "true" || low == "yes") {
+    *out = true;
+    return true;
+  }
+  if (low == "0" || low == "off" || low == "false" || low == "no") {
+    *out = false;
+    return true;
+  }
+  return false;
 }
 
 // Guard against fields added to TaskStats without extending operator+=,

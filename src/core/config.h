@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/fault.h"
 #include "sim/time.h"
 #include "sim/topology.h"
 
@@ -63,6 +64,23 @@ unsigned parse_device_type_mask(const std::string& spec);
 /// "4194304"); returns 0 on anything unparseable.
 std::uint64_t parse_size_bytes(const std::string& spec);
 
+/// Strict full-consume numeric parses for environment knobs: the entire
+/// string must be a valid number, otherwise they return false and leave
+/// `*out` untouched. Callers warn and fall back to a documented default —
+/// a malformed value must never silently disable the feature it
+/// configures (the IMPACC_WATCHDOG atof bug).
+bool parse_env_double(const std::string& s, double* out);
+bool parse_env_int(const std::string& s, long* out);
+
+/// Strict boolean env parse: "1|on|true|yes" / "0|off|false|no"
+/// (case-insensitive). Returns false (and leaves `*out`) on anything else.
+bool parse_env_bool(const std::string& s, bool* out);
+
+/// Watchdog timeout used when IMPACC_WATCHDOG is set but malformed:
+/// setting the variable at all expresses intent to enable the watchdog,
+/// so the fallback is a real timeout, not "disabled".
+constexpr double kDefaultWatchdogSeconds = 30.0;
+
 /// Default chunk size of the internode transfer pipeline (1 MiB).
 constexpr std::uint64_t kDefaultChunkBytes = 1ull << 20;
 
@@ -108,6 +126,17 @@ struct LaunchOptions {
   // blocked wait sites, matcher queues, and stream states to stderr and
   // _Exit(kWatchdogExitCode). 0 disables.
   double watchdog_seconds = 0;
+  // Scheduled fault injection (DESIGN.md section 12). Merged with the
+  // IMPACC_FAULT environment variable at launch; empty = no faults and
+  // the fault-tolerance machinery stays entirely out of the run (virtual
+  // times bit-for-bit identical to builds without it).
+  sim::FaultPlan faults;
+  // Deterministic scheduling mode (IMPACC_DETERMINISTIC): pin the fiber
+  // scheduler to one worker so committed virtual times are bit-for-bit
+  // reproducible across runs, including multi-node schedules where
+  // wall-clock wake order otherwise permutes NIC/serialization grants
+  // (DESIGN.md section 9). Recovery replay tests rely on this.
+  bool deterministic = false;
 };
 
 /// Per-task time accounting, used by the breakdown figures (11, 14).

@@ -121,6 +121,52 @@ void account_copy_batched(BatchSink* sink, Task& t, dev::CopyPathKind kind,
   }
 }
 
+/// After a fault-injected abort the handlers are expected to exit with
+/// unmatched messages — the recovery path drains and replays them.
+bool fault_aborted(NodeRt& n) {
+  FtState* ft = n.rt->ft();
+  return ft != nullptr && ft->fired();
+}
+
+/// Mark this handler as executing no further work (once). Aborting task
+/// fibers spin on Runtime::ft_handlers_done() before unwinding, because
+/// matches and stream ops can reference fiber-stack memory (receive
+/// buffers, kernel-body captures) that dies with the unwind.
+void ft_note_done_once(NodeRt& n) {
+  if (n.ft_acked) return;
+  n.ft_acked = true;
+  if (n.rt->ft() != nullptr) n.rt->ft_note_handler_done();
+}
+
+/// Abandon mode, entered by both handler loops once a fault has fired:
+/// the run is being discarded, so execute nothing — delete queued
+/// commands unprocessed (their retention-log entries drive the replay)
+/// and drop stream scheduling (queued ops are reclaimed by ~Stream, the
+/// matcher by ~Runtime). Returns when the node shuts down.
+void handler_abandon(NodeRt& n) {
+  ft_note_done_once(n);
+  for (;;) {
+    bool progress = false;
+    while (MpscNode* raw = n.queue.pop()) {
+      progress = true;
+      n.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+      delete static_cast<MsgCommand*>(raw);
+    }
+    n.astream_lock.lock();
+    if (!n.active_streams.empty()) {
+      progress = true;
+      n.active_streams.clear();
+    }
+    n.astream_lock.unlock();
+    if (!progress) {
+      if (n.shutdown.load(std::memory_order_acquire) && n.queue.empty_hint()) {
+        return;
+      }
+      n.wake.wait_and_reset();
+    }
+  }
+}
+
 /// Complete a matched pair. `snd` is kSend or kIncoming, `rcv` is kRecv.
 /// With `sink` null every side effect applies inline (the legacy,
 /// flag-off behaviour); with a sink the stats/completion/stream work is
@@ -135,6 +181,18 @@ void complete_match(NodeRt& n, MsgCommand* snd, MsgCommand* rcv,
   const bool functional = rt->functional();
   Task& recv_task = rt->task(rcv->dst_task);
   const sim::RuntimeCosts& costs = rt->options().cluster.costs;
+
+  // Fault tolerance: stamp the retention-log entry with the receiver's
+  // current epoch. A relaxed read is enough — the receiver bumps its
+  // epoch on its own fiber and the epoch ordering only needs to be
+  // consistent with the functional delivery order, which the MPSC
+  // post/complete synchronization already provides.
+  if (snd->ft_id != 0) {
+    if (FtState* ft = rt->ft()) {
+      ft->mark_consumed(snd->ft_id,
+                        recv_task.ft_epoch.load(std::memory_order_relaxed));
+    }
+  }
 
   sim::Time done = 0;
   // Critical-path category of the delivery work [match start, done]:
@@ -416,6 +474,7 @@ void handler_loop_legacy(NodeRt& n) {
   const bool functional = n.rt->functional();
   sim::TraceSink* trace = n.rt->trace();
   for (;;) {
+    if (fault_aborted(n)) return handler_abandon(n);
     bool progress = false;
     // Drain the in-order command queue.
     while (MpscNode* raw = n.queue.pop()) {
@@ -436,7 +495,7 @@ void handler_loop_legacy(NodeRt& n) {
     if (advance_streams(n, functional)) progress = true;
     if (!progress) {
       if (n.shutdown.load(std::memory_order_acquire) && n.queue.empty_hint()) {
-        if (!n.matcher.drained()) {
+        if (!n.matcher.drained() && !fault_aborted(n)) {
           IMPACC_LOG_WARN(
               "node %d handler exiting with unmatched messages "
               "(application did not complete all communication)",
@@ -462,6 +521,7 @@ void handler_loop_batched(NodeRt& n) {
   BatchSink sink;
   std::uint64_t fastpath_seen = 0;
   for (;;) {
+    if (fault_aborted(n)) return handler_abandon(n);
     bool progress = false;
     // Like the legacy loop, drain to empty — including commands that
     // arrive while a batch is being processed — before advancing the
@@ -520,7 +580,7 @@ void handler_loop_batched(NodeRt& n) {
     if (advance_streams(n, functional)) progress = true;
     if (!progress) {
       if (n.shutdown.load(std::memory_order_acquire) && n.queue.empty_hint()) {
-        if (!n.matcher.drained()) {
+        if (!n.matcher.drained() && !fault_aborted(n)) {
           IMPACC_LOG_WARN(
               "node %d handler exiting with unmatched messages "
               "(application did not complete all communication)",
@@ -847,6 +907,42 @@ void cp_join(Task& t, obs::CritPath* cp, sim::Time before,
   t.cp_open = now;
 }
 
+namespace {
+
+/// Unwind the task with FaultAbort — but only after every handler has
+/// acknowledged the fault and stopped executing work. Matches and stream
+/// ops hold raw pointers into task-fiber stacks (receive buffers,
+/// kernel-body captures); the handshake guarantees no handler touches
+/// them after the stack dies.
+[[noreturn]] void ft_unwind(Task& t) {
+  while (!t.rt->ft_handlers_done()) {
+    t.rt->wake_all_handlers();
+    t.rt->scheduler().yield();
+  }
+  throw FaultAbort{};
+}
+
+}  // namespace
+
+void ft_check(Task& t) {
+  FtState* ft = t.rt->ft();
+  if (ft == nullptr) return;
+  ft->observe(t.clock.now());
+  if (ft->fired()) ft_unwind(t);
+}
+
+sim::Time ft_wait(Task& t, dev::CompletionRecord& rec) {
+  FtState* ft = t.rt->ft();
+  if (ft == nullptr) return rec.wait();
+  sim::Time done = 0;
+  while (!rec.poll(&done)) {
+    ft->observe(t.clock.now());
+    if (ft->fired()) ft_unwind(t);
+    t.rt->scheduler().yield();
+  }
+  return done;
+}
+
 void wd_register(Task& t, const char* site, int context, int peer, int tag,
                  std::uint64_t bytes) {
   if (!t.rt->watchdog_enabled()) return;
@@ -887,7 +983,7 @@ sim::Time sync_stream_op(Task& t, int async_id, dev::StreamOp op) {
                          : "stream sync";
   submit_stream_op(t, async_id, std::move(op));
   wd_register(t, site, 0, -1, -1, 0);
-  const sim::Time done = rec.wait();
+  const sim::Time done = ft_wait(t, rec);
   wd_clear(t);
   if (obs::CritPath* cpg = t.rt->critpath()) {
     const sim::Time before = t.clock.now();

@@ -73,6 +73,17 @@ std::uint32_t cp_checkpoint(Task& t, obs::CritPath* cp);
 void cp_join(Task& t, obs::CritPath* cp, sim::Time before,
              std::uint32_t producer);
 
+/// Fault-injection poll (core/checkpoint.h): observe the task clock
+/// against the armed fault plan and throw FaultAbort once a fault has
+/// fired. A single null test when no plan is armed.
+void ft_check(Task& t);
+
+/// rec.wait() with fault abort. With no fault plan armed this IS
+/// rec.wait() — the fiber parks, bit-for-bit the pre-FT behaviour. With a
+/// plan armed it polls the record and the plan cooperatively, so a fired
+/// fault unwinds the task fiber instead of leaving it parked forever.
+sim::Time ft_wait(Task& t, dev::CompletionRecord& rec);
+
 /// Hang-watchdog wait-site registration (no-ops unless IMPACC_WATCHDOG is
 /// armed): record what the task fiber is about to block on, so the
 /// watchdog's dump can name the site; clear after the wait returns.

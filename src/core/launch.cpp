@@ -1,17 +1,19 @@
 #include "core/launch.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <memory>
 
 #include "common/log.h"
 #include "core/runtime.h"
 
 namespace impacc {
 
-LaunchResult launch(const core::LaunchOptions& options,
-                    const std::function<void()>& task_main) {
-  core::Runtime rt(options);
-  rt.run(task_main);
+namespace {
 
+/// Fold the finished runtime into a LaunchResult (stats, trace, metrics,
+/// quiescence). Runs once, on the final — non-aborted — run.
+LaunchResult collect_result(core::Runtime& rt) {
   LaunchResult result;
   result.trace = rt.shared_trace();
   result.num_tasks = rt.num_tasks();
@@ -28,6 +30,15 @@ LaunchResult launch(const core::LaunchOptions& options,
     result.total += t.stats;
     result.makespan = std::max(result.makespan, t.clock.now());
   }
+  // Stray-message quiescence verifier (DESIGN.md section 12): after a
+  // clean (or cleanly recovered) run nothing may remain queued or
+  // half-matched. Tests assert stray_messages == 0 at teardown.
+  result.stray_messages = rt.stray_messages(&result.stray_report);
+  if (result.stray_messages != 0) {
+    IMPACC_LOG_WARN("quiescence check failed: %zu stray message(s)\n%s",
+                    result.stray_messages, result.stray_report.c_str());
+  }
+  if (core::FtState* ft = rt.ft()) result.ft = ft->counters;
   // Terminal counter samples and the critical-path overlay land in the
   // trace during publish, so the file is written only afterwards.
   if (result.trace != nullptr) result.trace->finalize_counters(result.makespan);
@@ -40,6 +51,53 @@ LaunchResult launch(const core::LaunchOptions& options,
     }
   }
   return result;
+}
+
+/// Resolve the effective fault plan: LaunchOptions::faults merged with
+/// the IMPACC_FAULT environment variable, seeds materialized against the
+/// cluster size. Empty plan = the fault-tolerance machinery stays
+/// entirely out of the run.
+sim::FaultPlan resolve_fault_plan(const core::LaunchOptions& options) {
+  sim::FaultPlan plan = options.faults;
+  if (const char* env = std::getenv("IMPACC_FAULT")) {
+    sim::parse_fault_plan(env, &plan);
+  }
+  if (!plan.empty()) {
+    sim::materialize_seeds(&plan, options.cluster.num_nodes());
+  }
+  return plan;
+}
+
+}  // namespace
+
+LaunchResult launch(const core::LaunchOptions& options,
+                    const std::function<void()>& task_main) {
+  sim::FaultPlan plan = resolve_fault_plan(options);
+  if (plan.empty()) {
+    // Fast path, bit-for-bit the pre-FT behaviour: no FtState, no
+    // retention, every wait parks.
+    core::Runtime rt(options);
+    rt.run(task_main);
+    return collect_result(rt);
+  }
+
+  core::FtState ft(std::move(plan));
+  for (;;) {
+    // Each attempt gets a fresh Runtime against fresh (possibly shrunk)
+    // topology; the FtState carries checkpoints, the retention log, and
+    // exclusions across attempts. The loop terminates because every
+    // attempt either finishes clean or consumes one of the finitely many
+    // fault events.
+    core::Runtime rt(options, &ft);
+    rt.run(task_main);
+    if (!ft.fired()) return collect_result(rt);
+    const sim::FaultEvent ev = ft.fired_event();
+    IMPACC_LOG_WARN("recovering from %s: restoring epoch %d on %d node(s)",
+                    sim::describe(ev).c_str(), ft.committed_epoch(),
+                    options.cluster.num_nodes() - ft.num_excluded_nodes() -
+                        (ev.device < 0 ? 1 : 0));
+    ft.begin_recovery();
+  }
 }
 
 }  // namespace impacc

@@ -6,10 +6,13 @@
 // callable executed by every task fiber.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/config.h"
 #include "obs/metrics.h"
 #include "sim/time.h"
@@ -30,6 +33,14 @@ struct LaunchResult {
   // LaunchOptions::metrics_path and docs/OBSERVABILITY.md). Empty
   // otherwise. Also written to metrics_path unless that is "-".
   obs::MetricsSnapshot metrics;
+  // Stray-message quiescence verifier (DESIGN.md section 12): pending
+  // matcher entries + undrained handler commands after the (final) run.
+  // 0 for every clean run; tests assert this at teardown.
+  std::size_t stray_messages = 0;
+  std::string stray_report;  // per-node matcher dumps when nonzero
+  // Fault-tolerance counters (ft.* metrics catalog), accumulated across
+  // all recovery reruns of this launch. All-zero when no plan was armed.
+  core::FtCounters ft;
 };
 
 /// Run `task_main` under the given options and return timing/statistics.

@@ -1,5 +1,8 @@
 #include "core/mapping.h"
 
+#include <algorithm>
+
+#include "common/types.h"
 #include "sim/systems.h"
 
 namespace impacc::core {
@@ -63,6 +66,55 @@ std::vector<Placement> map_tasks(const sim::ClusterDesc& cluster,
     }
   }
   return out;
+}
+
+bool DeadResources::node_dead(int node) const {
+  return std::find(nodes.begin(), nodes.end(), node) != nodes.end();
+}
+
+bool DeadResources::slot_dead(int node, int local_index) const {
+  if (node_dead(node)) return true;
+  return std::find(slots.begin(), slots.end(),
+                   std::make_pair(node, local_index)) != slots.end();
+}
+
+std::vector<Placement> remap_tasks(std::vector<Placement> placements,
+                                   const DeadResources& dead) {
+  // Surviving placements keep node, device, and local_index; collect them
+  // as the round-robin re-admission targets (rank order, so the choice is
+  // deterministic).
+  std::vector<std::size_t> survivors;
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    if (!dead.slot_dead(placements[i].node, placements[i].local_index)) {
+      survivors.push_back(i);
+    }
+  }
+  IMPACC_CHECK_MSG(!survivors.empty(),
+                   "fault recovery: no surviving accelerators to host tasks");
+  // Fresh local indices start after each node's current maximum so the
+  // original slot identities stay stable for later fault targeting.
+  std::vector<std::pair<int, int>> next_local;  // (node, next index)
+  auto next_index = [&](int node) -> int {
+    for (auto& [n, next] : next_local) {
+      if (n == node) return next++;
+    }
+    int max_local = -1;
+    for (const Placement& p : placements) {
+      if (p.node == node) max_local = std::max(max_local, p.local_index);
+    }
+    next_local.emplace_back(node, max_local + 2);
+    return max_local + 1;
+  };
+  std::size_t rr = 0;
+  for (Placement& p : placements) {
+    if (!dead.slot_dead(p.node, p.local_index)) continue;
+    const Placement& host = placements[survivors[rr++ % survivors.size()]];
+    p.node = host.node;
+    p.device = host.device;
+    p.synthesized_cpu = host.synthesized_cpu;
+    p.local_index = next_index(host.node);
+  }
+  return placements;
 }
 
 }  // namespace impacc::core

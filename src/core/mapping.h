@@ -36,4 +36,21 @@ struct Placement {
 std::vector<Placement> map_tasks(const sim::ClusterDesc& cluster,
                                  unsigned mask);
 
+/// Resources excluded by fault injection (DESIGN.md section 12).
+struct DeadResources {
+  std::vector<int> nodes;                       // whole dead nodes
+  std::vector<std::pair<int, int>> slots;       // (node, local_index)
+  bool node_dead(int node) const;
+  bool slot_dead(int node, int local_index) const;
+};
+
+/// Shrinking recovery remap: placements on dead resources are re-admitted
+/// round-robin onto the surviving hosts (sharing their accelerators);
+/// surviving placements — and every rank — stay exactly where they were.
+/// Re-admitted tasks get fresh local indices after the target node's
+/// surviving ones, so a later fault still identifies original slots.
+/// Aborts if nothing survives.
+std::vector<Placement> remap_tasks(std::vector<Placement> placements,
+                                   const DeadResources& dead);
+
 }  // namespace impacc::core

@@ -103,6 +103,13 @@ struct MsgCommand : MpscNode {
   std::uint64_t span_id = 0;
   sim::Time span_posted = 0;  // sender's ready time at route_send entry
 
+  // Sender-retention id (core/checkpoint.h): nonzero once this send has
+  // been entered into the fault-tolerance retention log — stamped at
+  // routing time and carried by replayed copies, so a re-injected message
+  // is never retained twice and its consumption updates the original log
+  // entry. Always 0 when no fault plan is armed.
+  std::uint64_t ft_id = 0;
+
   // Critical-path plumbing (src/obs/critpath.h); all 0 when the profiler
   // is off. `cp_pred` is the issuing task's compute segment, `cp_pred2`
   // the issuing stream's chain (unified-queue ops), `cp_node` the sender

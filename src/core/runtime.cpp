@@ -102,8 +102,45 @@ sim::Time NodeRt::serialize_mpi(sim::Time ready, sim::Time hold) {
   return release;
 }
 
-Runtime::Runtime(LaunchOptions opts)
-    : opts_(std::move(opts)), sched_(opts_.scheduler_workers) {
+namespace {
+
+/// Strict on/off feature-flag resolution. The old pattern ("anything but
+/// 0|off|false enables") silently flipped a flag to its default on typos
+/// like "of" or "flase"; now a value that parses applies and anything
+/// else warns and changes nothing.
+void env_flag(const char* name, bool* flag) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return;
+  bool v = *flag;
+  if (parse_env_bool(env, &v)) {
+    *flag = v;
+  } else {
+    IMPACC_LOG_WARN(
+        "%s: unrecognized value \"%s\" ignored "
+        "(expected 1|on|true|yes or 0|off|false|no); keeping %s",
+        name, env, *flag ? "on" : "off");
+  }
+}
+
+}  // namespace
+
+int Runtime::resolve_worker_count(LaunchOptions& opts) {
+  if (const char* env = std::getenv("IMPACC_DETERMINISTIC")) {
+    bool v = opts.deterministic;
+    if (parse_env_bool(env, &v)) {
+      opts.deterministic = v;
+    } else {
+      IMPACC_LOG_WARN(
+          "IMPACC_DETERMINISTIC: unrecognized value \"%s\" ignored "
+          "(expected 1|on|true|yes or 0|off|false|no)",
+          env);
+    }
+  }
+  return opts.deterministic ? 1 : opts.scheduler_workers;
+}
+
+Runtime::Runtime(LaunchOptions opts, FtState* ft)
+    : opts_(std::move(opts)), ft_(ft), sched_(resolve_worker_count(opts_)) {
   // Resolve the device-type mask: explicit option, else environment
   // variable IMPACC_ACC_DEVICE_TYPE, else default (section 3.2).
   if (opts_.device_type_mask == kAccDeviceDefault) {
@@ -117,10 +154,18 @@ Runtime::Runtime(LaunchOptions opts)
     }
   }
   // Resolve the pipeline chunk size: explicit option, else the
-  // IMPACC_CHUNK_SIZE environment variable, else the 1 MiB default.
+  // IMPACC_CHUNK_SIZE environment variable, else the 1 MiB default. A
+  // malformed spec must not silently drop the pipeline to the default —
+  // say so (same hardening as IMPACC_WATCHDOG below).
   if (opts_.chunk_bytes == 0) {
     if (const char* env = std::getenv("IMPACC_CHUNK_SIZE")) {
       opts_.chunk_bytes = parse_size_bytes(env);
+      if (opts_.chunk_bytes == 0) {
+        IMPACC_LOG_WARN(
+            "IMPACC_CHUNK_SIZE: malformed size \"%s\"; using the default "
+            "%llu bytes",
+            env, static_cast<unsigned long long>(kDefaultChunkBytes));
+      }
     }
     if (opts_.chunk_bytes == 0) opts_.chunk_bytes = kDefaultChunkBytes;
   }
@@ -129,26 +174,15 @@ Runtime::Runtime(LaunchOptions opts)
       opts_.metrics_path = env;
     }
   }
-  // IMPACC_HIER_COLLECTIVES=0|off|false disables the node-aware two-level
-  // collectives without rebuilding (ablation runs); anything else enables.
-  if (const char* env = std::getenv("IMPACC_HIER_COLLECTIVES")) {
-    const std::string v = env;
-    opts_.features.hier_collectives = !(v == "0" || v == "off" || v == "false");
-  }
-  // IMPACC_HANDLER_BATCHING=0|off|false falls back to the per-message
-  // handler loop and the matcher's linear scans (DESIGN.md section 9).
-  if (const char* env = std::getenv("IMPACC_HANDLER_BATCHING")) {
-    const std::string v = env;
-    opts_.features.handler_batching = !(v == "0" || v == "off" || v == "false");
-  }
+  // Node-aware two-level collectives and the batched handler loop can be
+  // toggled without rebuilding (ablation runs; DESIGN.md section 9).
+  env_flag("IMPACC_HIER_COLLECTIVES", &opts_.features.hier_collectives);
+  env_flag("IMPACC_HANDLER_BATCHING", &opts_.features.handler_batching);
   // Critical-path profiler switches (DESIGN.md section 10): IMPACC_CRITPATH
   // records the graph, IMPACC_PROF additionally writes the report,
   // IMPACC_PROF_GRAPH serializes the graph for tools/impacc-prof. Any of
   // the three brings the recorder up.
-  if (const char* env = std::getenv("IMPACC_CRITPATH")) {
-    const std::string v = env;
-    opts_.critpath = !(v == "0" || v == "off" || v == "false");
-  }
+  env_flag("IMPACC_CRITPATH", &opts_.critpath);
   if (opts_.prof_report_path.empty()) {
     if (const char* env = std::getenv("IMPACC_PROF")) {
       opts_.prof_report_path = env;
@@ -164,7 +198,21 @@ Runtime::Runtime(LaunchOptions opts)
   }
   if (opts_.watchdog_seconds <= 0) {
     if (const char* env = std::getenv("IMPACC_WATCHDOG")) {
-      opts_.watchdog_seconds = std::atof(env);
+      // Strict parse. The old std::atof here returned 0.0 for any
+      // malformed value — "30s", "1e", "abc" — which silently *disabled*
+      // the watchdog the user explicitly asked for. Setting the variable
+      // at all expresses intent to enable, so the malformed-value
+      // fallback is a real timeout, loudly.
+      double v = 0;
+      if (parse_env_double(env, &v) && v >= 0) {
+        opts_.watchdog_seconds = v;
+      } else {
+        IMPACC_LOG_WARN(
+            "IMPACC_WATCHDOG: malformed timeout \"%s\"; using the default "
+            "%.0f s (set 0 to disable)",
+            env, kDefaultWatchdogSeconds);
+        opts_.watchdog_seconds = kDefaultWatchdogSeconds;
+      }
     }
   }
   if (!opts_.trace_path.empty()) {
@@ -184,9 +232,21 @@ Runtime::Runtime(LaunchOptions opts)
   }
   log::set_context_provider(&log_context);
   build_topology();
+  if (ft_ != nullptr) ft_->set_num_tasks(num_tasks());
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() {
+  // A fault-aborted run tears down with commands still queued and pairs
+  // still pending in the matchers; reclaim them so recovery reruns (and
+  // LeakSanitizer) see a clean heap. After a normal run both drains are
+  // no-ops.
+  for (auto& n : nodes_) {
+    while (MpscNode* raw = n->queue.pop()) {
+      delete static_cast<MsgCommand*>(raw);
+    }
+    n->matcher.drain_all();
+  }
+}
 
 void Runtime::build_topology() {
   const sim::ClusterDesc& cluster = opts_.cluster;
@@ -199,10 +259,24 @@ void Runtime::build_topology() {
         opts_.node_heap_bytes, functional));
   }
 
-  const std::vector<Placement> placements =
+  std::vector<Placement> placements =
       map_tasks(cluster, opts_.device_type_mask);
   IMPACC_CHECK_MSG(!placements.empty(),
                    "device-type mask selects no accelerators");
+  if (ft_ != nullptr && ft_->num_excluded() > 0) {
+    // Shrinking recovery (DESIGN.md section 12): tasks whose node or
+    // device died are re-admitted round-robin onto surviving hosts;
+    // ranks and surviving placements are untouched.
+    DeadResources dead;
+    for (const auto& [node, local] : ft_->exclusions()) {
+      if (local < 0) {
+        dead.nodes.push_back(node);
+      } else {
+        dead.slots.emplace_back(node, local);
+      }
+    }
+    placements = remap_tasks(std::move(placements), dead);
+  }
 
   const bool numa = opts_.features.numa_pinning &&
                     opts_.framework == Framework::kImpacc;
@@ -224,6 +298,14 @@ void Runtime::build_topology() {
     task->pinned_socket =
         choose_socket(*node.desc, p.device, numa, p.local_index);
     task->near = socket_is_near(*node.desc, p.device, task->pinned_socket);
+    if (ft_ != nullptr && ft_->recovering()) {
+      // Recovery rerun: tasks restart at the modeled restart time with
+      // their epoch already at the committed checkpoint, so sends issued
+      // before any new checkpoint carry sent_epoch == restore_epoch and
+      // are correctly pruned (not double-replayed) by a later fault.
+      task->clock.reset(ft_->restart_base());
+      task->ft_epoch.store(ft_->restore_epoch(), std::memory_order_relaxed);
+    }
 
     node.uvas.register_device(device.get());
     node.devices.push_back(std::move(device));
@@ -290,6 +372,32 @@ void Runtime::run(const std::function<void()>& task_main) {
     });
   }
 
+  if (ft_ != nullptr && ft_->recovering()) {
+    // Re-inject the retained in-flight messages (DESIGN.md section 12):
+    // everything sent before the restore epoch and not consumed before it
+    // was on the wire across the cut. Senders resuming from the restored
+    // epoch will not re-issue these, so the log is their only source.
+    // They arrive as completed incoming messages on the destination
+    // task's *current* (post-remap) node at the modeled restart time.
+    for (const RetainedMsg& r : ft_->replay_set()) {
+      auto* cmd = new MsgCommand;
+      cmd->kind = MsgCommand::Kind::kIncoming;
+      cmd->context_id = r.context_id;
+      cmd->tag = r.tag;
+      cmd->src_task = r.src_task;
+      cmd->dst_task = r.dst_task;
+      cmd->src_comm_rank = r.src_comm_rank;
+      cmd->bytes = r.bytes;
+      cmd->eager_payload = r.payload;
+      cmd->sender_completed = true;  // the original sender already finished
+      cmd->owner_task = r.src_task;
+      cmd->ready = ft_->restart_base();
+      cmd->arrival = ft_->restart_base();
+      cmd->ft_id = r.id;  // keeps consumption tracking; blocks re-retention
+      task(r.dst_task).node->post(cmd);
+    }
+  }
+
   for (auto& node : nodes_) {
     NodeRt* n = node.get();
     n->handler = sched_.spawn([n] { handler_main(n); },
@@ -301,7 +409,14 @@ void Runtime::run(const std::function<void()>& task_main) {
     t->fiber = sched_.spawn(
         [this, t, &task_main] {
           ult::Scheduler::current()->set_user_data(t);
-          task_main();
+          try {
+            task_main();
+          } catch (const FaultAbort&) {
+            // The injected fault unwound this task; the launch layer
+            // rolls every task back, so nothing to salvage here — but
+            // the shutdown accounting below must still run or the
+            // handlers (and sched_.wait_all) never finish.
+          }
           if (tasks_remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
             for (auto& node : nodes_) {
               node->shutdown.store(true, std::memory_order_release);
@@ -318,6 +433,29 @@ void Runtime::run(const std::function<void()>& task_main) {
     watchdog_.join();
   }
   if (obs_ != nullptr) sched_.set_ready_sampler({});
+}
+
+void Runtime::wake_all_handlers() {
+  for (auto& n : nodes_) n->wake.set();
+}
+
+std::size_t Runtime::stray_messages(std::string* report) {
+  std::size_t total = 0;
+  std::string out;
+  for (auto& n : nodes_) {
+    const std::size_t pending = n->matcher.pending();
+    const int queued = n->queue_depth.load(std::memory_order_acquire);
+    const std::size_t node_total =
+        pending + static_cast<std::size_t>(queued > 0 ? queued : 0);
+    if (node_total == 0) continue;
+    total += node_total;
+    out += "node " + std::to_string(n->index) + ": " +
+           std::to_string(pending) + " pending in matcher, " +
+           std::to_string(queued) + " undrained command(s)\n";
+    out += n->matcher.debug_dump();
+  }
+  if (report != nullptr) *report = std::move(out);
+  return total;
 }
 
 void Runtime::watchdog_main() {
@@ -517,6 +655,35 @@ void Runtime::publish_run_metrics(const TaskStats& total, sim::Time makespan,
       ->set(static_cast<double>(match.probes_parked));
   reg.gauge("mpi.matcher.fastpath_hits")
       ->set(static_cast<double>(match.fastpath_hits));
+
+  // Fault tolerance (docs/OBSERVABILITY.md ft.* catalog). Published only
+  // when a fault plan is armed; counters accumulate across recovery
+  // reruns because the FtState outlives each Runtime.
+  if (ft_ != nullptr) {
+    const FtCounters& c = ft_->counters;
+    reg.gauge("ft.faults")->set(static_cast<double>(c.faults));
+    reg.gauge("ft.recoveries")->set(static_cast<double>(c.recoveries));
+    reg.gauge("ft.checkpoints")->set(static_cast<double>(c.checkpoints));
+    reg.gauge("ft.checkpoint_bytes")
+        ->set(static_cast<double>(c.checkpoint_bytes));
+    reg.gauge("ft.retained_msgs")->set(static_cast<double>(c.retained_msgs));
+    reg.gauge("ft.retained_bytes")->set(static_cast<double>(c.retained_bytes));
+    reg.gauge("ft.replayed_msgs")->set(static_cast<double>(c.replayed_msgs));
+    reg.gauge("ft.pruned_msgs")->set(static_cast<double>(c.pruned_msgs));
+    reg.gauge("ft.lost_seconds")->set(c.lost_seconds);
+    reg.gauge("ft.recovery_seconds")->set(c.recovery_seconds);
+    if (trace_ != nullptr) {
+      // Recovery spans: one slice per restart on the failed node's pid,
+      // covering [fault, modeled restart] of the rerun's timeline.
+      for (const auto& r : ft_->recovery_log()) {
+        std::string name = "recovery (node " + std::to_string(r.node);
+        if (r.device >= 0) name += "." + std::to_string(r.device);
+        name += ")";
+        trace_->record(r.node, "ft", name, "recovery", r.fault_time,
+                       r.restart);
+      }
+    }
+  }
 
   // Scheduler.
   reg.gauge("ult.sched.workers")->set(sched_.num_workers());

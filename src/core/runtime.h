@@ -82,6 +82,11 @@ struct NodeRt {
   std::atomic<bool> shutdown{false};
   ult::Fiber* handler = nullptr;
 
+  // Fault-abort handshake (handler fiber only): whether this handler has
+  // announced it will execute no further matches/stream ops, so aborting
+  // task fibers know their stack buffers can no longer be touched.
+  bool ft_acked = false;
+
   // Commands posted but not yet popped by the handler; feeds the trace's
   // "handler queue depth" counter track.
   std::atomic<int> queue_depth{0};
@@ -114,7 +119,12 @@ struct NodeRt {
 
 class Runtime {
  public:
-  explicit Runtime(LaunchOptions opts);
+  /// `ft` (owned by the launch layer, may be null) arms the fault-
+  /// tolerance machinery: sender retention, abortable waits, replay of
+  /// the retained in-flight messages on recovery reruns, and the
+  /// shrinking remap of orphaned tasks. Null keeps every committed
+  /// virtual time bit-for-bit identical to a build without the subsystem.
+  explicit Runtime(LaunchOptions opts, FtState* ft = nullptr);
   ~Runtime();
 
   Runtime(const Runtime&) = delete;
@@ -173,6 +183,29 @@ class Runtime {
   /// diagnostics only then).
   bool watchdog_enabled() const { return opts_.watchdog_seconds > 0; }
 
+  /// Fault-tolerance state when a fault plan is armed, else nullptr —
+  /// the single branch every FT site tests (same discipline as obs()).
+  FtState* ft() { return ft_; }
+
+  /// Fault-abort handshake. Handlers call ft_note_handler_done() once
+  /// when they stop executing work (abandon mode or normal exit);
+  /// aborting task fibers spin on ft_handlers_done() before unwinding,
+  /// so no handler can touch an unwound fiber's stack buffers.
+  void ft_note_handler_done() {
+    ft_handlers_done_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  bool ft_handlers_done() const {
+    return ft_handlers_done_.load(std::memory_order_acquire) >= num_nodes();
+  }
+  void wake_all_handlers();
+
+  /// Stray-message quiescence verifier (DESIGN.md section 12): total
+  /// matcher-pending commands plus undrained handler-queue depth across
+  /// nodes. 0 after a clean run; anything else means communication
+  /// survived teardown. Fills `report` with per-node matcher dumps when
+  /// nonzero and `report` is non-null.
+  std::size_t stray_messages(std::string* report = nullptr);
+
   /// Publish the run-total stats (TaskStats, present-table cache,
   /// pinned-pool, matcher, scheduler) into the registry and snapshot it
   /// into `total`/`metrics`; writes the configured metrics file. No-op
@@ -182,6 +215,13 @@ class Runtime {
 
  private:
   friend struct NodeRt;
+
+  /// Resolve the scheduler worker count, folding in deterministic mode
+  /// (LaunchOptions::deterministic or IMPACC_DETERMINISTIC): one worker
+  /// makes the cooperative fiber schedule — and with it every NIC /
+  /// MPI-lock grant order — reproducible across runs. May set
+  /// opts.deterministic as a side effect of reading the environment.
+  static int resolve_worker_count(LaunchOptions& opts);
 
   void build_topology();
 
@@ -195,6 +235,8 @@ class Runtime {
   void dump_hang_diagnostics(double idle_seconds);
 
   LaunchOptions opts_;
+  FtState* ft_ = nullptr;  // owned by the launch layer; null = unarmed
+  std::atomic<int> ft_handlers_done_{0};
   std::shared_ptr<sim::TraceSink> trace_;
   std::unique_ptr<obs::Observability> obs_;
   std::unique_ptr<obs::CritPath> critpath_;

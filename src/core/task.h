@@ -6,10 +6,13 @@
 // drives the near/far transfer costs.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <vector>
 
 #include "acc/present_table.h"
+#include "core/checkpoint.h"
 #include "core/config.h"
 #include "core/directives.h"
 #include "dev/device.h"
@@ -55,6 +58,14 @@ struct Task {
   // compute segment, `cp_last` the id of the last closed node.
   sim::Time cp_open = 0;
   std::uint32_t cp_last = 0;
+
+  // Fault-tolerance state (core/checkpoint.h); only meaningful when the
+  // launch has a fault plan armed. `ft_epoch` is the task's checkpoint
+  // epoch: bumped by ft_checkpoint before the barrier, read (relaxed) by
+  // the node handler fiber to stamp send/consume epochs into the
+  // retention log. `ft_regions` is the app-registered restartable state.
+  std::atomic<int> ft_epoch{0};
+  std::vector<FtRegion> ft_regions;
 
   // Hang-watchdog wait-site registration: set while the task fiber is
   // blocked in an MPI completion wait, read by the watchdog thread.

@@ -55,6 +55,16 @@ std::uint32_t CompletionRecord::cp() const {
 
 // --- Stream ------------------------------------------------------------------
 
+Stream::~Stream() {
+  // An aborted (fault-injected) run can tear streams down with queued
+  // ops whose begin_async never ran; reclaim the heap state they carry.
+  for (auto& op : ops_) {
+    if (op.pending_payload != nullptr && op.drop_pending != nullptr) {
+      op.drop_pending(op.pending_payload);
+    }
+  }
+}
+
 void Stream::record_depth(sim::Time t, std::size_t depth) {
   trace_->record_counter(trace_pid_,
                          "dev" + std::to_string(device_index_) + " q" +
@@ -90,6 +100,7 @@ bool Stream::advance(bool functional) {
     if (head.kind == StreamOp::Kind::kAsyncExternal) {
       // Initiate and keep going; completion arrives out-of-band.
       auto begin = std::move(head.begin_async);
+      head.pending_payload = nullptr;  // ownership transfers to begin()
       const sim::Time ready = clock_.now();
       const std::uint32_t cp = cp_last_;
       ops_.pop_front();

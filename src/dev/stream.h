@@ -100,6 +100,14 @@ struct StreamOp {
   // kMemcpy: dev::CopyPathKind as int (categorizes the copy on the
   // critical path); -1 = unclassified.
   int copy_path = -1;
+
+  // kAsyncExternal ownership bridge: heap state (the MsgCommand) whose
+  // ownership transfers to the runtime when begin_async runs. If the op
+  // is destroyed *before* initiation — a fault-injected abort tears the
+  // stream down mid-queue — drop_pending reclaims it so sanitizer runs
+  // stay leak-free. advance() clears the pointer before initiating.
+  void* pending_payload = nullptr;
+  void (*drop_pending)(void*) = nullptr;
 };
 
 /// In-order activity queue. All mutation happens on the owning node's
@@ -108,6 +116,7 @@ struct StreamOp {
 class Stream {
  public:
   Stream(int device_index, int id) : device_index_(device_index), id_(id) {}
+  ~Stream();
 
   int id() const { return id_; }
   int device_index() const { return device_index_; }

@@ -18,6 +18,7 @@
 #pragma once
 
 #include "acc/api.h"          // OpenACC-style runtime + #pragma acc mpi
+#include "core/checkpoint.h"  // ft_protect / ft_checkpoint / ft_restore
 #include "core/config.h"      // LaunchOptions, Framework, Features
 #include "core/heap.h"        // node_malloc / node_free (hooked heap)
 #include "core/launch.h"      // impacc::launch()

@@ -205,6 +205,36 @@ bool Matcher::drained() const {
   return true;
 }
 
+std::size_t Matcher::pending() const {
+  std::size_t n = 0;
+  for (const auto& [task, pt] : per_task_) {
+    n += fast_path_ ? pt.send_list.size() : pt.sends.size();
+    n += fast_path_ ? pt.recv_count : pt.recvs.size();
+    n += pt.probes.size();
+  }
+  return n;
+}
+
+void Matcher::drain_all() {
+  for (auto& [task, pt] : per_task_) {
+    // On the fast path every send lives on send_list and every recv in
+    // exactly one of recv_buckets/recv_wild; on the legacy path the
+    // deques own everything. Delete each command exactly once.
+    if (fast_path_) {
+      for (auto* c : pt.send_list) delete c;
+      for (auto& [key, dq] : pt.recv_buckets) {
+        for (auto& pr : dq) delete pr.cmd;
+      }
+      for (auto& pr : pt.recv_wild) delete pr.cmd;
+    } else {
+      for (auto* c : pt.sends) delete c;
+      for (auto* c : pt.recvs) delete c;
+    }
+    for (auto* c : pt.probes) delete c;
+  }
+  per_task_.clear();
+}
+
 std::string Matcher::debug_dump() const {
   std::ostringstream os;
   auto line = [&os](const char* what, const core::MsgCommand* c, int peer,

@@ -58,6 +58,15 @@ class Matcher {
   std::size_t pending_sends(int dst_task) const;
   std::size_t posted_recvs(int dst_task) const;
   bool drained() const;
+  /// Total stranded entries (pending sends + posted recvs + parked
+  /// probes) across every task — the stray-message count the quiescence
+  /// verifier reports at teardown.
+  std::size_t pending() const;
+
+  /// Delete every stored command and clear all structures. Used on
+  /// teardown of an aborted (fault-injected) run, where unmatched
+  /// commands are expected and must not leak.
+  void drain_all();
 
   /// Multi-line dump of every pending send, posted receive, and parked
   /// probe with its (context, peer, tag, bytes) — the hang watchdog's view

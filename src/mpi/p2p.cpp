@@ -89,6 +89,18 @@ MsgCommand* new_send_command(Task& t, const ResolvedBuffer& rb,
 /// unified activity queue (async clause on the directive, section 3.6).
 Request issue(Task& t, MsgCommand* cmd, int async, bool is_send) {
   Request r{cmd->req};
+  // Sender retention (core/checkpoint.h): log every send — intra-node
+  // ones included, both sides roll back on a fault — at issue time, on
+  // the sender's own fiber. Doing it here rather than at routing means a
+  // send that dies queued (fault before the handler routes it) is still
+  // in the log and gets replayed. Replayed commands carry a nonzero
+  // ft_id and are never re-retained.
+  if (is_send && cmd->ft_id == 0) {
+    if (core::FtState* ft = t.rt->ft()) {
+      cmd->ft_id = ft->retain(*cmd, t.ft_epoch.load(std::memory_order_relaxed),
+                              t.functional());
+    }
+  }
   const bool unified = t.rt->is_impacc() && t.rt->features().unified_queue &&
                        async != core::kNoAsync;
   if (unified) {
@@ -100,6 +112,10 @@ Request issue(Task& t, MsgCommand* cmd, int async, bool is_send) {
     dev::StreamOp op;
     op.kind = dev::StreamOp::Kind::kAsyncExternal;
     op.label = is_send ? "mpi-isend" : "mpi-irecv";
+    // Until begin_async runs, the queued op is the command's only owner;
+    // if a fault abort tears the stream down first, ~Stream reclaims it.
+    op.pending_payload = cmd;
+    op.drop_pending = [](void* p) { delete static_cast<MsgCommand*>(p); };
     Task* tp = &t;
     op.begin_async = [tp, cmd, is_send](sim::Time ready, std::uint32_t cp) {
       cmd->ready = ready;
@@ -236,7 +252,7 @@ void wait(Request& req, MpiStatus* status) {
                                            : "mpi::wait (recv)",
                     req.state->dbg_context, req.state->dbg_peer,
                     req.state->dbg_tag, req.state->dbg_bytes);
-  const sim::Time done = req.state->rec.wait();
+  const sim::Time done = core::ft_wait(t, req.state->rec);
   core::wd_clear(t);
   const sim::Time before = t.clock.now();
   t.clock.merge(done);
@@ -268,6 +284,7 @@ int waitany(Request* reqs, int n, MpiStatus* status) {
   const sim::Time before = t.clock.now();
   core::wd_register(t, "mpi::waitany", 0, kAnySource, kAnyTag, 0);
   for (;;) {
+    core::ft_check(t);
     bool any_active = false;
     for (int i = 0; i < n; ++i) {
       if (reqs[i].null()) continue;
@@ -302,6 +319,7 @@ bool testall(Request* reqs, int n) {
   t.clock.advance(t.costs().mpi_call_overhead);
   sim::Time latest = 0;
   std::uint32_t latest_cp = 0;
+  core::ft_check(t);
   for (int i = 0; i < n; ++i) {
     if (reqs[i].null()) continue;
     sim::Time done = 0;
@@ -349,7 +367,7 @@ void probe(int src, int tag, Comm comm, MpiStatus* status) {
   t.clock.advance(t.costs().mpi_call_overhead);
   Request r = post_probe(t, src, tag, comm, /*blocking=*/true);
   core::wd_register(t, "mpi::probe", comm->context_id(), src, tag, 0);
-  const sim::Time done = r.state->rec.wait();
+  const sim::Time done = core::ft_wait(t, r.state->rec);
   core::wd_clear(t);
   const sim::Time before = t.clock.now();
   t.clock.merge(done);
@@ -369,7 +387,7 @@ bool iprobe(int src, int tag, Comm comm, MpiStatus* status) {
   Task& t = core::require_task("mpi::iprobe outside a task");
   t.clock.advance(t.costs().mpi_call_overhead);
   Request r = post_probe(t, src, tag, comm, /*blocking=*/false);
-  const sim::Time done = r.state->rec.wait();
+  const sim::Time done = core::ft_wait(t, r.state->rec);
   t.clock.merge(done);
   if (r.state->probe_found && status != nullptr) *status = r.state->status;
   return r.state->probe_found;
@@ -383,6 +401,7 @@ bool test(Request& req, MpiStatus* status) {
   if (req.null()) return true;
   Task& t = core::require_task("mpi::test outside a task");
   t.clock.advance(t.costs().mpi_call_overhead);
+  core::ft_check(t);
   sim::Time done = 0;
   if (!req.state->rec.poll(&done)) {
     // Give the node's handler a turn, like the MPI progress engine a real

@@ -1,0 +1,154 @@
+#include "sim/fault.h"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace impacc::sim {
+namespace {
+
+// Full-consume strict number parse: the whole token must be numeric.
+bool parse_double_strict(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_int_strict(const std::string& s, long* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  long v = std::strtol(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+// splitmix64 — tiny, seedable, and stable across platforms, which is all
+// the seed-sweep matrix needs.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+bool parse_token(const std::string& tok, FaultPlan* out) {
+  auto at = tok.find('@');
+  auto colon = tok.find(':');
+  if (at == std::string::npos || colon == std::string::npos || colon > at) {
+    return false;
+  }
+  std::string kind = tok.substr(0, colon);
+  std::string target = tok.substr(colon + 1, at - colon - 1);
+  std::string when = tok.substr(at + 1);
+  double t = 0;
+  if (!parse_double_strict(when, &t) || t <= 0) return false;
+
+  if (kind == "node") {
+    long node = 0;
+    if (!parse_int_strict(target, &node) || node < 0) return false;
+    FaultEvent ev;
+    ev.node = static_cast<int>(node);
+    ev.device = -1;
+    ev.time = t;
+    out->events.push_back(ev);
+    return true;
+  }
+  if (kind == "dev") {
+    // target is "<node>.<local_index>"
+    auto dot = target.find('.');
+    if (dot == std::string::npos) return false;
+    long node = 0, dev = 0;
+    if (!parse_int_strict(target.substr(0, dot), &node) || node < 0) {
+      return false;
+    }
+    if (!parse_int_strict(target.substr(dot + 1), &dev) || dev < 0) {
+      return false;
+    }
+    FaultEvent ev;
+    ev.node = static_cast<int>(node);
+    ev.device = static_cast<int>(dev);
+    ev.time = t;
+    out->events.push_back(ev);
+    return true;
+  }
+  if (kind == "seed") {
+    long seed = 0;
+    if (!parse_int_strict(target, &seed) || seed < 0) return false;
+    FaultPlan::Seed s;
+    s.seed = static_cast<unsigned>(seed);
+    s.horizon = t;
+    out->seeds.push_back(s);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool parse_fault_plan(const std::string& spec, FaultPlan* out) {
+  bool all_ok = true;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    auto sep = spec.find(';', pos);
+    if (sep == std::string::npos) sep = spec.size();
+    std::string tok = spec.substr(pos, sep - pos);
+    // Trim surrounding whitespace so "node:1@0.002; seed:3@0.01" works.
+    while (!tok.empty() && std::isspace(static_cast<unsigned char>(tok.front()))) {
+      tok.erase(tok.begin());
+    }
+    while (!tok.empty() && std::isspace(static_cast<unsigned char>(tok.back()))) {
+      tok.pop_back();
+    }
+    if (!tok.empty() && !parse_token(tok, out)) {
+      IMPACC_LOG_WARN(
+          "IMPACC_FAULT: malformed token \"%s\" ignored "
+          "(expected node:<i>@<t>, dev:<i>.<d>@<t>, or seed:<s>@<horizon>)",
+          tok.c_str());
+      all_ok = false;
+    }
+    pos = sep + 1;
+  }
+  return all_ok;
+}
+
+void materialize_seeds(FaultPlan* plan, int num_nodes) {
+  if (num_nodes <= 0) {
+    plan->seeds.clear();
+    return;
+  }
+  for (const auto& s : plan->seeds) {
+    std::uint64_t h = mix64(static_cast<std::uint64_t>(s.seed) + 1);
+    FaultEvent ev;
+    ev.node = static_cast<int>(h % static_cast<std::uint64_t>(num_nodes));
+    ev.device = -1;
+    // Kill somewhere in the middle 70% of the horizon so the job has
+    // both pre-fault progress and post-fault work to recover.
+    double frac = 0.15 + 0.70 * (static_cast<double>(mix64(h) >> 11) /
+                                 static_cast<double>(1ull << 53));
+    ev.time = s.horizon * frac;
+    plan->events.push_back(ev);
+  }
+  plan->seeds.clear();
+}
+
+std::string describe(const FaultEvent& ev) {
+  char buf[96];
+  if (ev.device < 0) {
+    std::snprintf(buf, sizeof(buf), "node:%d@%.3fms", ev.node, ev.time * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "dev:%d.%d@%.3fms", ev.node, ev.device,
+                  ev.time * 1e3);
+  }
+  return buf;
+}
+
+}  // namespace impacc::sim

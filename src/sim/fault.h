@@ -1,0 +1,67 @@
+// Seeded sim-layer fault injection (ROADMAP item 4, DESIGN.md section 12).
+//
+// A FaultPlan is a list of scheduled failures against the simulated
+// cluster: kill node `i` (every task and device it hosts) or a single
+// device `d` on node `i` once virtual time reaches `t`. Plans come from
+// LaunchOptions::faults or the IMPACC_FAULT environment variable:
+//
+//   IMPACC_FAULT="node:1@0.002"          kill node 1 at t=2 ms
+//   IMPACC_FAULT="dev:0.1@0.0015"        kill device 1 on node 0 at 1.5 ms
+//   IMPACC_FAULT="seed:42@0.004"         derive target+time from seed 42,
+//                                        kill time within (0, 4 ms]
+//   IMPACC_FAULT="node:1@0.002;seed:7@0.004"   ';'-separated events
+//
+// Times are virtual seconds. Parsing is strict: a malformed token is
+// warned about and skipped — it never silently disables injection (the
+// same hardening pass as the IMPACC_WATCHDOG fix).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace impacc::sim {
+
+/// One scheduled failure. `device < 0` kills the whole node; otherwise it
+/// kills the task with that local index on the node. The runtime marks
+/// events `fired` when they take a victim down and `skipped` when their
+/// target was already dead (a prior event excluded it).
+struct FaultEvent {
+  int node = -1;
+  int device = -1;
+  Time time = 0;
+  bool fired = false;
+  bool skipped = false;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+  // Seeded events awaiting materialization: the target node and exact
+  // kill time derive deterministically from (seed, horizon, num_nodes),
+  // which the launch layer knows and the parser does not.
+  struct Seed {
+    unsigned seed = 0;
+    Time horizon = 0;
+  };
+  std::vector<Seed> seeds;
+
+  bool empty() const { return events.empty() && seeds.empty(); }
+};
+
+/// Parse an IMPACC_FAULT-style spec. Valid tokens are appended to `out`;
+/// malformed ones are warned about (naming the token) and skipped.
+/// Returns false when any token was malformed.
+bool parse_fault_plan(const std::string& spec, FaultPlan* out);
+
+/// Turn every pending seed into a concrete node-kill event: a
+/// splitmix64-style hash of the seed picks the node in [0, num_nodes) and
+/// a kill time in (0.15, 0.85] * horizon. Deterministic — the same
+/// (seed, horizon, num_nodes) always yields the same event, which is what
+/// the CI seed-sweep matrix replays.
+void materialize_seeds(FaultPlan* plan, int num_nodes);
+
+/// Human-readable one-liner for logs/tests ("node:1@2.000ms").
+std::string describe(const FaultEvent& ev);
+
+}  // namespace impacc::sim

@@ -11,6 +11,7 @@
 #include "apps/lulesh/mesh.h"
 #include "dev/copyengine.h"
 #include "sim/systems.h"
+#include "test_helpers.h"
 
 namespace impacc::apps {
 namespace {
@@ -34,6 +35,7 @@ TEST_P(DgemmBothFrameworks, VerifiesAgainstSerialReference) {
   cfg.verify = true;
   const auto r = run_dgemm(opts("psg", 1, GetParam()), cfg);
   EXPECT_TRUE(r.verified);
+  IMPACC_EXPECT_QUIESCENT(r.launch);
   EXPECT_GT(r.launch.makespan, 0);
 }
 
@@ -121,6 +123,7 @@ TEST_P(JacobiBothFrameworks, VerifiesAgainstSerialSweeps) {
   cfg.verify = true;
   const auto r = run_jacobi(opts("psg", 1, GetParam()), cfg);
   EXPECT_TRUE(r.verified);
+  IMPACC_EXPECT_QUIESCENT(r.launch);
 }
 
 INSTANTIATE_TEST_SUITE_P(Frameworks, JacobiBothFrameworks,
@@ -239,6 +242,7 @@ TEST(Lulesh, SingleTaskMatchesSerialReference) {
   cfg.verify = true;
   const auto r = run_lulesh(opts("titan", 1), cfg);
   EXPECT_TRUE(r.verified);
+  IMPACC_EXPECT_QUIESCENT(r.launch);
   EXPECT_GT(r.total_energy, 0);
 }
 

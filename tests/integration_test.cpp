@@ -10,6 +10,7 @@
 #include "apps/lulesh/driver.h"
 #include "impacc.h"
 #include "sim/costmodel.h"
+#include "test_helpers.h"
 #include "ult/tsan_fiber.h"
 
 namespace impacc {
@@ -36,6 +37,7 @@ sim::Time h2d_time(const char* system, bool pinning, std::uint64_t bytes) {
     acc::del(buf);
     node_free(buf);
   });
+  IMPACC_EXPECT_QUIESCENT(result);
   return result.task_times[1];
 }
 
@@ -77,6 +79,7 @@ sim::Time p2p_time(const char* system, core::Framework fw, bool device_bufs,
       if (device_bufs) acc::del(buf);
       node_free(buf);
     });
+    IMPACC_EXPECT_QUIESCENT(result);
     return std::max(result.task_times[0], result.task_times[1]);
   };
   return (run(4) - run(1)) / 3.0;
@@ -124,6 +127,7 @@ TEST(Fig9Shape, PsgDeviceToDeviceAboutEightTimesFaster) {
       acc::del(buf);
       node_free(buf);
     });
+    IMPACC_EXPECT_QUIESCENT(result);
     return std::max(result.task_times[0], result.task_times[1]);
   };
   const sim::Time base_t = (base_run(4) - base_run(1)) / 3.0;
@@ -153,6 +157,7 @@ TEST(Fig9Shape, TitanInternodeRdmaBeatsStaging) {
       acc::del(buf);
       node_free(buf);
     });
+    IMPACC_EXPECT_QUIESCENT(result);
     return result.makespan;
   };
   EXPECT_LT(run(true), run(false));
@@ -190,6 +195,7 @@ TEST(ChunkPipelineShape, TitanStagedTransfersOverlapAndConvergeToSlowestStage) {
       acc::del(buf);
       node_free(buf);
     });
+    IMPACC_EXPECT_QUIESCENT(result);
     return result.makespan;
   };
   auto transfer = [&run](bool chunk, std::uint64_t chunk_bytes) {

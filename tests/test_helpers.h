@@ -1,0 +1,14 @@
+// Shared assertions for runtime-level tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "core/launch.h"
+
+// Stray-message quiescence check (DESIGN.md section 12): after any run —
+// clean or recovered — no matcher entry may be half-matched and no
+// handler command may sit undrained. Assert this at the teardown of every
+// integration-style test that holds a LaunchResult.
+#define IMPACC_EXPECT_QUIESCENT(result)                       \
+  EXPECT_EQ((result).stray_messages, 0u)                      \
+      << "stray messages after teardown:\n" << (result).stray_report

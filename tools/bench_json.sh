@@ -12,6 +12,7 @@
 #   BENCH_jacobi.json  from fig13_jacobi
 #   BENCH_coll.json    from coll_latency
 #   BENCH_handler.json from handler_storm
+#   BENCH_ft.json      from ft_recovery (checksum-gated fault recovery)
 #
 #   tools/bench_json.sh [--smoke] [--build-dir DIR] [--out-dir DIR]
 #
@@ -100,4 +101,5 @@ snapshot fig09_p2p "$out/BENCH_p2p.json"
 snapshot fig13_jacobi "$out/BENCH_jacobi.json"
 snapshot coll_latency "$out/BENCH_coll.json"
 snapshot handler_storm "$out/BENCH_handler.json"
+snapshot ft_recovery "$out/BENCH_ft.json"
 echo "== benchmark snapshots written to $out"

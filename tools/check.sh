@@ -182,6 +182,15 @@ build-check/werror/tools/impacc-prof build-check/obs/jacobi_graph.cpg \
 step "metrics_diff vs committed baseline"
 tools/metrics_diff.sh BENCH_metrics.json build-check/obs/smoke_metrics.json
 
+# --- 3b. fault-injection matrix ----------------------------------------------
+# Each point kills a different victim at a different time (fixed node and
+# device targets plus seeds 1-3) and aborts unless the recovered run
+# reproduces the fault-free checksum bit-for-bit with a quiescent
+# teardown. The same seeds drive CI's fault-matrix job.
+step "fault-injection seed sweep (checksum-gated recovery)"
+IMPACC_BENCH_SMOKE=1 build-check/werror/bench/ft_recovery \
+  --benchmark_format=console >/dev/null
+
 # --- 4. benchmark JSON snapshots (smoke) -------------------------------------
 step "bench_json.sh --smoke"
 tools/bench_json.sh --smoke --build-dir build-check/werror \
